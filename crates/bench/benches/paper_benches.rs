@@ -1,0 +1,121 @@
+//! Criterion benches — one per paper table/figure, timing the experiment
+//! kernels (translate → transform → simulate) on representative workloads.
+//!
+//! `cargo bench` regenerates timing for the harness itself; the actual
+//! table/figure *contents* come from `cargo run --release -p muir-bench
+//! --bin experiments`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use muir_bench::{baseline, fig11_point, fig12_sweep, fig15_point, fig16_sweep, fig9_point,
+                 full_stack, optimized, run_verified};
+use muir_rtl::circuit::lower_to_circuit;
+use muir_rtl::cost::{estimate, Tech};
+use muir_rtl::emit_chisel;
+use muir_workloads::by_name;
+
+fn bench_table2_cost_model(c: &mut Criterion) {
+    let w = by_name("GEMM").unwrap();
+    let acc = baseline(&w);
+    c.bench_function("table2/cost_model_gemm", |b| {
+        b.iter(|| {
+            let f = estimate(&acc, Tech::FpgaArria10);
+            let a = estimate(&acc, Tech::Asic28);
+            criterion::black_box((f, a))
+        })
+    });
+}
+
+fn bench_fig9_hls_comparison(c: &mut Criterion) {
+    let w = by_name("SOFTM8").unwrap();
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("softm8_uir_vs_hls", |b| b.iter(|| criterion::black_box(fig9_point(&w))));
+    g.finish();
+}
+
+fn bench_fig11_fusion(c: &mut Criterion) {
+    let w = by_name("RGB2YUV").unwrap();
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("rgb2yuv_fusion_point", |b| {
+        b.iter(|| criterion::black_box(fig11_point(&w)))
+    });
+    g.finish();
+}
+
+fn bench_fig12_tiling(c: &mut Criterion) {
+    let w = by_name("IMG-SCALE").unwrap();
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("img_scale_tiling_sweep", |b| {
+        b.iter(|| criterion::black_box(fig12_sweep(&w)))
+    });
+    g.finish();
+}
+
+fn bench_fig15_tensor(c: &mut Criterion) {
+    let pair = muir_workloads::inhouse::tensor_pairs().remove(2); // CONV[T]
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(10);
+    g.bench_function("conv_t_tensor_vs_scalar", |b| {
+        b.iter(|| criterion::black_box(fig15_point(&pair)))
+    });
+    g.finish();
+}
+
+fn bench_fig16_banking(c: &mut Criterion) {
+    let w = by_name("CONV").unwrap();
+    let mut g = c.benchmark_group("fig16");
+    g.sample_size(10);
+    g.bench_function("conv_cache_banking_sweep", |b| {
+        b.iter(|| criterion::black_box(fig16_sweep(&w)))
+    });
+    g.finish();
+}
+
+fn bench_fig17_stack(c: &mut Criterion) {
+    let w = by_name("SOFTM16").unwrap();
+    let mut g = c.benchmark_group("fig17");
+    g.sample_size(10);
+    g.bench_function("softm16_full_stack", |b| {
+        b.iter(|| {
+            let (acc, _) = optimized(&w, &full_stack(w.class));
+            criterion::black_box(run_verified(&w, &acc).cycles)
+        })
+    });
+    g.finish();
+}
+
+fn bench_table4_lowering(c: &mut Criterion) {
+    let w = by_name("STENCIL").unwrap();
+    let acc = baseline(&w);
+    c.bench_function("table4/firrtl_lowering_stencil", |b| {
+        b.iter(|| criterion::black_box(lower_to_circuit(&acc).total_elements()))
+    });
+}
+
+fn bench_pipeline_stages(c: &mut Criterion) {
+    // The toolchain itself: translate and emit.
+    let w = by_name("FFT").unwrap();
+    c.bench_function("toolchain/translate_fft", |b| {
+        b.iter(|| criterion::black_box(baseline(&w)))
+    });
+    let acc = baseline(&w);
+    c.bench_function("toolchain/emit_chisel_fft", |b| {
+        b.iter(|| criterion::black_box(emit_chisel(&acc).len()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_table2_cost_model,
+    bench_fig9_hls_comparison,
+    bench_fig11_fusion,
+    bench_fig12_tiling,
+    bench_fig15_tensor,
+    bench_fig16_banking,
+    bench_fig17_stack,
+    bench_table4_lowering,
+    bench_pipeline_stages,
+);
+criterion_main!(benches);

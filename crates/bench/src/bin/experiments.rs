@@ -1,0 +1,388 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p muir-bench --bin experiments [all|fig1|table2|fig9|
+//!     table3|fig11|fig12|fig15|fig16|fig17|fig18|table4]
+//! ```
+
+use muir_bench::{
+    baseline, fig11_point, fig12_sweep, fig15_point, fig16_sweep, fig18_point, fig9_point,
+    full_stack, localization_point, optimized, run_verified,
+};
+use muir_core::stats::graph_stats;
+use muir_rtl::circuit::{
+    fusion_circuit_delta, lower_to_circuit, sram_circuit_delta, tiling_circuit_delta,
+};
+use muir_rtl::cost::{estimate, Tech};
+use muir_uopt::passes::{ExecutionTiling, MemoryLocalization, OpFusion, TaskFilter};
+use muir_uopt::PassManager;
+use muir_workloads as workloads;
+use muir_workloads::by_name;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let all = which == "all";
+    if all || which == "table2" {
+        table2();
+    }
+    if all || which == "fig9" {
+        fig9();
+    }
+    if all || which == "fig11" {
+        fig11();
+    }
+    if all || which == "fig12" {
+        fig12();
+    }
+    if all || which == "fig15" {
+        fig15();
+    }
+    if all || which == "fig16" {
+        fig16();
+    }
+    if all || which == "fig17" {
+        fig17();
+    }
+    if all || which == "fig18" {
+        fig18();
+    }
+    if all || which == "table4" {
+        table4();
+    }
+    if all || which == "fig1" || which == "table3" {
+        fig1_table3();
+    }
+    if which == "ablations" {
+        ablations();
+    }
+}
+
+fn hdr(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Table 2: baseline synthesis quality on FPGA and ASIC.
+fn table2() {
+    hdr("Table 2: Synthesizing baseline muIR (FPGA Arria-10-class / ASIC 28nm-class)");
+    println!(
+        "{:>10} | {:>5} {:>6} {:>7} {:>7} {:>4} | {:>7} {:>6} {:>5}",
+        "Bench", "MHz", "mW", "ALMs", "Regs", "DSP", "mm2", "mW", "GHz"
+    );
+    for w in workloads::all() {
+        let acc = baseline(&w);
+        let f = estimate(&acc, Tech::FpgaArria10);
+        let a = estimate(&acc, Tech::Asic28);
+        println!(
+            "{:>10} | {:>5.0} {:>6.0} {:>7} {:>7} {:>4} | {:>7.2} {:>6.0} {:>5.2}",
+            w.name,
+            f.fmax_mhz,
+            f.power_mw,
+            f.alms,
+            f.regs,
+            f.dsps,
+            a.area_mm2,
+            a.power_mw,
+            a.fmax_mhz / 1000.0
+        );
+    }
+}
+
+/// Figure 9: baseline μIR vs HLS (normalized execution, HLS = 1).
+fn fig9() {
+    hdr("Figure 9: muIR vs HLS normalized execution time (HLS = 1; < 1 means muIR wins)");
+    let names =
+        ["GEMM", "COVAR", "FFT", "SPMV", "2MM", "3MM", "CONV", "DENSE8", "DENSE16", "SOFTM8",
+         "SOFTM16"];
+    for name in names {
+        let w = by_name(name).unwrap();
+        let (uir, hls) = fig9_point(&w);
+        println!("{:>10}: {:.3}   (uir {:.1} us, hls {:.1} us)", name, uir / hls, uir, hls);
+    }
+}
+
+/// Figure 11: op-fusion speedups.
+fn fig11() {
+    hdr("Figure 11: execution-time reduction from op-fusion (baseline = 1)");
+    for name in ["FFT", "SPMV", "COVAR", "SAXPY", "RGB2YUV"] {
+        let w = by_name(name).unwrap();
+        let (base, opt) = fig11_point(&w);
+        println!(
+            "{:>10}: {:.3}   ({} -> {} cycles, {:.2}x)",
+            name,
+            opt as f64 / base as f64,
+            base,
+            opt,
+            base as f64 / opt as f64
+        );
+    }
+}
+
+/// Figure 12: execution tiling sweep on the Cilk benchmarks.
+fn fig12() {
+    hdr("Figure 12: normalized execution vs execution tiles (1T = 1)");
+    println!("{:>10}: {:>6} {:>6} {:>6} {:>6}", "Bench", "1T", "2T", "4T", "8T");
+    for name in ["STENCIL", "SAXPY", "IMG-SCALE", "FIB", "M-SORT"] {
+        let w = by_name(name).unwrap();
+        let sweep = fig12_sweep(&w);
+        let c1 = sweep[0].1 as f64;
+        print!("{name:>10}:");
+        for (_, c) in &sweep {
+            print!(" {:>6.3}", *c as f64 / c1);
+        }
+        let best = sweep.iter().map(|(_, c)| *c).min().unwrap();
+        println!("   (max speedup {:.2}x)", c1 / best as f64);
+    }
+}
+
+/// Figure 15: tensor higher-order ops vs scalar pipelines.
+fn fig15() {
+    hdr("Figure 15: tensor ops vs scalar baseline (baseline = 1)");
+    for pair in muir_workloads::inhouse::tensor_pairs() {
+        let (tensor, scalar) = fig15_point(&pair);
+        println!(
+            "{:>10}: {:.3}   (scalar {} -> tensor {} cycles, {:.2}x)",
+            pair.0.name,
+            tensor as f64 / scalar as f64,
+            scalar,
+            tensor,
+            scalar as f64 / tensor as f64
+        );
+    }
+    println!("  -- lane-lowering ablation (same graph, scalar lanes) --");
+    for name in ["RELU[T]", "2MM[T]", "CONV[T]"] {
+        let w = by_name(name).unwrap();
+        let (native, lowered) = muir_bench::fig15_lowering_ablation(&w);
+        println!(
+            "{:>10}: tensor {} vs lane-lowered {} cycles ({:.2}x)",
+            name,
+            native,
+            lowered,
+            lowered as f64 / native as f64
+        );
+    }
+}
+
+/// Figure 16: cache banking sweep.
+fn fig16() {
+    hdr("Figure 16: normalized execution vs cache banks (1B = 1)");
+    println!("{:>10}: {:>6} {:>6} {:>6}", "Bench", "1B", "2B", "4B");
+    for name in ["GEMM", "FFT", "2MM", "3MM", "SAXPY", "CONV"] {
+        let w = by_name(name).unwrap();
+        let sweep = fig16_sweep(&w);
+        let c1 = sweep[0].1 as f64;
+        print!("{name:>10}:");
+        for (_, c) in &sweep {
+            print!(" {:>6.3}", *c as f64 / c1);
+        }
+        println!();
+    }
+}
+
+/// Figure 17: stacked optimizations.
+fn fig17() {
+    hdr("Figure 17: stacked muopt passes, normalized execution (baseline = 1)");
+    let names = [
+        "SAXPY", "STENCIL", "IMG-SCALE", "GEMM", "COVAR", "FFT", "SPMV", "2MM", "3MM", "CONV",
+        "DENSE8", "DENSE16", "SOFTM8", "SOFTM16",
+    ];
+    for name in names {
+        let w = by_name(name).unwrap();
+        let acc = baseline(&w);
+        let base = run_verified(&w, &acc).cycles;
+        let (opt_acc, _) = optimized(&w, &full_stack(w.class));
+        let opt = run_verified(&w, &opt_acc).cycles;
+        println!(
+            "{:>10}: {:.3}   ({} -> {} cycles, {:.2}x)",
+            name,
+            opt as f64 / base as f64,
+            base,
+            opt,
+            base as f64 / opt as f64
+        );
+    }
+}
+
+/// Figure 18: optimized μIR accelerators vs an ARM-A9-class CPU at 1 GHz.
+fn fig18() {
+    hdr("Figure 18: speedup over ARM-A9-class CPU (CPU = 1; > 1 means muIR wins)");
+    let names = [
+        "GEMM", "COVAR", "FFT", "SPMV", "2MM", "3MM", "IMG-SCALE", "RELU", "2MM[T]", "CONV[T]",
+    ];
+    for name in names {
+        let w = by_name(name).unwrap();
+        let (acc_us, cpu_us) = fig18_point(&w);
+        println!(
+            "{:>10}: {:>6.2}x   (accel {:.1} us vs cpu {:.1} us)",
+            name,
+            cpu_us / acc_us,
+            acc_us,
+            cpu_us
+        );
+    }
+}
+
+/// Table 4: conciseness of μIR vs FIRRTL for three transformations.
+fn table4() {
+    hdr("Table 4: muIR vs FIRRTL-level deltas (nodes/edges touched)");
+    println!(
+        "{:>10} | {:>16} | {:>16} | {:>16} | {:>6}",
+        "Bench", "tile 1->2 (u|F)", "add SRAM (u|F)", "fusion (u|F)", "size x"
+    );
+    for name in ["SAXPY", "STENCIL", "IMG-SCALE"] {
+        let w = by_name(name).unwrap();
+        let acc = baseline(&w);
+
+        // muIR deltas from the actual passes.
+        let mut t_acc = acc.clone();
+        let tile_rep = PassManager::new()
+            .with(ExecutionTiling { tiles: 2, filter: TaskFilter::Spawned })
+            .run(&mut t_acc)
+            .unwrap();
+        let tile_u = tile_rep.total();
+
+        let mut l_acc = acc.clone();
+        let sram_rep = PassManager::new()
+            .with(MemoryLocalization::default())
+            .run(&mut l_acc)
+            .unwrap();
+        // Per-SRAM cost: divide by the number of scratchpads created.
+        let srams_added = l_acc.structures.len().saturating_sub(acc.structures.len()).max(1);
+        let sram_u = (
+            sram_rep.total().nodes.div_ceil(srams_added),
+            sram_rep.total().edges.div_ceil(srams_added),
+        );
+
+        let mut f_acc = acc.clone();
+        let fuse_rep = PassManager::new().with(OpFusion::default()).run(&mut f_acc).unwrap();
+        let fuse_u = fuse_rep.total();
+
+        // FIRRTL-level equivalents.
+        let spawned = acc
+            .task_ids()
+            .find(|&t| {
+                acc.tasks.iter().any(|task| {
+                    task.dataflow.nodes.iter().any(|n| {
+                        matches!(n.kind,
+                            muir_core::node::NodeKind::TaskCall { callee, spawn: true, .. }
+                            if callee == t)
+                    })
+                })
+            })
+            .unwrap_or(acc.root);
+        let tile_f = tiling_circuit_delta(&acc, spawned);
+        let obj = acc.structures.iter().flat_map(|s| s.objects.iter()).next().copied();
+        let sram_f = sram_circuit_delta(&acc, obj.unwrap_or(muir_mir::instr::MemObjId(0)));
+        let fuse_f = fusion_circuit_delta(&f_acc);
+
+        let ratio = lower_to_circuit(&acc).total_elements() as f64
+            / graph_stats(&acc).total_elements() as f64;
+        println!(
+            "{:>10} | {:>3}/{:<3} {:>4}/{:<4} | {:>3}/{:<3} {:>4}/{:<4} | {:>3}/{:<3} {:>4}/{:<4} | {:>5.1}x",
+            name,
+            tile_u.nodes,
+            tile_u.edges,
+            tile_f.0,
+            tile_f.1,
+            sram_u.0,
+            sram_u.1,
+            sram_f.0,
+            sram_f.1,
+            fuse_u.nodes,
+            fuse_u.edges,
+            fuse_f.0,
+            fuse_f.1,
+            ratio
+        );
+    }
+}
+
+/// Figure 1's headline plot + Table 3's summary.
+fn fig1_table3() {
+    hdr("Figure 1 / Table 3: headline per-pass improvements");
+    // Op fusion: best of the fusion set.
+    let fuse_best = ["FFT", "SPMV", "COVAR", "SAXPY", "RGB2YUV"]
+        .iter()
+        .map(|n| {
+            let w = by_name(n).unwrap();
+            let (b, o) = fig11_point(&w);
+            b as f64 / o as f64
+        })
+        .fold(0.0f64, f64::max);
+    println!("Op fusion        (paper 1.4x): {fuse_best:.2}x");
+
+    let tile_best = ["STENCIL", "IMG-SCALE", "FIB", "M-SORT"]
+        .iter()
+        .map(|n| {
+            let w = by_name(n).unwrap();
+            let sweep = fig12_sweep(&w);
+            sweep[0].1 as f64 / sweep.iter().map(|(_, c)| *c).min().unwrap() as f64
+        })
+        .fold(0.0f64, f64::max);
+    println!("Task tiling      (paper 6.0x): {tile_best:.2}x");
+
+    let tensor_best = muir_workloads::inhouse::tensor_pairs()
+        .iter()
+        .map(|pair| {
+            let (tensor, scalar) = fig15_point(pair);
+            scalar as f64 / tensor as f64
+        })
+        .fold(0.0f64, f64::max);
+    println!("Tensor intrinsic (paper 8.5x): {tensor_best:.2}x");
+
+    let local_best = ["SPMV", "CONV", "SAXPY", "COVAR"]
+        .iter()
+        .map(|n| {
+            let w = by_name(n).unwrap();
+            let (b, o) = localization_point(&w);
+            b as f64 / o as f64
+        })
+        .fold(0.0f64, f64::max);
+    println!("Locality         (paper 1.5x): {local_best:.2}x");
+}
+
+/// Ablations beyond the paper (DESIGN.md §6).
+fn ablations() {
+    hdr("Ablation: <||> queue depth (Pass 1), Cilk benchmarks");
+    println!("(finding: flat — the baseline's elastic pipelined connections already");
+    println!(" provide the decoupling Pass 1 adds explicitly; spawns complete at");
+    println!(" enqueue, so parents rarely block on child queues at these rates)");
+    for name in ["SAXPY", "M-SORT"] {
+        let w = by_name(name).unwrap();
+        let sweep = muir_bench::ablation_queue_depth(&w, &[1, 2, 4, 8, 16]);
+        print!("{name:>10}:");
+        for (d, c) in sweep {
+            print!("  q{d}={c}");
+        }
+        println!();
+    }
+    hdr("Ablation: fusion clock-period budget (cycles @ fmax)");
+    for name in ["RGB2YUV", "COVAR"] {
+        let w = by_name(name).unwrap();
+        print!("{name:>10}:");
+        for (p, c, f) in muir_bench::ablation_fusion_period(&w, &[1.5, 2.5, 4.0, 8.0]) {
+            print!("  {p}ns:{c}cy@{f:.0}MHz");
+        }
+        println!();
+    }
+    hdr("Ablation: scratchpad banking after localization");
+    for name in ["FFT", "STENCIL", "RELU[T]"] {
+        let w = by_name(name).unwrap();
+        print!("{name:>10}:");
+        for (b, c) in muir_bench::ablation_spad_banking(&w, &[1, 2, 4, 8]) {
+            print!("  {b}B={c}");
+        }
+        println!();
+    }
+    hdr("Ablation: databox entries x elastic channel depth");
+    for name in ["SPMV", "CONV"] {
+        let w = by_name(name).unwrap();
+        print!("{name:>10}:");
+        for (d, e, c) in muir_bench::ablation_sim_buffers(
+            &w,
+            &[(1, 1), (2, 2), (4, 4), (8, 8), (16, 16)],
+        ) {
+            print!("  d{d}e{e}={c}");
+        }
+        println!();
+    }
+}

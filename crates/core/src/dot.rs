@@ -1,0 +1,100 @@
+//! GraphViz rendering of μIR graphs (debugging aid; mirrors the paper's
+//! Figure 4 schematic: blue task blocks, yellow structures, junction ports).
+
+use crate::accel::Accelerator;
+use crate::dataflow::EdgeKind;
+use std::fmt::Write;
+
+/// Render the accelerator as a GraphViz `digraph` with one cluster per task
+/// block.
+pub fn to_dot(acc: &Accelerator) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", acc.name);
+    let _ = writeln!(out, "  rankdir=TB; compound=true;");
+    for (si, s) in acc.structures.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  s{si} [shape=cylinder style=filled fillcolor=lightyellow label=\"{} ({})\"];",
+            s.name,
+            s.kind.tag()
+        );
+    }
+    for (ti, t) in acc.tasks.iter().enumerate() {
+        let _ = writeln!(out, "  subgraph cluster_t{ti} {{");
+        let _ = writeln!(out, "    label=\"{} [{} tile(s), q{}]\";", t.name, t.tiles, t.queue_depth);
+        let _ = writeln!(out, "    style=filled; fillcolor=lightblue;");
+        for (ni, n) in t.dataflow.nodes.iter().enumerate() {
+            let shape = match n.kind.tag() {
+                "load" | "store" => "box3d",
+                "taskcall" => "doubleoctagon",
+                "merge" => "diamond",
+                _ => "box",
+            };
+            let _ = writeln!(
+                out,
+                "    t{ti}n{ni} [shape={shape} label=\"{}\\n{}\"];",
+                n.name,
+                n.kind.tag()
+            );
+        }
+        for e in &t.dataflow.edges {
+            let style = match e.kind {
+                EdgeKind::Data => "solid",
+                EdgeKind::Feedback => "dashed",
+                EdgeKind::Order => "dotted",
+            };
+            let _ = writeln!(
+                out,
+                "    t{ti}n{} -> t{ti}n{} [style={style}];",
+                e.src.0, e.dst.0
+            );
+        }
+        let _ = writeln!(out, "  }}");
+        for (ji, j) in t.dataflow.junctions.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  t{ti}j{ji} [shape=trapezium label=\"junction {}R/{}W\"];",
+                j.read_ports, j.write_ports
+            );
+            let _ = writeln!(out, "  t{ti}j{ji} -> s{} [dir=both];", j.structure.0);
+            for r in j.readers.iter().chain(&j.writers) {
+                let _ = writeln!(out, "  t{ti}n{} -> t{ti}j{ji} [dir=both style=dotted];", r.0);
+            }
+        }
+    }
+    for c in &acc.task_conns {
+        let _ = writeln!(
+            out,
+            "  t{}n0 -> t{}n0 [lhead=cluster_t{} ltail=cluster_t{} penwidth=2 color=red label=\"<||> q{}\"];",
+            c.parent.0, c.child.0, c.child.0, c.parent.0, c.queue_depth
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accel::{TaskBlock, TaskKind};
+    use crate::node::{Node, NodeKind};
+    use crate::structure::Structure;
+    use muir_mir::instr::ConstVal;
+    use muir_mir::types::Type;
+
+    #[test]
+    fn renders_clusters_and_structures() {
+        let mut acc = Accelerator::new("dotdemo");
+        acc.add_structure(Structure::scratchpad("spad", 16));
+        let mut t = TaskBlock::new("main", TaskKind::Region);
+        t.dataflow.add_node(Node::new("c", NodeKind::Const(ConstVal::Int(1)), Type::I64));
+        t.dataflow.add_node(Node::new("out", NodeKind::Output, Type::I64));
+        let tid = acc.add_task(t);
+        acc.root = tid;
+        let dot = to_dot(&acc);
+        assert!(dot.contains("digraph \"dotdemo\""));
+        assert!(dot.contains("cluster_t0"));
+        assert!(dot.contains("scratchpad"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,383 @@
+//! Structural verification of the μIR graph.
+//!
+//! Composability (§1, novelty iv) rests on every edge being governed by a
+//! latency-agnostic interface; the verifier enforces the structural
+//! invariants that make stacked μopt passes safe: complete port wiring,
+//! consistent junction bookkeeping, well-formed task hierarchy, and memory
+//! objects homed on exactly one structure.
+
+use crate::accel::{Accelerator, TaskId, TaskKind};
+use crate::dataflow::{Dataflow, EdgeKind, NodeId};
+use crate::node::NodeKind;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A μIR graph verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphError {
+    /// Offending location (task/node description).
+    pub at: String,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "muIR graph error at {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+fn gerr(at: impl Into<String>, message: impl Into<String>) -> GraphError {
+    GraphError { at: at.into(), message: message.into() }
+}
+
+/// Verify the whole accelerator graph.
+///
+/// # Errors
+/// Returns the first structural violation found.
+pub fn verify_accelerator(acc: &Accelerator) -> Result<(), GraphError> {
+    if acc.tasks.is_empty() {
+        return Err(gerr(&acc.name, "accelerator has no tasks"));
+    }
+    if acc.root.0 as usize >= acc.tasks.len() {
+        return Err(gerr(&acc.name, "root task out of range"));
+    }
+    // Task hierarchy: every non-root task has exactly one parent; no self
+    // connections; referenced ids valid.
+    let ntasks = acc.tasks.len() as u32;
+    let mut parent_count: HashMap<TaskId, u32> = HashMap::new();
+    for c in &acc.task_conns {
+        if c.parent.0 >= ntasks || c.child.0 >= ntasks {
+            return Err(gerr(&acc.name, "task connection references missing task"));
+        }
+        if c.parent == c.child {
+            return Err(gerr(&acc.name, format!("task {} connected to itself", c.parent)));
+        }
+        *parent_count.entry(c.child).or_insert(0) += 1;
+    }
+    for t in acc.task_ids() {
+        let n = parent_count.get(&t).copied().unwrap_or(0);
+        if t == acc.root && n != 0 {
+            return Err(gerr(&acc.name, "root task has a parent"));
+        }
+        if t != acc.root && n != 1 {
+            return Err(gerr(
+                &acc.name,
+                format!("task {} ({}) has {n} parents, expected 1", t, acc.task(t).name),
+            ));
+        }
+    }
+    // Memory objects homed on at most one structure.
+    let mut homed: HashMap<u32, usize> = HashMap::new();
+    for (si, s) in acc.structures.iter().enumerate() {
+        for o in &s.objects {
+            if let Some(prev) = homed.insert(o.0, si) {
+                return Err(gerr(
+                    &acc.name,
+                    format!("object {o} homed on structures s{prev} and s{si}"),
+                ));
+            }
+        }
+    }
+    // Memory connections reference valid pieces.
+    for mc in &acc.mem_conns {
+        if mc.task.0 >= ntasks {
+            return Err(gerr(&acc.name, "mem connection references missing task"));
+        }
+        let df = &acc.task(mc.task).dataflow;
+        if mc.junction.0 as usize >= df.junctions.len() {
+            return Err(gerr(&acc.name, "mem connection references missing junction"));
+        }
+        if mc.structure.0 as usize >= acc.structures.len() {
+            return Err(gerr(&acc.name, "mem connection references missing structure"));
+        }
+        if df.junctions[mc.junction.0 as usize].structure != mc.structure {
+            return Err(gerr(
+                &acc.name,
+                format!("junction {} disagrees with its mem connection target", mc.junction),
+            ));
+        }
+    }
+    // Per-task dataflow checks.
+    for t in acc.task_ids() {
+        verify_task(acc, t)?;
+    }
+    Ok(())
+}
+
+fn verify_task(acc: &Accelerator, tid: TaskId) -> Result<(), GraphError> {
+    let task = acc.task(tid);
+    let at = format!("{} ({})", tid, task.name);
+    let df = &task.dataflow;
+    verify_dataflow_ports(acc, tid, df, &at)?;
+
+    // Loop tasks need an IndVar; region tasks must not have one.
+    let has_iv = df.indvar_node().is_some();
+    match (&task.kind, has_iv) {
+        (TaskKind::Loop { .. }, false) => {
+            return Err(gerr(&at, "loop task without IndVar node"));
+        }
+        (TaskKind::Region, true) => {
+            return Err(gerr(&at, "region task with IndVar node"));
+        }
+        _ => {}
+    }
+    // Exactly one Output node.
+    let outputs =
+        df.node_ids().filter(|&n| matches!(df.node(n).kind, NodeKind::Output)).count();
+    if outputs != 1 {
+        return Err(gerr(&at, format!("expected exactly one Output node, found {outputs}")));
+    }
+    // Junction bookkeeping matches node registrations, and every mem node's
+    // junction serves its object.
+    for n in df.node_ids() {
+        match &df.node(n).kind {
+            NodeKind::Load { obj, junction, .. } => {
+                let j = df
+                    .junctions
+                    .get(junction.0 as usize)
+                    .ok_or_else(|| gerr(&at, format!("{n}: missing junction {junction}")))?;
+                if !j.readers.contains(&n) {
+                    return Err(gerr(&at, format!("{n} not registered as reader on {junction}")));
+                }
+                if !acc.structure(j.structure).serves(*obj) {
+                    return Err(gerr(
+                        &at,
+                        format!("{n}: structure {} does not serve {obj}", j.structure),
+                    ));
+                }
+            }
+            NodeKind::Store { obj, junction, .. } => {
+                let j = df
+                    .junctions
+                    .get(junction.0 as usize)
+                    .ok_or_else(|| gerr(&at, format!("{n}: missing junction {junction}")))?;
+                if !j.writers.contains(&n) {
+                    return Err(gerr(&at, format!("{n} not registered as writer on {junction}")));
+                }
+                if !acc.structure(j.structure).serves(*obj) {
+                    return Err(gerr(
+                        &at,
+                        format!("{n}: structure {} does not serve {obj}", j.structure),
+                    ));
+                }
+            }
+            NodeKind::TaskCall { callee, .. } => {
+                if callee.0 as usize >= acc.tasks.len() {
+                    return Err(gerr(&at, format!("{n}: call to missing task {callee}")));
+                }
+                // Calls must follow the task hierarchy.
+                if acc.parent(*callee) != Some(tid) {
+                    return Err(gerr(
+                        &at,
+                        format!("{n}: task call to {callee} without <||> connection"),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn verify_dataflow_ports(
+    acc: &Accelerator,
+    tid: TaskId,
+    df: &Dataflow,
+    at: &str,
+) -> Result<(), GraphError> {
+    let task = acc.task(tid);
+    let nnodes = df.nodes.len() as u32;
+    let mut in_filled: HashMap<(NodeId, u16), u32> = HashMap::new();
+    for e in &df.edges {
+        if e.src.0 >= nnodes || e.dst.0 >= nnodes {
+            return Err(gerr(at, "edge references missing node"));
+        }
+        if e.kind == EdgeKind::Order {
+            // Token-only ordering edges are exempt from port accounting.
+            continue;
+        }
+        *in_filled.entry((e.dst, e.dst_port)).or_insert(0) += 1;
+        // Feedback edges only enter Merge port 1.
+        if e.kind == EdgeKind::Feedback
+            && !(matches!(df.node(e.dst).kind, NodeKind::Merge) && e.dst_port == 1)
+        {
+            return Err(gerr(at, format!("feedback edge must enter a Merge port 1, enters {}", e.dst)));
+        }
+    }
+    for ((n, p), count) in &in_filled {
+        if *count != 1 {
+            return Err(gerr(at, format!("{n} input port {p} driven by {count} edges")));
+        }
+    }
+    for n in df.node_ids() {
+        let node = df.node(n);
+        let arity = match &node.kind {
+            NodeKind::Output => task.num_results as usize,
+            NodeKind::TaskCall { callee, predicated, .. } => {
+                acc.task(*callee).num_args as usize + usize::from(*predicated)
+            }
+            other => {
+                let _ = other;
+                node.input_arity(0)
+            }
+        };
+        for p in 0..arity {
+            if !in_filled.contains_key(&(n, p as u16)) {
+                return Err(gerr(
+                    at,
+                    format!("{n} ({}) input port {p} unconnected", node.name),
+                ));
+            }
+        }
+        // Merge nodes: port 1 must be a feedback edge.
+        if matches!(node.kind, NodeKind::Merge) {
+            let fb_ok = df
+                .edges
+                .iter()
+                .any(|e| e.dst == n && e.dst_port == 1 && e.kind == EdgeKind::Feedback);
+            if !fb_ok {
+                return Err(gerr(at, format!("{n}: merge port 1 is not a feedback edge")));
+            }
+        }
+    }
+    // No duplicate junction registrations.
+    for (ji, j) in df.junctions.iter().enumerate() {
+        let mut seen = HashSet::new();
+        for n in j.readers.iter().chain(&j.writers) {
+            if !seen.insert(*n) {
+                return Err(gerr(at, format!("node {n} registered twice on junction j{ji}")));
+            }
+            if n.0 >= nnodes {
+                return Err(gerr(at, format!("junction j{ji} references missing node")));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accel::TaskBlock;
+    use crate::dataflow::Junction;
+    use crate::node::{Node, OpKind};
+    use crate::structure::Structure;
+    use muir_mir::instr::{BinOp, ConstVal, MemObjId};
+    use muir_mir::types::Type;
+
+    /// A minimal, valid one-task accelerator:
+    /// `out = (c1 + c2)` stored to a scratchpad-homed object.
+    fn valid_accel() -> Accelerator {
+        let mut acc = Accelerator::new("v");
+        let mut spad = Structure::scratchpad("spad", 64);
+        spad.serve(MemObjId(0));
+        let sid = acc.add_structure(spad);
+
+        let mut task = TaskBlock::new("main", TaskKind::Region);
+        task.num_results = 0;
+        let df = &mut task.dataflow;
+        let j = df.add_junction(Junction::new(sid, 1, 1));
+        let c1 = df.add_node(Node::new("c1", NodeKind::Const(ConstVal::Int(1)), Type::I64));
+        let c2 = df.add_node(Node::new("c2", NodeKind::Const(ConstVal::Int(2)), Type::I64));
+        let add = df.add_node(Node::new(
+            "add",
+            NodeKind::Compute(OpKind::Bin(BinOp::Add)),
+            Type::I64,
+        ));
+        let st = df.add_node(Node::new(
+            "st",
+            NodeKind::Store { obj: MemObjId(0), junction: j, predicated: false },
+            Type::I64,
+        ));
+        let out = df.add_node(Node::new("out", NodeKind::Output, Type::I64));
+        let _ = out;
+        df.connect(c1, 0, add, 0);
+        df.connect(c2, 0, add, 1);
+        df.connect(c1, 0, st, 0);
+        df.connect(add, 0, st, 1);
+        df.register_writer(j, st);
+        let tid = acc.add_task(task);
+        acc.root = tid;
+        acc.connect_mem(tid, j, sid);
+        acc
+    }
+
+    #[test]
+    fn valid_graph_passes() {
+        let acc = valid_accel();
+        verify_accelerator(&acc).unwrap();
+    }
+
+    #[test]
+    fn unconnected_port_caught() {
+        let mut acc = valid_accel();
+        // Drop the add's second input edge.
+        let df = &mut acc.tasks[0].dataflow;
+        df.edges.retain(|e| !(e.dst == NodeId(2) && e.dst_port == 1));
+        let e = verify_accelerator(&acc).unwrap_err();
+        assert!(e.message.contains("unconnected"), "{e}");
+    }
+
+    #[test]
+    fn double_driven_port_caught() {
+        let mut acc = valid_accel();
+        let df = &mut acc.tasks[0].dataflow;
+        df.connect(NodeId(1), 0, NodeId(2), 1);
+        let e = verify_accelerator(&acc).unwrap_err();
+        assert!(e.message.contains("driven by 2"), "{e}");
+    }
+
+    #[test]
+    fn unregistered_store_caught() {
+        let mut acc = valid_accel();
+        acc.tasks[0].dataflow.junctions[0].writers.clear();
+        let e = verify_accelerator(&acc).unwrap_err();
+        assert!(e.message.contains("not registered"), "{e}");
+    }
+
+    #[test]
+    fn object_homed_twice_caught() {
+        let mut acc = valid_accel();
+        let mut other = Structure::scratchpad("spad2", 64);
+        other.serve(MemObjId(0));
+        acc.add_structure(other);
+        let e = verify_accelerator(&acc).unwrap_err();
+        assert!(e.message.contains("homed on structures"), "{e}");
+    }
+
+    #[test]
+    fn orphan_task_caught() {
+        let mut acc = valid_accel();
+        acc.add_task(TaskBlock::new("orphan", TaskKind::Region));
+        let e = verify_accelerator(&acc).unwrap_err();
+        assert!(e.message.contains("parents"), "{e}");
+    }
+
+    #[test]
+    fn missing_output_caught() {
+        let mut acc = valid_accel();
+        acc.tasks[0].dataflow.nodes.retain(|n| !matches!(n.kind, NodeKind::Output));
+        // Rebuilding ids would be required in general; here Output is last
+        // and unreferenced, so the graph stays consistent.
+        let e = verify_accelerator(&acc).unwrap_err();
+        assert!(e.message.contains("Output"), "{e}");
+    }
+
+    #[test]
+    fn loop_task_requires_indvar() {
+        let mut acc = valid_accel();
+        acc.tasks[0].kind = TaskKind::Loop {
+            spec: crate::accel::LoopSpec {
+                lo: crate::accel::ArgExpr::Const(0),
+                hi: crate::accel::ArgExpr::Const(4),
+                step: 1,
+            },
+            serial: false,
+        };
+        let e = verify_accelerator(&acc).unwrap_err();
+        assert!(e.message.contains("IndVar"), "{e}");
+    }
+}

@@ -1,0 +1,457 @@
+//! Translation tests: mir programs → baseline μIR graphs.
+
+use crate::{translate, FrontendConfig};
+use muir_core::accel::{Accelerator, ArgExpr, TaskKind};
+use muir_core::dataflow::EdgeKind;
+use muir_core::node::{NodeKind, OpKind};
+use muir_core::structure::StructureKind;
+use muir_mir::builder::FunctionBuilder;
+use muir_mir::instr::{CmpPred, TensorOp, ValueRef};
+use muir_mir::module::Module;
+use muir_mir::types::{ScalarType, TensorShape, Type};
+
+fn xlate(m: &Module) -> Accelerator {
+    translate(m, &FrontendConfig::default()).expect("translation succeeds")
+}
+
+fn count_nodes(acc: &Accelerator, pred: impl Fn(&NodeKind) -> bool) -> usize {
+    acc.tasks.iter().flat_map(|t| t.dataflow.nodes.iter()).filter(|n| pred(&n.kind)).count()
+}
+
+#[test]
+fn simple_loop_becomes_loop_task() {
+    let mut m = Module::new("scale");
+    let a = m.add_mem_object("a", ScalarType::F32, 64);
+    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+    b.for_loop(0, ValueRef::int(64), 1, |b, i| {
+        let v = b.load(a, i);
+        let w = b.fmul(v, ValueRef::f32(2.0));
+        b.store(a, i, w);
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+
+    let acc = xlate(&m);
+    assert_eq!(acc.tasks.len(), 2);
+    let lp = acc
+        .task_ids()
+        .find(|&t| acc.task(t).kind.is_loop())
+        .expect("loop task exists");
+    match &acc.task(lp).kind {
+        TaskKind::Loop { spec, serial } => {
+            assert_eq!(spec.lo, ArgExpr::Const(0));
+            assert_eq!(spec.hi, ArgExpr::Const(64));
+            assert_eq!(spec.step, 1);
+            assert!(!serial, "disjoint strided loop should pipeline");
+        }
+        TaskKind::Region => panic!("expected loop kind"),
+    }
+    // Root calls the loop.
+    let root_df = &acc.task(acc.root).dataflow;
+    assert!(root_df.nodes.iter().any(|n| matches!(n.kind, NodeKind::TaskCall { .. })));
+    // Loop dataflow contains load, fmul, store, indvar.
+    let ldf = &acc.task(lp).dataflow;
+    assert!(ldf.indvar_node().is_some());
+    assert_eq!(ldf.mem_nodes().len(), 2);
+}
+
+#[test]
+fn accumulator_loop_has_merge_and_feedback() {
+    let mut m = Module::new("dot");
+    let a = m.add_mem_object("a", ScalarType::F32, 32);
+    let c = m.add_mem_object("c", ScalarType::F32, 1);
+    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+    let accs = b.for_loop_acc(
+        ValueRef::int(0),
+        ValueRef::int(32),
+        1,
+        &[(ValueRef::f32(0.0), Type::F32)],
+        |b, i, accs| {
+            let v = b.load(a, i);
+            vec![b.fadd(accs[0], v)]
+        },
+    );
+    b.store(c, ValueRef::int(0), accs[0]);
+    b.ret(None);
+    m.add_function(b.finish());
+
+    let acc = xlate(&m);
+    let lp = acc.task_ids().find(|&t| acc.task(t).kind.is_loop()).unwrap();
+    let task = acc.task(lp);
+    assert_eq!(task.num_results, 1);
+    assert_eq!(task.loop_result_inits.len(), 1);
+    assert!(task.loop_result_inits[0].is_some(), "accumulator has a zero-trip init");
+    let df = &task.dataflow;
+    assert!(df.nodes.iter().any(|n| matches!(n.kind, NodeKind::Merge)));
+    assert!(df.edges.iter().any(|e| e.kind == EdgeKind::Feedback));
+    // The root stores the loop's result.
+    let root = &acc.task(acc.root).dataflow;
+    assert!(root.nodes.iter().any(|n| matches!(n.kind, NodeKind::Store { .. })));
+}
+
+#[test]
+fn par_for_spawns_region_tasks() {
+    let mut m = Module::new("cilk");
+    let a = m.add_mem_object("a", ScalarType::I32, 64);
+    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+    b.par_for(0, 64, 1, |b, i| {
+        let sq = b.mul(i, i);
+        b.store(a, i, sq);
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+
+    let acc = xlate(&m);
+    // root, pfor loop, spawned task body
+    assert_eq!(acc.tasks.len(), 3);
+    let spawns = count_nodes(&acc, |k| matches!(k, NodeKind::TaskCall { spawn: true, .. }));
+    assert_eq!(spawns, 1);
+    // The spawned body is a Region child of the loop task.
+    let lp = acc.task_ids().find(|&t| acc.task(t).kind.is_loop()).unwrap();
+    let kids = acc.children(lp);
+    assert_eq!(kids.len(), 1);
+    assert!(matches!(acc.task(kids[0]).kind, TaskKind::Region));
+}
+
+#[test]
+fn nested_loops_build_hierarchy() {
+    let mut m = Module::new("nest");
+    let a = m.add_mem_object("a", ScalarType::F32, 256);
+    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+    b.for_loop(0, ValueRef::int(16), 1, |b, i| {
+        let base = b.mul(i, ValueRef::int(16));
+        b.for_loop(0, ValueRef::int(16), 1, |b, j| {
+            let idx = b.add(base, j);
+            let v = b.load(a, idx);
+            let w = b.fadd(v, ValueRef::f32(1.0));
+            b.store(a, idx, w);
+        });
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+
+    let acc = xlate(&m);
+    assert_eq!(acc.tasks.len(), 3);
+    let loops: Vec<_> = acc.task_ids().filter(|&t| acc.task(t).kind.is_loop()).collect();
+    assert_eq!(loops.len(), 2);
+    // One loop is the child of the other.
+    let parents: Vec<_> = loops.iter().map(|&l| acc.parent(l)).collect();
+    assert!(parents.iter().any(|p| p.map(|x| loops.contains(&x)).unwrap_or(false)));
+    // The outer loop's dataflow calls the inner.
+    let outer = loops
+        .iter()
+        .copied()
+        .find(|&l| acc.children(l).iter().any(|c| loops.contains(c)))
+        .unwrap();
+    let odf = &acc.task(outer).dataflow;
+    assert!(odf.nodes.iter().any(|n| matches!(n.kind, NodeKind::TaskCall { spawn: false, .. })));
+}
+
+#[test]
+fn branch_in_loop_predicates_store() {
+    let mut m = Module::new("cond");
+    let a = m.add_mem_object("a", ScalarType::I32, 64);
+    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+    b.for_loop(0, ValueRef::int(64), 1, |b, i| {
+        let even = b.rem(i, ValueRef::int(2));
+        let is_even = b.icmp(CmpPred::Eq, even, ValueRef::int(0));
+        b.if_then(is_even, |b| {
+            b.store(a, i, ValueRef::int(1));
+        });
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+
+    let acc = xlate(&m);
+    let predicated_stores =
+        count_nodes(&acc, |k| matches!(k, NodeKind::Store { predicated: true, .. }));
+    assert_eq!(predicated_stores, 1);
+}
+
+#[test]
+fn if_else_phi_becomes_select() {
+    let mut m = Module::new("sel");
+    let a = m.add_mem_object("a", ScalarType::I32, 64);
+    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+    b.for_loop(0, ValueRef::int(64), 1, |b, i| {
+        let c = b.icmp(CmpPred::Lt, i, ValueRef::int(32));
+        let v = b.if_val(
+            c,
+            &[Type::I64],
+            |b| vec![b.mul(ValueRef::Instr(i.as_instr().unwrap()), ValueRef::int(2))],
+            |_| vec![ValueRef::int(7)],
+        );
+        b.store(a, i, v[0]);
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+
+    let acc = xlate(&m);
+    let selects = count_nodes(&acc, |k| matches!(k, NodeKind::Compute(OpKind::Select)));
+    assert!(selects >= 1, "phi should lower to a select");
+}
+
+#[test]
+fn sequential_loops_get_order_edge() {
+    let mut m = Module::new("seq");
+    let a = m.add_mem_object("a", ScalarType::F32, 64);
+    let c = m.add_mem_object("c", ScalarType::F32, 64);
+    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+    // Loop 1 writes a; loop 2 reads a, writes c.
+    b.for_loop(0, ValueRef::int(64), 1, |b, i| {
+        b.store(a, i, ValueRef::f32(1.0));
+    });
+    b.for_loop(0, ValueRef::int(64), 1, |b, i| {
+        let v = b.load(a, i);
+        b.store(c, i, v);
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+
+    let acc = xlate(&m);
+    let root_df = &acc.task(acc.root).dataflow;
+    let order_edges: Vec<_> =
+        root_df.edges.iter().filter(|e| e.kind == EdgeKind::Order).collect();
+    assert_eq!(order_edges.len(), 1, "second loop must wait for the first");
+}
+
+#[test]
+fn independent_loops_have_no_order_edge() {
+    let mut m = Module::new("indep");
+    let a = m.add_mem_object("a", ScalarType::F32, 64);
+    let c = m.add_mem_object("c", ScalarType::F32, 64);
+    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+    b.for_loop(0, ValueRef::int(64), 1, |b, i| {
+        b.store(a, i, ValueRef::f32(1.0));
+    });
+    b.for_loop(0, ValueRef::int(64), 1, |b, i| {
+        b.store(c, i, ValueRef::f32(2.0));
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+
+    let acc = xlate(&m);
+    let root_df = &acc.task(acc.root).dataflow;
+    assert!(root_df.edges.iter().all(|e| e.kind != EdgeKind::Order));
+}
+
+#[test]
+fn function_call_becomes_child_task() {
+    let mut m = Module::new("calls");
+    let a = m.add_mem_object("a", ScalarType::I32, 8);
+    // main = FuncId(0), helper = FuncId(1)
+    let mut helper = FunctionBuilder::new("helper", &[Type::I64]).with_mem(&m).returns(Type::I64);
+    let v = helper.mul(helper.arg(0), helper.arg(0));
+    helper.ret(Some(v));
+    let mut main = FunctionBuilder::new("main", &[]).with_mem(&m);
+    let r = main.call(muir_mir::instr::FuncId(1), &[ValueRef::int(5)], Some(Type::I64));
+    main.store(a, ValueRef::int(0), r);
+    main.ret(None);
+    m.add_function(main.finish());
+    m.add_function(helper.finish());
+
+    let acc = xlate(&m);
+    assert_eq!(acc.tasks.len(), 2);
+    let child = acc.children(acc.root);
+    assert_eq!(child.len(), 1);
+    assert_eq!(acc.task(child[0]).num_results, 1);
+    assert_eq!(acc.task(child[0]).num_args, 1);
+}
+
+#[test]
+fn tensor_ops_translate_to_tensor_nodes() {
+    let shape = TensorShape::new(2, 2);
+    let mut m = Module::new("tmul");
+    let a = m.add_mem_object("a", ScalarType::F32, 64);
+    let bm = m.add_mem_object("b", ScalarType::F32, 64);
+    let c = m.add_mem_object("c", ScalarType::F32, 64);
+    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+    b.for_loop(0, ValueRef::int(16), 1, |b, i| {
+        let idx = b.mul(i, ValueRef::int(4));
+        let ta = b.load_tile(a, idx, shape);
+        let tb = b.load_tile(bm, idx, shape);
+        let tm = b.tensor2(TensorOp::MatMul, shape, ta, tb);
+        b.store(c, idx, tm);
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+
+    let acc = xlate(&m);
+    let tensor_nodes = count_nodes(
+        &acc,
+        |k| matches!(k, NodeKind::Compute(OpKind::Tensor(TensorOp::MatMul, _))),
+    );
+    assert_eq!(tensor_nodes, 1);
+    // Tile loads carry the tensor type.
+    let lp = acc.task_ids().find(|&t| acc.task(t).kind.is_loop()).unwrap();
+    let tile_loads = acc
+        .task(lp)
+        .dataflow
+        .nodes
+        .iter()
+        .filter(|n| matches!(n.kind, NodeKind::Load { .. }) && n.ty.is_composite())
+        .count();
+    assert_eq!(tile_loads, 2);
+}
+
+#[test]
+fn placement_splits_small_and_large_objects() {
+    let mut m = Module::new("mem");
+    let small = m.add_mem_object("small", ScalarType::F32, 64);
+    let big = m.add_mem_object("big", ScalarType::F32, 1 << 20);
+    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+    b.for_loop(0, ValueRef::int(64), 1, |b, i| {
+        let v = b.load(big, i);
+        b.store(small, i, v);
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+
+    let acc = xlate(&m);
+    let s_home = acc.structure_for(small).unwrap();
+    let b_home = acc.structure_for(big).unwrap();
+    assert!(matches!(acc.structure(s_home).kind, StructureKind::Scratchpad { .. }));
+    assert!(matches!(acc.structure(b_home).kind, StructureKind::Cache { .. }));
+    // Two junctions in the loop task (one per structure).
+    let lp = acc.task_ids().find(|&t| acc.task(t).kind.is_loop()).unwrap();
+    assert_eq!(acc.task(lp).dataflow.junctions.len(), 2);
+}
+
+#[test]
+fn serial_memory_carried_loop_flagged() {
+    let mut m = Module::new("serial");
+    let a = m.add_mem_object("a", ScalarType::I32, 64);
+    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+    // a[0] += i through memory: carried.
+    b.for_loop(0, ValueRef::int(8), 1, |b, i| {
+        let v = b.load(a, ValueRef::int(0));
+        let w = b.add(v, i);
+        b.store(a, ValueRef::int(0), w);
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+
+    let acc = xlate(&m);
+    let lp = acc.task_ids().find(|&t| acc.task(t).kind.is_loop()).unwrap();
+    assert!(matches!(acc.task(lp).kind, TaskKind::Loop { serial: true, .. }));
+}
+
+#[test]
+fn dynamic_bound_becomes_arg() {
+    let mut m = Module::new("dyn");
+    let a = m.add_mem_object("a", ScalarType::I32, 128);
+    let mut b = FunctionBuilder::new("main", &[Type::I64]).with_mem(&m);
+    let n = b.arg(0);
+    b.for_loop(0, n, 1, |b, i| {
+        b.store(a, i, i);
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+
+    let acc = xlate(&m);
+    let lp = acc.task_ids().find(|&t| acc.task(t).kind.is_loop()).unwrap();
+    match &acc.task(lp).kind {
+        TaskKind::Loop { spec, .. } => {
+            assert!(matches!(spec.hi, ArgExpr::Arg(_)), "dynamic bound should be an arg");
+        }
+        TaskKind::Region => panic!("expected loop"),
+    }
+}
+
+#[test]
+fn non_canonical_loop_rejected() {
+    // A hand-built loop whose increment is `i = i * 2` (non-affine step).
+    use muir_mir::instr::{BinOp, Op};
+    let mut m = Module::new("bad");
+    let mut b = FunctionBuilder::new("main", &[]);
+    let header = b.block("h");
+    let body = b.block("b");
+    let exit = b.block("x");
+    b.br(header);
+    b.switch_to(header);
+    let phi = b.phi(Type::I64, &[(ValueRef::int(1), muir_mir::instr::BlockId(0)), (ValueRef::int(1), muir_mir::instr::BlockId(0))]);
+    let c = b.icmp(CmpPred::Lt, phi, ValueRef::int(64));
+    b.cond_br(c, body, exit);
+    b.switch_to(body);
+    let next = b.push(Op::Bin(BinOp::Mul), Some(Type::I64), vec![phi, ValueRef::int(2)]);
+    b.br(header);
+    b.switch_to(exit);
+    b.ret(None);
+    let mut f = b.finish();
+    // Patch the phi's latch incoming to the multiply and the latch block.
+    let phi_id = phi.as_instr().unwrap();
+    let latch = body;
+    if let Op::Phi { preds } = &mut f.instrs[phi_id.0 as usize].op {
+        preds[1] = latch;
+    }
+    f.instrs[phi_id.0 as usize].operands[1] = next;
+    m.add_function(f);
+    let e = translate(&m, &FrontendConfig::default()).unwrap_err();
+    assert!(e.message.contains("increment"), "{e}");
+}
+
+#[test]
+fn multiple_returns_rejected() {
+    let mut m = Module::new("two_rets");
+    let mut b = FunctionBuilder::new("main", &[Type::I64]).returns(Type::I64);
+    let c = b.icmp(CmpPred::Lt, b.arg(0), ValueRef::int(0));
+    let t = b.block("t");
+    let f = b.block("f");
+    b.cond_br(c, t, f);
+    b.switch_to(t);
+    b.ret(Some(ValueRef::int(1)));
+    b.switch_to(f);
+    b.ret(Some(ValueRef::int(2)));
+    m.add_function(b.finish());
+    let e = translate(&m, &FrontendConfig::default()).unwrap_err();
+    assert!(
+        e.message.contains("return") || e.message.contains("predicated"),
+        "{e}"
+    );
+}
+
+#[test]
+fn invalid_module_rejected_by_verifier() {
+    use muir_mir::instr::{BinOp, Op};
+    let mut m = Module::new("invalid");
+    let mut b = FunctionBuilder::new("main", &[]);
+    // Dangling operand reference.
+    b.push(
+        Op::Bin(BinOp::Add),
+        Some(Type::I64),
+        vec![ValueRef::Instr(muir_mir::instr::InstrId(99)), ValueRef::int(0)],
+    );
+    b.ret(None);
+    m.add_function(b.finish());
+    let e = translate(&m, &FrontendConfig::default()).unwrap_err();
+    assert!(e.message.contains("verification"), "{e}");
+}
+
+#[test]
+fn negative_step_rejected() {
+    use muir_mir::instr::{BinOp, Op};
+    let mut m = Module::new("negstep");
+    let mut b = FunctionBuilder::new("main", &[]);
+    let header = b.block("h");
+    let body = b.block("b");
+    let exit = b.block("x");
+    b.br(header);
+    b.switch_to(header);
+    let phi = b.phi(Type::I64, &[(ValueRef::int(8), muir_mir::instr::BlockId(0)), (ValueRef::int(8), muir_mir::instr::BlockId(0))]);
+    let c = b.icmp(CmpPred::Lt, phi, ValueRef::int(64));
+    b.cond_br(c, body, exit);
+    b.switch_to(body);
+    let next = b.push(Op::Bin(BinOp::Add), Some(Type::I64), vec![phi, ValueRef::int(-1)]);
+    b.br(header);
+    b.switch_to(exit);
+    b.ret(None);
+    let mut f = b.finish();
+    let phi_id = phi.as_instr().unwrap();
+    if let Op::Phi { preds } = &mut f.instrs[phi_id.0 as usize].op {
+        preds[1] = body;
+    }
+    f.instrs[phi_id.0 as usize].operands[1] = next;
+    m.add_function(f);
+    let e = translate(&m, &FrontendConfig::default()).unwrap_err();
+    assert!(e.message.contains("positive"), "{e}");
+}

@@ -1,0 +1,836 @@
+//! Control-flow and memory analyses used by the μIR front-end and by μopt.
+//!
+//! * reverse post-order, dominators, natural loops;
+//! * detach-region discovery (Tapir task extents);
+//! * region live-ins/live-outs (task closure capture, §3.6);
+//! * affine address forms and a conservative loop-carried memory dependence
+//!   test (drives pipeline initiation intervals in the simulator);
+//! * memory-group analysis (the paper's `LLVMPointsto` of Algorithm 2).
+
+use crate::instr::{BinOp, BlockId, InstrId, MemObjId, Op, ValueRef};
+use crate::module::Function;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// Reverse post-order of the CFG from the entry block. Unreachable blocks
+/// are omitted.
+pub fn reverse_post_order(f: &Function) -> Vec<BlockId> {
+    let mut visited = HashSet::new();
+    let mut post = Vec::new();
+    // Iterative DFS with an explicit stack carrying (block, next-succ-index).
+    let mut stack = vec![(f.entry, 0usize)];
+    visited.insert(f.entry);
+    while let Some((b, i)) = stack.pop() {
+        let succs = f.successors(b);
+        if i < succs.len() {
+            stack.push((b, i + 1));
+            let s = succs[i];
+            if visited.insert(s) {
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(b);
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Immediate dominators, indexed by block. `idoms[entry] == entry`;
+/// unreachable blocks map to `None`.
+pub fn dominators(f: &Function) -> Vec<Option<BlockId>> {
+    let rpo = reverse_post_order(f);
+    let mut order = vec![usize::MAX; f.blocks.len()];
+    for (i, b) in rpo.iter().enumerate() {
+        order[b.0 as usize] = i;
+    }
+    let preds = f.predecessors();
+    let mut idom: Vec<Option<BlockId>> = vec![None; f.blocks.len()];
+    idom[f.entry.0 as usize] = Some(f.entry);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom: Option<BlockId> = None;
+            for &p in &preds[b.0 as usize] {
+                if idom[p.0 as usize].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, &order, cur, p),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[b.0 as usize] != Some(ni) {
+                    idom[b.0 as usize] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    order: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while order[a.0 as usize] > order[b.0 as usize] {
+            a = idom[a.0 as usize].expect("dominator defined");
+        }
+        while order[b.0 as usize] > order[a.0 as usize] {
+            b = idom[b.0 as usize].expect("dominator defined");
+        }
+    }
+    a
+}
+
+/// Whether `a` dominates `b`.
+pub fn dominates(idom: &[Option<BlockId>], a: BlockId, b: BlockId) -> bool {
+    let mut cur = b;
+    loop {
+        if cur == a {
+            return true;
+        }
+        match idom[cur.0 as usize] {
+            Some(d) if d != cur => cur = d,
+            _ => return false,
+        }
+    }
+}
+
+/// A natural loop discovered from a back edge.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// Loop header (target of the back edges).
+    pub header: BlockId,
+    /// Blocks strictly inside the loop (header included).
+    pub blocks: BTreeSet<BlockId>,
+    /// Source blocks of back edges.
+    pub latches: Vec<BlockId>,
+    /// Nesting depth (outermost = 1).
+    pub depth: u32,
+    /// Index of the innermost enclosing loop in the forest, if any.
+    pub parent: Option<usize>,
+}
+
+/// Discover all natural loops and their nesting.
+pub fn natural_loops(f: &Function) -> Vec<NaturalLoop> {
+    let idom = dominators(f);
+    let preds = f.predecessors();
+    // Back edge: b -> h where h dominates b.
+    let mut loops: HashMap<BlockId, NaturalLoop> = HashMap::new();
+    for b in f.block_ids() {
+        for h in f.successors(b) {
+            if dominates(&idom, h, b) {
+                let lp = loops.entry(h).or_insert_with(|| NaturalLoop {
+                    header: h,
+                    blocks: BTreeSet::new(),
+                    latches: Vec::new(),
+                    depth: 1,
+                    parent: None,
+                });
+                lp.latches.push(b);
+                // Collect the loop body: backwards reachability from the
+                // latch without passing through the header.
+                let mut work = vec![b];
+                lp.blocks.insert(h);
+                while let Some(x) = work.pop() {
+                    if lp.blocks.insert(x) {
+                        for &p in &preds[x.0 as usize] {
+                            work.push(p);
+                        }
+                    } else if x == h {
+                        continue;
+                    }
+                }
+            }
+        }
+    }
+    let mut list: Vec<NaturalLoop> = loops.into_values().collect();
+    list.sort_by_key(|l| l.header);
+    // Nesting: loop i is nested in loop j if its header is inside j's blocks
+    // (and they differ). Parent = smallest enclosing loop.
+    let snapshot: Vec<(BlockId, BTreeSet<BlockId>)> =
+        list.iter().map(|l| (l.header, l.blocks.clone())).collect();
+    for (i, lp) in list.iter_mut().enumerate() {
+        let mut best: Option<(usize, usize)> = None; // (index, size)
+        for (j, (hj, bj)) in snapshot.iter().enumerate() {
+            if i != j && bj.contains(&lp.header) && *hj != lp.header {
+                let size = bj.len();
+                if best.map_or(true, |(_, s)| size < s) {
+                    best = Some((j, size));
+                }
+            }
+        }
+        lp.parent = best.map(|(j, _)| j);
+    }
+    // Depths.
+    let parents: Vec<Option<usize>> = list.iter().map(|l| l.parent).collect();
+    for i in 0..list.len() {
+        let mut d = 1;
+        let mut p = parents[i];
+        while let Some(j) = p {
+            d += 1;
+            p = parents[j];
+        }
+        list[i].depth = d;
+    }
+    list
+}
+
+/// The extent of a Tapir detach region: blocks reachable from `body` without
+/// passing a `reattach` terminator (the reattach block is included).
+pub fn detach_region(f: &Function, body: BlockId) -> BTreeSet<BlockId> {
+    let mut region = BTreeSet::new();
+    let mut work = vec![body];
+    while let Some(b) = work.pop() {
+        if !region.insert(b) {
+            continue;
+        }
+        let is_reattach = f
+            .terminator(b)
+            .map(|t| matches!(t.op, Op::Reattach { .. }))
+            .unwrap_or(false);
+        if !is_reattach {
+            for s in f.successors(b) {
+                work.push(s);
+            }
+        }
+    }
+    region
+}
+
+/// Values flowing into / out of a block region.
+#[derive(Debug, Clone, Default)]
+pub struct RegionValues {
+    /// Instruction results defined outside, used inside (live-ins).
+    pub in_values: BTreeSet<InstrId>,
+    /// Function arguments used inside.
+    pub in_args: BTreeSet<u32>,
+    /// Instruction results defined inside, used outside (live-outs).
+    pub out_values: BTreeSet<InstrId>,
+}
+
+/// Compute the live-ins and live-outs of a region (the paper's task-closure
+/// capture in §3.6).
+pub fn region_values(f: &Function, region: &BTreeSet<BlockId>) -> RegionValues {
+    let mut rv = RegionValues::default();
+    let in_region =
+        |iid: InstrId| -> bool { region.contains(&f.instr(iid).block) };
+    for b in f.block_ids() {
+        let inside = region.contains(&b);
+        for (_iid, instr) in f.block_instrs(b) {
+            for opnd in &instr.operands {
+                match opnd {
+                    ValueRef::Instr(d) => {
+                        let def_inside = in_region(*d);
+                        if inside && !def_inside {
+                            rv.in_values.insert(*d);
+                        } else if !inside && def_inside {
+                            rv.out_values.insert(*d);
+                        }
+                    }
+                    ValueRef::Arg(n) => {
+                        if inside {
+                            rv.in_args.insert(*n);
+                        }
+                    }
+                    ValueRef::Const(_) => {}
+                }
+            }
+        }
+    }
+    rv
+}
+
+/// Symbol appearing in an affine address form: a loop-invariant value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Sym {
+    /// An instruction defined outside the analysed loop.
+    Instr(InstrId),
+    /// A function argument.
+    Arg(u32),
+}
+
+/// Affine form of an address expression with respect to one induction
+/// variable: `scale·iv + Σ coeffᵢ·symᵢ + konst`, or `Opaque`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Affine {
+    /// A recognised affine combination.
+    Affine {
+        /// Coefficient of the induction variable.
+        scale: i64,
+        /// Constant term.
+        konst: i64,
+        /// Loop-invariant symbolic terms with coefficients.
+        syms: BTreeMap<Sym, i64>,
+    },
+    /// Not recognisably affine.
+    Opaque,
+}
+
+impl Affine {
+    fn konst(c: i64) -> Affine {
+        Affine::Affine { scale: 0, konst: c, syms: BTreeMap::new() }
+    }
+
+    fn sym(s: Sym) -> Affine {
+        let mut syms = BTreeMap::new();
+        syms.insert(s, 1);
+        Affine::Affine { scale: 0, konst: 0, syms }
+    }
+
+    fn iv() -> Affine {
+        Affine::Affine { scale: 1, konst: 0, syms: BTreeMap::new() }
+    }
+
+    fn add(self, other: Affine, sign: i64) -> Affine {
+        match (self, other) {
+            (
+                Affine::Affine { scale: s1, konst: k1, syms: m1 },
+                Affine::Affine { scale: s2, konst: k2, syms: m2 },
+            ) => {
+                let mut syms = m1;
+                for (s, c) in m2 {
+                    *syms.entry(s).or_insert(0) += sign * c;
+                }
+                syms.retain(|_, c| *c != 0);
+                Affine::Affine { scale: s1 + sign * s2, konst: k1 + sign * k2, syms }
+            }
+            _ => Affine::Opaque,
+        }
+    }
+
+    fn scale_by(self, k: i64) -> Affine {
+        match self {
+            Affine::Affine { scale, konst, mut syms } => {
+                for c in syms.values_mut() {
+                    *c *= k;
+                }
+                syms.retain(|_, c| *c != 0);
+                Affine::Affine { scale: scale * k, konst: konst * k, syms }
+            }
+            Affine::Opaque => Affine::Opaque,
+        }
+    }
+
+    /// The pure-constant value, if this form is a constant.
+    pub fn as_const(&self) -> Option<i64> {
+        match self {
+            Affine::Affine { scale: 0, konst, syms } if syms.is_empty() => Some(*konst),
+            _ => None,
+        }
+    }
+}
+
+/// Compute the affine form of `v` with respect to induction variable `iv`
+/// (a φ at the header of `lp`). Values defined outside the loop are treated
+/// as loop-invariant symbols.
+pub fn affine_of(f: &Function, v: ValueRef, iv: InstrId, lp: &NaturalLoop) -> Affine {
+    affine_rec(f, v, iv, lp, 0)
+}
+
+fn affine_rec(f: &Function, v: ValueRef, iv: InstrId, lp: &NaturalLoop, depth: u32) -> Affine {
+    if depth > 32 {
+        return Affine::Opaque;
+    }
+    match v {
+        ValueRef::Const(c) => match c.to_value() {
+            crate::value::Value::Int(k) => Affine::konst(k),
+            crate::value::Value::Bool(b) => Affine::konst(b as i64),
+            _ => Affine::Opaque,
+        },
+        ValueRef::Arg(n) => Affine::sym(Sym::Arg(n)),
+        ValueRef::Instr(id) => {
+            if id == iv {
+                return Affine::iv();
+            }
+            let instr = f.instr(id);
+            if !lp.blocks.contains(&instr.block) {
+                // Loop-invariant: opaque but stable symbol.
+                return Affine::sym(Sym::Instr(id));
+            }
+            match &instr.op {
+                Op::Bin(BinOp::Add) => {
+                    let a = affine_rec(f, instr.operands[0], iv, lp, depth + 1);
+                    let b = affine_rec(f, instr.operands[1], iv, lp, depth + 1);
+                    a.add(b, 1)
+                }
+                Op::Bin(BinOp::Sub) => {
+                    let a = affine_rec(f, instr.operands[0], iv, lp, depth + 1);
+                    let b = affine_rec(f, instr.operands[1], iv, lp, depth + 1);
+                    a.add(b, -1)
+                }
+                Op::Bin(BinOp::Mul) => {
+                    let a = affine_rec(f, instr.operands[0], iv, lp, depth + 1);
+                    let b = affine_rec(f, instr.operands[1], iv, lp, depth + 1);
+                    match (a.as_const(), b.as_const()) {
+                        (Some(k), _) => b.scale_by(k),
+                        (_, Some(k)) => a.scale_by(k),
+                        _ => Affine::Opaque,
+                    }
+                }
+                Op::Bin(BinOp::Shl) => {
+                    let a = affine_rec(f, instr.operands[0], iv, lp, depth + 1);
+                    let b = affine_rec(f, instr.operands[1], iv, lp, depth + 1);
+                    match b.as_const() {
+                        Some(k) if (0..32).contains(&k) => a.scale_by(1 << k),
+                        _ => Affine::Opaque,
+                    }
+                }
+                Op::Cast(_) => affine_rec(f, instr.operands[0], iv, lp, depth + 1),
+                _ => Affine::Opaque,
+            }
+        }
+    }
+}
+
+/// Result of the loop-carried memory dependence test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopDep {
+    /// Whether consecutive iterations may be overlapped (pipelined) freely
+    /// with respect to memory.
+    pub parallel: bool,
+    /// Objects with (possibly) carried dependences.
+    pub carried_objects: Vec<MemObjId>,
+}
+
+/// Find the induction variable of a structured loop: the first integer φ in
+/// the header.
+pub fn induction_var(f: &Function, lp: &NaturalLoop) -> Option<InstrId> {
+    f.block(lp.header)
+        .instrs
+        .iter()
+        .copied()
+        .find(|&iid| matches!(f.instr(iid).op, Op::Phi { .. }))
+}
+
+/// Blocks of `base` plus every detach region spawned (transitively) from a
+/// block in the set — the full extent of code a loop iteration may execute.
+pub fn expand_with_detach(f: &Function, base: BTreeSet<BlockId>) -> BTreeSet<BlockId> {
+    let mut set = base;
+    loop {
+        let mut grew = false;
+        let snapshot: Vec<BlockId> = set.iter().copied().collect();
+        for b in snapshot {
+            if let Some(t) = f.terminator(b) {
+                if let Op::Detach { body, .. } = t.op {
+                    for r in detach_region(f, body) {
+                        grew |= set.insert(r);
+                    }
+                }
+            }
+        }
+        if !grew {
+            return set;
+        }
+    }
+}
+
+/// Conservative loop-carried memory dependence test.
+///
+/// For every store `S` to object `X` in the loop and every other memory
+/// access `M` on `X` in the loop, the loop is *parallel* (pipelineable) only
+/// if both addresses are affine in the induction variable with the same
+/// nonzero scale and identical symbolic parts, and their constant difference
+/// is zero or not a multiple of the scale (accesses in different iterations
+/// never collide). The scan covers the loop's detach regions (spawned
+/// bodies execute on the iteration's behalf); function calls inside the
+/// loop are handled by [`loop_dependence_in`], which knows the module. A
+/// `parallel_hints` entry on the header overrides the test, as does a loop
+/// with no stores.
+pub fn loop_dependence(f: &Function, lp: &NaturalLoop) -> LoopDep {
+    loop_dependence_impl(f, lp, None)
+}
+
+/// [`loop_dependence`] with module context: calls inside the loop
+/// contribute their callee's (transitive) memory footprint as opaque
+/// accesses.
+pub fn loop_dependence_in(m: &crate::module::Module, f: &Function, lp: &NaturalLoop) -> LoopDep {
+    loop_dependence_impl(f, lp, Some(m))
+}
+
+fn callee_footprint(
+    m: &crate::module::Module,
+    callee: crate::instr::FuncId,
+    depth: u32,
+) -> (BTreeSet<MemObjId>, BTreeSet<MemObjId>) {
+    let mut reads = BTreeSet::new();
+    let mut writes = BTreeSet::new();
+    if depth > 16 {
+        return (reads, writes);
+    }
+    let Some(func) = m.functions.get(callee.0 as usize) else {
+        return (reads, writes);
+    };
+    for instr in &func.instrs {
+        match &instr.op {
+            Op::Load { obj } => {
+                reads.insert(*obj);
+            }
+            Op::Store { obj } => {
+                writes.insert(*obj);
+            }
+            Op::Call { callee: c2 } => {
+                let (r, w) = callee_footprint(m, *c2, depth + 1);
+                reads.extend(r);
+                writes.extend(w);
+            }
+            _ => {}
+        }
+    }
+    (reads, writes)
+}
+
+fn loop_dependence_impl(
+    f: &Function,
+    lp: &NaturalLoop,
+    module: Option<&crate::module::Module>,
+) -> LoopDep {
+    if f.parallel_hints.contains(&lp.header) {
+        return LoopDep { parallel: true, carried_objects: Vec::new() };
+    }
+    let Some(iv) = induction_var(f, lp) else {
+        return LoopDep { parallel: false, carried_objects: Vec::new() };
+    };
+    let blocks = expand_with_detach(f, lp.blocks.clone());
+    // Affine forms must treat everything the iteration executes as
+    // in-scope, so defs inside detach regions do not look loop-invariant.
+    let scan_lp = NaturalLoop {
+        header: lp.header,
+        blocks: blocks.clone(),
+        latches: lp.latches.clone(),
+        depth: lp.depth,
+        parent: lp.parent,
+    };
+    let lp = &scan_lp;
+    let mut stores: Vec<(MemObjId, Affine)> = Vec::new();
+    let mut accesses: Vec<(MemObjId, Affine, bool)> = Vec::new(); // (obj, addr, is_store)
+    for &b in &blocks {
+        for (_iid, instr) in f.block_instrs(b) {
+            match &instr.op {
+                Op::Load { obj } => {
+                    let a = affine_of(f, instr.operands[0], iv, lp);
+                    accesses.push((*obj, a, false));
+                }
+                Op::Store { obj } => {
+                    let a = affine_of(f, instr.operands[0], iv, lp);
+                    stores.push((*obj, a.clone()));
+                    accesses.push((*obj, a, true));
+                }
+                Op::Call { callee } => {
+                    if let Some(m) = module {
+                        let (r, w) = callee_footprint(m, *callee, 0);
+                        for obj in r {
+                            accesses.push((obj, Affine::Opaque, false));
+                        }
+                        for obj in w {
+                            stores.push((obj, Affine::Opaque));
+                            accesses.push((obj, Affine::Opaque, true));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut carried: BTreeSet<MemObjId> = BTreeSet::new();
+    for (sobj, saff) in &stores {
+        for (aobj, aaff, _is_store) in &accesses {
+            if sobj != aobj {
+                continue;
+            }
+            if std::ptr::eq(saff, aaff) {
+                continue;
+            }
+            if may_collide_across_iterations(saff, aaff) {
+                carried.insert(*sobj);
+            }
+        }
+    }
+    LoopDep { parallel: carried.is_empty(), carried_objects: carried.into_iter().collect() }
+}
+
+fn may_collide_across_iterations(a: &Affine, b: &Affine) -> bool {
+    match (a, b) {
+        (
+            Affine::Affine { scale: s1, konst: k1, syms: m1 },
+            Affine::Affine { scale: s2, konst: k2, syms: m2 },
+        ) => {
+            if s1 != s2 || m1 != m2 {
+                // Different strides or different symbolic bases: assume the
+                // worst (conservative).
+                return true;
+            }
+            if *s1 == 0 {
+                // Same (loop-invariant) address every iteration: carried
+                // unless the constant parts differ (then never the same
+                // address at all).
+                return k1 == k2;
+            }
+            let d = k1 - k2;
+            // Same address in iterations k, k' iff s·(k-k') = d.
+            d != 0 && d % s1 == 0
+        }
+        _ => true,
+    }
+}
+
+/// Group every memory operation in a function by the object (address space)
+/// it accesses — the paper's Algorithm 2 *Analysis* step (`LLVMPointsto`).
+pub fn memory_groups(f: &Function) -> BTreeMap<MemObjId, Vec<InstrId>> {
+    let mut groups: BTreeMap<MemObjId, Vec<InstrId>> = BTreeMap::new();
+    for (i, instr) in f.instrs.iter().enumerate() {
+        match instr.op {
+            Op::Load { obj } | Op::Store { obj } => {
+                groups.entry(obj).or_default().push(InstrId(i as u32));
+            }
+            _ => {}
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::module::Module;
+    use crate::types::{ScalarType, Type};
+
+    fn loop_func() -> Function {
+        let mut b = FunctionBuilder::new("l", &[]);
+        b.for_loop(0, ValueRef::int(8), 1, |b, i| {
+            let _ = b.add(i, ValueRef::int(1));
+        });
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let f = loop_func();
+        let rpo = reverse_post_order(&f);
+        assert_eq!(rpo[0], f.entry);
+        assert_eq!(rpo.len(), f.blocks.len());
+    }
+
+    #[test]
+    fn dominators_of_loop() {
+        let f = loop_func();
+        let idom = dominators(&f);
+        // Every reachable block has an idom.
+        for b in f.block_ids() {
+            assert!(idom[b.0 as usize].is_some(), "{b} unreachable?");
+        }
+        // Entry dominates everything.
+        for b in f.block_ids() {
+            assert!(dominates(&idom, f.entry, b));
+        }
+    }
+
+    #[test]
+    fn finds_natural_loop() {
+        let f = loop_func();
+        let loops = natural_loops(&f);
+        assert_eq!(loops.len(), 1);
+        let lp = &loops[0];
+        assert_eq!(lp.depth, 1);
+        assert_eq!(lp.latches.len(), 1);
+        assert!(lp.blocks.contains(&lp.header));
+        assert!(induction_var(&f, lp).is_some());
+    }
+
+    #[test]
+    fn nested_loops_have_depth() {
+        let mut b = FunctionBuilder::new("n", &[]);
+        b.for_loop(0, ValueRef::int(4), 1, |b, _i| {
+            b.for_loop(0, ValueRef::int(4), 1, |b, j| {
+                let _ = b.mul(j, j);
+            });
+        });
+        b.ret(None);
+        let f = b.finish();
+        let loops = natural_loops(&f);
+        assert_eq!(loops.len(), 2);
+        let depths: BTreeSet<u32> = loops.iter().map(|l| l.depth).collect();
+        assert_eq!(depths, BTreeSet::from([1, 2]));
+        let inner = loops.iter().find(|l| l.depth == 2).unwrap();
+        assert!(inner.parent.is_some());
+    }
+
+    #[test]
+    fn detach_region_extent() {
+        let mut b = FunctionBuilder::new("d", &[]);
+        b.par_for(0, 4, 1, |b, i| {
+            let _ = b.mul(i, i);
+        });
+        b.ret(None);
+        let f = b.finish();
+        // Find the detach terminator.
+        let det = f
+            .instrs
+            .iter()
+            .find_map(|i| match i.op {
+                Op::Detach { body, .. } => Some(body),
+                _ => None,
+            })
+            .unwrap();
+        let region = detach_region(&f, det);
+        // Region contains the task body and stops at reattach.
+        assert!(!region.is_empty());
+        for b_ in &region {
+            let t = f.terminator(*b_).unwrap();
+            // No region block branches back to the pfor header except via
+            // reattach semantics; the continuation is outside.
+            if let Op::Reattach { cont } = t.op {
+                assert!(!region.contains(&cont));
+            }
+        }
+    }
+
+    #[test]
+    fn region_live_values() {
+        let mut m = Module::new("t");
+        let a = m.add_mem_object("a", ScalarType::I32, 8);
+        let mut b = FunctionBuilder::new("f", &[Type::I64]).with_mem(&m);
+        let outside = b.add(b.arg(0), ValueRef::int(1));
+        b.for_loop(0, ValueRef::int(8), 1, |b, i| {
+            let s = b.add(i, outside);
+            b.store(a, i, s);
+        });
+        b.ret(None);
+        let f = b.finish();
+        let loops = natural_loops(&f);
+        let rv = region_values(&f, &loops[0].blocks);
+        assert!(rv.in_values.contains(&outside.as_instr().unwrap()));
+    }
+
+    #[test]
+    fn affine_recognises_strides() {
+        let mut m = Module::new("t");
+        let a = m.add_mem_object("a", ScalarType::I32, 64);
+        let mut b = FunctionBuilder::new("f", &[]).with_mem(&m);
+        b.for_loop(0, ValueRef::int(8), 1, |b, i| {
+            let idx = b.mul(i, ValueRef::int(4));
+            let idx2 = b.add(idx, ValueRef::int(3));
+            let v = b.load(a, idx2);
+            b.store(a, idx2, v);
+        });
+        b.ret(None);
+        let f = b.finish();
+        let loops = natural_loops(&f);
+        let lp = &loops[0];
+        let iv = induction_var(&f, lp).unwrap();
+        // Find the load's address.
+        let addr = f
+            .instrs
+            .iter()
+            .find_map(|i| match i.op {
+                Op::Load { .. } => Some(i.operands[0]),
+                _ => None,
+            })
+            .unwrap();
+        match affine_of(&f, addr, iv, lp) {
+            Affine::Affine { scale, konst, syms } => {
+                assert_eq!(scale, 4);
+                assert_eq!(konst, 3);
+                assert!(syms.is_empty());
+            }
+            Affine::Opaque => panic!("expected affine"),
+        }
+    }
+
+    #[test]
+    fn disjoint_strided_loop_is_parallel() {
+        let mut m = Module::new("t");
+        let a = m.add_mem_object("a", ScalarType::I32, 64);
+        let mut b = FunctionBuilder::new("f", &[]).with_mem(&m);
+        b.for_loop(0, ValueRef::int(8), 1, |b, i| {
+            let v = b.load(a, i);
+            let w = b.add(v, ValueRef::int(1));
+            b.store(a, i, w);
+        });
+        b.ret(None);
+        let f = b.finish();
+        let loops = natural_loops(&f);
+        let dep = loop_dependence(&f, &loops[0]);
+        assert!(dep.parallel, "{dep:?}");
+    }
+
+    #[test]
+    fn carried_accumulator_through_memory_serializes() {
+        let mut m = Module::new("t");
+        let a = m.add_mem_object("a", ScalarType::I32, 64);
+        let mut b = FunctionBuilder::new("f", &[]).with_mem(&m);
+        // a[0] += i — same address every iteration.
+        b.for_loop(0, ValueRef::int(8), 1, |b, i| {
+            let v = b.load(a, ValueRef::int(0));
+            let w = b.add(v, i);
+            b.store(a, ValueRef::int(0), w);
+        });
+        b.ret(None);
+        let f = b.finish();
+        let loops = natural_loops(&f);
+        let dep = loop_dependence(&f, &loops[0]);
+        assert!(!dep.parallel);
+        assert_eq!(dep.carried_objects, vec![a]);
+    }
+
+    #[test]
+    fn shifted_store_detected_as_carried() {
+        let mut m = Module::new("t");
+        let a = m.add_mem_object("a", ScalarType::I32, 64);
+        let mut b = FunctionBuilder::new("f", &[]).with_mem(&m);
+        // a[i+1] = a[i]: carried distance 1.
+        b.for_loop(0, ValueRef::int(8), 1, |b, i| {
+            let v = b.load(a, i);
+            let i1 = b.add(i, ValueRef::int(1));
+            b.store(a, i1, v);
+        });
+        b.ret(None);
+        let f = b.finish();
+        let loops = natural_loops(&f);
+        let dep = loop_dependence(&f, &loops[0]);
+        assert!(!dep.parallel);
+    }
+
+    #[test]
+    fn parallel_hint_overrides() {
+        let mut m = Module::new("t");
+        let a = m.add_mem_object("a", ScalarType::I32, 64);
+        let mut b = FunctionBuilder::new("f", &[]).with_mem(&m);
+        b.for_loop_par(0, ValueRef::int(8), 1, |b, i| {
+            let v = b.load(a, ValueRef::int(0));
+            let w = b.add(v, i);
+            b.store(a, ValueRef::int(0), w);
+        });
+        b.ret(None);
+        let f = b.finish();
+        let loops = natural_loops(&f);
+        let dep = loop_dependence(&f, &loops[0]);
+        assert!(dep.parallel);
+    }
+
+    #[test]
+    fn memory_groups_by_object() {
+        let mut m = Module::new("t");
+        let a = m.add_mem_object("a", ScalarType::I32, 8);
+        let c = m.add_mem_object("c", ScalarType::I32, 8);
+        let mut b = FunctionBuilder::new("f", &[]).with_mem(&m);
+        let v = b.load(a, ValueRef::int(0));
+        let w = b.load(c, ValueRef::int(0));
+        let s = b.add(v, w);
+        b.store(c, ValueRef::int(1), s);
+        b.ret(None);
+        let f = b.finish();
+        let groups = memory_groups(&f);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[&a].len(), 1);
+        assert_eq!(groups[&c].len(), 2);
+    }
+}

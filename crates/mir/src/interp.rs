@@ -1,0 +1,804 @@
+//! Reference interpreter: the functional golden model.
+//!
+//! Every accelerator microarchitecture generated in this repository is
+//! verified by running the same `mir` program here and comparing output
+//! memories word-for-word. The interpreter executes Tapir parallelism
+//! serially (Cilk semantics guarantee a valid serial elision), and can emit
+//! a dynamic trace for the CPU timing baseline.
+
+use crate::instr::{BinOp, BlockId, CastOp, CmpPred, ConstVal, InstrId, MemObjId, Op, TensorOp,
+                   UnOp, ValueRef};
+use crate::module::{Function, Module};
+use crate::trace::{NullSink, OpClass, TraceEvent, TraceSink};
+use crate::types::Type;
+use crate::value::Value;
+use std::fmt;
+
+/// Interpreter failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterpError {
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "interpreter error: {}", self.message)
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+fn ierr(msg: impl Into<String>) -> InterpError {
+    InterpError { message: msg.into() }
+}
+
+/// Flat program memory: one `Vec<Value>` per memory object, plus the flat
+/// global base address of each object (used for trace addresses).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Memory {
+    /// Contents per memory object, zero-initialised.
+    pub objects: Vec<Vec<Value>>,
+    /// Flat global base element-address per object.
+    pub bases: Vec<u64>,
+}
+
+impl Memory {
+    /// Allocate zeroed memory for every object in the module.
+    pub fn from_module(m: &Module) -> Memory {
+        let mut bases = Vec::with_capacity(m.mem_objects.len());
+        let mut next = 0u64;
+        let mut objects = Vec::with_capacity(m.mem_objects.len());
+        for obj in &m.mem_objects {
+            bases.push(next);
+            next += obj.len;
+            objects.push(vec![Value::zero(Type::Scalar(obj.elem)); obj.len as usize]);
+        }
+        Memory { objects, bases }
+    }
+
+    /// Read one element slot.
+    ///
+    /// # Errors
+    /// Out-of-bounds access.
+    pub fn read(&self, obj: MemObjId, idx: u64) -> Result<Value, InterpError> {
+        self.objects
+            .get(obj.0 as usize)
+            .and_then(|o| o.get(idx as usize))
+            .cloned()
+            .ok_or_else(|| ierr(format!("load out of bounds: {obj}[{idx}]")))
+    }
+
+    /// Write one element slot.
+    ///
+    /// # Errors
+    /// Out-of-bounds access.
+    pub fn write(&mut self, obj: MemObjId, idx: u64, v: Value) -> Result<(), InterpError> {
+        let slot = self
+            .objects
+            .get_mut(obj.0 as usize)
+            .and_then(|o| o.get_mut(idx as usize))
+            .ok_or_else(|| ierr(format!("store out of bounds: {obj}[{idx}]")))?;
+        *slot = v;
+        Ok(())
+    }
+
+    /// Bulk-initialise an object from f32 data.
+    pub fn init_f32(&mut self, obj: MemObjId, data: &[f32]) {
+        for (i, &v) in data.iter().enumerate() {
+            self.objects[obj.0 as usize][i] = Value::F32(v);
+        }
+    }
+
+    /// Bulk-initialise an object from i64 data.
+    pub fn init_i64(&mut self, obj: MemObjId, data: &[i64]) {
+        for (i, &v) in data.iter().enumerate() {
+            self.objects[obj.0 as usize][i] = Value::Int(v);
+        }
+    }
+
+    /// Snapshot an object as f32s.
+    pub fn read_f32(&self, obj: MemObjId) -> Vec<f32> {
+        self.objects[obj.0 as usize]
+            .iter()
+            .map(|v| match v {
+                Value::F32(f) => *f,
+                Value::Int(i) => *i as f32,
+                Value::Bool(b) => *b as i64 as f32,
+                other => panic!("non-scalar in memory: {other:?}"),
+            })
+            .collect()
+    }
+
+    /// Snapshot an object as i64s.
+    pub fn read_i64(&self, obj: MemObjId) -> Vec<i64> {
+        self.objects[obj.0 as usize]
+            .iter()
+            .map(|v| match v {
+                Value::Int(i) => *i,
+                Value::F32(f) => *f as i64,
+                Value::Bool(b) => *b as i64,
+                other => panic!("non-scalar in memory: {other:?}"),
+            })
+            .collect()
+    }
+
+    /// Flat global element address of `obj[idx]`.
+    pub fn flat_addr(&self, obj: MemObjId, idx: u64) -> u64 {
+        self.bases[obj.0 as usize] + idx
+    }
+}
+
+/// Evaluate a binary op on scalar values.
+///
+/// # Errors
+/// Division by zero and type mismatches.
+pub fn eval_bin(op: BinOp, a: &Value, b: &Value) -> Result<Value, InterpError> {
+    if a.is_poison() || b.is_poison() {
+        return Ok(Value::Poison);
+    }
+    Ok(match op {
+        BinOp::Add => Value::Int(a.as_int().wrapping_add(b.as_int())),
+        BinOp::Sub => Value::Int(a.as_int().wrapping_sub(b.as_int())),
+        BinOp::Mul => Value::Int(a.as_int().wrapping_mul(b.as_int())),
+        BinOp::Div => {
+            let d = b.as_int();
+            if d == 0 {
+                return Err(ierr("integer division by zero"));
+            }
+            Value::Int(a.as_int().wrapping_div(d))
+        }
+        BinOp::Rem => {
+            let d = b.as_int();
+            if d == 0 {
+                return Err(ierr("integer remainder by zero"));
+            }
+            Value::Int(a.as_int().wrapping_rem(d))
+        }
+        BinOp::And => Value::Int(a.as_int() & b.as_int()),
+        BinOp::Or => Value::Int(a.as_int() | b.as_int()),
+        BinOp::Xor => Value::Int(a.as_int() ^ b.as_int()),
+        BinOp::Shl => Value::Int(a.as_int().wrapping_shl(b.as_int() as u32 & 63)),
+        BinOp::LShr => Value::Int(((a.as_int() as u64) >> (b.as_int() as u32 & 63)) as i64),
+        BinOp::AShr => Value::Int(a.as_int() >> (b.as_int() as u32 & 63)),
+        BinOp::FAdd => Value::F32(a.as_f32() + b.as_f32()),
+        BinOp::FSub => Value::F32(a.as_f32() - b.as_f32()),
+        BinOp::FMul => Value::F32(a.as_f32() * b.as_f32()),
+        BinOp::FDiv => Value::F32(a.as_f32() / b.as_f32()),
+    })
+}
+
+/// Evaluate a unary op on a scalar value.
+pub fn eval_un(op: UnOp, a: &Value) -> Value {
+    if a.is_poison() {
+        return Value::Poison;
+    }
+    match op {
+        UnOp::FNeg => Value::F32(-a.as_f32()),
+        UnOp::Exp => Value::F32(a.as_f32().exp()),
+        UnOp::Sqrt => Value::F32(a.as_f32().sqrt()),
+        UnOp::Relu => match a {
+            Value::F32(f) => Value::F32(f.max(0.0)),
+            Value::Int(i) => Value::Int((*i).max(0)),
+            other => panic!("relu on {other:?}"),
+        },
+    }
+}
+
+/// Evaluate a comparison on scalar values.
+pub fn eval_cmp(pred: CmpPred, a: &Value, b: &Value) -> Value {
+    if a.is_poison() || b.is_poison() {
+        return Value::Poison;
+    }
+    let r = match (a, b) {
+        (Value::F32(x), Value::F32(y)) => match pred {
+            CmpPred::Eq => x == y,
+            CmpPred::Ne => x != y,
+            CmpPred::Lt => x < y,
+            CmpPred::Le => x <= y,
+            CmpPred::Gt => x > y,
+            CmpPred::Ge => x >= y,
+        },
+        _ => {
+            let (x, y) = (a.as_int(), b.as_int());
+            match pred {
+                CmpPred::Eq => x == y,
+                CmpPred::Ne => x != y,
+                CmpPred::Lt => x < y,
+                CmpPred::Le => x <= y,
+                CmpPred::Gt => x > y,
+                CmpPred::Ge => x >= y,
+            }
+        }
+    };
+    Value::Bool(r)
+}
+
+fn scalar_bin_f(a: &Value, b: &Value, is_float: bool, f: BinOp, i: BinOp) -> Result<Value, InterpError> {
+    if is_float {
+        eval_bin(f, a, b)
+    } else {
+        eval_bin(i, a, b)
+    }
+}
+
+/// Evaluate a tensor op. `Conv` reduces to a scalar; others keep the shape.
+///
+/// # Errors
+/// Shape mismatches.
+pub fn eval_tensor(op: TensorOp, a: &Value, b: Option<&Value>) -> Result<Value, InterpError> {
+    let (shape, da) = match a {
+        Value::Tensor { shape, data } => (*shape, data),
+        other => return Err(ierr(format!("tensor op on non-tensor {other:?}"))),
+    };
+    let is_float = matches!(da.first(), Some(Value::F32(_)));
+    let db = match b {
+        Some(Value::Tensor { shape: sb, data }) => {
+            if *sb != shape {
+                return Err(ierr(format!("tensor shape mismatch {sb} vs {shape}")));
+            }
+            Some(data)
+        }
+        Some(other) => return Err(ierr(format!("tensor op on non-tensor rhs {other:?}"))),
+        None => None,
+    };
+    match op {
+        TensorOp::Add | TensorOp::Mul => {
+            let db = db.ok_or_else(|| ierr("binary tensor op missing rhs"))?;
+            let bo = if op == TensorOp::Add {
+                (BinOp::FAdd, BinOp::Add)
+            } else {
+                (BinOp::FMul, BinOp::Mul)
+            };
+            let data = da
+                .iter()
+                .zip(db)
+                .map(|(x, y)| scalar_bin_f(x, y, is_float, bo.0, bo.1))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Value::Tensor { shape, data })
+        }
+        TensorOp::Relu => {
+            Ok(Value::Tensor { shape, data: da.iter().map(|x| eval_un(UnOp::Relu, x)).collect() })
+        }
+        TensorOp::MatMul => {
+            let db = db.ok_or_else(|| ierr("matmul missing rhs"))?;
+            let (r, c) = (shape.rows as usize, shape.cols as usize);
+            if r != c {
+                return Err(ierr("matmul tiles must be square"));
+            }
+            let mut data = Vec::with_capacity(r * c);
+            for i in 0..r {
+                for j in 0..c {
+                    let mut acc =
+                        if is_float { Value::F32(0.0) } else { Value::Int(0) };
+                    for k in 0..r {
+                        let p = scalar_bin_f(
+                            &da[i * c + k],
+                            &db[k * c + j],
+                            is_float,
+                            BinOp::FMul,
+                            BinOp::Mul,
+                        )?;
+                        acc = scalar_bin_f(&acc, &p, is_float, BinOp::FAdd, BinOp::Add)?;
+                    }
+                    data.push(acc);
+                }
+            }
+            Ok(Value::Tensor { shape, data })
+        }
+        TensorOp::Conv => {
+            let db = db.ok_or_else(|| ierr("conv missing rhs"))?;
+            let mut acc = if is_float { Value::F32(0.0) } else { Value::Int(0) };
+            for (x, y) in da.iter().zip(db) {
+                let p = scalar_bin_f(x, y, is_float, BinOp::FMul, BinOp::Mul)?;
+                acc = scalar_bin_f(&acc, &p, is_float, BinOp::FAdd, BinOp::Add)?;
+            }
+            Ok(acc)
+        }
+    }
+}
+
+enum ExecEnd {
+    Ret(Option<Value>),
+    Reattach,
+}
+
+struct Frame<'f> {
+    func: &'f Function,
+    values: Vec<Option<Value>>,
+    args: Vec<Value>,
+}
+
+impl<'f> Frame<'f> {
+    fn get(&self, r: &ValueRef) -> Result<Value, InterpError> {
+        match r {
+            ValueRef::Instr(id) => self.values[id.0 as usize]
+                .clone()
+                .ok_or_else(|| ierr(format!("use of unevaluated {id}"))),
+            ValueRef::Arg(n) => Ok(self.args[*n as usize].clone()),
+            ValueRef::Const(c) => Ok(const_value(*c)),
+        }
+    }
+}
+
+fn const_value(c: ConstVal) -> Value {
+    c.to_value()
+}
+
+/// The interpreter. Holds the module, a fuel budget (dynamic-op limit), and
+/// an optional trace sink.
+pub struct Interp<'m, S: TraceSink> {
+    module: &'m Module,
+    sink: S,
+    fuel: u64,
+}
+
+impl<'m> Interp<'m, NullSink> {
+    /// Interpreter without tracing.
+    pub fn new(module: &'m Module) -> Self {
+        Interp { module, sink: NullSink, fuel: 500_000_000 }
+    }
+}
+
+impl<'m, S: TraceSink> Interp<'m, S> {
+    /// Interpreter that feeds dynamic events into `sink`.
+    pub fn with_sink(module: &'m Module, sink: S) -> Self {
+        Interp { module, sink, fuel: 500_000_000 }
+    }
+
+    /// Override the dynamic-operation budget.
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Recover the sink after execution.
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+
+    /// Run `main` with the given arguments against `memory`.
+    ///
+    /// # Errors
+    /// Propagates out-of-bounds accesses, division by zero, malformed IR,
+    /// and fuel exhaustion.
+    pub fn run_main(
+        &mut self,
+        memory: &mut Memory,
+        args: &[Value],
+    ) -> Result<Option<Value>, InterpError> {
+        let f = self.module.main().ok_or_else(|| ierr("module has no functions"))?;
+        self.run_function(f, memory, args.to_vec())
+    }
+
+    /// Run an arbitrary function.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Interp::run_main`].
+    pub fn run_function(
+        &mut self,
+        f: &Function,
+        memory: &mut Memory,
+        args: Vec<Value>,
+    ) -> Result<Option<Value>, InterpError> {
+        let mut frame = Frame { func: f, values: vec![None; f.instrs.len()], args };
+        match self.exec_from(&mut frame, f.entry, memory)? {
+            ExecEnd::Ret(v) => Ok(v),
+            ExecEnd::Reattach => Err(ierr("reattach escaped its detach region")),
+        }
+    }
+
+    fn burn(&mut self, n: u64) -> Result<(), InterpError> {
+        if self.fuel < n {
+            return Err(ierr("fuel exhausted (possible infinite loop)"));
+        }
+        self.fuel -= n;
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_from(
+        &mut self,
+        frame: &mut Frame<'_>,
+        start: BlockId,
+        memory: &mut Memory,
+    ) -> Result<ExecEnd, InterpError> {
+        let mut cur = start;
+        let mut prev: Option<BlockId> = None;
+        'blocks: loop {
+            self.sink.block(&frame.func.name, cur);
+            // φ nodes read their incoming values as-of block entry, in
+            // parallel, before any instruction of the block executes.
+            let block = frame.func.block(cur);
+            let mut phi_updates: Vec<(InstrId, Value)> = Vec::new();
+            for &iid in &block.instrs {
+                let instr = frame.func.instr(iid);
+                if let Op::Phi { preds } = &instr.op {
+                    let p = prev.ok_or_else(|| ierr(format!("{iid}: phi in entry block")))?;
+                    let slot = preds
+                        .iter()
+                        .position(|&b| b == p)
+                        .ok_or_else(|| ierr(format!("{iid}: no phi incoming for {p}")))?;
+                    phi_updates.push((iid, frame.get(&instr.operands[slot])?));
+                } else {
+                    break;
+                }
+            }
+            for (iid, v) in phi_updates {
+                frame.values[iid.0 as usize] = Some(v);
+                self.burn(1)?;
+                self.sink.event(TraceEvent::compute(OpClass::IntAlu));
+            }
+
+            let instrs: Vec<InstrId> = block.instrs.clone();
+            for &iid in &instrs {
+                let instr = frame.func.instr(iid).clone();
+                if matches!(instr.op, Op::Phi { .. }) {
+                    continue;
+                }
+                self.burn(1)?;
+                match &instr.op {
+                    Op::Bin(op) => {
+                        let a = frame.get(&instr.operands[0])?;
+                        let b = frame.get(&instr.operands[1])?;
+                        self.sink.event(TraceEvent::compute(classify_bin(*op)));
+                        frame.values[iid.0 as usize] = Some(eval_bin(*op, &a, &b)?);
+                    }
+                    Op::Un(op) => {
+                        let a = frame.get(&instr.operands[0])?;
+                        let class = match op {
+                            UnOp::FNeg => OpClass::FpAdd,
+                            UnOp::Relu => OpClass::IntAlu,
+                            _ => OpClass::FpSpecial,
+                        };
+                        self.sink.event(TraceEvent::compute(class));
+                        frame.values[iid.0 as usize] = Some(eval_un(*op, &a));
+                    }
+                    Op::Cmp(pred) => {
+                        let a = frame.get(&instr.operands[0])?;
+                        let b = frame.get(&instr.operands[1])?;
+                        self.sink.event(TraceEvent::compute(OpClass::IntAlu));
+                        frame.values[iid.0 as usize] = Some(eval_cmp(*pred, &a, &b));
+                    }
+                    Op::Select => {
+                        let c = frame.get(&instr.operands[0])?;
+                        let a = frame.get(&instr.operands[1])?;
+                        let b = frame.get(&instr.operands[2])?;
+                        self.sink.event(TraceEvent::compute(OpClass::IntAlu));
+                        frame.values[iid.0 as usize] =
+                            Some(if c.as_bool() { a } else { b });
+                    }
+                    Op::Cast(op) => {
+                        let a = frame.get(&instr.operands[0])?;
+                        self.sink.event(TraceEvent::compute(OpClass::IntAlu));
+                        let v = match op {
+                            CastOp::SiToFp => Value::F32(a.as_int() as f32),
+                            CastOp::FpToSi => Value::Int(a.as_f32() as i64),
+                            CastOp::IntResize => a,
+                        };
+                        frame.values[iid.0 as usize] = Some(v);
+                    }
+                    Op::Load { obj } => {
+                        let idx = frame.get(&instr.operands[0])?.as_int();
+                        if idx < 0 {
+                            return Err(ierr(format!("{iid}: negative load index")));
+                        }
+                        let ty = instr.ty.ok_or_else(|| ierr("untyped load"))?;
+                        let n = ty.elems() as u64;
+                        let mut slots = Vec::with_capacity(n as usize);
+                        for k in 0..n {
+                            let a = idx as u64 + k;
+                            slots.push(memory.read(*obj, a)?);
+                            self.sink.event(TraceEvent::mem(
+                                OpClass::Load,
+                                *obj,
+                                memory.flat_addr(*obj, a),
+                            ));
+                        }
+                        frame.values[iid.0 as usize] = Some(Value::assemble(ty, slots));
+                    }
+                    Op::Store { obj } => {
+                        let idx = frame.get(&instr.operands[0])?.as_int();
+                        if idx < 0 {
+                            return Err(ierr(format!("{iid}: negative store index")));
+                        }
+                        let v = frame.get(&instr.operands[1])?;
+                        for (k, slot) in v.flatten().into_iter().enumerate() {
+                            let a = idx as u64 + k as u64;
+                            memory.write(*obj, a, slot)?;
+                            self.sink.event(TraceEvent::mem(
+                                OpClass::Store,
+                                *obj,
+                                memory.flat_addr(*obj, a),
+                            ));
+                        }
+                    }
+                    Op::Tensor(op, _shape) => {
+                        let a = frame.get(&instr.operands[0])?;
+                        let b = instr.operands.get(1).map(|o| frame.get(o)).transpose()?;
+                        // The CPU has no tensor unit: a tile op costs its
+                        // scalar-equivalent mix (§6.6 "compute density").
+                        let n = match &a {
+                            Value::Tensor { shape, .. } => shape.elems() as u64,
+                            _ => 1,
+                        };
+                        let is_float = matches!(
+                            &a,
+                            Value::Tensor { data, .. } if matches!(data.first(), Some(Value::F32(_)))
+                        );
+                        let per = match op {
+                            TensorOp::MatMul => 2 * n * (n as f64).sqrt() as u64,
+                            TensorOp::Conv => 2 * n,
+                            _ => n,
+                        };
+                        for _ in 0..per {
+                            self.sink.event(TraceEvent::compute(if is_float {
+                                OpClass::FpMul
+                            } else {
+                                OpClass::IntMul
+                            }));
+                        }
+                        self.burn(per)?;
+                        frame.values[iid.0 as usize] = Some(eval_tensor(*op, &a, b.as_ref())?);
+                    }
+                    Op::Call { callee } => {
+                        let target = self
+                            .module
+                            .functions
+                            .get(callee.0 as usize)
+                            .ok_or_else(|| ierr(format!("missing callee {callee}")))?;
+                        let args = instr
+                            .operands
+                            .iter()
+                            .map(|o| frame.get(o))
+                            .collect::<Result<Vec<_>, _>>()?;
+                        self.sink.event(TraceEvent::compute(OpClass::Call));
+                        let r = self.run_function(target, memory, args)?;
+                        if instr.ty.is_some() {
+                            frame.values[iid.0 as usize] =
+                                Some(r.ok_or_else(|| ierr("void call used as value"))?);
+                        }
+                    }
+                    Op::Br { target } => {
+                        self.sink.event(TraceEvent::compute(OpClass::Branch));
+                        prev = Some(cur);
+                        cur = *target;
+                        continue 'blocks;
+                    }
+                    Op::CondBr { t, f } => {
+                        let c = frame.get(&instr.operands[0])?;
+                        self.sink.event(TraceEvent::compute(OpClass::Branch));
+                        prev = Some(cur);
+                        cur = if c.as_bool() { *t } else { *f };
+                        continue 'blocks;
+                    }
+                    Op::Ret => {
+                        let v = instr.operands.first().map(|o| frame.get(o)).transpose()?;
+                        return Ok(ExecEnd::Ret(v));
+                    }
+                    Op::Detach { body, cont } => {
+                        // Serial elision: run the child region to completion,
+                        // then continue at the parent's continuation.
+                        self.sink.event(TraceEvent::compute(OpClass::Call));
+                        match self.exec_from(frame, *body, memory)? {
+                            ExecEnd::Reattach => {}
+                            ExecEnd::Ret(_) => {
+                                return Err(ierr("ret inside detach region"));
+                            }
+                        }
+                        prev = Some(cur);
+                        cur = *cont;
+                        continue 'blocks;
+                    }
+                    Op::Reattach { .. } => {
+                        return Ok(ExecEnd::Reattach);
+                    }
+                    Op::Sync { cont } => {
+                        self.sink.event(TraceEvent::compute(OpClass::Call));
+                        prev = Some(cur);
+                        cur = *cont;
+                        continue 'blocks;
+                    }
+                    Op::Phi { .. } => unreachable!("phis handled at block entry"),
+                }
+            }
+            return Err(ierr(format!("block {cur} fell through without terminator")));
+        }
+    }
+}
+
+fn classify_bin(op: BinOp) -> OpClass {
+    match op {
+        BinOp::Mul => OpClass::IntMul,
+        BinOp::Div | BinOp::Rem => OpClass::IntDiv,
+        BinOp::FAdd | BinOp::FSub => OpClass::FpAdd,
+        BinOp::FMul => OpClass::FpMul,
+        BinOp::FDiv => OpClass::FpDiv,
+        _ => OpClass::IntAlu,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::trace::CountingSink;
+    use crate::types::{ScalarType, TensorShape};
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[Type::I64]).returns(Type::I64);
+        let v = b.add(b.arg(0), ValueRef::int(5));
+        let w = b.mul(v, ValueRef::int(2));
+        b.ret(Some(w));
+        m.add_function(b.finish());
+        let mut mem = Memory::from_module(&m);
+        let r = Interp::new(&m).run_main(&mut mem, &[Value::Int(10)]).unwrap();
+        assert_eq!(r, Some(Value::Int(30)));
+    }
+
+    #[test]
+    fn loop_sums() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[]).returns(Type::I64);
+        let accs = b.for_loop_acc(
+            ValueRef::int(0),
+            ValueRef::int(100),
+            1,
+            &[(ValueRef::int(0), Type::I64)],
+            |b, i, accs| vec![b.add(accs[0], i)],
+        );
+        b.ret(Some(accs[0]));
+        m.add_function(b.finish());
+        let mut mem = Memory::from_module(&m);
+        let r = Interp::new(&m).run_main(&mut mem, &[]).unwrap();
+        assert_eq!(r, Some(Value::Int(4950)));
+    }
+
+    #[test]
+    fn memory_roundtrip_and_trace() {
+        let mut m = Module::new("t");
+        let a = m.add_mem_object("a", ScalarType::I32, 8);
+        let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+        b.for_loop(0, ValueRef::int(8), 1, |b, i| {
+            let v = b.load(a, i);
+            let w = b.add(v, ValueRef::int(7));
+            b.store(a, i, w);
+        });
+        b.ret(None);
+        m.add_function(b.finish());
+        let mut mem = Memory::from_module(&m);
+        mem.init_i64(a, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut it = Interp::with_sink(&m, CountingSink::new());
+        it.run_main(&mut mem, &[]).unwrap();
+        let sink = it.into_sink();
+        assert_eq!(mem.read_i64(a), vec![8, 9, 10, 11, 12, 13, 14, 15]);
+        assert_eq!(sink.loads, 8);
+        assert_eq!(sink.stores, 8);
+        assert!(sink.branches >= 9);
+    }
+
+    #[test]
+    fn parallel_for_serial_elision() {
+        let mut m = Module::new("t");
+        let a = m.add_mem_object("a", ScalarType::I32, 16);
+        let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+        b.par_for(0, 16, 1, |b, i| {
+            let sq = b.mul(i, i);
+            b.store(a, i, sq);
+        });
+        b.ret(None);
+        m.add_function(b.finish());
+        let mut mem = Memory::from_module(&m);
+        Interp::new(&m).run_main(&mut mem, &[]).unwrap();
+        let out = mem.read_i64(a);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as i64);
+        }
+    }
+
+    #[test]
+    fn tensor_matmul_tile() {
+        let a = Value::Tensor {
+            shape: TensorShape::new(2, 2),
+            data: vec![Value::F32(1.0), Value::F32(2.0), Value::F32(3.0), Value::F32(4.0)],
+        };
+        let b = Value::Tensor {
+            shape: TensorShape::new(2, 2),
+            data: vec![Value::F32(5.0), Value::F32(6.0), Value::F32(7.0), Value::F32(8.0)],
+        };
+        let r = eval_tensor(TensorOp::MatMul, &a, Some(&b)).unwrap();
+        match r {
+            Value::Tensor { data, .. } => {
+                let got: Vec<f32> = data.iter().map(Value::as_f32).collect();
+                assert_eq!(got, vec![19.0, 22.0, 43.0, 50.0]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn tensor_conv_reduces_to_scalar() {
+        let a = Value::Tensor {
+            shape: TensorShape::new(2, 2),
+            data: vec![Value::F32(1.0), Value::F32(2.0), Value::F32(3.0), Value::F32(4.0)],
+        };
+        let w = Value::Tensor {
+            shape: TensorShape::new(2, 2),
+            data: vec![Value::F32(1.0); 4],
+        };
+        let r = eval_tensor(TensorOp::Conv, &a, Some(&w)).unwrap();
+        assert_eq!(r, Value::F32(10.0));
+    }
+
+    #[test]
+    fn division_by_zero_reported() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[]).returns(Type::I64);
+        let v = b.div(ValueRef::int(1), ValueRef::int(0));
+        b.ret(Some(v));
+        m.add_function(b.finish());
+        let mut mem = Memory::from_module(&m);
+        assert!(Interp::new(&m).run_main(&mut mem, &[]).is_err());
+    }
+
+    #[test]
+    fn fuel_exhaustion_detected() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[]);
+        let hdr = b.block("spin");
+        b.br(hdr);
+        b.switch_to(hdr);
+        b.br(hdr);
+        m.add_function(b.finish());
+        let mut mem = Memory::from_module(&m);
+        let e = Interp::new(&m).with_fuel(1000).run_main(&mut mem, &[]).unwrap_err();
+        assert!(e.message.contains("fuel"));
+    }
+
+    #[test]
+    fn out_of_bounds_reported() {
+        let mut m = Module::new("t");
+        let a = m.add_mem_object("a", ScalarType::I32, 4);
+        let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+        let _ = b.load(a, ValueRef::int(99));
+        b.ret(None);
+        m.add_function(b.finish());
+        let mut mem = Memory::from_module(&m);
+        assert!(Interp::new(&m).run_main(&mut mem, &[]).is_err());
+    }
+
+    #[test]
+    fn call_and_return_value() {
+        let mut m = Module::new("t");
+        // main is function 0, callee is function 1.
+        let mut callee = FunctionBuilder::new("sq", &[Type::I64]).returns(Type::I64);
+        let v = callee.mul(callee.arg(0), callee.arg(0));
+        callee.ret(Some(v));
+        let mut main = FunctionBuilder::new("main", &[]).returns(Type::I64);
+        let r = main.call(crate::instr::FuncId(1), &[ValueRef::int(9)], Some(Type::I64));
+        main.ret(Some(r));
+        m.add_function(main.finish());
+        m.add_function(callee.finish());
+        let mut mem = Memory::from_module(&m);
+        let r = Interp::new(&m).run_main(&mut mem, &[]).unwrap();
+        assert_eq!(r, Some(Value::Int(81)));
+    }
+
+    #[test]
+    fn select_and_compare() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[Type::I64]).returns(Type::I64);
+        let c = b.icmp(CmpPred::Lt, b.arg(0), ValueRef::int(0));
+        let neg = b.sub(ValueRef::int(0), b.arg(0));
+        let abs = b.select(c, neg, b.arg(0));
+        b.ret(Some(abs));
+        m.add_function(b.finish());
+        let mut mem = Memory::from_module(&m);
+        let r = Interp::new(&m).run_main(&mut mem, &[Value::Int(-7)]).unwrap();
+        assert_eq!(r, Some(Value::Int(7)));
+        let r = Interp::new(&m).run_main(&mut mem, &[Value::Int(7)]).unwrap();
+        assert_eq!(r, Some(Value::Int(7)));
+    }
+}

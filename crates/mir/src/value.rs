@@ -1,0 +1,203 @@
+//! Runtime values used by the interpreter and the cycle-level simulator.
+
+use crate::types::{ScalarType, TensorShape, Type};
+use std::fmt;
+
+/// A dynamic runtime value: scalar, vector, or tensor tile.
+///
+/// Integers are stored sign-extended in `i64`; floats in `f32`. Composite
+/// values store their elements row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A boolean predicate.
+    Bool(bool),
+    /// Any integer kind (width tracked by the producing instruction's type).
+    Int(i64),
+    /// A 32-bit float.
+    F32(f32),
+    /// A short vector, row of scalars.
+    Vector(Vec<Value>),
+    /// A 2-D tensor tile, row-major.
+    Tensor {
+        /// Tile shape.
+        shape: TensorShape,
+        /// Row-major elements (`shape.elems()` of them).
+        data: Vec<Value>,
+    },
+    /// The poison value produced by predicated-off dataflow (§3.5: "bypass
+    /// the actual logic and poison the output").
+    Poison,
+}
+
+impl Value {
+    /// Zero value of the given type.
+    pub fn zero(ty: Type) -> Value {
+        match ty {
+            Type::Scalar(ScalarType::I1) => Value::Bool(false),
+            Type::Scalar(ScalarType::F32) => Value::F32(0.0),
+            Type::Scalar(_) => Value::Int(0),
+            Type::Vector { elem, lanes } => {
+                Value::Vector(vec![Value::zero(Type::Scalar(elem)); lanes as usize])
+            }
+            Type::Tensor { elem, shape } => Value::Tensor {
+                shape,
+                data: vec![Value::zero(Type::Scalar(elem)); shape.elems() as usize],
+            },
+        }
+    }
+
+    /// Interpret as an integer.
+    ///
+    /// # Panics
+    /// Panics if the value is not an integer or boolean.
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v,
+            Value::Bool(b) => *b as i64,
+            other => panic!("expected integer value, found {other:?}"),
+        }
+    }
+
+    /// Interpret as a float.
+    ///
+    /// # Panics
+    /// Panics if the value is not a float.
+    pub fn as_f32(&self) -> f32 {
+        match self {
+            Value::F32(v) => *v,
+            other => panic!("expected f32 value, found {other:?}"),
+        }
+    }
+
+    /// Interpret as a boolean.
+    ///
+    /// # Panics
+    /// Panics if the value is not a boolean or integer.
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Int(v) => *v != 0,
+            other => panic!("expected boolean value, found {other:?}"),
+        }
+    }
+
+    /// Whether this is the poison value.
+    pub fn is_poison(&self) -> bool {
+        matches!(self, Value::Poison)
+    }
+
+    /// Flatten into scalar element slots (memory representation).
+    pub fn flatten(&self) -> Vec<Value> {
+        match self {
+            Value::Vector(v) => v.clone(),
+            Value::Tensor { data, .. } => data.clone(),
+            other => vec![other.clone()],
+        }
+    }
+
+    /// Reassemble a value of type `ty` from flattened element slots.
+    ///
+    /// # Panics
+    /// Panics if `slots` does not contain exactly `ty.elems()` elements.
+    pub fn assemble(ty: Type, slots: Vec<Value>) -> Value {
+        assert_eq!(slots.len() as u32, ty.elems(), "slot count mismatch for {ty}");
+        match ty {
+            Type::Scalar(_) => slots.into_iter().next().expect("one slot"),
+            Type::Vector { .. } => Value::Vector(slots),
+            Type::Tensor { shape, .. } => Value::Tensor { shape, data: slots },
+        }
+    }
+
+    /// Bit pattern used when checking output memories for equality. Floats
+    /// compare by approximate equality elsewhere; this is for integers.
+    pub fn bits(&self) -> u64 {
+        match self {
+            Value::Bool(b) => *b as u64,
+            Value::Int(v) => *v as u64,
+            Value::F32(v) => v.to_bits() as u64,
+            Value::Poison => u64::MAX,
+            Value::Vector(_) | Value::Tensor { .. } => {
+                panic!("bits() is only defined on scalar values")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::F32(v) => write!(f, "{v}"),
+            Value::Vector(v) => {
+                write!(f, "<")?;
+                for (i, e) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ">")
+            }
+            Value::Tensor { shape, data } => {
+                write!(f, "tensor{shape}[")?;
+                for (i, e) in data.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Poison => write!(f, "poison"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_values() {
+        assert_eq!(Value::zero(Type::I32), Value::Int(0));
+        assert_eq!(Value::zero(Type::F32), Value::F32(0.0));
+        assert_eq!(Value::zero(Type::BOOL), Value::Bool(false));
+        let t = Value::zero(Type::Tensor { elem: ScalarType::F32, shape: TensorShape::new(2, 2) });
+        assert_eq!(t.flatten().len(), 4);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let ty = Type::Tensor { elem: ScalarType::I32, shape: TensorShape::new(2, 2) };
+        let v = Value::Tensor {
+            shape: TensorShape::new(2, 2),
+            data: vec![Value::Int(1), Value::Int(2), Value::Int(3), Value::Int(4)],
+        };
+        let back = Value::assemble(ty, v.flatten());
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), 7);
+        assert_eq!(Value::Bool(true).as_int(), 1);
+        assert!((Value::F32(1.5).as_f32() - 1.5).abs() < 1e-9);
+        assert!(Value::Int(3).as_bool());
+        assert!(!Value::Bool(false).as_bool());
+        assert!(Value::Poison.is_poison());
+    }
+
+    #[test]
+    #[should_panic]
+    fn assemble_wrong_count() {
+        Value::assemble(Type::I32, vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::Vector(vec![Value::Int(1), Value::Int(2)]).to_string(), "<1, 2>");
+        assert_eq!(Value::Poison.to_string(), "poison");
+    }
+}

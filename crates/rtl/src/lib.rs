@@ -1,0 +1,24 @@
+//! `muir-rtl` — Stage 3 of the toolflow: lowering μIR out of the graph
+//! world.
+//!
+//! * [`chisel`] emits the Chisel-like structural RTL the paper
+//!   auto-generates (Figures 4 and 6): an `Accelerator` class wiring task
+//!   blocks and structures with `<||>` / `<==>` connections, and one
+//!   `TaskModule` class per task block with node instantiations and
+//!   dataflow connections.
+//! * [`circuit`] lowers μIR to a FIRRTL-like flat circuit graph of
+//!   primitive cells (registers, muxes, arbiters, wires). Replaying μopt
+//!   transformations at this level and counting the touched cells/wires
+//!   reproduces the Table 4 productivity comparison.
+//! * [`cost`] is the synthesis stand-in: an additive area/power model and a
+//!   critical-path frequency model over the same structural graph, with
+//!   FPGA (Arria-10-class) and ASIC (28 nm-class) technology tables —
+//!   Table 2's columns.
+
+pub mod chisel;
+pub mod circuit;
+pub mod cost;
+
+pub use chisel::emit_chisel;
+pub use circuit::{lower_to_circuit, CircuitGraph};
+pub use cost::{estimate, CostEstimate, Tech};

@@ -1,0 +1,1086 @@
+//! The cycle engine: executes a μIR accelerator graph under the paper's
+//! execution model (§3.2):
+//!
+//! * the whole accelerator is a graph of concurrently running task blocks,
+//!   each with a hardware issue queue and `tiles` replicated execution
+//!   units;
+//! * within a task, execution is a pipelined latency-insensitive dataflow:
+//!   nodes handshake over bounded ready/valid edges, arbitrary buffering
+//!   may be inserted, and multiple invocations/iterations are in flight;
+//! * invocations complete in order (§3.2: unlike tagged dataflow);
+//! * memory transits through junctions (per-cycle port limits) to banked
+//!   structures; the databox slices typed accesses into element
+//!   transactions and coalesces responses (§3.4).
+//!
+//! The engine is *functional*: nodes compute real values (via the `mir`
+//! evaluators) and loads/stores access a real memory image, so every run is
+//! checked against the reference interpreter.
+
+use crate::memory::{DramModel, MemRequest, StructModel};
+use crate::{SimConfig, SimError, SimStats};
+use muir_core::accel::{Accelerator, ArgExpr, ResultInit, TaskKind};
+use muir_core::dataflow::EdgeKind;
+use muir_core::hw;
+use muir_core::node::{FusedInput, NodeKind, OpKind};
+use muir_core::structure::StructureKind;
+use muir_mir::instr::BinOp;
+use muir_mir::interp::{eval_bin, eval_cmp, eval_tensor, eval_un, Memory};
+use muir_mir::value::Value;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+fn serr(msg: impl Into<String>) -> SimError {
+    SimError { message: msg.into() }
+}
+
+/// A token on an edge queue.
+#[derive(Debug, Clone)]
+struct Tok {
+    instance: u64,
+    value: Value,
+    visible_at: Option<u64>,
+}
+
+/// Where a blocking call's response must be delivered.
+#[derive(Debug, Clone)]
+struct ReplyTo {
+    task: usize,
+    tile: usize,
+    uid: u64,
+    node: usize,
+    instance: u64,
+}
+
+/// A queued task invocation.
+#[derive(Debug, Clone)]
+struct Invocation {
+    uid: u64,
+    args: Vec<Value>,
+    reply: Option<ReplyTo>,
+    spawn_parent: Option<(usize, u64)>,
+}
+
+/// Per-invocation runtime state on one execution tile.
+#[derive(Debug)]
+struct ActiveInv {
+    uid: u64,
+    args: Vec<Value>,
+    reply: Option<ReplyTo>,
+    spawn_parent: Option<(usize, u64)>,
+    trip: u64,
+    lo: i64,
+    step: i64,
+    serial: bool,
+    admitted: u64,
+    completed: u64,
+    fired: Vec<u64>,
+    ready_at: Vec<u64>,
+    /// In-flight (issued, not yet completed) firings per node — the
+    /// databox entries of §3.4 for memory nodes, pipeline occupancy for
+    /// function units.
+    pending: Vec<u32>,
+    edge_q: Vec<VecDeque<Tok>>,
+    outstanding: HashMap<u64, u32>,
+    spawns_outstanding: u32,
+    last_output: Vec<Value>,
+    /// Internal accumulator registers of `FusedAcc` units.
+    acc_state: Vec<Option<Value>>,
+}
+
+/// Pre-elaborated, immutable view of one task's dataflow.
+#[derive(Debug)]
+struct ElabTask {
+    /// Whether each node is static (Input/Const: invocation-constant).
+    is_static: Vec<bool>,
+    /// Count of dynamic nodes (each fires once per instance).
+    dynamic_count: u32,
+    /// Node processing order: consumers before producers (reverse topo over
+    /// forward edges) so single-token edges sustain II=1.
+    order: Vec<usize>,
+    /// Per node: indices of incoming data/feedback edges sorted by port.
+    in_data: Vec<Vec<usize>>,
+    /// Per node: indices of incoming order edges.
+    in_order: Vec<Vec<usize>>,
+    /// Per node: indices of outgoing (non-static-src) edges.
+    outs: Vec<Vec<usize>>,
+    /// Per node timing.
+    timing: Vec<hw::Timing>,
+    /// Per node bound on in-flight firings (databox entries for memory
+    /// transit nodes; effectively unbounded for pipelined function units).
+    max_pending: Vec<u32>,
+    /// Queue capacity for invocations (issue queue + `<||>` FIFO).
+    queue_cap: usize,
+}
+
+#[derive(Debug)]
+struct TaskState {
+    queue: VecDeque<Invocation>,
+    tiles: Vec<Option<ActiveInv>>,
+    invocations: u64,
+    busy_cycles: u64,
+}
+
+#[derive(Debug)]
+enum Ev {
+    NodeDone { task: usize, tile: usize, uid: u64, node: usize, instance: u64 },
+    Reply { to: ReplyTo, results: Vec<Value> },
+}
+
+#[derive(Debug, Clone)]
+struct MemPending {
+    task: usize,
+    tile: usize,
+    uid: u64,
+    node: usize,
+    instance: u64,
+}
+
+/// The simulator.
+pub struct Engine<'a> {
+    acc: &'a Accelerator,
+    cfg: &'a SimConfig,
+    mem: &'a mut Memory,
+    elab: Vec<ElabTask>,
+    tasks: Vec<TaskState>,
+    structs: Vec<StructModel>,
+    dram: DramModel,
+    dram_idx: Option<usize>,
+    events: BTreeMap<u64, Vec<Ev>>,
+    req_map: HashMap<u64, MemPending>,
+    next_req: u64,
+    next_uid: u64,
+    cycle: u64,
+    last_progress: u64,
+    root_result: Option<Vec<Value>>,
+    fires: u64,
+    task_invocations: Vec<u64>,
+}
+
+impl<'a> Engine<'a> {
+    /// Elaborate the accelerator into a runnable model.
+    pub fn new(acc: &'a Accelerator, mem: &'a mut Memory, cfg: &'a SimConfig) -> Engine<'a> {
+        let elab: Vec<ElabTask> = acc
+            .task_ids()
+            .map(|tid| {
+                let task = acc.task(tid);
+                let df = &task.dataflow;
+                let n = df.nodes.len();
+                let is_static: Vec<bool> = df
+                    .nodes
+                    .iter()
+                    .map(|nd| matches!(nd.kind, NodeKind::Input { .. } | NodeKind::Const(_)))
+                    .collect();
+                let mut in_data = vec![Vec::new(); n];
+                let mut in_order = vec![Vec::new(); n];
+                let mut outs = vec![Vec::new(); n];
+                for (ei, e) in df.edges.iter().enumerate() {
+                    match e.kind {
+                        EdgeKind::Order => in_order[e.dst.0 as usize].push(ei),
+                        _ => in_data[e.dst.0 as usize].push(ei),
+                    }
+                    if !is_static[e.src.0 as usize] {
+                        outs[e.src.0 as usize].push(ei);
+                    }
+                }
+                for v in &mut in_data {
+                    v.sort_by_key(|&ei| df.edges[ei].dst_port);
+                }
+                // Reverse topological order over forward (non-feedback)
+                // edges: consumers first.
+                let order = reverse_topo(df);
+                let timing: Vec<hw::Timing> = df
+                    .nodes
+                    .iter()
+                    .map(|nd| hw::node_timing(&nd.kind, nd.ty, cfg.period_ns))
+                    .collect();
+                let conn_q = acc
+                    .task_conns
+                    .iter()
+                    .find(|c| c.child == tid)
+                    .map(|c| c.queue_depth)
+                    .unwrap_or(1);
+                let dynamic_count = is_static.iter().filter(|s| !**s).count() as u32;
+                let max_pending: Vec<u32> = df
+                    .nodes
+                    .iter()
+                    .map(|nd| match nd.kind {
+                        NodeKind::Load { .. } | NodeKind::Store { .. } => cfg.databox_entries,
+                        NodeKind::TaskCall { .. } => 16,
+                        _ => u32::MAX,
+                    })
+                    .collect();
+                ElabTask {
+                    is_static,
+                    dynamic_count,
+                    order,
+                    in_data,
+                    in_order,
+                    outs,
+                    timing,
+                    max_pending,
+                    queue_cap: (task.queue_depth + conn_q) as usize,
+                }
+            })
+            .collect();
+        let tasks = acc
+            .tasks
+            .iter()
+            .map(|t| TaskState {
+                queue: VecDeque::new(),
+                tiles: (0..t.tiles.max(1)).map(|_| None).collect(),
+                invocations: 0,
+                busy_cycles: 0,
+            })
+            .collect();
+        let structs: Vec<StructModel> = acc.structures.iter().map(StructModel::new).collect();
+        let dram_idx = acc
+            .structures
+            .iter()
+            .position(|s| matches!(s.kind, StructureKind::Dram { .. }));
+        let dram = DramModel::new(dram_idx.map(|i| &acc.structures[i].kind));
+        let ntasks = acc.tasks.len();
+        Engine {
+            acc,
+            cfg,
+            mem,
+            elab,
+            tasks,
+            structs,
+            dram,
+            dram_idx,
+            events: BTreeMap::new(),
+            req_map: HashMap::new(),
+            next_req: 1,
+            next_uid: 1,
+            cycle: 0,
+            last_progress: 0,
+            root_result: None,
+            fires: 0,
+            task_invocations: vec![0; ntasks],
+        }
+    }
+
+    /// Run the root task once with `args`; returns (cycles, results, stats).
+    ///
+    /// # Errors
+    /// Deadlock (no progress), cycle-limit exhaustion, or a functional
+    /// fault (out-of-bounds access on a live path).
+    pub fn run(mut self, args: &[Value]) -> Result<(u64, Vec<Value>, SimStats), SimError> {
+        // DMA model (§3.2: scratchpads are DMA-managed): streaming the
+        // read-only inputs into scratchpads costs DRAM bandwidth up front;
+        // draining written scratchpad objects costs bandwidth at the end.
+        let (fill, drain) = self.dma_elems();
+        let (lat, bw) = match self.dram_idx.map(|i| &self.acc.structures[i].kind) {
+            Some(StructureKind::Dram { latency, elems_per_cycle }) => {
+                (*latency as u64, (*elems_per_cycle).max(1) as u64)
+            }
+            _ => (40, 8),
+        };
+        // Scratchpad DMA is double-buffered: inbound streams overlap with
+        // compute, so only the first burst is exposed; the outbound drain
+        // likewise overlaps except its tail.
+        let burst = 4 * bw;
+        let fill_delay = if fill > 0 { lat + fill.min(burst).div_ceil(bw) } else { 0 };
+        let drain_delay = if drain > 0 { lat + drain.min(burst).div_ceil(bw) } else { 0 };
+
+        let root = self.acc.root.0 as usize;
+        let uid = self.fresh_uid();
+        self.tasks[root].queue.push_back(Invocation {
+            uid,
+            args: args.to_vec(),
+            reply: None,
+            spawn_parent: None,
+        });
+        self.cycle = fill_delay;
+        self.last_progress = fill_delay;
+        while self.root_result.is_none() {
+            if self.cycle >= self.cfg.max_cycles {
+                return Err(serr(format!("cycle limit {} exhausted", self.cfg.max_cycles)));
+            }
+            if self.cycle - self.last_progress > self.cfg.deadlock_cycles {
+                return Err(serr(format!("deadlock at cycle {}: {}", self.cycle, self.stuck_report())));
+            }
+            self.step()?;
+        }
+        // Whatever the dataflow achieved, the run can never beat the AXI
+        // channel: all scratchpad streams must cross it once.
+        let stream_floor = lat + (fill + drain).div_ceil(bw);
+        let cycles = (self.cycle + drain_delay).max(stream_floor);
+        let results = self.root_result.take().unwrap_or_default();
+        let stats = self.collect_stats(cycles);
+        Ok((cycles, results, stats))
+    }
+
+    /// Elements DMA'd into scratchpads before launch (read-only inputs) and
+    /// drained out after completion (written objects).
+    fn dma_elems(&self) -> (u64, u64) {
+        let mut fill = 0;
+        let mut drain = 0;
+        for st in &self.acc.structures {
+            if !matches!(st.kind, StructureKind::Scratchpad { .. }) {
+                continue;
+            }
+            for obj in &st.objects {
+                let Some(&(len, ro)) = self.acc.object_info.get(obj.0 as usize) else {
+                    continue;
+                };
+                if ro {
+                    fill += len;
+                } else {
+                    fill += len; // outputs are zero/limit-initialised too
+                    drain += len;
+                }
+            }
+        }
+        (fill, drain)
+    }
+
+    fn collect_stats(&self, cycles: u64) -> SimStats {
+        SimStats {
+            cycles,
+            fires: self.fires,
+            task_invocations: self.task_invocations.clone(),
+            task_busy_cycles: self.tasks.iter().map(|t| t.busy_cycles).collect(),
+            struct_stats: self.structs.iter().map(|s| s.stats).collect(),
+            dram_fills: self.dram.fills,
+        }
+    }
+
+    fn stuck_report(&self) -> String {
+        let mut out = String::new();
+        for (ti, t) in self.tasks.iter().enumerate() {
+            for (k, tile) in t.tiles.iter().enumerate() {
+                if let Some(inv) = tile {
+                    out.push_str(&format!(
+                        "task {ti} ({}) tile {k}: trip {} admitted {} completed {} spawns {}; ",
+                        self.acc.tasks[ti].name,
+                        inv.trip,
+                        inv.admitted,
+                        inv.completed,
+                        inv.spawns_outstanding
+                    ));
+                }
+            }
+            if !t.queue.is_empty() {
+                out.push_str(&format!("task {ti} queue {}; ", t.queue.len()));
+            }
+        }
+        out
+    }
+
+    /// Token capacity of an edge: explicit FIFOs use their depth; default
+    /// handshake connections act as elastic pipelines.
+    fn edge_capacity(&self, ti: usize, ei: usize) -> usize {
+        match self.acc.tasks[ti].dataflow.edges[ei].buffering {
+            muir_core::dataflow::Buffering::Handshake => self.cfg.elastic_depth as usize,
+            muir_core::dataflow::Buffering::Fifo(d) => d.max(1) as usize,
+        }
+    }
+
+    fn fresh_uid(&mut self) -> u64 {
+        let u = self.next_uid;
+        self.next_uid += 1;
+        u
+    }
+
+    fn step(&mut self) -> Result<(), SimError> {
+        let cycle = self.cycle;
+        // Phase 1: scheduled events.
+        if let Some(evs) = self.events.remove(&cycle) {
+            for ev in evs {
+                match ev {
+                    Ev::NodeDone { task, tile, uid, node, instance } => {
+                        self.node_done(task, tile, uid, node, instance, None)?;
+                    }
+                    Ev::Reply { to, results } => {
+                        self.node_done(to.task, to.tile, to.uid, to.node, to.instance, Some(results))?;
+                    }
+                }
+            }
+        }
+        // Phase 2: memory responses.
+        for si in 0..self.structs.len() {
+            let responses = {
+                let (head, tail) = self.structs.split_at_mut(si);
+                let _ = head;
+                let model = &mut tail[0];
+                let dram = if Some(si) == self.dram_idx { None } else { Some(&mut self.dram) };
+                model.tick(cycle, dram)
+            };
+            for r in responses {
+                if let Some(p) = self.req_map.remove(&r.id) {
+                    self.node_done(p.task, p.tile, p.uid, p.node, p.instance, None)?;
+                }
+            }
+        }
+        // Phase 3: dispatch queued invocations onto free tiles.
+        for ti in 0..self.tasks.len() {
+            loop {
+                let Some(free) = self.tasks[ti].tiles.iter().position(|t| t.is_none()) else {
+                    break;
+                };
+                let Some(invq) = self.tasks[ti].queue.pop_front() else { break };
+                self.activate(ti, free, invq)?;
+            }
+        }
+        // Phase 4: admissions + node firing (consumers-first order).
+        let mut junction_budget: HashMap<(usize, usize, usize), (u32, u32)> = HashMap::new();
+        for ti in 0..self.tasks.len() {
+            for tk in 0..self.tasks[ti].tiles.len() {
+                if self.tasks[ti].tiles[tk].is_some() {
+                    self.tasks[ti].busy_cycles += 1;
+                    self.tile_tick(ti, tk, &mut junction_budget)?;
+                    self.check_invocation_complete(ti, tk)?;
+                }
+            }
+        }
+        self.cycle += 1;
+        Ok(())
+    }
+
+    fn activate(&mut self, ti: usize, tile: usize, inv: Invocation) -> Result<(), SimError> {
+        let task = &self.acc.tasks[ti];
+        let (trip, lo, step, serial) = match &task.kind {
+            TaskKind::Region => (1u64, 0i64, 1i64, false),
+            TaskKind::Loop { spec, serial } => {
+                let eval = |e: &ArgExpr| -> Result<i64, SimError> {
+                    match e {
+                        ArgExpr::Const(k) => Ok(*k),
+                        ArgExpr::Arg(a) => inv
+                            .args
+                            .get(*a as usize)
+                            .map(Value::as_int)
+                            .ok_or_else(|| serr("loop bound argument missing")),
+                    }
+                };
+                let lo = eval(&spec.lo)?;
+                let hi = eval(&spec.hi)?;
+                let trip =
+                    if hi > lo { ((hi - lo) as u64).div_ceil(spec.step as u64) } else { 0 };
+                (trip, lo, spec.step, *serial)
+            }
+        };
+        let nnodes = task.dataflow.nodes.len();
+        let nedges = task.dataflow.edges.len();
+        self.tasks[ti].invocations += 1;
+        self.task_invocations[ti] += 1;
+        self.tasks[ti].tiles[tile] = Some(ActiveInv {
+            uid: inv.uid,
+            args: inv.args,
+            reply: inv.reply,
+            spawn_parent: inv.spawn_parent,
+            trip,
+            lo,
+            step,
+            serial,
+            admitted: 0,
+            completed: 0,
+            fired: vec![0; nnodes],
+            ready_at: vec![0; nnodes],
+            pending: vec![0; nnodes],
+            edge_q: vec![VecDeque::new(); nedges],
+            outstanding: HashMap::new(),
+            spawns_outstanding: 0,
+            last_output: Vec::new(),
+            acc_state: vec![None; nnodes],
+        });
+        self.last_progress = self.cycle;
+        Ok(())
+    }
+
+    /// Static value of an Input/Const node for the given invocation.
+    fn static_value(&self, ti: usize, inv: &ActiveInv, node: usize) -> Result<Value, SimError> {
+        match &self.acc.tasks[ti].dataflow.nodes[node].kind {
+            NodeKind::Input { index } => inv
+                .args
+                .get(*index as usize)
+                .cloned()
+                .ok_or_else(|| serr(format!("missing argument {index}"))),
+            NodeKind::Const(c) => Ok(c.to_value()),
+            other => Err(serr(format!("static read of dynamic node {other:?}"))),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn tile_tick(
+        &mut self,
+        ti: usize,
+        tk: usize,
+        junction_budget: &mut HashMap<(usize, usize, usize), (u32, u32)>,
+    ) -> Result<(), SimError> {
+        let cycle = self.cycle;
+        // Admission: at most one new instance per cycle.
+        {
+            let inv = self.tasks[ti].tiles[tk].as_mut().expect("active");
+            let can_admit = inv.admitted < inv.trip
+                && if inv.serial {
+                    inv.completed == inv.admitted
+                } else {
+                    inv.admitted - inv.completed < self.cfg.window
+                };
+            if can_admit {
+                let k = inv.admitted;
+                inv.admitted += 1;
+                let dc = self.elab[ti].dynamic_count;
+                inv.outstanding.insert(k, dc);
+                self.last_progress = cycle;
+            }
+        }
+        // Node firing in consumers-first order.
+        let order = self.elab[ti].order.clone();
+        for node in order {
+            self.try_fire(ti, tk, node, junction_budget)?;
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn try_fire(
+        &mut self,
+        ti: usize,
+        tk: usize,
+        node: usize,
+        junction_budget: &mut HashMap<(usize, usize, usize), (u32, u32)>,
+    ) -> Result<(), SimError> {
+        let cycle = self.cycle;
+        let df = &self.acc.tasks[ti].dataflow;
+        if self.elab[ti].is_static[node] {
+            return Ok(());
+        }
+        // Gather facts without holding a mutable borrow.
+        let (k, ok_basic) = {
+            let inv = self.tasks[ti].tiles[tk].as_ref().expect("active");
+            let k = inv.fired[node];
+            (k, k < inv.admitted && cycle >= inv.ready_at[node])
+        };
+        if !ok_basic {
+            return Ok(());
+        }
+        let kind = df.nodes[node].kind.clone();
+        let is_merge = matches!(kind, NodeKind::Merge);
+
+        // Check inputs.
+        let in_data = self.elab[ti].in_data[node].clone();
+        let in_order = self.elab[ti].in_order[node].clone();
+        {
+            let inv = self.tasks[ti].tiles[tk].as_ref().expect("active");
+            for &ei in in_data.iter().chain(&in_order) {
+                let e = &df.edges[ei];
+                if self.elab[ti].is_static[e.src.0 as usize] {
+                    continue;
+                }
+                if is_merge && e.dst_port == 1 {
+                    // Feedback: required from instance 1 on, carrying the
+                    // previous instance's token.
+                    if k == 0 {
+                        continue;
+                    }
+                    match inv.edge_q[ei].front() {
+                        Some(t) if t.visible_at.map_or(false, |v| v <= cycle) => {
+                            debug_assert_eq!(t.instance, k - 1);
+                        }
+                        _ => return Ok(()),
+                    }
+                    continue;
+                }
+                match inv.edge_q[ei].front() {
+                    Some(t) if t.visible_at.map_or(false, |v| v <= cycle) => {
+                        debug_assert_eq!(t.instance, k, "token order violated");
+                    }
+                    _ => return Ok(()),
+                }
+            }
+            // In-flight bound (databox entries / pipeline occupancy).
+            if inv.pending[node] >= self.elab[ti].max_pending[node] {
+                return Ok(());
+            }
+            // Output space: only *visible* (delivered, unconsumed) tokens
+            // occupy the edge register; in-flight results live in the
+            // producer's internal pipeline.
+            for &ei in &self.elab[ti].outs[node] {
+                let cap = self.edge_capacity(ti, ei);
+                let visible = inv.edge_q[ei].iter().filter(|t| t.visible_at.is_some()).count();
+                if visible >= cap {
+                    return Ok(());
+                }
+            }
+        }
+        // Memory/call-specific admission checks (junction ports, queues).
+        let mut mem_plan: Option<(usize, bool)> = None; // (junction, is_write)
+        match &kind {
+            NodeKind::Load { junction, .. } => mem_plan = Some((junction.0 as usize, false)),
+            NodeKind::Store { junction, .. } => mem_plan = Some((junction.0 as usize, true)),
+            NodeKind::TaskCall { callee, .. } => {
+                let child = callee.0 as usize;
+                let cap = self.elab[child].queue_cap;
+                if self.tasks[child].queue.len() >= cap {
+                    return Ok(());
+                }
+            }
+            _ => {}
+        }
+        if let Some((j, is_write)) = mem_plan {
+            let jn = &df.junctions[j];
+            let budget = junction_budget.entry((ti, tk, j)).or_insert((0, 0));
+            if is_write {
+                if budget.1 >= jn.write_ports {
+                    return Ok(());
+                }
+            } else if budget.0 >= jn.read_ports {
+                return Ok(());
+            }
+        }
+
+        // --- Fire -----------------------------------------------------------
+        // Collect input values (consume tokens).
+        let values: Vec<Value>;
+        {
+            // Static reads first (immutable), then token pops (mutable).
+            let mut slots: Vec<Option<Value>> = vec![None; in_data.len()];
+            for (i, &ei) in in_data.iter().enumerate() {
+                let e = &df.edges[ei];
+                if self.elab[ti].is_static[e.src.0 as usize] {
+                    let inv = self.tasks[ti].tiles[tk].as_ref().expect("active");
+                    slots[i] = Some(self.static_value(ti, inv, e.src.0 as usize)?);
+                }
+            }
+            let inv = self.tasks[ti].tiles[tk].as_mut().expect("active");
+            for (i, &ei) in in_data.iter().enumerate() {
+                if slots[i].is_some() {
+                    continue;
+                }
+                let e = &df.edges[ei];
+                if is_merge && e.dst_port == 1 && k == 0 {
+                    slots[i] = Some(Value::Poison); // unused at instance 0
+                    continue;
+                }
+                let t = inv.edge_q[ei].pop_front().ok_or_else(|| serr("missing token"))?;
+                slots[i] = Some(t.value);
+            }
+            for &ei in &in_order {
+                let e = &df.edges[ei];
+                if self.elab[ti].is_static[e.src.0 as usize] {
+                    continue;
+                }
+                inv.edge_q[ei].pop_front();
+            }
+            values = slots.into_iter().map(|s| s.expect("slot filled")).collect();
+        }
+
+        let timing = self.elab[ti].timing[node];
+        let mut completion_at = Some(cycle + timing.latency as u64);
+        let mut out_values: Vec<Value> = Vec::new();
+
+        match &kind {
+            NodeKind::IndVar => {
+                let inv = self.tasks[ti].tiles[tk].as_ref().expect("active");
+                out_values = vec![Value::Int(inv.lo + k as i64 * inv.step)];
+            }
+            NodeKind::Merge => {
+                // Port 0 = init (instance 0), port 1 = feedback.
+                let v = if k == 0 { values[0].clone() } else { values[1].clone() };
+                out_values = vec![v];
+            }
+            NodeKind::FusedAcc { op } => {
+                // Self-accumulating unit: port 0 = init, port 1 = operand.
+                let base = if k == 0 {
+                    values[0].clone()
+                } else {
+                    self.tasks[ti].tiles[tk]
+                        .as_ref()
+                        .expect("active")
+                        .acc_state[node]
+                        .clone()
+                        .ok_or_else(|| serr("accumulator state missing"))?
+                };
+                let r = eval_op(*op, &[base, values[1].clone()])?;
+                let inv = self.tasks[ti].tiles[tk].as_mut().expect("active");
+                inv.acc_state[node] = Some(r.clone());
+                out_values = vec![r];
+            }
+            NodeKind::Compute(op) => {
+                out_values = vec![eval_op(*op, &values)?];
+            }
+            NodeKind::Fused(plan) => {
+                out_values = vec![eval_fused(plan, &values)?];
+            }
+            NodeKind::Output => {
+                let inv = self.tasks[ti].tiles[tk].as_mut().expect("active");
+                inv.last_output = values.clone();
+            }
+            NodeKind::Load { obj, predicated, .. } => {
+                let active = !*predicated || values.last().map(|v| !v.is_poison() && v.as_bool()).unwrap_or(true);
+                if active {
+                    let idx = values[0].as_int();
+                    if idx < 0 {
+                        return Err(serr(format!("negative load index in task {ti}")));
+                    }
+                    let ty = df.nodes[node].ty;
+                    let n = ty.elems() as u64;
+                    let mut slots = Vec::with_capacity(n as usize);
+                    let base = self.mem.flat_addr(*obj, idx as u64);
+                    for kk in 0..n {
+                        slots.push(
+                            self.mem
+                                .read(*obj, idx as u64 + kk)
+                                .map_err(|e| serr(e.to_string()))?,
+                        );
+                    }
+                    out_values = vec![Value::assemble(ty, slots)];
+                    let id = self.next_req;
+                    self.next_req += 1;
+                    let addrs: Vec<u64> = (0..n).map(|kk| base + kk).collect();
+                    let sid = df.junctions[match &kind {
+                        NodeKind::Load { junction, .. } => junction.0 as usize,
+                        _ => unreachable!(),
+                    }]
+                    .structure
+                    .0 as usize;
+                    self.structs[sid].submit(MemRequest { id, addrs, is_write: false });
+                    self.req_map.insert(
+                        id,
+                        MemPending { task: ti, tile: tk, uid: self.tasks[ti].tiles[tk].as_ref().expect("active").uid, node, instance: k },
+                    );
+                    completion_at = None; // completes on memory response
+                    let (j, _) = mem_plan.expect("mem plan");
+                    junction_budget.get_mut(&(ti, tk, j)).expect("budget").0 += 1;
+                } else {
+                    out_values = vec![Value::Poison];
+                }
+            }
+            NodeKind::Store { obj, predicated, .. } => {
+                let active = !*predicated || values.last().map(|v| !v.is_poison() && v.as_bool()).unwrap_or(true);
+                if active {
+                    let idx = values[0].as_int();
+                    if idx < 0 {
+                        return Err(serr(format!("negative store index in task {ti}")));
+                    }
+                    let v = values[1].clone();
+                    if v.is_poison() {
+                        return Err(serr(format!(
+                            "poison stored to {obj:?} in task {ti} ({})",
+                            self.acc.tasks[ti].name
+                        )));
+                    }
+                    let base = self.mem.flat_addr(*obj, idx as u64);
+                    let slots = v.flatten();
+                    let n = slots.len() as u64;
+                    for (kk, s) in slots.into_iter().enumerate() {
+                        self.mem
+                            .write(*obj, idx as u64 + kk as u64, s)
+                            .map_err(|e| serr(e.to_string()))?;
+                    }
+                    let id = self.next_req;
+                    self.next_req += 1;
+                    let addrs: Vec<u64> = (0..n).map(|kk| base + kk).collect();
+                    let sid = df.junctions[match &kind {
+                        NodeKind::Store { junction, .. } => junction.0 as usize,
+                        _ => unreachable!(),
+                    }]
+                    .structure
+                    .0 as usize;
+                    self.structs[sid].submit(MemRequest { id, addrs, is_write: true });
+                    self.req_map.insert(
+                        id,
+                        MemPending { task: ti, tile: tk, uid: self.tasks[ti].tiles[tk].as_ref().expect("active").uid, node, instance: k },
+                    );
+                    completion_at = None;
+                    let (j, _) = mem_plan.expect("mem plan");
+                    junction_budget.get_mut(&(ti, tk, j)).expect("budget").1 += 1;
+                }
+            }
+            NodeKind::TaskCall { callee, predicated, spawn } => {
+                let child = callee.0 as usize;
+                let nargs = self.acc.tasks[child].num_args as usize;
+                let nres = self.acc.tasks[child].num_results as usize;
+                let active = !*predicated
+                    || values.get(nargs).map(|v| !v.is_poison() && v.as_bool()).unwrap_or(true);
+                if active {
+                    let args: Vec<Value> = values[..nargs].to_vec();
+                    let uid = self.fresh_uid();
+                    let me_uid = self.tasks[ti].tiles[tk].as_ref().expect("active").uid;
+                    if *spawn {
+                        self.tasks[child].queue.push_back(Invocation {
+                            uid,
+                            args,
+                            reply: None,
+                            spawn_parent: Some((ti, me_uid)),
+                        });
+                        let inv = self.tasks[ti].tiles[tk].as_mut().expect("active");
+                        inv.spawns_outstanding += 1;
+                        out_values = vec![Value::Int(0); nres.max(1)];
+                    } else {
+                        self.tasks[child].queue.push_back(Invocation {
+                            uid,
+                            args,
+                            reply: Some(ReplyTo { task: ti, tile: tk, uid: me_uid, node, instance: k }),
+                            spawn_parent: None,
+                        });
+                        out_values = vec![Value::Poison; nres.max(1)]; // patched by reply
+                        completion_at = None;
+                    }
+                } else {
+                    out_values = vec![Value::Poison; nres.max(1)];
+                }
+            }
+            NodeKind::Input { .. } | NodeKind::Const(_) => unreachable!("static"),
+        }
+
+        // Push pending tokens on out edges.
+        {
+            let outs = self.elab[ti].outs[node].clone();
+            let inv = self.tasks[ti].tiles[tk].as_mut().expect("active");
+            for &ei in &outs {
+                let e = &df.edges[ei];
+                let value = match e.kind {
+                    EdgeKind::Order => Value::Bool(true),
+                    _ => out_values
+                        .get(e.src_port as usize)
+                        .cloned()
+                        .unwrap_or(Value::Bool(true)),
+                };
+                inv.edge_q[ei].push_back(Tok { instance: k, value, visible_at: None });
+            }
+            inv.fired[node] = k + 1;
+            inv.ready_at[node] = cycle + timing.ii as u64;
+            inv.pending[node] += 1;
+        }
+        self.fires += 1;
+        self.last_progress = cycle;
+        if let Some(at) = completion_at {
+            let uid = self.tasks[ti].tiles[tk].as_ref().expect("active").uid;
+            self.events
+                .entry(at.max(cycle + 1))
+                .or_default()
+                .push(Ev::NodeDone { task: ti, tile: tk, uid, node, instance: k });
+        }
+        Ok(())
+    }
+
+    /// A node's firing completed: make its tokens visible (patching values
+    /// for call replies) and advance instance/invocation completion.
+    fn node_done(
+        &mut self,
+        ti: usize,
+        tk: usize,
+        uid: u64,
+        node: usize,
+        instance: u64,
+        reply_values: Option<Vec<Value>>,
+    ) -> Result<(), SimError> {
+        let cycle = self.cycle;
+        let df = &self.acc.tasks[ti].dataflow;
+        let outs = self.elab[ti].outs[node].clone();
+        {
+            let Some(inv) = self.tasks[ti].tiles[tk].as_mut() else {
+                return Ok(()); // stale
+            };
+            if inv.uid != uid {
+                return Ok(()); // stale
+            }
+            for &ei in &outs {
+                let e = &df.edges[ei];
+                for t in inv.edge_q[ei].iter_mut() {
+                    if t.instance == instance && t.visible_at.is_none() {
+                        if let Some(rv) = &reply_values {
+                            if e.kind != EdgeKind::Order {
+                                if let Some(v) = rv.get(e.src_port as usize) {
+                                    t.value = v.clone();
+                                }
+                            }
+                        }
+                        t.visible_at = Some(cycle);
+                        break;
+                    }
+                }
+            }
+            inv.pending[node] = inv.pending[node].saturating_sub(1);
+            let slot = inv
+                .outstanding
+                .get_mut(&instance)
+                .ok_or_else(|| serr("completion for unknown instance"))?;
+            *slot = slot.saturating_sub(1);
+            // In-order instance retirement.
+            while inv.outstanding.get(&inv.completed) == Some(&0) {
+                inv.outstanding.remove(&inv.completed);
+                inv.completed += 1;
+            }
+        }
+        self.last_progress = cycle;
+        self.check_invocation_complete(ti, tk)
+    }
+
+    fn check_invocation_complete(&mut self, ti: usize, tk: usize) -> Result<(), SimError> {
+        let done = {
+            let Some(inv) = self.tasks[ti].tiles[tk].as_ref() else { return Ok(()) };
+            inv.admitted == inv.trip
+                && inv.completed == inv.trip
+                && inv.outstanding.is_empty()
+                && inv.spawns_outstanding == 0
+        };
+        if !done {
+            return Ok(());
+        }
+        let inv = self.tasks[ti].tiles[tk].take().expect("active");
+        let task = &self.acc.tasks[ti];
+        // Results: the last Output firing's values, or zero-trip fallbacks.
+        let results: Vec<Value> = if inv.trip == 0 {
+            (0..task.num_results as usize)
+                .map(|r| match task.loop_result_inits.get(r).and_then(|x| *x) {
+                    Some(ResultInit::Arg(a)) => {
+                        inv.args.get(a as usize).cloned().unwrap_or(Value::Poison)
+                    }
+                    Some(ResultInit::Const(c)) => c.to_value(),
+                    None => Value::Poison,
+                })
+                .collect()
+        } else {
+            inv.last_output.clone()
+        };
+        if let Some((ptask, puid)) = inv.spawn_parent {
+            // Sync bookkeeping: find the parent invocation and release it.
+            for ptile in self.tasks[ptask].tiles.iter_mut() {
+                if let Some(pinv) = ptile {
+                    if pinv.uid == puid {
+                        pinv.spawns_outstanding -= 1;
+                        break;
+                    }
+                }
+            }
+            // Parent may now be complete.
+            let ptiles = self.tasks[ptask].tiles.len();
+            for pt in 0..ptiles {
+                self.check_invocation_complete(ptask, pt)?;
+            }
+        } else if let Some(reply) = inv.reply {
+            let at = self.cycle + 1;
+            self.events.entry(at).or_default().push(Ev::Reply { to: reply, results });
+        } else {
+            self.root_result = Some(results);
+        }
+        self.last_progress = self.cycle;
+        Ok(())
+    }
+}
+
+/// Consumers-before-producers order over forward edges, so that a consumer
+/// freeing a 1-deep edge this cycle lets its producer refire this cycle
+/// (sustaining II=1 through handshake chains).
+fn reverse_topo(df: &muir_core::dataflow::Dataflow) -> Vec<usize> {
+    forward_topo(df).into_iter().rev().collect()
+}
+
+fn forward_topo(df: &muir_core::dataflow::Dataflow) -> Vec<usize> {
+    let n = df.nodes.len();
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    for e in &df.edges {
+        if e.kind == EdgeKind::Feedback {
+            continue;
+        }
+        succs[e.src.0 as usize].push(e.dst.0 as usize);
+        indeg[e.dst.0 as usize] += 1;
+    }
+    let mut work: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(x) = work.pop() {
+        order.push(x);
+        for &s in &succs[x] {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                work.push(s);
+            }
+        }
+    }
+    // Any leftover (forward cycle — should not happen) appended for safety.
+    for i in 0..n {
+        if !order.contains(&i) {
+            order.push(i);
+        }
+    }
+    order
+}
+
+/// Evaluate a compute op on runtime values.
+fn eval_op(op: OpKind, values: &[Value]) -> Result<Value, SimError> {
+    let r = match op {
+        OpKind::Bin(b) => {
+            // Hardware on a predicated-off path may divide by zero; the
+            // result is squashed, so produce poison rather than fault.
+            if matches!(b, BinOp::Div | BinOp::Rem)
+                && values[1].as_int_checked() == Some(0)
+            {
+                return Ok(Value::Poison);
+            }
+            eval_bin(b, &values[0], &values[1]).map_err(|e| serr(e.to_string()))?
+        }
+        OpKind::Un(u) => eval_un(u, &values[0]),
+        OpKind::Cmp(p) => eval_cmp(p, &values[0], &values[1]),
+        OpKind::Select => {
+            if values[0].is_poison() {
+                Value::Poison
+            } else if values[0].as_bool() {
+                values[1].clone()
+            } else {
+                values[2].clone()
+            }
+        }
+        OpKind::Cast(c) => match c {
+            muir_mir::instr::CastOp::SiToFp => {
+                if values[0].is_poison() {
+                    Value::Poison
+                } else {
+                    Value::F32(values[0].as_int() as f32)
+                }
+            }
+            muir_mir::instr::CastOp::FpToSi => {
+                if values[0].is_poison() {
+                    Value::Poison
+                } else {
+                    Value::Int(values[0].as_f32() as i64)
+                }
+            }
+            muir_mir::instr::CastOp::IntResize => values[0].clone(),
+        },
+        OpKind::Tensor(t, _) => {
+            if values.iter().any(Value::is_poison) {
+                Value::Poison
+            } else {
+                eval_tensor(t, &values[0], values.get(1)).map_err(|e| serr(e.to_string()))?
+            }
+        }
+    };
+    Ok(r)
+}
+
+/// Evaluate a fused plan.
+fn eval_fused(plan: &muir_core::node::FusedPlan, values: &[Value]) -> Result<Value, SimError> {
+    let mut step_vals: Vec<Value> = Vec::with_capacity(plan.steps.len());
+    for step in &plan.steps {
+        let ins: Vec<Value> = step
+            .inputs
+            .iter()
+            .map(|i| match i {
+                FusedInput::External(p) => values[*p as usize].clone(),
+                FusedInput::Step(s) => step_vals[*s as usize].clone(),
+            })
+            .collect();
+        step_vals.push(eval_op(step.op, &ins)?);
+    }
+    step_vals.pop().ok_or_else(|| serr("empty fused plan"))
+}
+
+/// Poison-tolerant integer view.
+trait ValueExt {
+    fn as_int_checked(&self) -> Option<i64>;
+}
+
+impl ValueExt for Value {
+    fn as_int_checked(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Bool(b) => Some(*b as i64),
+            _ => None,
+        }
+    }
+}
+

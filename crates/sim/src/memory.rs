@@ -1,0 +1,458 @@
+//! Cycle-level models of the hardware structures: banked scratchpads,
+//! set-associative banked caches, and the DRAM/AXI port (§3.2, §3.4).
+//!
+//! The **databox** behaviour of §3.4 lives here: a typed access (scalar,
+//! vector, tensor tile) is sliced into element transactions, issued in
+//! parallel subject to bank/port limits, and the responses are coalesced
+//! back into one completion.
+
+use muir_core::structure::{Structure, StructureKind};
+use std::collections::VecDeque;
+
+/// Identifier handed back on completion of a memory request.
+pub type ReqId = u64;
+
+/// One element-granularity transaction.
+#[derive(Debug, Clone)]
+struct ElemTxn {
+    req: ReqId,
+    /// Flat global element address (banks stripe on this).
+    addr: u64,
+    is_write: bool,
+}
+
+/// A typed request from a load/store node (already sliced by address).
+#[derive(Debug, Clone)]
+pub struct MemRequest {
+    /// Completion identifier.
+    pub id: ReqId,
+    /// Flat element addresses touched (consecutive for tiles/vectors).
+    pub addrs: Vec<u64>,
+    /// Whether this is a store.
+    pub is_write: bool,
+}
+
+/// Completion notice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemResponse {
+    /// The request that finished.
+    pub id: ReqId,
+    /// Cycle at which data is valid.
+    pub at: u64,
+}
+
+/// Statistics for one structure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StructStats {
+    /// Requests accepted.
+    pub requests: u64,
+    /// Element transactions serviced.
+    pub elem_txns: u64,
+    /// Transactions delayed by bank/port contention (conflict cycles).
+    pub conflict_stalls: u64,
+    /// Cache hits (caches only).
+    pub hits: u64,
+    /// Cache misses (caches only).
+    pub misses: u64,
+    /// Lines written back to DRAM (caches only).
+    pub writebacks: u64,
+}
+
+/// Cache line state.
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+/// Cycle model of one hardware structure.
+#[derive(Debug)]
+pub struct StructModel {
+    kind: StructureKind,
+    /// Per-bank queues of element transactions.
+    banks: Vec<VecDeque<ElemTxn>>,
+    /// Outstanding per-request remaining element counts and worst latency.
+    outstanding: Vec<(ReqId, u32)>,
+    /// Scheduled responses.
+    done: Vec<MemResponse>,
+    /// Cache directory (caches only): sets × ways.
+    lines: Vec<Vec<Line>>,
+    /// In-flight DRAM line fills: (ready_cycle, req, remaining-elems-tag).
+    dram_fills: VecDeque<(u64, ElemTxn)>,
+    /// DRAM bandwidth accounting for the current cycle.
+    lru_clock: u64,
+    /// Statistics.
+    pub stats: StructStats,
+}
+
+impl StructModel {
+    /// Build a model for a structure.
+    pub fn new(s: &Structure) -> StructModel {
+        let nbanks = match &s.kind {
+            StructureKind::Scratchpad { banks, .. } => *banks as usize,
+            StructureKind::Cache { banks, .. } => *banks as usize,
+            StructureKind::Dram { .. } => 1,
+        };
+        let lines = match &s.kind {
+            StructureKind::Cache { capacity, assoc, line_elems, .. } => {
+                let nlines = (*capacity / *line_elems as u64).max(1);
+                let sets = (nlines / *assoc as u64).max(1) as usize;
+                vec![vec![Line::default(); *assoc as usize]; sets]
+            }
+            _ => Vec::new(),
+        };
+        StructModel {
+            kind: s.kind.clone(),
+            banks: vec![VecDeque::new(); nbanks.max(1)],
+            outstanding: Vec::new(),
+            done: Vec::new(),
+            lines,
+            dram_fills: VecDeque::new(),
+            lru_clock: 0,
+            stats: StructStats::default(),
+        }
+    }
+
+    /// Accept a request, slicing it into transactions. An untyped
+    /// structure issues one element transaction per address; a tile-shaped
+    /// scratchpad (§6.3) has rows as wide as the tile, so a whole aligned
+    /// tile moves as a single transaction.
+    pub fn submit(&mut self, req: MemRequest) {
+        self.stats.requests += 1;
+        let row = match &self.kind {
+            StructureKind::Scratchpad { shape: Some(sh), .. } => sh.elems() as usize,
+            _ => 1,
+        };
+        let groups: Vec<u64> = req.addrs.chunks(row.max(1)).map(|c| c[0]).collect();
+        let n = groups.len() as u32;
+        self.outstanding.push((req.id, n.max(1)));
+        if groups.is_empty() {
+            // Degenerate: complete next tick.
+            self.done.push(MemResponse { id: req.id, at: 0 });
+            return;
+        }
+        let nbanks = self.banks.len() as u64;
+        for addr in groups {
+            let bank = ((addr / row as u64) % nbanks) as usize;
+            self.banks[bank].push_back(ElemTxn { req: req.id, addr, is_write: req.is_write });
+        }
+    }
+
+    /// Advance one cycle; returns completions whose data is valid *now*.
+    pub fn tick(&mut self, cycle: u64, dram: Option<&mut DramModel>) -> Vec<MemResponse> {
+        match self.kind.clone() {
+            StructureKind::Scratchpad { ports_per_bank, latency, .. } => {
+                self.tick_spad(cycle, ports_per_bank, latency);
+            }
+            StructureKind::Cache { line_elems, hit_latency, .. } => {
+                self.tick_cache(cycle, line_elems, hit_latency, dram);
+            }
+            StructureKind::Dram { latency, elems_per_cycle } => {
+                self.tick_raw_dram(cycle, latency, elems_per_cycle);
+            }
+        }
+        let (ready, rest): (Vec<MemResponse>, Vec<MemResponse>) =
+            self.done.drain(..).partition(|r| r.at <= cycle);
+        self.done = rest;
+        ready
+    }
+
+    fn retire_elem(&mut self, req: ReqId, at: u64) {
+        self.stats.elem_txns += 1;
+        if let Some(slot) = self.outstanding.iter_mut().find(|(id, _)| *id == req) {
+            slot.1 -= 1;
+            if slot.1 == 0 {
+                self.done.push(MemResponse { id: req, at });
+                self.outstanding.retain(|(id, _)| *id != req);
+            }
+        }
+    }
+
+    fn tick_spad(&mut self, cycle: u64, ports_per_bank: u32, latency: u32) {
+        for b in 0..self.banks.len() {
+            let mut served = 0;
+            while served < ports_per_bank {
+                let Some(txn) = self.banks[b].pop_front() else { break };
+                self.retire_elem(txn.req, cycle + latency as u64);
+                served += 1;
+            }
+            self.stats.conflict_stalls += self.banks[b].len() as u64;
+        }
+    }
+
+    fn tick_cache(
+        &mut self,
+        cycle: u64,
+        line_elems: u32,
+        hit_latency: u32,
+        dram: Option<&mut DramModel>,
+    ) {
+        // Drain finished DRAM fills first: install the line, service the txn.
+        while let Some(&(ready, _)) = self.dram_fills.front() {
+            if ready > cycle {
+                break;
+            }
+            let (_, txn) = self.dram_fills.pop_front().expect("nonempty");
+            self.install_line(txn.addr, line_elems, txn.is_write);
+            self.retire_elem(txn.req, cycle);
+        }
+        // Service one txn per bank per cycle.
+        let nbanks = self.banks.len();
+        let mut victims: Vec<ElemTxn> = Vec::new();
+        for b in 0..nbanks {
+            if let Some(txn) = self.banks[b].pop_front() {
+                if self.probe(txn.addr, line_elems, txn.is_write) {
+                    self.stats.hits += 1;
+                    self.retire_elem(txn.req, cycle + hit_latency as u64);
+                } else {
+                    self.stats.misses += 1;
+                    victims.push(txn);
+                }
+            }
+            self.stats.conflict_stalls += self.banks[b].len() as u64;
+        }
+        if let Some(dram) = dram {
+            for txn in victims {
+                let ready = dram.fetch_line(cycle, line_elems);
+                self.dram_fills.push_back((ready, txn));
+            }
+            // Keep fills sorted by readiness (DRAM returns in order anyway).
+            self.dram_fills.make_contiguous().sort_by_key(|(r, _)| *r);
+        } else {
+            // No DRAM behind this cache: treat as hit after a long latency.
+            for txn in victims {
+                self.retire_elem(txn.req, cycle + 40);
+            }
+        }
+    }
+
+    fn tick_raw_dram(&mut self, cycle: u64, latency: u32, elems_per_cycle: u32) {
+        let mut budget = elems_per_cycle;
+        while budget > 0 {
+            let Some(txn) = self.banks[0].pop_front() else { break };
+            self.retire_elem(txn.req, cycle + latency as u64);
+            budget -= 1;
+        }
+        self.stats.conflict_stalls += self.banks[0].len() as u64;
+    }
+
+    fn set_and_tag(&self, addr: u64, line_elems: u32) -> (usize, u64) {
+        let line = addr / line_elems as u64;
+        let sets = self.lines.len() as u64;
+        ((line % sets) as usize, line / sets)
+    }
+
+    fn probe(&mut self, addr: u64, line_elems: u32, is_write: bool) -> bool {
+        let (set, tag) = self.set_and_tag(addr, line_elems);
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        for l in &mut self.lines[set] {
+            if l.valid && l.tag == tag {
+                l.lru = clock;
+                l.dirty |= is_write;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn install_line(&mut self, addr: u64, line_elems: u32, is_write: bool) {
+        let (set, tag) = self.set_and_tag(addr, line_elems);
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let way = self.lines[set]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| if l.valid { l.lru } else { 0 })
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let line = &mut self.lines[set][way];
+        if line.valid && line.dirty {
+            self.stats.writebacks += 1;
+        }
+        *line = Line { tag, valid: true, dirty: is_write, lru: clock };
+    }
+
+    /// Reconfigure bank count (used when μopt transformed the graph between
+    /// simulations — models are rebuilt, so this is mostly for tests).
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Outstanding transactions (for idle detection).
+    pub fn is_idle(&self) -> bool {
+        self.outstanding.is_empty() && self.dram_fills.is_empty() && self.done.is_empty()
+    }
+}
+
+/// The shared DRAM/AXI port: fixed access latency plus a line-fill
+/// bandwidth limit.
+#[derive(Debug)]
+pub struct DramModel {
+    latency: u64,
+    elems_per_cycle: u32,
+    /// The cycle at which the channel frees up.
+    busy_until: u64,
+    /// Line fills issued.
+    pub fills: u64,
+}
+
+impl DramModel {
+    /// Build from the accelerator's DRAM structure (or defaults).
+    pub fn new(kind: Option<&StructureKind>) -> DramModel {
+        match kind {
+            Some(StructureKind::Dram { latency, elems_per_cycle }) => DramModel {
+                latency: *latency as u64,
+                elems_per_cycle: *elems_per_cycle,
+                busy_until: 0,
+                fills: 0,
+            },
+            _ => DramModel { latency: 40, elems_per_cycle: 8, busy_until: 0, fills: 0 },
+        }
+    }
+
+    /// Schedule a line fill starting no earlier than `cycle`; returns the
+    /// ready cycle (latency + channel occupancy).
+    pub fn fetch_line(&mut self, cycle: u64, line_elems: u32) -> u64 {
+        let start = self.busy_until.max(cycle);
+        let occupancy = (line_elems as u64).div_ceil(self.elems_per_cycle as u64).max(1);
+        self.busy_until = start + occupancy;
+        self.fills += 1;
+        start + occupancy + self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muir_core::structure::Structure;
+
+    fn spad(banks: u32, ports: u32) -> StructModel {
+        let mut s = Structure::scratchpad("s", 1024);
+        if let StructureKind::Scratchpad { banks: b, ports_per_bank: p, .. } = &mut s.kind {
+            *b = banks;
+            *p = ports;
+        }
+        StructModel::new(&s)
+    }
+
+    #[test]
+    fn scratchpad_single_access() {
+        let mut m = spad(1, 2);
+        m.submit(MemRequest { id: 1, addrs: vec![0], is_write: false });
+        let r = m.tick(0, None);
+        assert_eq!(r.len(), 0, "latency 1: response valid next cycle");
+        let r = m.tick(1, None);
+        assert_eq!(r, vec![MemResponse { id: 1, at: 1 }]);
+        assert!(m.is_idle());
+    }
+
+    #[test]
+    fn tensor_request_coalesces() {
+        let mut m = spad(4, 1);
+        // 4 consecutive addrs stripe across 4 banks: all serviced in 1 cycle.
+        m.submit(MemRequest { id: 7, addrs: vec![0, 1, 2, 3], is_write: false });
+        let r = m.tick(0, None);
+        assert!(r.is_empty());
+        let r = m.tick(1, None);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].id, 7);
+    }
+
+    #[test]
+    fn bank_conflicts_serialize() {
+        let mut m = spad(1, 1);
+        // 4 element txns on a single-ported single bank: 4 cycles to drain.
+        m.submit(MemRequest { id: 9, addrs: vec![0, 1, 2, 3], is_write: true });
+        let mut done_at = None;
+        for c in 0..10 {
+            for r in m.tick(c, None) {
+                done_at = Some(r.at);
+            }
+        }
+        assert_eq!(done_at, Some(4), "last element serviced at cycle 3 + latency 1");
+        assert!(m.stats.conflict_stalls > 0);
+    }
+
+    #[test]
+    fn more_banks_reduce_conflicts() {
+        let run = |banks: u32| {
+            let mut m = spad(banks, 1);
+            m.submit(MemRequest { id: 1, addrs: (0..16).collect(), is_write: false });
+            for c in 0..100 {
+                for r in m.tick(c, None) {
+                    return r.at;
+                }
+                let _ = c;
+            }
+            u64::MAX
+        };
+        assert!(run(4) < run(1), "banking must speed up strided streams");
+    }
+
+    #[test]
+    fn cache_hits_after_fill() {
+        let mut cache = StructModel::new(&Structure::l1_cache("l1"));
+        let mut dram = DramModel::new(None);
+        cache.submit(MemRequest { id: 1, addrs: vec![0], is_write: false });
+        let mut first_done = None;
+        for c in 0..200 {
+            for r in cache.tick(c, Some(&mut dram)) {
+                first_done.get_or_insert(r.at);
+            }
+            if first_done.is_some() {
+                break;
+            }
+        }
+        let miss_time = first_done.unwrap();
+        assert!(miss_time > 20, "first access misses to DRAM");
+        assert_eq!(cache.stats.misses, 1);
+        // Same line again: hit.
+        cache.submit(MemRequest { id: 2, addrs: vec![1], is_write: false });
+        let start = miss_time + 1;
+        let mut second_done = None;
+        for c in start..start + 50 {
+            for r in cache.tick(c, Some(&mut dram)) {
+                second_done.get_or_insert(r.at);
+            }
+            if second_done.is_some() {
+                break;
+            }
+        }
+        assert!(second_done.unwrap() - start <= 3, "second access hits");
+        assert_eq!(cache.stats.hits, 1);
+    }
+
+    #[test]
+    fn dram_bandwidth_occupancy() {
+        let mut d = DramModel::new(None);
+        let r1 = d.fetch_line(0, 16);
+        let r2 = d.fetch_line(0, 16);
+        assert!(r2 > r1, "second fill queues behind the first");
+        assert_eq!(d.fills, 2);
+    }
+
+    #[test]
+    fn cache_eviction_writes_back() {
+        // Tiny cache: force evictions.
+        let mut s = Structure::l1_cache("l1");
+        if let StructureKind::Cache { capacity, assoc, .. } = &mut s.kind {
+            *capacity = 64; // 4 lines of 16
+            *assoc = 1;
+        }
+        let mut cache = StructModel::new(&s);
+        let mut dram = DramModel::new(None);
+        // Write two lines mapping to the same set (stride = sets*line).
+        for (id, addr) in [(1u64, 0u64), (2, 64)] {
+            cache.submit(MemRequest { id, addrs: vec![addr], is_write: true });
+            for c in 0..500 {
+                if !cache.tick(c, Some(&mut dram)).is_empty() {
+                    break;
+                }
+            }
+        }
+        assert!(cache.stats.writebacks >= 1, "dirty eviction writes back");
+    }
+}

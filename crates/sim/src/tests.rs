@@ -1,0 +1,562 @@
+//! End-to-end simulator tests: every accelerator run is validated against
+//! the reference interpreter, and first-order timing behaviours are
+//! checked (pipelining, serialization, banking, tiling, contention).
+
+use crate::{simulate, SimConfig};
+use muir_core::accel::Accelerator;
+use muir_core::structure::StructureKind;
+use muir_frontend::{translate, FrontendConfig};
+use muir_mir::builder::FunctionBuilder;
+use muir_mir::instr::{CmpPred, TensorOp, ValueRef};
+use muir_mir::interp::{Interp, Memory};
+use muir_mir::module::Module;
+use muir_mir::types::{ScalarType, TensorShape, Type};
+use muir_mir::value::Value;
+
+fn run_both(m: &Module, inits: &[(muir_mir::instr::MemObjId, Vec<i64>)]) -> (Memory, Memory, u64) {
+    let acc = translate(m, &FrontendConfig::default()).expect("translate");
+    run_both_on(&acc, m, inits)
+}
+
+fn run_both_on(
+    acc: &Accelerator,
+    m: &Module,
+    inits: &[(muir_mir::instr::MemObjId, Vec<i64>)],
+) -> (Memory, Memory, u64) {
+    let mut ref_mem = Memory::from_module(m);
+    let mut sim_mem = Memory::from_module(m);
+    for (obj, data) in inits {
+        ref_mem.init_i64(*obj, data);
+        sim_mem.init_i64(*obj, data);
+    }
+    Interp::new(m).run_main(&mut ref_mem, &[]).expect("interp");
+    let r = simulate(acc, &mut sim_mem, &[], &SimConfig::default()).expect("simulate");
+    (ref_mem, sim_mem, r.cycles)
+}
+
+fn assert_mem_eq(m: &Module, a: &Memory, b: &Memory) {
+    for (i, (oa, ob)) in a.objects.iter().zip(&b.objects).enumerate() {
+        assert_eq!(oa, ob, "object {} ({}) differs", i, m.mem_objects[i].name);
+    }
+}
+
+#[test]
+fn straightline_region_matches_interp() {
+    let mut m = Module::new("sl");
+    let a = m.add_mem_object("a", ScalarType::I32, 8);
+    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+    let v = b.load(a, ValueRef::int(0));
+    let w = b.add(v, ValueRef::int(41));
+    b.store(a, ValueRef::int(1), w);
+    b.ret(None);
+    m.add_function(b.finish());
+    let (r, s, cycles) = run_both(&m, &[(a, vec![1, 0, 0, 0, 0, 0, 0, 0])]);
+    assert_mem_eq(&m, &r, &s);
+    assert!(cycles > 0 && cycles < 200, "tiny program: {cycles} cycles");
+}
+
+#[test]
+fn loop_matches_interp() {
+    let mut m = Module::new("scale");
+    let a = m.add_mem_object("a", ScalarType::I32, 64);
+    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+    b.for_loop(0, ValueRef::int(64), 1, |b, i| {
+        let v = b.load(a, i);
+        let w = b.mul(v, ValueRef::int(3));
+        b.store(a, i, w);
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+    let init: Vec<i64> = (0..64).collect();
+    let (r, s, cycles) = run_both(&m, &[(a, init)]);
+    assert_mem_eq(&m, &r, &s);
+    // 64 pipelined iterations: should take far less than 64 × pipeline
+    // depth, but more than 64 cycles.
+    assert!(cycles > 64, "{cycles}");
+    assert!(cycles < 64 * 20, "pipelining failed: {cycles} cycles");
+}
+
+#[test]
+fn accumulator_loop_matches_interp() {
+    let mut m = Module::new("sum");
+    let a = m.add_mem_object("a", ScalarType::I32, 32);
+    let out = m.add_mem_object("out", ScalarType::I32, 1);
+    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+    let accs = b.for_loop_acc(
+        ValueRef::int(0),
+        ValueRef::int(32),
+        1,
+        &[(ValueRef::int(0), Type::I64)],
+        |b, i, accs| {
+            let v = b.load(a, i);
+            vec![b.add(accs[0], v)]
+        },
+    );
+    b.store(out, ValueRef::int(0), accs[0]);
+    b.ret(None);
+    m.add_function(b.finish());
+    let init: Vec<i64> = (1..=32).collect();
+    let (r, s, _) = run_both(&m, &[(a, init)]);
+    assert_mem_eq(&m, &r, &s);
+    assert_eq!(s.read_i64(out)[0], 528);
+}
+
+#[test]
+fn nested_loops_match_interp() {
+    let mut m = Module::new("mat");
+    let a = m.add_mem_object("a", ScalarType::I32, 64);
+    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+    b.for_loop(0, ValueRef::int(8), 1, |b, i| {
+        let base = b.mul(i, ValueRef::int(8));
+        b.for_loop(0, ValueRef::int(8), 1, |b, j| {
+            let idx = b.add(base, j);
+            let v = b.load(a, idx);
+            let w = b.add(v, idx);
+            b.store(a, idx, w);
+        });
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+    let (r, s, _) = run_both(&m, &[(a, vec![5; 64])]);
+    assert_mem_eq(&m, &r, &s);
+}
+
+#[test]
+fn par_for_matches_interp() {
+    let mut m = Module::new("cilk");
+    let a = m.add_mem_object("a", ScalarType::I32, 32);
+    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+    b.par_for(0, 32, 1, |b, i| {
+        let sq = b.mul(i, i);
+        b.store(a, i, sq);
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+    let (r, s, _) = run_both(&m, &[]);
+    assert_mem_eq(&m, &r, &s);
+    let out = s.read_i64(a);
+    assert_eq!(out[5], 25);
+}
+
+#[test]
+fn predicated_branch_matches_interp() {
+    let mut m = Module::new("cond");
+    let a = m.add_mem_object("a", ScalarType::I32, 32);
+    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+    b.for_loop(0, ValueRef::int(32), 1, |b, i| {
+        let r = b.rem(i, ValueRef::int(2));
+        let is_even = b.icmp(CmpPred::Eq, r, ValueRef::int(0));
+        let v = b.if_val(
+            is_even,
+            &[Type::I64],
+            |b| vec![b.mul(ValueRef::Instr(i.as_instr().unwrap()), ValueRef::int(10))],
+            |_| vec![ValueRef::int(-1)],
+        );
+        b.store(a, i, v[0]);
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+    let (r, s, _) = run_both(&m, &[]);
+    assert_mem_eq(&m, &r, &s);
+    let out = s.read_i64(a);
+    assert_eq!(out[4], 40);
+    assert_eq!(out[5], -1);
+}
+
+#[test]
+fn predicated_store_skips() {
+    let mut m = Module::new("pstore");
+    let a = m.add_mem_object("a", ScalarType::I32, 16);
+    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+    b.for_loop(0, ValueRef::int(16), 1, |b, i| {
+        let c = b.icmp(CmpPred::Lt, i, ValueRef::int(8));
+        b.if_then(c, |b| {
+            b.store(a, i, ValueRef::int(7));
+        });
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+    let (r, s, _) = run_both(&m, &[]);
+    assert_mem_eq(&m, &r, &s);
+    let out = s.read_i64(a);
+    assert_eq!(out[0], 7);
+    assert_eq!(out[15], 0);
+}
+
+#[test]
+fn serial_loop_is_slower_than_parallel() {
+    // Same body, one with a memory-carried dependence (serializes), one
+    // without.
+    let build = |carried: bool| -> Module {
+        let mut m = Module::new("dep");
+        let a = m.add_mem_object("a", ScalarType::I32, 128);
+        let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+        b.for_loop(0, ValueRef::int(64), 1, |b, i| {
+            let idx = if carried { ValueRef::int(0) } else { i };
+            let v = b.load(a, idx);
+            let w = b.add(v, ValueRef::int(1));
+            b.store(a, idx, w);
+        });
+        b.ret(None);
+        m.add_function(b.finish());
+        m
+    };
+    let m1 = build(true);
+    let m2 = build(false);
+    let (_, _, serial_cycles) = run_both(&m1, &[]);
+    let (_, _, parallel_cycles) = run_both(&m2, &[]);
+    assert!(
+        serial_cycles > parallel_cycles * 2,
+        "serial {serial_cycles} vs parallel {parallel_cycles}"
+    );
+}
+
+#[test]
+fn tensor_tiles_match_interp() {
+    let shape = TensorShape::new(2, 2);
+    let mut m = Module::new("tmm");
+    let a = m.add_mem_object("a", ScalarType::I32, 64);
+    let bb = m.add_mem_object("b", ScalarType::I32, 64);
+    let c = m.add_mem_object("c", ScalarType::I32, 64);
+    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+    b.for_loop(0, ValueRef::int(16), 1, |b, i| {
+        let idx = b.mul(i, ValueRef::int(4));
+        let ta = b.load_tile(a, idx, shape);
+        let tb = b.load_tile(bb, idx, shape);
+        let tm = b.tensor2(TensorOp::MatMul, shape, ta, tb);
+        b.store(c, idx, tm);
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+    let ia: Vec<i64> = (0..64).collect();
+    let ib: Vec<i64> = (0..64).map(|x| x % 7).collect();
+    let (r, s, _) = run_both(&m, &[(a, ia), (bb, ib)]);
+    assert_mem_eq(&m, &r, &s);
+}
+
+#[test]
+fn function_call_matches_interp() {
+    let mut m = Module::new("fn");
+    let a = m.add_mem_object("a", ScalarType::I32, 4);
+    let mut callee = FunctionBuilder::new("sq", &[Type::I64]).returns(Type::I64);
+    let v = callee.mul(callee.arg(0), callee.arg(0));
+    callee.ret(Some(v));
+    let mut main = FunctionBuilder::new("main", &[]).with_mem(&m);
+    let r = main.call(muir_mir::instr::FuncId(1), &[ValueRef::int(9)], Some(Type::I64));
+    main.store(a, ValueRef::int(0), r);
+    main.ret(None);
+    m.add_function(main.finish());
+    m.add_function(callee.finish());
+    let (r, s, _) = run_both(&m, &[]);
+    assert_mem_eq(&m, &r, &s);
+    assert_eq!(s.read_i64(a)[0], 81);
+}
+
+#[test]
+fn sequential_dependent_loops_ordered() {
+    // Loop 2 reads what loop 1 wrote: the Order edge must serialize them.
+    let mut m = Module::new("seq");
+    let a = m.add_mem_object("a", ScalarType::I32, 64);
+    let c = m.add_mem_object("c", ScalarType::I32, 64);
+    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+    b.for_loop(0, ValueRef::int(64), 1, |b, i| {
+        let w = b.mul(i, ValueRef::int(2));
+        b.store(a, i, w);
+    });
+    b.for_loop(0, ValueRef::int(64), 1, |b, i| {
+        let v = b.load(a, i);
+        let w = b.add(v, ValueRef::int(100));
+        b.store(c, i, w);
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+    let (r, s, _) = run_both(&m, &[]);
+    assert_mem_eq(&m, &r, &s);
+    assert_eq!(s.read_i64(c)[10], 120);
+}
+
+#[test]
+fn more_tiles_speed_up_cilk_loop() {
+    let build = || {
+        let mut m = Module::new("tiles");
+        let a = m.add_mem_object("a", ScalarType::I32, 256);
+        let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+        b.par_for(0, 64, 1, |b, i| {
+            // A moderately deep body so tile-level parallelism matters.
+            let x1 = b.mul(i, i);
+            let x2 = b.mul(x1, ValueRef::int(3));
+            let x3 = b.add(x2, ValueRef::int(11));
+            let x4 = b.mul(x3, x1);
+            b.store(a, i, x4);
+        });
+        b.ret(None);
+        m.add_function(b.finish());
+        m
+    };
+    let m = build();
+    let acc1 = translate(&m, &FrontendConfig::default()).unwrap();
+    let mut acc4 = acc1.clone();
+    // Replicate the spawned region task 4×.
+    for t in acc4.task_ids().collect::<Vec<_>>() {
+        if matches!(acc4.task(t).kind, muir_core::accel::TaskKind::Region) && t != acc4.root {
+            acc4.task_mut(t).tiles = 4;
+            acc4.task_mut(t).queue_depth = 8;
+        }
+    }
+    let (_, _, c1) = run_both_on(&acc1, &m, &[]);
+    let (r, s, c4) = run_both_on(&acc4, &m, &[]);
+    assert_mem_eq(&m, &r, &s);
+    assert!(c4 < c1, "tiling should speed up: 1T={c1} 4T={c4}");
+}
+
+#[test]
+fn banking_speeds_up_tensor_streams() {
+    let shape = TensorShape::new(2, 2);
+    let build = || {
+        let mut m = Module::new("bank");
+        let a = m.add_mem_object("a", ScalarType::I32, 256);
+        let c = m.add_mem_object("c", ScalarType::I32, 256);
+        let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+        b.for_loop(0, ValueRef::int(64), 1, |b, i| {
+            let idx = b.mul(i, ValueRef::int(4));
+            let t = b.load_tile(a, idx, shape);
+            let u = b.tensor2(TensorOp::Add, shape, t, t);
+            b.store(c, idx, u);
+        });
+        b.ret(None);
+        m.add_function(b.finish());
+        m
+    };
+    let m = build();
+    let acc1 = translate(&m, &FrontendConfig::default()).unwrap();
+    let mut acc4 = acc1.clone();
+    for s in acc4.structure_ids().collect::<Vec<_>>() {
+        if let StructureKind::Scratchpad { banks, .. } = &mut acc4.structure_mut(s).kind {
+            *banks = 4;
+        }
+    }
+    let (_, _, c1) = run_both_on(&acc1, &m, &[]);
+    let (r, s, c4) = run_both_on(&acc4, &m, &[]);
+    assert_mem_eq(&m, &r, &s);
+    assert!(c4 < c1, "banking should speed up tile streams: 1B={c1} 4B={c4}");
+}
+
+#[test]
+fn zero_trip_loop_returns_init() {
+    let mut m = Module::new("zero");
+    let out = m.add_mem_object("out", ScalarType::I32, 1);
+    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+    let accs = b.for_loop_acc(
+        ValueRef::int(0),
+        ValueRef::int(0), // zero iterations
+        1,
+        &[(ValueRef::int(42), Type::I64)],
+        |b, i, accs| vec![b.add(accs[0], i)],
+    );
+    b.store(out, ValueRef::int(0), accs[0]);
+    b.ret(None);
+    m.add_function(b.finish());
+    let (r, s, _) = run_both(&m, &[]);
+    assert_mem_eq(&m, &r, &s);
+    assert_eq!(s.read_i64(out)[0], 42);
+}
+
+#[test]
+fn cache_structures_record_hits_and_misses() {
+    let mut m = Module::new("cachey");
+    // Large object → cache-homed.
+    let a = m.add_mem_object("a", ScalarType::I32, 1 << 16);
+    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+    b.for_loop(0, ValueRef::int(256), 1, |b, i| {
+        let v = b.load(a, i);
+        let w = b.add(v, ValueRef::int(1));
+        b.store(a, i, w);
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+    let acc = translate(&m, &FrontendConfig::default()).unwrap();
+    let mut mem = Memory::from_module(&m);
+    let r = simulate(&acc, &mut mem, &[], &SimConfig::default()).unwrap();
+    assert!(r.stats.cache_misses() > 0, "cold cache must miss");
+    assert!(r.stats.cache_hits() > r.stats.cache_misses(), "line reuse must hit");
+    assert!(r.stats.dram_fills > 0);
+}
+
+#[test]
+fn stats_are_populated() {
+    let mut m = Module::new("stats");
+    let a = m.add_mem_object("a", ScalarType::I32, 16);
+    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+    b.for_loop(0, ValueRef::int(16), 1, |b, i| {
+        b.store(a, i, i);
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+    let acc = translate(&m, &FrontendConfig::default()).unwrap();
+    let mut mem = Memory::from_module(&m);
+    let r = simulate(&acc, &mut mem, &[], &SimConfig::default()).unwrap();
+    assert!(r.stats.fires > 16);
+    assert_eq!(r.stats.task_invocations.iter().sum::<u64>(), 2); // root + loop
+    assert_eq!(r.stats.task_invocations.len(), acc.tasks.len());
+}
+
+#[test]
+fn dynamic_bound_via_args() {
+    let mut m = Module::new("dyn");
+    let a = m.add_mem_object("a", ScalarType::I32, 64);
+    let mut b = FunctionBuilder::new("main", &[Type::I64]).with_mem(&m);
+    let n = b.arg(0);
+    b.for_loop(0, n, 1, |b, i| {
+        b.store(a, i, i);
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+    let acc = translate(&m, &FrontendConfig::default()).unwrap();
+    let mut mem = Memory::from_module(&m);
+    let mut ref_mem = Memory::from_module(&m);
+    Interp::new(&m).run_main(&mut ref_mem, &[Value::Int(10)]).unwrap();
+    simulate(&acc, &mut mem, &[Value::Int(10)], &SimConfig::default()).unwrap();
+    assert_eq!(ref_mem.objects, mem.objects);
+    assert_eq!(mem.read_i64(a)[9], 9);
+    assert_eq!(mem.read_i64(a)[10], 0);
+}
+
+#[test]
+fn vector_loads_and_stores_work() {
+    // The polymorphic Vector type: 4-lane loads/stores through the databox.
+    let mut m = Module::new("vec");
+    let a = m.add_ro_mem_object("a", ScalarType::I32, 64);
+    let c = m.add_mem_object("c", ScalarType::I32, 64);
+    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+    b.for_loop(0, ValueRef::int(16), 1, |b, i| {
+        let idx = b.mul(i, ValueRef::int(4));
+        let v = b.load_vec(a, idx, 4);
+        b.store(c, idx, v);
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+    let init: Vec<i64> = (0..64).map(|x| x * 3).collect();
+    let (r, s, _) = run_both(&m, &[(a, init.clone())]);
+    assert_mem_eq(&m, &r, &s);
+    assert_eq!(s.read_i64(c), init);
+}
+
+#[test]
+fn cycle_limit_is_enforced() {
+    let mut m = Module::new("limit");
+    let a = m.add_mem_object("a", ScalarType::I32, 64);
+    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+    b.for_loop(0, ValueRef::int(64), 1, |b, i| {
+        b.store(a, i, i);
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+    let acc = translate(&m, &FrontendConfig::default()).unwrap();
+    let mut mem = Memory::from_module(&m);
+    let cfg = SimConfig { max_cycles: 10, ..SimConfig::default() };
+    let e = simulate(&acc, &mut mem, &[], &cfg).unwrap_err();
+    assert!(e.message.contains("cycle limit"), "{e}");
+}
+
+#[test]
+fn corrupted_graph_is_rejected_up_front() {
+    // Remove the loop task's Output in-edge source token path by cutting
+    // the store's address edge: the instance can never complete.
+    let mut m = Module::new("dead");
+    let a = m.add_mem_object("a", ScalarType::I32, 8);
+    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+    b.for_loop(0, ValueRef::int(8), 1, |b, i| {
+        b.store(a, i, i);
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+    let mut acc = translate(&m, &FrontendConfig::default()).unwrap();
+    // Cut one data edge feeding the store in the loop task.
+    let lp = acc.task_ids().find(|&t| acc.task(t).kind.is_loop()).unwrap();
+    let df = &mut acc.task_mut(lp).dataflow;
+    let store = df
+        .node_ids()
+        .find(|&n| matches!(df.node(n).kind, muir_core::node::NodeKind::Store { .. }))
+        .unwrap();
+    let pos = df.edges.iter().position(|e| e.dst == store).unwrap();
+    df.edges.remove(pos);
+    let mut mem = Memory::from_module(&m);
+    let cfg = SimConfig { deadlock_cycles: 500, ..SimConfig::default() };
+    let e = simulate(&acc, &mut mem, &[], &cfg).unwrap_err();
+    // The up-front structural check rejects the corrupted graph cleanly.
+    assert!(e.message.contains("graph rejected"), "{e}");
+    assert!(e.message.contains("unconnected"), "{e}");
+}
+
+#[test]
+fn narrow_window_serializes_iterations() {
+    let mut m = Module::new("win");
+    let a = m.add_ro_mem_object("a", ScalarType::F32, 128);
+    let c = m.add_mem_object("c", ScalarType::F32, 128);
+    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+    b.for_loop(0, ValueRef::int(128), 1, |b, i| {
+        let v = b.load(a, i);
+        let w = b.fmul(v, ValueRef::f32(2.0));
+        b.store(c, i, w);
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+    let acc = translate(&m, &FrontendConfig::default()).unwrap();
+    let run = |window: u64| {
+        let mut mem = Memory::from_module(&m);
+        let cfg = SimConfig { window, ..SimConfig::default() };
+        simulate(&acc, &mut mem, &[], &cfg).unwrap().cycles
+    };
+    let narrow = run(1);
+    let wide = run(64);
+    assert!(narrow > 2 * wide, "window=1 {narrow} vs window=64 {wide}");
+}
+
+#[test]
+fn task_busy_cycles_track_occupancy() {
+    let mut m = Module::new("occ");
+    let a = m.add_mem_object("a", ScalarType::I32, 32);
+    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+    b.for_loop(0, ValueRef::int(32), 1, |b, i| {
+        b.store(a, i, i);
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+    let acc = translate(&m, &FrontendConfig::default()).unwrap();
+    let mut mem = Memory::from_module(&m);
+    let r = simulate(&acc, &mut mem, &[], &SimConfig::default()).unwrap();
+    // The loop task is busy for most of the run; the root the whole run.
+    let busy = &r.stats.task_busy_cycles;
+    assert_eq!(busy.len(), acc.tasks.len());
+    assert!(busy.iter().any(|&c| c > 32));
+    assert!(busy.iter().sum::<u64>() <= r.cycles * acc.tasks.len() as u64 * 2);
+}
+
+#[test]
+fn order_cycle_deadlock_is_detected() {
+    // A structurally valid graph whose Order edges form a cycle can never
+    // make progress; the watchdog must report it with diagnostics.
+    let mut m = Module::new("ouro");
+    let a = m.add_mem_object("a", ScalarType::I32, 8);
+    let c = m.add_mem_object("c", ScalarType::I32, 8);
+    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+    b.for_loop(0, ValueRef::int(4), 1, |b, i| {
+        b.store(a, i, i);
+        b.store(c, i, i);
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+    let mut acc = translate(&m, &FrontendConfig::default()).unwrap();
+    let lp = acc.task_ids().find(|&t| acc.task(t).kind.is_loop()).unwrap();
+    let df = &mut acc.task_mut(lp).dataflow;
+    let stores: Vec<_> = df.mem_nodes();
+    assert!(stores.len() >= 2);
+    // Mutual ordering: each store waits for the other's completion.
+    df.connect_order(stores[0], stores[1]);
+    df.connect_order(stores[1], stores[0]);
+    let mut mem = Memory::from_module(&m);
+    let cfg = SimConfig { deadlock_cycles: 2_000, ..SimConfig::default() };
+    let e = simulate(&acc, &mut mem, &[], &cfg).unwrap_err();
+    assert!(e.message.contains("deadlock"), "{e}");
+    assert!(e.message.contains("admitted"), "diagnostic names stuck tiles: {e}");
+}

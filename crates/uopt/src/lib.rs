@@ -1,0 +1,199 @@
+//! `muir-uopt` — the μopt microarchitecture-transformation framework (§4).
+//!
+//! Architecture ideas are realised as iterative transformations of the μIR
+//! graph, never of RTL. Passes implement [`Pass`] and are composed by a
+//! [`PassManager`] that verifies the graph's structural invariants after
+//! every transformation (latency-agnostic interfaces make stacked passes
+//! safe, §1 novelty iv). Each pass reports a [`PassDelta`] — the nodes and
+//! edges it touched — which is exactly the quantity Table 4 compares
+//! against FIRRTL.
+//!
+//! The paper's passes:
+//!
+//! | pass | paper | type |
+//! |---|---|---|
+//! | [`passes::TaskQueueing`] | Pass 1, §4 | timing |
+//! | [`passes::ExecutionTiling`] | Pass 2, §6.2 | spatial |
+//! | [`passes::MemoryLocalization`] | Pass 3 + Algorithm 2, §6.4 | timing+spatial |
+//! | [`passes::ScratchpadBanking`] / [`passes::CacheBanking`] | Pass 4, §6.4 | timing+spatial |
+//! | [`passes::OpFusion`] | Pass 5, §6.1 | timing |
+//! | [`passes::LowerTensors`] | §6.3 (inverse direction) | higher-order ops |
+//!
+//! `LowerTensors` expands Tensor2D higher-order ops into scalar pipelines —
+//! it produces the *baseline* of Figure 15, whose comparison against the
+//! native tensor graph measures the benefit of the tensor function units.
+
+pub mod fusion;
+pub mod lower_tensors;
+pub mod passes;
+pub mod simplify;
+
+use muir_core::accel::Accelerator;
+use muir_core::verify::verify_accelerator;
+use std::fmt;
+
+/// The graph elements a pass touched — Table 4's ΔNode/ΔEdge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassDelta {
+    /// μIR nodes created, removed, or reparameterised.
+    pub nodes: usize,
+    /// μIR edges/connections created, removed, or rerouted.
+    pub edges: usize,
+}
+
+impl PassDelta {
+    /// Element-wise sum.
+    pub fn merge(self, other: PassDelta) -> PassDelta {
+        PassDelta { nodes: self.nodes + other.nodes, edges: self.edges + other.edges }
+    }
+}
+
+/// Pass failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassError {
+    /// Pass that failed.
+    pub pass: String,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pass `{}` failed: {}", self.pass, self.message)
+    }
+}
+
+impl std::error::Error for PassError {}
+
+/// A μopt transformation.
+pub trait Pass {
+    /// Pass name (shown in reports and Table 4).
+    fn name(&self) -> &'static str;
+
+    /// Transform the accelerator graph, returning the touched-element
+    /// delta.
+    ///
+    /// # Errors
+    /// Pass-specific failures (the manager re-verifies the graph after
+    /// every pass regardless).
+    fn run(&self, acc: &mut Accelerator) -> Result<PassDelta, PassError>;
+}
+
+/// Report of one manager invocation.
+#[derive(Debug, Clone, Default)]
+pub struct PassReport {
+    /// `(pass name, delta)` in execution order.
+    pub deltas: Vec<(String, PassDelta)>,
+}
+
+impl PassReport {
+    /// Total delta across all passes.
+    pub fn total(&self) -> PassDelta {
+        self.deltas.iter().fold(PassDelta::default(), |a, (_, d)| a.merge(*d))
+    }
+}
+
+/// Runs passes in order, verifying the μIR graph after each one.
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl PassManager {
+    /// Empty manager.
+    pub fn new() -> PassManager {
+        PassManager::default()
+    }
+
+    /// Append a pass (builder style).
+    pub fn with(mut self, pass: impl Pass + 'static) -> PassManager {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Append a boxed pass.
+    pub fn push(&mut self, pass: Box<dyn Pass>) {
+        self.passes.push(pass);
+    }
+
+    /// Run all passes on `acc`.
+    ///
+    /// # Errors
+    /// The first pass failure or post-pass verification failure.
+    pub fn run(&self, acc: &mut Accelerator) -> Result<PassReport, PassError> {
+        let mut report = PassReport::default();
+        for pass in &self.passes {
+            let delta = pass.run(acc)?;
+            verify_accelerator(acc).map_err(|e| PassError {
+                pass: pass.name().to_string(),
+                message: format!("graph invalid after pass: {e}"),
+            })?;
+            report.deltas.push((pass.name().to_string(), delta));
+        }
+        Ok(report)
+    }
+}
+
+impl fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.passes.iter().map(|p| p.name()).collect();
+        f.debug_struct("PassManager").field("passes", &names).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muir_core::accel::{TaskBlock, TaskKind};
+    use muir_core::node::{Node, NodeKind};
+    use muir_core::Type;
+
+    struct Nop;
+    impl Pass for Nop {
+        fn name(&self) -> &'static str {
+            "nop"
+        }
+        fn run(&self, _acc: &mut Accelerator) -> Result<PassDelta, PassError> {
+            Ok(PassDelta { nodes: 1, edges: 2 })
+        }
+    }
+
+    struct Breaker;
+    impl Pass for Breaker {
+        fn name(&self) -> &'static str {
+            "breaker"
+        }
+        fn run(&self, acc: &mut Accelerator) -> Result<PassDelta, PassError> {
+            // Add a second Output node: invalid.
+            acc.tasks[0].dataflow.add_node(Node::new("bad", NodeKind::Output, Type::BOOL));
+            Ok(PassDelta::default())
+        }
+    }
+
+    fn tiny_acc() -> Accelerator {
+        let mut acc = Accelerator::new("t");
+        let mut task = TaskBlock::new("main", TaskKind::Region);
+        task.dataflow.add_node(Node::new("out", NodeKind::Output, Type::BOOL));
+        let tid = acc.add_task(task);
+        acc.root = tid;
+        acc
+    }
+
+    #[test]
+    fn manager_runs_and_accumulates() {
+        let mut acc = tiny_acc();
+        let pm = PassManager::new().with(Nop).with(Nop);
+        let report = pm.run(&mut acc).unwrap();
+        assert_eq!(report.deltas.len(), 2);
+        assert_eq!(report.total(), PassDelta { nodes: 2, edges: 4 });
+    }
+
+    #[test]
+    fn manager_catches_graph_corruption() {
+        let mut acc = tiny_acc();
+        let pm = PassManager::new().with(Breaker);
+        let e = pm.run(&mut acc).unwrap_err();
+        assert_eq!(e.pass, "breaker");
+        assert!(e.message.contains("invalid"), "{e}");
+    }
+}

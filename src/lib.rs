@@ -1,0 +1,28 @@
+//! `muir` — facade crate re-exporting the full μIR toolchain.
+//!
+//! This is a from-scratch Rust reproduction of
+//! *μIR — An intermediate representation for transforming and optimizing the
+//! microarchitecture of application accelerators* (MICRO-52, 2019).
+//!
+//! The pipeline mirrors the paper's Figure 3:
+//!
+//! 1. **Stage 1** — express behaviour in the [`mir`] compiler IR (the
+//!    LLVM/Tapir stand-in) and translate it to a μIR accelerator graph with
+//!    [`frontend`].
+//! 2. **Stage 2** — transform the microarchitecture with [`uopt`] passes
+//!    (task queueing, execution tiling, memory localization, banking, op
+//!    fusion, tensor higher-order ops).
+//! 3. **Stage 3** — lower to Chisel-like RTL with [`rtl`], estimate
+//!    frequency/area/power, and measure cycle-level performance with the
+//!    latency-insensitive [`sim`]ulator.
+//!
+//! See `examples/quickstart.rs` for an end-to-end walk-through.
+
+pub use muir_baselines as baselines;
+pub use muir_core as core;
+pub use muir_frontend as frontend;
+pub use muir_mir as mir;
+pub use muir_rtl as rtl;
+pub use muir_sim as sim;
+pub use muir_uopt as uopt;
+pub use muir_workloads as workloads;

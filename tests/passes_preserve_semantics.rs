@@ -1,0 +1,96 @@
+//! Workspace integration test: stacking μopt passes never changes what an
+//! accelerator computes — the composability property (§1, novelty iv) the
+//! latency-agnostic interfaces are supposed to guarantee.
+
+use muir::frontend::{translate, FrontendConfig};
+use muir::sim::{simulate, SimConfig};
+use muir::uopt::passes::{
+    CacheBanking, Cse, ExecutionTiling, MemoryLocalization, OpFusion, ScratchpadBanking,
+    Simplify, TaskQueueing,
+};
+use muir::uopt::PassManager;
+use muir::workloads;
+
+fn full_stack() -> PassManager {
+    PassManager::new()
+        .with(Simplify)
+        .with(Cse)
+        .with(TaskQueueing::all(8))
+        .with(ExecutionTiling::spawned(4))
+        .with(MemoryLocalization::default())
+        .with(ScratchpadBanking { banks: 2 })
+        .with(CacheBanking { banks: 2 })
+        .with(OpFusion::default())
+        .with(Simplify)
+}
+
+#[test]
+fn full_pass_stack_preserves_all_workloads() {
+    for w in workloads::all() {
+        let mut acc = translate(&w.module, &FrontendConfig::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let baseline_cycles = {
+            let mut mem = w.fresh_memory();
+            simulate(&acc, &mut mem, &[], &SimConfig::default())
+                .unwrap_or_else(|e| panic!("{} baseline: {e}", w.name))
+                .cycles
+        };
+        let report = full_stack().run(&mut acc).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert!(!report.deltas.is_empty());
+        let ref_mem = w.run_reference().unwrap();
+        let mut mem = w.fresh_memory();
+        let r = simulate(&acc, &mut mem, &[], &SimConfig::default())
+            .unwrap_or_else(|e| panic!("{} optimized: {e}", w.name));
+        assert!(
+            w.outputs_match(&ref_mem, &mem),
+            "{}: optimized accelerator computes different outputs",
+            w.name
+        );
+        println!(
+            "{:>10}: baseline {} → optimized {} cycles ({:.2}x)",
+            w.name,
+            baseline_cycles,
+            r.cycles,
+            baseline_cycles as f64 / r.cycles as f64
+        );
+    }
+}
+
+#[test]
+fn tensor_lowering_preserves_tensor_workloads() {
+    use muir::uopt::passes::LowerTensors;
+    for name in ["RELU[T]", "2MM[T]", "CONV[T]"] {
+        let w = workloads::by_name(name).unwrap();
+        let mut acc = translate(&w.module, &FrontendConfig::default()).unwrap();
+        PassManager::new().with(LowerTensors).run(&mut acc).unwrap();
+        let ref_mem = w.run_reference().unwrap();
+        let mut mem = w.fresh_memory();
+        simulate(&acc, &mut mem, &[], &SimConfig::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(w.outputs_match(&ref_mem, &mem), "{name}: lowered outputs differ");
+    }
+}
+
+#[test]
+fn individual_passes_preserve_a_representative_mix() {
+    // Each pass alone, on a workload that exercises it.
+    let cases: Vec<(&str, PassManager)> = vec![
+        ("SAXPY", PassManager::new().with(TaskQueueing::all(8))),
+        ("STENCIL", PassManager::new().with(ExecutionTiling::spawned(8))),
+        ("SPMV", PassManager::new().with(MemoryLocalization::default())),
+        ("GEMM", PassManager::new().with(CacheBanking { banks: 4 })),
+        ("FFT", PassManager::new().with(OpFusion::default())),
+        ("RGB2YUV", PassManager::new().with(OpFusion::default())),
+        ("M-SORT", PassManager::new().with(ExecutionTiling::spawned(4))),
+    ];
+    for (name, pm) in cases {
+        let w = workloads::by_name(name).unwrap();
+        let mut acc = translate(&w.module, &FrontendConfig::default()).unwrap();
+        pm.run(&mut acc).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let ref_mem = w.run_reference().unwrap();
+        let mut mem = w.fresh_memory();
+        simulate(&acc, &mut mem, &[], &SimConfig::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(w.outputs_match(&ref_mem, &mem), "{name}: pass broke semantics");
+    }
+}

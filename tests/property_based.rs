@@ -1,0 +1,272 @@
+//! Property-based tests (proptest) over the toolchain's core invariants:
+//!
+//! * random straight-line programs: translate → simulate ≡ interpret;
+//! * random loop programs with strided memory updates: same equivalence,
+//!   plus μopt passes never change results;
+//! * affine address analysis is consistent with concrete evaluation;
+//! * fused plans evaluate exactly like the node chains they replace;
+//! * the memory models never lose or duplicate transactions.
+
+use muir::frontend::{translate, FrontendConfig};
+use muir::mir::builder::FunctionBuilder;
+use muir::mir::instr::{BinOp, CmpPred, ValueRef};
+use muir::mir::interp::{Interp, Memory};
+use muir::mir::module::Module;
+use muir::mir::types::{ScalarType, Type};
+use muir::sim::{simulate, SimConfig};
+use muir::uopt::passes::{MemoryLocalization, OpFusion, ScratchpadBanking};
+use muir::uopt::PassManager;
+use proptest::prelude::*;
+
+/// A small random integer expression program over two arrays.
+#[derive(Debug, Clone)]
+enum ExprOp {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Xor,
+    Shl3,
+}
+
+fn expr_op() -> impl Strategy<Value = ExprOp> {
+    prop_oneof![
+        Just(ExprOp::Add),
+        Just(ExprOp::Sub),
+        Just(ExprOp::Mul),
+        Just(ExprOp::And),
+        Just(ExprOp::Xor),
+        Just(ExprOp::Shl3),
+    ]
+}
+
+fn apply(b: &mut FunctionBuilder, op: &ExprOp, x: ValueRef, y: ValueRef) -> ValueRef {
+    match op {
+        ExprOp::Add => b.add(x, y),
+        ExprOp::Sub => b.sub(x, y),
+        ExprOp::Mul => b.mul(x, y),
+        ExprOp::And => b.and(x, y),
+        ExprOp::Xor => b.xor(x, y),
+        ExprOp::Shl3 => {
+            let s = b.and(y, ValueRef::int(3));
+            b.shl(x, s)
+        }
+    }
+}
+
+/// Build `out[i] = f(a[i], i)` where `f` is a random op chain.
+fn random_loop_module(ops: &[ExprOp], n: i64) -> (Module, muir::mir::instr::MemObjId, muir::mir::instr::MemObjId) {
+    let mut m = Module::new("prop");
+    let a = m.add_ro_mem_object("a", ScalarType::I32, n as u64);
+    let out = m.add_mem_object("out", ScalarType::I32, n as u64);
+    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+    let ops = ops.to_vec();
+    b.for_loop(0, ValueRef::int(n), 1, move |b, i| {
+        let v = b.load(a, i);
+        let mut cur = v;
+        for op in &ops {
+            cur = apply(b, op, cur, i);
+        }
+        b.store(out, i, cur);
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+    (m, a, out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Any random op-chain loop: the simulated accelerator computes exactly
+    /// what the interpreter computes.
+    #[test]
+    fn simulated_accelerator_matches_interpreter(
+        ops in proptest::collection::vec(expr_op(), 1..6),
+        data in proptest::collection::vec(-100i64..100, 16),
+    ) {
+        let n = data.len() as i64;
+        let (m, a, out) = random_loop_module(&ops, n);
+        let acc = translate(&m, &FrontendConfig::default()).unwrap();
+
+        let mut ref_mem = Memory::from_module(&m);
+        ref_mem.init_i64(a, &data);
+        Interp::new(&m).run_main(&mut ref_mem, &[]).unwrap();
+
+        let mut sim_mem = Memory::from_module(&m);
+        sim_mem.init_i64(a, &data);
+        simulate(&acc, &mut sim_mem, &[], &SimConfig::default()).unwrap();
+        prop_assert_eq!(ref_mem.read_i64(out), sim_mem.read_i64(out));
+    }
+
+    /// μopt passes never change what a random program computes.
+    #[test]
+    fn passes_preserve_random_programs(
+        ops in proptest::collection::vec(expr_op(), 1..6),
+        data in proptest::collection::vec(-50i64..50, 16),
+        banks in 1u32..5,
+    ) {
+        let n = data.len() as i64;
+        let (m, a, out) = random_loop_module(&ops, n);
+        let mut acc = translate(&m, &FrontendConfig::default()).unwrap();
+        PassManager::new()
+            .with(MemoryLocalization::default())
+            .with(ScratchpadBanking { banks })
+            .with(OpFusion::default())
+            .run(&mut acc)
+            .unwrap();
+
+        let mut ref_mem = Memory::from_module(&m);
+        ref_mem.init_i64(a, &data);
+        Interp::new(&m).run_main(&mut ref_mem, &[]).unwrap();
+
+        let mut sim_mem = Memory::from_module(&m);
+        sim_mem.init_i64(a, &data);
+        simulate(&acc, &mut sim_mem, &[], &SimConfig::default()).unwrap();
+        prop_assert_eq!(ref_mem.read_i64(out), sim_mem.read_i64(out));
+    }
+
+    /// Predicated programs (if/else over a comparison) stay equivalent.
+    #[test]
+    fn predication_matches_interpreter(
+        threshold in -20i64..20,
+        data in proptest::collection::vec(-30i64..30, 16),
+    ) {
+        let n = data.len() as i64;
+        let mut m = Module::new("pred");
+        let a = m.add_ro_mem_object("a", ScalarType::I32, n as u64);
+        let out = m.add_mem_object("out", ScalarType::I32, n as u64);
+        let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+        b.for_loop(0, ValueRef::int(n), 1, move |b, i| {
+            let v = b.load(a, i);
+            let c = b.icmp(CmpPred::Lt, v, ValueRef::int(threshold));
+            let r = b.if_val(
+                c,
+                &[Type::I64],
+                |b| vec![b.mul(ValueRef::Instr(v.as_instr().unwrap()), ValueRef::int(2))],
+                |b| vec![b.sub(ValueRef::Instr(v.as_instr().unwrap()), ValueRef::int(1))],
+            );
+            b.store(out, i, r[0]);
+        });
+        b.ret(None);
+        m.add_function(b.finish());
+
+        let acc = translate(&m, &FrontendConfig::default()).unwrap();
+        let mut ref_mem = Memory::from_module(&m);
+        ref_mem.init_i64(a, &data);
+        Interp::new(&m).run_main(&mut ref_mem, &[]).unwrap();
+        let mut sim_mem = Memory::from_module(&m);
+        sim_mem.init_i64(a, &data);
+        simulate(&acc, &mut sim_mem, &[], &SimConfig::default()).unwrap();
+        prop_assert_eq!(ref_mem.read_i64(out), sim_mem.read_i64(out));
+    }
+
+    /// Reduction loops with a register accumulator.
+    #[test]
+    fn reductions_match_interpreter(
+        data in proptest::collection::vec(-40i64..40, 24),
+        init in -10i64..10,
+    ) {
+        let n = data.len() as i64;
+        let mut m = Module::new("red");
+        let a = m.add_ro_mem_object("a", ScalarType::I32, n as u64);
+        let out = m.add_mem_object("out", ScalarType::I32, 1);
+        let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+        let accs = b.for_loop_acc(
+            ValueRef::int(0),
+            ValueRef::int(n),
+            1,
+            &[(ValueRef::int(init), Type::I64)],
+            |b, i, accs| {
+                let v = b.load(a, i);
+                vec![b.add(accs[0], v)]
+            },
+        );
+        b.store(out, ValueRef::int(0), accs[0]);
+        b.ret(None);
+        m.add_function(b.finish());
+
+        let acc_graph = translate(&m, &FrontendConfig::default()).unwrap();
+        let expect: i64 = init + data.iter().sum::<i64>();
+        let mut sim_mem = Memory::from_module(&m);
+        sim_mem.init_i64(a, &data);
+        simulate(&acc_graph, &mut sim_mem, &[], &SimConfig::default()).unwrap();
+        prop_assert_eq!(sim_mem.read_i64(out)[0], expect);
+
+        // And with the accumulator re-timed into a FusedAcc unit.
+        let mut fused = translate(&m, &FrontendConfig::default()).unwrap();
+        PassManager::new().with(OpFusion::default()).run(&mut fused).unwrap();
+        let mut sim_mem2 = Memory::from_module(&m);
+        sim_mem2.init_i64(a, &data);
+        simulate(&fused, &mut sim_mem2, &[], &SimConfig::default()).unwrap();
+        prop_assert_eq!(sim_mem2.read_i64(out)[0], expect);
+    }
+
+    /// The affine analysis agrees with concrete address arithmetic:
+    /// `idx = i*scale + offset` is recognised with those exact constants.
+    #[test]
+    fn affine_analysis_matches_concrete(scale in 1i64..8, offset in 0i64..16) {
+        use muir::mir::analysis::{affine_of, induction_var, natural_loops, Affine};
+        let mut m = Module::new("aff");
+        let a = m.add_mem_object("a", ScalarType::I32, 256);
+        let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+        b.for_loop(0, ValueRef::int(8), 1, move |b, i| {
+            let s = b.mul(i, ValueRef::int(scale));
+            let idx = b.add(s, ValueRef::int(offset));
+            b.store(a, idx, i);
+        });
+        b.ret(None);
+        let f = b.finish();
+        m.add_function(f);
+        let f = m.main().unwrap();
+        let loops = natural_loops(f);
+        let iv = induction_var(f, &loops[0]).unwrap();
+        let addr = f
+            .instrs
+            .iter()
+            .find_map(|ins| match ins.op {
+                muir::mir::instr::Op::Store { .. } => Some(ins.operands[0]),
+                _ => None,
+            })
+            .unwrap();
+        match affine_of(f, addr, iv, &loops[0]) {
+            Affine::Affine { scale: s, konst, syms } => {
+                prop_assert_eq!(s, scale);
+                prop_assert_eq!(konst, offset);
+                prop_assert!(syms.is_empty());
+            }
+            Affine::Opaque => prop_assert!(false, "expected affine form"),
+        }
+    }
+
+    /// Scratchpad model conservation: every submitted element is serviced
+    /// exactly once, regardless of banking.
+    #[test]
+    fn scratchpad_conserves_transactions(
+        addrs in proptest::collection::vec(0u64..64, 1..24),
+        banks in 1u32..5,
+    ) {
+        use muir::core::structure::{Structure, StructureKind};
+        use muir::sim::memory::{MemRequest, StructModel};
+        let mut s = Structure::scratchpad("s", 64);
+        if let StructureKind::Scratchpad { banks: b, .. } = &mut s.kind {
+            *b = banks;
+        }
+        let mut model = StructModel::new(&s);
+        for (i, &a) in addrs.iter().enumerate() {
+            model.submit(MemRequest { id: i as u64 + 1, addrs: vec![a], is_write: false });
+        }
+        let mut done = Vec::new();
+        for c in 0..10_000 {
+            for r in model.tick(c, None) {
+                done.push(r.id);
+            }
+            if done.len() == addrs.len() {
+                break;
+            }
+        }
+        done.sort_unstable();
+        let expect: Vec<u64> = (1..=addrs.len() as u64).collect();
+        prop_assert_eq!(done, expect);
+        prop_assert!(model.is_idle());
+    }
+}

@@ -1,0 +1,128 @@
+//! Integration tests for Stage 3 artefacts across all 21 benchmarks:
+//! Chisel emission, textual/GraphViz dumps, FIRRTL-level lowering, and the
+//! synthesis cost model — plus the §5.2 pipeline-depth observation.
+
+use muir::core::printer::print_accelerator;
+use muir::core::stats::{graph_stats, pipeline_depth};
+use muir::frontend::{translate, FrontendConfig};
+use muir::rtl::circuit::lower_to_circuit;
+use muir::rtl::cost::{estimate, Tech};
+use muir::rtl::emit_chisel;
+use muir::workloads;
+
+#[test]
+fn chisel_emits_for_every_workload() {
+    for w in workloads::all() {
+        let acc = translate(&w.module, &FrontendConfig::default()).unwrap();
+        let src = emit_chisel(&acc);
+        assert!(src.contains("extends architecture"), "{}", w.name);
+        // One TaskModule class per task block.
+        let classes = src.matches("extends TaskModule").count();
+        assert_eq!(classes, acc.tasks.len(), "{}", w.name);
+        // Every structure is instantiated.
+        for si in 0..acc.structures.len() {
+            assert!(src.contains(&format!("hw_mem_{si}")), "{}: missing structure", w.name);
+        }
+        // Every `<||>` connection appears (one wiring line per connection).
+        assert_eq!(src.matches(".io.task <||>").count(), acc.task_conns.len(), "{}", w.name);
+    }
+}
+
+#[test]
+fn text_and_dot_dumps_cover_every_workload() {
+    for w in workloads::all() {
+        let acc = translate(&w.module, &FrontendConfig::default()).unwrap();
+        let text = print_accelerator(&acc);
+        assert!(text.contains(&format!("accelerator \"{}\"", w.module.name)));
+        let nodes: usize = acc.tasks.iter().map(|t| t.dataflow.nodes.len()).sum();
+        // One line per node.
+        assert_eq!(text.matches(" = ").count(), nodes, "{}", w.name);
+        let dot = muir::core::dot::to_dot(&acc);
+        assert!(dot.starts_with("digraph"), "{}", w.name);
+        assert_eq!(dot.matches("subgraph cluster_").count(), acc.tasks.len(), "{}", w.name);
+    }
+}
+
+#[test]
+fn firrtl_lowering_ratio_in_paper_band() {
+    // Paper Table 4: FIRRTL graphs are 8.4–12.4× the μIR graph. Allow a
+    // wider tolerance band but require a substantial, bounded blowup.
+    for w in workloads::all() {
+        let acc = translate(&w.module, &FrontendConfig::default()).unwrap();
+        let circ = lower_to_circuit(&acc).total_elements() as f64;
+        let uir = graph_stats(&acc).total_elements() as f64;
+        let ratio = circ / uir;
+        assert!((3.0..30.0).contains(&ratio), "{}: ratio {ratio}", w.name);
+    }
+}
+
+#[test]
+fn cost_model_is_sane_for_every_workload() {
+    for w in workloads::all() {
+        let acc = translate(&w.module, &FrontendConfig::default()).unwrap();
+        let f = estimate(&acc, Tech::FpgaArria10);
+        let a = estimate(&acc, Tech::Asic28);
+        assert!(f.fmax_mhz >= 150.0 && f.fmax_mhz <= 500.0, "{}: {f:?}", w.name);
+        assert!(f.power_mw > 300.0 && f.power_mw < 3000.0, "{}: {f:?}", w.name);
+        assert!(a.fmax_mhz > f.fmax_mhz, "{}: asic slower than fpga", w.name);
+        assert!(a.power_mw < f.power_mw, "{}: asic power exceeds fpga", w.name);
+        assert!(a.area_mm2 > 0.0, "{}", w.name);
+        if w.fp {
+            assert!(a.fmax_mhz <= 1661.0, "{}: FP cap violated", w.name);
+        }
+        if w.tensor && w.name != "RELU[T]" {
+            // MatMul/Conv tensor units are DSP arrays (Figure 14); the
+            // ReLU tile unit is pure LUT logic.
+            assert!(f.dsps >= 4, "{}: tensor units should map to DSPs", w.name);
+        }
+    }
+}
+
+#[test]
+fn pipeline_depths_match_section_5_2() {
+    // §5.2: "the µIR's pipeline depth is 30 (2MM) — 40 (GEMM) stages; even
+    // workloads with few loops such as Dense8 have 15 stages." Our depths
+    // land in the same tens-of-stages regime.
+    let mut checked = 0;
+    for name in ["GEMM", "2MM", "DENSE8", "FFT", "COVAR"] {
+        let w = workloads::by_name(name).unwrap();
+        let acc = translate(&w.module, &FrontendConfig::default()).unwrap();
+        let depth = acc
+            .tasks
+            .iter()
+            .map(|t| pipeline_depth(&t.dataflow))
+            .max()
+            .unwrap_or(0);
+        assert!((10..=80).contains(&depth), "{name}: depth {depth}");
+        checked += 1;
+    }
+    assert_eq!(checked, 5);
+}
+
+#[test]
+fn table2_relative_trends_hold() {
+    // Cilk designs clock lower than loop-nest designs (§5.1).
+    let cilk = workloads::by_name("SAXPY").unwrap();
+    let poly = workloads::by_name("GEMM").unwrap();
+    let f_cilk = estimate(
+        &translate(&cilk.module, &FrontendConfig::default()).unwrap(),
+        Tech::FpgaArria10,
+    );
+    let f_poly = estimate(
+        &translate(&poly.module, &FrontendConfig::default()).unwrap(),
+        Tech::FpgaArria10,
+    );
+    assert!(f_cilk.fmax_mhz < f_poly.fmax_mhz);
+    // Compute-dense STENCIL outweighs tiny RELU in area.
+    let stencil = workloads::by_name("STENCIL").unwrap();
+    let relu = workloads::by_name("RELU").unwrap();
+    let a_stencil = estimate(
+        &translate(&stencil.module, &FrontendConfig::default()).unwrap(),
+        Tech::FpgaArria10,
+    );
+    let a_relu = estimate(
+        &translate(&relu.module, &FrontendConfig::default()).unwrap(),
+        Tech::FpgaArria10,
+    );
+    assert!(a_stencil.alms > 3 * a_relu.alms);
+}
