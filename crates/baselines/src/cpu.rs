@@ -256,7 +256,9 @@ mod penalty_tests {
     use muir_mir::module::Module;
     use muir_mir::types::ScalarType;
 
-    fn loop_with(body: impl Fn(&mut FunctionBuilder, ValueRef, muir_mir::instr::MemObjId)) -> Module {
+    fn loop_with(
+        body: impl Fn(&mut FunctionBuilder, ValueRef, muir_mir::instr::MemObjId),
+    ) -> Module {
         let mut m = Module::new("pen");
         let a = m.add_mem_object("a", ScalarType::I32, 128);
         let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
@@ -281,7 +283,10 @@ mod penalty_tests {
         let mut m2 = Memory::from_module(&div);
         let r_add = CpuModel::default().run(&add, &mut m1).unwrap();
         let r_div = CpuModel::default().run(&div, &mut m2).unwrap();
-        assert!(r_div.cycles > r_add.cycles + 128 * 8, "{r_add:?} vs {r_div:?}");
+        assert!(
+            r_div.cycles > r_add.cycles + 128 * 8,
+            "{r_add:?} vs {r_div:?}"
+        );
     }
 
     #[test]
@@ -302,6 +307,9 @@ mod penalty_tests {
         let mut m2 = Memory::from_module(&exp);
         let r_mul = CpuModel::default().run(&mul, &mut m1).unwrap();
         let r_exp = CpuModel::default().run(&exp, &mut m2).unwrap();
-        assert!(r_exp.cycles > r_mul.cycles + 128 * 10, "{r_mul:?} vs {r_exp:?}");
+        assert!(
+            r_exp.cycles > r_mul.cycles + 128 * 10,
+            "{r_mul:?} vs {r_exp:?}"
+        );
     }
 }

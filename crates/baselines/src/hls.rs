@@ -38,7 +38,13 @@ pub struct HlsResources {
 
 impl Default for HlsResources {
     fn default() -> Self {
-        HlsResources { int_alu: 4, fp_add: 1, fp_mul: 1, mem_read: 2, mem_write: 1 }
+        HlsResources {
+            int_alu: 4,
+            fp_add: 1,
+            fp_mul: 1,
+            mem_read: 2,
+            mem_write: 1,
+        }
     }
 }
 
@@ -84,7 +90,10 @@ struct PipelinedLoop {
 impl HlsModel {
     /// With streaming buffers enabled.
     pub fn with_streaming() -> HlsModel {
-        HlsModel { streaming_buffers: true, ..HlsModel::default() }
+        HlsModel {
+            streaming_buffers: true,
+            ..HlsModel::default()
+        }
     }
 
     /// Run the model over `module` (executing it with the reference
@@ -94,11 +103,19 @@ impl HlsModel {
     /// Propagates interpreter faults.
     pub fn run(&self, module: &Module, mem: &mut Memory) -> Result<HlsResult, InterpError> {
         let schedules = self.schedule_module(module);
-        let sink = HlsSink { schedules, cycles: 0, blocks: 0, current_loop: None };
+        let sink = HlsSink {
+            schedules,
+            cycles: 0,
+            blocks: 0,
+            current_loop: None,
+        };
         let mut interp = Interp::with_sink(module, sink);
         interp.run_main(mem, &[])?;
         let sink = interp.into_sink();
-        Ok(HlsResult { cycles: sink.cycles, blocks: sink.blocks })
+        Ok(HlsResult {
+            cycles: sink.cycles,
+            blocks: sink.blocks,
+        })
     }
 
     fn schedule_module(&self, module: &Module) -> HashMap<(String, u32), BlockSched> {
@@ -114,8 +131,9 @@ impl HlsModel {
                     .filter(|l| l.blocks.contains(&b))
                     .min_by_key(|l| l.blocks.len());
                 let pipelined = owner.and_then(|l| {
-                    let is_innermost =
-                        !loops.iter().any(|o| o.parent.is_some_and(|p| std::ptr::eq(&loops[p], l)));
+                    let is_innermost = !loops
+                        .iter()
+                        .any(|o| o.parent.is_some_and(|p| std::ptr::eq(&loops[p], l)));
                     if !is_innermost {
                         return None;
                     }
@@ -123,8 +141,7 @@ impl HlsModel {
                     if !dep.parallel {
                         return None; // carried memory dependence: serialized
                     }
-                    let fill: u64 =
-                        l.blocks.iter().map(|&lb| self.block_latency(f, lb)).sum();
+                    let fill: u64 = l.blocks.iter().map(|&lb| self.block_latency(f, lb)).sum();
                     Some(PipelinedLoop {
                         header: l.header.0,
                         ii: self.loop_ii(f, l),
@@ -372,7 +389,10 @@ mod tests {
         let m2 = streaming_loop(64);
         let mut mem2 = Memory::from_module(&m2);
         let parallel = HlsModel::default().run(&m2, &mut mem2).unwrap();
-        assert!(serial.cycles > parallel.cycles, "{serial:?} vs {parallel:?}");
+        assert!(
+            serial.cycles > parallel.cycles,
+            "{serial:?} vs {parallel:?}"
+        );
     }
 
     #[test]

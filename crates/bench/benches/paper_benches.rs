@@ -1,121 +1,81 @@
-//! Criterion benches — one per paper table/figure, timing the experiment
-//! kernels (translate → transform → simulate) on representative workloads.
+//! Benches — one per paper table/figure, timing the experiment kernels
+//! (translate → transform → simulate) on representative workloads.
 //!
-//! `cargo bench` regenerates timing for the harness itself; the actual
-//! table/figure *contents* come from `cargo run --release -p muir-bench
-//! --bin experiments`.
+//! A self-contained harness (no external bench framework): each kernel is
+//! warmed once, then timed over a fixed number of iterations and reported
+//! as min/mean wall-clock time. `cargo bench` regenerates timing for the
+//! harness itself; the actual table/figure *contents* come from
+//! `cargo run --release -p muir-bench --bin experiments`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use muir_bench::{baseline, fig11_point, fig12_sweep, fig15_point, fig16_sweep, fig9_point,
-                 full_stack, optimized, run_verified};
+use muir_bench::{
+    baseline, fig11_point, fig12_sweep, fig15_point, fig16_sweep, fig9_point, full_stack,
+    optimized, run_verified,
+};
 use muir_rtl::circuit::lower_to_circuit;
 use muir_rtl::cost::{estimate, Tech};
 use muir_rtl::emit_chisel;
 use muir_workloads::by_name;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
-fn bench_table2_cost_model(c: &mut Criterion) {
-    let w = by_name("GEMM").unwrap();
-    let acc = baseline(&w);
-    c.bench_function("table2/cost_model_gemm", |b| {
-        b.iter(|| {
-            let f = estimate(&acc, Tech::FpgaArria10);
-            let a = estimate(&acc, Tech::Asic28);
-            criterion::black_box((f, a))
-        })
+/// Time `f` over `iters` iterations (after one warmup) and print a row.
+fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    black_box(f()); // warmup
+    let mut min = Duration::MAX;
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box(f());
+        let dt = t0.elapsed();
+        total += dt;
+        min = min.min(dt);
+    }
+    let mean = total / iters;
+    println!("{name:<40} {iters:>4} iters   min {min:>10.3?}   mean {mean:>10.3?}");
+}
+
+fn main() {
+    println!("muir-bench paper_benches (plain harness)\n");
+
+    let gemm = by_name("GEMM").unwrap();
+    let gemm_acc = baseline(&gemm);
+    bench("table2/cost_model_gemm", 20, || {
+        let f = estimate(&gemm_acc, Tech::FpgaArria10);
+        let a = estimate(&gemm_acc, Tech::Asic28);
+        (f, a)
     });
-}
 
-fn bench_fig9_hls_comparison(c: &mut Criterion) {
-    let w = by_name("SOFTM8").unwrap();
-    let mut g = c.benchmark_group("fig9");
-    g.sample_size(10);
-    g.bench_function("softm8_uir_vs_hls", |b| b.iter(|| criterion::black_box(fig9_point(&w))));
-    g.finish();
-}
+    let softm8 = by_name("SOFTM8").unwrap();
+    bench("fig9/softm8_uir_vs_hls", 5, || fig9_point(&softm8));
 
-fn bench_fig11_fusion(c: &mut Criterion) {
-    let w = by_name("RGB2YUV").unwrap();
-    let mut g = c.benchmark_group("fig11");
-    g.sample_size(10);
-    g.bench_function("rgb2yuv_fusion_point", |b| {
-        b.iter(|| criterion::black_box(fig11_point(&w)))
-    });
-    g.finish();
-}
+    let rgb = by_name("RGB2YUV").unwrap();
+    bench("fig11/rgb2yuv_fusion_point", 5, || fig11_point(&rgb));
 
-fn bench_fig12_tiling(c: &mut Criterion) {
-    let w = by_name("IMG-SCALE").unwrap();
-    let mut g = c.benchmark_group("fig12");
-    g.sample_size(10);
-    g.bench_function("img_scale_tiling_sweep", |b| {
-        b.iter(|| criterion::black_box(fig12_sweep(&w)))
-    });
-    g.finish();
-}
+    let img = by_name("IMG-SCALE").unwrap();
+    bench("fig12/img_scale_tiling_sweep", 3, || fig12_sweep(&img));
 
-fn bench_fig15_tensor(c: &mut Criterion) {
     let pair = muir_workloads::inhouse::tensor_pairs().remove(2); // CONV[T]
-    let mut g = c.benchmark_group("fig15");
-    g.sample_size(10);
-    g.bench_function("conv_t_tensor_vs_scalar", |b| {
-        b.iter(|| criterion::black_box(fig15_point(&pair)))
-    });
-    g.finish();
-}
+    bench("fig15/conv_t_tensor_vs_scalar", 3, || fig15_point(&pair));
 
-fn bench_fig16_banking(c: &mut Criterion) {
-    let w = by_name("CONV").unwrap();
-    let mut g = c.benchmark_group("fig16");
-    g.sample_size(10);
-    g.bench_function("conv_cache_banking_sweep", |b| {
-        b.iter(|| criterion::black_box(fig16_sweep(&w)))
-    });
-    g.finish();
-}
+    let conv = by_name("CONV").unwrap();
+    bench("fig16/conv_cache_banking_sweep", 3, || fig16_sweep(&conv));
 
-fn bench_fig17_stack(c: &mut Criterion) {
-    let w = by_name("SOFTM16").unwrap();
-    let mut g = c.benchmark_group("fig17");
-    g.sample_size(10);
-    g.bench_function("softm16_full_stack", |b| {
-        b.iter(|| {
-            let (acc, _) = optimized(&w, &full_stack(w.class));
-            criterion::black_box(run_verified(&w, &acc).cycles)
-        })
+    let softm16 = by_name("SOFTM16").unwrap();
+    bench("fig17/softm16_full_stack", 3, || {
+        let (acc, _) = optimized(&softm16, &full_stack(softm16.class));
+        run_verified(&softm16, &acc).cycles
     });
-    g.finish();
-}
 
-fn bench_table4_lowering(c: &mut Criterion) {
-    let w = by_name("STENCIL").unwrap();
-    let acc = baseline(&w);
-    c.bench_function("table4/firrtl_lowering_stencil", |b| {
-        b.iter(|| criterion::black_box(lower_to_circuit(&acc).total_elements()))
+    let stencil = by_name("STENCIL").unwrap();
+    let stencil_acc = baseline(&stencil);
+    bench("table4/firrtl_lowering_stencil", 10, || {
+        lower_to_circuit(&stencil_acc).total_elements()
+    });
+
+    let fft = by_name("FFT").unwrap();
+    bench("toolchain/translate_fft", 10, || baseline(&fft));
+    let fft_acc = baseline(&fft);
+    bench("toolchain/emit_chisel_fft", 10, || {
+        emit_chisel(&fft_acc).len()
     });
 }
-
-fn bench_pipeline_stages(c: &mut Criterion) {
-    // The toolchain itself: translate and emit.
-    let w = by_name("FFT").unwrap();
-    c.bench_function("toolchain/translate_fft", |b| {
-        b.iter(|| criterion::black_box(baseline(&w)))
-    });
-    let acc = baseline(&w);
-    c.bench_function("toolchain/emit_chisel_fft", |b| {
-        b.iter(|| criterion::black_box(emit_chisel(&acc).len()))
-    });
-}
-
-criterion_group!(
-    benches,
-    bench_table2_cost_model,
-    bench_fig9_hls_comparison,
-    bench_fig11_fusion,
-    bench_fig12_tiling,
-    bench_fig15_tensor,
-    bench_fig16_banking,
-    bench_fig17_stack,
-    bench_table4_lowering,
-    bench_pipeline_stages,
-);
-criterion_main!(benches);

@@ -2,8 +2,12 @@
 //!
 //! ```text
 //! cargo run --release -p muir-bench --bin experiments [all|fig1|table2|fig9|
-//!     table3|fig11|fig12|fig15|fig16|fig17|fig18|table4]
+//!     table3|fig11|fig12|fig15|fig16|fig17|fig18|table4|faults|--selftest]
 //! ```
+//!
+//! `faults` runs the differential fault-injection campaign (see
+//! `muir_bench::campaign`); `--selftest` checks the campaign's determinism
+//! and then chains into `scripts/check.sh` when present.
 
 use muir_bench::{
     baseline, fig11_point, fig12_sweep, fig15_point, fig16_sweep, fig18_point, fig9_point,
@@ -21,6 +25,10 @@ use muir_workloads::by_name;
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    if which == "--selftest" {
+        selftest();
+        return;
+    }
     let all = which == "all";
     if all || which == "table2" {
         table2();
@@ -55,6 +63,56 @@ fn main() {
     if which == "ablations" {
         ablations();
     }
+    if all || which == "faults" {
+        faults();
+    }
+}
+
+/// Differential fault campaign: 3 workloads × 6 fault classes × 3 seeded
+/// replicas, each cross-checked against the reference interpreter.
+fn faults() {
+    hdr("Fault campaign: seeded single-event injection vs muir-mir reference");
+    let report = muir_bench::campaign::default_campaign();
+    print!("{report}");
+}
+
+/// Robustness self-test: the campaign must be byte-for-byte reproducible
+/// and must never let a corrupted completion go unflagged. Chains into
+/// `scripts/check.sh` (fmt/clippy/tier-1) when the script is present.
+fn selftest() {
+    hdr("Selftest: fault-campaign determinism");
+    let wl = ["SAXPY", "GEMM"];
+    let classes = [
+        muir_sim::FaultClass::TokenDrop,
+        muir_sim::FaultClass::TokenBitFlip,
+        muir_sim::FaultClass::MemEcc,
+        muir_sim::FaultClass::DramTimeout,
+    ];
+    let a = muir_bench::campaign::run_campaign(&wl, &classes, 2);
+    let b = muir_bench::campaign::run_campaign(&wl, &classes, 2);
+    assert_eq!(a, b, "campaign is not deterministic");
+    assert_eq!(a.unflagged_corruptions(), 0, "unflagged silent corruption");
+    print!("{a}");
+    println!(
+        "determinism: OK ({} cases reproduced exactly)",
+        a.cases.len()
+    );
+
+    let script = std::path::Path::new("scripts/check.sh");
+    if script.exists() {
+        hdr("Selftest: scripts/check.sh");
+        let status = std::process::Command::new("sh")
+            .arg(script)
+            .status()
+            .expect("failed to launch scripts/check.sh");
+        assert!(status.success(), "scripts/check.sh failed: {status}");
+    } else {
+        println!(
+            "(scripts/check.sh not found from {:?}; skipped)",
+            std::env::current_dir().ok()
+        );
+    }
+    println!("selftest: OK");
 }
 
 fn hdr(title: &str) {
@@ -90,13 +148,20 @@ fn table2() {
 /// Figure 9: baseline μIR vs HLS (normalized execution, HLS = 1).
 fn fig9() {
     hdr("Figure 9: muIR vs HLS normalized execution time (HLS = 1; < 1 means muIR wins)");
-    let names =
-        ["GEMM", "COVAR", "FFT", "SPMV", "2MM", "3MM", "CONV", "DENSE8", "DENSE16", "SOFTM8",
-         "SOFTM16"];
+    let names = [
+        "GEMM", "COVAR", "FFT", "SPMV", "2MM", "3MM", "CONV", "DENSE8", "DENSE16", "SOFTM8",
+        "SOFTM16",
+    ];
     for name in names {
         let w = by_name(name).unwrap();
         let (uir, hls) = fig9_point(&w);
-        println!("{:>10}: {:.3}   (uir {:.1} us, hls {:.1} us)", name, uir / hls, uir, hls);
+        println!(
+            "{:>10}: {:.3}   (uir {:.1} us, hls {:.1} us)",
+            name,
+            uir / hls,
+            uir,
+            hls
+        );
     }
 }
 
@@ -120,7 +185,10 @@ fn fig11() {
 /// Figure 12: execution tiling sweep on the Cilk benchmarks.
 fn fig12() {
     hdr("Figure 12: normalized execution vs execution tiles (1T = 1)");
-    println!("{:>10}: {:>6} {:>6} {:>6} {:>6}", "Bench", "1T", "2T", "4T", "8T");
+    println!(
+        "{:>10}: {:>6} {:>6} {:>6} {:>6}",
+        "Bench", "1T", "2T", "4T", "8T"
+    );
     for name in ["STENCIL", "SAXPY", "IMG-SCALE", "FIB", "M-SORT"] {
         let w = by_name(name).unwrap();
         let sweep = fig12_sweep(&w);
@@ -182,8 +250,20 @@ fn fig16() {
 fn fig17() {
     hdr("Figure 17: stacked muopt passes, normalized execution (baseline = 1)");
     let names = [
-        "SAXPY", "STENCIL", "IMG-SCALE", "GEMM", "COVAR", "FFT", "SPMV", "2MM", "3MM", "CONV",
-        "DENSE8", "DENSE16", "SOFTM8", "SOFTM16",
+        "SAXPY",
+        "STENCIL",
+        "IMG-SCALE",
+        "GEMM",
+        "COVAR",
+        "FFT",
+        "SPMV",
+        "2MM",
+        "3MM",
+        "CONV",
+        "DENSE8",
+        "DENSE16",
+        "SOFTM8",
+        "SOFTM16",
     ];
     for name in names {
         let w = by_name(name).unwrap();
@@ -206,7 +286,16 @@ fn fig17() {
 fn fig18() {
     hdr("Figure 18: speedup over ARM-A9-class CPU (CPU = 1; > 1 means muIR wins)");
     let names = [
-        "GEMM", "COVAR", "FFT", "SPMV", "2MM", "3MM", "IMG-SCALE", "RELU", "2MM[T]", "CONV[T]",
+        "GEMM",
+        "COVAR",
+        "FFT",
+        "SPMV",
+        "2MM",
+        "3MM",
+        "IMG-SCALE",
+        "RELU",
+        "2MM[T]",
+        "CONV[T]",
     ];
     for name in names {
         let w = by_name(name).unwrap();
@@ -235,7 +324,10 @@ fn table4() {
         // muIR deltas from the actual passes.
         let mut t_acc = acc.clone();
         let tile_rep = PassManager::new()
-            .with(ExecutionTiling { tiles: 2, filter: TaskFilter::Spawned })
+            .with(ExecutionTiling {
+                tiles: 2,
+                filter: TaskFilter::Spawned,
+            })
             .run(&mut t_acc)
             .unwrap();
         let tile_u = tile_rep.total();
@@ -246,14 +338,21 @@ fn table4() {
             .run(&mut l_acc)
             .unwrap();
         // Per-SRAM cost: divide by the number of scratchpads created.
-        let srams_added = l_acc.structures.len().saturating_sub(acc.structures.len()).max(1);
+        let srams_added = l_acc
+            .structures
+            .len()
+            .saturating_sub(acc.structures.len())
+            .max(1);
         let sram_u = (
             sram_rep.total().nodes.div_ceil(srams_added),
             sram_rep.total().edges.div_ceil(srams_added),
         );
 
         let mut f_acc = acc.clone();
-        let fuse_rep = PassManager::new().with(OpFusion::default()).run(&mut f_acc).unwrap();
+        let fuse_rep = PassManager::new()
+            .with(OpFusion::default())
+            .run(&mut f_acc)
+            .unwrap();
         let fuse_u = fuse_rep.total();
 
         // FIRRTL-level equivalents.
@@ -270,7 +369,12 @@ fn table4() {
             })
             .unwrap_or(acc.root);
         let tile_f = tiling_circuit_delta(&acc, spawned);
-        let obj = acc.structures.iter().flat_map(|s| s.objects.iter()).next().copied();
+        let obj = acc
+            .structures
+            .iter()
+            .flat_map(|s| s.objects.iter())
+            .next()
+            .copied();
         let sram_f = sram_circuit_delta(&acc, obj.unwrap_or(muir_mir::instr::MemObjId(0)));
         let fuse_f = fusion_circuit_delta(&f_acc);
 
@@ -377,10 +481,9 @@ fn ablations() {
     for name in ["SPMV", "CONV"] {
         let w = by_name(name).unwrap();
         print!("{name:>10}:");
-        for (d, e, c) in muir_bench::ablation_sim_buffers(
-            &w,
-            &[(1, 1), (2, 2), (4, 4), (8, 8), (16, 16)],
-        ) {
+        for (d, e, c) in
+            muir_bench::ablation_sim_buffers(&w, &[(1, 1), (2, 2), (4, 4), (8, 8), (16, 16)])
+        {
             print!("  d{d}e{e}={c}");
         }
         println!();

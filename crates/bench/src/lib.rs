@@ -6,6 +6,8 @@
 //! experiments. See `EXPERIMENTS.md` at the repository root for the
 //! paper-vs-measured record.
 
+pub mod campaign;
+
 use muir_baselines::{CpuModel, HlsModel};
 use muir_core::accel::Accelerator;
 use muir_frontend::{translate, FrontendConfig};
@@ -23,8 +25,7 @@ use muir_workloads::{Class, Workload};
 /// # Panics
 /// Panics on translation failure (workloads are all known-good).
 pub fn baseline(w: &Workload) -> Accelerator {
-    translate(&w.module, &FrontendConfig::default())
-        .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+    translate(&w.module, &FrontendConfig::default()).unwrap_or_else(|e| panic!("{}: {e}", w.name))
 }
 
 /// Simulate `acc` on the workload's inputs and verify outputs against the
@@ -33,7 +34,9 @@ pub fn baseline(w: &Workload) -> Accelerator {
 /// # Panics
 /// Panics on simulation failure or output mismatch.
 pub fn run_verified(w: &Workload, acc: &Accelerator) -> SimResult {
-    let ref_mem = w.run_reference().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    let ref_mem = w
+        .run_reference()
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
     let mut mem = w.fresh_memory();
     let r = simulate(acc, &mut mem, &[], &SimConfig::default())
         .unwrap_or_else(|e| panic!("{}: {e}", w.name));
@@ -51,7 +54,9 @@ pub fn run_verified(w: &Workload, acc: &Accelerator) -> SimResult {
 /// Panics on pass failure.
 pub fn optimized(w: &Workload, pm: &PassManager) -> (Accelerator, PassReport) {
     let mut acc = baseline(w);
-    let report = pm.run(&mut acc).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    let report = pm
+        .run(&mut acc)
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
     (acc, report)
 }
 
@@ -84,7 +89,10 @@ pub fn best_stack(class: Class) -> PassManager {
         Class::Cilk => full_stack(class),
         _ => PassManager::new()
             .with(TaskQueueing::all(8))
-            .with(ExecutionTiling { tiles: 4, filter: TaskFilter::LeafLoops })
+            .with(ExecutionTiling {
+                tiles: 4,
+                filter: TaskFilter::LeafLoops,
+            })
             .with(MemoryLocalization::default())
             .with(ScratchpadBanking { banks: 4 })
             .with(CacheBanking { banks: 4 })
@@ -118,10 +126,15 @@ pub fn fig9_point(w: &Workload) -> (f64, f64) {
     let uir_time = exec_time_us(r.cycles, &uir_cost);
 
     let streaming = matches!(w.name, "FFT" | "DENSE8" | "DENSE16");
-    let hls =
-        if streaming { HlsModel::with_streaming() } else { HlsModel::default() };
+    let hls = if streaming {
+        HlsModel::with_streaming()
+    } else {
+        HlsModel::default()
+    };
     let mut mem = w.fresh_memory();
-    let hls_r = hls.run(&w.module, &mut mem).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    let hls_r = hls
+        .run(&w.module, &mut mem)
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
     let hls_fmax = uir_cost.fmax_mhz / 1.2; // §5.2 observation 1
     let hls_time = hls_r.cycles as f64 / hls_fmax;
     (uir_time, hls_time)
@@ -157,7 +170,10 @@ pub fn fig12_sweep(w: &Workload) -> Vec<(u32, u64)> {
                 .with(MemoryLocalization::default())
                 .with(ScratchpadBanking { banks: 4 })
                 .with(TaskQueueing::all(2 * t))
-                .with(ExecutionTiling { tiles: t, filter: TaskFilter::Spawned });
+                .with(ExecutionTiling {
+                    tiles: t,
+                    filter: TaskFilter::Spawned,
+                });
             let (acc, _) = optimized(w, &pm);
             (t, run_verified(w, &acc).cycles)
         })
@@ -223,8 +239,9 @@ pub fn fig15_lowering_ablation(w: &Workload) -> (u64, u64) {
     let native_pm = PassManager::new().with(MemoryLocalization::default());
     let (native, _) = optimized(w, &native_pm);
     let n = run_verified(w, &native).cycles;
-    let lowered_pm =
-        PassManager::new().with(LowerTensors).with(MemoryLocalization::default());
+    let lowered_pm = PassManager::new()
+        .with(LowerTensors)
+        .with(MemoryLocalization::default());
     let (lowered, _) = optimized(w, &lowered_pm);
     let l = run_verified(w, &lowered).cycles;
     (n, l)
@@ -237,8 +254,7 @@ pub fn fig15_lowering_ablation(w: &Workload) -> (u64, u64) {
 pub fn localization_point(w: &Workload) -> (u64, u64) {
     let acc = baseline(w);
     let base = run_verified(w, &acc).cycles;
-    let (local, _) =
-        optimized(w, &PassManager::new().with(MemoryLocalization::default()));
+    let (local, _) = optimized(w, &PassManager::new().with(MemoryLocalization::default()));
     let opt = run_verified(w, &local).cycles;
     (base, opt)
 }
@@ -369,10 +385,18 @@ pub fn ablation_sim_buffers(w: &Workload, points: &[(u32, u32)]) -> Vec<(u32, u3
     points
         .iter()
         .map(|&(databox, elastic)| {
-            let cfg = SimConfig { databox_entries: databox, elastic_depth: elastic, ..SimConfig::default() };
+            let cfg = SimConfig {
+                databox_entries: databox,
+                elastic_depth: elastic,
+                ..SimConfig::default()
+            };
             let mut mem = w.fresh_memory();
             let r = simulate(&acc, &mut mem, &[], &cfg).expect("simulate");
-            assert!(w.outputs_match(&ref_mem, &mem), "{}: buffering changed results", w.name);
+            assert!(
+                w.outputs_match(&ref_mem, &mem),
+                "{}: buffering changed results",
+                w.name
+            );
             (databox, elastic, r.cycles)
         })
         .collect()

@@ -185,12 +185,20 @@ impl Accelerator {
 
     /// Record a parent→child `<||>` connection.
     pub fn connect_tasks(&mut self, parent: TaskId, child: TaskId, queue_depth: u32) {
-        self.task_conns.push(TaskConnection { parent, child, queue_depth });
+        self.task_conns.push(TaskConnection {
+            parent,
+            child,
+            queue_depth,
+        });
     }
 
     /// Record a junction→structure `<==>` connection.
     pub fn connect_mem(&mut self, task: TaskId, junction: JunctionId, structure: StructureId) {
-        self.mem_conns.push(MemConnection { task, junction, structure });
+        self.mem_conns.push(MemConnection {
+            task,
+            junction,
+            structure,
+        });
     }
 
     /// The task behind `id`.
@@ -225,22 +233,32 @@ impl Accelerator {
 
     /// Children of `t` per the `<||>` connections.
     pub fn children(&self, t: TaskId) -> Vec<TaskId> {
-        self.task_conns.iter().filter(|c| c.parent == t).map(|c| c.child).collect()
+        self.task_conns
+            .iter()
+            .filter(|c| c.parent == t)
+            .map(|c| c.child)
+            .collect()
     }
 
     /// Parent of `t`, if any.
     pub fn parent(&self, t: TaskId) -> Option<TaskId> {
-        self.task_conns.iter().find(|c| c.child == t).map(|c| c.parent)
+        self.task_conns
+            .iter()
+            .find(|c| c.child == t)
+            .map(|c| c.parent)
     }
 
     /// The structure that homes `obj`, if any.
     pub fn structure_for(&self, obj: muir_mir::instr::MemObjId) -> Option<StructureId> {
-        self.structure_ids().find(|&s| self.structure(s).serves(obj))
+        self.structure_ids()
+            .find(|&s| self.structure(s).serves(obj))
     }
 
     /// The `<||>` connection between `parent` and `child`, mutably.
     pub fn task_conn_mut(&mut self, parent: TaskId, child: TaskId) -> Option<&mut TaskConnection> {
-        self.task_conns.iter_mut().find(|c| c.parent == parent && c.child == child)
+        self.task_conns
+            .iter_mut()
+            .find(|c| c.parent == parent && c.child == child)
     }
 }
 
@@ -256,7 +274,11 @@ mod tests {
         let child = acc.add_task(TaskBlock::new(
             "loop",
             TaskKind::Loop {
-                spec: LoopSpec { lo: ArgExpr::Const(0), hi: ArgExpr::Arg(0), step: 1 },
+                spec: LoopSpec {
+                    lo: ArgExpr::Const(0),
+                    hi: ArgExpr::Arg(0),
+                    step: 1,
+                },
                 serial: false,
             },
         ));

@@ -227,17 +227,21 @@ impl Dataflow {
 
     /// Ids of memory (load/store) nodes.
     pub fn mem_nodes(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&id| self.node(id).kind.is_mem()).collect()
+        self.node_ids()
+            .filter(|&id| self.node(id).kind.is_mem())
+            .collect()
     }
 
     /// The single `Output` node, if present.
     pub fn output_node(&self) -> Option<NodeId> {
-        self.node_ids().find(|&id| matches!(self.node(id).kind, NodeKind::Output))
+        self.node_ids()
+            .find(|&id| matches!(self.node(id).kind, NodeKind::Output))
     }
 
     /// The `IndVar` node, if present (loop tasks).
     pub fn indvar_node(&self) -> Option<NodeId> {
-        self.node_ids().find(|&id| matches!(self.node(id).kind, NodeKind::IndVar))
+        self.node_ids()
+            .find(|&id| matches!(self.node(id).kind, NodeKind::IndVar))
     }
 
     /// Register a load on its junction (keeps junction bookkeeping in sync).
@@ -259,7 +263,11 @@ mod tests {
     use muir_mir::types::Type;
 
     fn add_const(df: &mut Dataflow, v: i64) -> NodeId {
-        df.add_node(Node::new(format!("c{v}"), NodeKind::Const(ConstVal::Int(v)), Type::I64))
+        df.add_node(Node::new(
+            format!("c{v}"),
+            NodeKind::Const(ConstVal::Int(v)),
+            Type::I64,
+        ))
     }
 
     #[test]
@@ -267,8 +275,11 @@ mod tests {
         let mut df = Dataflow::new();
         let a = add_const(&mut df, 1);
         let b = add_const(&mut df, 2);
-        let add =
-            df.add_node(Node::new("add", NodeKind::Compute(OpKind::Bin(BinOp::Add)), Type::I64));
+        let add = df.add_node(Node::new(
+            "add",
+            NodeKind::Compute(OpKind::Bin(BinOp::Add)),
+            Type::I64,
+        ));
         let out = df.add_node(Node::new("out", NodeKind::Output, Type::I64));
         df.connect(a, 0, add, 0);
         df.connect(b, 0, add, 1);
@@ -287,8 +298,11 @@ mod tests {
         let mut df = Dataflow::new();
         let a = add_const(&mut df, 1);
         let b = add_const(&mut df, 2);
-        let add =
-            df.add_node(Node::new("add", NodeKind::Compute(OpKind::Bin(BinOp::Add)), Type::I64));
+        let add = df.add_node(Node::new(
+            "add",
+            NodeKind::Compute(OpKind::Bin(BinOp::Add)),
+            Type::I64,
+        ));
         // Connect port 1 before port 0.
         df.connect(b, 0, add, 1);
         df.connect(a, 0, add, 0);
@@ -302,14 +316,20 @@ mod tests {
         let mut df = Dataflow::new();
         let init = add_const(&mut df, 0);
         let merge = df.add_node(Node::new("acc", NodeKind::Merge, Type::I64));
-        let upd =
-            df.add_node(Node::new("upd", NodeKind::Compute(OpKind::Bin(BinOp::Add)), Type::I64));
+        let upd = df.add_node(Node::new(
+            "upd",
+            NodeKind::Compute(OpKind::Bin(BinOp::Add)),
+            Type::I64,
+        ));
         df.connect(init, 0, merge, 0);
         df.connect(merge, 0, upd, 0);
         df.connect(init, 0, upd, 1);
         df.connect_feedback(upd, 0, merge);
-        let fb: Vec<&Edge> =
-            df.edges.iter().filter(|e| e.kind == EdgeKind::Feedback).collect();
+        let fb: Vec<&Edge> = df
+            .edges
+            .iter()
+            .filter(|e| e.kind == EdgeKind::Feedback)
+            .collect();
         assert_eq!(fb.len(), 1);
         assert_eq!(fb[0].dst_port, 1);
     }
@@ -327,7 +347,11 @@ mod tests {
         let j = df.add_junction(Junction::new(StructureId(0), 2, 1));
         let ld = df.add_node(Node::new(
             "ld",
-            NodeKind::Load { obj: muir_mir::instr::MemObjId(0), junction: j, predicated: false },
+            NodeKind::Load {
+                obj: muir_mir::instr::MemObjId(0),
+                junction: j,
+                predicated: false,
+            },
             Type::F32,
         ));
         df.register_reader(j, ld);

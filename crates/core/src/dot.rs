@@ -21,7 +21,11 @@ pub fn to_dot(acc: &Accelerator) -> String {
     }
     for (ti, t) in acc.tasks.iter().enumerate() {
         let _ = writeln!(out, "  subgraph cluster_t{ti} {{");
-        let _ = writeln!(out, "    label=\"{} [{} tile(s), q{}]\";", t.name, t.tiles, t.queue_depth);
+        let _ = writeln!(
+            out,
+            "    label=\"{} [{} tile(s), q{}]\";",
+            t.name, t.tiles, t.queue_depth
+        );
         let _ = writeln!(out, "    style=filled; fillcolor=lightblue;");
         for (ni, n) in t.dataflow.nodes.iter().enumerate() {
             let shape = match n.kind.tag() {
@@ -58,7 +62,11 @@ pub fn to_dot(acc: &Accelerator) -> String {
             );
             let _ = writeln!(out, "  t{ti}j{ji} -> s{} [dir=both];", j.structure.0);
             for r in j.readers.iter().chain(&j.writers) {
-                let _ = writeln!(out, "  t{ti}n{} -> t{ti}j{ji} [dir=both style=dotted];", r.0);
+                let _ = writeln!(
+                    out,
+                    "  t{ti}n{} -> t{ti}j{ji} [dir=both style=dotted];",
+                    r.0
+                );
             }
         }
     }
@@ -87,8 +95,10 @@ mod tests {
         let mut acc = Accelerator::new("dotdemo");
         acc.add_structure(Structure::scratchpad("spad", 16));
         let mut t = TaskBlock::new("main", TaskKind::Region);
-        t.dataflow.add_node(Node::new("c", NodeKind::Const(ConstVal::Int(1)), Type::I64));
-        t.dataflow.add_node(Node::new("out", NodeKind::Output, Type::I64));
+        t.dataflow
+            .add_node(Node::new("c", NodeKind::Const(ConstVal::Int(1)), Type::I64));
+        t.dataflow
+            .add_node(Node::new("out", NodeKind::Output, Type::I64));
         let tid = acc.add_task(t);
         acc.root = tid;
         let dot = to_dot(&acc);

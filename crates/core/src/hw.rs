@@ -22,7 +22,10 @@ pub struct Timing {
 impl Timing {
     /// A fully pipelined unit of the given depth.
     pub fn pipelined(latency: u32) -> Timing {
-        Timing { latency: latency.max(1), ii: 1 }
+        Timing {
+            latency: latency.max(1),
+            ii: 1,
+        }
     }
 }
 
@@ -51,7 +54,10 @@ pub fn op_timing(op: OpKind, ty: Type) -> Timing {
     };
     // Wide vector units add one staging cycle for operand distribution.
     if ty.is_composite() && !matches!(op, OpKind::Tensor(..)) {
-        Timing { latency: base.latency + 1, ii: base.ii }
+        Timing {
+            latency: base.latency + 1,
+            ii: base.ii,
+        }
     } else {
         base
     }
@@ -101,7 +107,10 @@ pub fn node_timing(kind: &NodeKind, ty: Type, period_ns: f64) -> Timing {
             let t = op_timing(*op, ty);
             // The recurrence wraps inside the unit: II equals the member
             // op's latency (a 1-cycle int add accumulates every cycle).
-            Timing { latency: t.latency, ii: t.latency }
+            Timing {
+                latency: t.latency,
+                ii: t.latency,
+            }
         }
         NodeKind::Input { .. }
         | NodeKind::IndVar
@@ -174,7 +183,10 @@ mod tests {
     #[test]
     fn tensor_units_fully_pipelined() {
         let shape = TensorShape::new(2, 2);
-        let ty = Type::Tensor { elem: ScalarType::F32, shape };
+        let ty = Type::Tensor {
+            elem: ScalarType::F32,
+            shape,
+        };
         let t = op_timing(OpKind::Tensor(TensorOp::MatMul, shape), ty);
         assert_eq!(t.ii, 1);
         assert!(t.latency >= 2);

@@ -31,8 +31,10 @@ pub mod stats;
 pub mod structure;
 pub mod verify;
 
-pub use accel::{Accelerator, ArgExpr, LoopSpec, MemConnection, ResultInit, TaskBlock,
-                TaskConnection, TaskId, TaskKind};
+pub use accel::{
+    Accelerator, ArgExpr, LoopSpec, MemConnection, ResultInit, TaskBlock, TaskConnection, TaskId,
+    TaskKind,
+};
 pub use dataflow::{Buffering, Dataflow, Edge, EdgeKind, Junction, JunctionId, NodeId};
 pub use node::{FusedInput, FusedPlan, FusedStep, Node, NodeKind, OpKind};
 pub use structure::{Structure, StructureId, StructureKind};

@@ -213,7 +213,11 @@ pub struct Node {
 impl Node {
     /// Construct a node.
     pub fn new(name: impl Into<String>, kind: NodeKind, ty: Type) -> Node {
-        Node { name: name.into(), kind, ty }
+        Node {
+            name: name.into(),
+            kind,
+            ty,
+        }
     }
 
     /// Number of input ports this node exposes, given `task_arity` lookup
@@ -243,8 +247,14 @@ mod tests {
         assert_eq!(OpKind::Bin(BinOp::Add).arity(), 2);
         assert_eq!(OpKind::Un(UnOp::Relu).arity(), 1);
         assert_eq!(OpKind::Select.arity(), 3);
-        assert_eq!(OpKind::Tensor(TensorOp::MatMul, TensorShape::new(2, 2)).arity(), 2);
-        assert_eq!(OpKind::Tensor(TensorOp::Relu, TensorShape::new(2, 2)).arity(), 1);
+        assert_eq!(
+            OpKind::Tensor(TensorOp::MatMul, TensorShape::new(2, 2)).arity(),
+            2
+        );
+        assert_eq!(
+            OpKind::Tensor(TensorOp::Relu, TensorShape::new(2, 2)).arity(),
+            1
+        );
     }
 
     #[test]
@@ -253,19 +263,31 @@ mod tests {
         assert_eq!(n.input_arity(0), 2);
         let ld = Node::new(
             "ld",
-            NodeKind::Load { obj: MemObjId(0), junction: JunctionId(0), predicated: true },
+            NodeKind::Load {
+                obj: MemObjId(0),
+                junction: JunctionId(0),
+                predicated: true,
+            },
             Type::F32,
         );
         assert_eq!(ld.input_arity(0), 2);
         let st = Node::new(
             "st",
-            NodeKind::Store { obj: MemObjId(0), junction: JunctionId(0), predicated: false },
+            NodeKind::Store {
+                obj: MemObjId(0),
+                junction: JunctionId(0),
+                predicated: false,
+            },
             Type::F32,
         );
         assert_eq!(st.input_arity(0), 2);
         let tc = Node::new(
             "call",
-            NodeKind::TaskCall { callee: crate::accel::TaskId(1), predicated: false, spawn: false },
+            NodeKind::TaskCall {
+                callee: crate::accel::TaskId(1),
+                predicated: false,
+                spawn: false,
+            },
             Type::I64,
         );
         assert_eq!(tc.input_arity(3), 3);
@@ -299,7 +321,11 @@ mod tests {
             .contains("tensor.matmul"));
         let n = Node::new(
             "x",
-            NodeKind::Load { obj: MemObjId(0), junction: JunctionId(0), predicated: false },
+            NodeKind::Load {
+                obj: MemObjId(0),
+                junction: JunctionId(0),
+                predicated: false,
+            },
             Type::Scalar(ScalarType::F32),
         );
         assert_eq!(n.kind.tag(), "load");

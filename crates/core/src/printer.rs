@@ -37,7 +37,12 @@ pub fn print_accelerator(acc: &Accelerator) -> String {
             }
         };
         let objs: Vec<String> = s.objects.iter().map(|o| o.to_string()).collect();
-        let _ = writeln!(out, "  structure s{si} \"{}\": {desc} serves [{}]", s.name, objs.join(", "));
+        let _ = writeln!(
+            out,
+            "  structure s{si} \"{}\": {desc} serves [{}]",
+            s.name,
+            objs.join(", ")
+        );
     }
     for (ti, t) in acc.tasks.iter().enumerate() {
         let kind = match &t.kind {
@@ -64,15 +69,27 @@ pub fn print_accelerator(acc: &Accelerator) -> String {
                 NodeKind::Fused(p) => format!("fused({} ops)", p.op_count()),
                 NodeKind::FusedAcc { op } => format!("fusedacc({})", op.mnemonic()),
                 NodeKind::Merge => "merge".to_string(),
-                NodeKind::Load { obj, junction, predicated } => format!(
+                NodeKind::Load {
+                    obj,
+                    junction,
+                    predicated,
+                } => format!(
                     "load({obj} via {junction}{})",
                     if *predicated { ", pred" } else { "" }
                 ),
-                NodeKind::Store { obj, junction, predicated } => format!(
+                NodeKind::Store {
+                    obj,
+                    junction,
+                    predicated,
+                } => format!(
                     "store({obj} via {junction}{})",
                     if *predicated { ", pred" } else { "" }
                 ),
-                NodeKind::TaskCall { callee, predicated, spawn } => format!(
+                NodeKind::TaskCall {
+                    callee,
+                    predicated,
+                    spawn,
+                } => format!(
                     "call(t{}{}{})",
                     callee.0,
                     if *spawn { ", spawn" } else { "" },
@@ -114,10 +131,18 @@ pub fn print_accelerator(acc: &Accelerator) -> String {
         let _ = writeln!(out, "  }}");
     }
     for c in &acc.task_conns {
-        let _ = writeln!(out, "  t{} <||> t{} (q={})", c.parent.0, c.child.0, c.queue_depth);
+        let _ = writeln!(
+            out,
+            "  t{} <||> t{} (q={})",
+            c.parent.0, c.child.0, c.queue_depth
+        );
     }
     for mc in &acc.mem_conns {
-        let _ = writeln!(out, "  t{}.j{} <==> s{}", mc.task.0, mc.junction.0, mc.structure.0);
+        let _ = writeln!(
+            out,
+            "  t{}.j{} <==> s{}",
+            mc.task.0, mc.junction.0, mc.structure.0
+        );
     }
     let _ = writeln!(out, "}}");
     out
@@ -138,8 +163,10 @@ mod tests {
         spad.serve(MemObjId(0));
         acc.add_structure(spad);
         let mut t = TaskBlock::new("main", TaskKind::Region);
-        t.dataflow.add_node(Node::new("c", NodeKind::Const(ConstVal::Int(3)), Type::I64));
-        t.dataflow.add_node(Node::new("out", NodeKind::Output, Type::I64));
+        t.dataflow
+            .add_node(Node::new("c", NodeKind::Const(ConstVal::Int(3)), Type::I64));
+        t.dataflow
+            .add_node(Node::new("out", NodeKind::Output, Type::I64));
         let tid = acc.add_task(t);
         acc.root = tid;
         acc
@@ -160,16 +187,21 @@ mod tests {
     #[test]
     fn prints_loop_specs_and_connections() {
         let mut acc = demo();
-        let mut lp = TaskBlock::new("lp", TaskKind::Loop {
-            spec: crate::accel::LoopSpec {
-                lo: ArgExpr::Const(0),
-                hi: ArgExpr::Arg(1),
-                step: 2,
+        let mut lp = TaskBlock::new(
+            "lp",
+            TaskKind::Loop {
+                spec: crate::accel::LoopSpec {
+                    lo: ArgExpr::Const(0),
+                    hi: ArgExpr::Arg(1),
+                    step: 2,
+                },
+                serial: true,
             },
-            serial: true,
-        });
-        lp.dataflow.add_node(Node::new("i", NodeKind::IndVar, Type::I64));
-        lp.dataflow.add_node(Node::new("out", NodeKind::Output, Type::I64));
+        );
+        lp.dataflow
+            .add_node(Node::new("i", NodeKind::IndVar, Type::I64));
+        lp.dataflow
+            .add_node(Node::new("out", NodeKind::Output, Type::I64));
         let child = acc.add_task(lp);
         acc.connect_tasks(acc.root, child, 4);
         let text = print_accelerator(&acc);

@@ -144,7 +144,11 @@ mod tests {
 
     fn chain_df(len: usize) -> Dataflow {
         let mut df = Dataflow::new();
-        let c = df.add_node(Node::new("c", NodeKind::Const(ConstVal::F32(1.0)), Type::F32));
+        let c = df.add_node(Node::new(
+            "c",
+            NodeKind::Const(ConstVal::F32(1.0)),
+            Type::F32,
+        ));
         let mut prev = c;
         for i in 0..len {
             let n = df.add_node(Node::new(

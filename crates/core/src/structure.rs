@@ -61,9 +61,15 @@ impl StructureKind {
     /// Total element-access throughput per cycle (port bound).
     pub fn ports_per_cycle(&self) -> u32 {
         match self {
-            StructureKind::Scratchpad { banks, ports_per_bank, .. } => banks * ports_per_bank,
+            StructureKind::Scratchpad {
+                banks,
+                ports_per_bank,
+                ..
+            } => banks * ports_per_bank,
             StructureKind::Cache { banks, .. } => *banks,
-            StructureKind::Dram { elems_per_cycle, .. } => *elems_per_cycle,
+            StructureKind::Dram {
+                elems_per_cycle, ..
+            } => *elems_per_cycle,
         }
     }
 
@@ -124,7 +130,10 @@ impl Structure {
     pub fn dram(name: impl Into<String>) -> Structure {
         Structure {
             name: name.into(),
-            kind: StructureKind::Dram { latency: 40, elems_per_cycle: 8 },
+            kind: StructureKind::Dram {
+                latency: 40,
+                elems_per_cycle: 8,
+            },
             objects: Vec::new(),
         }
     }
@@ -158,7 +167,12 @@ mod tests {
     fn cache_defaults() {
         let c = Structure::l1_cache("l1");
         match c.kind {
-            StructureKind::Cache { capacity, assoc, banks, .. } => {
+            StructureKind::Cache {
+                capacity,
+                assoc,
+                banks,
+                ..
+            } => {
                 assert_eq!(capacity, 16 * 1024);
                 assert_eq!(assoc, 4);
                 assert_eq!(banks, 1);

@@ -27,10 +27,21 @@ impl fmt::Display for GraphError {
     }
 }
 
+impl GraphError {
+    /// Stable machine-readable code, matching the simulator's `E-SIM-*`
+    /// taxonomy (campaign tooling buckets on codes, not message text).
+    pub fn code(&self) -> &'static str {
+        "E-GRAPH"
+    }
+}
+
 impl std::error::Error for GraphError {}
 
 fn gerr(at: impl Into<String>, message: impl Into<String>) -> GraphError {
-    GraphError { at: at.into(), message: message.into() }
+    GraphError {
+        at: at.into(),
+        message: message.into(),
+    }
 }
 
 /// Verify the whole accelerator graph.
@@ -53,7 +64,10 @@ pub fn verify_accelerator(acc: &Accelerator) -> Result<(), GraphError> {
             return Err(gerr(&acc.name, "task connection references missing task"));
         }
         if c.parent == c.child {
-            return Err(gerr(&acc.name, format!("task {} connected to itself", c.parent)));
+            return Err(gerr(
+                &acc.name,
+                format!("task {} connected to itself", c.parent),
+            ));
         }
         *parent_count.entry(c.child).or_insert(0) += 1;
     }
@@ -65,7 +79,11 @@ pub fn verify_accelerator(acc: &Accelerator) -> Result<(), GraphError> {
         if t != acc.root && n != 1 {
             return Err(gerr(
                 &acc.name,
-                format!("task {} ({}) has {n} parents, expected 1", t, acc.task(t).name),
+                format!(
+                    "task {} ({}) has {n} parents, expected 1",
+                    t,
+                    acc.task(t).name
+                ),
             ));
         }
     }
@@ -88,15 +106,24 @@ pub fn verify_accelerator(acc: &Accelerator) -> Result<(), GraphError> {
         }
         let df = &acc.task(mc.task).dataflow;
         if mc.junction.0 as usize >= df.junctions.len() {
-            return Err(gerr(&acc.name, "mem connection references missing junction"));
+            return Err(gerr(
+                &acc.name,
+                "mem connection references missing junction",
+            ));
         }
         if mc.structure.0 as usize >= acc.structures.len() {
-            return Err(gerr(&acc.name, "mem connection references missing structure"));
+            return Err(gerr(
+                &acc.name,
+                "mem connection references missing structure",
+            ));
         }
         if df.junctions[mc.junction.0 as usize].structure != mc.structure {
             return Err(gerr(
                 &acc.name,
-                format!("junction {} disagrees with its mem connection target", mc.junction),
+                format!(
+                    "junction {} disagrees with its mem connection target",
+                    mc.junction
+                ),
             ));
         }
     }
@@ -125,10 +152,15 @@ fn verify_task(acc: &Accelerator, tid: TaskId) -> Result<(), GraphError> {
         _ => {}
     }
     // Exactly one Output node.
-    let outputs =
-        df.node_ids().filter(|&n| matches!(df.node(n).kind, NodeKind::Output)).count();
+    let outputs = df
+        .node_ids()
+        .filter(|&n| matches!(df.node(n).kind, NodeKind::Output))
+        .count();
     if outputs != 1 {
-        return Err(gerr(&at, format!("expected exactly one Output node, found {outputs}")));
+        return Err(gerr(
+            &at,
+            format!("expected exactly one Output node, found {outputs}"),
+        ));
     }
     // Junction bookkeeping matches node registrations, and every mem node's
     // junction serves its object.
@@ -140,7 +172,10 @@ fn verify_task(acc: &Accelerator, tid: TaskId) -> Result<(), GraphError> {
                     .get(junction.0 as usize)
                     .ok_or_else(|| gerr(&at, format!("{n}: missing junction {junction}")))?;
                 if !j.readers.contains(&n) {
-                    return Err(gerr(&at, format!("{n} not registered as reader on {junction}")));
+                    return Err(gerr(
+                        &at,
+                        format!("{n} not registered as reader on {junction}"),
+                    ));
                 }
                 if !acc.structure(j.structure).serves(*obj) {
                     return Err(gerr(
@@ -155,7 +190,10 @@ fn verify_task(acc: &Accelerator, tid: TaskId) -> Result<(), GraphError> {
                     .get(junction.0 as usize)
                     .ok_or_else(|| gerr(&at, format!("{n}: missing junction {junction}")))?;
                 if !j.writers.contains(&n) {
-                    return Err(gerr(&at, format!("{n} not registered as writer on {junction}")));
+                    return Err(gerr(
+                        &at,
+                        format!("{n} not registered as writer on {junction}"),
+                    ));
                 }
                 if !acc.structure(j.structure).serves(*obj) {
                     return Err(gerr(
@@ -204,21 +242,27 @@ fn verify_dataflow_ports(
         if e.kind == EdgeKind::Feedback
             && !(matches!(df.node(e.dst).kind, NodeKind::Merge) && e.dst_port == 1)
         {
-            return Err(gerr(at, format!("feedback edge must enter a Merge port 1, enters {}", e.dst)));
+            return Err(gerr(
+                at,
+                format!("feedback edge must enter a Merge port 1, enters {}", e.dst),
+            ));
         }
     }
     for ((n, p), count) in &in_filled {
         if *count != 1 {
-            return Err(gerr(at, format!("{n} input port {p} driven by {count} edges")));
+            return Err(gerr(
+                at,
+                format!("{n} input port {p} driven by {count} edges"),
+            ));
         }
     }
     for n in df.node_ids() {
         let node = df.node(n);
         let arity = match &node.kind {
             NodeKind::Output => task.num_results as usize,
-            NodeKind::TaskCall { callee, predicated, .. } => {
-                acc.task(*callee).num_args as usize + usize::from(*predicated)
-            }
+            NodeKind::TaskCall {
+                callee, predicated, ..
+            } => acc.task(*callee).num_args as usize + usize::from(*predicated),
             other => {
                 let _ = other;
                 node.input_arity(0)
@@ -239,7 +283,10 @@ fn verify_dataflow_ports(
                 .iter()
                 .any(|e| e.dst == n && e.dst_port == 1 && e.kind == EdgeKind::Feedback);
             if !fb_ok {
-                return Err(gerr(at, format!("{n}: merge port 1 is not a feedback edge")));
+                return Err(gerr(
+                    at,
+                    format!("{n}: merge port 1 is not a feedback edge"),
+                ));
             }
         }
     }
@@ -248,7 +295,10 @@ fn verify_dataflow_ports(
         let mut seen = HashSet::new();
         for n in j.readers.iter().chain(&j.writers) {
             if !seen.insert(*n) {
-                return Err(gerr(at, format!("node {n} registered twice on junction j{ji}")));
+                return Err(gerr(
+                    at,
+                    format!("node {n} registered twice on junction j{ji}"),
+                ));
             }
             if n.0 >= nnodes {
                 return Err(gerr(at, format!("junction j{ji} references missing node")));
@@ -280,8 +330,16 @@ mod tests {
         task.num_results = 0;
         let df = &mut task.dataflow;
         let j = df.add_junction(Junction::new(sid, 1, 1));
-        let c1 = df.add_node(Node::new("c1", NodeKind::Const(ConstVal::Int(1)), Type::I64));
-        let c2 = df.add_node(Node::new("c2", NodeKind::Const(ConstVal::Int(2)), Type::I64));
+        let c1 = df.add_node(Node::new(
+            "c1",
+            NodeKind::Const(ConstVal::Int(1)),
+            Type::I64,
+        ));
+        let c2 = df.add_node(Node::new(
+            "c2",
+            NodeKind::Const(ConstVal::Int(2)),
+            Type::I64,
+        ));
         let add = df.add_node(Node::new(
             "add",
             NodeKind::Compute(OpKind::Bin(BinOp::Add)),
@@ -289,7 +347,11 @@ mod tests {
         ));
         let st = df.add_node(Node::new(
             "st",
-            NodeKind::Store { obj: MemObjId(0), junction: j, predicated: false },
+            NodeKind::Store {
+                obj: MemObjId(0),
+                junction: j,
+                predicated: false,
+            },
             Type::I64,
         ));
         let out = df.add_node(Node::new("out", NodeKind::Output, Type::I64));
@@ -316,7 +378,8 @@ mod tests {
         let mut acc = valid_accel();
         // Drop the add's second input edge.
         let df = &mut acc.tasks[0].dataflow;
-        df.edges.retain(|e| !(e.dst == NodeId(2) && e.dst_port == 1));
+        df.edges
+            .retain(|e| !(e.dst == NodeId(2) && e.dst_port == 1));
         let e = verify_accelerator(&acc).unwrap_err();
         assert!(e.message.contains("unconnected"), "{e}");
     }
@@ -359,7 +422,10 @@ mod tests {
     #[test]
     fn missing_output_caught() {
         let mut acc = valid_accel();
-        acc.tasks[0].dataflow.nodes.retain(|n| !matches!(n.kind, NodeKind::Output));
+        acc.tasks[0]
+            .dataflow
+            .nodes
+            .retain(|n| !matches!(n.kind, NodeKind::Output));
         // Rebuilding ids would be required in general; here Output is last
         // and unreferenced, so the graph stays consistent.
         let e = verify_accelerator(&acc).unwrap_err();

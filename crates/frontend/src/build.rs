@@ -13,16 +13,16 @@ use muir_mir::analysis::{
     self, detach_region, expand_with_detach, loop_dependence_in, natural_loops, region_values,
     Affine, NaturalLoop,
 };
-use muir_mir::instr::{
-    BlockId, CmpPred, ConstVal, FuncId, InstrId, MemObjId, Op, ValueRef,
-};
+use muir_mir::instr::{BlockId, CmpPred, ConstVal, FuncId, InstrId, MemObjId, Op, ValueRef};
 use muir_mir::module::{Function, Module};
 use muir_mir::types::{ScalarType, Type};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::rc::Rc;
 
 fn ferr(msg: impl Into<String>) -> FrontendError {
-    FrontendError { message: msg.into() }
+    FrontendError {
+        message: msg.into(),
+    }
 }
 
 /// A value captured from the enclosing scope (a task-closure argument).
@@ -76,8 +76,16 @@ impl Footprint {
 fn same_iter_disjoint(a: &Option<Affine>, b: &Option<Affine>) -> bool {
     match (a, b) {
         (
-            Some(Affine::Affine { scale: s1, konst: k1, syms: m1 }),
-            Some(Affine::Affine { scale: s2, konst: k2, syms: m2 }),
+            Some(Affine::Affine {
+                scale: s1,
+                konst: k1,
+                syms: m1,
+            }),
+            Some(Affine::Affine {
+                scale: s2,
+                konst: k2,
+                syms: m2,
+            }),
         ) => s1 == s2 && m1 == m2 && k1 != k2,
         _ => false,
     }
@@ -86,7 +94,8 @@ fn same_iter_disjoint(a: &Option<Affine>, b: &Option<Affine>) -> bool {
 fn conflicts(earlier: &Footprint, later: &Footprint) -> bool {
     let pair = |ws: &[(MemObjId, Option<Affine>)], rs: &[(MemObjId, Option<Affine>)]| {
         ws.iter().any(|(wo, wa)| {
-            rs.iter().any(|(ro, ra)| wo == ro && !same_iter_disjoint(wa, ra))
+            rs.iter()
+                .any(|(ro, ra)| wo == ro && !same_iter_disjoint(wa, ra))
         })
     };
     pair(&earlier.writes, &later.reads)
@@ -117,8 +126,11 @@ impl<'m> Frontend<'m> {
             return Err(ferr("module has no functions"));
         }
         let mut acc = Accelerator::new(module.name.clone());
-        acc.object_info =
-            module.mem_objects.iter().map(|o| (o.len, o.read_only)).collect();
+        acc.object_info = module
+            .mem_objects
+            .iter()
+            .map(|o| (o.len, o.read_only))
+            .collect();
 
         // Baseline memory system (§6.4): shared scratchpad for small/local
         // objects, one L1 cache (64 KB) for large/global objects, an AXI
@@ -160,10 +172,20 @@ impl<'m> Frontend<'m> {
         }
         acc.add_structure(Structure::dram("axi"));
 
-        let loops =
-            module.functions.iter().map(|f| Rc::new(natural_loops(f))).collect::<Vec<_>>();
+        let loops = module
+            .functions
+            .iter()
+            .map(|f| Rc::new(natural_loops(f)))
+            .collect::<Vec<_>>();
         let func_fps = compute_function_footprints(module);
-        Ok(Frontend { module, config, acc, placement, loops, func_fps })
+        Ok(Frontend {
+            module,
+            config,
+            acc,
+            placement,
+            loops,
+            func_fps,
+        })
     }
 
     pub(crate) fn run(mut self) -> Result<Accelerator, FrontendError> {
@@ -186,9 +208,12 @@ impl<'m> Frontend<'m> {
         let loops = Rc::clone(&self.loops[fid.0 as usize]);
 
         // Reserve the task id so children can connect to it.
-        let tid = self.acc.add_task(TaskBlock::new(name.clone(), TaskKind::Region));
+        let tid = self
+            .acc
+            .add_task(TaskBlock::new(name.clone(), TaskKind::Region));
         if let Some(p) = parent {
-            self.acc.connect_tasks(p, tid, self.config.child_queue_depth);
+            self.acc
+                .connect_tasks(p, tid, self.config.child_queue_depth);
         }
 
         // --- Scope block set -------------------------------------------------
@@ -241,10 +266,12 @@ impl<'m> Frontend<'m> {
         }
 
         // --- Stage 1: extract detach regions directly in this scope ----------
-        let mut detach_children: HashMap<BlockId, (ChildIface, BTreeSet<BlockId>)> =
-            HashMap::new();
-        let t_candidate: Vec<BlockId> =
-            scope_blocks.iter().copied().filter(|b| !excluded.contains(b)).collect();
+        let mut detach_children: HashMap<BlockId, (ChildIface, BTreeSet<BlockId>)> = HashMap::new();
+        let t_candidate: Vec<BlockId> = scope_blocks
+            .iter()
+            .copied()
+            .filter(|b| !excluded.contains(b))
+            .collect();
         for &b in &t_candidate {
             if let Some(t) = f.terminator(b) {
                 if let Op::Detach { body, .. } = t.op {
@@ -258,10 +285,15 @@ impl<'m> Frontend<'m> {
             }
         }
 
-        let t_blocks: BTreeSet<BlockId> =
-            scope_blocks.iter().copied().filter(|b| !excluded.contains(b)).collect();
+        let t_blocks: BTreeSet<BlockId> = scope_blocks
+            .iter()
+            .copied()
+            .filter(|b| !excluded.contains(b))
+            .collect();
         if !t_blocks.contains(&entry) {
-            return Err(ferr(format!("scope entry {entry} swallowed by a child region")));
+            return Err(ferr(format!(
+                "scope entry {entry} swallowed by a child region"
+            )));
         }
 
         // --- Stage 2: lower the hyperblock ----------------------------------
@@ -423,11 +455,15 @@ impl ScopeBuilder<'_, '_> {
             return Err(ferr(format!("loop at {header} has no induction phi")));
         };
         self.iv_phi = Some(iv);
-        let ivn = self.df.add_node(Node::new("i", NodeKind::IndVar, Type::I64));
+        let ivn = self
+            .df
+            .add_node(Node::new("i", NodeKind::IndVar, Type::I64));
         self.value_map.insert(iv, (ivn, 0));
         for &p in &phis[1..] {
             let ty = self.f.instr(p).ty.ok_or_else(|| ferr("untyped phi"))?;
-            let m = self.df.add_node(Node::new(format!("acc_{}", p.0), NodeKind::Merge, ty));
+            let m = self
+                .df
+                .add_node(Node::new(format!("acc_{}", p.0), NodeKind::Merge, ty));
             self.value_map.insert(p, (m, 0));
             self.acc_phis.push(p);
         }
@@ -567,27 +603,24 @@ impl ScopeBuilder<'_, '_> {
                 contributions.push(*ep);
             }
         }
-        let result = if contributions.is_empty() {
-            None
-        } else if contributions.iter().any(|c| c.is_none()) {
+        // No incoming edges, or any edge with an unknown predicate, means
+        // the block's own predicate is unknown.
+        let result = if contributions.is_empty() || contributions.iter().any(|c| c.is_none()) {
             None
         } else {
             // OR-fold the predicate nodes.
             let mut it = contributions.into_iter().map(|c| c.expect("some"));
             let first = it.next().expect("nonempty");
-            let folded = it.fold(first, |acc, n| self.emit_bool_bin(muir_mir::instr::BinOp::Or, acc, n));
+            let folded = it.fold(first, |acc, n| {
+                self.emit_bool_bin(muir_mir::instr::BinOp::Or, acc, n)
+            });
             Some(folded)
         };
         self.block_pred_cache.insert(b, result);
         result
     }
 
-    fn emit_bool_bin(
-        &mut self,
-        op: muir_mir::instr::BinOp,
-        a: NodeId,
-        b: NodeId,
-    ) -> NodeId {
+    fn emit_bool_bin(&mut self, op: muir_mir::instr::BinOp, a: NodeId, b: NodeId) -> NodeId {
         let n = self.df.add_node(Node::new(
             format!("p_{}", op.mnemonic()),
             NodeKind::Compute(OpKind::Bin(op)),
@@ -626,7 +659,9 @@ impl ScopeBuilder<'_, '_> {
             ConstVal::F32(_) => Type::F32,
             ConstVal::Bool(_) => Type::BOOL,
         };
-        let n = self.df.add_node(Node::new(format!("c_{c}"), NodeKind::Const(c), ty));
+        let n = self
+            .df
+            .add_node(Node::new(format!("c_{c}"), NodeKind::Const(c), ty));
         self.const_map.insert(key, n);
         n
     }
@@ -643,7 +678,9 @@ impl ScopeBuilder<'_, '_> {
             Capture::Arg(n) => (self.f.params[n as usize], format!("in_arg{n}")),
         };
         let idx = self.captures.len() as u32;
-        let node = self.df.add_node(Node::new(label, NodeKind::Input { index: idx }, ty));
+        let node = self
+            .df
+            .add_node(Node::new(label, NodeKind::Input { index: idx }, ty));
         self.captures.push(c);
         self.capture_nodes.push(node);
         node
@@ -815,7 +852,11 @@ impl ScopeBuilder<'_, '_> {
                     let predicated = pred.is_some();
                     let n = self.df.add_node(Node::new(
                         format!("ld_{}", iid.0),
-                        NodeKind::Load { obj: *obj, junction: j, predicated },
+                        NodeKind::Load {
+                            obj: *obj,
+                            junction: j,
+                            predicated,
+                        },
                         ty,
                     ));
                     let (a, ap) = self.resolve(instr.operands[0])?;
@@ -839,7 +880,11 @@ impl ScopeBuilder<'_, '_> {
                     let predicated = pred.is_some();
                     let n = self.df.add_node(Node::new(
                         format!("st_{}", iid.0),
-                        NodeKind::Store { obj: *obj, junction: j, predicated },
+                        NodeKind::Store {
+                            obj: *obj,
+                            junction: j,
+                            predicated,
+                        },
                         vty,
                     ));
                     let (a, ap) = self.resolve(instr.operands[0])?;
@@ -870,7 +915,11 @@ impl ScopeBuilder<'_, '_> {
                     let predicated = pred.is_some();
                     let n = self.df.add_node(Node::new(
                         format!("call_{fname}"),
-                        NodeKind::TaskCall { callee: callee_task, predicated, spawn: false },
+                        NodeKind::TaskCall {
+                            callee: callee_task,
+                            predicated,
+                            spawn: false,
+                        },
                         instr.ty.unwrap_or(Type::BOOL),
                     ));
                     for (i, v) in instr.operands.iter().enumerate() {
@@ -921,7 +970,11 @@ impl ScopeBuilder<'_, '_> {
                     let predicated = pred.is_some();
                     let n = self.df.add_node(Node::new(
                         format!("spawn_{}", b.0),
-                        NodeKind::TaskCall { callee, predicated, spawn: true },
+                        NodeKind::TaskCall {
+                            callee,
+                            predicated,
+                            spawn: true,
+                        },
                         Type::I64,
                     ));
                     for (i, c) in iface.captures.iter().enumerate() {
@@ -952,7 +1005,7 @@ impl ScopeBuilder<'_, '_> {
                     if pred.is_some() {
                         return Err(ferr("predicated return is not supported"));
                     }
-                    if self.ret_value.is_some() && instr.operands.first().is_some() {
+                    if self.ret_value.is_some() && !instr.operands.is_empty() {
                         return Err(ferr("multiple returns in one region"));
                     }
                     self.ret_value = instr.operands.first().copied();
@@ -966,7 +1019,10 @@ impl ScopeBuilder<'_, '_> {
 
     fn in_unit_graph(&self, b: BlockId) -> bool {
         self.t_blocks.contains(&b)
-            || self.loop_children.iter().any(|(li, _)| self.loops[*li].header == b)
+            || self
+                .loop_children
+                .iter()
+                .any(|(li, _)| self.loops[*li].header == b)
     }
 
     fn value_type(&self, v: ValueRef) -> Option<Type> {
@@ -988,7 +1044,11 @@ impl ScopeBuilder<'_, '_> {
         let predicated = pred.is_some();
         let n = self.df.add_node(Node::new(
             format!("loop_call_{}", header.0),
-            NodeKind::TaskCall { callee, predicated, spawn: false },
+            NodeKind::TaskCall {
+                callee,
+                predicated,
+                spawn: false,
+            },
             Type::I64,
         ));
         for (i, c) in iface.captures.iter().enumerate() {
@@ -1084,7 +1144,14 @@ impl ScopeBuilder<'_, '_> {
                 // Canonical loop bounds.
                 let spec = self.extract_loop_spec(li)?;
                 let dep = loop_dependence_in(self.fe.module, self.f, &self.loops[li]);
-                (results, TaskKind::Loop { spec, serial: !dep.parallel }, inits)
+                (
+                    results,
+                    TaskKind::Loop {
+                        spec,
+                        serial: !dep.parallel,
+                    },
+                    inits,
+                )
             }
             ScopeKind::Function | ScopeKind::Detach(_) => {
                 let mut results = Vec::new();
@@ -1104,7 +1171,11 @@ impl ScopeBuilder<'_, '_> {
                         results.push(InstrId(u32::MAX));
                     }
                 }
-                (results, TaskKind::Region, vec![None; usize::from(self.ret_value.is_some())])
+                (
+                    results,
+                    TaskKind::Region,
+                    vec![None; usize::from(self.ret_value.is_some())],
+                )
             }
         };
 
@@ -1118,11 +1189,17 @@ impl ScopeBuilder<'_, '_> {
         task.num_results = num_results;
         task.loop_result_inits = inits;
         self.fe.acc.tasks[self.tid.0 as usize] = task;
-        Ok(ChildIface { task: self.tid, captures: self.captures, results })
+        Ok(ChildIface {
+            task: self.tid,
+            captures: self.captures,
+            results,
+        })
     }
 
     fn extract_loop_spec(&mut self, li: usize) -> Result<LoopSpec, FrontendError> {
-        let iv = self.iv_phi.ok_or_else(|| ferr("loop without induction variable"))?;
+        let iv = self
+            .iv_phi
+            .ok_or_else(|| ferr("loop without induction variable"))?;
         let (lo_v, update) = self.phi_incoming(iv, li)?;
         // Step from `i_next = add(i, const)`.
         let step = match update {
@@ -1131,14 +1208,10 @@ impl ScopeBuilder<'_, '_> {
                 match (&instr.op, instr.operands.as_slice()) {
                     (Op::Bin(muir_mir::instr::BinOp::Add), [a, b]) => {
                         let k = match (a, b) {
-                            (ValueRef::Instr(x), ValueRef::Const(ConstVal::Int(k)))
-                                if *x == iv =>
-                            {
+                            (ValueRef::Instr(x), ValueRef::Const(ConstVal::Int(k))) if *x == iv => {
                                 Some(*k)
                             }
-                            (ValueRef::Const(ConstVal::Int(k)), ValueRef::Instr(x))
-                                if *x == iv =>
-                            {
+                            (ValueRef::Const(ConstVal::Int(k)), ValueRef::Instr(x)) if *x == iv => {
                                 Some(*k)
                             }
                             _ => None,
@@ -1155,8 +1228,10 @@ impl ScopeBuilder<'_, '_> {
         }
         // Bound from the header's `icmp lt iv, hi` condbr.
         let header = self.loops[li].header;
-        let term =
-            self.f.terminator(header).ok_or_else(|| ferr("loop header lacks terminator"))?;
+        let term = self
+            .f
+            .terminator(header)
+            .ok_or_else(|| ferr("loop header lacks terminator"))?;
         let Op::CondBr { .. } = term.op else {
             return Err(ferr("loop header terminator is not a condbr"));
         };

@@ -61,7 +61,10 @@ pub struct FrontendConfig {
 
 impl Default for FrontendConfig {
     fn default() -> Self {
-        FrontendConfig { spad_threshold: 512, child_queue_depth: 1 }
+        FrontendConfig {
+            spad_threshold: 512,
+            child_queue_depth: 1,
+        }
     }
 }
 

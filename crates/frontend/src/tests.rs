@@ -15,7 +15,11 @@ fn xlate(m: &Module) -> Accelerator {
 }
 
 fn count_nodes(acc: &Accelerator, pred: impl Fn(&NodeKind) -> bool) -> usize {
-    acc.tasks.iter().flat_map(|t| t.dataflow.nodes.iter()).filter(|n| pred(&n.kind)).count()
+    acc.tasks
+        .iter()
+        .flat_map(|t| t.dataflow.nodes.iter())
+        .filter(|n| pred(&n.kind))
+        .count()
 }
 
 #[test]
@@ -48,7 +52,10 @@ fn simple_loop_becomes_loop_task() {
     }
     // Root calls the loop.
     let root_df = &acc.task(acc.root).dataflow;
-    assert!(root_df.nodes.iter().any(|n| matches!(n.kind, NodeKind::TaskCall { .. })));
+    assert!(root_df
+        .nodes
+        .iter()
+        .any(|n| matches!(n.kind, NodeKind::TaskCall { .. })));
     // Loop dataflow contains load, fmul, store, indvar.
     let ldf = &acc.task(lp).dataflow;
     assert!(ldf.indvar_node().is_some());
@@ -76,17 +83,26 @@ fn accumulator_loop_has_merge_and_feedback() {
     m.add_function(b.finish());
 
     let acc = xlate(&m);
-    let lp = acc.task_ids().find(|&t| acc.task(t).kind.is_loop()).unwrap();
+    let lp = acc
+        .task_ids()
+        .find(|&t| acc.task(t).kind.is_loop())
+        .unwrap();
     let task = acc.task(lp);
     assert_eq!(task.num_results, 1);
     assert_eq!(task.loop_result_inits.len(), 1);
-    assert!(task.loop_result_inits[0].is_some(), "accumulator has a zero-trip init");
+    assert!(
+        task.loop_result_inits[0].is_some(),
+        "accumulator has a zero-trip init"
+    );
     let df = &task.dataflow;
     assert!(df.nodes.iter().any(|n| matches!(n.kind, NodeKind::Merge)));
     assert!(df.edges.iter().any(|e| e.kind == EdgeKind::Feedback));
     // The root stores the loop's result.
     let root = &acc.task(acc.root).dataflow;
-    assert!(root.nodes.iter().any(|n| matches!(n.kind, NodeKind::Store { .. })));
+    assert!(root
+        .nodes
+        .iter()
+        .any(|n| matches!(n.kind, NodeKind::Store { .. })));
 }
 
 #[test]
@@ -104,10 +120,15 @@ fn par_for_spawns_region_tasks() {
     let acc = xlate(&m);
     // root, pfor loop, spawned task body
     assert_eq!(acc.tasks.len(), 3);
-    let spawns = count_nodes(&acc, |k| matches!(k, NodeKind::TaskCall { spawn: true, .. }));
+    let spawns = count_nodes(&acc, |k| {
+        matches!(k, NodeKind::TaskCall { spawn: true, .. })
+    });
     assert_eq!(spawns, 1);
     // The spawned body is a Region child of the loop task.
-    let lp = acc.task_ids().find(|&t| acc.task(t).kind.is_loop()).unwrap();
+    let lp = acc
+        .task_ids()
+        .find(|&t| acc.task(t).kind.is_loop())
+        .unwrap();
     let kids = acc.children(lp);
     assert_eq!(kids.len(), 1);
     assert!(matches!(acc.task(kids[0]).kind, TaskKind::Region));
@@ -132,11 +153,16 @@ fn nested_loops_build_hierarchy() {
 
     let acc = xlate(&m);
     assert_eq!(acc.tasks.len(), 3);
-    let loops: Vec<_> = acc.task_ids().filter(|&t| acc.task(t).kind.is_loop()).collect();
+    let loops: Vec<_> = acc
+        .task_ids()
+        .filter(|&t| acc.task(t).kind.is_loop())
+        .collect();
     assert_eq!(loops.len(), 2);
     // One loop is the child of the other.
     let parents: Vec<_> = loops.iter().map(|&l| acc.parent(l)).collect();
-    assert!(parents.iter().any(|p| p.map(|x| loops.contains(&x)).unwrap_or(false)));
+    assert!(parents
+        .iter()
+        .any(|p| p.map(|x| loops.contains(&x)).unwrap_or(false)));
     // The outer loop's dataflow calls the inner.
     let outer = loops
         .iter()
@@ -144,7 +170,10 @@ fn nested_loops_build_hierarchy() {
         .find(|&l| acc.children(l).iter().any(|c| loops.contains(c)))
         .unwrap();
     let odf = &acc.task(outer).dataflow;
-    assert!(odf.nodes.iter().any(|n| matches!(n.kind, NodeKind::TaskCall { spawn: false, .. })));
+    assert!(odf
+        .nodes
+        .iter()
+        .any(|n| matches!(n.kind, NodeKind::TaskCall { spawn: false, .. })));
 }
 
 #[test]
@@ -163,8 +192,15 @@ fn branch_in_loop_predicates_store() {
     m.add_function(b.finish());
 
     let acc = xlate(&m);
-    let predicated_stores =
-        count_nodes(&acc, |k| matches!(k, NodeKind::Store { predicated: true, .. }));
+    let predicated_stores = count_nodes(&acc, |k| {
+        matches!(
+            k,
+            NodeKind::Store {
+                predicated: true,
+                ..
+            }
+        )
+    });
     assert_eq!(predicated_stores, 1);
 }
 
@@ -210,8 +246,11 @@ fn sequential_loops_get_order_edge() {
 
     let acc = xlate(&m);
     let root_df = &acc.task(acc.root).dataflow;
-    let order_edges: Vec<_> =
-        root_df.edges.iter().filter(|e| e.kind == EdgeKind::Order).collect();
+    let order_edges: Vec<_> = root_df
+        .edges
+        .iter()
+        .filter(|e| e.kind == EdgeKind::Order)
+        .collect();
     assert_eq!(order_edges.len(), 1, "second loop must wait for the first");
 }
 
@@ -240,11 +279,17 @@ fn function_call_becomes_child_task() {
     let mut m = Module::new("calls");
     let a = m.add_mem_object("a", ScalarType::I32, 8);
     // main = FuncId(0), helper = FuncId(1)
-    let mut helper = FunctionBuilder::new("helper", &[Type::I64]).with_mem(&m).returns(Type::I64);
+    let mut helper = FunctionBuilder::new("helper", &[Type::I64])
+        .with_mem(&m)
+        .returns(Type::I64);
     let v = helper.mul(helper.arg(0), helper.arg(0));
     helper.ret(Some(v));
     let mut main = FunctionBuilder::new("main", &[]).with_mem(&m);
-    let r = main.call(muir_mir::instr::FuncId(1), &[ValueRef::int(5)], Some(Type::I64));
+    let r = main.call(
+        muir_mir::instr::FuncId(1),
+        &[ValueRef::int(5)],
+        Some(Type::I64),
+    );
     main.store(a, ValueRef::int(0), r);
     main.ret(None);
     m.add_function(main.finish());
@@ -277,13 +322,15 @@ fn tensor_ops_translate_to_tensor_nodes() {
     m.add_function(b.finish());
 
     let acc = xlate(&m);
-    let tensor_nodes = count_nodes(
-        &acc,
-        |k| matches!(k, NodeKind::Compute(OpKind::Tensor(TensorOp::MatMul, _))),
-    );
+    let tensor_nodes = count_nodes(&acc, |k| {
+        matches!(k, NodeKind::Compute(OpKind::Tensor(TensorOp::MatMul, _)))
+    });
     assert_eq!(tensor_nodes, 1);
     // Tile loads carry the tensor type.
-    let lp = acc.task_ids().find(|&t| acc.task(t).kind.is_loop()).unwrap();
+    let lp = acc
+        .task_ids()
+        .find(|&t| acc.task(t).kind.is_loop())
+        .unwrap();
     let tile_loads = acc
         .task(lp)
         .dataflow
@@ -310,10 +357,19 @@ fn placement_splits_small_and_large_objects() {
     let acc = xlate(&m);
     let s_home = acc.structure_for(small).unwrap();
     let b_home = acc.structure_for(big).unwrap();
-    assert!(matches!(acc.structure(s_home).kind, StructureKind::Scratchpad { .. }));
-    assert!(matches!(acc.structure(b_home).kind, StructureKind::Cache { .. }));
+    assert!(matches!(
+        acc.structure(s_home).kind,
+        StructureKind::Scratchpad { .. }
+    ));
+    assert!(matches!(
+        acc.structure(b_home).kind,
+        StructureKind::Cache { .. }
+    ));
     // Two junctions in the loop task (one per structure).
-    let lp = acc.task_ids().find(|&t| acc.task(t).kind.is_loop()).unwrap();
+    let lp = acc
+        .task_ids()
+        .find(|&t| acc.task(t).kind.is_loop())
+        .unwrap();
     assert_eq!(acc.task(lp).dataflow.junctions.len(), 2);
 }
 
@@ -332,8 +388,14 @@ fn serial_memory_carried_loop_flagged() {
     m.add_function(b.finish());
 
     let acc = xlate(&m);
-    let lp = acc.task_ids().find(|&t| acc.task(t).kind.is_loop()).unwrap();
-    assert!(matches!(acc.task(lp).kind, TaskKind::Loop { serial: true, .. }));
+    let lp = acc
+        .task_ids()
+        .find(|&t| acc.task(t).kind.is_loop())
+        .unwrap();
+    assert!(matches!(
+        acc.task(lp).kind,
+        TaskKind::Loop { serial: true, .. }
+    ));
 }
 
 #[test]
@@ -349,10 +411,16 @@ fn dynamic_bound_becomes_arg() {
     m.add_function(b.finish());
 
     let acc = xlate(&m);
-    let lp = acc.task_ids().find(|&t| acc.task(t).kind.is_loop()).unwrap();
+    let lp = acc
+        .task_ids()
+        .find(|&t| acc.task(t).kind.is_loop())
+        .unwrap();
     match &acc.task(lp).kind {
         TaskKind::Loop { spec, .. } => {
-            assert!(matches!(spec.hi, ArgExpr::Arg(_)), "dynamic bound should be an arg");
+            assert!(
+                matches!(spec.hi, ArgExpr::Arg(_)),
+                "dynamic bound should be an arg"
+            );
         }
         TaskKind::Region => panic!("expected loop"),
     }
@@ -369,11 +437,21 @@ fn non_canonical_loop_rejected() {
     let exit = b.block("x");
     b.br(header);
     b.switch_to(header);
-    let phi = b.phi(Type::I64, &[(ValueRef::int(1), muir_mir::instr::BlockId(0)), (ValueRef::int(1), muir_mir::instr::BlockId(0))]);
+    let phi = b.phi(
+        Type::I64,
+        &[
+            (ValueRef::int(1), muir_mir::instr::BlockId(0)),
+            (ValueRef::int(1), muir_mir::instr::BlockId(0)),
+        ],
+    );
     let c = b.icmp(CmpPred::Lt, phi, ValueRef::int(64));
     b.cond_br(c, body, exit);
     b.switch_to(body);
-    let next = b.push(Op::Bin(BinOp::Mul), Some(Type::I64), vec![phi, ValueRef::int(2)]);
+    let next = b.push(
+        Op::Bin(BinOp::Mul),
+        Some(Type::I64),
+        vec![phi, ValueRef::int(2)],
+    );
     b.br(header);
     b.switch_to(exit);
     b.ret(None);
@@ -419,7 +497,10 @@ fn invalid_module_rejected_by_verifier() {
     b.push(
         Op::Bin(BinOp::Add),
         Some(Type::I64),
-        vec![ValueRef::Instr(muir_mir::instr::InstrId(99)), ValueRef::int(0)],
+        vec![
+            ValueRef::Instr(muir_mir::instr::InstrId(99)),
+            ValueRef::int(0),
+        ],
     );
     b.ret(None);
     m.add_function(b.finish());
@@ -437,11 +518,21 @@ fn negative_step_rejected() {
     let exit = b.block("x");
     b.br(header);
     b.switch_to(header);
-    let phi = b.phi(Type::I64, &[(ValueRef::int(8), muir_mir::instr::BlockId(0)), (ValueRef::int(8), muir_mir::instr::BlockId(0))]);
+    let phi = b.phi(
+        Type::I64,
+        &[
+            (ValueRef::int(8), muir_mir::instr::BlockId(0)),
+            (ValueRef::int(8), muir_mir::instr::BlockId(0)),
+        ],
+    );
     let c = b.icmp(CmpPred::Lt, phi, ValueRef::int(64));
     b.cond_br(c, body, exit);
     b.switch_to(body);
-    let next = b.push(Op::Bin(BinOp::Add), Some(Type::I64), vec![phi, ValueRef::int(-1)]);
+    let next = b.push(
+        Op::Bin(BinOp::Add),
+        Some(Type::I64),
+        vec![phi, ValueRef::int(-1)],
+    );
     b.br(header);
     b.switch_to(exit);
     b.ret(None);

@@ -71,12 +71,7 @@ pub fn dominators(f: &Function) -> Vec<Option<BlockId>> {
     idom
 }
 
-fn intersect(
-    idom: &[Option<BlockId>],
-    order: &[usize],
-    mut a: BlockId,
-    mut b: BlockId,
-) -> BlockId {
+fn intersect(idom: &[Option<BlockId>], order: &[usize], mut a: BlockId, mut b: BlockId) -> BlockId {
     while a != b {
         while order[a.0 as usize] > order[b.0 as usize] {
             a = idom[a.0 as usize].expect("dominator defined");
@@ -161,7 +156,7 @@ pub fn natural_loops(f: &Function) -> Vec<NaturalLoop> {
         for (j, (hj, bj)) in snapshot.iter().enumerate() {
             if i != j && bj.contains(&lp.header) && *hj != lp.header {
                 let size = bj.len();
-                if best.map_or(true, |(_, s)| size < s) {
+                if best.is_none_or(|(_, s)| size < s) {
                     best = Some((j, size));
                 }
             }
@@ -219,8 +214,7 @@ pub struct RegionValues {
 /// capture in §3.6).
 pub fn region_values(f: &Function, region: &BTreeSet<BlockId>) -> RegionValues {
     let mut rv = RegionValues::default();
-    let in_region =
-        |iid: InstrId| -> bool { region.contains(&f.instr(iid).block) };
+    let in_region = |iid: InstrId| -> bool { region.contains(&f.instr(iid).block) };
     for b in f.block_ids() {
         let inside = region.contains(&b);
         for (_iid, instr) in f.block_instrs(b) {
@@ -275,31 +269,55 @@ pub enum Affine {
 
 impl Affine {
     fn konst(c: i64) -> Affine {
-        Affine::Affine { scale: 0, konst: c, syms: BTreeMap::new() }
+        Affine::Affine {
+            scale: 0,
+            konst: c,
+            syms: BTreeMap::new(),
+        }
     }
 
     fn sym(s: Sym) -> Affine {
         let mut syms = BTreeMap::new();
         syms.insert(s, 1);
-        Affine::Affine { scale: 0, konst: 0, syms }
+        Affine::Affine {
+            scale: 0,
+            konst: 0,
+            syms,
+        }
     }
 
     fn iv() -> Affine {
-        Affine::Affine { scale: 1, konst: 0, syms: BTreeMap::new() }
+        Affine::Affine {
+            scale: 1,
+            konst: 0,
+            syms: BTreeMap::new(),
+        }
     }
 
     fn add(self, other: Affine, sign: i64) -> Affine {
         match (self, other) {
             (
-                Affine::Affine { scale: s1, konst: k1, syms: m1 },
-                Affine::Affine { scale: s2, konst: k2, syms: m2 },
+                Affine::Affine {
+                    scale: s1,
+                    konst: k1,
+                    syms: m1,
+                },
+                Affine::Affine {
+                    scale: s2,
+                    konst: k2,
+                    syms: m2,
+                },
             ) => {
                 let mut syms = m1;
                 for (s, c) in m2 {
                     *syms.entry(s).or_insert(0) += sign * c;
                 }
                 syms.retain(|_, c| *c != 0);
-                Affine::Affine { scale: s1 + sign * s2, konst: k1 + sign * k2, syms }
+                Affine::Affine {
+                    scale: s1 + sign * s2,
+                    konst: k1 + sign * k2,
+                    syms,
+                }
             }
             _ => Affine::Opaque,
         }
@@ -307,12 +325,20 @@ impl Affine {
 
     fn scale_by(self, k: i64) -> Affine {
         match self {
-            Affine::Affine { scale, konst, mut syms } => {
+            Affine::Affine {
+                scale,
+                konst,
+                mut syms,
+            } => {
                 for c in syms.values_mut() {
                     *c *= k;
                 }
                 syms.retain(|_, c| *c != 0);
-                Affine::Affine { scale: scale * k, konst: konst * k, syms }
+                Affine::Affine {
+                    scale: scale * k,
+                    konst: konst * k,
+                    syms,
+                }
             }
             Affine::Opaque => Affine::Opaque,
         }
@@ -321,7 +347,11 @@ impl Affine {
     /// The pure-constant value, if this form is a constant.
     pub fn as_const(&self) -> Option<i64> {
         match self {
-            Affine::Affine { scale: 0, konst, syms } if syms.is_empty() => Some(*konst),
+            Affine::Affine {
+                scale: 0,
+                konst,
+                syms,
+            } if syms.is_empty() => Some(*konst),
             _ => None,
         }
     }
@@ -492,10 +522,16 @@ fn loop_dependence_impl(
     module: Option<&crate::module::Module>,
 ) -> LoopDep {
     if f.parallel_hints.contains(&lp.header) {
-        return LoopDep { parallel: true, carried_objects: Vec::new() };
+        return LoopDep {
+            parallel: true,
+            carried_objects: Vec::new(),
+        };
     }
     let Some(iv) = induction_var(f, lp) else {
-        return LoopDep { parallel: false, carried_objects: Vec::new() };
+        return LoopDep {
+            parallel: false,
+            carried_objects: Vec::new(),
+        };
     };
     let blocks = expand_with_detach(f, lp.blocks.clone());
     // Affine forms must treat everything the iteration executes as
@@ -552,14 +588,25 @@ fn loop_dependence_impl(
             }
         }
     }
-    LoopDep { parallel: carried.is_empty(), carried_objects: carried.into_iter().collect() }
+    LoopDep {
+        parallel: carried.is_empty(),
+        carried_objects: carried.into_iter().collect(),
+    }
 }
 
 fn may_collide_across_iterations(a: &Affine, b: &Affine) -> bool {
     match (a, b) {
         (
-            Affine::Affine { scale: s1, konst: k1, syms: m1 },
-            Affine::Affine { scale: s2, konst: k2, syms: m2 },
+            Affine::Affine {
+                scale: s1,
+                konst: k1,
+                syms: m1,
+            },
+            Affine::Affine {
+                scale: s2,
+                konst: k2,
+                syms: m2,
+            },
         ) => {
             if s1 != s2 || m1 != m2 {
                 // Different strides or different symbolic bases: assume the

@@ -6,8 +6,7 @@
 //! extraction recognises (natural loops, Tapir detach regions).
 
 use crate::instr::{
-    BinOp, BlockId, CastOp, CmpPred, FuncId, Instr, InstrId, MemObjId, Op, TensorOp, UnOp,
-    ValueRef,
+    BinOp, BlockId, CastOp, CmpPred, FuncId, Instr, InstrId, MemObjId, Op, TensorOp, UnOp, ValueRef,
 };
 use crate::module::{Block, Function, Module};
 use crate::types::{ScalarType, TensorShape, Type};
@@ -92,7 +91,12 @@ impl FunctionBuilder {
     /// to its result.
     pub fn push(&mut self, op: Op, ty: Option<Type>, operands: Vec<ValueRef>) -> ValueRef {
         let id = InstrId(self.func.instrs.len() as u32);
-        self.func.instrs.push(Instr { op, ty, operands, block: self.cur });
+        self.func.instrs.push(Instr {
+            op,
+            ty,
+            operands,
+            block: self.cur,
+        });
         self.func.blocks[self.cur.0 as usize].instrs.push(id);
         ValueRef::Instr(id)
     }
@@ -240,13 +244,19 @@ impl FunctionBuilder {
 
     /// Vector load of `lanes` consecutive elements.
     pub fn load_vec(&mut self, obj: MemObjId, idx: ValueRef, lanes: u8) -> ValueRef {
-        let ty = Type::Vector { elem: self.mem_elem(obj), lanes };
+        let ty = Type::Vector {
+            elem: self.mem_elem(obj),
+            lanes,
+        };
         self.push(Op::Load { obj }, Some(ty), vec![idx])
     }
 
     /// Tensor-tile load of `shape` consecutive elements (row-major).
     pub fn load_tile(&mut self, obj: MemObjId, idx: ValueRef, shape: TensorShape) -> ValueRef {
-        let ty = Type::Tensor { elem: self.mem_elem(obj), shape };
+        let ty = Type::Tensor {
+            elem: self.mem_elem(obj),
+            shape,
+        };
         self.push(Op::Load { obj }, Some(ty), vec![idx])
     }
 
@@ -258,7 +268,13 @@ impl FunctionBuilder {
     /// Tensor binary op over two tile values. `TensorOp::Conv` reduces the
     /// element-wise product to a scalar (a window dot-product); all other
     /// ops produce a tile of the same shape.
-    pub fn tensor2(&mut self, op: TensorOp, shape: TensorShape, a: ValueRef, b: ValueRef) -> ValueRef {
+    pub fn tensor2(
+        &mut self,
+        op: TensorOp,
+        shape: TensorShape,
+        a: ValueRef,
+        b: ValueRef,
+    ) -> ValueRef {
         let elem = self.infer(a).map(|t| t.elem()).unwrap_or(ScalarType::F32);
         let ty = if op == TensorOp::Conv {
             Type::Scalar(elem)
@@ -357,8 +373,10 @@ impl FunctionBuilder {
         // after the body is built (we don't know the latch block yet).
         self.switch_to(header);
         let i_phi = self.phi(Type::I64, &[(lo, pre), (lo, pre)]);
-        let acc_phis: Vec<ValueRef> =
-            inits.iter().map(|(v, ty)| self.phi(*ty, &[(*v, pre), (*v, pre)])).collect();
+        let acc_phis: Vec<ValueRef> = inits
+            .iter()
+            .map(|(v, ty)| self.phi(*ty, &[(*v, pre), (*v, pre)]))
+            .collect();
         let cond = self.icmp(CmpPred::Lt, i_phi, hi);
         self.cond_br(cond, body_bb, exit);
 

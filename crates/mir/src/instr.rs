@@ -444,14 +444,21 @@ mod tests {
     fn terminator_classification() {
         assert!(Op::Br { target: BlockId(0) }.is_terminator());
         assert!(Op::Ret.is_terminator());
-        assert!(Op::Detach { body: BlockId(1), cont: BlockId(2) }.is_terminator());
+        assert!(Op::Detach {
+            body: BlockId(1),
+            cont: BlockId(2)
+        }
+        .is_terminator());
         assert!(!Op::Bin(BinOp::Add).is_terminator());
         assert!(!Op::Load { obj: MemObjId(0) }.is_terminator());
     }
 
     #[test]
     fn successors() {
-        let op = Op::CondBr { t: BlockId(1), f: BlockId(2) };
+        let op = Op::CondBr {
+            t: BlockId(1),
+            f: BlockId(2),
+        };
         assert_eq!(op.successors(), vec![BlockId(1), BlockId(2)]);
         assert!(Op::Ret.successors().is_empty());
         assert_eq!(Op::Sync { cont: BlockId(3) }.successors(), vec![BlockId(3)]);

@@ -6,8 +6,9 @@
 //! serially (Cilk semantics guarantee a valid serial elision), and can emit
 //! a dynamic trace for the CPU timing baseline.
 
-use crate::instr::{BinOp, BlockId, CastOp, CmpPred, ConstVal, InstrId, MemObjId, Op, TensorOp,
-                   UnOp, ValueRef};
+use crate::instr::{
+    BinOp, BlockId, CastOp, CmpPred, ConstVal, InstrId, MemObjId, Op, TensorOp, UnOp, ValueRef,
+};
 use crate::module::{Function, Module};
 use crate::trace::{NullSink, OpClass, TraceEvent, TraceSink};
 use crate::types::Type;
@@ -30,7 +31,9 @@ impl fmt::Display for InterpError {
 impl std::error::Error for InterpError {}
 
 fn ierr(msg: impl Into<String>) -> InterpError {
-    InterpError { message: msg.into() }
+    InterpError {
+        message: msg.into(),
+    }
 }
 
 /// Flat program memory: one `Vec<Value>` per memory object, plus the flat
@@ -214,7 +217,13 @@ pub fn eval_cmp(pred: CmpPred, a: &Value, b: &Value) -> Value {
     Value::Bool(r)
 }
 
-fn scalar_bin_f(a: &Value, b: &Value, is_float: bool, f: BinOp, i: BinOp) -> Result<Value, InterpError> {
+fn scalar_bin_f(
+    a: &Value,
+    b: &Value,
+    is_float: bool,
+    f: BinOp,
+    i: BinOp,
+) -> Result<Value, InterpError> {
     if is_float {
         eval_bin(f, a, b)
     } else {
@@ -257,9 +266,10 @@ pub fn eval_tensor(op: TensorOp, a: &Value, b: Option<&Value>) -> Result<Value, 
                 .collect::<Result<Vec<_>, _>>()?;
             Ok(Value::Tensor { shape, data })
         }
-        TensorOp::Relu => {
-            Ok(Value::Tensor { shape, data: da.iter().map(|x| eval_un(UnOp::Relu, x)).collect() })
-        }
+        TensorOp::Relu => Ok(Value::Tensor {
+            shape,
+            data: da.iter().map(|x| eval_un(UnOp::Relu, x)).collect(),
+        }),
         TensorOp::MatMul => {
             let db = db.ok_or_else(|| ierr("matmul missing rhs"))?;
             let (r, c) = (shape.rows as usize, shape.cols as usize);
@@ -269,8 +279,11 @@ pub fn eval_tensor(op: TensorOp, a: &Value, b: Option<&Value>) -> Result<Value, 
             let mut data = Vec::with_capacity(r * c);
             for i in 0..r {
                 for j in 0..c {
-                    let mut acc =
-                        if is_float { Value::F32(0.0) } else { Value::Int(0) };
+                    let mut acc = if is_float {
+                        Value::F32(0.0)
+                    } else {
+                        Value::Int(0)
+                    };
                     for k in 0..r {
                         let p = scalar_bin_f(
                             &da[i * c + k],
@@ -288,7 +301,11 @@ pub fn eval_tensor(op: TensorOp, a: &Value, b: Option<&Value>) -> Result<Value, 
         }
         TensorOp::Conv => {
             let db = db.ok_or_else(|| ierr("conv missing rhs"))?;
-            let mut acc = if is_float { Value::F32(0.0) } else { Value::Int(0) };
+            let mut acc = if is_float {
+                Value::F32(0.0)
+            } else {
+                Value::Int(0)
+            };
             for (x, y) in da.iter().zip(db) {
                 let p = scalar_bin_f(x, y, is_float, BinOp::FMul, BinOp::Mul)?;
                 acc = scalar_bin_f(&acc, &p, is_float, BinOp::FAdd, BinOp::Add)?;
@@ -336,14 +353,22 @@ pub struct Interp<'m, S: TraceSink> {
 impl<'m> Interp<'m, NullSink> {
     /// Interpreter without tracing.
     pub fn new(module: &'m Module) -> Self {
-        Interp { module, sink: NullSink, fuel: 500_000_000 }
+        Interp {
+            module,
+            sink: NullSink,
+            fuel: 500_000_000,
+        }
     }
 }
 
 impl<'m, S: TraceSink> Interp<'m, S> {
     /// Interpreter that feeds dynamic events into `sink`.
     pub fn with_sink(module: &'m Module, sink: S) -> Self {
-        Interp { module, sink, fuel: 500_000_000 }
+        Interp {
+            module,
+            sink,
+            fuel: 500_000_000,
+        }
     }
 
     /// Override the dynamic-operation budget.
@@ -367,7 +392,10 @@ impl<'m, S: TraceSink> Interp<'m, S> {
         memory: &mut Memory,
         args: &[Value],
     ) -> Result<Option<Value>, InterpError> {
-        let f = self.module.main().ok_or_else(|| ierr("module has no functions"))?;
+        let f = self
+            .module
+            .main()
+            .ok_or_else(|| ierr("module has no functions"))?;
         self.run_function(f, memory, args.to_vec())
     }
 
@@ -381,7 +409,11 @@ impl<'m, S: TraceSink> Interp<'m, S> {
         memory: &mut Memory,
         args: Vec<Value>,
     ) -> Result<Option<Value>, InterpError> {
-        let mut frame = Frame { func: f, values: vec![None; f.instrs.len()], args };
+        let mut frame = Frame {
+            func: f,
+            values: vec![None; f.instrs.len()],
+            args,
+        };
         match self.exec_from(&mut frame, f.entry, memory)? {
             ExecEnd::Ret(v) => Ok(v),
             ExecEnd::Reattach => Err(ierr("reattach escaped its detach region")),
@@ -465,8 +497,7 @@ impl<'m, S: TraceSink> Interp<'m, S> {
                         let a = frame.get(&instr.operands[1])?;
                         let b = frame.get(&instr.operands[2])?;
                         self.sink.event(TraceEvent::compute(OpClass::IntAlu));
-                        frame.values[iid.0 as usize] =
-                            Some(if c.as_bool() { a } else { b });
+                        frame.values[iid.0 as usize] = Some(if c.as_bool() { a } else { b });
                     }
                     Op::Cast(op) => {
                         let a = frame.get(&instr.operands[0])?;
@@ -634,7 +665,9 @@ mod tests {
         b.ret(Some(w));
         m.add_function(b.finish());
         let mut mem = Memory::from_module(&m);
-        let r = Interp::new(&m).run_main(&mut mem, &[Value::Int(10)]).unwrap();
+        let r = Interp::new(&m)
+            .run_main(&mut mem, &[Value::Int(10)])
+            .unwrap();
         assert_eq!(r, Some(Value::Int(30)));
     }
 
@@ -702,11 +735,21 @@ mod tests {
     fn tensor_matmul_tile() {
         let a = Value::Tensor {
             shape: TensorShape::new(2, 2),
-            data: vec![Value::F32(1.0), Value::F32(2.0), Value::F32(3.0), Value::F32(4.0)],
+            data: vec![
+                Value::F32(1.0),
+                Value::F32(2.0),
+                Value::F32(3.0),
+                Value::F32(4.0),
+            ],
         };
         let b = Value::Tensor {
             shape: TensorShape::new(2, 2),
-            data: vec![Value::F32(5.0), Value::F32(6.0), Value::F32(7.0), Value::F32(8.0)],
+            data: vec![
+                Value::F32(5.0),
+                Value::F32(6.0),
+                Value::F32(7.0),
+                Value::F32(8.0),
+            ],
         };
         let r = eval_tensor(TensorOp::MatMul, &a, Some(&b)).unwrap();
         match r {
@@ -722,7 +765,12 @@ mod tests {
     fn tensor_conv_reduces_to_scalar() {
         let a = Value::Tensor {
             shape: TensorShape::new(2, 2),
-            data: vec![Value::F32(1.0), Value::F32(2.0), Value::F32(3.0), Value::F32(4.0)],
+            data: vec![
+                Value::F32(1.0),
+                Value::F32(2.0),
+                Value::F32(3.0),
+                Value::F32(4.0),
+            ],
         };
         let w = Value::Tensor {
             shape: TensorShape::new(2, 2),
@@ -753,7 +801,10 @@ mod tests {
         b.br(hdr);
         m.add_function(b.finish());
         let mut mem = Memory::from_module(&m);
-        let e = Interp::new(&m).with_fuel(1000).run_main(&mut mem, &[]).unwrap_err();
+        let e = Interp::new(&m)
+            .with_fuel(1000)
+            .run_main(&mut mem, &[])
+            .unwrap_err();
         assert!(e.message.contains("fuel"));
     }
 
@@ -777,7 +828,11 @@ mod tests {
         let v = callee.mul(callee.arg(0), callee.arg(0));
         callee.ret(Some(v));
         let mut main = FunctionBuilder::new("main", &[]).returns(Type::I64);
-        let r = main.call(crate::instr::FuncId(1), &[ValueRef::int(9)], Some(Type::I64));
+        let r = main.call(
+            crate::instr::FuncId(1),
+            &[ValueRef::int(9)],
+            Some(Type::I64),
+        );
         main.ret(Some(r));
         m.add_function(main.finish());
         m.add_function(callee.finish());
@@ -796,9 +851,13 @@ mod tests {
         b.ret(Some(abs));
         m.add_function(b.finish());
         let mut mem = Memory::from_module(&m);
-        let r = Interp::new(&m).run_main(&mut mem, &[Value::Int(-7)]).unwrap();
+        let r = Interp::new(&m)
+            .run_main(&mut mem, &[Value::Int(-7)])
+            .unwrap();
         assert_eq!(r, Some(Value::Int(7)));
-        let r = Interp::new(&m).run_main(&mut mem, &[Value::Int(7)]).unwrap();
+        let r = Interp::new(&m)
+            .run_main(&mut mem, &[Value::Int(7)])
+            .unwrap();
         assert_eq!(r, Some(Value::Int(7)));
     }
 }

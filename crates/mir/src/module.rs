@@ -15,7 +15,10 @@ pub struct Block {
 impl Block {
     /// New empty block.
     pub fn new(name: impl Into<String>) -> Self {
-        Block { name: name.into(), instrs: Vec::new() }
+        Block {
+            name: name.into(),
+            instrs: Vec::new(),
+        }
     }
 }
 
@@ -58,12 +61,18 @@ impl Function {
 
     /// Terminator instruction of a block, if the block is complete.
     pub fn terminator(&self, id: BlockId) -> Option<&Instr> {
-        self.block(id).instrs.last().map(|&i| self.instr(i)).filter(|i| i.is_terminator())
+        self.block(id)
+            .instrs
+            .last()
+            .map(|&i| self.instr(i))
+            .filter(|i| i.is_terminator())
     }
 
     /// Successor blocks of `id` in the CFG.
     pub fn successors(&self, id: BlockId) -> Vec<BlockId> {
-        self.terminator(id).map(|t| t.op.successors()).unwrap_or_default()
+        self.terminator(id)
+            .map(|t| t.op.successors())
+            .unwrap_or_default()
     }
 
     /// Predecessor map: for each block, the blocks that branch to it.
@@ -89,7 +98,10 @@ impl Function {
 
     /// Iterate `(InstrId, &Instr)` over a block's instructions.
     pub fn block_instrs(&self, id: BlockId) -> impl Iterator<Item = (InstrId, &Instr)> {
-        self.block(id).instrs.iter().map(move |&i| (i, self.instr(i)))
+        self.block(id)
+            .instrs
+            .iter()
+            .map(move |&i| (i, self.instr(i)))
     }
 
     /// Count of dynamic operand uses of instruction results (SSA edges).
@@ -137,7 +149,11 @@ pub struct Module {
 impl Module {
     /// New empty module.
     pub fn new(name: impl Into<String>) -> Self {
-        Module { name: name.into(), functions: Vec::new(), mem_objects: Vec::new() }
+        Module {
+            name: name.into(),
+            functions: Vec::new(),
+            mem_objects: Vec::new(),
+        }
     }
 
     /// Register a memory object and return its id.
@@ -148,7 +164,12 @@ impl Module {
         len: u64,
     ) -> MemObjId {
         let id = MemObjId(self.mem_objects.len() as u32);
-        self.mem_objects.push(MemObject { name: name.into(), elem, len, read_only: false });
+        self.mem_objects.push(MemObject {
+            name: name.into(),
+            elem,
+            len,
+            read_only: false,
+        });
         id
     }
 

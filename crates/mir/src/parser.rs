@@ -33,7 +33,10 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn perr(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 fn parse_scalar_type(s: &str, line: usize) -> Result<ScalarType, ParseError> {
@@ -50,24 +53,41 @@ fn parse_scalar_type(s: &str, line: usize) -> Result<ScalarType, ParseError> {
 fn parse_type(s: &str, line: usize) -> Result<Type, ParseError> {
     let s = s.trim();
     if let Some(rest) = s.strip_prefix("tensor<") {
-        let inner = rest.strip_suffix('>').ok_or_else(|| perr(line, "unterminated tensor type"))?;
-        let (shape, elem) =
-            inner.split_once(" x ").ok_or_else(|| perr(line, "malformed tensor type"))?;
-        let (r, c) = shape.split_once('x').ok_or_else(|| perr(line, "malformed tensor shape"))?;
-        let rows: u8 = r.trim().parse().map_err(|_| perr(line, "bad tensor rows"))?;
-        let cols: u8 = c.trim().parse().map_err(|_| perr(line, "bad tensor cols"))?;
+        let inner = rest
+            .strip_suffix('>')
+            .ok_or_else(|| perr(line, "unterminated tensor type"))?;
+        let (shape, elem) = inner
+            .split_once(" x ")
+            .ok_or_else(|| perr(line, "malformed tensor type"))?;
+        let (r, c) = shape
+            .split_once('x')
+            .ok_or_else(|| perr(line, "malformed tensor shape"))?;
+        let rows: u8 = r
+            .trim()
+            .parse()
+            .map_err(|_| perr(line, "bad tensor rows"))?;
+        let cols: u8 = c
+            .trim()
+            .parse()
+            .map_err(|_| perr(line, "bad tensor cols"))?;
         return Ok(Type::Tensor {
             elem: parse_scalar_type(elem.trim(), line)?,
             shape: TensorShape::new(rows, cols),
         });
     }
     if let Some(rest) = s.strip_prefix('<') {
-        let inner = rest.strip_suffix('>').ok_or_else(|| perr(line, "unterminated vector type"))?;
-        let (lanes, elem) =
-            inner.split_once(" x ").ok_or_else(|| perr(line, "malformed vector type"))?;
+        let inner = rest
+            .strip_suffix('>')
+            .ok_or_else(|| perr(line, "unterminated vector type"))?;
+        let (lanes, elem) = inner
+            .split_once(" x ")
+            .ok_or_else(|| perr(line, "malformed vector type"))?;
         return Ok(Type::Vector {
             elem: parse_scalar_type(elem.trim(), line)?,
-            lanes: lanes.trim().parse().map_err(|_| perr(line, "bad lane count"))?,
+            lanes: lanes
+                .trim()
+                .parse()
+                .map_err(|_| perr(line, "bad lane count"))?,
         });
     }
     Ok(Type::Scalar(parse_scalar_type(s, line)?))
@@ -76,7 +96,9 @@ fn parse_type(s: &str, line: usize) -> Result<Type, ParseError> {
 fn parse_value(s: &str, line: usize) -> Result<ValueRef, ParseError> {
     let s = s.trim();
     if let Some(n) = s.strip_prefix("%arg") {
-        return Ok(ValueRef::Arg(n.parse().map_err(|_| perr(line, "bad arg index"))?));
+        return Ok(ValueRef::Arg(
+            n.parse().map_err(|_| perr(line, "bad arg index"))?,
+        ));
     }
     if let Some(n) = s.strip_prefix('%') {
         return Ok(ValueRef::Instr(InstrId(
@@ -91,11 +113,13 @@ fn parse_value(s: &str, line: usize) -> Result<ValueRef, ParseError> {
     }
     if s.contains('.') || s.contains("inf") || s.contains("NaN") {
         return Ok(ValueRef::Const(ConstVal::F32(
-            s.parse().map_err(|_| perr(line, format!("bad float `{s}`")))?,
+            s.parse()
+                .map_err(|_| perr(line, format!("bad float `{s}`")))?,
         )));
     }
     Ok(ValueRef::Const(ConstVal::Int(
-        s.parse().map_err(|_| perr(line, format!("bad integer `{s}`")))?,
+        s.parse()
+            .map_err(|_| perr(line, format!("bad integer `{s}`")))?,
     )))
 }
 
@@ -186,10 +210,14 @@ fn tensor_op(m: &str) -> Option<TensorOp> {
     })
 }
 
+/// A parsed-but-unresolved instruction: printed id (None = valueless),
+/// opcode, result type, operands, and owning block.
+type PendingInstr = (Option<u32>, Op, Option<Type>, Vec<ValueRef>, BlockId);
+
 struct FnBuilder {
     func: Function,
-    /// Pending instructions keyed by printed id (None = valueless).
-    pending: Vec<(Option<u32>, Op, Option<Type>, Vec<ValueRef>, BlockId)>,
+    /// Pending instructions keyed by printed id.
+    pending: Vec<PendingInstr>,
 }
 
 impl FnBuilder {
@@ -213,10 +241,16 @@ impl FnBuilder {
             }
         };
         for (i, (_printed, op, ty, operands, block)) in self.pending.iter().enumerate() {
-            let operands =
-                operands.iter().map(&remap).collect::<Result<Vec<_>, _>>()?;
-            self.func.instrs.push(Instr { op: op.clone(), ty: *ty, operands, block: *block });
-            self.func.blocks[block.0 as usize].instrs.push(InstrId(i as u32));
+            let operands = operands.iter().map(&remap).collect::<Result<Vec<_>, _>>()?;
+            self.func.instrs.push(Instr {
+                op: op.clone(),
+                ty: *ty,
+                operands,
+                block: *block,
+            });
+            self.func.blocks[block.0 as usize]
+                .instrs
+                .push(InstrId(i as u32));
         }
         Ok(self.func)
     }
@@ -244,7 +278,9 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
             continue;
         }
         if let Some(rest) = line.strip_prefix("; parallel_hints:") {
-            let f = cur_fn.as_mut().ok_or_else(|| perr(lineno, "hints outside function"))?;
+            let f = cur_fn
+                .as_mut()
+                .ok_or_else(|| perr(lineno, "hints outside function"))?;
             for h in rest.split_whitespace() {
                 f.func.parallel_hints.push(parse_block_ref(h, lineno)?);
             }
@@ -255,15 +291,24 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
         }
         if let Some(rest) = line.strip_prefix('@') {
             // @memN = global [LEN x ELEM] ; NAME [readonly]
-            let (_id, rest) =
-                rest.split_once('=').ok_or_else(|| perr(lineno, "malformed global"))?;
-            let rest = rest.trim().strip_prefix("global").map(str::trim).unwrap_or(rest);
+            let (_id, rest) = rest
+                .split_once('=')
+                .ok_or_else(|| perr(lineno, "malformed global"))?;
+            let rest = rest
+                .trim()
+                .strip_prefix("global")
+                .map(str::trim)
+                .unwrap_or(rest);
             let open = rest.find('[').ok_or_else(|| perr(lineno, "missing ["))?;
             let close = rest.find(']').ok_or_else(|| perr(lineno, "missing ]"))?;
             let inner = &rest[open + 1..close];
-            let (len_s, elem_s) =
-                inner.split_once(" x ").ok_or_else(|| perr(lineno, "malformed array type"))?;
-            let len: u64 = len_s.trim().parse().map_err(|_| perr(lineno, "bad length"))?;
+            let (len_s, elem_s) = inner
+                .split_once(" x ")
+                .ok_or_else(|| perr(lineno, "malformed array type"))?;
+            let len: u64 = len_s
+                .trim()
+                .parse()
+                .map_err(|_| perr(lineno, "bad length"))?;
             let elem = parse_scalar_type(elem_s.trim(), lineno)?;
             let meta = rest[close + 1..].trim().trim_start_matches(';').trim();
             let read_only = meta.ends_with("readonly");
@@ -276,8 +321,9 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
         }
         if let Some(rest) = line.strip_prefix("define ") {
             // define RET @NAME(params) {
-            let (ret_s, rest) =
-                rest.split_once(" @").ok_or_else(|| perr(lineno, "malformed define"))?;
+            let (ret_s, rest) = rest
+                .split_once(" @")
+                .ok_or_else(|| perr(lineno, "malformed define"))?;
             let ret = if ret_s.trim() == "void" {
                 None
             } else {
@@ -318,7 +364,9 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
             continue;
         }
         if line.starts_with("bb") && line.contains(':') {
-            let f = cur_fn.as_mut().ok_or_else(|| perr(lineno, "block outside function"))?;
+            let f = cur_fn
+                .as_mut()
+                .ok_or_else(|| perr(lineno, "block outside function"))?;
             let (_id, name) = line.split_once(':').expect("checked");
             let name = name.trim().trim_start_matches(';').trim().to_string();
             let b = BlockId(f.func.blocks.len() as u32);
@@ -327,7 +375,9 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
             continue;
         }
         // An instruction line.
-        let f = cur_fn.as_mut().ok_or_else(|| perr(lineno, "instruction outside function"))?;
+        let f = cur_fn
+            .as_mut()
+            .ok_or_else(|| perr(lineno, "instruction outside function"))?;
         let block = cur_block.ok_or_else(|| perr(lineno, "instruction outside block"))?;
         let (printed_id, rhs, ty) = if let Some((lhs, rest)) = line.split_once(" = ") {
             let id: u32 = lhs
@@ -335,9 +385,14 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
                 .strip_prefix('%')
                 .and_then(|n| n.parse().ok())
                 .ok_or_else(|| perr(lineno, "malformed result id"))?;
-            let (rhs, ty_s) =
-                rest.rsplit_once(" : ").ok_or_else(|| perr(lineno, "missing result type"))?;
-            (Some(id), rhs.trim().to_string(), Some(parse_type(ty_s, lineno)?))
+            let (rhs, ty_s) = rest
+                .rsplit_once(" : ")
+                .ok_or_else(|| perr(lineno, "missing result type"))?;
+            (
+                Some(id),
+                rhs.trim().to_string(),
+                Some(parse_type(ty_s, lineno)?),
+            )
         } else {
             (None, line.to_string(), None)
         };
@@ -365,8 +420,9 @@ fn parse_rhs(rhs: &str, line: usize) -> Result<(Op, Vec<ValueRef>), ParseError> 
                 .strip_prefix('[')
                 .and_then(|p| p.strip_suffix(']'))
                 .ok_or_else(|| perr(line, "malformed phi incoming"))?;
-            let (v, b) =
-                inner.rsplit_once(',').ok_or_else(|| perr(line, "malformed phi pair"))?;
+            let (v, b) = inner
+                .rsplit_once(',')
+                .ok_or_else(|| perr(line, "malformed phi pair"))?;
             operands.push(parse_value(v, line)?);
             preds.push(parse_block_ref(b, line)?);
         }
@@ -381,14 +437,17 @@ fn parse_rhs(rhs: &str, line: usize) -> Result<(Op, Vec<ValueRef>), ParseError> 
         if mnemonic == "load" {
             return Ok((Op::Load { obj }, vec![idx]));
         }
-        let val_s = rest[close + 1..]
-            .trim_start_matches(',')
-            .trim();
+        let val_s = rest[close + 1..].trim_start_matches(',').trim();
         let val = parse_value(val_s, line)?;
         return Ok((Op::Store { obj }, vec![idx, val]));
     }
     if mnemonic == "br" {
-        return Ok((Op::Br { target: parse_block_ref(rest, line)? }, vec![]));
+        return Ok((
+            Op::Br {
+                target: parse_block_ref(rest, line)?,
+            },
+            vec![],
+        ));
     }
     if mnemonic == "condbr" {
         let parts = split_operands(rest);
@@ -417,13 +476,27 @@ fn parse_rhs(rhs: &str, line: usize) -> Result<(Op, Vec<ValueRef>), ParseError> 
         ));
     }
     if mnemonic == "reattach" {
-        return Ok((Op::Reattach { cont: parse_block_ref(rest, line)? }, vec![]));
+        return Ok((
+            Op::Reattach {
+                cont: parse_block_ref(rest, line)?,
+            },
+            vec![],
+        ));
     }
     if mnemonic == "sync" {
-        return Ok((Op::Sync { cont: parse_block_ref(rest, line)? }, vec![]));
+        return Ok((
+            Op::Sync {
+                cont: parse_block_ref(rest, line)?,
+            },
+            vec![],
+        ));
     }
     if mnemonic == "ret" {
-        let operands = if rest.is_empty() { vec![] } else { vec![parse_value(rest, line)?] };
+        let operands = if rest.is_empty() {
+            vec![]
+        } else {
+            vec![parse_value(rest, line)?]
+        };
         return Ok((Op::Ret, operands));
     }
     if mnemonic == "call" {
@@ -476,10 +549,12 @@ fn parse_rhs(rhs: &str, line: usize) -> Result<(Op, Vec<ValueRef>), ParseError> 
     // tensor.X<RxC> a, b
     if let Some((tm, shape_rest)) = mnemonic.split_once('<') {
         if let Some(t) = tensor_op(tm) {
-            let shape_s =
-                shape_rest.strip_suffix('>').ok_or_else(|| perr(line, "unterminated shape"))?;
-            let (r, c) =
-                shape_s.split_once('x').ok_or_else(|| perr(line, "malformed shape"))?;
+            let shape_s = shape_rest
+                .strip_suffix('>')
+                .ok_or_else(|| perr(line, "unterminated shape"))?;
+            let (r, c) = shape_s
+                .split_once('x')
+                .ok_or_else(|| perr(line, "malformed shape"))?;
             let shape = TensorShape::new(
                 r.parse().map_err(|_| perr(line, "bad rows"))?,
                 c.parse().map_err(|_| perr(line, "bad cols"))?,
@@ -594,7 +669,10 @@ bb0: ; entry
 }
 ";
         let m = parse_module(text).unwrap();
-        assert_eq!(m.main().unwrap().parallel_hints, vec![BlockId(1), BlockId(2)]);
+        assert_eq!(
+            m.main().unwrap().parallel_hints,
+            vec![BlockId(1), BlockId(2)]
+        );
     }
 
     #[test]

@@ -7,9 +7,16 @@ use std::fmt::Write;
 /// Render one function as text.
 pub fn print_function(f: &Function) -> String {
     let mut out = String::new();
-    let params: Vec<String> =
-        f.params.iter().enumerate().map(|(i, t)| format!("{t} %arg{i}")).collect();
-    let ret = f.ret.map(|t| t.to_string()).unwrap_or_else(|| "void".to_string());
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("{t} %arg{i}"))
+        .collect();
+    let ret = f
+        .ret
+        .map(|t| t.to_string())
+        .unwrap_or_else(|| "void".to_string());
     let _ = writeln!(out, "define {ret} @{}({}) {{", f.name, params.join(", "));
     if !f.parallel_hints.is_empty() {
         let hints: Vec<String> = f.parallel_hints.iter().map(|b| b.to_string()).collect();
@@ -61,7 +68,11 @@ pub fn print_module(m: &Module) -> String {
     let _ = writeln!(out, "; module {}", m.name);
     for (i, obj) in m.mem_objects.iter().enumerate() {
         let ro = if obj.read_only { " readonly" } else { "" };
-        let _ = writeln!(out, "@mem{i} = global [{} x {}] ; {}{ro}", obj.len, obj.elem, obj.name);
+        let _ = writeln!(
+            out,
+            "@mem{i} = global [{} x {}] ; {}{ro}",
+            obj.len, obj.elem, obj.name
+        );
     }
     for f in &m.functions {
         out.push('\n');

@@ -47,12 +47,20 @@ pub struct TraceEvent {
 impl TraceEvent {
     /// A compute event of the given class.
     pub fn compute(class: OpClass) -> Self {
-        TraceEvent { class, addr: None, obj: None }
+        TraceEvent {
+            class,
+            addr: None,
+            obj: None,
+        }
     }
 
     /// A memory event.
     pub fn mem(class: OpClass, obj: MemObjId, addr: u64) -> Self {
-        TraceEvent { class, addr: Some(addr), obj: Some(obj) }
+        TraceEvent {
+            class,
+            addr: Some(addr),
+            obj: Some(obj),
+        }
     }
 }
 

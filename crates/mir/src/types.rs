@@ -74,7 +74,10 @@ impl TensorShape {
     /// # Panics
     /// Panics if either dimension is zero.
     pub fn new(rows: u8, cols: u8) -> Self {
-        assert!(rows > 0 && cols > 0, "tensor shape dimensions must be nonzero");
+        assert!(
+            rows > 0 && cols > 0,
+            "tensor shape dimensions must be nonzero"
+        );
         TensorShape { rows, cols }
     }
 
@@ -203,11 +206,17 @@ mod tests {
 
     #[test]
     fn type_layout() {
-        let t = Type::Tensor { elem: ScalarType::F32, shape: TensorShape::new(2, 2) };
+        let t = Type::Tensor {
+            elem: ScalarType::F32,
+            shape: TensorShape::new(2, 2),
+        };
         assert_eq!(t.elems(), 4);
         assert_eq!(t.bits(), 128);
         assert!(t.is_composite());
-        let v = Type::Vector { elem: ScalarType::I32, lanes: 8 };
+        let v = Type::Vector {
+            elem: ScalarType::I32,
+            lanes: 8,
+        };
         assert_eq!(v.elems(), 8);
         assert_eq!(v.bits(), 256);
         assert_eq!(Type::I32.elems(), 1);
@@ -217,9 +226,15 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(Type::F32.to_string(), "f32");
-        let v = Type::Vector { elem: ScalarType::I32, lanes: 4 };
+        let v = Type::Vector {
+            elem: ScalarType::I32,
+            lanes: 4,
+        };
         assert_eq!(v.to_string(), "<4 x i32>");
-        let t = Type::Tensor { elem: ScalarType::F32, shape: TensorShape::new(2, 2) };
+        let t = Type::Tensor {
+            elem: ScalarType::F32,
+            shape: TensorShape::new(2, 2),
+        };
         assert_eq!(t.to_string(), "tensor<2x2 x f32>");
     }
 

@@ -100,7 +100,11 @@ impl Value {
     /// # Panics
     /// Panics if `slots` does not contain exactly `ty.elems()` elements.
     pub fn assemble(ty: Type, slots: Vec<Value>) -> Value {
-        assert_eq!(slots.len() as u32, ty.elems(), "slot count mismatch for {ty}");
+        assert_eq!(
+            slots.len() as u32,
+            ty.elems(),
+            "slot count mismatch for {ty}"
+        );
         match ty {
             Type::Scalar(_) => slots.into_iter().next().expect("one slot"),
             Type::Vector { .. } => Value::Vector(slots),
@@ -163,13 +167,19 @@ mod tests {
         assert_eq!(Value::zero(Type::I32), Value::Int(0));
         assert_eq!(Value::zero(Type::F32), Value::F32(0.0));
         assert_eq!(Value::zero(Type::BOOL), Value::Bool(false));
-        let t = Value::zero(Type::Tensor { elem: ScalarType::F32, shape: TensorShape::new(2, 2) });
+        let t = Value::zero(Type::Tensor {
+            elem: ScalarType::F32,
+            shape: TensorShape::new(2, 2),
+        });
         assert_eq!(t.flatten().len(), 4);
     }
 
     #[test]
     fn flatten_roundtrip() {
-        let ty = Type::Tensor { elem: ScalarType::I32, shape: TensorShape::new(2, 2) };
+        let ty = Type::Tensor {
+            elem: ScalarType::I32,
+            shape: TensorShape::new(2, 2),
+        };
         let v = Value::Tensor {
             shape: TensorShape::new(2, 2),
             data: vec![Value::Int(1), Value::Int(2), Value::Int(3), Value::Int(4)],
@@ -197,7 +207,10 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(Value::Int(3).to_string(), "3");
-        assert_eq!(Value::Vector(vec![Value::Int(1), Value::Int(2)]).to_string(), "<1, 2>");
+        assert_eq!(
+            Value::Vector(vec![Value::Int(1), Value::Int(2)]).to_string(),
+            "<1, 2>"
+        );
         assert_eq!(Value::Poison.to_string(), "poison");
     }
 }

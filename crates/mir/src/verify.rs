@@ -16,14 +16,21 @@ pub struct VerifyError {
 
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "verification failed in `{}`: {}", self.function, self.message)
+        write!(
+            f,
+            "verification failed in `{}`: {}",
+            self.function, self.message
+        )
     }
 }
 
 impl std::error::Error for VerifyError {}
 
 fn err(function: &str, message: impl Into<String>) -> VerifyError {
-    VerifyError { function: function.to_string(), message: message.into() }
+    VerifyError {
+        function: function.to_string(),
+        message: message.into(),
+    }
 }
 
 /// Verify one function against the module's memory objects.
@@ -56,7 +63,10 @@ pub fn verify_function(f: &Function, mem_objects: &[MemObject]) -> Result<(), Ve
             if instr.is_terminator() != is_last {
                 return Err(err(
                     &f.name,
-                    format!("{bid}: terminator placement wrong at {iid} ({})", instr.op.mnemonic()),
+                    format!(
+                        "{bid}: terminator placement wrong at {iid} ({})",
+                        instr.op.mnemonic()
+                    ),
                 ));
             }
             for s in instr.op.successors() {
@@ -179,7 +189,13 @@ mod tests {
     #[test]
     fn dangling_branch_caught() {
         let mut b = FunctionBuilder::new("bad", &[]);
-        b.push(Op::Br { target: BlockId(99) }, None, vec![]);
+        b.push(
+            Op::Br {
+                target: BlockId(99),
+            },
+            None,
+            vec![],
+        );
         let f = b.finish();
         assert!(verify_function(&f, &[]).is_err());
     }
@@ -230,7 +246,11 @@ mod tests {
         b.br(bb);
         b.switch_to(bb);
         // φ claiming an incoming edge from bb itself, which is not a pred.
-        b.push(Op::Phi { preds: vec![bb] }, Some(Type::I64), vec![ValueRef::int(0)]);
+        b.push(
+            Op::Phi { preds: vec![bb] },
+            Some(Type::I64),
+            vec![ValueRef::int(0)],
+        );
         b.ret(None);
         let e = verify_function(&b.finish(), &[]).unwrap_err();
         assert!(e.message.contains("predecessor"), "{e}");
@@ -243,7 +263,10 @@ mod tests {
         let mut f = b.finish();
         // Corrupt the back-pointer.
         let id = f.blocks[0].instrs[0];
-        let wrong = Instr { block: BlockId(7), ..f.instr(id).clone() };
+        let wrong = Instr {
+            block: BlockId(7),
+            ..f.instr(id).clone()
+        };
         f.instrs[id.0 as usize] = wrong;
         assert!(verify_function(&f, &[]).is_err());
     }

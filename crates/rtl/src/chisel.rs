@@ -13,7 +13,11 @@ use std::fmt::Write;
 /// Emit the full Chisel-like source for an accelerator.
 pub fn emit_chisel(acc: &Accelerator) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "// Auto-generated from muIR graph `{}` — do not edit.", acc.name);
+    let _ = writeln!(
+        out,
+        "// Auto-generated from muIR graph `{}` — do not edit.",
+        acc.name
+    );
     let _ = writeln!(out, "package accel\n");
     for (ti, task) in acc.tasks.iter().enumerate() {
         emit_task_module(&mut out, acc, ti);
@@ -47,7 +51,10 @@ fn emit_task_module(out: &mut String, acc: &Accelerator, ti: usize) {
     let task = &acc.tasks[ti];
     let df = &task.dataflow;
     let cname = class_name(acc, ti);
-    let _ = writeln!(out, "class {cname}(val p: Parameters) extends TaskModule {{");
+    let _ = writeln!(
+        out,
+        "class {cname}(val p: Parameters) extends TaskModule {{"
+    );
     match &task.kind {
         TaskKind::Loop { spec, serial } => {
             let _ = writeln!(
@@ -56,14 +63,22 @@ fn emit_task_module(out: &mut String, acc: &Accelerator, ti: usize) {
                 spec.lo,
                 spec.hi,
                 spec.step,
-                if *serial { "  [serial]" } else { "  [pipelined]" }
+                if *serial {
+                    "  [serial]"
+                } else {
+                    "  [pipelined]"
+                }
             );
         }
         TaskKind::Region => {
             let _ = writeln!(out, "  // region task");
         }
     }
-    let _ = writeln!(out, "  // tiles = {}, issueQueue = {}", task.tiles, task.queue_depth);
+    let _ = writeln!(
+        out,
+        "  // tiles = {}, issueQueue = {}",
+        task.tiles, task.queue_depth
+    );
     let _ = writeln!(out, "\n  /*------- Dataflow specification -------*/");
     for (ni, node) in df.nodes.iter().enumerate() {
         let decl = match &node.kind {
@@ -73,12 +88,17 @@ fn emit_task_module(out: &mut String, acc: &Accelerator, ti: usize) {
             NodeKind::Compute(op) => format!("new ComputeNode(opCode = \"{op}\")"),
             NodeKind::Fused(plan) => format!("new FusedNode(ops = {})", plan.op_count()),
             NodeKind::Merge => "new LoopCarryMerge()".to_string(),
-            NodeKind::FusedAcc { op } => format!("new AccumulatorUnit(opCode = \"{}\")", op.mnemonic()),
+            NodeKind::FusedAcc { op } => {
+                format!("new AccumulatorUnit(opCode = \"{}\")", op.mnemonic())
+            }
             NodeKind::Load { obj, .. } => format!("new Load(space = {obj})"),
             NodeKind::Store { obj, .. } => format!("new Store(space = {obj})"),
             NodeKind::TaskCall { callee, spawn, .. } => {
                 let how = if *spawn { "Spawn" } else { "Call" };
-                format!("new Task{how}(callee = \"{}\")", class_name(acc, callee.0 as usize))
+                format!(
+                    "new Task{how}(callee = \"{}\")",
+                    class_name(acc, callee.0 as usize)
+                )
             }
             NodeKind::Output => "new LiveOut()".to_string(),
         };
@@ -124,7 +144,10 @@ fn emit_task_module(out: &mut String, acc: &Accelerator, ti: usize) {
 }
 
 fn emit_top(out: &mut String, acc: &Accelerator) {
-    let _ = writeln!(out, "class Accelerator(val p: Parameters) extends architecture {{");
+    let _ = writeln!(
+        out,
+        "class Accelerator(val p: Parameters) extends architecture {{"
+    );
     let _ = writeln!(out, "  /*------------ Task Blocks -------------*/");
     for ti in 0..acc.tasks.len() {
         let _ = writeln!(
@@ -137,14 +160,27 @@ fn emit_top(out: &mut String, acc: &Accelerator) {
     let _ = writeln!(out, "\n  /*------------ Structures -------------*/");
     for (si, s) in acc.structures.iter().enumerate() {
         let decl = match &s.kind {
-            StructureKind::Scratchpad { banks, capacity, shape, .. } => {
+            StructureKind::Scratchpad {
+                banks,
+                capacity,
+                shape,
+                ..
+            } => {
                 let ty = shape
                     .map(|sh| format!("Tensor2D({sh})"))
                     .unwrap_or_else(|| "Scalar".to_string());
                 format!("new Scratchpad(banks = {banks}, depth = {capacity}, t = {ty})")
             }
-            StructureKind::Cache { capacity, assoc, banks, .. } => {
-                format!("new Cache(sets = {}, ways = {assoc}, banks = {banks})", capacity / 16)
+            StructureKind::Cache {
+                capacity,
+                assoc,
+                banks,
+                ..
+            } => {
+                format!(
+                    "new Cache(sets = {}, ways = {assoc}, banks = {banks})",
+                    capacity / 16
+                )
             }
             StructureKind::Dram { .. } => "new AXIPort()".to_string(),
         };

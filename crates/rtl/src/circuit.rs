@@ -163,7 +163,10 @@ pub fn lower_dataflow(df: &Dataflow) -> CircuitGraph {
     for j in &df.junctions {
         let clients = j.readers.len() + j.writers.len();
         g.add(CellKind::Mux, clients);
-        g.add(CellKind::Arbiter, (j.read_ports + j.write_ports) as usize * 2);
+        g.add(
+            CellKind::Arbiter,
+            (j.read_ports + j.write_ports) as usize * 2,
+        );
         g.wires += clients * 4;
     }
     g
@@ -218,7 +221,10 @@ pub fn tiling_circuit_delta(acc: &Accelerator, task: TaskId) -> (usize, usize) {
     let tile = lower_dataflow(&acc.task(task).dataflow);
     let crossbar_cells = 4;
     let crossbar_wires = 8;
-    (tile.cell_count() + crossbar_cells, tile.wires + crossbar_wires)
+    (
+        tile.cell_count() + crossbar_cells,
+        tile.wires + crossbar_wires,
+    )
 }
 
 /// FIRRTL-level cost of adding one more SRAM for `obj`: instantiate the
@@ -302,7 +308,10 @@ mod tests {
     #[test]
     fn tiling_at_circuit_level_costs_a_whole_tile() {
         let acc = sample();
-        let loop_task = acc.task_ids().find(|&t| acc.task(t).kind.is_loop()).unwrap();
+        let loop_task = acc
+            .task_ids()
+            .find(|&t| acc.task(t).kind.is_loop())
+            .unwrap();
         let (cells, wires) = tiling_circuit_delta(&acc, loop_task);
         // μIR: 1 node, 4 edges. FIRRTL: dozens.
         assert!(cells > 20, "{cells}");
@@ -346,7 +355,10 @@ mod tests {
         use muir_core::node::{FusedInput, FusedPlan, FusedStep, OpKind};
         use muir_core::Type;
         use muir_mir::instr::BinOp;
-        let t = acc.task_ids().find(|&t| acc.task(t).kind.is_loop()).unwrap();
+        let t = acc
+            .task_ids()
+            .find(|&t| acc.task(t).kind.is_loop())
+            .unwrap();
         let df = &mut acc.task_mut(t).dataflow;
         df.nodes.push(Node::new(
             "fused_demo",

@@ -212,7 +212,14 @@ pub fn estimate(acc: &Accelerator, tech: Tech) -> CostEstimate {
             let dynamic =
                 (alms as f64 * 0.04 + regs as f64 * 0.012 + dsps as f64 * 2.5) * (fmax / 400.0);
             let power = 380.0 + dynamic;
-            CostEstimate { fmax_mhz: fmax, power_mw: power, alms, regs, dsps, area_mm2: 0.0 }
+            CostEstimate {
+                fmax_mhz: fmax,
+                power_mw: power,
+                alms,
+                regs,
+                dsps,
+                area_mm2: 0.0,
+            }
         }
         Tech::Asic28 => {
             // Standard-cell delay ≈ 0.33× FPGA fabric; FP macros cap lower.
@@ -223,7 +230,14 @@ pub fn estimate(acc: &Accelerator, tech: Tech) -> CostEstimate {
             let um2 = alms as f64 * 420.0 + regs as f64 * 60.0 + dsps as f64 * 5600.0;
             let area = um2 / 1.0e6 * 10.0; // ×10 wire/overhead factor, reported like the paper
             let power = (um2 / 1.0e6) * (fmax / 1000.0) * 9.0 + 4.0;
-            CostEstimate { fmax_mhz: fmax, power_mw: power, alms, regs, dsps, area_mm2: area }
+            CostEstimate {
+                fmax_mhz: fmax,
+                power_mw: power,
+                alms,
+                regs,
+                dsps,
+                area_mm2: area,
+            }
         }
     }
 }
@@ -251,7 +265,11 @@ mod tests {
         let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
         let body = |b: &mut FunctionBuilder, i: ValueRef| {
             let v = b.load(a, i);
-            let w = if fp { b.fmul(v, ValueRef::f32(2.0)) } else { b.add(v, ValueRef::int(1)) };
+            let w = if fp {
+                b.fmul(v, ValueRef::f32(2.0))
+            } else {
+                b.add(v, ValueRef::int(1))
+            };
             b.store(a, i, w);
         };
         if cilk {
@@ -279,8 +297,18 @@ mod tests {
         let acc = build(true, false);
         let f = estimate(&acc, Tech::FpgaArria10);
         let a = estimate(&acc, Tech::Asic28);
-        assert!(a.fmax_mhz > 2.0 * f.fmax_mhz, "asic {} vs fpga {}", a.fmax_mhz, f.fmax_mhz);
-        assert!(a.power_mw < f.power_mw / 3.0, "asic {} vs fpga {}", a.power_mw, f.power_mw);
+        assert!(
+            a.fmax_mhz > 2.0 * f.fmax_mhz,
+            "asic {} vs fpga {}",
+            a.fmax_mhz,
+            f.fmax_mhz
+        );
+        assert!(
+            a.power_mw < f.power_mw / 3.0,
+            "asic {} vs fpga {}",
+            a.power_mw,
+            f.power_mw
+        );
         assert!(a.area_mm2 > 0.0);
     }
 

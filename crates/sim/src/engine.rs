@@ -16,6 +16,10 @@
 //! evaluators) and loads/stores access a real memory image, so every run is
 //! checked against the reference interpreter.
 
+use crate::error::{
+    BufferSuggestion, ChannelState, DeadlockReport, FaultKind, StuckTile, WaitEdge,
+};
+use crate::fault::{Ecc, FaultClass, Injector};
 use crate::memory::{DramModel, MemRequest, StructModel};
 use crate::{SimConfig, SimError, SimStats};
 use muir_core::accel::{Accelerator, ArgExpr, ResultInit, TaskKind};
@@ -26,11 +30,16 @@ use muir_core::structure::StructureKind;
 use muir_mir::instr::BinOp;
 use muir_mir::interp::{eval_bin, eval_cmp, eval_tensor, eval_un, Memory};
 use muir_mir::value::Value;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
-fn serr(msg: impl Into<String>) -> SimError {
-    SimError { message: msg.into() }
-}
+/// Fault classes injected at the engine's ready/valid edges (the rest are
+/// owned by the memory models).
+const ENGINE_FAULTS: [FaultClass; 4] = [
+    FaultClass::TokenBitFlip,
+    FaultClass::TokenDrop,
+    FaultClass::TokenDup,
+    FaultClass::StuckHandshake,
+];
 
 /// A token on an edge queue.
 #[derive(Debug, Clone)]
@@ -121,8 +130,17 @@ struct TaskState {
 
 #[derive(Debug)]
 enum Ev {
-    NodeDone { task: usize, tile: usize, uid: u64, node: usize, instance: u64 },
-    Reply { to: ReplyTo, results: Vec<Value> },
+    NodeDone {
+        task: usize,
+        tile: usize,
+        uid: u64,
+        node: usize,
+        instance: u64,
+    },
+    Reply {
+        to: ReplyTo,
+        results: Vec<Value>,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -153,6 +171,11 @@ pub struct Engine<'a> {
     root_result: Option<Vec<Value>>,
     fires: u64,
     task_invocations: Vec<u64>,
+    faults: Injector,
+    faults_on: bool,
+    /// Nodes whose output handshake was stuck by fault injection:
+    /// (task, tile, node). A stuck node never fires again.
+    stuck: HashSet<(usize, usize, usize)>,
 }
 
 impl<'a> Engine<'a> {
@@ -231,12 +254,18 @@ impl<'a> Engine<'a> {
                 busy_cycles: 0,
             })
             .collect();
-        let structs: Vec<StructModel> = acc.structures.iter().map(StructModel::new).collect();
+        let mut structs: Vec<StructModel> = acc.structures.iter().map(StructModel::new).collect();
+        for (si, st) in structs.iter_mut().enumerate() {
+            st.arm_faults(&cfg.faults, si as u64);
+        }
         let dram_idx = acc
             .structures
             .iter()
             .position(|s| matches!(s.kind, StructureKind::Dram { .. }));
-        let dram = DramModel::new(dram_idx.map(|i| &acc.structures[i].kind));
+        let mut dram = DramModel::new(dram_idx.map(|i| &acc.structures[i].kind));
+        dram.arm_faults(&cfg.faults);
+        let faults = Injector::new(&cfg.faults, 0x0e5e_0001, &ENGINE_FAULTS);
+        let faults_on = faults.active();
         let ntasks = acc.tasks.len();
         Engine {
             acc,
@@ -256,6 +285,9 @@ impl<'a> Engine<'a> {
             root_result: None,
             fires: 0,
             task_invocations: vec![0; ntasks],
+            faults,
+            faults_on,
+            stuck: HashSet::new(),
         }
     }
 
@@ -270,17 +302,26 @@ impl<'a> Engine<'a> {
         // draining written scratchpad objects costs bandwidth at the end.
         let (fill, drain) = self.dma_elems();
         let (lat, bw) = match self.dram_idx.map(|i| &self.acc.structures[i].kind) {
-            Some(StructureKind::Dram { latency, elems_per_cycle }) => {
-                (*latency as u64, (*elems_per_cycle).max(1) as u64)
-            }
+            Some(StructureKind::Dram {
+                latency,
+                elems_per_cycle,
+            }) => (*latency as u64, (*elems_per_cycle).max(1) as u64),
             _ => (40, 8),
         };
         // Scratchpad DMA is double-buffered: inbound streams overlap with
         // compute, so only the first burst is exposed; the outbound drain
         // likewise overlaps except its tail.
         let burst = 4 * bw;
-        let fill_delay = if fill > 0 { lat + fill.min(burst).div_ceil(bw) } else { 0 };
-        let drain_delay = if drain > 0 { lat + drain.min(burst).div_ceil(bw) } else { 0 };
+        let fill_delay = if fill > 0 {
+            lat + fill.min(burst).div_ceil(bw)
+        } else {
+            0
+        };
+        let drain_delay = if drain > 0 {
+            lat + drain.min(burst).div_ceil(bw)
+        } else {
+            0
+        };
 
         let root = self.acc.root.0 as usize;
         let uid = self.fresh_uid();
@@ -294,10 +335,15 @@ impl<'a> Engine<'a> {
         self.last_progress = fill_delay;
         while self.root_result.is_none() {
             if self.cycle >= self.cfg.max_cycles {
-                return Err(serr(format!("cycle limit {} exhausted", self.cfg.max_cycles)));
+                return Err(SimError::CycleLimitExhausted {
+                    limit: self.cfg.max_cycles,
+                });
             }
             if self.cycle - self.last_progress > self.cfg.deadlock_cycles {
-                return Err(serr(format!("deadlock at cycle {}: {}", self.cycle, self.stuck_report())));
+                return Err(SimError::Deadlock {
+                    cycle: self.cycle,
+                    report: Box::new(self.diagnose_deadlock()),
+                });
             }
             self.step()?;
         }
@@ -335,6 +381,11 @@ impl<'a> Engine<'a> {
     }
 
     fn collect_stats(&self, cycles: u64) -> SimStats {
+        let mut faults = self.faults.counts;
+        for s in &self.structs {
+            faults.merge(&s.fault_counts());
+        }
+        faults.merge(&self.dram.fault_counts());
         SimStats {
             cycles,
             fires: self.fires,
@@ -342,37 +393,180 @@ impl<'a> Engine<'a> {
             task_busy_cycles: self.tasks.iter().map(|t| t.busy_cycles).collect(),
             struct_stats: self.structs.iter().map(|s| s.stats).collect(),
             dram_fills: self.dram.fills,
+            faults,
         }
     }
 
-    fn stuck_report(&self) -> String {
-        let mut out = String::new();
+    /// Walk the blocked-channel wait-for graph and diagnose the stall.
+    ///
+    /// Every node that still has instances to fire contributes wait-for
+    /// edges: an *empty* input channel makes it wait on its producer; a
+    /// *full* output channel makes it wait on its consumer. A cycle over
+    /// these edges is the deadlock's root cause; if one of the cycle's
+    /// channels is full, growing that buffer breaks the cycle, and the
+    /// report says exactly which edge and to what depth.
+    fn diagnose_deadlock(&self) -> DeadlockReport {
+        let cycle = self.cycle;
+        let mut vertices: Vec<V> = Vec::new();
+        let mut waits: HashMap<V, Vec<W>> = HashMap::new();
+        let mut report = DeadlockReport {
+            mem_outstanding: self.req_map.len() as u32,
+            stuck_nodes: {
+                let mut sn: Vec<(u32, u32)> = self
+                    .stuck
+                    .iter()
+                    .map(|&(ti, _, n)| (ti as u32, n as u32))
+                    .collect();
+                sn.sort_unstable();
+                sn.dedup();
+                sn
+            },
+            ..DeadlockReport::default()
+        };
         for (ti, t) in self.tasks.iter().enumerate() {
-            for (k, tile) in t.tiles.iter().enumerate() {
-                if let Some(inv) = tile {
-                    out.push_str(&format!(
-                        "task {ti} ({}) tile {k}: trip {} admitted {} completed {} spawns {}; ",
-                        self.acc.tasks[ti].name,
-                        inv.trip,
-                        inv.admitted,
-                        inv.completed,
-                        inv.spawns_outstanding
-                    ));
+            let df = &self.acc.tasks[ti].dataflow;
+            let name = &self.acc.tasks[ti].name;
+            if !t.queue.is_empty() {
+                report.queued.push((ti as u32, t.queue.len()));
+            }
+            for (tk, tile) in t.tiles.iter().enumerate() {
+                let Some(inv) = tile else { continue };
+                report.stuck_tiles.push(StuckTile {
+                    task: ti as u32,
+                    task_name: name.clone(),
+                    tile: tk as u32,
+                    trip: inv.trip,
+                    admitted: inv.admitted,
+                    completed: inv.completed,
+                    spawns_outstanding: inv.spawns_outstanding,
+                });
+                for node in 0..df.nodes.len() {
+                    if self.elab[ti].is_static[node] || self.stuck.contains(&(ti, tk, node)) {
+                        continue;
+                    }
+                    let k = inv.fired[node];
+                    if k >= inv.admitted {
+                        continue; // waiting for admission, not a channel
+                    }
+                    let me: V = (ti, tk, node);
+                    let mut out: Vec<W> = Vec::new();
+                    // Empty input channels: waiting on the producer.
+                    let is_merge = matches!(df.nodes[node].kind, NodeKind::Merge);
+                    for &ei in self.elab[ti].in_data[node]
+                        .iter()
+                        .chain(&self.elab[ti].in_order[node])
+                    {
+                        let e = &df.edges[ei];
+                        if self.elab[ti].is_static[e.src.0 as usize] {
+                            continue;
+                        }
+                        if is_merge && e.dst_port == 1 && k == 0 {
+                            continue;
+                        }
+                        let has = inv.edge_q[ei]
+                            .front()
+                            .is_some_and(|t| t.visible_at.is_some_and(|v| v <= cycle));
+                        if !has {
+                            out.push(W {
+                                to: (ti, tk, e.src.0 as usize),
+                                edge: WaitEdge {
+                                    task: ti as u32,
+                                    task_name: name.clone(),
+                                    edge: ei as u32,
+                                    src: node as u32,
+                                    src_name: df.nodes[node].name.clone(),
+                                    dst: e.src.0,
+                                    dst_name: df.nodes[e.src.0 as usize].name.clone(),
+                                    capacity: self.edge_capacity(ti, ei) as u32,
+                                    state: ChannelState::Empty,
+                                },
+                            });
+                        }
+                    }
+                    // Full output channels: waiting on the consumer.
+                    for &ei in &self.elab[ti].outs[node] {
+                        let e = &df.edges[ei];
+                        let cap = self.edge_capacity(ti, ei);
+                        let visible = inv.edge_q[ei]
+                            .iter()
+                            .filter(|t| t.visible_at.is_some())
+                            .count();
+                        if visible >= cap {
+                            out.push(W {
+                                to: (ti, tk, e.dst.0 as usize),
+                                edge: WaitEdge {
+                                    task: ti as u32,
+                                    task_name: name.clone(),
+                                    edge: ei as u32,
+                                    src: node as u32,
+                                    src_name: df.nodes[node].name.clone(),
+                                    dst: e.dst.0,
+                                    dst_name: df.nodes[e.dst.0 as usize].name.clone(),
+                                    capacity: cap as u32,
+                                    state: ChannelState::Full,
+                                },
+                            });
+                        }
+                    }
+                    if !out.is_empty() {
+                        vertices.push(me);
+                        waits.insert(me, out);
+                    }
                 }
             }
-            if !t.queue.is_empty() {
-                out.push_str(&format!("task {ti} queue {}; ", t.queue.len()));
-            }
         }
-        out
+        report.wait_cycle = find_wait_cycle(&vertices, &waits);
+        report.suggestion = report
+            .wait_cycle
+            .iter()
+            .filter(|w| w.state == ChannelState::Full)
+            .min_by_key(|w| w.capacity)
+            .map(|w| BufferSuggestion {
+                task: w.task,
+                edge: w.edge,
+                depth: w.capacity + 1,
+            });
+        report
     }
 
     /// Token capacity of an edge: explicit FIFOs use their depth; default
     /// handshake connections act as elastic pipelines.
+    ///
+    /// `Fifo(0)` is honored as a genuinely capacity-less channel — the
+    /// hardware a μopt pass would emit if it removed a pipeline register it
+    /// shouldn't have. Such an edge can never carry a token; the producer
+    /// blocks forever and the deadlock diagnosis names the edge and the
+    /// buffer bump that fixes it.
     fn edge_capacity(&self, ti: usize, ei: usize) -> usize {
         match self.acc.tasks[ti].dataflow.edges[ei].buffering {
             muir_core::dataflow::Buffering::Handshake => self.cfg.elastic_depth as usize,
-            muir_core::dataflow::Buffering::Fifo(d) => d.max(1) as usize,
+            muir_core::dataflow::Buffering::Fifo(d) => d as usize,
+        }
+    }
+
+    /// A typed `Fault` error located at a node interface.
+    fn fault_err(
+        &self,
+        ti: usize,
+        tk: usize,
+        node: usize,
+        instance: u64,
+        kind: FaultKind,
+        detail: String,
+    ) -> SimError {
+        let uid = self.tasks[ti].tiles[tk]
+            .as_ref()
+            .map(|i| i.uid)
+            .unwrap_or(0);
+        SimError::Fault {
+            cycle: self.cycle,
+            task: ti as u32,
+            task_name: self.acc.tasks[ti].name.clone(),
+            node: node as u32,
+            invocation: uid,
+            instance,
+            kind,
+            detail,
         }
     }
 
@@ -388,11 +582,24 @@ impl<'a> Engine<'a> {
         if let Some(evs) = self.events.remove(&cycle) {
             for ev in evs {
                 match ev {
-                    Ev::NodeDone { task, tile, uid, node, instance } => {
+                    Ev::NodeDone {
+                        task,
+                        tile,
+                        uid,
+                        node,
+                        instance,
+                    } => {
                         self.node_done(task, tile, uid, node, instance, None)?;
                     }
                     Ev::Reply { to, results } => {
-                        self.node_done(to.task, to.tile, to.uid, to.node, to.instance, Some(results))?;
+                        self.node_done(
+                            to.task,
+                            to.tile,
+                            to.uid,
+                            to.node,
+                            to.instance,
+                            Some(results),
+                        )?;
                     }
                 }
             }
@@ -403,23 +610,39 @@ impl<'a> Engine<'a> {
                 let (head, tail) = self.structs.split_at_mut(si);
                 let _ = head;
                 let model = &mut tail[0];
-                let dram = if Some(si) == self.dram_idx { None } else { Some(&mut self.dram) };
+                let dram = if Some(si) == self.dram_idx {
+                    None
+                } else {
+                    Some(&mut self.dram)
+                };
                 model.tick(cycle, dram)
             };
             for r in responses {
                 if let Some(p) = self.req_map.remove(&r.id) {
+                    if r.ecc == Ecc::Uncorrectable {
+                        return Err(self.fault_err(
+                            p.task,
+                            p.tile,
+                            p.node,
+                            p.instance,
+                            FaultKind::EccUncorrectable,
+                            format!("memory response for request {} (structure {si})", r.id),
+                        ));
+                    }
                     self.node_done(p.task, p.tile, p.uid, p.node, p.instance, None)?;
                 }
             }
         }
         // Phase 3: dispatch queued invocations onto free tiles.
         for ti in 0..self.tasks.len() {
-            loop {
-                let Some(free) = self.tasks[ti].tiles.iter().position(|t| t.is_none()) else {
+            while let Some(free) = self.tasks[ti].tiles.iter().position(|t| t.is_none()) {
+                let Some(invq) = self.tasks[ti].queue.pop_front() else {
                     break;
                 };
-                let Some(invq) = self.tasks[ti].queue.pop_front() else { break };
-                self.activate(ti, free, invq)?;
+                let uid = invq.uid;
+                self.activate(ti, free, invq).map_err(|e| {
+                    e.at_site(cycle, ti as u32, &self.acc.tasks[ti].name, None, Some(uid))
+                })?;
             }
         }
         // Phase 4: admissions + node firing (consumers-first order).
@@ -445,17 +668,20 @@ impl<'a> Engine<'a> {
                 let eval = |e: &ArgExpr| -> Result<i64, SimError> {
                     match e {
                         ArgExpr::Const(k) => Ok(*k),
-                        ArgExpr::Arg(a) => inv
-                            .args
-                            .get(*a as usize)
-                            .map(Value::as_int)
-                            .ok_or_else(|| serr("loop bound argument missing")),
+                        ArgExpr::Arg(a) => {
+                            inv.args.get(*a as usize).map(Value::as_int).ok_or_else(|| {
+                                SimError::eval(format!("loop bound argument {a} missing"))
+                            })
+                        }
                     }
                 };
                 let lo = eval(&spec.lo)?;
                 let hi = eval(&spec.hi)?;
-                let trip =
-                    if hi > lo { ((hi - lo) as u64).div_ceil(spec.step as u64) } else { 0 };
+                let trip = if hi > lo {
+                    ((hi - lo) as u64).div_ceil(spec.step as u64)
+                } else {
+                    0
+                };
                 (trip, lo, spec.step, *serial)
             }
         };
@@ -494,9 +720,11 @@ impl<'a> Engine<'a> {
                 .args
                 .get(*index as usize)
                 .cloned()
-                .ok_or_else(|| serr(format!("missing argument {index}"))),
+                .ok_or_else(|| SimError::eval(format!("missing argument {index}"))),
             NodeKind::Const(c) => Ok(c.to_value()),
-            other => Err(serr(format!("static read of dynamic node {other:?}"))),
+            other => Err(SimError::eval(format!(
+                "static read of dynamic node {other:?}"
+            ))),
         }
     }
 
@@ -526,9 +754,18 @@ impl<'a> Engine<'a> {
             }
         }
         // Node firing in consumers-first order.
+        let uid = self.tasks[ti].tiles[tk].as_ref().map(|i| i.uid);
         let order = self.elab[ti].order.clone();
         for node in order {
-            self.try_fire(ti, tk, node, junction_budget)?;
+            self.try_fire(ti, tk, node, junction_budget).map_err(|e| {
+                e.at_site(
+                    cycle,
+                    ti as u32,
+                    &self.acc.tasks[ti].name,
+                    Some(node as u32),
+                    uid,
+                )
+            })?;
         }
         Ok(())
     }
@@ -545,6 +782,9 @@ impl<'a> Engine<'a> {
         let df = &self.acc.tasks[ti].dataflow;
         if self.elab[ti].is_static[node] {
             return Ok(());
+        }
+        if self.faults_on && self.stuck.contains(&(ti, tk, node)) {
+            return Ok(()); // output handshake stuck: valid never asserts
         }
         // Gather facts without holding a mutable borrow.
         let (k, ok_basic) = {
@@ -575,16 +815,41 @@ impl<'a> Engine<'a> {
                         continue;
                     }
                     match inv.edge_q[ei].front() {
-                        Some(t) if t.visible_at.map_or(false, |v| v <= cycle) => {
-                            debug_assert_eq!(t.instance, k - 1);
+                        Some(t) if t.visible_at.is_some_and(|v| v <= cycle) => {
+                            if t.instance != k - 1 {
+                                return Err(self.fault_err(
+                                    ti,
+                                    tk,
+                                    node,
+                                    k,
+                                    FaultKind::TokenMisorder,
+                                    format!(
+                                        "feedback edge e{ei}: expected instance {}, found {}",
+                                        k - 1,
+                                        t.instance
+                                    ),
+                                ));
+                            }
                         }
                         _ => return Ok(()),
                     }
                     continue;
                 }
                 match inv.edge_q[ei].front() {
-                    Some(t) if t.visible_at.map_or(false, |v| v <= cycle) => {
-                        debug_assert_eq!(t.instance, k, "token order violated");
+                    Some(t) if t.visible_at.is_some_and(|v| v <= cycle) => {
+                        // In-order delivery is the latency-insensitive
+                        // contract; a mismatch means a token was dropped or
+                        // duplicated upstream (a detected hardware fault).
+                        if t.instance != k {
+                            return Err(self.fault_err(
+                                ti,
+                                tk,
+                                node,
+                                k,
+                                FaultKind::TokenMisorder,
+                                format!("edge e{ei}: expected instance {k}, found {}", t.instance),
+                            ));
+                        }
                     }
                     _ => return Ok(()),
                 }
@@ -598,7 +863,10 @@ impl<'a> Engine<'a> {
             // producer's internal pipeline.
             for &ei in &self.elab[ti].outs[node] {
                 let cap = self.edge_capacity(ti, ei);
-                let visible = inv.edge_q[ei].iter().filter(|t| t.visible_at.is_some()).count();
+                let visible = inv.edge_q[ei]
+                    .iter()
+                    .filter(|t| t.visible_at.is_some())
+                    .count();
                 if visible >= cap {
                     return Ok(());
                 }
@@ -630,6 +898,13 @@ impl<'a> Engine<'a> {
             }
         }
 
+        // Every admission check passed: this is a real firing opportunity,
+        // which is the injection point for a stuck output handshake.
+        if self.faults_on && self.faults.roll(FaultClass::StuckHandshake) {
+            self.stuck.insert((ti, tk, node));
+            return Ok(());
+        }
+
         // --- Fire -----------------------------------------------------------
         // Collect input values (consume tokens).
         let values: Vec<Value>;
@@ -653,7 +928,9 @@ impl<'a> Engine<'a> {
                     slots[i] = Some(Value::Poison); // unused at instance 0
                     continue;
                 }
-                let t = inv.edge_q[ei].pop_front().ok_or_else(|| serr("missing token"))?;
+                let t = inv.edge_q[ei]
+                    .pop_front()
+                    .ok_or_else(|| SimError::eval(format!("missing token on edge e{ei}")))?;
                 slots[i] = Some(t.value);
             }
             for &ei in &in_order {
@@ -663,7 +940,10 @@ impl<'a> Engine<'a> {
                 }
                 inv.edge_q[ei].pop_front();
             }
-            values = slots.into_iter().map(|s| s.expect("slot filled")).collect();
+            values = slots
+                .into_iter()
+                .map(|s| s.ok_or_else(|| SimError::eval("input slot not filled")))
+                .collect::<Result<_, _>>()?;
         }
 
         let timing = self.elab[ti].timing[node];
@@ -677,7 +957,11 @@ impl<'a> Engine<'a> {
             }
             NodeKind::Merge => {
                 // Port 0 = init (instance 0), port 1 = feedback.
-                let v = if k == 0 { values[0].clone() } else { values[1].clone() };
+                let v = if k == 0 {
+                    values[0].clone()
+                } else {
+                    values[1].clone()
+                };
                 out_values = vec![v];
             }
             NodeKind::FusedAcc { op } => {
@@ -685,12 +969,9 @@ impl<'a> Engine<'a> {
                 let base = if k == 0 {
                     values[0].clone()
                 } else {
-                    self.tasks[ti].tiles[tk]
-                        .as_ref()
-                        .expect("active")
-                        .acc_state[node]
+                    self.tasks[ti].tiles[tk].as_ref().expect("active").acc_state[node]
                         .clone()
-                        .ok_or_else(|| serr("accumulator state missing"))?
+                        .ok_or_else(|| SimError::eval("accumulator state missing"))?
                 };
                 let r = eval_op(*op, &[base, values[1].clone()])?;
                 let inv = self.tasks[ti].tiles[tk].as_mut().expect("active");
@@ -707,12 +988,18 @@ impl<'a> Engine<'a> {
                 let inv = self.tasks[ti].tiles[tk].as_mut().expect("active");
                 inv.last_output = values.clone();
             }
-            NodeKind::Load { obj, predicated, .. } => {
-                let active = !*predicated || values.last().map(|v| !v.is_poison() && v.as_bool()).unwrap_or(true);
+            NodeKind::Load {
+                obj, predicated, ..
+            } => {
+                let active = !*predicated
+                    || values
+                        .last()
+                        .map(|v| !v.is_poison() && v.as_bool())
+                        .unwrap_or(true);
                 if active {
                     let idx = values[0].as_int();
                     if idx < 0 {
-                        return Err(serr(format!("negative load index in task {ti}")));
+                        return Err(SimError::eval(format!("negative load index {idx}")));
                     }
                     let ty = df.nodes[node].ty;
                     let n = ty.elems() as u64;
@@ -722,44 +1009,53 @@ impl<'a> Engine<'a> {
                         slots.push(
                             self.mem
                                 .read(*obj, idx as u64 + kk)
-                                .map_err(|e| serr(e.to_string()))?,
+                                .map_err(|e| SimError::eval(e.to_string()))?,
                         );
                     }
                     out_values = vec![Value::assemble(ty, slots)];
                     let id = self.next_req;
                     self.next_req += 1;
                     let addrs: Vec<u64> = (0..n).map(|kk| base + kk).collect();
-                    let sid = df.junctions[match &kind {
-                        NodeKind::Load { junction, .. } => junction.0 as usize,
-                        _ => unreachable!(),
-                    }]
-                    .structure
-                    .0 as usize;
-                    self.structs[sid].submit(MemRequest { id, addrs, is_write: false });
+                    let (j, _) =
+                        mem_plan.ok_or_else(|| SimError::eval("load without junction plan"))?;
+                    let sid = df.junctions[j].structure.0 as usize;
+                    self.structs[sid].submit(MemRequest {
+                        id,
+                        addrs,
+                        is_write: false,
+                    });
                     self.req_map.insert(
                         id,
-                        MemPending { task: ti, tile: tk, uid: self.tasks[ti].tiles[tk].as_ref().expect("active").uid, node, instance: k },
+                        MemPending {
+                            task: ti,
+                            tile: tk,
+                            uid: self.tasks[ti].tiles[tk].as_ref().expect("active").uid,
+                            node,
+                            instance: k,
+                        },
                     );
                     completion_at = None; // completes on memory response
-                    let (j, _) = mem_plan.expect("mem plan");
-                    junction_budget.get_mut(&(ti, tk, j)).expect("budget").0 += 1;
+                    junction_budget.entry((ti, tk, j)).or_insert((0, 0)).0 += 1;
                 } else {
                     out_values = vec![Value::Poison];
                 }
             }
-            NodeKind::Store { obj, predicated, .. } => {
-                let active = !*predicated || values.last().map(|v| !v.is_poison() && v.as_bool()).unwrap_or(true);
+            NodeKind::Store {
+                obj, predicated, ..
+            } => {
+                let active = !*predicated
+                    || values
+                        .last()
+                        .map(|v| !v.is_poison() && v.as_bool())
+                        .unwrap_or(true);
                 if active {
                     let idx = values[0].as_int();
                     if idx < 0 {
-                        return Err(serr(format!("negative store index in task {ti}")));
+                        return Err(SimError::eval(format!("negative store index {idx}")));
                     }
                     let v = values[1].clone();
                     if v.is_poison() {
-                        return Err(serr(format!(
-                            "poison stored to {obj:?} in task {ti} ({})",
-                            self.acc.tasks[ti].name
-                        )));
+                        return Err(SimError::eval(format!("poison stored to {obj:?}")));
                     }
                     let base = self.mem.flat_addr(*obj, idx as u64);
                     let slots = v.flatten();
@@ -767,33 +1063,46 @@ impl<'a> Engine<'a> {
                     for (kk, s) in slots.into_iter().enumerate() {
                         self.mem
                             .write(*obj, idx as u64 + kk as u64, s)
-                            .map_err(|e| serr(e.to_string()))?;
+                            .map_err(|e| SimError::eval(e.to_string()))?;
                     }
                     let id = self.next_req;
                     self.next_req += 1;
                     let addrs: Vec<u64> = (0..n).map(|kk| base + kk).collect();
-                    let sid = df.junctions[match &kind {
-                        NodeKind::Store { junction, .. } => junction.0 as usize,
-                        _ => unreachable!(),
-                    }]
-                    .structure
-                    .0 as usize;
-                    self.structs[sid].submit(MemRequest { id, addrs, is_write: true });
+                    let (j, _) =
+                        mem_plan.ok_or_else(|| SimError::eval("store without junction plan"))?;
+                    let sid = df.junctions[j].structure.0 as usize;
+                    self.structs[sid].submit(MemRequest {
+                        id,
+                        addrs,
+                        is_write: true,
+                    });
                     self.req_map.insert(
                         id,
-                        MemPending { task: ti, tile: tk, uid: self.tasks[ti].tiles[tk].as_ref().expect("active").uid, node, instance: k },
+                        MemPending {
+                            task: ti,
+                            tile: tk,
+                            uid: self.tasks[ti].tiles[tk].as_ref().expect("active").uid,
+                            node,
+                            instance: k,
+                        },
                     );
                     completion_at = None;
-                    let (j, _) = mem_plan.expect("mem plan");
-                    junction_budget.get_mut(&(ti, tk, j)).expect("budget").1 += 1;
+                    junction_budget.entry((ti, tk, j)).or_insert((0, 0)).1 += 1;
                 }
             }
-            NodeKind::TaskCall { callee, predicated, spawn } => {
+            NodeKind::TaskCall {
+                callee,
+                predicated,
+                spawn,
+            } => {
                 let child = callee.0 as usize;
                 let nargs = self.acc.tasks[child].num_args as usize;
                 let nres = self.acc.tasks[child].num_results as usize;
                 let active = !*predicated
-                    || values.get(nargs).map(|v| !v.is_poison() && v.as_bool()).unwrap_or(true);
+                    || values
+                        .get(nargs)
+                        .map(|v| !v.is_poison() && v.as_bool())
+                        .unwrap_or(true);
                 if active {
                     let args: Vec<Value> = values[..nargs].to_vec();
                     let uid = self.fresh_uid();
@@ -812,7 +1121,13 @@ impl<'a> Engine<'a> {
                         self.tasks[child].queue.push_back(Invocation {
                             uid,
                             args,
-                            reply: Some(ReplyTo { task: ti, tile: tk, uid: me_uid, node, instance: k }),
+                            reply: Some(ReplyTo {
+                                task: ti,
+                                tile: tk,
+                                uid: me_uid,
+                                node,
+                                instance: k,
+                            }),
                             spawn_parent: None,
                         });
                         out_values = vec![Value::Poison; nres.max(1)]; // patched by reply
@@ -825,20 +1140,42 @@ impl<'a> Engine<'a> {
             NodeKind::Input { .. } | NodeKind::Const(_) => unreachable!("static"),
         }
 
-        // Push pending tokens on out edges.
+        // Push pending tokens on out edges. Ready/valid faults inject here:
+        // a drop loses the valid pulse, a dup holds it one transfer too
+        // long, a bit-flip corrupts the data lines.
         {
             let outs = self.elab[ti].outs[node].clone();
             let inv = self.tasks[ti].tiles[tk].as_mut().expect("active");
             for &ei in &outs {
                 let e = &df.edges[ei];
-                let value = match e.kind {
+                let mut value = match e.kind {
                     EdgeKind::Order => Value::Bool(true),
                     _ => out_values
                         .get(e.src_port as usize)
                         .cloned()
                         .unwrap_or(Value::Bool(true)),
                 };
-                inv.edge_q[ei].push_back(Tok { instance: k, value, visible_at: None });
+                if self.faults_on {
+                    if self.faults.roll(FaultClass::TokenDrop) {
+                        continue; // token lost on the wire
+                    }
+                    if self.faults.roll(FaultClass::TokenBitFlip) {
+                        let bit = self.faults.below(32) as u32;
+                        value = flip_bit(&value, bit);
+                    }
+                    if self.faults.roll(FaultClass::TokenDup) {
+                        inv.edge_q[ei].push_back(Tok {
+                            instance: k,
+                            value: value.clone(),
+                            visible_at: None,
+                        });
+                    }
+                }
+                inv.edge_q[ei].push_back(Tok {
+                    instance: k,
+                    value,
+                    visible_at: None,
+                });
             }
             inv.fired[node] = k + 1;
             inv.ready_at[node] = cycle + timing.ii as u64;
@@ -851,7 +1188,13 @@ impl<'a> Engine<'a> {
             self.events
                 .entry(at.max(cycle + 1))
                 .or_default()
-                .push(Ev::NodeDone { task: ti, tile: tk, uid, node, instance: k });
+                .push(Ev::NodeDone {
+                    task: ti,
+                    tile: tk,
+                    uid,
+                    node,
+                    instance: k,
+                });
         }
         Ok(())
     }
@@ -879,6 +1222,8 @@ impl<'a> Engine<'a> {
             }
             for &ei in &outs {
                 let e = &df.edges[ei];
+                // All matching tokens become visible (normally exactly one;
+                // an injected duplicate shares the completion pulse).
                 for t in inv.edge_q[ei].iter_mut() {
                     if t.instance == instance && t.visible_at.is_none() {
                         if let Some(rv) = &reply_values {
@@ -889,15 +1234,22 @@ impl<'a> Engine<'a> {
                             }
                         }
                         t.visible_at = Some(cycle);
-                        break;
                     }
                 }
             }
             inv.pending[node] = inv.pending[node].saturating_sub(1);
+            let task_name = &self.acc.tasks[ti].name;
             let slot = inv
                 .outstanding
                 .get_mut(&instance)
-                .ok_or_else(|| serr("completion for unknown instance"))?;
+                .ok_or_else(|| SimError::EvalError {
+                    cycle,
+                    task: Some(ti as u32),
+                    task_name: task_name.clone(),
+                    node: Some(node as u32),
+                    invocation: Some(uid),
+                    detail: format!("completion for unknown instance {instance}"),
+                })?;
             *slot = slot.saturating_sub(1);
             // In-order instance retirement.
             while inv.outstanding.get(&inv.completed) == Some(&0) {
@@ -911,7 +1263,9 @@ impl<'a> Engine<'a> {
 
     fn check_invocation_complete(&mut self, ti: usize, tk: usize) -> Result<(), SimError> {
         let done = {
-            let Some(inv) = self.tasks[ti].tiles[tk].as_ref() else { return Ok(()) };
+            let Some(inv) = self.tasks[ti].tiles[tk].as_ref() else {
+                return Ok(());
+            };
             inv.admitted == inv.trip
                 && inv.completed == inv.trip
                 && inv.outstanding.is_empty()
@@ -920,7 +1274,9 @@ impl<'a> Engine<'a> {
         if !done {
             return Ok(());
         }
-        let inv = self.tasks[ti].tiles[tk].take().expect("active");
+        let Some(inv) = self.tasks[ti].tiles[tk].take() else {
+            return Ok(());
+        };
         let task = &self.acc.tasks[ti];
         // Results: the last Output firing's values, or zero-trip fallbacks.
         let results: Vec<Value> = if inv.trip == 0 {
@@ -938,12 +1294,10 @@ impl<'a> Engine<'a> {
         };
         if let Some((ptask, puid)) = inv.spawn_parent {
             // Sync bookkeeping: find the parent invocation and release it.
-            for ptile in self.tasks[ptask].tiles.iter_mut() {
-                if let Some(pinv) = ptile {
-                    if pinv.uid == puid {
-                        pinv.spawns_outstanding -= 1;
-                        break;
-                    }
+            for pinv in self.tasks[ptask].tiles.iter_mut().flatten() {
+                if pinv.uid == puid {
+                    pinv.spawns_outstanding -= 1;
+                    break;
                 }
             }
             // Parent may now be complete.
@@ -953,13 +1307,68 @@ impl<'a> Engine<'a> {
             }
         } else if let Some(reply) = inv.reply {
             let at = self.cycle + 1;
-            self.events.entry(at).or_default().push(Ev::Reply { to: reply, results });
+            self.events
+                .entry(at)
+                .or_default()
+                .push(Ev::Reply { to: reply, results });
         } else {
             self.root_result = Some(results);
         }
         self.last_progress = self.cycle;
         Ok(())
     }
+}
+
+/// A wait-for-graph vertex: (task, tile, node).
+type V = (usize, usize, usize);
+
+/// One wait-for edge: the owning vertex waits on `to` through `edge`.
+struct W {
+    to: V,
+    edge: WaitEdge,
+}
+
+/// Find one cycle in the wait-for graph (iterative DFS with an explicit
+/// path stack) and return its wait edges in wait-for order. Empty if the
+/// stall has no channel cycle (e.g. progress is blocked on memory).
+fn find_wait_cycle(vertices: &[V], waits: &HashMap<V, Vec<W>>) -> Vec<WaitEdge> {
+    // 0 = unvisited, 1 = on the current path, 2 = finished.
+    let mut color: HashMap<V, u8> = HashMap::new();
+    for &start in vertices {
+        if color.get(&start).copied().unwrap_or(0) != 0 {
+            continue;
+        }
+        // Each entry: (vertex, next out-edge index, wait edge that led here).
+        let mut path: Vec<(V, usize, Option<WaitEdge>)> = vec![(start, 0, None)];
+        color.insert(start, 1);
+        while let Some(&(v, i, _)) = path.last() {
+            let Some(w) = waits.get(&v).and_then(|o| o.get(i)) else {
+                color.insert(v, 2);
+                path.pop();
+                continue;
+            };
+            if let Some(top) = path.last_mut() {
+                top.1 += 1;
+            }
+            match color.get(&w.to).copied().unwrap_or(0) {
+                1 => {
+                    // Back edge: the cycle runs from `w.to` along the path
+                    // back to `v`, closed by this edge.
+                    let p = path.iter().position(|e| e.0 == w.to).unwrap_or(0);
+                    let mut cycle: Vec<WaitEdge> =
+                        path[p + 1..].iter().filter_map(|e| e.2.clone()).collect();
+                    cycle.push(w.edge.clone());
+                    return cycle;
+                }
+                2 => {}
+                _ => {
+                    color.insert(w.to, 1);
+                    path.push((w.to, 0, Some(w.edge.clone())));
+                }
+            }
+        }
+    }
+    Vec::new()
 }
 
 /// Consumers-before-producers order over forward edges, so that a consumer
@@ -1006,12 +1415,10 @@ fn eval_op(op: OpKind, values: &[Value]) -> Result<Value, SimError> {
         OpKind::Bin(b) => {
             // Hardware on a predicated-off path may divide by zero; the
             // result is squashed, so produce poison rather than fault.
-            if matches!(b, BinOp::Div | BinOp::Rem)
-                && values[1].as_int_checked() == Some(0)
-            {
+            if matches!(b, BinOp::Div | BinOp::Rem) && values[1].as_int_checked() == Some(0) {
                 return Ok(Value::Poison);
             }
-            eval_bin(b, &values[0], &values[1]).map_err(|e| serr(e.to_string()))?
+            eval_bin(b, &values[0], &values[1]).map_err(|e| SimError::eval(e.to_string()))?
         }
         OpKind::Un(u) => eval_un(u, &values[0]),
         OpKind::Cmp(p) => eval_cmp(p, &values[0], &values[1]),
@@ -1045,7 +1452,8 @@ fn eval_op(op: OpKind, values: &[Value]) -> Result<Value, SimError> {
             if values.iter().any(Value::is_poison) {
                 Value::Poison
             } else {
-                eval_tensor(t, &values[0], values.get(1)).map_err(|e| serr(e.to_string()))?
+                eval_tensor(t, &values[0], values.get(1))
+                    .map_err(|e| SimError::eval(e.to_string()))?
             }
         }
     };
@@ -1066,7 +1474,37 @@ fn eval_fused(plan: &muir_core::node::FusedPlan, values: &[Value]) -> Result<Val
             .collect();
         step_vals.push(eval_op(step.op, &ins)?);
     }
-    step_vals.pop().ok_or_else(|| serr("empty fused plan"))
+    step_vals
+        .pop()
+        .ok_or_else(|| SimError::eval("empty fused plan"))
+}
+
+/// Flip one bit of a scalar token value (the data-line corruption of the
+/// token-bit-flip fault class). Aggregates corrupt their first scalar lane.
+fn flip_bit(v: &Value, bit: u32) -> Value {
+    match v {
+        Value::Bool(b) => Value::Bool(!b),
+        Value::Int(x) => Value::Int(x ^ (1i64 << (bit % 63))),
+        Value::F32(f) => Value::F32(f32::from_bits(f.to_bits() ^ (1u32 << (bit % 32)))),
+        Value::Vector(vs) => {
+            let mut vs = vs.clone();
+            if let Some(first) = vs.first_mut() {
+                *first = flip_bit(first, bit);
+            }
+            Value::Vector(vs)
+        }
+        Value::Tensor { shape, data } => {
+            let mut data = data.clone();
+            if let Some(first) = data.first_mut() {
+                *first = flip_bit(first, bit);
+            }
+            Value::Tensor {
+                shape: *shape,
+                data,
+            }
+        }
+        other => other.clone(),
+    }
 }
 
 /// Poison-tolerant integer view.
@@ -1083,4 +1521,3 @@ impl ValueExt for Value {
         }
     }
 }
-

@@ -43,14 +43,19 @@
 //! ```
 
 mod engine;
+pub mod error;
+pub mod fault;
 pub mod memory;
 
+pub use error::{
+    BufferSuggestion, ChannelState, DeadlockReport, FaultKind, SimError, StuckTile, WaitEdge,
+};
+pub use fault::{Ecc, FaultClass, FaultCounts, FaultPlan, FaultSpec};
 pub use memory::StructStats;
 
 use muir_core::accel::Accelerator;
 use muir_mir::interp::Memory;
 use muir_mir::value::Value;
-use std::fmt;
 
 /// Simulation parameters.
 #[derive(Debug, Clone)]
@@ -71,6 +76,8 @@ pub struct SimConfig {
     /// while long paths drain, so unbalanced forks do not collapse the
     /// initiation interval.
     pub elastic_depth: u32,
+    /// Seeded fault-injection schedule (empty = fault-free run).
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -82,6 +89,7 @@ impl Default for SimConfig {
             deadlock_cycles: 100_000,
             databox_entries: 8,
             elastic_depth: 8,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -101,6 +109,10 @@ pub struct SimStats {
     pub struct_stats: Vec<StructStats>,
     /// DRAM line fills.
     pub dram_fills: u64,
+    /// Injected-fault tallies. A run that completes with `faults.total() >
+    /// 0` may have corrupted outputs — differential harnesses must treat
+    /// the flag as "outputs suspect", never as a silent pass.
+    pub faults: FaultCounts,
 }
 
 impl SimStats {
@@ -118,6 +130,16 @@ impl SimStats {
     pub fn bank_conflicts(&self) -> u64 {
         self.struct_stats.iter().map(|s| s.conflict_stalls).sum()
     }
+
+    /// Total injected faults (0 on a fault-free run).
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.total()
+    }
+
+    /// ECC events corrected in flight across structures.
+    pub fn ecc_corrected(&self) -> u64 {
+        self.struct_stats.iter().map(|s| s.ecc_corrected).sum()
+    }
 }
 
 /// Result of a simulation run.
@@ -130,21 +152,6 @@ pub struct SimResult {
     /// Statistics.
     pub stats: SimStats,
 }
-
-/// Simulation failure (deadlock, fault, or limit exhaustion).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SimError {
-    /// Description.
-    pub message: String,
-}
-
-impl fmt::Display for SimError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "simulation error: {}", self.message)
-    }
-}
-
-impl std::error::Error for SimError {}
 
 /// Simulate the accelerator's root task once against `mem`.
 ///
@@ -160,10 +167,14 @@ pub fn simulate(
     // A malformed graph (dangling port, unregistered junction client, …)
     // would otherwise surface as a confusing mid-run fault or deadlock.
     muir_core::verify::verify_accelerator(acc)
-        .map_err(|e| SimError { message: format!("graph rejected: {e}") })?;
+        .map_err(|source| SimError::GraphRejected { source })?;
     let engine = engine::Engine::new(acc, mem, cfg);
     let (cycles, results, stats) = engine.run(args)?;
-    Ok(SimResult { cycles, results, stats })
+    Ok(SimResult {
+        cycles,
+        results,
+        stats,
+    })
 }
 
 #[cfg(test)]

@@ -6,8 +6,13 @@
 //! parallel subject to bank/port limits, and the responses are coalesced
 //! back into one completion.
 
-use muir_core::structure::{Structure, StructureKind};
+use crate::fault::{Ecc, FaultClass, FaultCounts, FaultPlan, Injector, DELAY_MINOR, DELAY_TIMEOUT};
 use std::collections::VecDeque;
+
+use muir_core::structure::{Structure, StructureKind};
+
+/// Fault classes owned by the memory models.
+const MEM_FAULTS: [FaultClass; 2] = [FaultClass::MemEcc, FaultClass::DramTimeout];
 
 /// Identifier handed back on completion of a memory request.
 pub type ReqId = u64;
@@ -39,6 +44,8 @@ pub struct MemResponse {
     pub id: ReqId,
     /// Cycle at which data is valid.
     pub at: u64,
+    /// ECC status of the returned data.
+    pub ecc: Ecc,
 }
 
 /// Statistics for one structure.
@@ -56,6 +63,8 @@ pub struct StructStats {
     pub misses: u64,
     /// Lines written back to DRAM (caches only).
     pub writebacks: u64,
+    /// ECC single-bit errors corrected in flight (fault injection only).
+    pub ecc_corrected: u64,
 }
 
 /// Cache line state.
@@ -85,6 +94,8 @@ pub struct StructModel {
     lru_clock: u64,
     /// Statistics.
     pub stats: StructStats,
+    /// Fault injection (None on fault-free runs — the common case).
+    injector: Option<Injector>,
 }
 
 impl StructModel {
@@ -96,7 +107,12 @@ impl StructModel {
             StructureKind::Dram { .. } => 1,
         };
         let lines = match &s.kind {
-            StructureKind::Cache { capacity, assoc, line_elems, .. } => {
+            StructureKind::Cache {
+                capacity,
+                assoc,
+                line_elems,
+                ..
+            } => {
                 let nlines = (*capacity / *line_elems as u64).max(1);
                 let sets = (nlines / *assoc as u64).max(1) as usize;
                 vec![vec![Line::default(); *assoc as usize]; sets]
@@ -112,6 +128,55 @@ impl StructModel {
             dram_fills: VecDeque::new(),
             lru_clock: 0,
             stats: StructStats::default(),
+            injector: None,
+        }
+    }
+
+    /// Arm fault injection for this structure. The salt (the structure's
+    /// index) decorrelates its stream from every other domain's.
+    pub(crate) fn arm_faults(&mut self, plan: &FaultPlan, salt: u64) {
+        let inj = Injector::new(plan, 0x3e3a_0000 ^ salt, &MEM_FAULTS);
+        if inj.active() {
+            self.injector = Some(inj);
+        }
+    }
+
+    /// Injection tallies for this structure (zero when unarmed).
+    pub(crate) fn fault_counts(&self) -> FaultCounts {
+        self.injector.as_ref().map(|i| i.counts).unwrap_or_default()
+    }
+
+    /// ECC status for a completing response: mostly clean; when the MemEcc
+    /// class fires, half the events are corrected in flight (logged only)
+    /// and half are uncorrectable (the engine raises a typed fault).
+    fn response_ecc(&mut self) -> Ecc {
+        let Some(inj) = self.injector.as_mut() else {
+            return Ecc::Clean;
+        };
+        if !inj.roll(FaultClass::MemEcc) {
+            return Ecc::Clean;
+        }
+        if inj.below(2) == 0 {
+            self.stats.ecc_corrected += 1;
+            Ecc::Corrected
+        } else {
+            Ecc::Uncorrectable
+        }
+    }
+
+    /// Extra response latency: when the DramTimeout class fires, half the
+    /// events are a recoverable slowdown and half exceed any watchdog.
+    fn response_delay(&mut self) -> u64 {
+        let Some(inj) = self.injector.as_mut() else {
+            return 0;
+        };
+        if !inj.roll(FaultClass::DramTimeout) {
+            return 0;
+        }
+        if inj.below(2) == 0 {
+            DELAY_MINOR
+        } else {
+            DELAY_TIMEOUT
         }
     }
 
@@ -122,7 +187,9 @@ impl StructModel {
     pub fn submit(&mut self, req: MemRequest) {
         self.stats.requests += 1;
         let row = match &self.kind {
-            StructureKind::Scratchpad { shape: Some(sh), .. } => sh.elems() as usize,
+            StructureKind::Scratchpad {
+                shape: Some(sh), ..
+            } => sh.elems() as usize,
             _ => 1,
         };
         let groups: Vec<u64> = req.addrs.chunks(row.max(1)).map(|c| c[0]).collect();
@@ -130,26 +197,45 @@ impl StructModel {
         self.outstanding.push((req.id, n.max(1)));
         if groups.is_empty() {
             // Degenerate: complete next tick.
-            self.done.push(MemResponse { id: req.id, at: 0 });
+            self.done.push(MemResponse {
+                id: req.id,
+                at: 0,
+                ecc: Ecc::Clean,
+            });
             return;
         }
         let nbanks = self.banks.len() as u64;
         for addr in groups {
             let bank = ((addr / row as u64) % nbanks) as usize;
-            self.banks[bank].push_back(ElemTxn { req: req.id, addr, is_write: req.is_write });
+            self.banks[bank].push_back(ElemTxn {
+                req: req.id,
+                addr,
+                is_write: req.is_write,
+            });
         }
     }
 
     /// Advance one cycle; returns completions whose data is valid *now*.
     pub fn tick(&mut self, cycle: u64, dram: Option<&mut DramModel>) -> Vec<MemResponse> {
         match self.kind.clone() {
-            StructureKind::Scratchpad { ports_per_bank, latency, .. } => {
+            StructureKind::Scratchpad {
+                ports_per_bank,
+                latency,
+                ..
+            } => {
                 self.tick_spad(cycle, ports_per_bank, latency);
             }
-            StructureKind::Cache { line_elems, hit_latency, .. } => {
+            StructureKind::Cache {
+                line_elems,
+                hit_latency,
+                ..
+            } => {
                 self.tick_cache(cycle, line_elems, hit_latency, dram);
             }
-            StructureKind::Dram { latency, elems_per_cycle } => {
+            StructureKind::Dram {
+                latency,
+                elems_per_cycle,
+            } => {
                 self.tick_raw_dram(cycle, latency, elems_per_cycle);
             }
         }
@@ -161,12 +247,18 @@ impl StructModel {
 
     fn retire_elem(&mut self, req: ReqId, at: u64) {
         self.stats.elem_txns += 1;
-        if let Some(slot) = self.outstanding.iter_mut().find(|(id, _)| *id == req) {
-            slot.1 -= 1;
-            if slot.1 == 0 {
-                self.done.push(MemResponse { id: req, at });
-                self.outstanding.retain(|(id, _)| *id != req);
+        let finished = match self.outstanding.iter_mut().find(|(id, _)| *id == req) {
+            Some(slot) => {
+                slot.1 -= 1;
+                slot.1 == 0
             }
+            None => false,
+        };
+        if finished {
+            let ecc = self.response_ecc();
+            let at = at + self.response_delay();
+            self.done.push(MemResponse { id: req, at, ecc });
+            self.outstanding.retain(|(id, _)| *id != req);
         }
     }
 
@@ -174,7 +266,9 @@ impl StructModel {
         for b in 0..self.banks.len() {
             let mut served = 0;
             while served < ports_per_bank {
-                let Some(txn) = self.banks[b].pop_front() else { break };
+                let Some(txn) = self.banks[b].pop_front() else {
+                    break;
+                };
                 self.retire_elem(txn.req, cycle + latency as u64);
                 served += 1;
             }
@@ -194,7 +288,9 @@ impl StructModel {
             if ready > cycle {
                 break;
             }
-            let (_, txn) = self.dram_fills.pop_front().expect("nonempty");
+            let Some((_, txn)) = self.dram_fills.pop_front() else {
+                break;
+            };
             self.install_line(txn.addr, line_elems, txn.is_write);
             self.retire_elem(txn.req, cycle);
         }
@@ -231,7 +327,9 @@ impl StructModel {
     fn tick_raw_dram(&mut self, cycle: u64, latency: u32, elems_per_cycle: u32) {
         let mut budget = elems_per_cycle;
         while budget > 0 {
-            let Some(txn) = self.banks[0].pop_front() else { break };
+            let Some(txn) = self.banks[0].pop_front() else {
+                break;
+            };
             self.retire_elem(txn.req, cycle + latency as u64);
             budget -= 1;
         }
@@ -272,7 +370,12 @@ impl StructModel {
         if line.valid && line.dirty {
             self.stats.writebacks += 1;
         }
-        *line = Line { tag, valid: true, dirty: is_write, lru: clock };
+        *line = Line {
+            tag,
+            valid: true,
+            dirty: is_write,
+            lru: clock,
+        };
     }
 
     /// Reconfigure bank count (used when μopt transformed the graph between
@@ -297,30 +400,67 @@ pub struct DramModel {
     busy_until: u64,
     /// Line fills issued.
     pub fills: u64,
+    /// Fault injection (None on fault-free runs).
+    injector: Option<Injector>,
 }
 
 impl DramModel {
     /// Build from the accelerator's DRAM structure (or defaults).
     pub fn new(kind: Option<&StructureKind>) -> DramModel {
         match kind {
-            Some(StructureKind::Dram { latency, elems_per_cycle }) => DramModel {
+            Some(StructureKind::Dram {
+                latency,
+                elems_per_cycle,
+            }) => DramModel {
                 latency: *latency as u64,
                 elems_per_cycle: *elems_per_cycle,
                 busy_until: 0,
                 fills: 0,
+                injector: None,
             },
-            _ => DramModel { latency: 40, elems_per_cycle: 8, busy_until: 0, fills: 0 },
+            _ => DramModel {
+                latency: 40,
+                elems_per_cycle: 8,
+                busy_until: 0,
+                fills: 0,
+                injector: None,
+            },
         }
+    }
+
+    /// Arm fault injection for the DRAM channel (delay faults only).
+    pub(crate) fn arm_faults(&mut self, plan: &FaultPlan) {
+        let inj = Injector::new(plan, 0xd7a_0001, &[FaultClass::DramTimeout]);
+        if inj.active() {
+            self.injector = Some(inj);
+        }
+    }
+
+    /// Injection tallies for the DRAM channel (zero when unarmed).
+    pub(crate) fn fault_counts(&self) -> FaultCounts {
+        self.injector.as_ref().map(|i| i.counts).unwrap_or_default()
     }
 
     /// Schedule a line fill starting no earlier than `cycle`; returns the
     /// ready cycle (latency + channel occupancy).
     pub fn fetch_line(&mut self, cycle: u64, line_elems: u32) -> u64 {
         let start = self.busy_until.max(cycle);
-        let occupancy = (line_elems as u64).div_ceil(self.elems_per_cycle as u64).max(1);
+        let occupancy = (line_elems as u64)
+            .div_ceil(self.elems_per_cycle as u64)
+            .max(1);
         self.busy_until = start + occupancy;
         self.fills += 1;
-        start + occupancy + self.latency
+        let mut ready = start + occupancy + self.latency;
+        if let Some(inj) = self.injector.as_mut() {
+            if inj.roll(FaultClass::DramTimeout) {
+                ready += if inj.below(2) == 0 {
+                    DELAY_MINOR
+                } else {
+                    DELAY_TIMEOUT
+                };
+            }
+        }
+        ready
     }
 }
 
@@ -331,7 +471,12 @@ mod tests {
 
     fn spad(banks: u32, ports: u32) -> StructModel {
         let mut s = Structure::scratchpad("s", 1024);
-        if let StructureKind::Scratchpad { banks: b, ports_per_bank: p, .. } = &mut s.kind {
+        if let StructureKind::Scratchpad {
+            banks: b,
+            ports_per_bank: p,
+            ..
+        } = &mut s.kind
+        {
             *b = banks;
             *p = ports;
         }
@@ -341,11 +486,22 @@ mod tests {
     #[test]
     fn scratchpad_single_access() {
         let mut m = spad(1, 2);
-        m.submit(MemRequest { id: 1, addrs: vec![0], is_write: false });
+        m.submit(MemRequest {
+            id: 1,
+            addrs: vec![0],
+            is_write: false,
+        });
         let r = m.tick(0, None);
         assert_eq!(r.len(), 0, "latency 1: response valid next cycle");
         let r = m.tick(1, None);
-        assert_eq!(r, vec![MemResponse { id: 1, at: 1 }]);
+        assert_eq!(
+            r,
+            vec![MemResponse {
+                id: 1,
+                at: 1,
+                ecc: Ecc::Clean
+            }]
+        );
         assert!(m.is_idle());
     }
 
@@ -353,7 +509,11 @@ mod tests {
     fn tensor_request_coalesces() {
         let mut m = spad(4, 1);
         // 4 consecutive addrs stripe across 4 banks: all serviced in 1 cycle.
-        m.submit(MemRequest { id: 7, addrs: vec![0, 1, 2, 3], is_write: false });
+        m.submit(MemRequest {
+            id: 7,
+            addrs: vec![0, 1, 2, 3],
+            is_write: false,
+        });
         let r = m.tick(0, None);
         assert!(r.is_empty());
         let r = m.tick(1, None);
@@ -365,14 +525,22 @@ mod tests {
     fn bank_conflicts_serialize() {
         let mut m = spad(1, 1);
         // 4 element txns on a single-ported single bank: 4 cycles to drain.
-        m.submit(MemRequest { id: 9, addrs: vec![0, 1, 2, 3], is_write: true });
+        m.submit(MemRequest {
+            id: 9,
+            addrs: vec![0, 1, 2, 3],
+            is_write: true,
+        });
         let mut done_at = None;
         for c in 0..10 {
             for r in m.tick(c, None) {
                 done_at = Some(r.at);
             }
         }
-        assert_eq!(done_at, Some(4), "last element serviced at cycle 3 + latency 1");
+        assert_eq!(
+            done_at,
+            Some(4),
+            "last element serviced at cycle 3 + latency 1"
+        );
         assert!(m.stats.conflict_stalls > 0);
     }
 
@@ -380,12 +548,15 @@ mod tests {
     fn more_banks_reduce_conflicts() {
         let run = |banks: u32| {
             let mut m = spad(banks, 1);
-            m.submit(MemRequest { id: 1, addrs: (0..16).collect(), is_write: false });
+            m.submit(MemRequest {
+                id: 1,
+                addrs: (0..16).collect(),
+                is_write: false,
+            });
             for c in 0..100 {
-                for r in m.tick(c, None) {
+                if let Some(r) = m.tick(c, None).first() {
                     return r.at;
                 }
-                let _ = c;
             }
             u64::MAX
         };
@@ -396,7 +567,11 @@ mod tests {
     fn cache_hits_after_fill() {
         let mut cache = StructModel::new(&Structure::l1_cache("l1"));
         let mut dram = DramModel::new(None);
-        cache.submit(MemRequest { id: 1, addrs: vec![0], is_write: false });
+        cache.submit(MemRequest {
+            id: 1,
+            addrs: vec![0],
+            is_write: false,
+        });
         let mut first_done = None;
         for c in 0..200 {
             for r in cache.tick(c, Some(&mut dram)) {
@@ -410,7 +585,11 @@ mod tests {
         assert!(miss_time > 20, "first access misses to DRAM");
         assert_eq!(cache.stats.misses, 1);
         // Same line again: hit.
-        cache.submit(MemRequest { id: 2, addrs: vec![1], is_write: false });
+        cache.submit(MemRequest {
+            id: 2,
+            addrs: vec![1],
+            is_write: false,
+        });
         let start = miss_time + 1;
         let mut second_done = None;
         for c in start..start + 50 {
@@ -438,7 +617,10 @@ mod tests {
     fn cache_eviction_writes_back() {
         // Tiny cache: force evictions.
         let mut s = Structure::l1_cache("l1");
-        if let StructureKind::Cache { capacity, assoc, .. } = &mut s.kind {
+        if let StructureKind::Cache {
+            capacity, assoc, ..
+        } = &mut s.kind
+        {
             *capacity = 64; // 4 lines of 16
             *assoc = 1;
         }
@@ -446,7 +628,11 @@ mod tests {
         let mut dram = DramModel::new(None);
         // Write two lines mapping to the same set (stride = sets*line).
         for (id, addr) in [(1u64, 0u64), (2, 64)] {
-            cache.submit(MemRequest { id, addrs: vec![addr], is_write: true });
+            cache.submit(MemRequest {
+                id,
+                addrs: vec![addr],
+                is_write: true,
+            });
             for c in 0..500 {
                 if !cache.tick(c, Some(&mut dram)).is_empty() {
                     break;

@@ -26,7 +26,10 @@ pub struct OpFusion {
 
 impl Default for OpFusion {
     fn default() -> Self {
-        OpFusion { max_delay_ns: hw::BASELINE_PERIOD_NS, max_ops: 16 }
+        OpFusion {
+            max_delay_ns: hw::BASELINE_PERIOD_NS,
+            max_ops: 16,
+        }
     }
 }
 
@@ -34,7 +37,10 @@ impl OpFusion {
     /// Fusion with a custom period budget (frequency/cycle-count tradeoff
     /// ablation).
     pub fn with_period(max_delay_ns: f64) -> OpFusion {
-        OpFusion { max_delay_ns, ..OpFusion::default() }
+        OpFusion {
+            max_delay_ns,
+            ..OpFusion::default()
+        }
     }
 }
 
@@ -93,8 +99,11 @@ pub fn fuse_accumulators(df: &mut Dataflow) -> PassDelta {
             }
             // The merge's only data consumer must be `u`, and `u` must
             // consume the merge on exactly one port.
-            let m_consumers: Vec<_> =
-                df.edges.iter().filter(|e| e.src == m && e.kind == EdgeKind::Data).collect();
+            let m_consumers: Vec<_> = df
+                .edges
+                .iter()
+                .filter(|e| e.src == m && e.kind == EdgeKind::Data)
+                .collect();
             if m_consumers.len() != 1 || m_consumers[0].dst != u {
                 continue;
             }
@@ -217,7 +226,11 @@ fn combine(u: &FusedPlan, v: &FusedPlan, v_port: u16) -> FusedPlan {
                 FusedInput::Step(k) => FusedInput::Step(k + u_steps),
             })
             .collect();
-        steps.push(FusedStep { op: s.op, ty: s.ty, inputs });
+        steps.push(FusedStep {
+            op: s.op,
+            ty: s.ty,
+            inputs,
+        });
     }
     FusedPlan { arity: next, steps }
 }
@@ -270,9 +283,15 @@ pub fn fuse_dataflow(df: &mut Dataflow, max_delay_ns: f64, max_ops: usize) -> Pa
     delta
 }
 
-fn find_candidate(df: &Dataflow, max_delay_ns: f64, max_ops: usize) -> Option<(NodeId, NodeId, u16)> {
+fn find_candidate(
+    df: &Dataflow,
+    max_delay_ns: f64,
+    max_ops: usize,
+) -> Option<(NodeId, NodeId, u16)> {
     for u in df.node_ids() {
-        let Some(u_plan) = plan_of(df.node(u)) else { continue };
+        let Some(u_plan) = plan_of(df.node(u)) else {
+            continue;
+        };
         // u must have exactly one outgoing edge, a Data edge.
         let outs: Vec<usize> = df
             .edges
@@ -289,7 +308,9 @@ fn find_candidate(df: &Dataflow, max_delay_ns: f64, max_ops: usize) -> Option<(N
             continue;
         }
         let v = e.dst;
-        let Some(v_plan) = plan_of(df.node(v)) else { continue };
+        let Some(v_plan) = plan_of(df.node(v)) else {
+            continue;
+        };
         if u_plan.steps.len() + v_plan.steps.len() > max_ops {
             continue;
         }
@@ -389,8 +410,11 @@ mod tests {
         let delta = fuse_dataflow(&mut df, hw::BASELINE_PERIOD_NS, 16);
         assert!(delta.nodes >= 2);
         assert_eq!(df.nodes.len(), before - 1);
-        let fused: Vec<&Node> =
-            df.nodes.iter().filter(|n| matches!(n.kind, NodeKind::Fused(_))).collect();
+        let fused: Vec<&Node> = df
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Fused(_)))
+            .collect();
         assert_eq!(fused.len(), 1);
         if let NodeKind::Fused(plan) = &fused[0].kind {
             assert_eq!(plan.op_count(), 2);
@@ -413,9 +437,21 @@ mod tests {
     fn fanout_blocks_fusion() {
         let mut df = Dataflow::new();
         let a = df.add_node(Node::new("a", NodeKind::Input { index: 0 }, Type::I64));
-        let x = df.add_node(Node::new("x", NodeKind::Compute(OpKind::Bin(BinOp::And)), Type::I64));
-        let y = df.add_node(Node::new("y", NodeKind::Compute(OpKind::Bin(BinOp::Or)), Type::I64));
-        let z = df.add_node(Node::new("z", NodeKind::Compute(OpKind::Bin(BinOp::Xor)), Type::I64));
+        let x = df.add_node(Node::new(
+            "x",
+            NodeKind::Compute(OpKind::Bin(BinOp::And)),
+            Type::I64,
+        ));
+        let y = df.add_node(Node::new(
+            "y",
+            NodeKind::Compute(OpKind::Bin(BinOp::Or)),
+            Type::I64,
+        ));
+        let z = df.add_node(Node::new(
+            "z",
+            NodeKind::Compute(OpKind::Bin(BinOp::Xor)),
+            Type::I64,
+        ));
         let out = df.add_node(Node::new("out", NodeKind::Output, Type::I64));
         df.connect(a, 0, x, 0);
         df.connect(a, 0, x, 1);
@@ -456,7 +492,11 @@ mod tests {
         let mut df = Dataflow::new();
         let a = df.add_node(Node::new("a", NodeKind::Input { index: 0 }, Type::I64));
         let b = df.add_node(Node::new("b", NodeKind::Const(ConstVal::Int(1)), Type::I64));
-        let c = df.add_node(Node::new("c", NodeKind::Compute(OpKind::Bin(BinOp::Add)), Type::I64));
+        let c = df.add_node(Node::new(
+            "c",
+            NodeKind::Compute(OpKind::Bin(BinOp::Add)),
+            Type::I64,
+        ));
         df.connect(a, 0, c, 0);
         df.connect(b, 0, c, 1);
         // Remove a dangling node before c.
@@ -476,7 +516,11 @@ mod tests {
     fn dead_elimination_removes_unused_chains() {
         let mut df = Dataflow::new();
         let a = df.add_node(Node::new("a", NodeKind::Input { index: 0 }, Type::I64));
-        let x = df.add_node(Node::new("x", NodeKind::Compute(OpKind::Bin(BinOp::And)), Type::I64));
+        let x = df.add_node(Node::new(
+            "x",
+            NodeKind::Compute(OpKind::Bin(BinOp::And)),
+            Type::I64,
+        ));
         df.connect(a, 0, x, 0);
         df.connect(a, 0, x, 1);
         let _out = df.add_node(Node::new("out", NodeKind::Output, Type::I64));

@@ -44,7 +44,10 @@ pub struct PassDelta {
 impl PassDelta {
     /// Element-wise sum.
     pub fn merge(self, other: PassDelta) -> PassDelta {
-        PassDelta { nodes: self.nodes + other.nodes, edges: self.edges + other.edges }
+        PassDelta {
+            nodes: self.nodes + other.nodes,
+            edges: self.edges + other.edges,
+        }
     }
 }
 
@@ -89,7 +92,9 @@ pub struct PassReport {
 impl PassReport {
     /// Total delta across all passes.
     pub fn total(&self) -> PassDelta {
-        self.deltas.iter().fold(PassDelta::default(), |a, (_, d)| a.merge(*d))
+        self.deltas
+            .iter()
+            .fold(PassDelta::default(), |a, (_, d)| a.merge(*d))
     }
 }
 
@@ -137,7 +142,9 @@ impl PassManager {
 impl fmt::Debug for PassManager {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let names: Vec<&str> = self.passes.iter().map(|p| p.name()).collect();
-        f.debug_struct("PassManager").field("passes", &names).finish()
+        f.debug_struct("PassManager")
+            .field("passes", &names)
+            .finish()
     }
 }
 
@@ -165,7 +172,9 @@ mod tests {
         }
         fn run(&self, acc: &mut Accelerator) -> Result<PassDelta, PassError> {
             // Add a second Output node: invalid.
-            acc.tasks[0].dataflow.add_node(Node::new("bad", NodeKind::Output, Type::BOOL));
+            acc.tasks[0]
+                .dataflow
+                .add_node(Node::new("bad", NodeKind::Output, Type::BOOL));
             Ok(PassDelta::default())
         }
     }
@@ -173,7 +182,8 @@ mod tests {
     fn tiny_acc() -> Accelerator {
         let mut acc = Accelerator::new("t");
         let mut task = TaskBlock::new("main", TaskKind::Region);
-        task.dataflow.add_node(Node::new("out", NodeKind::Output, Type::BOOL));
+        task.dataflow
+            .add_node(Node::new("out", NodeKind::Output, Type::BOOL));
         let tid = acc.add_task(task);
         acc.root = tid;
         acc

@@ -46,8 +46,10 @@ impl Pass for LowerTensors {
         // front-end reserves parents first), so decreasing order processes
         // callees before their call sites.
         for t in (0..n).rev() {
-            let d = expand_task(acc, t, &mut remaps)
-                .map_err(|m| PassError { pass: "lower-tensors".into(), message: m })?;
+            let d = expand_task(acc, t, &mut remaps).map_err(|m| PassError {
+                pass: "lower-tensors".into(),
+                message: m,
+            })?;
             delta = delta.merge(d);
         }
         Ok(delta)
@@ -146,16 +148,17 @@ fn expand_task(
         let on = NodeId(oi as u32);
         let node = old.node(on).clone();
         let ins = in_edges_sorted(old, on);
-        let get_lanes = |lanes: &HashMap<(NodeId, u16), Vec<Lane>>, port: u16| -> Result<Vec<Lane>, String> {
-            let e = ins
-                .iter()
-                .find(|e| e.dst_port == port)
-                .ok_or_else(|| format!("missing input port {port} on {on}"))?;
-            lanes
-                .get(&(e.src, e.src_port))
-                .cloned()
-                .ok_or_else(|| format!("unlowered operand of {on}"))
-        };
+        let get_lanes =
+            |lanes: &HashMap<(NodeId, u16), Vec<Lane>>, port: u16| -> Result<Vec<Lane>, String> {
+                let e = ins
+                    .iter()
+                    .find(|e| e.dst_port == port)
+                    .ok_or_else(|| format!("missing input port {port} on {on}"))?;
+                lanes
+                    .get(&(e.src, e.src_port))
+                    .cloned()
+                    .ok_or_else(|| format!("unlowered operand of {on}"))
+            };
         let mut new_primary: Vec<NodeId> = Vec::new();
         match &node.kind {
             NodeKind::Input { index } => {
@@ -225,10 +228,18 @@ fn expand_task(
                 lanes.insert((on, 0), vec![(nn, 0)]);
                 new_primary.push(nn);
             }
-            NodeKind::Load { obj, junction, predicated } => {
+            NodeKind::Load {
+                obj,
+                junction,
+                predicated,
+            } => {
                 let nl = lanes_of(node.ty);
                 let addr = get_lanes(&lanes, 0)?[0];
-                let pred = if *predicated { Some(get_lanes(&lanes, 1)?[0]) } else { None };
+                let pred = if *predicated {
+                    Some(get_lanes(&lanes, 1)?[0])
+                } else {
+                    None
+                };
                 let mut lv = Vec::new();
                 for k in 0..nl {
                     let a = if k == 0 {
@@ -251,7 +262,11 @@ fn expand_task(
                     };
                     let ld = df.add_node(Node::new(
                         format!("{}_{k}", node.name),
-                        NodeKind::Load { obj: *obj, junction: *junction, predicated: *predicated },
+                        NodeKind::Load {
+                            obj: *obj,
+                            junction: *junction,
+                            predicated: *predicated,
+                        },
                         elem_ty(node.ty),
                     ));
                     df.connect(a.0, a.1, ld, 0);
@@ -268,11 +283,19 @@ fn expand_task(
                 }
                 lanes.insert((on, 0), lv);
             }
-            NodeKind::Store { obj, junction, predicated } => {
+            NodeKind::Store {
+                obj,
+                junction,
+                predicated,
+            } => {
                 let nl = lanes_of(node.ty);
                 let addr = get_lanes(&lanes, 0)?[0];
                 let vals = get_lanes(&lanes, 1)?;
-                let pred = if *predicated { Some(get_lanes(&lanes, 2)?[0]) } else { None };
+                let pred = if *predicated {
+                    Some(get_lanes(&lanes, 2)?[0])
+                } else {
+                    None
+                };
                 if vals.len() != nl {
                     return Err(format!("store value lanes {} != {nl}", vals.len()));
                 }
@@ -297,7 +320,11 @@ fn expand_task(
                     };
                     let st = df.add_node(Node::new(
                         format!("{}_{k}", node.name),
-                        NodeKind::Store { obj: *obj, junction: *junction, predicated: *predicated },
+                        NodeKind::Store {
+                            obj: *obj,
+                            junction: *junction,
+                            predicated: *predicated,
+                        },
                         elem_ty(node.ty),
                     ));
                     df.connect(a.0, a.1, st, 0);
@@ -313,12 +340,20 @@ fn expand_task(
                     delta.edges += 2 * nl;
                 }
             }
-            NodeKind::TaskCall { callee, predicated, spawn } => {
+            NodeKind::TaskCall {
+                callee,
+                predicated,
+                spawn,
+            } => {
                 let cr = remaps[callee.0 as usize].clone();
                 let new_nargs: u32 = cr.arg_map.iter().map(|v| v.len() as u32).sum();
                 let nn = df.add_node(Node::new(
                     node.name.clone(),
-                    NodeKind::TaskCall { callee: *callee, predicated: *predicated, spawn: *spawn },
+                    NodeKind::TaskCall {
+                        callee: *callee,
+                        predicated: *predicated,
+                        spawn: *spawn,
+                    },
                     elem_ty(node.ty),
                 ));
                 // Arguments.
@@ -431,7 +466,10 @@ fn expand_task(
     task.num_args = next_arg;
     task.num_results = new_num_results;
     task.loop_result_inits = inits;
-    remaps[t] = TaskRemap { arg_map, result_map };
+    remaps[t] = TaskRemap {
+        arg_map,
+        result_map,
+    };
     Ok(delta)
 }
 
@@ -469,10 +507,18 @@ fn emit_compute(
         OpKind::Tensor(TensorOp::Add, _) | OpKind::Tensor(TensorOp::Mul, _) => {
             let a = fetch(0)?;
             let b = fetch(1)?;
-            let o = if matches!(op, OpKind::Tensor(TensorOp::Add, _)) { add_op } else { mul_op };
+            let o = if matches!(op, OpKind::Tensor(TensorOp::Add, _)) {
+                add_op
+            } else {
+                mul_op
+            };
             let mut out = Vec::new();
             for k in 0..a.len() {
-                let n = df.add_node(Node::new(format!("{}_{k}", node.name), NodeKind::Compute(o), ety));
+                let n = df.add_node(Node::new(
+                    format!("{}_{k}", node.name),
+                    NodeKind::Compute(o),
+                    ety,
+                ));
                 df.connect(a[k].0, a[k].1, n, 0);
                 df.connect(b[k].0, b[k].1, n, 1);
                 out.push((n, 0));
@@ -572,9 +618,7 @@ fn emit_compute(
         _ => {
             let nn = df.add_node(node.clone());
             for e in ins {
-                let l = lanes
-                    .get(&(e.src, e.src_port))
-                    .ok_or("unlowered operand")?;
+                let l = lanes.get(&(e.src, e.src_port)).ok_or("unlowered operand")?;
                 df.connect(l[0].0, l[0].1, nn, e.dst_port);
             }
             Ok(vec![(nn, 0)])
@@ -628,8 +672,10 @@ mod tests {
         // tile-shaped, the scalar variant's are not.
         let mut acc = translate(&w.module, &FrontendConfig::default()).unwrap();
         let mut lowered = acc.clone();
-        let report =
-            PassManager::new().with(LowerTensors).run(&mut lowered).unwrap();
+        let report = PassManager::new()
+            .with(LowerTensors)
+            .run(&mut lowered)
+            .unwrap();
         PassManager::new()
             .with(crate::passes::MemoryLocalization::default())
             .run(&mut acc)
@@ -643,14 +689,21 @@ mod tests {
         // No tensor-typed nodes remain.
         for t in &lowered.tasks {
             for n in &t.dataflow.nodes {
-                assert!(!n.ty.is_composite(), "{name}: {} still tensor-typed", n.name);
+                assert!(
+                    !n.ty.is_composite(),
+                    "{name}: {} still tensor-typed",
+                    n.name
+                );
             }
         }
         // Functional equivalence of both variants.
         let ref_mem = w.run_reference().unwrap();
         let mut m1 = w.fresh_memory();
         let r1 = simulate(&acc, &mut m1, &[], &SimConfig::default()).unwrap();
-        assert!(w.outputs_match(&ref_mem, &m1), "{name}: native tensor sim wrong");
+        assert!(
+            w.outputs_match(&ref_mem, &m1),
+            "{name}: native tensor sim wrong"
+        );
         let mut m2: Memory = w.fresh_memory();
         let r2 = simulate(&lowered, &mut m2, &[], &SimConfig::default()).unwrap();
         assert!(w.outputs_match(&ref_mem, &m2), "{name}: lowered sim wrong");

@@ -29,7 +29,10 @@ pub struct TaskQueueing {
 impl TaskQueueing {
     /// Decouple all connections with the given depth.
     pub fn all(depth: u32) -> TaskQueueing {
-        TaskQueueing { depth, min_child_depth: 0 }
+        TaskQueueing {
+            depth,
+            min_child_depth: 0,
+        }
     }
 }
 
@@ -46,8 +49,7 @@ impl Pass for TaskQueueing {
             .map(|t| muir_core::stats::pipeline_depth(&t.dataflow))
             .collect();
         for c in &mut acc.task_conns {
-            if depths[c.child.0 as usize] >= self.min_child_depth && c.queue_depth != self.depth
-            {
+            if depths[c.child.0 as usize] >= self.min_child_depth && c.queue_depth != self.depth {
                 c.queue_depth = self.depth;
                 delta.edges += 1;
             }
@@ -96,9 +98,7 @@ impl TaskFilter {
                 }
                 false
             }
-            TaskFilter::LeafLoops => {
-                acc.task(t).kind.is_loop() && acc.children(t).is_empty()
-            }
+            TaskFilter::LeafLoops => acc.task(t).kind.is_loop() && acc.children(t).is_empty(),
             TaskFilter::AllChildren => t != acc.root,
             TaskFilter::Named(s) => acc.task(t).name.contains(s.as_str()),
         }
@@ -119,7 +119,10 @@ pub struct ExecutionTiling {
 impl ExecutionTiling {
     /// Tile the spawned (Cilk) task blocks.
     pub fn spawned(tiles: u32) -> ExecutionTiling {
-        ExecutionTiling { tiles, filter: TaskFilter::Spawned }
+        ExecutionTiling {
+            tiles,
+            filter: TaskFilter::Spawned,
+        }
     }
 }
 
@@ -130,8 +133,10 @@ impl Pass for ExecutionTiling {
 
     fn run(&self, acc: &mut Accelerator) -> Result<PassDelta, PassError> {
         let mut delta = PassDelta::default();
-        let targets: Vec<TaskId> =
-            acc.task_ids().filter(|&t| self.filter.matches(acc, t)).collect();
+        let targets: Vec<TaskId> = acc
+            .task_ids()
+            .filter(|&t| self.filter.matches(acc, t))
+            .collect();
         for t in targets {
             let task = acc.task_mut(t);
             if task.tiles == self.tiles {
@@ -213,7 +218,9 @@ impl Pass for MemoryLocalization {
         }
 
         for (obj, accessors) in groups {
-            let Some(home) = acc.structure_for(obj) else { continue };
+            let Some(home) = acc.structure_for(obj) else {
+                continue;
+            };
             let shared = acc.structure(home).objects.len() > 1
                 || matches!(acc.structure(home).kind, StructureKind::Cache { .. });
             if !shared {
@@ -226,7 +233,12 @@ impl Pass for MemoryLocalization {
             // Transformation: new RAM with parameters from the group.
             let name = format!("spad_{}", obj.0);
             let mut spad = Structure::scratchpad(name, len);
-            if let StructureKind::Scratchpad { shape, ports_per_bank, .. } = &mut spad.kind {
+            if let StructureKind::Scratchpad {
+                shape,
+                ports_per_bank,
+                ..
+            } = &mut spad.kind
+            {
                 *shape = shapes.get(&obj).copied().flatten();
                 // A typed scratchpad supplies a whole tile per access.
                 if shape.is_some() {
@@ -297,7 +309,9 @@ impl Pass for ScratchpadBanking {
     }
 
     fn run(&self, acc: &mut Accelerator) -> Result<PassDelta, PassError> {
-        bank_structures(acc, self.banks, |k| matches!(k, StructureKind::Scratchpad { .. }))
+        bank_structures(acc, self.banks, |k| {
+            matches!(k, StructureKind::Scratchpad { .. })
+        })
     }
 }
 
@@ -315,7 +329,9 @@ impl Pass for CacheBanking {
     }
 
     fn run(&self, acc: &mut Accelerator) -> Result<PassDelta, PassError> {
-        bank_structures(acc, self.banks, |k| matches!(k, StructureKind::Cache { .. }))
+        bank_structures(acc, self.banks, |k| {
+            matches!(k, StructureKind::Cache { .. })
+        })
     }
 }
 
@@ -407,7 +423,10 @@ mod tests {
     fn queueing_widens_connections() {
         let m = cilk_module();
         let mut acc = translate(&m, &FrontendConfig::default()).unwrap();
-        let r = PassManager::new().with(TaskQueueing::all(8)).run(&mut acc).unwrap();
+        let r = PassManager::new()
+            .with(TaskQueueing::all(8))
+            .run(&mut acc)
+            .unwrap();
         assert!(r.total().edges >= 2);
         assert!(acc.task_conns.iter().all(|c| c.queue_depth == 8));
     }
@@ -416,7 +435,10 @@ mod tests {
     fn tiling_targets_spawned_tasks() {
         let m = cilk_module();
         let mut acc = translate(&m, &FrontendConfig::default()).unwrap();
-        let r = PassManager::new().with(ExecutionTiling::spawned(4)).run(&mut acc).unwrap();
+        let r = PassManager::new()
+            .with(ExecutionTiling::spawned(4))
+            .run(&mut acc)
+            .unwrap();
         // Exactly one spawned task in this program.
         assert_eq!(r.total(), PassDelta { nodes: 1, edges: 4 });
         let tiled: Vec<u32> = acc.tasks.iter().map(|t| t.tiles).collect();
@@ -429,7 +451,10 @@ mod tests {
         let m = cilk_module();
         let mut acc = translate(&m, &FrontendConfig::default()).unwrap();
         let before = acc.structures.len();
-        PassManager::new().with(MemoryLocalization::default()).run(&mut acc).unwrap();
+        PassManager::new()
+            .with(MemoryLocalization::default())
+            .run(&mut acc)
+            .unwrap();
         // `big` (cache-homed) gets its own scratchpad; `a` already owns the
         // shared scratchpad alone and stays put.
         assert_eq!(acc.structures.len(), before + 1);
@@ -450,7 +475,10 @@ mod tests {
     fn banking_sets_banks_and_widens_junctions() {
         let m = cilk_module();
         let mut acc = translate(&m, &FrontendConfig::default()).unwrap();
-        PassManager::new().with(ScratchpadBanking { banks: 4 }).run(&mut acc).unwrap();
+        PassManager::new()
+            .with(ScratchpadBanking { banks: 4 })
+            .run(&mut acc)
+            .unwrap();
         let spad_banks: Vec<u32> = acc
             .structures
             .iter()
@@ -461,9 +489,11 @@ mod tests {
             .collect();
         assert!(spad_banks.iter().all(|&b| b == 4));
         // Junctions to the scratchpad widened.
-        let widened = acc.tasks.iter().flat_map(|t| t.dataflow.junctions.iter()).any(|j| {
-            j.read_ports >= 4
-        });
+        let widened = acc
+            .tasks
+            .iter()
+            .flat_map(|t| t.dataflow.junctions.iter())
+            .any(|j| j.read_ports >= 4);
         assert!(widened);
     }
 
@@ -471,7 +501,10 @@ mod tests {
     fn cache_banking_only_touches_caches() {
         let m = cilk_module();
         let mut acc = translate(&m, &FrontendConfig::default()).unwrap();
-        PassManager::new().with(CacheBanking { banks: 2 }).run(&mut acc).unwrap();
+        PassManager::new()
+            .with(CacheBanking { banks: 2 })
+            .run(&mut acc)
+            .unwrap();
         for s in &acc.structures {
             match s.kind {
                 StructureKind::Cache { banks, .. } => assert_eq!(banks, 2),

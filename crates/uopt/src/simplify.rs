@@ -69,8 +69,7 @@ pub fn simplify_dataflow(df: &mut Dataflow) -> PassDelta {
                 .filter(|e| e.dst == n && e.kind == EdgeKind::Data)
                 .collect::<Vec<_>>();
             ins.sort_by_key(|e| e.dst_port);
-            let vals: Option<Vec<Value>> =
-                ins.iter().map(|e| const_of(df.node(e.src))).collect();
+            let vals: Option<Vec<Value>> = ins.iter().map(|e| const_of(df.node(e.src))).collect();
             let Some(vals) = vals else { continue };
             if vals.len() != op.arity() {
                 continue;
@@ -91,12 +90,15 @@ pub fn simplify_dataflow(df: &mut Dataflow) -> PassDelta {
                 }
                 OpKind::Cast(_) | OpKind::Tensor(..) => continue,
             };
-            let Some(c) = value_to_const(&result) else { continue };
+            let Some(c) = value_to_const(&result) else {
+                continue;
+            };
             // Replace the node with a constant; its input edges die.
             let name = format!("fold_{}", df.node(n).name);
             let ty = df.node(n).ty;
             df.nodes[n.0 as usize] = Node::new(name, NodeKind::Const(c), ty);
-            df.edges.retain(|e| !(e.dst == n && e.kind == EdgeKind::Data));
+            df.edges
+                .retain(|e| !(e.dst == n && e.kind == EdgeKind::Data));
             delta.nodes += 1;
             delta.edges += vals.len();
             folded = true;
@@ -134,7 +136,11 @@ mod tests {
     use muir_mir::instr::BinOp;
 
     fn const_node(df: &mut Dataflow, v: i64) -> NodeId {
-        df.add_node(Node::new(format!("c{v}"), NodeKind::Const(ConstVal::Int(v)), Type::I64))
+        df.add_node(Node::new(
+            format!("c{v}"),
+            NodeKind::Const(ConstVal::Int(v)),
+            Type::I64,
+        ))
     }
 
     #[test]
@@ -142,8 +148,11 @@ mod tests {
         let mut df = Dataflow::new();
         let a = const_node(&mut df, 6);
         let b = const_node(&mut df, 7);
-        let mul =
-            df.add_node(Node::new("mul", NodeKind::Compute(OpKind::Bin(BinOp::Mul)), Type::I64));
+        let mul = df.add_node(Node::new(
+            "mul",
+            NodeKind::Compute(OpKind::Bin(BinOp::Mul)),
+            Type::I64,
+        ));
         let out = df.add_node(Node::new("out", NodeKind::Output, Type::I64));
         df.connect(a, 0, mul, 0);
         df.connect(b, 0, mul, 1);
@@ -170,10 +179,16 @@ mod tests {
         let a = const_node(&mut df, 2);
         let b = const_node(&mut df, 3);
         let c = const_node(&mut df, 4);
-        let add =
-            df.add_node(Node::new("add", NodeKind::Compute(OpKind::Bin(BinOp::Add)), Type::I64));
-        let mul =
-            df.add_node(Node::new("mul", NodeKind::Compute(OpKind::Bin(BinOp::Mul)), Type::I64));
+        let add = df.add_node(Node::new(
+            "add",
+            NodeKind::Compute(OpKind::Bin(BinOp::Add)),
+            Type::I64,
+        ));
+        let mul = df.add_node(Node::new(
+            "mul",
+            NodeKind::Compute(OpKind::Bin(BinOp::Mul)),
+            Type::I64,
+        ));
         let out = df.add_node(Node::new("out", NodeKind::Output, Type::I64));
         df.connect(a, 0, add, 0);
         df.connect(b, 0, add, 1);
@@ -197,8 +212,11 @@ mod tests {
         let mut df = Dataflow::new();
         let a = const_node(&mut df, 1);
         let b = const_node(&mut df, 0);
-        let div =
-            df.add_node(Node::new("div", NodeKind::Compute(OpKind::Bin(BinOp::Div)), Type::I64));
+        let div = df.add_node(Node::new(
+            "div",
+            NodeKind::Compute(OpKind::Bin(BinOp::Div)),
+            Type::I64,
+        ));
         let out = df.add_node(Node::new("out", NodeKind::Output, Type::I64));
         df.connect(a, 0, div, 0);
         df.connect(b, 0, div, 1);
@@ -215,8 +233,11 @@ mod tests {
         let mut df = Dataflow::new();
         let inp = df.add_node(Node::new("in", NodeKind::Input { index: 0 }, Type::I64));
         let b = const_node(&mut df, 3);
-        let add =
-            df.add_node(Node::new("add", NodeKind::Compute(OpKind::Bin(BinOp::Add)), Type::I64));
+        let add = df.add_node(Node::new(
+            "add",
+            NodeKind::Compute(OpKind::Bin(BinOp::Add)),
+            Type::I64,
+        ));
         let out = df.add_node(Node::new("out", NodeKind::Output, Type::I64));
         df.connect(inp, 0, add, 0);
         df.connect(b, 0, add, 1);
@@ -312,9 +333,21 @@ mod cse_tests {
         let mut df = Dataflow::new();
         let x = df.add_node(Node::new("x", NodeKind::Input { index: 0 }, Type::I64));
         let y = df.add_node(Node::new("y", NodeKind::Input { index: 1 }, Type::I64));
-        let a1 = df.add_node(Node::new("a1", NodeKind::Compute(OpKind::Bin(BinOp::Add)), Type::I64));
-        let a2 = df.add_node(Node::new("a2", NodeKind::Compute(OpKind::Bin(BinOp::Add)), Type::I64));
-        let m = df.add_node(Node::new("m", NodeKind::Compute(OpKind::Bin(BinOp::Mul)), Type::I64));
+        let a1 = df.add_node(Node::new(
+            "a1",
+            NodeKind::Compute(OpKind::Bin(BinOp::Add)),
+            Type::I64,
+        ));
+        let a2 = df.add_node(Node::new(
+            "a2",
+            NodeKind::Compute(OpKind::Bin(BinOp::Add)),
+            Type::I64,
+        ));
+        let m = df.add_node(Node::new(
+            "m",
+            NodeKind::Compute(OpKind::Bin(BinOp::Mul)),
+            Type::I64,
+        ));
         let out = df.add_node(Node::new("out", NodeKind::Output, Type::I64));
         df.connect(x, 0, a1, 0);
         df.connect(y, 0, a1, 1);
@@ -340,8 +373,16 @@ mod cse_tests {
         let mut df = Dataflow::new();
         let x = df.add_node(Node::new("x", NodeKind::Input { index: 0 }, Type::I64));
         let y = df.add_node(Node::new("y", NodeKind::Input { index: 1 }, Type::I64));
-        let a1 = df.add_node(Node::new("a1", NodeKind::Compute(OpKind::Bin(BinOp::Add)), Type::I64));
-        let a2 = df.add_node(Node::new("a2", NodeKind::Compute(OpKind::Bin(BinOp::Add)), Type::I64));
+        let a1 = df.add_node(Node::new(
+            "a1",
+            NodeKind::Compute(OpKind::Bin(BinOp::Add)),
+            Type::I64,
+        ));
+        let a2 = df.add_node(Node::new(
+            "a2",
+            NodeKind::Compute(OpKind::Bin(BinOp::Add)),
+            Type::I64,
+        ));
         let out = df.add_node(Node::new("out", NodeKind::Output, Type::I64));
         df.connect(x, 0, a1, 0);
         df.connect(y, 0, a1, 1);

@@ -115,7 +115,10 @@ pub fn mergesort() -> Workload {
                     let left_has = b.icmp(CmpPred::Lt, i, width);
                     let right_has = b.icmp(CmpPred::Lt, j, width);
                     let a_le_b = b.icmp(CmpPred::Le, av, bv);
-                    let no_right = b.xor(right_has, ValueRef::Const(muir_mir::instr::ConstVal::Bool(true)));
+                    let no_right = b.xor(
+                        right_has,
+                        ValueRef::Const(muir_mir::instr::ConstVal::Bool(true)),
+                    );
                     let pick_cmp = b.and(a_le_b, left_has);
                     let pick_left0 = b.or(pick_cmp, no_right);
                     let pick_left = b.and(pick_left0, left_has);
@@ -292,7 +295,9 @@ mod tests {
         let w = fib();
         let mem = w.run_reference().unwrap();
         let out = mem.read_i64(w.outputs[0]);
-        let InitData::I64(depths) = &w.inits[0].1 else { panic!() };
+        let InitData::I64(depths) = &w.inits[0].1 else {
+            panic!()
+        };
         for (k, &d) in depths.iter().enumerate() {
             let expect = if d <= 1 { 1 } else { 2 * d - 3 };
             assert_eq!(out[k], expect, "node {k} depth {d}");
@@ -304,7 +309,9 @@ mod tests {
         let w = mergesort();
         let mem = w.run_reference().unwrap();
         let out = mem.read_i64(w.outputs[0]);
-        let InitData::I64(init) = &w.inits[0].1 else { panic!() };
+        let InitData::I64(init) = &w.inits[0].1 else {
+            panic!()
+        };
         let mut expect = init.clone();
         expect.sort_unstable();
         assert_eq!(out, expect);
@@ -314,8 +321,12 @@ mod tests {
     fn saxpy_matches_native() {
         let w = saxpy();
         let mem = w.run_reference().unwrap();
-        let InitData::F32(x) = &w.inits[0].1 else { panic!() };
-        let InitData::F32(y) = &w.inits[1].1 else { panic!() };
+        let InitData::F32(x) = &w.inits[0].1 else {
+            panic!()
+        };
+        let InitData::F32(y) = &w.inits[1].1 else {
+            panic!()
+        };
         let out = mem.read_f32(w.outputs[0]);
         for k in 0..x.len() {
             let e = 2.5 * x[k] + y[k];
@@ -327,7 +338,9 @@ mod tests {
     fn stencil_matches_native() {
         let w = stencil();
         let mem = w.run_reference().unwrap();
-        let InitData::F32(input) = &w.inits[0].1 else { panic!() };
+        let InitData::F32(input) = &w.inits[0].1 else {
+            panic!()
+        };
         let out = mem.read_f32(w.outputs[0]);
         for i in 0..32usize {
             for j in 0..32usize {
@@ -348,7 +361,9 @@ mod tests {
     fn img_scale_matches_native() {
         let w = img_scale();
         let mem = w.run_reference().unwrap();
-        let InitData::F32(input) = &w.inits[0].1 else { panic!() };
+        let InitData::F32(input) = &w.inits[0].1 else {
+            panic!()
+        };
         let out = mem.read_f32(w.outputs[0]);
         for i in 0..32usize {
             for j in 0..32usize {

@@ -63,7 +63,10 @@ pub fn mm2_tensor() -> Workload {
             let j4 = b.mul(j, ValueRef::int(4));
             let coff = b.add(irow, j4);
             let init = b.load_tile(c, coff, SHAPE);
-            let tty = Type::Tensor { elem: ScalarType::F32, shape: SHAPE };
+            let tty = Type::Tensor {
+                elem: ScalarType::F32,
+                shape: SHAPE,
+            };
             let acc = b.for_loop_acc(
                 ValueRef::int(0),
                 ValueRef::int(NT),
@@ -282,7 +285,9 @@ mod tests {
     fn relu_tensor_matches_native() {
         let w = relu_tensor();
         let mem = w.run_reference().unwrap();
-        let InitData::F32(input) = &w.inits[0].1 else { panic!() };
+        let InitData::F32(input) = &w.inits[0].1 else {
+            panic!()
+        };
         let expect: Vec<f32> = input.iter().map(|x| x.max(0.0)).collect();
         f32_close(&mem.read_f32(w.outputs[0]), &expect);
     }
@@ -291,8 +296,12 @@ mod tests {
     fn mm2_tensor_matches_native() {
         let w = mm2_tensor();
         let mem = w.run_reference().unwrap();
-        let InitData::F32(a) = &w.inits[0].1 else { panic!() };
-        let InitData::F32(b) = &w.inits[1].1 else { panic!() };
+        let InitData::F32(a) = &w.inits[0].1 else {
+            panic!()
+        };
+        let InitData::F32(b) = &w.inits[1].1 else {
+            panic!()
+        };
         f32_close(&mem.read_f32(w.outputs[0]), &mm2_tensor_reference(a, b, 8));
     }
 
@@ -300,8 +309,12 @@ mod tests {
     fn conv_tensor_matches_native() {
         let w = conv_tensor();
         let mem = w.run_reference().unwrap();
-        let InitData::F32(input) = &w.inits[0].1 else { panic!() };
-        let InitData::F32(wt) = &w.inits[1].1 else { panic!() };
+        let InitData::F32(input) = &w.inits[0].1 else {
+            panic!()
+        };
+        let InitData::F32(wt) = &w.inits[1].1 else {
+            panic!()
+        };
         let out = mem.read_f32(w.outputs[0]);
         for t in 0..144usize {
             let mut e = 0.0f32;
@@ -316,16 +329,31 @@ mod tests {
     fn rgb2yuv_matches_native() {
         let w = rgb2yuv();
         let mem = w.run_reference().unwrap();
-        let InitData::I64(r) = &w.inits[0].1 else { panic!() };
-        let InitData::I64(g) = &w.inits[1].1 else { panic!() };
-        let InitData::I64(bl) = &w.inits[2].1 else { panic!() };
+        let InitData::I64(r) = &w.inits[0].1 else {
+            panic!()
+        };
+        let InitData::I64(g) = &w.inits[1].1 else {
+            panic!()
+        };
+        let InitData::I64(bl) = &w.inits[2].1 else {
+            panic!()
+        };
         let y = mem.read_i64(w.outputs[0]);
         let u = mem.read_i64(w.outputs[1]);
         let v = mem.read_i64(w.outputs[2]);
         for k in 0..r.len() {
-            assert_eq!(y[k], ((66 * r[k] + 129 * g[k] + 25 * bl[k] + 128) >> 8) + 16);
-            assert_eq!(u[k], ((-38 * r[k] - 74 * g[k] + 112 * bl[k] + 128) >> 8) + 128);
-            assert_eq!(v[k], ((112 * r[k] - 94 * g[k] - 18 * bl[k] + 128) >> 8) + 128);
+            assert_eq!(
+                y[k],
+                ((66 * r[k] + 129 * g[k] + 25 * bl[k] + 128) >> 8) + 16
+            );
+            assert_eq!(
+                u[k],
+                ((-38 * r[k] - 74 * g[k] + 112 * bl[k] + 128) >> 8) + 128
+            );
+            assert_eq!(
+                v[k],
+                ((112 * r[k] - 94 * g[k] - 18 * bl[k] + 128) >> 8) + 128
+            );
         }
     }
 
@@ -333,7 +361,9 @@ mod tests {
     fn relu_scalar_matches_native() {
         let w = relu_scalar();
         let mem = w.run_reference().unwrap();
-        let InitData::F32(input) = &w.inits[0].1 else { panic!() };
+        let InitData::F32(input) = &w.inits[0].1 else {
+            panic!()
+        };
         let expect: Vec<f32> = input.iter().map(|x| x.max(0.0)).collect();
         f32_close(&mem.read_f32(w.outputs[0]), &expect);
     }

@@ -201,9 +201,27 @@ mod tests {
         assert_eq!(ws.len(), 21);
         let names: Vec<&str> = ws.iter().map(|w| w.name).collect();
         for expect in [
-            "GEMM", "COVAR", "FFT", "SPMV", "2MM", "3MM", "FIB", "M-SORT", "SAXPY", "STENCIL",
-            "IMG-SCALE", "CONV", "DENSE8", "DENSE16", "SOFTM8", "SOFTM16", "RELU[T]", "2MM[T]",
-            "CONV[T]", "RGB2YUV", "RELU",
+            "GEMM",
+            "COVAR",
+            "FFT",
+            "SPMV",
+            "2MM",
+            "3MM",
+            "FIB",
+            "M-SORT",
+            "SAXPY",
+            "STENCIL",
+            "IMG-SCALE",
+            "CONV",
+            "DENSE8",
+            "DENSE16",
+            "SOFTM8",
+            "SOFTM16",
+            "RELU[T]",
+            "2MM[T]",
+            "CONV[T]",
+            "RGB2YUV",
+            "RELU",
         ] {
             assert!(names.contains(&expect), "missing {expect}");
         }
@@ -220,7 +238,8 @@ mod tests {
     #[test]
     fn all_references_run() {
         for w in all() {
-            w.run_reference().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            w.run_reference()
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
         }
     }
 

@@ -323,20 +323,28 @@ pub fn spmv() -> Workload {
         let lo = b.load(rowptr, i);
         let ip1 = b.add(i, ValueRef::int(1));
         let hi = b.load(rowptr, ip1);
-        let acc = b.for_loop_acc(lo, hi, 1, &[(ValueRef::f32(0.0), Type::F32)], |b, e, accs| {
-            let v = b.load(vals, e);
-            let cidx = b.load(cols, e);
-            let xv = b.load(x, cidx);
-            let p = b.fmul(v, xv);
-            vec![b.fadd(accs[0], p)]
-        });
+        let acc = b.for_loop_acc(
+            lo,
+            hi,
+            1,
+            &[(ValueRef::f32(0.0), Type::F32)],
+            |b, e, accs| {
+                let v = b.load(vals, e);
+                let cidx = b.load(cols, e);
+                let xv = b.load(x, cidx);
+                let p = b.fmul(v, xv);
+                vec![b.fadd(accs[0], p)]
+            },
+        );
         b.store(y, i, acc[0]);
     });
     b.ret(None);
     m.add_function(b.finish());
     let mut rng = Prng::new(19);
     let ivals = rng.f32_vec(NNZ as usize);
-    let icols: Vec<i64> = (0..NNZ).map(|_| rng.next_below(ROWS as u64) as i64).collect();
+    let icols: Vec<i64> = (0..NNZ)
+        .map(|_| rng.next_below(ROWS as u64) as i64)
+        .collect();
     let irowptr: Vec<i64> = (0..=ROWS).map(|r| r * NNZ_PER_ROW).collect();
     let ix = rng.f32_vec(ROWS as usize);
     Workload {
@@ -498,7 +506,9 @@ mod tests {
     fn covar_matches_native() {
         let w = covar();
         let mem = w.run_reference().unwrap();
-        let InitData::F32(data) = &w.inits[0].1 else { panic!() };
+        let InitData::F32(data) = &w.inits[0].1 else {
+            panic!()
+        };
         let expect = covar_reference(data, 24, 24);
         f32_close(&mem.read_f32(w.outputs[0]), &expect);
     }
@@ -519,10 +529,18 @@ mod tests {
     fn spmv_matches_native() {
         let w = spmv();
         let mem = w.run_reference().unwrap();
-        let InitData::F32(vals) = &w.inits[0].1 else { panic!() };
-        let InitData::I64(cols) = &w.inits[1].1 else { panic!() };
-        let InitData::I64(rowptr) = &w.inits[2].1 else { panic!() };
-        let InitData::F32(x) = &w.inits[3].1 else { panic!() };
+        let InitData::F32(vals) = &w.inits[0].1 else {
+            panic!()
+        };
+        let InitData::I64(cols) = &w.inits[1].1 else {
+            panic!()
+        };
+        let InitData::I64(rowptr) = &w.inits[2].1 else {
+            panic!()
+        };
+        let InitData::F32(x) = &w.inits[3].1 else {
+            panic!()
+        };
         let expect = spmv_reference(vals, cols, rowptr, x);
         f32_close(&mem.read_f32(w.outputs[0]), &expect);
     }
@@ -531,9 +549,15 @@ mod tests {
     fn mm2_matches_native() {
         let w = mm2();
         let mem = w.run_reference().unwrap();
-        let InitData::F32(a) = &w.inits[0].1 else { panic!() };
-        let InitData::F32(b) = &w.inits[1].1 else { panic!() };
-        let InitData::F32(c) = &w.inits[2].1 else { panic!() };
+        let InitData::F32(a) = &w.inits[0].1 else {
+            panic!()
+        };
+        let InitData::F32(b) = &w.inits[1].1 else {
+            panic!()
+        };
+        let InitData::F32(c) = &w.inits[2].1 else {
+            panic!()
+        };
         let tmp = gemm_reference(a, b, 24);
         let expect = gemm_reference(&tmp, c, 24);
         f32_close(&mem.read_f32(w.outputs[0]), &expect);
@@ -543,10 +567,18 @@ mod tests {
     fn mm3_matches_native() {
         let w = mm3();
         let mem = w.run_reference().unwrap();
-        let InitData::F32(a) = &w.inits[0].1 else { panic!() };
-        let InitData::F32(b) = &w.inits[1].1 else { panic!() };
-        let InitData::F32(c) = &w.inits[2].1 else { panic!() };
-        let InitData::F32(d) = &w.inits[3].1 else { panic!() };
+        let InitData::F32(a) = &w.inits[0].1 else {
+            panic!()
+        };
+        let InitData::F32(b) = &w.inits[1].1 else {
+            panic!()
+        };
+        let InitData::F32(c) = &w.inits[2].1 else {
+            panic!()
+        };
+        let InitData::F32(d) = &w.inits[3].1 else {
+            panic!()
+        };
         let e = gemm_reference(a, b, 20);
         let f = gemm_reference(c, d, 20);
         let expect = gemm_reference(&e, &f, 20);

@@ -226,9 +226,16 @@ mod tests {
     fn conv_matches_native() {
         let w = conv();
         let mem = w.run_reference().unwrap();
-        let InitData::F32(input) = &w.inits[0].1 else { panic!() };
-        let InitData::F32(k) = &w.inits[1].1 else { panic!() };
-        f32_close(&mem.read_f32(w.outputs[0]), &conv_reference(input, k, 28, 26));
+        let InitData::F32(input) = &w.inits[0].1 else {
+            panic!()
+        };
+        let InitData::F32(k) = &w.inits[1].1 else {
+            panic!()
+        };
+        f32_close(
+            &mem.read_f32(w.outputs[0]),
+            &conv_reference(input, k, 28, 26),
+        );
     }
 
     #[test]
@@ -236,9 +243,15 @@ mod tests {
         for units in [8usize, 16] {
             let w = dense(units as i64);
             let mem = w.run_reference().unwrap();
-            let InitData::F32(input) = &w.inits[0].1 else { panic!() };
-            let InitData::F32(wt) = &w.inits[1].1 else { panic!() };
-            let InitData::F32(bias) = &w.inits[2].1 else { panic!() };
+            let InitData::F32(input) = &w.inits[0].1 else {
+                panic!()
+            };
+            let InitData::F32(wt) = &w.inits[1].1 else {
+                panic!()
+            };
+            let InitData::F32(bias) = &w.inits[2].1 else {
+                panic!()
+            };
             f32_close(
                 &mem.read_f32(w.outputs[0]),
                 &dense_reference(input, wt, bias, 32, 64, units),
@@ -251,7 +264,9 @@ mod tests {
         for width in [8usize, 16] {
             let w = softmax(width as i64);
             let mem = w.run_reference().unwrap();
-            let InitData::F32(input) = &w.inits[0].1 else { panic!() };
+            let InitData::F32(input) = &w.inits[0].1 else {
+                panic!()
+            };
             let out = mem.read_f32(w.outputs[0]);
             f32_close(&out, &softmax_reference(input, 64, width));
             // Rows sum to 1.

@@ -82,7 +82,10 @@ fn init(m: &Module, mem: &mut Memory) {
     use muir::mir::instr::MemObjId;
     let n = (N / 2) as usize;
     mem.init_i64(MemObjId(0), &(1..=n as i64).collect::<Vec<_>>());
-    mem.init_i64(MemObjId(1), &(0..n as i64).map(|x| x % 9 + 1).collect::<Vec<_>>());
+    mem.init_i64(
+        MemObjId(1),
+        &(0..n as i64).map(|x| x % 9 + 1).collect::<Vec<_>>(),
+    );
     let f: Vec<f32> = (0..n * 4).map(|k| (k % 13) as f32 * 0.25).collect();
     mem.init_f32(MemObjId(3), &f);
     mem.init_f32(MemObjId(4), &f);
@@ -103,9 +106,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Figure 8's pass sequence, one at a time.
     let passes: Vec<(&str, Box<dyn Pass>)> = vec![
         ("pass 1: task queueing", Box::new(TaskQueueing::all(8))),
-        ("pass 2: execution tiling x4", Box::new(ExecutionTiling::spawned(4))),
-        ("pass 3: local scratchpads", Box::new(MemoryLocalization::default())),
-        ("pass 4: scratchpad banking", Box::new(ScratchpadBanking { banks: 4 })),
+        (
+            "pass 2: execution tiling x4",
+            Box::new(ExecutionTiling::spawned(4)),
+        ),
+        (
+            "pass 3: local scratchpads",
+            Box::new(MemoryLocalization::default()),
+        ),
+        (
+            "pass 4: scratchpad banking",
+            Box::new(ScratchpadBanking { banks: 4 }),
+        ),
         ("pass 5: fusion + re-timing", Box::new(OpFusion::default())),
     ];
     for (label, pass) in passes {
@@ -113,7 +125,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pm.push(pass);
         pm.run(&mut acc)?;
         let c = run(&m, &acc);
-        println!("{label:<28} {c:>8} cycles ({:.2}x)", cycles as f64 / c as f64);
+        println!(
+            "{label:<28} {c:>8} cycles ({:.2}x)",
+            cycles as f64 / c as f64
+        );
         cycles = c;
     }
 

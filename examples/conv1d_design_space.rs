@@ -31,7 +31,11 @@ const M: i64 = 256;
 const W: i64 = 4;
 
 /// The scalar 1-D convolution of Figure 2.
-fn conv1d_scalar() -> (Module, muir::mir::instr::MemObjId, muir::mir::instr::MemObjId) {
+fn conv1d_scalar() -> (
+    Module,
+    muir::mir::instr::MemObjId,
+    muir::mir::instr::MemObjId,
+) {
     let mut m = Module::new("conv1d");
     let input = m.add_ro_mem_object("input", ScalarType::F32, (M + W) as u64);
     let weight = m.add_ro_mem_object("weight", ScalarType::F32, W as u64);
@@ -60,7 +64,11 @@ fn conv1d_scalar() -> (Module, muir::mir::instr::MemObjId, muir::mir::instr::Mem
 
 /// The same convolution with the W=4 window as a tensor `Conv` unit
 /// (Figure 2's "Opt 4 — Higher-Order Ops").
-fn conv1d_tensor() -> (Module, muir::mir::instr::MemObjId, muir::mir::instr::MemObjId) {
+fn conv1d_tensor() -> (
+    Module,
+    muir::mir::instr::MemObjId,
+    muir::mir::instr::MemObjId,
+) {
     let shape = TensorShape::new(2, 2); // four consecutive elements
     let mut m = Module::new("conv1d_t");
     let input = m.add_ro_mem_object("input", ScalarType::F32, (M + W) as u64);
@@ -85,7 +93,9 @@ fn measure(
     output: muir::mir::instr::MemObjId,
     acc: &Accelerator,
 ) -> u64 {
-    let data: Vec<f32> = (0..(M + W) as usize).map(|k| (k as f32 * 0.37).sin()).collect();
+    let data: Vec<f32> = (0..(M + W) as usize)
+        .map(|k| (k as f32 * 0.37).sin())
+        .collect();
     let mut ref_mem = Memory::from_module(m);
     ref_mem.init_f32(input, &data);
     Interp::new(m).run_main(&mut ref_mem, &[]).expect("interp");
@@ -114,18 +124,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = measure("baseline (shared buffers)", &m, input, output, &acc);
 
     let mut a1 = acc.clone();
-    PassManager::new().with(MemoryLocalization::default()).run(&mut a1)?;
+    PassManager::new()
+        .with(MemoryLocalization::default())
+        .run(&mut a1)?;
     measure("opt 1: locality (local buffers)", &m, input, output, &a1);
 
     let mut a2 = a1.clone();
     PassManager::new()
-        .with(ExecutionTiling { tiles: 4, filter: TaskFilter::LeafLoops })
+        .with(ExecutionTiling {
+            tiles: 4,
+            filter: TaskFilter::LeafLoops,
+        })
         .run(&mut a2)?;
     measure("opt 2: concurrency (4 exec units)", &m, input, output, &a2);
 
     let mut a3 = a2.clone();
     PassManager::new().with(OpFusion::default()).run(&mut a3)?;
-    let piped = measure("opt 3: dataflow pipelining (fusion)", &m, input, output, &a3);
+    let piped = measure(
+        "opt 3: dataflow pipelining (fusion)",
+        &m,
+        input,
+        output,
+        &a3,
+    );
 
     let (mt, it, ot) = conv1d_tensor();
     let mut a4 = translate(&mt, &cfg)?;

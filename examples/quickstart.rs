@@ -37,8 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Stage 1/2: derive the baseline accelerator microarchitecture.
     let mut acc = translate(&module, &FrontendConfig::default())?;
-    println!("baseline accelerator: {} task blocks, {} structures",
-             acc.tasks.len(), acc.structures.len());
+    println!(
+        "baseline accelerator: {} task blocks, {} structures",
+        acc.tasks.len(),
+        acc.structures.len()
+    );
 
     // 3. Simulate and verify against the interpreter.
     let mut ref_mem = Memory::from_module(&module);
@@ -48,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut mem = Memory::from_module(&module);
     mem.init_i64(x, &(0..256).collect::<Vec<_>>());
     let base = simulate(&acc, &mut mem, &[], &SimConfig::default())?;
-    assert_eq!(ref_mem.read_i64(y), mem.read_i64(y), "accelerator must match software");
+    assert_eq!(
+        ref_mem.read_i64(y),
+        mem.read_i64(y),
+        "accelerator must match software"
+    );
     println!("baseline: {} cycles", base.cycles);
 
     // 4. Stage 2': transform the microarchitecture, not the program.
@@ -57,14 +64,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with(OpFusion::default())
         .run(&mut acc)?;
     for (name, delta) in &report.deltas {
-        println!("pass {name}: touched {} nodes, {} edges", delta.nodes, delta.edges);
+        println!(
+            "pass {name}: touched {} nodes, {} edges",
+            delta.nodes, delta.edges
+        );
     }
     let mut mem = Memory::from_module(&module);
     mem.init_i64(x, &(0..256).collect::<Vec<_>>());
     let opt = simulate(&acc, &mut mem, &[], &SimConfig::default())?;
     assert_eq!(ref_mem.read_i64(y), mem.read_i64(y));
-    println!("optimized: {} cycles ({:.2}x)", opt.cycles,
-             base.cycles as f64 / opt.cycles as f64);
+    println!(
+        "optimized: {} cycles ({:.2}x)",
+        opt.cycles,
+        base.cycles as f64 / opt.cycles as f64
+    );
 
     // 5. Stage 3: lower to Chisel-like RTL.
     let rtl = emit_chisel(&acc);

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Repo hygiene gate: formatting, lints on the simulator crate, and the
+# tier-1 test suite. Each stage is skipped (not failed) when its tool is
+# missing, so the script works in minimal containers.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if command -v cargo >/dev/null 2>&1 && cargo fmt --version >/dev/null 2>&1; then
+    echo "== cargo fmt --check =="
+    cargo fmt --all --check
+else
+    echo "== cargo fmt not available; skipped =="
+fi
+
+if command -v cargo >/dev/null 2>&1 && cargo clippy --version >/dev/null 2>&1; then
+    echo "== cargo clippy -p muir-sim (warnings are errors) =="
+    cargo clippy -p muir-sim --all-targets -- -D warnings
+else
+    echo "== cargo clippy not available; skipped =="
+fi
+
+echo "== tier-1 tests =="
+cargo test -q
+
+echo "check.sh: OK"

@@ -13,8 +13,7 @@ fn every_workload_translates() {
         let acc = translate(&w.module, &FrontendConfig::default())
             .unwrap_or_else(|e| panic!("{}: {e}", w.name));
         assert!(acc.tasks.len() >= 2, "{}: suspiciously small graph", w.name);
-        muir::core::verify::verify_accelerator(&acc)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        muir::core::verify::verify_accelerator(&acc).unwrap_or_else(|e| panic!("{}: {e}", w.name));
     }
 }
 
@@ -23,7 +22,9 @@ fn every_workload_simulates_correctly() {
     for w in workloads::all() {
         let acc = translate(&w.module, &FrontendConfig::default())
             .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-        let ref_mem = w.run_reference().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let ref_mem = w
+            .run_reference()
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
         let mut sim_mem = w.fresh_memory();
         let r = simulate(&acc, &mut sim_mem, &[], &SimConfig::default())
             .unwrap_or_else(|e| panic!("{}: {e}", w.name));
@@ -33,6 +34,9 @@ fn every_workload_simulates_correctly() {
             w.name
         );
         assert!(r.cycles > 0, "{}", w.name);
-        println!("{:>10}: {} cycles, {} fires", w.name, r.cycles, r.stats.fires);
+        println!(
+            "{:>10}: {} cycles, {} fires",
+            w.name, r.cycles, r.stats.fires
+        );
     }
 }

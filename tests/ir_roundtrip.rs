@@ -18,12 +18,23 @@ fn all_workloads_roundtrip_through_text() {
         // Idempotence after normalisation.
         let p2 = print_module(&m2);
         let m3 = parse_module(&p2).unwrap_or_else(|e| panic!("{}: {e}", w.name));
-        assert_eq!(p2, print_module(&m3), "{}: print∘parse not idempotent", w.name);
+        assert_eq!(
+            p2,
+            print_module(&m3),
+            "{}: print∘parse not idempotent",
+            w.name
+        );
         // The parsed program computes the same outputs.
         let ref_mem = w.run_reference().unwrap();
         let mut mem2 = w.fresh_memory();
-        Interp::new(&m2).run_main(&mut mem2, &[]).unwrap_or_else(|e| panic!("{}: {e}", w.name));
-        assert!(w.outputs_match(&ref_mem, &mem2), "{}: parsed program diverges", w.name);
+        Interp::new(&m2)
+            .run_main(&mut mem2, &[])
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert!(
+            w.outputs_match(&ref_mem, &mem2),
+            "{}: parsed program diverges",
+            w.name
+        );
     }
 }
 
@@ -33,12 +44,15 @@ fn parsed_programs_translate_and_simulate() {
     for name in ["GEMM", "FFT", "M-SORT", "2MM[T]", "SOFTM8"] {
         let w = workloads::by_name(name).unwrap();
         let m2 = parse_module(&print_module(&w.module)).unwrap();
-        let acc = translate(&m2, &FrontendConfig::default())
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let acc =
+            translate(&m2, &FrontendConfig::default()).unwrap_or_else(|e| panic!("{name}: {e}"));
         let ref_mem = w.run_reference().unwrap();
         let mut mem = w.fresh_memory();
         simulate(&acc, &mut mem, &[], &SimConfig::default())
             .unwrap_or_else(|e| panic!("{name}: {e}"));
-        assert!(w.outputs_match(&ref_mem, &mem), "{name}: parsed accelerator diverges");
+        assert!(
+            w.outputs_match(&ref_mem, &mem),
+            "{name}: parsed accelerator diverges"
+        );
     }
 }

@@ -5,8 +5,8 @@
 use muir::frontend::{translate, FrontendConfig};
 use muir::sim::{simulate, SimConfig};
 use muir::uopt::passes::{
-    CacheBanking, Cse, ExecutionTiling, MemoryLocalization, OpFusion, ScratchpadBanking,
-    Simplify, TaskQueueing,
+    CacheBanking, Cse, ExecutionTiling, MemoryLocalization, OpFusion, ScratchpadBanking, Simplify,
+    TaskQueueing,
 };
 use muir::uopt::PassManager;
 use muir::workloads;
@@ -35,7 +35,9 @@ fn full_pass_stack_preserves_all_workloads() {
                 .unwrap_or_else(|e| panic!("{} baseline: {e}", w.name))
                 .cycles
         };
-        let report = full_stack().run(&mut acc).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let report = full_stack()
+            .run(&mut acc)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
         assert!(!report.deltas.is_empty());
         let ref_mem = w.run_reference().unwrap();
         let mut mem = w.fresh_memory();
@@ -67,7 +69,10 @@ fn tensor_lowering_preserves_tensor_workloads() {
         let mut mem = w.fresh_memory();
         simulate(&acc, &mut mem, &[], &SimConfig::default())
             .unwrap_or_else(|e| panic!("{name}: {e}"));
-        assert!(w.outputs_match(&ref_mem, &mem), "{name}: lowered outputs differ");
+        assert!(
+            w.outputs_match(&ref_mem, &mem),
+            "{name}: lowered outputs differ"
+        );
     }
 }
 
@@ -76,12 +81,21 @@ fn individual_passes_preserve_a_representative_mix() {
     // Each pass alone, on a workload that exercises it.
     let cases: Vec<(&str, PassManager)> = vec![
         ("SAXPY", PassManager::new().with(TaskQueueing::all(8))),
-        ("STENCIL", PassManager::new().with(ExecutionTiling::spawned(8))),
-        ("SPMV", PassManager::new().with(MemoryLocalization::default())),
+        (
+            "STENCIL",
+            PassManager::new().with(ExecutionTiling::spawned(8)),
+        ),
+        (
+            "SPMV",
+            PassManager::new().with(MemoryLocalization::default()),
+        ),
         ("GEMM", PassManager::new().with(CacheBanking { banks: 4 })),
         ("FFT", PassManager::new().with(OpFusion::default())),
         ("RGB2YUV", PassManager::new().with(OpFusion::default())),
-        ("M-SORT", PassManager::new().with(ExecutionTiling::spawned(4))),
+        (
+            "M-SORT",
+            PassManager::new().with(ExecutionTiling::spawned(4)),
+        ),
     ];
     for (name, pm) in cases {
         let w = workloads::by_name(name).unwrap();
@@ -91,6 +105,9 @@ fn individual_passes_preserve_a_representative_mix() {
         let mut mem = w.fresh_memory();
         simulate(&acc, &mut mem, &[], &SimConfig::default())
             .unwrap_or_else(|e| panic!("{name}: {e}"));
-        assert!(w.outputs_match(&ref_mem, &mem), "{name}: pass broke semantics");
+        assert!(
+            w.outputs_match(&ref_mem, &mem),
+            "{name}: pass broke semantics"
+        );
     }
 }

@@ -1,25 +1,53 @@
-//! Property-based tests (proptest) over the toolchain's core invariants:
+//! Property-based tests over the toolchain's core invariants, driven by a
+//! seeded in-tree RNG (no external fuzzing dependencies — the generator is
+//! a splitmix64 stream, so every case is reproducible from its seed):
 //!
 //! * random straight-line programs: translate → simulate ≡ interpret;
 //! * random loop programs with strided memory updates: same equivalence,
 //!   plus μopt passes never change results;
 //! * affine address analysis is consistent with concrete evaluation;
-//! * fused plans evaluate exactly like the node chains they replace;
 //! * the memory models never lose or duplicate transactions.
 
 use muir::frontend::{translate, FrontendConfig};
 use muir::mir::builder::FunctionBuilder;
-use muir::mir::instr::{BinOp, CmpPred, ValueRef};
+use muir::mir::instr::{CmpPred, ValueRef};
 use muir::mir::interp::{Interp, Memory};
 use muir::mir::module::Module;
 use muir::mir::types::{ScalarType, Type};
 use muir::sim::{simulate, SimConfig};
 use muir::uopt::passes::{MemoryLocalization, OpFusion, ScratchpadBanking};
 use muir::uopt::PassManager;
-use proptest::prelude::*;
 
-/// A small random integer expression program over two arrays.
-#[derive(Debug, Clone)]
+/// Deterministic splitmix64 stream: the test-local stand-in for a property
+/// testing framework's generator.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen(seed.wrapping_add(0x9e37_79b9_7f4a_7c15))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(hi > lo);
+        lo + (self.next_u64() % (hi - lo) as u64) as i64
+    }
+
+    fn vec_i64(&mut self, n: usize, lo: i64, hi: i64) -> Vec<i64> {
+        (0..n).map(|_| self.range(lo, hi)).collect()
+    }
+}
+
+/// A small random integer expression over two operands.
+#[derive(Debug, Clone, Copy)]
 enum ExprOp {
     Add,
     Sub,
@@ -29,18 +57,23 @@ enum ExprOp {
     Shl3,
 }
 
-fn expr_op() -> impl Strategy<Value = ExprOp> {
-    prop_oneof![
-        Just(ExprOp::Add),
-        Just(ExprOp::Sub),
-        Just(ExprOp::Mul),
-        Just(ExprOp::And),
-        Just(ExprOp::Xor),
-        Just(ExprOp::Shl3),
-    ]
+const OPS: [ExprOp; 6] = [
+    ExprOp::Add,
+    ExprOp::Sub,
+    ExprOp::Mul,
+    ExprOp::And,
+    ExprOp::Xor,
+    ExprOp::Shl3,
+];
+
+fn random_ops(g: &mut Gen) -> Vec<ExprOp> {
+    let len = g.range(1, 6) as usize;
+    (0..len)
+        .map(|_| OPS[g.range(0, OPS.len() as i64) as usize])
+        .collect()
 }
 
-fn apply(b: &mut FunctionBuilder, op: &ExprOp, x: ValueRef, y: ValueRef) -> ValueRef {
+fn apply(b: &mut FunctionBuilder, op: ExprOp, x: ValueRef, y: ValueRef) -> ValueRef {
     match op {
         ExprOp::Add => b.add(x, y),
         ExprOp::Sub => b.sub(x, y),
@@ -55,7 +88,14 @@ fn apply(b: &mut FunctionBuilder, op: &ExprOp, x: ValueRef, y: ValueRef) -> Valu
 }
 
 /// Build `out[i] = f(a[i], i)` where `f` is a random op chain.
-fn random_loop_module(ops: &[ExprOp], n: i64) -> (Module, muir::mir::instr::MemObjId, muir::mir::instr::MemObjId) {
+fn random_loop_module(
+    ops: &[ExprOp],
+    n: i64,
+) -> (
+    Module,
+    muir::mir::instr::MemObjId,
+    muir::mir::instr::MemObjId,
+) {
     let mut m = Module::new("prop");
     let a = m.add_ro_mem_object("a", ScalarType::I32, n as u64);
     let out = m.add_mem_object("out", ScalarType::I32, n as u64);
@@ -64,7 +104,7 @@ fn random_loop_module(ops: &[ExprOp], n: i64) -> (Module, muir::mir::instr::MemO
     b.for_loop(0, ValueRef::int(n), 1, move |b, i| {
         let v = b.load(a, i);
         let mut cur = v;
-        for op in &ops {
+        for &op in &ops {
             cur = apply(b, op, cur, i);
         }
         b.store(out, i, cur);
@@ -74,16 +114,14 @@ fn random_loop_module(ops: &[ExprOp], n: i64) -> (Module, muir::mir::instr::MemO
     (m, a, out)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
-
-    /// Any random op-chain loop: the simulated accelerator computes exactly
-    /// what the interpreter computes.
-    #[test]
-    fn simulated_accelerator_matches_interpreter(
-        ops in proptest::collection::vec(expr_op(), 1..6),
-        data in proptest::collection::vec(-100i64..100, 16),
-    ) {
+/// Any random op-chain loop: the simulated accelerator computes exactly
+/// what the interpreter computes.
+#[test]
+fn simulated_accelerator_matches_interpreter() {
+    for case in 0..24u64 {
+        let mut g = Gen::new(0x51a0 + case);
+        let ops = random_ops(&mut g);
+        let data = g.vec_i64(16, -100, 100);
         let n = data.len() as i64;
         let (m, a, out) = random_loop_module(&ops, n);
         let acc = translate(&m, &FrontendConfig::default()).unwrap();
@@ -95,16 +133,22 @@ proptest! {
         let mut sim_mem = Memory::from_module(&m);
         sim_mem.init_i64(a, &data);
         simulate(&acc, &mut sim_mem, &[], &SimConfig::default()).unwrap();
-        prop_assert_eq!(ref_mem.read_i64(out), sim_mem.read_i64(out));
+        assert_eq!(
+            ref_mem.read_i64(out),
+            sim_mem.read_i64(out),
+            "case {case}: ops {ops:?}"
+        );
     }
+}
 
-    /// μopt passes never change what a random program computes.
-    #[test]
-    fn passes_preserve_random_programs(
-        ops in proptest::collection::vec(expr_op(), 1..6),
-        data in proptest::collection::vec(-50i64..50, 16),
-        banks in 1u32..5,
-    ) {
+/// μopt passes never change what a random program computes.
+#[test]
+fn passes_preserve_random_programs() {
+    for case in 0..24u64 {
+        let mut g = Gen::new(0xbeef + case);
+        let ops = random_ops(&mut g);
+        let data = g.vec_i64(16, -50, 50);
+        let banks = g.range(1, 5) as u32;
         let n = data.len() as i64;
         let (m, a, out) = random_loop_module(&ops, n);
         let mut acc = translate(&m, &FrontendConfig::default()).unwrap();
@@ -122,15 +166,21 @@ proptest! {
         let mut sim_mem = Memory::from_module(&m);
         sim_mem.init_i64(a, &data);
         simulate(&acc, &mut sim_mem, &[], &SimConfig::default()).unwrap();
-        prop_assert_eq!(ref_mem.read_i64(out), sim_mem.read_i64(out));
+        assert_eq!(
+            ref_mem.read_i64(out),
+            sim_mem.read_i64(out),
+            "case {case}: ops {ops:?} banks {banks}"
+        );
     }
+}
 
-    /// Predicated programs (if/else over a comparison) stay equivalent.
-    #[test]
-    fn predication_matches_interpreter(
-        threshold in -20i64..20,
-        data in proptest::collection::vec(-30i64..30, 16),
-    ) {
+/// Predicated programs (if/else over a comparison) stay equivalent.
+#[test]
+fn predication_matches_interpreter() {
+    for case in 0..16u64 {
+        let mut g = Gen::new(0x97ed + case);
+        let threshold = g.range(-20, 20);
+        let data = g.vec_i64(16, -30, 30);
         let n = data.len() as i64;
         let mut m = Module::new("pred");
         let a = m.add_ro_mem_object("a", ScalarType::I32, n as u64);
@@ -157,15 +207,17 @@ proptest! {
         let mut sim_mem = Memory::from_module(&m);
         sim_mem.init_i64(a, &data);
         simulate(&acc, &mut sim_mem, &[], &SimConfig::default()).unwrap();
-        prop_assert_eq!(ref_mem.read_i64(out), sim_mem.read_i64(out));
+        assert_eq!(ref_mem.read_i64(out), sim_mem.read_i64(out), "case {case}");
     }
+}
 
-    /// Reduction loops with a register accumulator.
-    #[test]
-    fn reductions_match_interpreter(
-        data in proptest::collection::vec(-40i64..40, 24),
-        init in -10i64..10,
-    ) {
+/// Reduction loops with a register accumulator.
+#[test]
+fn reductions_match_interpreter() {
+    for case in 0..12u64 {
+        let mut g = Gen::new(0xacc0 + case);
+        let data = g.vec_i64(24, -40, 40);
+        let init = g.range(-10, 10);
         let n = data.len() as i64;
         let mut m = Module::new("red");
         let a = m.add_ro_mem_object("a", ScalarType::I32, n as u64);
@@ -177,6 +229,7 @@ proptest! {
             1,
             &[(ValueRef::int(init), Type::I64)],
             |b, i, accs| {
+                let _ = i;
                 let v = b.load(a, i);
                 vec![b.add(accs[0], v)]
             },
@@ -190,22 +243,30 @@ proptest! {
         let mut sim_mem = Memory::from_module(&m);
         sim_mem.init_i64(a, &data);
         simulate(&acc_graph, &mut sim_mem, &[], &SimConfig::default()).unwrap();
-        prop_assert_eq!(sim_mem.read_i64(out)[0], expect);
+        assert_eq!(sim_mem.read_i64(out)[0], expect, "case {case}");
 
         // And with the accumulator re-timed into a FusedAcc unit.
         let mut fused = translate(&m, &FrontendConfig::default()).unwrap();
-        PassManager::new().with(OpFusion::default()).run(&mut fused).unwrap();
+        PassManager::new()
+            .with(OpFusion::default())
+            .run(&mut fused)
+            .unwrap();
         let mut sim_mem2 = Memory::from_module(&m);
         sim_mem2.init_i64(a, &data);
         simulate(&fused, &mut sim_mem2, &[], &SimConfig::default()).unwrap();
-        prop_assert_eq!(sim_mem2.read_i64(out)[0], expect);
+        assert_eq!(sim_mem2.read_i64(out)[0], expect, "case {case} (fused)");
     }
+}
 
-    /// The affine analysis agrees with concrete address arithmetic:
-    /// `idx = i*scale + offset` is recognised with those exact constants.
-    #[test]
-    fn affine_analysis_matches_concrete(scale in 1i64..8, offset in 0i64..16) {
-        use muir::mir::analysis::{affine_of, induction_var, natural_loops, Affine};
+/// The affine analysis agrees with concrete address arithmetic:
+/// `idx = i*scale + offset` is recognised with those exact constants.
+#[test]
+fn affine_analysis_matches_concrete() {
+    use muir::mir::analysis::{affine_of, induction_var, natural_loops, Affine};
+    for case in 0..16u64 {
+        let mut g = Gen::new(0xaff1 + case);
+        let scale = g.range(1, 8);
+        let offset = g.range(0, 16);
         let mut m = Module::new("aff");
         let a = m.add_mem_object("a", ScalarType::I32, 256);
         let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
@@ -229,31 +290,42 @@ proptest! {
             })
             .unwrap();
         match affine_of(f, addr, iv, &loops[0]) {
-            Affine::Affine { scale: s, konst, syms } => {
-                prop_assert_eq!(s, scale);
-                prop_assert_eq!(konst, offset);
-                prop_assert!(syms.is_empty());
+            Affine::Affine {
+                scale: s,
+                konst,
+                syms,
+            } => {
+                assert_eq!(s, scale, "case {case}");
+                assert_eq!(konst, offset, "case {case}");
+                assert!(syms.is_empty(), "case {case}");
             }
-            Affine::Opaque => prop_assert!(false, "expected affine form"),
+            Affine::Opaque => panic!("case {case}: expected affine form"),
         }
     }
+}
 
-    /// Scratchpad model conservation: every submitted element is serviced
-    /// exactly once, regardless of banking.
-    #[test]
-    fn scratchpad_conserves_transactions(
-        addrs in proptest::collection::vec(0u64..64, 1..24),
-        banks in 1u32..5,
-    ) {
-        use muir::core::structure::{Structure, StructureKind};
-        use muir::sim::memory::{MemRequest, StructModel};
+/// Scratchpad model conservation: every submitted element is serviced
+/// exactly once, regardless of banking.
+#[test]
+fn scratchpad_conserves_transactions() {
+    use muir::core::structure::{Structure, StructureKind};
+    use muir::sim::memory::{MemRequest, StructModel};
+    for case in 0..16u64 {
+        let mut g = Gen::new(0x5bad + case);
+        let naddrs = g.range(1, 24) as usize;
+        let addrs: Vec<u64> = (0..naddrs).map(|_| g.range(0, 64) as u64).collect();
+        let banks = g.range(1, 5) as u32;
         let mut s = Structure::scratchpad("s", 64);
         if let StructureKind::Scratchpad { banks: b, .. } = &mut s.kind {
             *b = banks;
         }
         let mut model = StructModel::new(&s);
         for (i, &a) in addrs.iter().enumerate() {
-            model.submit(MemRequest { id: i as u64 + 1, addrs: vec![a], is_write: false });
+            model.submit(MemRequest {
+                id: i as u64 + 1,
+                addrs: vec![a],
+                is_write: false,
+            });
         }
         let mut done = Vec::new();
         for c in 0..10_000 {
@@ -266,7 +338,50 @@ proptest! {
         }
         done.sort_unstable();
         let expect: Vec<u64> = (1..=addrs.len() as u64).collect();
-        prop_assert_eq!(done, expect);
-        prop_assert!(model.is_idle());
+        assert_eq!(done, expect, "case {case}");
+        assert!(model.is_idle(), "case {case}");
+    }
+}
+
+/// Single-fault robustness: dropping any one token on a ready/valid edge
+/// either surfaces as a typed fault/hang or the run's outputs still match
+/// the reference — and a completed-but-corrupted run always carries the
+/// injected-fault flag in its stats. Silent wrong answers are impossible.
+#[test]
+fn single_token_drop_is_never_silent() {
+    use muir::sim::{FaultClass, FaultPlan, SimError};
+    for case in 0..16u64 {
+        let mut g = Gen::new(0xd509 + case);
+        let ops = random_ops(&mut g);
+        let data = g.vec_i64(16, -100, 100);
+        let n = data.len() as i64;
+        let (m, a, out) = random_loop_module(&ops, n);
+        let acc = translate(&m, &FrontendConfig::default()).unwrap();
+
+        let mut ref_mem = Memory::from_module(&m);
+        ref_mem.init_i64(a, &data);
+        Interp::new(&m).run_main(&mut ref_mem, &[]).unwrap();
+
+        let mut sim_mem = Memory::from_module(&m);
+        sim_mem.init_i64(a, &data);
+        let cfg = SimConfig {
+            deadlock_cycles: 5_000,
+            max_cycles: 2_000_000,
+            faults: FaultPlan::single(FaultClass::TokenDrop, 0xfa17 + case),
+            ..SimConfig::default()
+        };
+        match simulate(&acc, &mut sim_mem, &[], &cfg) {
+            Err(SimError::Fault { .. })
+            | Err(SimError::Deadlock { .. })
+            | Err(SimError::CycleLimitExhausted { .. }) => {}
+            Err(other) => panic!("case {case}: unexpected error class: {other}"),
+            Ok(r) => {
+                let matches = ref_mem.read_i64(out) == sim_mem.read_i64(out);
+                assert!(
+                    matches || r.stats.faults_injected() > 0,
+                    "case {case}: ops {ops:?}: silent corruption without a fault flag"
+                );
+            }
+        }
     }
 }

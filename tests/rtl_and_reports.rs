@@ -21,10 +21,19 @@ fn chisel_emits_for_every_workload() {
         assert_eq!(classes, acc.tasks.len(), "{}", w.name);
         // Every structure is instantiated.
         for si in 0..acc.structures.len() {
-            assert!(src.contains(&format!("hw_mem_{si}")), "{}: missing structure", w.name);
+            assert!(
+                src.contains(&format!("hw_mem_{si}")),
+                "{}: missing structure",
+                w.name
+            );
         }
         // Every `<||>` connection appears (one wiring line per connection).
-        assert_eq!(src.matches(".io.task <||>").count(), acc.task_conns.len(), "{}", w.name);
+        assert_eq!(
+            src.matches(".io.task <||>").count(),
+            acc.task_conns.len(),
+            "{}",
+            w.name
+        );
     }
 }
 
@@ -39,7 +48,12 @@ fn text_and_dot_dumps_cover_every_workload() {
         assert_eq!(text.matches(" = ").count(), nodes, "{}", w.name);
         let dot = muir::core::dot::to_dot(&acc);
         assert!(dot.starts_with("digraph"), "{}", w.name);
-        assert_eq!(dot.matches("subgraph cluster_").count(), acc.tasks.len(), "{}", w.name);
+        assert_eq!(
+            dot.matches("subgraph cluster_").count(),
+            acc.tasks.len(),
+            "{}",
+            w.name
+        );
     }
 }
 
@@ -62,10 +76,22 @@ fn cost_model_is_sane_for_every_workload() {
         let acc = translate(&w.module, &FrontendConfig::default()).unwrap();
         let f = estimate(&acc, Tech::FpgaArria10);
         let a = estimate(&acc, Tech::Asic28);
-        assert!(f.fmax_mhz >= 150.0 && f.fmax_mhz <= 500.0, "{}: {f:?}", w.name);
-        assert!(f.power_mw > 300.0 && f.power_mw < 3000.0, "{}: {f:?}", w.name);
+        assert!(
+            f.fmax_mhz >= 150.0 && f.fmax_mhz <= 500.0,
+            "{}: {f:?}",
+            w.name
+        );
+        assert!(
+            f.power_mw > 300.0 && f.power_mw < 3000.0,
+            "{}: {f:?}",
+            w.name
+        );
         assert!(a.fmax_mhz > f.fmax_mhz, "{}: asic slower than fpga", w.name);
-        assert!(a.power_mw < f.power_mw, "{}: asic power exceeds fpga", w.name);
+        assert!(
+            a.power_mw < f.power_mw,
+            "{}: asic power exceeds fpga",
+            w.name
+        );
         assert!(a.area_mm2 > 0.0, "{}", w.name);
         if w.fp {
             assert!(a.fmax_mhz <= 1661.0, "{}: FP cap violated", w.name);
