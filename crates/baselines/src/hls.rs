@@ -244,16 +244,8 @@ impl ClassCounts {
             Op::Bin(BinOp::FAdd | BinOp::FSub) => self.fp_add += 1,
             Op::Bin(BinOp::FMul | BinOp::FDiv) => self.fp_mul += 1,
             Op::Bin(_) | Op::Cmp(_) | Op::Select | Op::Cast(_) | Op::Un(_) => self.int_alu += 1,
-            Op::Load { .. } => {
-                if !streaming {
-                    self.mem_read += 1;
-                }
-            }
-            Op::Store { .. } => {
-                if !streaming {
-                    self.mem_write += 1;
-                }
-            }
+            Op::Load { .. } if !streaming => self.mem_read += 1,
+            Op::Store { .. } if !streaming => self.mem_write += 1,
             Op::Tensor(..) => {
                 self.fp_mul += 4;
                 self.fp_add += 3;

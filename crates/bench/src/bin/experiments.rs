@@ -2,12 +2,19 @@
 //!
 //! ```text
 //! cargo run --release -p muir-bench --bin experiments [all|fig1|table2|fig9|
-//!     table3|fig11|fig12|fig15|fig16|fig17|fig18|table4|faults|--selftest]
+//!     table3|fig11|fig12|fig15|fig16|fig17|fig18|table4|faults|--selftest|
+//!     profile <workload> [outdir]|trace-schema [schema.json]]
 //! ```
 //!
 //! `faults` runs the differential fault-injection campaign (see
 //! `muir_bench::campaign`); `--selftest` checks the campaign's determinism
 //! and then chains into `scripts/check.sh` when present.
+//!
+//! `profile <workload>` runs the workload's baseline with the simulator's
+//! observability layer on and writes `trace.json` (Chrome/Perfetto) and
+//! `trace.vcd` next to a printed utilization/stall/bottleneck report;
+//! `trace-schema` regenerates a golden trace and validates it against the
+//! checked-in `scripts/trace_schema.json` (the CI exporter gate).
 
 use muir_bench::{
     baseline, fig11_point, fig12_sweep, fig15_point, fig16_sweep, fig18_point, fig9_point,
@@ -27,6 +34,24 @@ fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     if which == "--selftest" {
         selftest();
+        return;
+    }
+    if which == "profile" {
+        let name = std::env::args().nth(2).unwrap_or_else(|| {
+            eprintln!("usage: experiments profile <workload> [outdir]");
+            std::process::exit(2);
+        });
+        let outdir = std::env::args()
+            .nth(3)
+            .unwrap_or_else(|| format!("target/profile/{}", name.to_lowercase()));
+        profile(&name, &outdir);
+        return;
+    }
+    if which == "trace-schema" {
+        let schema_path = std::env::args()
+            .nth(2)
+            .unwrap_or_else(|| "scripts/trace_schema.json".to_string());
+        trace_schema(&schema_path);
         return;
     }
     let all = which == "all";
@@ -117,6 +142,62 @@ fn selftest() {
 
 fn hdr(title: &str) {
     println!("\n=== {title} ===");
+}
+
+/// `profile <workload> [outdir]`: trace the baseline accelerator, write the
+/// Chrome/Perfetto + VCD artifacts, and print the bottleneck report.
+fn profile(name: &str, outdir: &str) {
+    let art = muir_bench::profile::profile_workload(name);
+    hdr(&format!("Profile: {} (baseline accelerator)", art.workload));
+    println!(
+        "cycles: {} untraced / {} traced (perturbation: {})",
+        art.cycles_untraced,
+        art.cycles_traced,
+        art.cycles_traced as i64 - art.cycles_untraced as i64
+    );
+    print!("{}", art.profile.render());
+    print!("{}", art.report);
+    hdr("μopt dry-run: what acting on the suggestions buys");
+    print!("{}", art.pass_table);
+    let speedup = art.cycles_untraced as f64 / art.cycles_optimized as f64;
+    println!(
+        "full stack: {} -> {} cycles ({speedup:.2}x)",
+        art.cycles_untraced, art.cycles_optimized
+    );
+
+    let dir = std::path::Path::new(outdir);
+    std::fs::create_dir_all(dir).expect("create profile output directory");
+    let json_path = dir.join("trace.json");
+    let vcd_path = dir.join("trace.vcd");
+    std::fs::write(&json_path, art.trace.to_chrome_json()).expect("write trace.json");
+    std::fs::write(&vcd_path, art.trace.to_vcd()).expect("write trace.vcd");
+    println!(
+        "\nwrote {} and {} ({} events recorded, {} dropped)",
+        json_path.display(),
+        vcd_path.display(),
+        art.profile.events_recorded,
+        art.profile.events_dropped
+    );
+    println!("open trace.json in ui.perfetto.dev or chrome://tracing; trace.vcd in gtkwave");
+}
+
+/// `trace-schema [schema.json]`: CI gate — regenerate a golden trace and
+/// validate the exporter's output shape against the checked-in schema.
+fn trace_schema(schema_path: &str) {
+    hdr("Trace-schema validation (golden trace vs checked-in schema)");
+    let schema = std::fs::read_to_string(schema_path)
+        .unwrap_or_else(|e| panic!("cannot read schema `{schema_path}`: {e}"));
+    let trace = muir_bench::profile::golden_trace_json();
+    match muir_bench::profile::validate_trace_json(&trace, &schema) {
+        Ok(s) => println!(
+            "OK: {} events ({} metadata, {} complete, {} counter) conform to {schema_path}",
+            s.events, s.meta_events, s.complete_events, s.counter_events
+        ),
+        Err(e) => {
+            eprintln!("trace schema violation: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Table 2: baseline synthesis quality on FPGA and ASIC.

@@ -7,6 +7,7 @@
 //! paper-vs-measured record.
 
 pub mod campaign;
+pub mod profile;
 
 use muir_baselines::{CpuModel, HlsModel};
 use muir_core::accel::Accelerator;
@@ -259,65 +260,6 @@ pub fn localization_point(w: &Workload) -> (u64, u64) {
     (base, opt)
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use muir_workloads::by_name;
-
-    #[test]
-    fn fig11_improves_rgb2yuv() {
-        // RGB2YUV's integer chains are the canonical fusion target.
-        let w = by_name("RGB2YUV").unwrap();
-        let (base, opt) = fig11_point(&w);
-        assert!(opt < base, "fusion should help: {base} → {opt}");
-    }
-
-    #[test]
-    fn fig12_saxpy_scales_then_bounds() {
-        let w = by_name("SAXPY").unwrap();
-        let sweep = fig12_sweep(&w);
-        let c1 = sweep[0].1 as f64;
-        let c2 = sweep[1].1 as f64;
-        let c8 = sweep[3].1 as f64;
-        assert!(c2 < c1, "{sweep:?}");
-        assert!(c8 < c2, "{sweep:?}");
-        // Bounded below by the parent's spawn rate (one task per cycle):
-        // 8 tiles cannot beat one iteration per cycle.
-        assert!(c8 >= 4096.0, "{sweep:?}");
-    }
-
-    #[test]
-    fn fig16_banking_helps_gemm() {
-        let w = by_name("GEMM").unwrap();
-        let sweep = fig16_sweep(&w);
-        assert!(sweep[2].1 <= sweep[0].1, "{sweep:?}");
-    }
-
-    #[test]
-    fn fig15_tensor_units_win() {
-        let pair = muir_workloads::inhouse::tensor_pairs().remove(0);
-        let (tensor, scalar) = fig15_point(&pair);
-        assert!(scalar > tensor, "{tensor} vs {scalar}");
-        let w = by_name("RELU[T]").unwrap();
-        let (native, lowered) = fig15_lowering_ablation(&w);
-        assert!(lowered > native, "{native} vs {lowered}");
-    }
-
-    #[test]
-    fn fig9_uir_beats_hls_on_gemm() {
-        let w = by_name("GEMM").unwrap();
-        let (uir, hls) = fig9_point(&w);
-        assert!(uir < hls, "uir {uir} vs hls {hls}");
-    }
-
-    #[test]
-    fn fig18_accelerator_beats_cpu() {
-        let w = by_name("IMG-SCALE").unwrap();
-        let (acc, cpu) = fig18_point(&w);
-        assert!(acc < cpu, "acc {acc} vs cpu {cpu}");
-    }
-}
-
 /// Ablation: task-queue depth sweep (Pass 1) on a Cilk workload.
 ///
 /// # Panics
@@ -400,4 +342,63 @@ pub fn ablation_sim_buffers(w: &Workload, points: &[(u32, u32)]) -> Vec<(u32, u3
             (databox, elastic, r.cycles)
         })
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muir_workloads::by_name;
+
+    #[test]
+    fn fig11_improves_rgb2yuv() {
+        // RGB2YUV's integer chains are the canonical fusion target.
+        let w = by_name("RGB2YUV").unwrap();
+        let (base, opt) = fig11_point(&w);
+        assert!(opt < base, "fusion should help: {base} → {opt}");
+    }
+
+    #[test]
+    fn fig12_saxpy_scales_then_bounds() {
+        let w = by_name("SAXPY").unwrap();
+        let sweep = fig12_sweep(&w);
+        let c1 = sweep[0].1 as f64;
+        let c2 = sweep[1].1 as f64;
+        let c8 = sweep[3].1 as f64;
+        assert!(c2 < c1, "{sweep:?}");
+        assert!(c8 < c2, "{sweep:?}");
+        // Bounded below by the parent's spawn rate (one task per cycle):
+        // 8 tiles cannot beat one iteration per cycle.
+        assert!(c8 >= 4096.0, "{sweep:?}");
+    }
+
+    #[test]
+    fn fig16_banking_helps_gemm() {
+        let w = by_name("GEMM").unwrap();
+        let sweep = fig16_sweep(&w);
+        assert!(sweep[2].1 <= sweep[0].1, "{sweep:?}");
+    }
+
+    #[test]
+    fn fig15_tensor_units_win() {
+        let pair = muir_workloads::inhouse::tensor_pairs().remove(0);
+        let (tensor, scalar) = fig15_point(&pair);
+        assert!(scalar > tensor, "{tensor} vs {scalar}");
+        let w = by_name("RELU[T]").unwrap();
+        let (native, lowered) = fig15_lowering_ablation(&w);
+        assert!(lowered > native, "{native} vs {lowered}");
+    }
+
+    #[test]
+    fn fig9_uir_beats_hls_on_gemm() {
+        let w = by_name("GEMM").unwrap();
+        let (uir, hls) = fig9_point(&w);
+        assert!(uir < hls, "uir {uir} vs hls {hls}");
+    }
+
+    #[test]
+    fn fig18_accelerator_beats_cpu() {
+        let w = by_name("IMG-SCALE").unwrap();
+        let (acc, cpu) = fig18_point(&w);
+        assert!(acc < cpu, "acc {acc} vs cpu {cpu}");
+    }
 }

@@ -27,6 +27,7 @@ pub mod dot;
 pub mod hw;
 pub mod node;
 pub mod printer;
+pub mod rng;
 pub mod stats;
 pub mod structure;
 pub mod verify;

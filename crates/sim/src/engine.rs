@@ -21,6 +21,7 @@ use crate::error::{
 };
 use crate::fault::{Ecc, FaultClass, Injector};
 use crate::memory::{DramModel, MemRequest, StructModel};
+use crate::trace::{Observer, SimProfile, StallReason, Trace};
 use crate::{SimConfig, SimError, SimStats};
 use muir_core::accel::{Accelerator, ArgExpr, ResultInit, TaskKind};
 use muir_core::dataflow::EdgeKind;
@@ -176,6 +177,10 @@ pub struct Engine<'a> {
     /// Nodes whose output handshake was stuck by fault injection:
     /// (task, tile, node). A stuck node never fires again.
     stuck: HashSet<(usize, usize, usize)>,
+    /// Observability recorder (`None` unless tracing is enabled). The
+    /// observer only *reads* engine facts — it never feeds back into
+    /// simulation state, so enabling it cannot change cycle counts.
+    obs: Option<Box<Observer>>,
 }
 
 impl<'a> Engine<'a> {
@@ -266,6 +271,7 @@ impl<'a> Engine<'a> {
         dram.arm_faults(&cfg.faults);
         let faults = Injector::new(&cfg.faults, 0x0e5e_0001, &ENGINE_FAULTS);
         let faults_on = faults.active();
+        let obs = cfg.trace.enabled.then(|| Box::new(Observer::new(acc, cfg)));
         let ntasks = acc.tasks.len();
         Engine {
             acc,
@@ -288,15 +294,21 @@ impl<'a> Engine<'a> {
             faults,
             faults_on,
             stuck: HashSet::new(),
+            obs,
         }
     }
 
-    /// Run the root task once with `args`; returns (cycles, results, stats).
+    /// Run the root task once with `args`; returns (cycles, results, stats,
+    /// observability artifacts when tracing was enabled).
     ///
     /// # Errors
     /// Deadlock (no progress), cycle-limit exhaustion, or a functional
     /// fault (out-of-bounds access on a live path).
-    pub fn run(mut self, args: &[Value]) -> Result<(u64, Vec<Value>, SimStats), SimError> {
+    #[allow(clippy::type_complexity)]
+    pub fn run(
+        mut self,
+        args: &[Value],
+    ) -> Result<(u64, Vec<Value>, SimStats, Option<(SimProfile, Trace)>), SimError> {
         // DMA model (§3.2: scratchpads are DMA-managed): streaming the
         // read-only inputs into scratchpads costs DRAM bandwidth up front;
         // draining written scratchpad objects costs bandwidth at the end.
@@ -353,7 +365,11 @@ impl<'a> Engine<'a> {
         let cycles = (self.cycle + drain_delay).max(stream_floor);
         let results = self.root_result.take().unwrap_or_default();
         let stats = self.collect_stats(cycles);
-        Ok((cycles, results, stats))
+        let observed = self
+            .obs
+            .take()
+            .map(|o| o.finish(cycles, &stats.struct_stats));
+        Ok((cycles, results, stats, observed))
     }
 
     /// Elements DMA'd into scratchpads before launch (read-only inputs) and
@@ -576,6 +592,21 @@ impl<'a> Engine<'a> {
         u
     }
 
+    /// Record a blocked firing opportunity at `site = (task, tile, node)`
+    /// and yield the cycle. Pure observation: no engine state changes.
+    fn note_stall(
+        &mut self,
+        site: (usize, usize, usize),
+        reason: StallReason,
+        edge: Option<usize>,
+        structure: Option<usize>,
+    ) -> Result<(), SimError> {
+        if let Some(obs) = self.obs.as_mut() {
+            obs.stall(self.cycle, site, reason, edge, structure);
+        }
+        Ok(())
+    }
+
     fn step(&mut self) -> Result<(), SimError> {
         let cycle = self.cycle;
         // Phase 1: scheduled events.
@@ -619,6 +650,9 @@ impl<'a> Engine<'a> {
             };
             for r in responses {
                 if let Some(p) = self.req_map.remove(&r.id) {
+                    if let Some(obs) = self.obs.as_mut() {
+                        obs.mem_resp(cycle, si, r.id);
+                    }
                     if r.ecc == Ecc::Uncorrectable {
                         return Err(self.fault_err(
                             p.task,
@@ -784,7 +818,15 @@ impl<'a> Engine<'a> {
             return Ok(());
         }
         if self.faults_on && self.stuck.contains(&(ti, tk, node)) {
-            return Ok(()); // output handshake stuck: valid never asserts
+            // Output handshake stuck: valid never asserts again. Attribute
+            // the hold only while the node actually has instances to fire.
+            let has_work = self.tasks[ti].tiles[tk]
+                .as_ref()
+                .is_some_and(|inv| inv.fired[node] < inv.admitted);
+            if has_work {
+                return self.note_stall((ti, tk, node), StallReason::FaultHold, None, None);
+            }
+            return Ok(());
         }
         // Gather facts without holding a mutable borrow.
         let (k, ok_basic) = {
@@ -831,7 +873,14 @@ impl<'a> Engine<'a> {
                                 ));
                             }
                         }
-                        _ => return Ok(()),
+                        _ => {
+                            return self.note_stall(
+                                (ti, tk, node),
+                                StallReason::InputEmpty,
+                                Some(ei),
+                                None,
+                            )
+                        }
                     }
                     continue;
                 }
@@ -851,12 +900,28 @@ impl<'a> Engine<'a> {
                             ));
                         }
                     }
-                    _ => return Ok(()),
+                    _ => {
+                        return self.note_stall(
+                            (ti, tk, node),
+                            StallReason::InputEmpty,
+                            Some(ei),
+                            None,
+                        )
+                    }
                 }
             }
-            // In-flight bound (databox entries / pipeline occupancy).
+            // In-flight bound (databox entries / pipeline occupancy). For
+            // memory transit points a full databox means every entry is
+            // waiting on the structure behind the junction.
             if inv.pending[node] >= self.elab[ti].max_pending[node] {
-                return Ok(());
+                let (reason, sid) = match &kind {
+                    NodeKind::Load { junction, .. } | NodeKind::Store { junction, .. } => (
+                        StallReason::MemoryWait,
+                        Some(df.junctions[junction.0 as usize].structure.0 as usize),
+                    ),
+                    _ => (StallReason::OutputFull, None),
+                };
+                return self.note_stall((ti, tk, node), reason, None, sid);
             }
             // Output space: only *visible* (delivered, unconsumed) tokens
             // occupy the edge register; in-flight results live in the
@@ -868,7 +933,12 @@ impl<'a> Engine<'a> {
                     .filter(|t| t.visible_at.is_some())
                     .count();
                 if visible >= cap {
-                    return Ok(());
+                    return self.note_stall(
+                        (ti, tk, node),
+                        StallReason::OutputFull,
+                        Some(ei),
+                        None,
+                    );
                 }
             }
         }
@@ -881,20 +951,32 @@ impl<'a> Engine<'a> {
                 let child = callee.0 as usize;
                 let cap = self.elab[child].queue_cap;
                 if self.tasks[child].queue.len() >= cap {
-                    return Ok(());
+                    // Downstream issue queue full: backpressure, not memory.
+                    return self.note_stall((ti, tk, node), StallReason::OutputFull, None, None);
                 }
             }
             _ => {}
         }
         if let Some((j, is_write)) = mem_plan {
             let jn = &df.junctions[j];
+            let sid = jn.structure.0 as usize;
             let budget = junction_budget.entry((ti, tk, j)).or_insert((0, 0));
             if is_write {
                 if budget.1 >= jn.write_ports {
-                    return Ok(());
+                    return self.note_stall(
+                        (ti, tk, node),
+                        StallReason::ArbitrationLoss,
+                        None,
+                        Some(sid),
+                    );
                 }
             } else if budget.0 >= jn.read_ports {
-                return Ok(());
+                return self.note_stall(
+                    (ti, tk, node),
+                    StallReason::ArbitrationLoss,
+                    None,
+                    Some(sid),
+                );
             }
         }
 
@@ -902,7 +984,7 @@ impl<'a> Engine<'a> {
         // which is the injection point for a stuck output handshake.
         if self.faults_on && self.faults.roll(FaultClass::StuckHandshake) {
             self.stuck.insert((ti, tk, node));
-            return Ok(());
+            return self.note_stall((ti, tk, node), StallReason::FaultHold, None, None);
         }
 
         // --- Fire -----------------------------------------------------------
@@ -932,6 +1014,9 @@ impl<'a> Engine<'a> {
                     .pop_front()
                     .ok_or_else(|| SimError::eval(format!("missing token on edge e{ei}")))?;
                 slots[i] = Some(t.value);
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.edge_delta(cycle, ti, ei, inv.edge_q[ei].len() as u32, false);
+                }
             }
             for &ei in &in_order {
                 let e = &df.edges[ei];
@@ -939,6 +1024,9 @@ impl<'a> Engine<'a> {
                     continue;
                 }
                 inv.edge_q[ei].pop_front();
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.edge_delta(cycle, ti, ei, inv.edge_q[ei].len() as u32, false);
+                }
             }
             values = slots
                 .into_iter()
@@ -1019,6 +1107,12 @@ impl<'a> Engine<'a> {
                     let (j, _) =
                         mem_plan.ok_or_else(|| SimError::eval("load without junction plan"))?;
                     let sid = df.junctions[j].structure.0 as usize;
+                    if let Some(obs) = self.obs.as_mut() {
+                        let bank = (addrs.first().copied().unwrap_or(0)
+                            % self.structs[sid].bank_count().max(1) as u64)
+                            as u32;
+                        obs.mem_req(cycle, sid, id, bank, n as u32, false);
+                    }
                     self.structs[sid].submit(MemRequest {
                         id,
                         addrs,
@@ -1071,6 +1165,12 @@ impl<'a> Engine<'a> {
                     let (j, _) =
                         mem_plan.ok_or_else(|| SimError::eval("store without junction plan"))?;
                     let sid = df.junctions[j].structure.0 as usize;
+                    if let Some(obs) = self.obs.as_mut() {
+                        let bank = (addrs.first().copied().unwrap_or(0)
+                            % self.structs[sid].bank_count().max(1) as u64)
+                            as u32;
+                        obs.mem_req(cycle, sid, id, bank, n as u32, true);
+                    }
                     self.structs[sid].submit(MemRequest {
                         id,
                         addrs,
@@ -1176,12 +1276,18 @@ impl<'a> Engine<'a> {
                     value,
                     visible_at: None,
                 });
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.edge_delta(cycle, ti, ei, inv.edge_q[ei].len() as u32, true);
+                }
             }
             inv.fired[node] = k + 1;
             inv.ready_at[node] = cycle + timing.ii as u64;
             inv.pending[node] += 1;
         }
         self.fires += 1;
+        if let Some(obs) = self.obs.as_mut() {
+            obs.fire(cycle, (ti, tk, node), k);
+        }
         self.last_progress = cycle;
         if let Some(at) = completion_at {
             let uid = self.tasks[ti].tiles[tk].as_ref().expect("active").uid;

@@ -186,31 +186,8 @@ pub(crate) const DELAY_MINOR: u64 = 1_000;
 /// watchdog, so the run hangs and the watchdog reports it.
 pub(crate) const DELAY_TIMEOUT: u64 = 1_000_000_000;
 
-/// splitmix64 — tiny, seedable, and good enough for injection schedules.
-#[derive(Debug, Clone)]
-pub(crate) struct Rng(u64);
-
-impl Rng {
-    pub(crate) fn new(seed: u64) -> Rng {
-        Rng(seed)
-    }
-
-    pub(crate) fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    pub(crate) fn below(&mut self, n: u64) -> u64 {
-        self.next_u64() % n.max(1)
-    }
-
-    fn chance_ppm(&mut self, ppm: u32) -> bool {
-        self.below(1_000_000) < ppm as u64
-    }
-}
+/// splitmix64, shared with the tracer's sampling (`muir_core::rng`).
+pub(crate) type Rng = muir_core::rng::SplitMix64;
 
 /// One domain's injection state: a private RNG stream plus per-class rate,
 /// remaining budget, and tallies.
@@ -242,7 +219,7 @@ impl Injector {
             };
         }
         Injector {
-            rng: Rng::new(plan.seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            rng: Rng::salted(plan.seed, salt),
             rate,
             left,
             counts: FaultCounts::default(),
@@ -280,19 +257,6 @@ impl Injector {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn rng_is_deterministic_and_spread() {
-        let mut a = Rng::new(42);
-        let mut b = Rng::new(42);
-        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
-        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
-        assert_eq!(xs, ys);
-        let mut uniq = xs.clone();
-        uniq.sort_unstable();
-        uniq.dedup();
-        assert_eq!(uniq.len(), xs.len());
-    }
 
     #[test]
     fn injector_respects_budget_and_rate() {

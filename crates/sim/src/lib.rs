@@ -46,12 +46,17 @@ mod engine;
 pub mod error;
 pub mod fault;
 pub mod memory;
+pub mod trace;
 
 pub use error::{
     BufferSuggestion, ChannelState, DeadlockReport, FaultKind, SimError, StuckTile, WaitEdge,
 };
 pub use fault::{Ecc, FaultClass, FaultCounts, FaultPlan, FaultSpec};
 pub use memory::StructStats;
+pub use trace::{
+    Bottleneck, BottleneckKind, BottleneckReport, ChannelProfile, NodeProfile, SimProfile,
+    StallReason, StructProfile, Trace, TraceConfig, TraceEvent, TraceMeta,
+};
 
 use muir_core::accel::Accelerator;
 use muir_mir::interp::Memory;
@@ -78,6 +83,9 @@ pub struct SimConfig {
     pub elastic_depth: u32,
     /// Seeded fault-injection schedule (empty = fault-free run).
     pub faults: FaultPlan,
+    /// Observability: per-cycle event tracing and stall attribution
+    /// (disabled by default; never perturbs timing when enabled).
+    pub trace: TraceConfig,
 }
 
 impl Default for SimConfig {
@@ -90,6 +98,7 @@ impl Default for SimConfig {
             databox_entries: 8,
             elastic_depth: 8,
             faults: FaultPlan::none(),
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -140,6 +149,70 @@ impl SimStats {
     pub fn ecc_corrected(&self) -> u64 {
         self.struct_stats.iter().map(|s| s.ecc_corrected).sum()
     }
+
+    /// Per-structure miss rates, index-aligned with `struct_stats`. Each
+    /// rate is guarded: a structure with no cacheable traffic reports 0.
+    pub fn miss_rates(&self) -> Vec<f64> {
+        self.struct_stats
+            .iter()
+            .map(StructStats::miss_rate)
+            .collect()
+    }
+
+    /// Overall miss rate across every structure (guarded like the
+    /// per-struct rates).
+    pub fn overall_miss_rate(&self) -> f64 {
+        let total = self.cache_hits() + self.cache_misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_misses() as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for SimStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "sim stats: {} cycles, {} fires, {} task invocations",
+            self.cycles,
+            self.fires,
+            self.task_invocations.iter().sum::<u64>()
+        )?;
+        for (ti, (inv, busy)) in self
+            .task_invocations
+            .iter()
+            .zip(&self.task_busy_cycles)
+            .enumerate()
+        {
+            writeln!(f, "  task {ti}: {inv} invocations, {busy} busy cycles")?;
+        }
+        for (si, s) in self.struct_stats.iter().enumerate() {
+            writeln!(
+                f,
+                "  struct {si}: {} reqs, {} elem txns, {} conflict stalls, \
+                 {} hits / {} misses (miss rate {:.1}%), {} writebacks",
+                s.requests,
+                s.elem_txns,
+                s.conflict_stalls,
+                s.hits,
+                s.misses,
+                100.0 * s.miss_rate(),
+                s.writebacks
+            )?;
+        }
+        writeln!(f, "  dram fills: {}", self.dram_fills)?;
+        if self.faults.total() > 0 {
+            writeln!(
+                f,
+                "  faults injected: {} (outputs suspect), ecc corrected: {}",
+                self.faults.total(),
+                self.ecc_corrected()
+            )?;
+        }
+        Ok(())
+    }
 }
 
 /// Result of a simulation run.
@@ -151,6 +224,10 @@ pub struct SimResult {
     pub results: Vec<Value>,
     /// Statistics.
     pub stats: SimStats,
+    /// Aggregated observability profile (`Some` iff tracing was enabled).
+    pub profile: Option<SimProfile>,
+    /// The recorded event stream (`Some` iff tracing was enabled).
+    pub trace: Option<Trace>,
 }
 
 /// Simulate the accelerator's root task once against `mem`.
@@ -169,11 +246,17 @@ pub fn simulate(
     muir_core::verify::verify_accelerator(acc)
         .map_err(|source| SimError::GraphRejected { source })?;
     let engine = engine::Engine::new(acc, mem, cfg);
-    let (cycles, results, stats) = engine.run(args)?;
+    let (cycles, results, stats, observed) = engine.run(args)?;
+    let (profile, trace) = match observed {
+        Some((p, t)) => (Some(p), Some(t)),
+        None => (None, None),
+    };
     Ok(SimResult {
         cycles,
         results,
         stats,
+        profile,
+        trace,
     })
 }
 

@@ -67,6 +67,32 @@ pub struct StructStats {
     pub ecc_corrected: u64,
 }
 
+impl StructStats {
+    /// Miss rate over `hits + misses`. Scratchpads, DRAM, and idle caches
+    /// have no cacheable traffic; they report 0 rather than dividing by
+    /// zero.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Hit rate over `hits + misses` (0 when the structure saw no
+    /// cacheable traffic — deliberately *not* 1.0, so an idle cache never
+    /// reads as perfectly warm).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// Cache line state.
 #[derive(Debug, Clone, Copy, Default)]
 struct Line {

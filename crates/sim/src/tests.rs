@@ -887,3 +887,196 @@ fn dram_timeout_hangs_are_attributed_to_memory() {
     }
     assert!(saw_hang, "some seed takes the timeout arm");
 }
+
+// ---------------------------------------------------------------------------
+// Observability: stall attribution and the zero-perturbation contract
+// ---------------------------------------------------------------------------
+
+/// The fault workload with one dynamic data edge into the store squeezed
+/// to `Fifo(depth)`; returns the accelerator and the squeezed edge's
+/// (task, edge) coordinates.
+fn squeezed_accelerator(m: &Module, depth: u32) -> (Accelerator, usize, usize) {
+    let mut acc = translate(m, &FrontendConfig::default()).unwrap();
+    let lp = acc
+        .task_ids()
+        .find(|&t| acc.task(t).kind.is_loop())
+        .unwrap();
+    let ti = lp.0 as usize;
+    let ei = {
+        let df = &mut acc.task_mut(lp).dataflow;
+        let store = df
+            .node_ids()
+            .find(|&n| matches!(df.node(n).kind, muir_core::node::NodeKind::Store { .. }))
+            .unwrap();
+        let is_dyn = |df: &muir_core::dataflow::Dataflow, n: muir_core::dataflow::NodeId| {
+            !matches!(
+                df.node(n).kind,
+                muir_core::node::NodeKind::Input { .. } | muir_core::node::NodeKind::Const(_)
+            )
+        };
+        let ei = df
+            .edges
+            .iter()
+            .position(|e| {
+                e.dst == store
+                    && matches!(e.kind, muir_core::dataflow::EdgeKind::Data)
+                    && is_dyn(df, e.src)
+            })
+            .expect("dynamic data edge into the store");
+        df.edges[ei].buffering = muir_core::dataflow::Buffering::Fifo(depth);
+        ei
+    };
+    (acc, ti, ei)
+}
+
+#[test]
+fn stall_attribution_blames_the_channel_deadlock_diagnosis_would_bump() {
+    // An under-buffered (but live) channel: every other edge gets a deep
+    // elastic buffer, so the squeezed Fifo(1) edge is the only place
+    // back-pressure can accumulate. The profile must attribute (nearly)
+    // all output-full stall cycles to that channel — the same channel the
+    // deadlock watchdog names when the buffer is removed entirely.
+    let (m, a, expected) = fault_workload();
+    let (acc, ti, ei) = squeezed_accelerator(&m, 1);
+    let mut mem = Memory::from_module(&m);
+    mem.init_i64(a, &(0..32).map(|x| x * 2).collect::<Vec<_>>());
+    let cfg = SimConfig {
+        elastic_depth: 1024,
+        trace: crate::TraceConfig::on(),
+        ..SimConfig::default()
+    };
+    let r = simulate(&acc, &mut mem, &[], &cfg).expect("squeezed-but-live run completes");
+    assert_eq!(mem.read_i64(a), expected, "still functionally correct");
+
+    let profile = r.profile.expect("tracing was on");
+    let total_full: u64 = profile.channels.iter().map(|c| c.full_stalls).sum();
+    let squeezed_full = profile
+        .channels
+        .iter()
+        .find(|c| c.task as usize == ti && c.edge as usize == ei)
+        .map_or(0, |c| c.full_stalls);
+    assert!(
+        squeezed_full > 0,
+        "squeezed channel recorded no full stalls"
+    );
+    assert!(
+        squeezed_full as f64 >= 0.9 * total_full as f64,
+        "squeezed channel holds {squeezed_full}/{total_full} full-stall cycles"
+    );
+
+    // The bottleneck report's top channel entry names the same edge.
+    let report = profile.bottlenecks(5);
+    let squeezed_name = profile
+        .channels
+        .iter()
+        .find(|c| c.task as usize == ti && c.edge as usize == ei)
+        .map(|c| c.name.clone())
+        .unwrap();
+    let top_channel = report
+        .entries
+        .iter()
+        .find(|b| b.kind == crate::BottleneckKind::Channel)
+        .expect("a channel bottleneck is reported");
+    assert_eq!(top_channel.name, squeezed_name, "{report}");
+    assert!(
+        top_channel.suggestion.contains("Fifo(2)"),
+        "suggestion doubles the squeezed capacity: {}",
+        top_channel.suggestion
+    );
+
+    // Correspondence: with the buffer removed entirely the run deadlocks,
+    // and the watchdog's re-buffering suggestion names the very channel
+    // the profile blamed.
+    let (acc0, ti0, ei0) = squeezed_accelerator(&m, 0);
+    assert_eq!((ti0, ei0), (ti, ei), "same edge squeezed in both builds");
+    let mut mem = Memory::from_module(&m);
+    mem.init_i64(a, &(0..32).map(|x| x * 2).collect::<Vec<_>>());
+    let cfg0 = SimConfig {
+        deadlock_cycles: 2_000,
+        ..SimConfig::default()
+    };
+    let e = simulate(&acc0, &mut mem, &[], &cfg0).unwrap_err();
+    let SimError::Deadlock { report, .. } = &e else {
+        panic!("want Deadlock, got {e}")
+    };
+    let sugg = report.suggestion.expect("deadlock suggests a re-buffer");
+    assert_eq!(
+        (sugg.task as usize, sugg.edge as usize),
+        (ti, ei),
+        "profile and deadlock diagnosis name the same channel"
+    );
+}
+
+#[test]
+fn tracing_never_perturbs_the_simulation() {
+    // The observer only reads engine facts; enabling it — at any ring
+    // capacity or sampling rate — must leave cycles, firings, statistics
+    // and results bit-identical to the untraced run.
+    let mut m = Module::new("perturb");
+    let a = m.add_mem_object("a", ScalarType::I32, 64);
+    let b_obj = m.add_mem_object("b", ScalarType::I32, 64);
+    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+    b.for_loop(0, ValueRef::int(8), 1, |b, i| {
+        let base = b.mul(i, ValueRef::int(8));
+        b.for_loop(0, ValueRef::int(8), 1, |b, j| {
+            let idx = b.add(base, j);
+            let v = b.load(a, idx);
+            let w = b.load(b_obj, idx);
+            let s = b.mul(v, w);
+            b.store(a, idx, s);
+        });
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+    let acc = translate(&m, &FrontendConfig::default()).unwrap();
+    let init_a: Vec<i64> = (0..64).map(|x| x + 1).collect();
+    let init_b: Vec<i64> = (0..64).map(|x| 2 * x - 5).collect();
+
+    let run = |trace: crate::TraceConfig| {
+        let mut mem = Memory::from_module(&m);
+        mem.init_i64(a, &init_a);
+        mem.init_i64(b_obj, &init_b);
+        let cfg = SimConfig {
+            trace,
+            ..SimConfig::default()
+        };
+        let r = simulate(&acc, &mut mem, &[], &cfg).expect("run completes");
+        (r, mem.read_i64(a))
+    };
+
+    let (base, base_mem) = run(crate::TraceConfig::default());
+    assert!(base.profile.is_none() && base.trace.is_none());
+
+    let variants = [
+        crate::TraceConfig::on(),
+        // Tiny ring: forces the drop path.
+        crate::TraceConfig {
+            capacity: 64,
+            ..crate::TraceConfig::on()
+        },
+        // Sub-sampled ring events.
+        crate::TraceConfig {
+            sample_ppm: 1_000,
+            seed: 7,
+            ..crate::TraceConfig::on()
+        },
+    ];
+    for (k, v) in variants.into_iter().enumerate() {
+        let (traced, traced_mem) = run(v);
+        assert_eq!(base.cycles, traced.cycles, "variant {k}: cycles differ");
+        assert_eq!(base.stats.fires, traced.stats.fires, "variant {k}");
+        assert_eq!(
+            base.stats.task_invocations, traced.stats.task_invocations,
+            "variant {k}"
+        );
+        assert_eq!(base.results, traced.results, "variant {k}");
+        assert_eq!(base_mem, traced_mem, "variant {k}: memory differs");
+        let profile = traced.profile.expect("tracing was on");
+        assert_eq!(profile.cycles, traced.cycles, "variant {k}");
+        assert_eq!(
+            profile.events_recorded + profile.events_dropped,
+            traced.trace.as_ref().unwrap().events.len() as u64 + profile.events_dropped,
+            "variant {k}: ring accounting is consistent"
+        );
+    }
+}

@@ -161,9 +161,8 @@ pub fn fuse_accumulators(df: &mut Dataflow) -> PassDelta {
         }
         // Drop the triangle's interior edges and the two old nodes.
         df.edges.retain(|e| {
-            let interior = (e.src == m && e.dst == u)
-                || (e.src == u && e.dst == m)
-                || e.dst == m
+            let interior = e.dst == m
+                || (e.src == m && e.dst == u)
                 || (e.dst == u && e.kind != EdgeKind::Order);
             !interior
         });
@@ -238,10 +237,7 @@ fn combine(u: &FusedPlan, v: &FusedPlan, v_port: u16) -> FusedPlan {
 /// One fusion round over a dataflow; returns the touched-element delta.
 pub fn fuse_dataflow(df: &mut Dataflow, max_delay_ns: f64, max_ops: usize) -> PassDelta {
     let mut delta = PassDelta::default();
-    loop {
-        let Some((u, v, v_port)) = find_candidate(df, max_delay_ns, max_ops) else {
-            break;
-        };
+    while let Some((u, v, v_port)) = find_candidate(df, max_delay_ns, max_ops) {
         // Build the fused node in v's slot.
         let u_plan = plan_of(df.node(u)).expect("candidate is fusable");
         let v_plan = plan_of(df.node(v)).expect("candidate is fusable");

@@ -82,11 +82,32 @@ pub trait Pass {
     fn run(&self, acc: &mut Accelerator) -> Result<PassDelta, PassError>;
 }
 
+/// Per-pass instrumentation: what the pass did and what it cost.
+#[derive(Debug, Clone, Default)]
+pub struct PassRecord {
+    /// Pass name.
+    pub name: String,
+    /// Elements touched (Table 4's ΔNode/ΔEdge).
+    pub delta: PassDelta,
+    /// Host wall time of the pass itself (excludes the manager's post-pass
+    /// verification).
+    pub wall: std::time::Duration,
+    /// Graph node count after the pass (includes verification-visible
+    /// growth, so `records[i].nodes_after - records[i-1].nodes_after` is
+    /// the pass's net size effect).
+    pub nodes_after: usize,
+    /// Graph edge count after the pass.
+    pub edges_after: usize,
+}
+
 /// Report of one manager invocation.
 #[derive(Debug, Clone, Default)]
 pub struct PassReport {
     /// `(pass name, delta)` in execution order.
     pub deltas: Vec<(String, PassDelta)>,
+    /// Full per-pass instrumentation (same order as `deltas`), including
+    /// wall time and post-pass graph sizes.
+    pub records: Vec<PassRecord>,
 }
 
 impl PassReport {
@@ -95,6 +116,36 @@ impl PassReport {
         self.deltas
             .iter()
             .fold(PassDelta::default(), |a, (_, d)| a.merge(*d))
+    }
+
+    /// Total host wall time across all passes.
+    pub fn total_wall(&self) -> std::time::Duration {
+        self.records.iter().map(|r| r.wall).sum()
+    }
+
+    /// Human-readable per-pass table (name, wall time, Δ, graph size).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        use fmt::Write as _;
+        let _ = writeln!(
+            out,
+            "pass pipeline: {} passes, {:.3} ms total",
+            self.records.len(),
+            self.total_wall().as_secs_f64() * 1e3
+        );
+        for r in &self.records {
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>9.3} ms  Δnodes {:>4}  Δedges {:>4}  -> {} nodes / {} edges",
+                r.name,
+                r.wall.as_secs_f64() * 1e3,
+                r.delta.nodes,
+                r.delta.edges,
+                r.nodes_after,
+                r.edges_after
+            );
+        }
+        out
     }
 }
 
@@ -128,12 +179,22 @@ impl PassManager {
     pub fn run(&self, acc: &mut Accelerator) -> Result<PassReport, PassError> {
         let mut report = PassReport::default();
         for pass in &self.passes {
+            let started = std::time::Instant::now();
             let delta = pass.run(acc)?;
+            let wall = started.elapsed();
             verify_accelerator(acc).map_err(|e| PassError {
                 pass: pass.name().to_string(),
                 message: format!("graph invalid after pass: {e}"),
             })?;
+            let size = muir_core::stats::graph_stats(acc);
             report.deltas.push((pass.name().to_string(), delta));
+            report.records.push(PassRecord {
+                name: pass.name().to_string(),
+                delta,
+                wall,
+                nodes_after: size.nodes,
+                edges_after: size.edges,
+            });
         }
         Ok(report)
     }
@@ -196,6 +257,14 @@ mod tests {
         let report = pm.run(&mut acc).unwrap();
         assert_eq!(report.deltas.len(), 2);
         assert_eq!(report.total(), PassDelta { nodes: 2, edges: 4 });
+        // Instrumentation rides along: per-pass wall time + graph sizes.
+        assert_eq!(report.records.len(), 2);
+        assert!(report.records.iter().all(|r| r.name == "nop"));
+        assert_eq!(report.records[0].nodes_after, 1);
+        assert_eq!(report.records[0].edges_after, 0);
+        let table = report.render();
+        assert!(table.contains("nop"), "{table}");
+        assert!(table.contains("2 passes"), "{table}");
     }
 
     #[test]

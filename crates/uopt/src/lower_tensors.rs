@@ -189,13 +189,12 @@ fn expand_task(
                 let fb_edge = ins.iter().find(|e| e.dst_port == 1).cloned();
                 let mut lv = Vec::new();
                 let mut merge_ids = Vec::new();
-                for k in 0..nl {
+                for (k, &(s, sp)) in init.iter().enumerate().take(nl) {
                     let nn = df.add_node(Node::new(
                         format!("{}_{k}", node.name),
                         NodeKind::Merge,
                         elem_ty(node.ty),
                     ));
-                    let (s, sp) = init[k];
                     df.connect(s, sp, nn, 0);
                     lv.push((nn, 0));
                     merge_ids.push(nn);
@@ -299,7 +298,7 @@ fn expand_task(
                 if vals.len() != nl {
                     return Err(format!("store value lanes {} != {nl}", vals.len()));
                 }
-                for k in 0..nl {
+                for (k, &(v, vp)) in vals.iter().enumerate() {
                     let a = if k == 0 {
                         addr
                     } else {
@@ -328,7 +327,7 @@ fn expand_task(
                         elem_ty(node.ty),
                     ));
                     df.connect(a.0, a.1, st, 0);
-                    df.connect(vals[k].0, vals[k].1, st, 1);
+                    df.connect(v, vp, st, 1);
                     if let Some((p, pp)) = pred {
                         df.connect(p, pp, st, 2);
                     }
@@ -530,13 +529,13 @@ fn emit_compute(
         OpKind::Tensor(TensorOp::Relu, _) => {
             let a = fetch(0)?;
             let mut out = Vec::new();
-            for k in 0..a.len() {
+            for (k, &(src, sp)) in a.iter().enumerate() {
                 let n = df.add_node(Node::new(
                     format!("{}_{k}", node.name),
                     NodeKind::Compute(OpKind::Un(UnOp::Relu)),
                     ety,
                 ));
-                df.connect(a[k].0, a[k].1, n, 0);
+                df.connect(src, sp, n, 0);
                 out.push((n, 0));
             }
             delta.nodes += a.len();

@@ -1,7 +1,8 @@
 #!/bin/sh
-# Repo hygiene gate: formatting, lints on the simulator crate, and the
-# tier-1 test suite. Each stage is skipped (not failed) when its tool is
-# missing, so the script works in minimal containers.
+# Repo hygiene gate: formatting, lints on the simulator/transform/bench
+# crates, the tier-1 test suite, and the trace-exporter schema gate. Each
+# tool-dependent stage is skipped (not failed) when its tool is missing,
+# so the script works in minimal containers.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -16,11 +17,18 @@ fi
 if command -v cargo >/dev/null 2>&1 && cargo clippy --version >/dev/null 2>&1; then
     echo "== cargo clippy -p muir-sim (warnings are errors) =="
     cargo clippy -p muir-sim --all-targets -- -D warnings
+    echo "== cargo clippy -p muir-uopt (warnings are errors) =="
+    cargo clippy -p muir-uopt --all-targets -- -D warnings
+    echo "== cargo clippy -p muir-bench (warnings are errors) =="
+    cargo clippy -p muir-bench --all-targets -- -D warnings
 else
     echo "== cargo clippy not available; skipped =="
 fi
 
 echo "== tier-1 tests =="
 cargo test -q
+
+echo "== trace exporter vs scripts/trace_schema.json =="
+cargo run -q -p muir-bench --bin experiments -- trace-schema scripts/trace_schema.json
 
 echo "check.sh: OK"
