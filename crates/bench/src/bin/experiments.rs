@@ -3,7 +3,8 @@
 //! ```text
 //! cargo run --release -p muir-bench --bin experiments [all|fig1|table2|fig9|
 //!     table3|fig11|fig12|fig15|fig16|fig17|fig18|table4|faults|--selftest|
-//!     profile <workload> [outdir]|trace-schema [schema.json]]
+//!     profile <workload> [outdir]|trace-schema [schema.json]|
+//!     bench [--quick] [out.json]]
 //! ```
 //!
 //! `faults` runs the differential fault-injection campaign (see
@@ -45,6 +46,17 @@ fn main() {
             .nth(3)
             .unwrap_or_else(|| format!("target/profile/{}", name.to_lowercase()));
         profile(&name, &outdir);
+        return;
+    }
+    if which == "bench" {
+        let rest: Vec<String> = std::env::args().skip(2).collect();
+        let quick = rest.iter().any(|a| a == "--quick");
+        let out = rest
+            .iter()
+            .find(|a| !a.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_sim.json".to_string());
+        bench(quick, &out);
         return;
     }
     if which == "trace-schema" {
@@ -165,6 +177,19 @@ fn profile(name: &str, outdir: &str) {
         art.cycles_untraced, art.cycles_optimized
     );
 
+    hdr("Scheduler cost: Dense scan vs Ready set (untraced baseline)");
+    let w = by_name(name).expect("workload exists: profile_workload ran it");
+    let row = muir_bench::sched::bench_workload(&w, 3);
+    println!(
+        "wall-time: {:.3} ms dense / {:.3} ms ready ({:.2}x); \
+         try_fire visits per cycle: {:.1} dense / {:.2} ready",
+        row.dense_ms,
+        row.ready_ms,
+        row.speedup(),
+        row.dense_visits_per_cycle,
+        row.ready_visits_per_cycle
+    );
+
     let dir = std::path::Path::new(outdir);
     std::fs::create_dir_all(dir).expect("create profile output directory");
     let json_path = dir.join("trace.json");
@@ -179,6 +204,57 @@ fn profile(name: &str, outdir: &str) {
         art.profile.events_dropped
     );
     println!("open trace.json in ui.perfetto.dev or chrome://tracing; trace.vcd in gtkwave");
+}
+
+/// `bench [--quick] [out.json]`: the scheduler benchmark gate. First run
+/// the Dense-vs-Ready differential suite (plain, traced, and seeded
+/// fault-plan modes) over the selected workload set, then time both
+/// schedulers and write `BENCH_sim.json`, schema-validated by the same
+/// dependency-free JSON parser the trace gate uses. Exits non-zero on any
+/// divergence, schema violation, or if Ready is slower than Dense in
+/// aggregate.
+fn bench(quick: bool, out: &str) {
+    use muir_bench::sched;
+    hdr(&format!(
+        "Scheduler benchmark: Dense vs Ready ({} set)",
+        if quick { "quick" } else { "full" }
+    ));
+    let ws: Vec<workloads::Workload> = if quick {
+        sched::QUICK_SET
+            .iter()
+            .map(|n| by_name(n).expect("quick-set workload"))
+            .collect()
+    } else {
+        workloads::all()
+    };
+    for (i, w) in ws.iter().enumerate() {
+        if let Err(e) = sched::check_workload(w, i) {
+            eprintln!("scheduler divergence: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "differential: {} workloads x {{plain, traced, faulted}} bit-identical",
+        ws.len()
+    );
+
+    let reps = if quick { 2 } else { 3 };
+    let rows: Vec<sched::BenchRow> = ws.iter().map(|w| sched::bench_workload(w, reps)).collect();
+    print!("{}", sched::render_rows(&rows));
+
+    let json = sched::bench_json(&rows);
+    if let Err(e) = sched::validate_bench_json(&json) {
+        eprintln!("BENCH_sim.json schema violation: {e}");
+        std::process::exit(1);
+    }
+    std::fs::write(out, &json).unwrap_or_else(|e| panic!("cannot write `{out}`: {e}"));
+    println!("wrote {out}");
+
+    let g = sched::geomean_speedup(&rows);
+    if g < 1.0 {
+        eprintln!("FAIL: Ready scheduler is slower than Dense (geomean {g:.2}x < 1.00x)");
+        std::process::exit(1);
+    }
 }
 
 /// `trace-schema [schema.json]`: CI gate — regenerate a golden trace and

@@ -8,6 +8,7 @@
 
 pub mod campaign;
 pub mod profile;
+pub mod sched;
 
 use muir_baselines::{CpuModel, HlsModel};
 use muir_core::accel::Accelerator;

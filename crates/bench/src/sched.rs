@@ -1,0 +1,387 @@
+//! Dense-vs-Ready scheduler harness: the differential oracle and the
+//! wall-time benchmark behind `experiments bench` / `BENCH_sim.json`.
+//!
+//! The cycle engine has two phase-4 schedulers (`SchedulerKind`): the
+//! original dense scanner and the event-driven ready-set scheduler
+//! (DESIGN.md §9). Their contract is *bit-identical observable
+//! behaviour* — cycles, results, `SimStats` (minus the simulator-effort
+//! counter `sched_visits`), trace streams, and even typed errors. This
+//! module checks that contract over real workloads (including seeded
+//! fault plans and tracing) and measures what the ready scheduler buys
+//! in simulator wall-time.
+
+use crate::baseline;
+use crate::profile::{parse_json, Json};
+use muir_sim::{simulate, FaultClass, FaultPlan, SchedulerKind, SimConfig, SimStats, TraceConfig};
+use muir_workloads::{all, by_name, Workload};
+use std::time::Instant;
+
+/// The observable outcome of one simulation, flattened to comparable
+/// strings so differential checks are order- and representation-exact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunOutcome {
+    /// Completed: (cycles, Debug-formatted results, stats fingerprint,
+    /// Chrome-JSON trace when tracing was on).
+    Ok {
+        /// Cycles to completion.
+        cycles: u64,
+        /// `Debug` rendering of the root results (exact, bit-level).
+        results: String,
+        /// All `SimStats` fields except `sched_visits`.
+        stats: String,
+        /// Full Chrome-JSON event stream (`None` when tracing was off).
+        trace: Option<String>,
+    },
+    /// Failed: the error's `Display` rendering (typed errors carry cycle
+    /// numbers and sites, so equal strings mean equal failures).
+    Err(String),
+}
+
+/// Every `SimStats` field except `sched_visits`, which measures simulator
+/// effort, not hardware behaviour, and legitimately differs between
+/// schedulers.
+pub fn stats_fingerprint(s: &SimStats) -> String {
+    format!(
+        "cycles={} fires={} inv={:?} busy={:?} structs={:?} dram_fills={} faults={:?}",
+        s.cycles,
+        s.fires,
+        s.task_invocations,
+        s.task_busy_cycles,
+        s.struct_stats,
+        s.dram_fills,
+        s.faults
+    )
+}
+
+/// Run `w`'s baseline accelerator under one scheduler and flatten the
+/// outcome. `faults`/`tracing` select the stress mode.
+pub fn run_under(
+    w: &Workload,
+    scheduler: SchedulerKind,
+    faults: &FaultPlan,
+    tracing: bool,
+) -> RunOutcome {
+    let acc = baseline(w);
+    let cfg = SimConfig {
+        faults: faults.clone(),
+        trace: if tracing {
+            TraceConfig::on()
+        } else {
+            TraceConfig::default()
+        },
+        scheduler,
+        ..SimConfig::default()
+    };
+    let mut mem = w.fresh_memory();
+    match simulate(&acc, &mut mem, &[], &cfg) {
+        Ok(r) => RunOutcome::Ok {
+            cycles: r.cycles,
+            results: format!("{:?}", r.results),
+            stats: stats_fingerprint(&r.stats),
+            trace: r.trace.map(|t| t.to_chrome_json()),
+        },
+        Err(e) => RunOutcome::Err(e.to_string()),
+    }
+}
+
+/// Differentially run `w` under Dense and Ready; returns an error message
+/// naming the first divergence, if any.
+///
+/// # Errors
+/// Any observable difference: cycles, results, stats, trace stream, or
+/// error text.
+pub fn check_equivalence(w: &Workload, faults: &FaultPlan, tracing: bool) -> Result<(), String> {
+    let dense = run_under(w, SchedulerKind::Dense, faults, tracing);
+    let ready = run_under(w, SchedulerKind::Ready, faults, tracing);
+    if dense == ready {
+        return Ok(());
+    }
+    // Render a focused diff rather than two page-long Debug dumps.
+    let describe = |o: &RunOutcome| match o {
+        RunOutcome::Ok { cycles, .. } => format!("Ok(cycles={cycles})"),
+        RunOutcome::Err(e) => format!("Err({e})"),
+    };
+    let field = match (&dense, &ready) {
+        (
+            RunOutcome::Ok {
+                cycles: c1,
+                results: r1,
+                stats: s1,
+                trace: t1,
+            },
+            RunOutcome::Ok {
+                cycles: c2,
+                results: r2,
+                stats: s2,
+                trace: t2,
+            },
+        ) => {
+            if c1 != c2 {
+                format!("cycles: dense={c1} ready={c2}")
+            } else if r1 != r2 {
+                "results differ".to_string()
+            } else if s1 != s2 {
+                format!("stats: dense[{s1}] ready[{s2}]")
+            } else if t1 != t2 {
+                "trace streams differ".to_string()
+            } else {
+                "unknown field".to_string()
+            }
+        }
+        _ => format!("dense={} ready={}", describe(&dense), describe(&ready)),
+    };
+    let fault_mode = if faults.specs.is_empty() { "off" } else { "on" };
+    Err(format!(
+        "{} (faults={fault_mode}, tracing={tracing}): {field}",
+        w.name
+    ))
+}
+
+/// The seeded fault plan a differential sweep pairs with workload `i`:
+/// a single-event plan whose class cycles through [`FaultClass::ALL`]
+/// and whose seed hashes the workload name, so every run of the suite
+/// replays the same faults while the suite as a whole covers every class
+/// (including the deadlock-shaped ones, which must deadlock at the same
+/// cycle under both schedulers).
+pub fn diff_fault_plan(w: &Workload, i: usize) -> FaultPlan {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in w.name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+    }
+    FaultPlan::single(FaultClass::ALL[i % FaultClass::ALL.len()], h)
+}
+
+/// Differentially check one workload in all three stress modes: plain,
+/// tracing on, and a seeded single-event fault plan.
+///
+/// # Errors
+/// The first divergence found (see [`check_equivalence`]).
+pub fn check_workload(w: &Workload, i: usize) -> Result<(), String> {
+    check_equivalence(w, &FaultPlan::none(), false)?;
+    check_equivalence(w, &FaultPlan::none(), true)?;
+    check_equivalence(w, &diff_fault_plan(w, i), false)
+}
+
+/// One row of `BENCH_sim.json`: wall-time under both schedulers for the
+/// same workload, with the differential invariant re-asserted.
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    /// Workload name.
+    pub workload: String,
+    /// Simulated cycles (identical under both schedulers by contract).
+    pub cycles: u64,
+    /// Best-of-N wall-time under the dense scanner, milliseconds.
+    pub dense_ms: f64,
+    /// Best-of-N wall-time under the ready scheduler, milliseconds.
+    pub ready_ms: f64,
+    /// `try_fire` visits per simulated cycle, dense.
+    pub dense_visits_per_cycle: f64,
+    /// `try_fire` visits per simulated cycle, ready.
+    pub ready_visits_per_cycle: f64,
+}
+
+impl BenchRow {
+    /// Dense-over-ready wall-time ratio (> 1 means Ready is faster).
+    pub fn speedup(&self) -> f64 {
+        if self.ready_ms > 0.0 {
+            self.dense_ms / self.ready_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Simulated cycles per wall-clock second under Ready.
+    pub fn ready_cycles_per_sec(&self) -> f64 {
+        if self.ready_ms > 0.0 {
+            self.cycles as f64 / (self.ready_ms / 1e3)
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Time `w` under one scheduler: best of `reps` runs (min filters
+/// scheduler-independent noise), returning (ms, cycles, visits).
+/// Sub-~25 ms workloads get extra reps — a single timer-tick or cache
+/// hiccup on a 3 ms run otherwise swings the ratio by several percent.
+fn time_under(w: &Workload, scheduler: SchedulerKind, reps: u32) -> (f64, u64, u64) {
+    let acc = baseline(w);
+    let cfg = SimConfig::default().with_scheduler(scheduler);
+    let mut best = f64::INFINITY;
+    let mut cycles = 0;
+    let mut visits = 0;
+    let mut run = |best: &mut f64| {
+        let mut mem = w.fresh_memory();
+        let t0 = Instant::now();
+        let r = simulate(&acc, &mut mem, &[], &cfg)
+            .unwrap_or_else(|e| panic!("{} ({scheduler:?}): {e}", w.name));
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        *best = best.min(dt);
+        cycles = r.cycles;
+        visits = r.stats.sched_visits;
+    };
+    for _ in 0..reps.max(1) {
+        run(&mut best);
+    }
+    if best < 25.0 && best * f64::from(reps) < 100.0 {
+        let extra = (100.0 / best.max(0.1)).min(32.0) as u32;
+        for _ in 0..extra {
+            run(&mut best);
+        }
+    }
+    (best, cycles, visits)
+}
+
+/// Benchmark one workload under both schedulers (best of `reps`),
+/// asserting the cycle counts agree.
+///
+/// # Panics
+/// Panics if either run fails or the schedulers disagree on cycles.
+pub fn bench_workload(w: &Workload, reps: u32) -> BenchRow {
+    let (dense_ms, dense_cycles, dense_visits) = time_under(w, SchedulerKind::Dense, reps);
+    let (ready_ms, ready_cycles, ready_visits) = time_under(w, SchedulerKind::Ready, reps);
+    assert_eq!(
+        dense_cycles, ready_cycles,
+        "{}: schedulers disagree on cycle count",
+        w.name
+    );
+    let per = |v: u64| v as f64 / dense_cycles.max(1) as f64;
+    BenchRow {
+        workload: w.name.to_string(),
+        cycles: dense_cycles,
+        dense_ms,
+        ready_ms,
+        dense_visits_per_cycle: per(dense_visits),
+        ready_visits_per_cycle: per(ready_visits),
+    }
+}
+
+/// The quick subset used by the CI gate (small enough for a checked
+/// build, varied enough to cover compute-, memory-, and spawn-bound
+/// shapes).
+pub const QUICK_SET: [&str; 6] = ["GEMM", "FFT", "SPMV", "SAXPY", "STENCIL", "M-SORT"];
+
+/// Benchmark the quick set or every workload; `reps` best-of runs each.
+pub fn bench_all(quick: bool, reps: u32) -> Vec<BenchRow> {
+    let ws: Vec<Workload> = if quick {
+        QUICK_SET.iter().map(|n| by_name(n).unwrap()).collect()
+    } else {
+        all()
+    };
+    ws.iter().map(|w| bench_workload(w, reps)).collect()
+}
+
+/// Geometric-mean speedup over the rows.
+pub fn geomean_speedup(rows: &[BenchRow]) -> f64 {
+    if rows.is_empty() {
+        return 1.0;
+    }
+    let s: f64 = rows.iter().map(|r| r.speedup().max(1e-9).ln()).sum();
+    (s / rows.len() as f64).exp()
+}
+
+/// Serialize rows to the `BENCH_sim.json` document.
+pub fn bench_json(rows: &[BenchRow]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"sim-scheduler\",\n  \"unit\": \"ms\",\n");
+    out.push_str(&format!(
+        "  \"geomean_speedup\": {:.4},\n  \"rows\": [\n",
+        geomean_speedup(rows)
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"cycles\": {}, \"dense_ms\": {:.4}, \
+             \"ready_ms\": {:.4}, \"speedup\": {:.4}, \"ready_cycles_per_sec\": {:.1}, \
+             \"dense_visits_per_cycle\": {:.2}, \"ready_visits_per_cycle\": {:.2}}}{}\n",
+            r.workload,
+            r.cycles,
+            r.dense_ms,
+            r.ready_ms,
+            r.speedup(),
+            r.ready_cycles_per_sec(),
+            r.dense_visits_per_cycle,
+            r.ready_visits_per_cycle,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Validate a `BENCH_sim.json` document with the crate's dependency-free
+/// JSON parser: shape, required fields, and numeric sanity.
+///
+/// # Errors
+/// A message naming the first schema violation.
+pub fn validate_bench_json(text: &str) -> Result<(), String> {
+    let doc = parse_json(text)?;
+    if doc.get("bench").and_then(Json::as_str) != Some("sim-scheduler") {
+        return Err("missing or wrong `bench` tag".into());
+    }
+    if doc.get("unit").and_then(Json::as_str) != Some("ms") {
+        return Err("missing or wrong `unit`".into());
+    }
+    let Some(Json::Num(g)) = doc.get("geomean_speedup") else {
+        return Err("missing numeric `geomean_speedup`".into());
+    };
+    if !g.is_finite() || *g <= 0.0 {
+        return Err(format!("implausible geomean_speedup {g}"));
+    }
+    let Some(Json::Arr(rows)) = doc.get("rows") else {
+        return Err("missing `rows` array".into());
+    };
+    if rows.is_empty() {
+        return Err("`rows` is empty".into());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        for key in [
+            "cycles",
+            "dense_ms",
+            "ready_ms",
+            "speedup",
+            "ready_cycles_per_sec",
+            "dense_visits_per_cycle",
+            "ready_visits_per_cycle",
+        ] {
+            match row.get(key) {
+                Some(Json::Num(v)) if v.is_finite() && *v >= 0.0 => {}
+                other => {
+                    return Err(format!(
+                        "row {i}: `{key}` must be a non-negative number, got {}",
+                        other.map_or("nothing", Json::type_name)
+                    ))
+                }
+            }
+        }
+        if row.get("workload").and_then(Json::as_str).is_none() {
+            return Err(format!("row {i}: missing `workload` string"));
+        }
+    }
+    Ok(())
+}
+
+/// Render the benchmark table for the terminal.
+pub fn render_rows(rows: &[BenchRow]) -> String {
+    let mut out = format!(
+        "{:>10} {:>12} {:>10} {:>10} {:>8} {:>12} {:>9} {:>9}\n",
+        "Bench", "cycles", "dense ms", "ready ms", "speedup", "Mcyc/s", "visits/c", "(ready)"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>10} {:>12} {:>10.3} {:>10.3} {:>7.2}x {:>12.2} {:>9.1} {:>9.2}\n",
+            r.workload,
+            r.cycles,
+            r.dense_ms,
+            r.ready_ms,
+            r.speedup(),
+            r.ready_cycles_per_sec() / 1e6,
+            r.dense_visits_per_cycle,
+            r.ready_visits_per_cycle,
+        ));
+    }
+    out.push_str(&format!(
+        "{:>10} geomean speedup: {:.2}x\n",
+        "--", // aligns under the workload column
+        geomean_speedup(rows)
+    ));
+    out
+}

@@ -1,0 +1,24 @@
+//! Differential property test: the event-driven ready-set scheduler must
+//! be observably indistinguishable from the dense per-cycle scanner on
+//! every workload — same cycle count, same results, same `SimStats`
+//! (minus the scheduler-private visit counter), same trace stream — in
+//! plain, traced, and fault-injected runs.
+
+use muir_bench::sched::check_workload;
+use muir_workloads::all;
+
+#[test]
+fn ready_scheduler_matches_dense_on_every_workload() {
+    let mut failures = Vec::new();
+    for (i, w) in all().iter().enumerate() {
+        if let Err(e) = check_workload(w, i) {
+            failures.push(format!("{}: {e}", w.name));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "scheduler divergence on {} workload(s):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

@@ -22,7 +22,7 @@ use crate::error::{
 use crate::fault::{Ecc, FaultClass, Injector};
 use crate::memory::{DramModel, MemRequest, StructModel};
 use crate::trace::{Observer, SimProfile, StallReason, Trace};
-use crate::{SimConfig, SimError, SimStats};
+use crate::{SchedulerKind, SimConfig, SimError, SimStats};
 use muir_core::accel::{Accelerator, ArgExpr, ResultInit, TaskKind};
 use muir_core::dataflow::EdgeKind;
 use muir_core::hw;
@@ -31,7 +31,36 @@ use muir_core::structure::StructureKind;
 use muir_mir::instr::BinOp;
 use muir_mir::interp::{eval_bin, eval_cmp, eval_tensor, eval_un, Memory};
 use muir_mir::value::Value;
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+use std::rc::Rc;
+
+/// Multiply-shift hasher for `req_map`. Its keys are monotone request
+/// ids, so DoS-resistant SipHash (the `HashMap` default, which showed up
+/// in cycle-path profiles) buys nothing here.
+#[derive(Debug, Default)]
+struct ReqHasher(u64);
+
+impl Hasher for ReqHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        // Fibonacci multiply, then fold the high bits down: hashbrown
+        // takes its control byte from the top and its bucket from the
+        // bottom, so both halves must mix.
+        let h = n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.0 = h ^ (h >> 32);
+    }
+}
 
 /// Fault classes injected at the engine's ready/valid edges (the rest are
 /// owned by the memory models).
@@ -89,7 +118,15 @@ struct ActiveInv {
     /// function units.
     pending: Vec<u32>,
     edge_q: Vec<VecDeque<Tok>>,
-    outstanding: HashMap<u64, u32>,
+    /// Per-edge count of visible (delivered, unconsumed) tokens, kept in
+    /// lockstep with `edge_q` so the output-space gate is an O(1) read
+    /// instead of a queue scan on every visit.
+    edge_vis: Vec<u32>,
+    /// Remaining completions per in-flight instance, front = instance
+    /// `completed`. Instances are admitted and retired strictly in order,
+    /// so a ring indexed by `instance - completed` replaces the old
+    /// per-fire `HashMap` (hashing showed up hot in both schedulers).
+    outstanding: VecDeque<u32>,
     spawns_outstanding: u32,
     last_output: Vec<Value>,
     /// Internal accumulator registers of `FusedAcc` units.
@@ -97,6 +134,9 @@ struct ActiveInv {
 }
 
 /// Pre-elaborated, immutable view of one task's dataflow.
+///
+/// Adjacency lists are `Rc<[usize]>` so hot paths can detach a cheap
+/// O(1) handle instead of cloning a `Vec` per visit.
 #[derive(Debug)]
 struct ElabTask {
     /// Whether each node is static (Input/Const: invocation-constant).
@@ -105,13 +145,17 @@ struct ElabTask {
     dynamic_count: u32,
     /// Node processing order: consumers before producers (reverse topo over
     /// forward edges) so single-token edges sustain II=1.
-    order: Vec<usize>,
+    order: Rc<[usize]>,
+    /// Inverse of `order`: `pos[node]` is the node's scan position. The
+    /// ready scheduler fires candidates in ascending `pos` so a cycle's
+    /// firing sequence is exactly the dense scan's.
+    pos: Vec<u32>,
     /// Per node: indices of incoming data/feedback edges sorted by port.
-    in_data: Vec<Vec<usize>>,
+    in_data: Vec<Rc<[usize]>>,
     /// Per node: indices of incoming order edges.
-    in_order: Vec<Vec<usize>>,
+    in_order: Vec<Rc<[usize]>>,
     /// Per node: indices of outgoing (non-static-src) edges.
-    outs: Vec<Vec<usize>>,
+    outs: Vec<Rc<[usize]>>,
     /// Per node timing.
     timing: Vec<hw::Timing>,
     /// Per node bound on in-flight firings (databox entries for memory
@@ -119,6 +163,8 @@ struct ElabTask {
     max_pending: Vec<u32>,
     /// Queue capacity for invocations (issue queue + `<||>` FIFO).
     queue_cap: usize,
+    /// Junction count (sizes this task's slice of the junction slab).
+    njunctions: usize,
 }
 
 #[derive(Debug)]
@@ -127,6 +173,98 @@ struct TaskState {
     tiles: Vec<Option<ActiveInv>>,
     invocations: u64,
     busy_cycles: u64,
+    /// Indices of free tiles, min-first so dispatch picks the same tile the
+    /// dense `position(|t| t.is_none())` scan would (tile choice is
+    /// observable through traces and error sites).
+    free_tiles: BinaryHeap<Reverse<usize>>,
+    /// Retired `ActiveInv` shells recycled across invocations: their
+    /// `fired/ready_at/pending/edge_q/acc_state` vectors have
+    /// task-constant shapes, so reactivation is a clear, not a malloc.
+    pool: Vec<ActiveInv>,
+    /// Ready-scheduler wake list: `TaskCall` sites (task, tile, node)
+    /// blocked on this task's full issue queue, woken when dispatch pops.
+    queue_waiters: Vec<(u32, u32, u32)>,
+}
+
+/// Where the dense-order scan currently stands, for deciding whether a
+/// wake can still be serviced this cycle (the dense scan visits each
+/// (tile, position) exactly once per cycle, in ascending order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PassPoint {
+    /// Phases 1–3: no tile processed yet; every wake is same-cycle.
+    Before,
+    /// Phase 4, inside tile (task, tile) at scan position `pos` (-1 while
+    /// in admission, before the scan starts).
+    At(usize, usize, i64),
+    /// Phase 4 finished: every wake targets the next cycle.
+    After,
+}
+
+/// Per-tile ready-set state for [`SchedulerKind::Ready`]. Membership is
+/// tracked with dense boolean side-tables so each node appears at most
+/// once per container.
+#[derive(Debug, Default)]
+struct ReadyTile {
+    /// Candidates for the current cycle as a bitset over *scan positions*
+    /// (not node ids), drained lowest-position-first so visitation mirrors
+    /// the dense order. Same-cycle wakes always land at positions ahead of
+    /// the drain point (the `PassPoint` rule), so the forward word walk
+    /// never misses one.
+    cur_bits: Vec<u64>,
+    /// Number of set bits in `cur_bits` (cheap emptiness probe for the
+    /// idle-skip check).
+    cur_n: u32,
+    /// Candidates for the next processed cycle.
+    next: Vec<u32>,
+    in_next: Vec<bool>,
+    /// Nodes asleep until a known future cycle (`ready_at` after a firing
+    /// with II > 1): (wake cycle, scan position, node).
+    future: BinaryHeap<Reverse<(u64, u32, u32)>>,
+    in_future: Vec<bool>,
+    /// Nodes blocked on the instance gate (`fired == admitted`), woken by
+    /// the next admission. Registered at gate failure and when a firing
+    /// exhausts the admitted window, so admission wakes are O(waiters)
+    /// instead of a scan over every node.
+    adm: Vec<u32>,
+    in_adm: Vec<bool>,
+}
+
+impl ReadyTile {
+    fn sized(n: usize) -> ReadyTile {
+        ReadyTile {
+            cur_bits: vec![0; n.div_ceil(64).max(1)],
+            cur_n: 0,
+            next: Vec::new(),
+            in_next: vec![false; n],
+            future: BinaryHeap::new(),
+            in_future: vec![false; n],
+            adm: Vec::new(),
+            in_adm: vec![false; n],
+        }
+    }
+
+    /// Drop all membership (the tile's invocation retired; stale
+    /// candidates must not leak into the next invocation).
+    fn clear(&mut self) {
+        self.cur_bits.iter_mut().for_each(|w| *w = 0);
+        self.cur_n = 0;
+        self.next.clear();
+        self.in_next.iter_mut().for_each(|b| *b = false);
+        self.future.clear();
+        self.in_future.iter_mut().for_each(|b| *b = false);
+        self.adm.clear();
+        self.in_adm.iter_mut().for_each(|b| *b = false);
+    }
+
+    /// Insert scan position `pos` into the current-cycle set.
+    fn mark_cur(&mut self, pos: u32) {
+        let (w, b) = ((pos / 64) as usize, pos % 64);
+        let bit = 1u64 << b;
+        if self.cur_bits[w] & bit == 0 {
+            self.cur_bits[w] |= bit;
+            self.cur_n += 1;
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -142,6 +280,34 @@ enum Ev {
         to: ReplyTo,
         results: Vec<Value>,
     },
+}
+
+/// A scheduled event in the min-heap, ordered by (cycle, insertion seq) so
+/// events within one cycle replay in exactly the order they were pushed —
+/// the semantics the old `BTreeMap<u64, Vec<Ev>>` provided, with an O(1)
+/// `next_event_cycle()` peek for the idle-skip path.
+#[derive(Debug)]
+struct EvAt {
+    at: u64,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for EvAt {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for EvAt {}
+impl PartialOrd for EvAt {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EvAt {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -163,15 +329,37 @@ pub struct Engine<'a> {
     structs: Vec<StructModel>,
     dram: DramModel,
     dram_idx: Option<usize>,
-    events: BTreeMap<u64, Vec<Ev>>,
-    req_map: HashMap<u64, MemPending>,
+    events: BinaryHeap<Reverse<EvAt>>,
+    ev_seq: u64,
+    req_map: HashMap<u64, MemPending, BuildHasherDefault<ReqHasher>>,
     next_req: u64,
     next_uid: u64,
     cycle: u64,
     last_progress: u64,
     root_result: Option<Vec<Value>>,
     fires: u64,
+    sched_visits: u64,
     task_invocations: Vec<u64>,
+    /// Dense per-(task, tile, junction) arbitration budgets, epoch-stamped
+    /// by cycle so no per-cycle clear (or hashing) is needed:
+    /// (epoch, reads, writes) at `junction_base[ti] + tk*njunctions + j`.
+    junction_slab: Vec<(u64, u32, u32)>,
+    junction_base: Vec<usize>,
+    /// Ready-scheduler state, indexed [task][tile].
+    ready: Vec<Vec<ReadyTile>>,
+    /// True when the event-driven scheduler drives phase 4. Tracing forces
+    /// the dense visitation (stall attribution *is* a per-cycle scan), so
+    /// this is `Ready` and not tracing.
+    use_ready: bool,
+    pass_point: PassPoint,
+    wake_scratch: Vec<u32>,
+    /// Reused input-slot buffer for `try_fire` (fires are the hot path;
+    /// a fresh `Vec` per fire was measurable allocator churn).
+    slot_scratch: Vec<Option<Value>>,
+    /// Reused input-value buffer for `try_fire`, same rationale.
+    val_scratch: Vec<Value>,
+    /// Reused output-value buffer for `try_fire`, same rationale.
+    out_scratch: Vec<Value>,
     faults: Injector,
     faults_on: bool,
     /// Nodes whose output handshake was stuck by fault injection:
@@ -236,27 +424,39 @@ impl<'a> Engine<'a> {
                         _ => u32::MAX,
                     })
                     .collect();
+                let mut pos = vec![0u32; n];
+                for (p, &node) in order.iter().enumerate() {
+                    pos[node] = p as u32;
+                }
                 ElabTask {
                     is_static,
                     dynamic_count,
-                    order,
-                    in_data,
-                    in_order,
-                    outs,
+                    order: order.into(),
+                    pos,
+                    in_data: in_data.into_iter().map(Into::into).collect(),
+                    in_order: in_order.into_iter().map(Into::into).collect(),
+                    outs: outs.into_iter().map(Into::into).collect(),
                     timing,
                     max_pending,
                     queue_cap: (task.queue_depth + conn_q) as usize,
+                    njunctions: df.junctions.len(),
                 }
             })
             .collect();
-        let tasks = acc
+        let tasks: Vec<TaskState> = acc
             .tasks
             .iter()
-            .map(|t| TaskState {
-                queue: VecDeque::new(),
-                tiles: (0..t.tiles.max(1)).map(|_| None).collect(),
-                invocations: 0,
-                busy_cycles: 0,
+            .map(|t| {
+                let ntiles = t.tiles.max(1) as usize;
+                TaskState {
+                    queue: VecDeque::new(),
+                    tiles: (0..ntiles).map(|_| None).collect(),
+                    invocations: 0,
+                    busy_cycles: 0,
+                    free_tiles: (0..ntiles).map(Reverse).collect(),
+                    pool: Vec::new(),
+                    queue_waiters: Vec::new(),
+                }
             })
             .collect();
         let mut structs: Vec<StructModel> = acc.structures.iter().map(StructModel::new).collect();
@@ -273,6 +473,24 @@ impl<'a> Engine<'a> {
         let faults_on = faults.active();
         let obs = cfg.trace.enabled.then(|| Box::new(Observer::new(acc, cfg)));
         let ntasks = acc.tasks.len();
+        // Junction-budget slab: one (epoch, reads, writes) slot per
+        // (task, tile, junction), laid out contiguously per task.
+        let mut junction_base = Vec::with_capacity(ntasks);
+        let mut slab_len = 0usize;
+        for (ti, e) in elab.iter().enumerate() {
+            junction_base.push(slab_len);
+            slab_len += tasks[ti].tiles.len() * e.njunctions;
+        }
+        let ready: Vec<Vec<ReadyTile>> = elab
+            .iter()
+            .enumerate()
+            .map(|(ti, e)| {
+                (0..tasks[ti].tiles.len())
+                    .map(|_| ReadyTile::sized(e.is_static.len()))
+                    .collect()
+            })
+            .collect();
+        let use_ready = cfg.scheduler == SchedulerKind::Ready && obs.is_none();
         Engine {
             acc,
             cfg,
@@ -282,15 +500,26 @@ impl<'a> Engine<'a> {
             structs,
             dram,
             dram_idx,
-            events: BTreeMap::new(),
-            req_map: HashMap::new(),
+            events: BinaryHeap::new(),
+            ev_seq: 0,
+            req_map: HashMap::default(),
             next_req: 1,
             next_uid: 1,
             cycle: 0,
             last_progress: 0,
             root_result: None,
             fires: 0,
+            sched_visits: 0,
             task_invocations: vec![0; ntasks],
+            junction_slab: vec![(u64::MAX, 0, 0); slab_len],
+            junction_base,
+            ready,
+            use_ready,
+            pass_point: PassPoint::Before,
+            wake_scratch: Vec::new(),
+            slot_scratch: Vec::new(),
+            val_scratch: Vec::new(),
+            out_scratch: Vec::new(),
             faults,
             faults_on,
             stuck: HashSet::new(),
@@ -346,6 +575,9 @@ impl<'a> Engine<'a> {
         self.cycle = fill_delay;
         self.last_progress = fill_delay;
         while self.root_result.is_none() {
+            if self.use_ready {
+                self.maybe_skip_idle();
+            }
             if self.cycle >= self.cfg.max_cycles {
                 return Err(SimError::CycleLimitExhausted {
                     limit: self.cfg.max_cycles,
@@ -410,7 +642,154 @@ impl<'a> Engine<'a> {
             struct_stats: self.structs.iter().map(|s| s.stats).collect(),
             dram_fills: self.dram.fills,
             faults,
+            sched_visits: self.sched_visits,
         }
+    }
+
+    /// Schedule `ev` at cycle `at`; within a cycle events replay in push
+    /// order (the heap tiebreaks on a monotone sequence number).
+    fn schedule(&mut self, at: u64, ev: Ev) {
+        self.ev_seq += 1;
+        self.events.push(Reverse(EvAt {
+            at,
+            seq: self.ev_seq,
+            ev,
+        }));
+    }
+
+    /// Cycle of the earliest scheduled event, O(1).
+    fn next_event_cycle(&self) -> Option<u64> {
+        self.events.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Arbitration budget slot for junction `j` on (task, tile), reset
+    /// lazily when first touched in a new cycle.
+    fn jslot(&mut self, ti: usize, tk: usize, j: usize) -> &mut (u64, u32, u32) {
+        let idx = self.junction_base[ti] + tk * self.elab[ti].njunctions + j;
+        let slot = &mut self.junction_slab[idx];
+        if slot.0 != self.cycle {
+            *slot = (self.cycle, 0, 0);
+        }
+        slot
+    }
+
+    /// Ready-scheduler wake: (re)insert `node` as a firing candidate on
+    /// (task, tile). A wake is a *hint* — `try_fire` re-checks every gate —
+    /// so spurious wakes cost a visit, never correctness; a *missed* wake
+    /// is the only bug class. Placement keeps dense-order semantics: a
+    /// node the current scan could still reach this cycle goes in `cur`,
+    /// anything else in `next`; nodes throttled by `ready_at` (II) sleep
+    /// in `future` until their cycle.
+    fn wake(&mut self, ti: usize, tk: usize, node: usize) {
+        if !self.use_ready || self.elab[ti].is_static[node] {
+            return;
+        }
+        if self.faults_on && self.stuck.contains(&(ti, tk, node)) {
+            return; // a stuck handshake never fires again
+        }
+        let Some(inv) = self.tasks[ti].tiles[tk].as_ref() else {
+            return;
+        };
+        let pos = self.elab[ti].pos[node];
+        let ready_at = inv.ready_at[node];
+        let rt = &mut self.ready[ti][tk];
+        if ready_at > self.cycle {
+            // II-throttled. The overwhelmingly common case is II = 1
+            // (`ready_at == cycle + 1`), which is exactly what `next`
+            // means — spare the future-heap a push/pop pair.
+            if ready_at == self.cycle + 1 {
+                if !rt.in_next[node] {
+                    rt.in_next[node] = true;
+                    rt.next.push(node as u32);
+                }
+            } else if !rt.in_future[node] {
+                rt.in_future[node] = true;
+                rt.future.push(Reverse((ready_at, pos, node as u32)));
+            }
+            return;
+        }
+        let same_cycle = match self.pass_point {
+            PassPoint::Before => true,
+            PassPoint::At(cti, ctk, cpos) => {
+                ((ti, tk) > (cti, ctk)) || ((ti, tk) == (cti, ctk) && i64::from(pos) > cpos)
+            }
+            PassPoint::After => false,
+        };
+        if same_cycle {
+            rt.mark_cur(pos);
+        } else if !rt.in_next[node] {
+            rt.in_next[node] = true;
+            rt.next.push(node as u32);
+        }
+    }
+
+    /// Whether the tile's invocation could admit a new instance this cycle
+    /// (the dense scheduler checks this every cycle; the ready scheduler
+    /// must not skip a cycle in which it would succeed).
+    fn can_admit(&self, inv: &ActiveInv) -> bool {
+        inv.admitted < inv.trip
+            && if inv.serial {
+                inv.completed == inv.admitted
+            } else {
+                inv.admitted - inv.completed < self.cfg.window
+            }
+    }
+
+    /// Idle-cycle skip: when provably nothing can happen at the current
+    /// cycle — no dispatch, no admission, no ready candidate, quiescent
+    /// memory, no due event — jump straight to the earliest cycle at which
+    /// something *can*, capped at the deadlock deadline and cycle limit so
+    /// watchdog errors fire at exactly the dense scheduler's cycle. Each
+    /// skipped cycle is a no-op under dense semantics (empty banks tick to
+    /// nothing, every `try_fire` would gate out), except tile-busy
+    /// accounting, which is applied in bulk.
+    fn maybe_skip_idle(&mut self) {
+        let cycle = self.cycle;
+        let mut earliest = u64::MAX;
+        for (ti, t) in self.tasks.iter().enumerate() {
+            if !t.queue.is_empty() && !t.free_tiles.is_empty() {
+                return; // dispatch would happen now
+            }
+            for (tk, tile) in t.tiles.iter().enumerate() {
+                let Some(inv) = tile else { continue };
+                if self.can_admit(inv) {
+                    return;
+                }
+                let rt = &self.ready[ti][tk];
+                if rt.cur_n != 0 || !rt.next.is_empty() {
+                    return; // candidates due this cycle
+                }
+                if let Some(&Reverse((at, _, _))) = rt.future.peek() {
+                    earliest = earliest.min(at);
+                }
+            }
+        }
+        for s in &self.structs {
+            match s.next_activity(cycle) {
+                Some(at) if at <= cycle => return, // must tick now
+                Some(at) => earliest = earliest.min(at),
+                None => {}
+            }
+        }
+        if let Some(at) = self.next_event_cycle() {
+            if at <= cycle {
+                return;
+            }
+            earliest = earliest.min(at);
+        }
+        // Never skip past the watchdog deadline (first cycle at which
+        // `cycle - last_progress > deadlock_cycles`) or the hard limit.
+        let deadline = (self.last_progress + self.cfg.deadlock_cycles).saturating_add(1);
+        let target = earliest.min(deadline).min(self.cfg.max_cycles);
+        if target <= cycle {
+            return;
+        }
+        let skipped = target - cycle;
+        for t in &mut self.tasks {
+            let active = t.tiles.iter().filter(|x| x.is_some()).count() as u64;
+            t.busy_cycles += active * skipped;
+        }
+        self.cycle = target;
     }
 
     /// Walk the blocked-channel wait-for graph and diagnose the stall.
@@ -470,7 +849,7 @@ impl<'a> Engine<'a> {
                     let is_merge = matches!(df.nodes[node].kind, NodeKind::Merge);
                     for &ei in self.elab[ti].in_data[node]
                         .iter()
-                        .chain(&self.elab[ti].in_order[node])
+                        .chain(self.elab[ti].in_order[node].iter())
                     {
                         let e = &df.edges[ei];
                         if self.elab[ti].is_static[e.src.0 as usize] {
@@ -500,13 +879,10 @@ impl<'a> Engine<'a> {
                         }
                     }
                     // Full output channels: waiting on the consumer.
-                    for &ei in &self.elab[ti].outs[node] {
+                    for &ei in self.elab[ti].outs[node].iter() {
                         let e = &df.edges[ei];
                         let cap = self.edge_capacity(ti, ei);
-                        let visible = inv.edge_q[ei]
-                            .iter()
-                            .filter(|t| t.visible_at.is_some())
-                            .count();
+                        let visible = inv.edge_vis[ei] as usize;
                         if visible >= cap {
                             out.push(W {
                                 to: (ti, tk, e.dst.0 as usize),
@@ -609,29 +985,29 @@ impl<'a> Engine<'a> {
 
     fn step(&mut self) -> Result<(), SimError> {
         let cycle = self.cycle;
-        // Phase 1: scheduled events.
-        if let Some(evs) = self.events.remove(&cycle) {
-            for ev in evs {
-                match ev {
-                    Ev::NodeDone {
-                        task,
-                        tile,
-                        uid,
-                        node,
-                        instance,
-                    } => {
-                        self.node_done(task, tile, uid, node, instance, None)?;
-                    }
-                    Ev::Reply { to, results } => {
-                        self.node_done(
-                            to.task,
-                            to.tile,
-                            to.uid,
-                            to.node,
-                            to.instance,
-                            Some(results),
-                        )?;
-                    }
+        self.pass_point = PassPoint::Before;
+        // Phase 1: scheduled events, in (cycle, push-order) order.
+        while self.events.peek().is_some_and(|Reverse(e)| e.at <= cycle) {
+            let Reverse(EvAt { ev, .. }) = self.events.pop().expect("peeked");
+            match ev {
+                Ev::NodeDone {
+                    task,
+                    tile,
+                    uid,
+                    node,
+                    instance,
+                } => {
+                    self.node_done(task, tile, uid, node, instance, None)?;
+                }
+                Ev::Reply { to, results } => {
+                    self.node_done(
+                        to.task,
+                        to.tile,
+                        to.uid,
+                        to.node,
+                        to.instance,
+                        Some(results),
+                    )?;
                 }
             }
         }
@@ -667,12 +1043,22 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        // Phase 3: dispatch queued invocations onto free tiles.
+        // Phase 3: dispatch queued invocations onto free tiles (min-index
+        // first, matching the old linear `is_none()` scan).
         for ti in 0..self.tasks.len() {
-            while let Some(free) = self.tasks[ti].tiles.iter().position(|t| t.is_none()) {
-                let Some(invq) = self.tasks[ti].queue.pop_front() else {
+            while !self.tasks[ti].queue.is_empty() {
+                let Some(&Reverse(free)) = self.tasks[ti].free_tiles.peek() else {
                     break;
                 };
+                self.tasks[ti].free_tiles.pop();
+                let invq = self.tasks[ti].queue.pop_front().expect("checked");
+                if self.use_ready && !self.tasks[ti].queue_waiters.is_empty() {
+                    // A queue slot freed: blocked TaskCall sites may retry.
+                    let waiters = std::mem::take(&mut self.tasks[ti].queue_waiters);
+                    for (wti, wtk, wnode) in &waiters {
+                        self.wake(*wti as usize, *wtk as usize, *wnode as usize);
+                    }
+                }
                 let uid = invq.uid;
                 self.activate(ti, free, invq).map_err(|e| {
                     e.at_site(cycle, ti as u32, &self.acc.tasks[ti].name, None, Some(uid))
@@ -680,16 +1066,20 @@ impl<'a> Engine<'a> {
             }
         }
         // Phase 4: admissions + node firing (consumers-first order).
-        let mut junction_budget: HashMap<(usize, usize, usize), (u32, u32)> = HashMap::new();
         for ti in 0..self.tasks.len() {
             for tk in 0..self.tasks[ti].tiles.len() {
                 if self.tasks[ti].tiles[tk].is_some() {
                     self.tasks[ti].busy_cycles += 1;
-                    self.tile_tick(ti, tk, &mut junction_budget)?;
+                    if self.use_ready {
+                        self.tile_tick_ready(ti, tk)?;
+                    } else {
+                        self.tile_tick(ti, tk)?;
+                    }
                     self.check_invocation_complete(ti, tk)?;
                 }
             }
         }
+        self.pass_point = PassPoint::After;
         self.cycle += 1;
         Ok(())
     }
@@ -723,26 +1113,54 @@ impl<'a> Engine<'a> {
         let nedges = task.dataflow.edges.len();
         self.tasks[ti].invocations += 1;
         self.task_invocations[ti] += 1;
-        self.tasks[ti].tiles[tile] = Some(ActiveInv {
-            uid: inv.uid,
-            args: inv.args,
-            reply: inv.reply,
-            spawn_parent: inv.spawn_parent,
-            trip,
-            lo,
-            step,
-            serial,
-            admitted: 0,
-            completed: 0,
-            fired: vec![0; nnodes],
-            ready_at: vec![0; nnodes],
-            pending: vec![0; nnodes],
-            edge_q: vec![VecDeque::new(); nedges],
-            outstanding: HashMap::new(),
-            spawns_outstanding: 0,
-            last_output: Vec::new(),
-            acc_state: vec![None; nnodes],
-        });
+        // Recycle a retired shell when one is pooled: its vectors already
+        // have this task's shapes, so reactivation allocates nothing.
+        let active = match self.tasks[ti].pool.pop() {
+            Some(mut a) => {
+                a.uid = inv.uid;
+                a.args = inv.args;
+                a.reply = inv.reply;
+                a.spawn_parent = inv.spawn_parent;
+                a.trip = trip;
+                a.lo = lo;
+                a.step = step;
+                a.serial = serial;
+                a.admitted = 0;
+                a.completed = 0;
+                a.fired.iter_mut().for_each(|x| *x = 0);
+                a.ready_at.iter_mut().for_each(|x| *x = 0);
+                a.pending.iter_mut().for_each(|x| *x = 0);
+                a.edge_q.iter_mut().for_each(VecDeque::clear);
+                a.edge_vis.iter_mut().for_each(|x| *x = 0);
+                a.outstanding.clear();
+                a.spawns_outstanding = 0;
+                a.last_output.clear();
+                a.acc_state.iter_mut().for_each(|x| *x = None);
+                a
+            }
+            None => ActiveInv {
+                uid: inv.uid,
+                args: inv.args,
+                reply: inv.reply,
+                spawn_parent: inv.spawn_parent,
+                trip,
+                lo,
+                step,
+                serial,
+                admitted: 0,
+                completed: 0,
+                fired: vec![0; nnodes],
+                ready_at: vec![0; nnodes],
+                pending: vec![0; nnodes],
+                edge_q: vec![VecDeque::new(); nedges],
+                edge_vis: vec![0; nedges],
+                outstanding: VecDeque::new(),
+                spawns_outstanding: 0,
+                last_output: Vec::new(),
+                acc_state: vec![None; nnodes],
+            },
+        };
+        self.tasks[ti].tiles[tile] = Some(active);
         self.last_progress = self.cycle;
         Ok(())
     }
@@ -762,36 +1180,14 @@ impl<'a> Engine<'a> {
         }
     }
 
-    #[allow(clippy::too_many_lines)]
-    fn tile_tick(
-        &mut self,
-        ti: usize,
-        tk: usize,
-        junction_budget: &mut HashMap<(usize, usize, usize), (u32, u32)>,
-    ) -> Result<(), SimError> {
+    fn tile_tick(&mut self, ti: usize, tk: usize) -> Result<(), SimError> {
         let cycle = self.cycle;
-        // Admission: at most one new instance per cycle.
-        {
-            let inv = self.tasks[ti].tiles[tk].as_mut().expect("active");
-            let can_admit = inv.admitted < inv.trip
-                && if inv.serial {
-                    inv.completed == inv.admitted
-                } else {
-                    inv.admitted - inv.completed < self.cfg.window
-                };
-            if can_admit {
-                let k = inv.admitted;
-                inv.admitted += 1;
-                let dc = self.elab[ti].dynamic_count;
-                inv.outstanding.insert(k, dc);
-                self.last_progress = cycle;
-            }
-        }
+        self.admit(ti, tk);
         // Node firing in consumers-first order.
         let uid = self.tasks[ti].tiles[tk].as_ref().map(|i| i.uid);
-        let order = self.elab[ti].order.clone();
-        for node in order {
-            self.try_fire(ti, tk, node, junction_budget).map_err(|e| {
+        let order = Rc::clone(&self.elab[ti].order);
+        for &node in order.iter() {
+            self.try_fire(ti, tk, node).map_err(|e| {
                 e.at_site(
                     cycle,
                     ti as u32,
@@ -804,16 +1200,116 @@ impl<'a> Engine<'a> {
         Ok(())
     }
 
+    /// Admission: at most one new instance per cycle. Returns the admitted
+    /// instance number, if any.
+    fn admit(&mut self, ti: usize, tk: usize) -> Option<u64> {
+        let cycle = self.cycle;
+        let inv = self.tasks[ti].tiles[tk].as_mut().expect("active");
+        let can = inv.admitted < inv.trip
+            && if inv.serial {
+                inv.completed == inv.admitted
+            } else {
+                inv.admitted - inv.completed < self.cfg.window
+            };
+        if !can {
+            return None;
+        }
+        let k = inv.admitted;
+        inv.admitted += 1;
+        let dc = self.elab[ti].dynamic_count;
+        debug_assert_eq!(k, inv.completed + inv.outstanding.len() as u64);
+        inv.outstanding.push_back(dc);
+        self.last_progress = cycle;
+        Some(k)
+    }
+
+    /// Ready-scheduler tile pass: admission, then fire only the woken
+    /// candidates, in ascending scan position — exactly the subsequence of
+    /// the dense scan that would have fired or stalled for a cause.
+    fn tile_tick_ready(&mut self, ti: usize, tk: usize) -> Result<(), SimError> {
+        let cycle = self.cycle;
+        self.pass_point = PassPoint::At(ti, tk, -1);
+        if let Some(k) = self.admit(ti, tk) {
+            // Admission opened instance `k`: nodes whose next firing is
+            // instance `k` may now have work (their input tokens can
+            // predate admission — elastic edges run ahead).
+            let mut scratch = std::mem::take(&mut self.wake_scratch);
+            scratch.clear();
+            if k == 0 {
+                // Seeding: every dynamic node's next firing is instance 0.
+                let is_static = &self.elab[ti].is_static;
+                for (node, &st) in is_static.iter().enumerate() {
+                    if !st {
+                        scratch.push(node as u32);
+                    }
+                }
+            } else {
+                // Only parked admission waiters can be unblocked by a later
+                // admission (anything else is gated by tokens or II, which
+                // carry their own wakes).
+                let rt = &mut self.ready[ti][tk];
+                scratch.append(&mut rt.adm);
+                for &node in &scratch {
+                    rt.in_adm[node as usize] = false;
+                }
+            }
+            for &node in &scratch {
+                self.wake(ti, tk, node as usize);
+            }
+            self.wake_scratch = scratch;
+        }
+        // Promote due sleepers and deferred candidates into this cycle's
+        // set. (`next` entries were deferred from an earlier point of the
+        // scan; `future` entries reached their `ready_at`.)
+        {
+            let elab = &self.elab[ti];
+            let rt = &mut self.ready[ti][tk];
+            while let Some(&Reverse((at, pos, node))) = rt.future.peek() {
+                if at > cycle {
+                    break;
+                }
+                rt.future.pop();
+                rt.in_future[node as usize] = false;
+                rt.mark_cur(pos);
+            }
+            while let Some(node) = rt.next.pop() {
+                rt.in_next[node as usize] = false;
+                rt.mark_cur(elab.pos[node as usize]);
+            }
+        }
+        let uid = self.tasks[ti].tiles[tk].as_ref().map(|i| i.uid);
+        let order = Rc::clone(&self.elab[ti].order);
+        // Drain the bitset lowest-position-first. The word is re-read after
+        // every visit: a same-cycle wake from inside `try_fire` can only
+        // set a bit ahead of the drain point, which this forward walk will
+        // still reach.
+        let mut wi = 0;
+        while wi < self.ready[ti][tk].cur_bits.len() {
+            let word = self.ready[ti][tk].cur_bits[wi];
+            if word == 0 {
+                wi += 1;
+                continue;
+            }
+            let bit = word.trailing_zeros();
+            let rt = &mut self.ready[ti][tk];
+            rt.cur_bits[wi] &= !(1u64 << bit);
+            rt.cur_n -= 1;
+            let pos = wi as u32 * 64 + bit;
+            let node = order[pos as usize] as u32;
+            self.pass_point = PassPoint::At(ti, tk, i64::from(pos));
+            self.try_fire(ti, tk, node as usize).map_err(|e| {
+                e.at_site(cycle, ti as u32, &self.acc.tasks[ti].name, Some(node), uid)
+            })?;
+        }
+        self.pass_point = PassPoint::At(ti, tk, i64::MAX);
+        Ok(())
+    }
+
     #[allow(clippy::too_many_lines)]
-    fn try_fire(
-        &mut self,
-        ti: usize,
-        tk: usize,
-        node: usize,
-        junction_budget: &mut HashMap<(usize, usize, usize), (u32, u32)>,
-    ) -> Result<(), SimError> {
+    fn try_fire(&mut self, ti: usize, tk: usize, node: usize) -> Result<(), SimError> {
         let cycle = self.cycle;
         let df = &self.acc.tasks[ti].dataflow;
+        self.sched_visits += 1;
         if self.elab[ti].is_static[node] {
             return Ok(());
         }
@@ -829,23 +1325,36 @@ impl<'a> Engine<'a> {
             return Ok(());
         }
         // Gather facts without holding a mutable borrow.
-        let (k, ok_basic) = {
+        let (k, instance_gated, ok_basic) = {
             let inv = self.tasks[ti].tiles[tk].as_ref().expect("active");
             let k = inv.fired[node];
-            (k, k < inv.admitted && cycle >= inv.ready_at[node])
+            (
+                k,
+                k >= inv.admitted,
+                k < inv.admitted && cycle >= inv.ready_at[node],
+            )
         };
         if !ok_basic {
+            if self.use_ready && instance_gated {
+                // Blocked on the instance gate: only the next admission can
+                // open instance `k`, so park on the admission-waiter list.
+                let rt = &mut self.ready[ti][tk];
+                if !rt.in_adm[node] {
+                    rt.in_adm[node] = true;
+                    rt.adm.push(node as u32);
+                }
+            }
             return Ok(());
         }
-        let kind = df.nodes[node].kind.clone();
+        let kind = &df.nodes[node].kind;
         let is_merge = matches!(kind, NodeKind::Merge);
 
         // Check inputs.
-        let in_data = self.elab[ti].in_data[node].clone();
-        let in_order = self.elab[ti].in_order[node].clone();
+        let in_data = Rc::clone(&self.elab[ti].in_data[node]);
+        let in_order = Rc::clone(&self.elab[ti].in_order[node]);
         {
             let inv = self.tasks[ti].tiles[tk].as_ref().expect("active");
-            for &ei in in_data.iter().chain(&in_order) {
+            for &ei in in_data.iter().chain(in_order.iter()) {
                 let e = &df.edges[ei];
                 if self.elab[ti].is_static[e.src.0 as usize] {
                     continue;
@@ -914,7 +1423,7 @@ impl<'a> Engine<'a> {
             // memory transit points a full databox means every entry is
             // waiting on the structure behind the junction.
             if inv.pending[node] >= self.elab[ti].max_pending[node] {
-                let (reason, sid) = match &kind {
+                let (reason, sid) = match kind {
                     NodeKind::Load { junction, .. } | NodeKind::Store { junction, .. } => (
                         StallReason::MemoryWait,
                         Some(df.junctions[junction.0 as usize].structure.0 as usize),
@@ -926,12 +1435,9 @@ impl<'a> Engine<'a> {
             // Output space: only *visible* (delivered, unconsumed) tokens
             // occupy the edge register; in-flight results live in the
             // producer's internal pipeline.
-            for &ei in &self.elab[ti].outs[node] {
+            for &ei in self.elab[ti].outs[node].iter() {
                 let cap = self.edge_capacity(ti, ei);
-                let visible = inv.edge_q[ei]
-                    .iter()
-                    .filter(|t| t.visible_at.is_some())
-                    .count();
+                let visible = inv.edge_vis[ei] as usize;
                 if visible >= cap {
                     return self.note_stall(
                         (ti, tk, node),
@@ -944,7 +1450,7 @@ impl<'a> Engine<'a> {
         }
         // Memory/call-specific admission checks (junction ports, queues).
         let mut mem_plan: Option<(usize, bool)> = None; // (junction, is_write)
-        match &kind {
+        match kind {
             NodeKind::Load { junction, .. } => mem_plan = Some((junction.0 as usize, false)),
             NodeKind::Store { junction, .. } => mem_plan = Some((junction.0 as usize, true)),
             NodeKind::TaskCall { callee, .. } => {
@@ -952,6 +1458,12 @@ impl<'a> Engine<'a> {
                 let cap = self.elab[child].queue_cap;
                 if self.tasks[child].queue.len() >= cap {
                     // Downstream issue queue full: backpressure, not memory.
+                    // Retry when the child's dispatcher pops a slot.
+                    if self.use_ready {
+                        self.tasks[child]
+                            .queue_waiters
+                            .push((ti as u32, tk as u32, node as u32));
+                    }
                     return self.note_stall((ti, tk, node), StallReason::OutputFull, None, None);
                 }
             }
@@ -960,17 +1472,15 @@ impl<'a> Engine<'a> {
         if let Some((j, is_write)) = mem_plan {
             let jn = &df.junctions[j];
             let sid = jn.structure.0 as usize;
-            let budget = junction_budget.entry((ti, tk, j)).or_insert((0, 0));
-            if is_write {
-                if budget.1 >= jn.write_ports {
-                    return self.note_stall(
-                        (ti, tk, node),
-                        StallReason::ArbitrationLoss,
-                        None,
-                        Some(sid),
-                    );
-                }
-            } else if budget.0 >= jn.read_ports {
+            let budget = *self.jslot(ti, tk, j);
+            let lost = if is_write {
+                budget.2 >= jn.write_ports
+            } else {
+                budget.1 >= jn.read_ports
+            };
+            if lost {
+                // Port budgets refresh every cycle: retry next cycle.
+                self.wake(ti, tk, node);
                 return self.note_stall(
                     (ti, tk, node),
                     StallReason::ArbitrationLoss,
@@ -989,10 +1499,13 @@ impl<'a> Engine<'a> {
 
         // --- Fire -----------------------------------------------------------
         // Collect input values (consume tokens).
-        let values: Vec<Value>;
+        let mut values = std::mem::take(&mut self.val_scratch);
+        values.clear();
         {
             // Static reads first (immutable), then token pops (mutable).
-            let mut slots: Vec<Option<Value>> = vec![None; in_data.len()];
+            let mut slots = std::mem::take(&mut self.slot_scratch);
+            slots.clear();
+            slots.resize(in_data.len(), None);
             for (i, &ei) in in_data.iter().enumerate() {
                 let e = &df.edges[ei];
                 if self.elab[ti].is_static[e.src.0 as usize] {
@@ -1013,35 +1526,61 @@ impl<'a> Engine<'a> {
                 let t = inv.edge_q[ei]
                     .pop_front()
                     .ok_or_else(|| SimError::eval(format!("missing token on edge e{ei}")))?;
+                inv.edge_vis[ei] -= 1; // gate guarantees the front was visible
                 slots[i] = Some(t.value);
                 if let Some(obs) = self.obs.as_mut() {
                     obs.edge_delta(cycle, ti, ei, inv.edge_q[ei].len() as u32, false);
                 }
             }
-            for &ei in &in_order {
+            for &ei in in_order.iter() {
                 let e = &df.edges[ei];
                 if self.elab[ti].is_static[e.src.0 as usize] {
                     continue;
                 }
                 inv.edge_q[ei].pop_front();
+                inv.edge_vis[ei] -= 1;
                 if let Some(obs) = self.obs.as_mut() {
                     obs.edge_delta(cycle, ti, ei, inv.edge_q[ei].len() as u32, false);
                 }
             }
-            values = slots
-                .into_iter()
-                .map(|s| s.ok_or_else(|| SimError::eval("input slot not filled")))
-                .collect::<Result<_, _>>()?;
+            for s in slots.drain(..) {
+                values.push(s.ok_or_else(|| SimError::eval("input slot not filled"))?);
+            }
+            self.slot_scratch = slots;
+        }
+        if self.use_ready {
+            // A consumed token freed a slot on its edge — but that only
+            // unblocks the producer if the edge was *full* before the pop
+            // (the visible count is the producer's output-space gate; no
+            // other firing gate reads this edge). Post-pop, "was full"
+            // means `visible + 1 >= capacity`.
+            for &ei in in_data.iter().chain(in_order.iter()) {
+                let src = df.edges[ei].src.0 as usize;
+                if self.elab[ti].is_static[src] {
+                    continue;
+                }
+                if is_merge && df.edges[ei].dst_port == 1 && k == 0 {
+                    continue; // no token was consumed at instance 0
+                }
+                let cap = self.edge_capacity(ti, ei);
+                let visible = self.tasks[ti].tiles[tk]
+                    .as_ref()
+                    .map_or(0, |inv| inv.edge_vis[ei] as usize);
+                if visible + 1 >= cap {
+                    self.wake(ti, tk, src);
+                }
+            }
         }
 
         let timing = self.elab[ti].timing[node];
         let mut completion_at = Some(cycle + timing.latency as u64);
-        let mut out_values: Vec<Value> = Vec::new();
+        let mut out_values = std::mem::take(&mut self.out_scratch);
+        out_values.clear();
 
-        match &kind {
+        match kind {
             NodeKind::IndVar => {
                 let inv = self.tasks[ti].tiles[tk].as_ref().expect("active");
-                out_values = vec![Value::Int(inv.lo + k as i64 * inv.step)];
+                out_values.push(Value::Int(inv.lo + k as i64 * inv.step));
             }
             NodeKind::Merge => {
                 // Port 0 = init (instance 0), port 1 = feedback.
@@ -1050,7 +1589,7 @@ impl<'a> Engine<'a> {
                 } else {
                     values[1].clone()
                 };
-                out_values = vec![v];
+                out_values.push(v);
             }
             NodeKind::FusedAcc { op } => {
                 // Self-accumulating unit: port 0 = init, port 1 = operand.
@@ -1064,13 +1603,13 @@ impl<'a> Engine<'a> {
                 let r = eval_op(*op, &[base, values[1].clone()])?;
                 let inv = self.tasks[ti].tiles[tk].as_mut().expect("active");
                 inv.acc_state[node] = Some(r.clone());
-                out_values = vec![r];
+                out_values.push(r);
             }
             NodeKind::Compute(op) => {
-                out_values = vec![eval_op(*op, &values)?];
+                out_values.push(eval_op(*op, &values)?);
             }
             NodeKind::Fused(plan) => {
-                out_values = vec![eval_fused(plan, &values)?];
+                out_values.push(eval_fused(plan, &values)?);
             }
             NodeKind::Output => {
                 let inv = self.tasks[ti].tiles[tk].as_mut().expect("active");
@@ -1091,31 +1630,38 @@ impl<'a> Engine<'a> {
                     }
                     let ty = df.nodes[node].ty;
                     let n = ty.elems() as u64;
-                    let mut slots = Vec::with_capacity(n as usize);
                     let base = self.mem.flat_addr(*obj, idx as u64);
-                    for kk in 0..n {
-                        slots.push(
+                    if n == 1 {
+                        // Scalar: no slot buffer needed.
+                        out_values.push(
                             self.mem
-                                .read(*obj, idx as u64 + kk)
+                                .read(*obj, idx as u64)
                                 .map_err(|e| SimError::eval(e.to_string()))?,
                         );
+                    } else {
+                        let mut slots = Vec::with_capacity(n as usize);
+                        for kk in 0..n {
+                            slots.push(
+                                self.mem
+                                    .read(*obj, idx as u64 + kk)
+                                    .map_err(|e| SimError::eval(e.to_string()))?,
+                            );
+                        }
+                        out_values.push(Value::assemble(ty, slots));
                     }
-                    out_values = vec![Value::assemble(ty, slots)];
                     let id = self.next_req;
                     self.next_req += 1;
-                    let addrs: Vec<u64> = (0..n).map(|kk| base + kk).collect();
                     let (j, _) =
                         mem_plan.ok_or_else(|| SimError::eval("load without junction plan"))?;
                     let sid = df.junctions[j].structure.0 as usize;
                     if let Some(obs) = self.obs.as_mut() {
-                        let bank = (addrs.first().copied().unwrap_or(0)
-                            % self.structs[sid].bank_count().max(1) as u64)
-                            as u32;
+                        let bank = (base % self.structs[sid].bank_count().max(1) as u64) as u32;
                         obs.mem_req(cycle, sid, id, bank, n as u32, false);
                     }
                     self.structs[sid].submit(MemRequest {
                         id,
-                        addrs,
+                        base,
+                        n,
                         is_write: false,
                     });
                     self.req_map.insert(
@@ -1129,9 +1675,9 @@ impl<'a> Engine<'a> {
                         },
                     );
                     completion_at = None; // completes on memory response
-                    junction_budget.entry((ti, tk, j)).or_insert((0, 0)).0 += 1;
+                    self.jslot(ti, tk, j).1 += 1;
                 } else {
-                    out_values = vec![Value::Poison];
+                    out_values.push(Value::Poison);
                 }
             }
             NodeKind::Store {
@@ -1152,28 +1698,38 @@ impl<'a> Engine<'a> {
                         return Err(SimError::eval(format!("poison stored to {obj:?}")));
                     }
                     let base = self.mem.flat_addr(*obj, idx as u64);
-                    let slots = v.flatten();
-                    let n = slots.len() as u64;
-                    for (kk, s) in slots.into_iter().enumerate() {
-                        self.mem
-                            .write(*obj, idx as u64 + kk as u64, s)
-                            .map_err(|e| SimError::eval(e.to_string()))?;
-                    }
+                    let n = match &v {
+                        // Scalar: write directly, no flatten buffer.
+                        Value::Vector(_) | Value::Tensor { .. } => {
+                            let slots = v.flatten();
+                            let n = slots.len() as u64;
+                            for (kk, s) in slots.into_iter().enumerate() {
+                                self.mem
+                                    .write(*obj, idx as u64 + kk as u64, s)
+                                    .map_err(|e| SimError::eval(e.to_string()))?;
+                            }
+                            n
+                        }
+                        _ => {
+                            self.mem
+                                .write(*obj, idx as u64, v)
+                                .map_err(|e| SimError::eval(e.to_string()))?;
+                            1
+                        }
+                    };
                     let id = self.next_req;
                     self.next_req += 1;
-                    let addrs: Vec<u64> = (0..n).map(|kk| base + kk).collect();
                     let (j, _) =
                         mem_plan.ok_or_else(|| SimError::eval("store without junction plan"))?;
                     let sid = df.junctions[j].structure.0 as usize;
                     if let Some(obs) = self.obs.as_mut() {
-                        let bank = (addrs.first().copied().unwrap_or(0)
-                            % self.structs[sid].bank_count().max(1) as u64)
-                            as u32;
+                        let bank = (base % self.structs[sid].bank_count().max(1) as u64) as u32;
                         obs.mem_req(cycle, sid, id, bank, n as u32, true);
                     }
                     self.structs[sid].submit(MemRequest {
                         id,
-                        addrs,
+                        base,
+                        n,
                         is_write: true,
                     });
                     self.req_map.insert(
@@ -1187,7 +1743,7 @@ impl<'a> Engine<'a> {
                         },
                     );
                     completion_at = None;
-                    junction_budget.entry((ti, tk, j)).or_insert((0, 0)).1 += 1;
+                    self.jslot(ti, tk, j).2 += 1;
                 }
             }
             NodeKind::TaskCall {
@@ -1216,7 +1772,7 @@ impl<'a> Engine<'a> {
                         });
                         let inv = self.tasks[ti].tiles[tk].as_mut().expect("active");
                         inv.spawns_outstanding += 1;
-                        out_values = vec![Value::Int(0); nres.max(1)];
+                        out_values.resize(nres.max(1), Value::Int(0));
                     } else {
                         self.tasks[child].queue.push_back(Invocation {
                             uid,
@@ -1230,11 +1786,11 @@ impl<'a> Engine<'a> {
                             }),
                             spawn_parent: None,
                         });
-                        out_values = vec![Value::Poison; nres.max(1)]; // patched by reply
+                        out_values.resize(nres.max(1), Value::Poison); // patched by reply
                         completion_at = None;
                     }
                 } else {
-                    out_values = vec![Value::Poison; nres.max(1)];
+                    out_values.resize(nres.max(1), Value::Poison);
                 }
             }
             NodeKind::Input { .. } | NodeKind::Const(_) => unreachable!("static"),
@@ -1246,7 +1802,7 @@ impl<'a> Engine<'a> {
         {
             let outs = self.elab[ti].outs[node].clone();
             let inv = self.tasks[ti].tiles[tk].as_mut().expect("active");
-            for &ei in &outs {
+            for &ei in outs.iter() {
                 let e = &df.edges[ei];
                 let mut value = match e.kind {
                     EdgeKind::Order => Value::Bool(true),
@@ -1289,19 +1845,41 @@ impl<'a> Engine<'a> {
             obs.fire(cycle, (ti, tk, node), k);
         }
         self.last_progress = cycle;
+        if self.use_ready {
+            // More instances to fire: sleep until the initiation interval
+            // elapses. An exhausted window parks on the admission-waiter
+            // list instead — nodes with all-static inputs (IndVar, Const
+            // fan-ins) get no token wakes, so this is their only path back.
+            let more = self.tasks[ti].tiles[tk]
+                .as_ref()
+                .is_some_and(|inv| inv.fired[node] < inv.admitted);
+            if more {
+                self.wake(ti, tk, node);
+            } else if self.tasks[ti].tiles[tk].is_some() {
+                let rt = &mut self.ready[ti][tk];
+                if !rt.in_adm[node] {
+                    rt.in_adm[node] = true;
+                    rt.adm.push(node as u32);
+                }
+            }
+        }
         if let Some(at) = completion_at {
             let uid = self.tasks[ti].tiles[tk].as_ref().expect("active").uid;
-            self.events
-                .entry(at.max(cycle + 1))
-                .or_default()
-                .push(Ev::NodeDone {
+            self.schedule(
+                at.max(cycle + 1),
+                Ev::NodeDone {
                     task: ti,
                     tile: tk,
                     uid,
                     node,
                     instance: k,
-                });
+                },
+            );
         }
+        values.clear();
+        self.val_scratch = values;
+        out_values.clear();
+        self.out_scratch = out_values;
         Ok(())
     }
 
@@ -1318,7 +1896,8 @@ impl<'a> Engine<'a> {
     ) -> Result<(), SimError> {
         let cycle = self.cycle;
         let df = &self.acc.tasks[ti].dataflow;
-        let outs = self.elab[ti].outs[node].clone();
+        let outs = Rc::clone(&self.elab[ti].outs[node]);
+        let was_at_cap;
         {
             let Some(inv) = self.tasks[ti].tiles[tk].as_mut() else {
                 return Ok(()); // stale
@@ -1326,12 +1905,21 @@ impl<'a> Engine<'a> {
             if inv.uid != uid {
                 return Ok(()); // stale
             }
-            for &ei in &outs {
+            for &ei in outs.iter() {
                 let e = &df.edges[ei];
                 // All matching tokens become visible (normally exactly one;
-                // an injected duplicate shares the completion pulse).
-                for t in inv.edge_q[ei].iter_mut() {
-                    if t.instance == instance && t.visible_at.is_none() {
+                // an injected duplicate shares the completion pulse). Tokens
+                // are pushed in instance order, so a reverse scan can stop at
+                // the first token from an older instance.
+                let mut marked = 0u32;
+                for t in inv.edge_q[ei].iter_mut().rev() {
+                    if t.instance > instance {
+                        continue;
+                    }
+                    if t.instance < instance {
+                        break;
+                    }
+                    if t.visible_at.is_none() {
                         if let Some(rv) = &reply_values {
                             if e.kind != EdgeKind::Order {
                                 if let Some(v) = rv.get(e.src_port as usize) {
@@ -1340,14 +1928,18 @@ impl<'a> Engine<'a> {
                             }
                         }
                         t.visible_at = Some(cycle);
+                        marked += 1;
                     }
                 }
+                inv.edge_vis[ei] += marked;
             }
+            was_at_cap = inv.pending[node] >= self.elab[ti].max_pending[node];
             inv.pending[node] = inv.pending[node].saturating_sub(1);
             let task_name = &self.acc.tasks[ti].name;
-            let slot = inv
-                .outstanding
-                .get_mut(&instance)
+            let slot = instance
+                .checked_sub(inv.completed)
+                .and_then(|d| usize::try_from(d).ok())
+                .and_then(|d| inv.outstanding.get_mut(d))
                 .ok_or_else(|| SimError::EvalError {
                     cycle,
                     task: Some(ti as u32),
@@ -1358,12 +1950,25 @@ impl<'a> Engine<'a> {
                 })?;
             *slot = slot.saturating_sub(1);
             // In-order instance retirement.
-            while inv.outstanding.get(&inv.completed) == Some(&0) {
-                inv.outstanding.remove(&inv.completed);
+            while inv.outstanding.front() == Some(&0) {
+                inv.outstanding.pop_front();
                 inv.completed += 1;
             }
         }
         self.last_progress = cycle;
+        if self.use_ready {
+            // Tokens just became visible: their consumers may fire. The
+            // node itself needs a wake only when this retirement freed a
+            // *saturated* pipeline/databox slot — that is the one firing
+            // gate a completion changes (retirement order feeds admission,
+            // which is re-checked every tile tick regardless).
+            for &ei in outs.iter() {
+                self.wake(ti, tk, df.edges[ei].dst.0 as usize);
+            }
+            if was_at_cap {
+                self.wake(ti, tk, node);
+            }
+        }
         self.check_invocation_complete(ti, tk)
     }
 
@@ -1383,6 +1988,8 @@ impl<'a> Engine<'a> {
         let Some(inv) = self.tasks[ti].tiles[tk].take() else {
             return Ok(());
         };
+        self.tasks[ti].free_tiles.push(Reverse(tk));
+        self.ready[ti][tk].clear();
         let task = &self.acc.tasks[ti];
         // Results: the last Output firing's values, or zero-trip fallbacks.
         let results: Vec<Value> = if inv.trip == 0 {
@@ -1411,16 +2018,16 @@ impl<'a> Engine<'a> {
             for pt in 0..ptiles {
                 self.check_invocation_complete(ptask, pt)?;
             }
-        } else if let Some(reply) = inv.reply {
+        } else if let Some(reply) = inv.reply.clone() {
             let at = self.cycle + 1;
-            self.events
-                .entry(at)
-                .or_default()
-                .push(Ev::Reply { to: reply, results });
+            self.schedule(at, Ev::Reply { to: reply, results });
         } else {
             self.root_result = Some(results);
         }
         self.last_progress = self.cycle;
+        // Return the shell to the pool: its vectors keep their (task-
+        // constant) shapes for the next activation.
+        self.tasks[ti].pool.push(inv);
         Ok(())
     }
 }

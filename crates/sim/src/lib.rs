@@ -62,6 +62,28 @@ use muir_core::accel::Accelerator;
 use muir_mir::interp::Memory;
 use muir_mir::value::Value;
 
+/// Which cycle-engine scheduler drives phase 4 (admission + node firing).
+///
+/// Both schedulers implement the *same* execution model and produce
+/// bit-identical observable behaviour (cycles, results, stats, traces);
+/// `Ready` is simply cheaper. `Dense` rescans every node of every active
+/// tile each cycle; `Ready` tracks per-tile ready sets updated only by
+/// token movement, admission, memory responses, and scheduled events, and
+/// skips cycles in which provably nothing can happen (see DESIGN.md §9).
+///
+/// With tracing enabled the engine always uses the dense visitation order
+/// (stall attribution is inherently a per-cycle scan), so `Ready` + tracing
+/// still yields bit-identical trace streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Poll every node of every active tile each cycle (the original
+    /// scanner; kept alive as the differential-testing oracle).
+    Dense,
+    /// Event-driven ready sets + idle-cycle skipping.
+    #[default]
+    Ready,
+}
+
 /// Simulation parameters.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -86,6 +108,9 @@ pub struct SimConfig {
     /// Observability: per-cycle event tracing and stall attribution
     /// (disabled by default; never perturbs timing when enabled).
     pub trace: TraceConfig,
+    /// Phase-4 scheduling strategy (identical observable behaviour; only
+    /// simulator wall-time differs).
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for SimConfig {
@@ -99,7 +124,17 @@ impl Default for SimConfig {
             elastic_depth: 8,
             faults: FaultPlan::none(),
             trace: TraceConfig::default(),
+            scheduler: SchedulerKind::default(),
         }
+    }
+}
+
+impl SimConfig {
+    /// The same configuration with a different phase-4 scheduler.
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
     }
 }
 
@@ -122,6 +157,11 @@ pub struct SimStats {
     /// 0` may have corrupted outputs — differential harnesses must treat
     /// the flag as "outputs suspect", never as a silent pass.
     pub faults: FaultCounts,
+    /// Scheduler visits: `try_fire` attempts across the run. This is a
+    /// *simulator effort* counter, not a hardware observable — it differs
+    /// between [`SchedulerKind`]s by design (the whole point of `Ready` is
+    /// fewer visits) and must be excluded from differential comparisons.
+    pub sched_visits: u64,
 }
 
 impl SimStats {

@@ -26,13 +26,19 @@ struct ElemTxn {
     is_write: bool,
 }
 
-/// A typed request from a load/store node (already sliced by address).
-#[derive(Debug, Clone)]
+/// A typed request from a load/store node. Accesses are always a
+/// contiguous element range (scalars, vectors, and tiles are row-major
+/// and aligned), so the request carries `base + n` rather than an
+/// address list — building a `Vec` per memory firing was measurable
+/// allocator churn on the cycle path.
+#[derive(Debug, Clone, Copy)]
 pub struct MemRequest {
     /// Completion identifier.
     pub id: ReqId,
-    /// Flat element addresses touched (consecutive for tiles/vectors).
-    pub addrs: Vec<u64>,
+    /// First flat element address.
+    pub base: u64,
+    /// Number of consecutive elements touched.
+    pub n: u64,
     /// Whether this is a store.
     pub is_write: bool,
 }
@@ -215,13 +221,13 @@ impl StructModel {
         let row = match &self.kind {
             StructureKind::Scratchpad {
                 shape: Some(sh), ..
-            } => sh.elems() as usize,
+            } => (sh.elems() as u64).max(1),
             _ => 1,
         };
-        let groups: Vec<u64> = req.addrs.chunks(row.max(1)).map(|c| c[0]).collect();
-        let n = groups.len() as u32;
-        self.outstanding.push((req.id, n.max(1)));
-        if groups.is_empty() {
+        let ngroups = req.n.div_ceil(row);
+        self.outstanding
+            .push((req.id, u32::try_from(ngroups).unwrap_or(u32::MAX).max(1)));
+        if ngroups == 0 {
             // Degenerate: complete next tick.
             self.done.push(MemResponse {
                 id: req.id,
@@ -231,8 +237,9 @@ impl StructModel {
             return;
         }
         let nbanks = self.banks.len() as u64;
-        for addr in groups {
-            let bank = ((addr / row as u64) % nbanks) as usize;
+        for g in 0..ngroups {
+            let addr = req.base + g * row;
+            let bank = ((addr / row) % nbanks) as usize;
             self.banks[bank].push_back(ElemTxn {
                 req: req.id,
                 addr,
@@ -243,27 +250,42 @@ impl StructModel {
 
     /// Advance one cycle; returns completions whose data is valid *now*.
     pub fn tick(&mut self, cycle: u64, dram: Option<&mut DramModel>) -> Vec<MemResponse> {
-        match self.kind.clone() {
+        // Copy the scalar parameters out instead of cloning the whole
+        // `StructureKind` every cycle (this runs per structure per cycle).
+        enum Tick {
+            Spad(u32, u32),
+            Cache(u32, u32),
+            Dram(u32, u32),
+        }
+        let t = match &self.kind {
             StructureKind::Scratchpad {
                 ports_per_bank,
                 latency,
                 ..
-            } => {
-                self.tick_spad(cycle, ports_per_bank, latency);
-            }
+            } => Tick::Spad(*ports_per_bank, *latency),
             StructureKind::Cache {
                 line_elems,
                 hit_latency,
                 ..
-            } => {
-                self.tick_cache(cycle, line_elems, hit_latency, dram);
-            }
+            } => Tick::Cache(*line_elems, *hit_latency),
             StructureKind::Dram {
                 latency,
                 elems_per_cycle,
-            } => {
+            } => Tick::Dram(*latency, *elems_per_cycle),
+        };
+        match t {
+            Tick::Spad(ports_per_bank, latency) => self.tick_spad(cycle, ports_per_bank, latency),
+            Tick::Cache(line_elems, hit_latency) => {
+                self.tick_cache(cycle, line_elems, hit_latency, dram);
+            }
+            Tick::Dram(latency, elems_per_cycle) => {
                 self.tick_raw_dram(cycle, latency, elems_per_cycle);
             }
+        }
+        // Fast path: nothing matured this cycle (the overwhelmingly common
+        // case) — `Vec::new()` does not allocate, `partition` would.
+        if self.done.iter().all(|r| r.at > cycle) {
+            return Vec::new();
         }
         let (ready, rest): (Vec<MemResponse>, Vec<MemResponse>) =
             self.done.drain(..).partition(|r| r.at <= cycle);
@@ -273,18 +295,19 @@ impl StructModel {
 
     fn retire_elem(&mut self, req: ReqId, at: u64) {
         self.stats.elem_txns += 1;
-        let finished = match self.outstanding.iter_mut().find(|(id, _)| *id == req) {
-            Some(slot) => {
-                slot.1 -= 1;
-                slot.1 == 0
-            }
-            None => false,
+        // `outstanding` stays sorted by request id (ids are handed out
+        // monotonically and `submit` pushes in order), so the per-element
+        // lookup is a binary search instead of a linear scan — this runs
+        // once per served element transaction, every cycle.
+        let Ok(i) = self.outstanding.binary_search_by_key(&req, |&(id, _)| id) else {
+            return;
         };
-        if finished {
+        self.outstanding[i].1 -= 1;
+        if self.outstanding[i].1 == 0 {
             let ecc = self.response_ecc();
             let at = at + self.response_delay();
             self.done.push(MemResponse { id: req, at, ecc });
-            self.outstanding.retain(|(id, _)| *id != req);
+            self.outstanding.remove(i);
         }
     }
 
@@ -414,6 +437,32 @@ impl StructModel {
     pub fn is_idle(&self) -> bool {
         self.outstanding.is_empty() && self.dram_fills.is_empty() && self.done.is_empty()
     }
+
+    /// Earliest cycle (>= `cycle`) at which ticking this structure can do
+    /// anything, or `None` if it is fully quiescent. Used by the engine's
+    /// idle-skip: a tick at any earlier cycle is a provable no-op (empty
+    /// banks serve nothing and accrue zero conflict stalls; pending fills
+    /// and responses only mature at their recorded cycles). Non-empty
+    /// banks pin activity to *this* cycle — they must be ticked every
+    /// cycle, both to serve transactions and to accrue conflict stalls
+    /// exactly as the dense scheduler would.
+    pub fn next_activity(&self, cycle: u64) -> Option<u64> {
+        if self.banks.iter().any(|b| !b.is_empty()) {
+            return Some(cycle);
+        }
+        let mut next: Option<u64> = None;
+        let mut merge = |at: u64| {
+            let at = at.max(cycle);
+            next = Some(next.map_or(at, |n| n.min(at)));
+        };
+        for &(ready, _) in &self.dram_fills {
+            merge(ready);
+        }
+        for r in &self.done {
+            merge(r.at);
+        }
+        next
+    }
 }
 
 /// The shared DRAM/AXI port: fixed access latency plus a line-fill
@@ -514,7 +563,8 @@ mod tests {
         let mut m = spad(1, 2);
         m.submit(MemRequest {
             id: 1,
-            addrs: vec![0],
+            base: 0,
+            n: 1,
             is_write: false,
         });
         let r = m.tick(0, None);
@@ -537,7 +587,8 @@ mod tests {
         // 4 consecutive addrs stripe across 4 banks: all serviced in 1 cycle.
         m.submit(MemRequest {
             id: 7,
-            addrs: vec![0, 1, 2, 3],
+            base: 0,
+            n: 4,
             is_write: false,
         });
         let r = m.tick(0, None);
@@ -553,7 +604,8 @@ mod tests {
         // 4 element txns on a single-ported single bank: 4 cycles to drain.
         m.submit(MemRequest {
             id: 9,
-            addrs: vec![0, 1, 2, 3],
+            base: 0,
+            n: 4,
             is_write: true,
         });
         let mut done_at = None;
@@ -576,7 +628,8 @@ mod tests {
             let mut m = spad(banks, 1);
             m.submit(MemRequest {
                 id: 1,
-                addrs: (0..16).collect(),
+                base: 0,
+                n: 16,
                 is_write: false,
             });
             for c in 0..100 {
@@ -595,7 +648,8 @@ mod tests {
         let mut dram = DramModel::new(None);
         cache.submit(MemRequest {
             id: 1,
-            addrs: vec![0],
+            base: 0,
+            n: 1,
             is_write: false,
         });
         let mut first_done = None;
@@ -613,7 +667,8 @@ mod tests {
         // Same line again: hit.
         cache.submit(MemRequest {
             id: 2,
-            addrs: vec![1],
+            base: 1,
+            n: 1,
             is_write: false,
         });
         let start = miss_time + 1;
@@ -656,7 +711,8 @@ mod tests {
         for (id, addr) in [(1u64, 0u64), (2, 64)] {
             cache.submit(MemRequest {
                 id,
-                addrs: vec![addr],
+                base: addr,
+                n: 1,
                 is_write: true,
             });
             for c in 0..500 {

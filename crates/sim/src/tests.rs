@@ -3,7 +3,8 @@
 //! checked (pipelining, serialization, banking, tiling, contention).
 
 use crate::{
-    simulate, ChannelState, FaultClass, FaultKind, FaultPlan, FaultSpec, SimConfig, SimError,
+    simulate, ChannelState, FaultClass, FaultKind, FaultPlan, FaultSpec, SchedulerKind, SimConfig,
+    SimError,
 };
 use muir_core::accel::Accelerator;
 use muir_core::structure::StructureKind;
@@ -753,6 +754,64 @@ fn underbuffered_edge_deadlocks_and_suggestion_fixes_it() {
         mem.read_i64(a),
         expected,
         "fixed run is functionally correct"
+    );
+}
+
+#[test]
+fn idle_skip_never_outruns_the_deadlock_watchdog() {
+    // The ready-set scheduler fast-forwards over cycles where no node can
+    // fire. A deadlocked accelerator is the extreme case: nothing is ever
+    // ready again, so an unbounded skip would jump straight past the
+    // watchdog deadline (or spin to the hard cycle limit). The skip target
+    // must be capped at `last_progress + deadlock_cycles`, which makes both
+    // schedulers report the deadlock at exactly the same cycle.
+    let (m, a, _) = fault_workload();
+    let mut acc = translate(&m, &FrontendConfig::default()).unwrap();
+    let lp = acc
+        .task_ids()
+        .find(|&t| acc.task(t).kind.is_loop())
+        .unwrap();
+    {
+        let df = &mut acc.task_mut(lp).dataflow;
+        let store = df
+            .node_ids()
+            .find(|&n| matches!(df.node(n).kind, muir_core::node::NodeKind::Store { .. }))
+            .unwrap();
+        let ei = df
+            .edges
+            .iter()
+            .position(|e| {
+                e.dst == store
+                    && matches!(e.kind, muir_core::dataflow::EdgeKind::Data)
+                    && !matches!(
+                        df.node(e.src).kind,
+                        muir_core::node::NodeKind::Input { .. }
+                            | muir_core::node::NodeKind::Const(_)
+                    )
+            })
+            .expect("dynamic data edge into the store");
+        df.edges[ei].buffering = muir_core::dataflow::Buffering::Fifo(0);
+    }
+    let run = |kind: SchedulerKind| {
+        let mut mem = Memory::from_module(&m);
+        mem.init_i64(a, &(0..32).map(|x| x * 2).collect::<Vec<_>>());
+        let cfg = SimConfig {
+            deadlock_cycles: 2_000,
+            ..SimConfig::default()
+        }
+        .with_scheduler(kind);
+        simulate(&acc, &mut mem, &[], &cfg).unwrap_err()
+    };
+    let (dense, ready) = (run(SchedulerKind::Dense), run(SchedulerKind::Ready));
+    let SimError::Deadlock { cycle: dc, .. } = dense else {
+        panic!("dense: want Deadlock, got {dense}")
+    };
+    let SimError::Deadlock { cycle: rc, .. } = ready else {
+        panic!("ready: want Deadlock, got {ready}")
+    };
+    assert_eq!(
+        dc, rc,
+        "watchdog fires at the same cycle under both schedulers"
     );
 }
 

@@ -1,8 +1,10 @@
 #!/bin/sh
-# Repo hygiene gate: formatting, lints on the simulator/transform/bench
-# crates, the tier-1 test suite, and the trace-exporter schema gate. Each
-# tool-dependent stage is skipped (not failed) when its tool is missing,
-# so the script works in minimal containers.
+# Repo hygiene gate: formatting, lints on the IR/frontend/simulator/
+# transform/bench crates, the tier-1 test suite, the trace-exporter
+# schema gate, and the scheduler benchmark gate (Dense-vs-Ready
+# differential + BENCH_sim.json). Each tool-dependent stage is skipped
+# (not failed) when its tool is missing, so the script works in minimal
+# containers.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -15,12 +17,10 @@ else
 fi
 
 if command -v cargo >/dev/null 2>&1 && cargo clippy --version >/dev/null 2>&1; then
-    echo "== cargo clippy -p muir-sim (warnings are errors) =="
-    cargo clippy -p muir-sim --all-targets -- -D warnings
-    echo "== cargo clippy -p muir-uopt (warnings are errors) =="
-    cargo clippy -p muir-uopt --all-targets -- -D warnings
-    echo "== cargo clippy -p muir-bench (warnings are errors) =="
-    cargo clippy -p muir-bench --all-targets -- -D warnings
+    for crate in muir-mir muir-frontend muir-sim muir-uopt muir-bench; do
+        echo "== cargo clippy -p $crate (warnings are errors) =="
+        cargo clippy -p "$crate" --all-targets -- -D warnings
+    done
 else
     echo "== cargo clippy not available; skipped =="
 fi
@@ -30,5 +30,8 @@ cargo test -q
 
 echo "== trace exporter vs scripts/trace_schema.json =="
 cargo run -q -p muir-bench --bin experiments -- trace-schema scripts/trace_schema.json
+
+echo "== scheduler bench gate (differential + BENCH_sim.json) =="
+cargo run --release -q -p muir-bench --bin experiments -- bench --quick BENCH_sim.json
 
 echo "check.sh: OK"

@@ -323,7 +323,8 @@ fn scratchpad_conserves_transactions() {
         for (i, &a) in addrs.iter().enumerate() {
             model.submit(MemRequest {
                 id: i as u64 + 1,
-                addrs: vec![a],
+                base: a,
+                n: 1,
                 is_write: false,
             });
         }
