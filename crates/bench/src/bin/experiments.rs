@@ -4,7 +4,7 @@
 //! cargo run --release -p muir-bench --bin experiments [all|fig1|table2|fig9|
 //!     table3|fig11|fig12|fig15|fig16|fig17|fig18|table4|faults|--selftest|
 //!     profile <workload> [outdir]|trace-schema [schema.json]|
-//!     bench [--quick] [out.json]]
+//!     bench [--quick] [out.json]|fuzz [--graphs N] [--seed S]]
 //! ```
 //!
 //! `faults` runs the differential fault-injection campaign (see
@@ -57,6 +57,30 @@ fn main() {
             .cloned()
             .unwrap_or_else(|| "BENCH_sim.json".to_string());
         bench(quick, &out);
+        return;
+    }
+    if which == "fuzz" {
+        let rest: Vec<String> = std::env::args().skip(2).collect();
+        let arg_after = |flag: &str| {
+            rest.iter()
+                .position(|a| a == flag)
+                .and_then(|p| rest.get(p + 1))
+                .map(|v| {
+                    let v = v.trim_start_matches("0x");
+                    u64::from_str_radix(
+                        v,
+                        if v.chars().all(|c| c.is_ascii_digit()) {
+                            10
+                        } else {
+                            16
+                        },
+                    )
+                    .unwrap_or_else(|e| panic!("bad {flag} value: {e}"))
+                })
+        };
+        let graphs = arg_after("--graphs").unwrap_or(200);
+        let seed = arg_after("--seed").unwrap_or(0xf022);
+        fuzz(seed, graphs);
         return;
     }
     if which == "trace-schema" {
@@ -207,16 +231,18 @@ fn profile(name: &str, outdir: &str) {
 }
 
 /// `bench [--quick] [out.json]`: the scheduler benchmark gate. First run
-/// the Dense-vs-Ready differential suite (plain, traced, and seeded
-/// fault-plan modes) over the selected workload set, then time both
-/// schedulers and write `BENCH_sim.json`, schema-validated by the same
-/// dependency-free JSON parser the trace gate uses. Exits non-zero on any
-/// divergence, schema violation, or if Ready is slower than Dense in
-/// aggregate.
+/// the scheduler differential suite (plain, traced, and seeded fault-plan
+/// modes; Ready and Parallel vs the dense oracle — Parallel@2 in quick
+/// mode, the full 1/2/4/8 thread sweep otherwise) over the selected
+/// workload set, then time every scheduler, measure `simulate_batch`
+/// multi-run throughput scaling, and write `BENCH_sim.json`,
+/// schema-validated by the same dependency-free JSON parser the trace
+/// gate uses. Exits non-zero on any divergence, schema violation, or if
+/// Ready is slower than Dense in aggregate.
 fn bench(quick: bool, out: &str) {
     use muir_bench::sched;
     hdr(&format!(
-        "Scheduler benchmark: Dense vs Ready ({} set)",
+        "Scheduler benchmark: Dense vs Ready vs Parallel ({} set)",
         if quick { "quick" } else { "full" }
     ));
     let ws: Vec<workloads::Workload> = if quick {
@@ -228,21 +254,31 @@ fn bench(quick: bool, out: &str) {
         workloads::all()
     };
     for (i, w) in ws.iter().enumerate() {
-        if let Err(e) = sched::check_workload(w, i) {
+        let r = if quick {
+            sched::check_workload(w, i)
+        } else {
+            sched::check_workload_3way(w, i)
+        };
+        if let Err(e) = r {
             eprintln!("scheduler divergence: {e}");
             std::process::exit(1);
         }
     }
     println!(
-        "differential: {} workloads x {{plain, traced, faulted}} bit-identical",
-        ws.len()
+        "differential: {} workloads x {{plain, traced, faulted}} x {{ready, parallel@{}}} bit-identical",
+        ws.len(),
+        if quick { "2".to_string() } else { "1/2/4/8".to_string() }
     );
 
     let reps = if quick { 2 } else { 3 };
     let rows: Vec<sched::BenchRow> = ws.iter().map(|w| sched::bench_workload(w, reps)).collect();
     print!("{}", sched::render_rows(&rows));
 
-    let json = sched::bench_json(&rows);
+    hdr("Batch throughput: simulate_batch over the quick set");
+    let batch = sched::bench_batch(4, if quick { 1 } else { 2 });
+    print!("{}", sched::render_batch(&batch));
+
+    let json = sched::bench_json(&rows, &batch);
     if let Err(e) = sched::validate_bench_json(&json) {
         eprintln!("BENCH_sim.json schema violation: {e}");
         std::process::exit(1);
@@ -254,6 +290,24 @@ fn bench(quick: bool, out: &str) {
     if g < 1.0 {
         eprintln!("FAIL: Ready scheduler is slower than Dense (geomean {g:.2}x < 1.00x)");
         std::process::exit(1);
+    }
+}
+
+/// `fuzz [--graphs N] [--seed S]`: the seeded μIR graph fuzzer gate. Every
+/// generated graph is run under Dense, Ready, and Parallel at 1/2/4/8
+/// planning threads in plain, traced, and seeded-fault modes; any
+/// divergence (or disagreement with the reference interpreter) fails with
+/// a shrunk `(seed, size)` reproduction line.
+fn fuzz(seed: u64, graphs: u64) {
+    hdr(&format!(
+        "Scheduler fuzz: {graphs} seeded graphs (seed 0x{seed:x}) x 3 schedulers x 3 modes"
+    ));
+    match muir_bench::testgen::run_seeds(seed, graphs) {
+        Ok(()) => println!("fuzz: {graphs} graphs bit-identical across schedulers"),
+        Err(e) => {
+            eprintln!("fuzz failure: {e}");
+            std::process::exit(1);
+        }
     }
 }
 

@@ -165,7 +165,22 @@ pub fn run_case(workload: &str, class: FaultClass, seed: u64) -> CaseResult {
         .unwrap_or_else(|e| panic!("{workload}: reference: {e}"));
     let acc = crate::baseline(&w);
     let mut mem = w.fresh_memory();
-    let cfg = SimConfig {
+    let cfg = case_cfg(class, seed);
+    let r = simulate(&acc, &mut mem, &[], &cfg);
+    classify(
+        workload,
+        class,
+        seed,
+        &w,
+        &ref_mem,
+        r.map(|r| r.stats.faults_injected()),
+        &mem,
+    )
+}
+
+/// The per-case simulation configuration: one seeded single-event fault.
+fn case_cfg(class: FaultClass, seed: u64) -> SimConfig {
+    SimConfig {
         // Tight enough that a timed-out response hangs quickly, loose
         // enough that no fault-free workload trips it.
         max_cycles: 2_000_000,
@@ -179,11 +194,23 @@ pub fn run_case(workload: &str, class: FaultClass, seed: u64) -> CaseResult {
             }],
         },
         ..SimConfig::default()
-    };
-    let (outcome, code, injected, flagged) = match simulate(&acc, &mut mem, &[], &cfg) {
-        Ok(r) => {
-            let injected = r.stats.faults_injected();
-            if w.outputs_match(&ref_mem, &mem) {
+    }
+}
+
+/// Bucket one finished run against the reference (shared by the
+/// sequential and batched campaign paths).
+fn classify(
+    workload: &str,
+    class: FaultClass,
+    seed: u64,
+    w: &muir_workloads::Workload,
+    ref_mem: &muir_mir::interp::Memory,
+    result: Result<u64, SimError>,
+    mem: &muir_mir::interp::Memory,
+) -> CaseResult {
+    let (outcome, code, injected, flagged) = match result {
+        Ok(injected) => {
+            if w.outputs_match(ref_mem, mem) {
                 (Outcome::Masked, None, injected, injected > 0)
             } else {
                 (Outcome::SilentCorruption, None, injected, injected > 0)
@@ -229,11 +256,69 @@ pub fn run_campaign(workloads: &[&str], classes: &[FaultClass], replicas: u32) -
     report
 }
 
+/// [`run_campaign`] with the cases of each workload batched through
+/// [`muir_sim::simulate_batch`] on `threads` worker threads. The report
+/// is byte-identical to the sequential campaign's — each case is an
+/// independent simulation with its own seed, memory image, and
+/// configuration, so only wall time changes.
+///
+/// # Panics
+/// Panics on unknown workload names or reference failures.
+pub fn run_campaign_with_threads(
+    workloads: &[&str],
+    classes: &[FaultClass],
+    replicas: u32,
+    threads: usize,
+) -> CampaignReport {
+    let mut report = CampaignReport::default();
+    for &name in workloads {
+        let w = by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+        let ref_mem = w
+            .run_reference()
+            .unwrap_or_else(|e| panic!("{name}: reference: {e}"));
+        let acc = crate::baseline(&w);
+        // Same (class, replica) order as the sequential triple loop.
+        let coords: Vec<(FaultClass, u64)> = classes
+            .iter()
+            .flat_map(|&class| (0..replicas).map(move |r| (class, case_seed(name, class, r))))
+            .collect();
+        let jobs: Vec<muir_sim::BatchJob> = coords
+            .iter()
+            .map(|&(class, seed)| muir_sim::BatchJob {
+                args: Vec::new(),
+                mem: w.fresh_memory(),
+                cfg: case_cfg(class, seed),
+            })
+            .collect();
+        let runs = muir_sim::simulate_batch(&acc, jobs, threads);
+        for (&(class, seed), run) in coords.iter().zip(runs) {
+            let case = classify(
+                name,
+                class,
+                seed,
+                &w,
+                &ref_mem,
+                run.outcome.map(|r| r.stats.faults_injected()),
+                &run.mem,
+            );
+            assert!(
+                case.outcome != Outcome::SilentCorruption || case.flagged,
+                "{name}/{}: corrupted completion without a fault flag",
+                class.name()
+            );
+            report.cases.push(case);
+        }
+    }
+    report
+}
+
 /// The default campaign of `experiments faults`: three workloads spanning
 /// the scratchpad (SAXPY), cache (GEMM), and stencil-halo (STENCIL)
-/// memory systems, all six fault classes, three replicas each.
+/// memory systems, all six fault classes, three replicas each — batched
+/// across the host's cores.
 pub fn default_campaign() -> CampaignReport {
-    run_campaign(&["SAXPY", "GEMM", "STENCIL"], &FaultClass::ALL, 3)
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    run_campaign_with_threads(&["SAXPY", "GEMM", "STENCIL"], &FaultClass::ALL, 3, threads)
 }
 
 #[cfg(test)]
@@ -268,5 +353,19 @@ mod tests {
     fn corrupted_completions_are_always_flagged() {
         let r = run_campaign(&["SAXPY"], &[FaultClass::TokenBitFlip], 4);
         assert_eq!(r.unflagged_corruptions(), 0);
+    }
+
+    #[test]
+    fn batched_campaign_matches_sequential() {
+        let wl = ["SAXPY", "GEMM"];
+        let classes = [FaultClass::TokenDrop, FaultClass::MemEcc];
+        let sequential = run_campaign(&wl, &classes, 2);
+        for threads in [1usize, 4] {
+            let batched = run_campaign_with_threads(&wl, &classes, 2, threads);
+            assert_eq!(
+                sequential, batched,
+                "batched campaign at {threads} threads diverged"
+            );
+        }
     }
 }

@@ -9,6 +9,7 @@
 pub mod campaign;
 pub mod profile;
 pub mod sched;
+pub mod testgen;
 
 use muir_baselines::{CpuModel, HlsModel};
 use muir_core::accel::Accelerator;

@@ -1,14 +1,16 @@
-//! Dense-vs-Ready scheduler harness: the differential oracle and the
-//! wall-time benchmark behind `experiments bench` / `BENCH_sim.json`.
+//! Scheduler differential harness: the oracle and the wall-time benchmark
+//! behind `experiments bench` / `BENCH_sim.json`.
 //!
-//! The cycle engine has two phase-4 schedulers (`SchedulerKind`): the
-//! original dense scanner and the event-driven ready-set scheduler
-//! (DESIGN.md §9). Their contract is *bit-identical observable
+//! The cycle engine has three phase-4 schedulers (`SchedulerKind`): the
+//! original dense scanner, the event-driven ready-set scheduler
+//! (DESIGN.md §9), and the tile-parallel plan/commit scheduler
+//! (DESIGN.md §10). Their contract is *bit-identical observable
 //! behaviour* — cycles, results, `SimStats` (minus the simulator-effort
-//! counter `sched_visits`), trace streams, and even typed errors. This
-//! module checks that contract over real workloads (including seeded
-//! fault plans and tracing) and measures what the ready scheduler buys
-//! in simulator wall-time.
+//! counter `sched_visits`), trace streams, and even typed errors — at any
+//! thread count. This module checks that contract over real workloads
+//! (including seeded fault plans and tracing), measures what each
+//! scheduler buys in simulator wall-time, and measures multi-run
+//! throughput scaling through `muir_sim::simulate_batch`.
 
 use crate::baseline;
 use crate::profile::{parse_json, Json};
@@ -61,6 +63,18 @@ pub fn run_under(
     faults: &FaultPlan,
     tracing: bool,
 ) -> RunOutcome {
+    run_under_with(w, scheduler, 1, faults, tracing)
+}
+
+/// [`run_under`] with an explicit planning thread count (meaningful only
+/// under [`SchedulerKind::Parallel`]).
+pub fn run_under_with(
+    w: &Workload,
+    scheduler: SchedulerKind,
+    threads: u32,
+    faults: &FaultPlan,
+    tracing: bool,
+) -> RunOutcome {
     let acc = baseline(w);
     let cfg = SimConfig {
         faults: faults.clone(),
@@ -71,7 +85,8 @@ pub fn run_under(
         },
         scheduler,
         ..SimConfig::default()
-    };
+    }
+    .with_threads(threads);
     let mut mem = w.fresh_memory();
     match simulate(&acc, &mut mem, &[], &cfg) {
         Ok(r) => RunOutcome::Ok {
@@ -93,7 +108,20 @@ pub fn run_under(
 pub fn check_equivalence(w: &Workload, faults: &FaultPlan, tracing: bool) -> Result<(), String> {
     let dense = run_under(w, SchedulerKind::Dense, faults, tracing);
     let ready = run_under(w, SchedulerKind::Ready, faults, tracing);
-    if dense == ready {
+    diff_outcomes(w, &dense, "ready", &ready, faults, tracing)
+}
+
+/// Compare `other` against the dense oracle; `Err` renders a focused diff
+/// naming the first divergent field and the failing configuration.
+fn diff_outcomes(
+    w: &Workload,
+    dense: &RunOutcome,
+    label: &str,
+    other: &RunOutcome,
+    faults: &FaultPlan,
+    tracing: bool,
+) -> Result<(), String> {
+    if dense == other {
         return Ok(());
     }
     // Render a focused diff rather than two page-long Debug dumps.
@@ -101,7 +129,7 @@ pub fn check_equivalence(w: &Workload, faults: &FaultPlan, tracing: bool) -> Res
         RunOutcome::Ok { cycles, .. } => format!("Ok(cycles={cycles})"),
         RunOutcome::Err(e) => format!("Err({e})"),
     };
-    let field = match (&dense, &ready) {
+    let field = match (dense, other) {
         (
             RunOutcome::Ok {
                 cycles: c1,
@@ -117,22 +145,22 @@ pub fn check_equivalence(w: &Workload, faults: &FaultPlan, tracing: bool) -> Res
             },
         ) => {
             if c1 != c2 {
-                format!("cycles: dense={c1} ready={c2}")
+                format!("cycles: dense={c1} {label}={c2}")
             } else if r1 != r2 {
                 "results differ".to_string()
             } else if s1 != s2 {
-                format!("stats: dense[{s1}] ready[{s2}]")
+                format!("stats: dense[{s1}] {label}[{s2}]")
             } else if t1 != t2 {
                 "trace streams differ".to_string()
             } else {
                 "unknown field".to_string()
             }
         }
-        _ => format!("dense={} ready={}", describe(&dense), describe(&ready)),
+        _ => format!("dense={} {label}={}", describe(dense), describe(other)),
     };
     let fault_mode = if faults.specs.is_empty() { "off" } else { "on" };
     Err(format!(
-        "{} (faults={fault_mode}, tracing={tracing}): {field}",
+        "{} (faults={fault_mode}, tracing={tracing}, vs {label}): {field}",
         w.name
     ))
 }
@@ -151,29 +179,66 @@ pub fn diff_fault_plan(w: &Workload, i: usize) -> FaultPlan {
     FaultPlan::single(FaultClass::ALL[i % FaultClass::ALL.len()], h)
 }
 
-/// Differentially check one workload in all three stress modes: plain,
-/// tracing on, and a seeded single-event fault plan.
+/// Differentially check one workload against the dense oracle in all three
+/// stress modes (plain, tracing on, seeded single-event fault plan), under
+/// Ready and under Parallel at each of `threads`.
 ///
 /// # Errors
-/// The first divergence found (see [`check_equivalence`]).
-pub fn check_workload(w: &Workload, i: usize) -> Result<(), String> {
-    check_equivalence(w, &FaultPlan::none(), false)?;
-    check_equivalence(w, &FaultPlan::none(), true)?;
-    check_equivalence(w, &diff_fault_plan(w, i), false)
+/// The first divergence found, naming the failing configuration.
+pub fn check_workload_threads(w: &Workload, i: usize, threads: &[u32]) -> Result<(), String> {
+    let none = FaultPlan::none();
+    let fault_plan = diff_fault_plan(w, i);
+    let modes: [(&FaultPlan, bool); 3] = [(&none, false), (&none, true), (&fault_plan, false)];
+    for (faults, tracing) in modes {
+        let dense = run_under_with(w, SchedulerKind::Dense, 1, faults, tracing);
+        let ready = run_under_with(w, SchedulerKind::Ready, 1, faults, tracing);
+        diff_outcomes(w, &dense, "ready", &ready, faults, tracing)?;
+        for &t in threads {
+            let par = run_under_with(w, SchedulerKind::Parallel, t, faults, tracing);
+            diff_outcomes(w, &dense, &format!("parallel@{t}"), &par, faults, tracing)?;
+        }
+    }
+    Ok(())
 }
 
-/// One row of `BENCH_sim.json`: wall-time under both schedulers for the
+/// Differentially check one workload in all three stress modes: plain,
+/// tracing on, and a seeded single-event fault plan — Ready and
+/// Parallel@2 against the dense oracle (the quick CI shape).
+///
+/// # Errors
+/// The first divergence found (see [`check_workload_threads`]).
+pub fn check_workload(w: &Workload, i: usize) -> Result<(), String> {
+    check_workload_threads(w, i, &[2])
+}
+
+/// The full three-way differential: Dense vs Ready vs Parallel at 1, 2, 4,
+/// and 8 planning threads, in every stress mode.
+///
+/// # Errors
+/// The first divergence found (see [`check_workload_threads`]).
+pub fn check_workload_3way(w: &Workload, i: usize) -> Result<(), String> {
+    check_workload_threads(w, i, &[1, 2, 4, 8])
+}
+
+/// The planning thread counts every per-thread sweep (differential and
+/// benchmark) covers.
+pub const THREAD_SWEEP: [u32; 4] = [1, 2, 4, 8];
+
+/// One row of `BENCH_sim.json`: wall-time under every scheduler for the
 /// same workload, with the differential invariant re-asserted.
 #[derive(Debug, Clone)]
 pub struct BenchRow {
     /// Workload name.
     pub workload: String,
-    /// Simulated cycles (identical under both schedulers by contract).
+    /// Simulated cycles (identical under every scheduler by contract).
     pub cycles: u64,
     /// Best-of-N wall-time under the dense scanner, milliseconds.
     pub dense_ms: f64,
     /// Best-of-N wall-time under the ready scheduler, milliseconds.
     pub ready_ms: f64,
+    /// Best-of-N wall-time under the parallel scheduler at each of
+    /// [`THREAD_SWEEP`] planning threads, milliseconds.
+    pub par_ms: [f64; THREAD_SWEEP.len()],
     /// `try_fire` visits per simulated cycle, dense.
     pub dense_visits_per_cycle: f64,
     /// `try_fire` visits per simulated cycle, ready.
@@ -204,9 +269,11 @@ impl BenchRow {
 /// scheduler-independent noise), returning (ms, cycles, visits).
 /// Sub-~25 ms workloads get extra reps — a single timer-tick or cache
 /// hiccup on a 3 ms run otherwise swings the ratio by several percent.
-fn time_under(w: &Workload, scheduler: SchedulerKind, reps: u32) -> (f64, u64, u64) {
+fn time_under(w: &Workload, scheduler: SchedulerKind, threads: u32, reps: u32) -> (f64, u64, u64) {
     let acc = baseline(w);
-    let cfg = SimConfig::default().with_scheduler(scheduler);
+    let cfg = SimConfig::default()
+        .with_scheduler(scheduler)
+        .with_threads(threads);
     let mut best = f64::INFINITY;
     let mut cycles = 0;
     let mut visits = 0;
@@ -232,28 +299,121 @@ fn time_under(w: &Workload, scheduler: SchedulerKind, reps: u32) -> (f64, u64, u
     (best, cycles, visits)
 }
 
-/// Benchmark one workload under both schedulers (best of `reps`),
+/// Benchmark one workload under every scheduler (best of `reps`),
 /// asserting the cycle counts agree.
 ///
 /// # Panics
-/// Panics if either run fails or the schedulers disagree on cycles.
+/// Panics if any run fails or the schedulers disagree on cycles.
 pub fn bench_workload(w: &Workload, reps: u32) -> BenchRow {
-    let (dense_ms, dense_cycles, dense_visits) = time_under(w, SchedulerKind::Dense, reps);
-    let (ready_ms, ready_cycles, ready_visits) = time_under(w, SchedulerKind::Ready, reps);
+    let (dense_ms, dense_cycles, dense_visits) = time_under(w, SchedulerKind::Dense, 1, reps);
+    let (ready_ms, ready_cycles, ready_visits) = time_under(w, SchedulerKind::Ready, 1, reps);
     assert_eq!(
         dense_cycles, ready_cycles,
         "{}: schedulers disagree on cycle count",
         w.name
     );
+    let mut par_ms = [0.0; THREAD_SWEEP.len()];
+    for (slot, &t) in par_ms.iter_mut().zip(&THREAD_SWEEP) {
+        let (ms, cycles, _) = time_under(w, SchedulerKind::Parallel, t, reps);
+        assert_eq!(
+            dense_cycles, cycles,
+            "{}: parallel@{t} disagrees on cycle count",
+            w.name
+        );
+        *slot = ms;
+    }
     let per = |v: u64| v as f64 / dense_cycles.max(1) as f64;
     BenchRow {
         workload: w.name.to_string(),
         cycles: dense_cycles,
         dense_ms,
         ready_ms,
+        par_ms,
         dense_visits_per_cycle: per(dense_visits),
         ready_visits_per_cycle: per(ready_visits),
     }
+}
+
+/// One thread-count point of the multi-run throughput benchmark: the
+/// [`muir_sim::simulate_batch`] wall time for the same job list.
+#[derive(Debug, Clone)]
+pub struct BatchPoint {
+    /// Worker threads handed to `simulate_batch`.
+    pub threads: usize,
+    /// Independent simulations in the batch.
+    pub runs: usize,
+    /// Wall time for the whole batch, milliseconds (best of reps).
+    pub wall_ms: f64,
+}
+
+impl BatchPoint {
+    /// Completed simulations per wall-clock second.
+    pub fn runs_per_sec(&self) -> f64 {
+        if self.wall_ms > 0.0 {
+            self.runs as f64 / (self.wall_ms / 1e3)
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Measure multi-run throughput scaling: `reps_per_workload` independent
+/// jobs of every quick-set workload, batched per accelerator through
+/// `simulate_batch` at each of [`THREAD_SWEEP`] thread counts. Every job's
+/// results are asserted identical across thread counts (completion order
+/// may differ; outputs may not).
+///
+/// # Panics
+/// Panics if a job fails or any thread count changes a job's outcome.
+pub fn bench_batch(reps_per_workload: usize, best_of: u32) -> Vec<BatchPoint> {
+    let ws: Vec<Workload> = QUICK_SET.iter().map(|n| by_name(n).unwrap()).collect();
+    let accs: Vec<_> = ws.iter().map(baseline).collect();
+    let make_jobs = |w: &Workload| -> Vec<muir_sim::BatchJob> {
+        (0..reps_per_workload)
+            .map(|_| muir_sim::BatchJob {
+                args: Vec::new(),
+                mem: w.fresh_memory(),
+                cfg: SimConfig::default(),
+            })
+            .collect()
+    };
+    let mut baseline_cycles: Vec<Vec<u64>> = Vec::new();
+    let mut points = Vec::new();
+    for &threads in &[1usize, 2, 4, 8] {
+        let mut best = f64::INFINITY;
+        let mut cycles_now: Vec<Vec<u64>> = Vec::new();
+        for _ in 0..best_of.max(1) {
+            cycles_now.clear();
+            let t0 = Instant::now();
+            for (w, acc) in ws.iter().zip(&accs) {
+                let runs = muir_sim::simulate_batch(acc, make_jobs(w), threads);
+                cycles_now.push(
+                    runs.into_iter()
+                        .map(|r| {
+                            r.outcome
+                                .unwrap_or_else(|e| panic!("{} batch job: {e}", w.name))
+                                .cycles
+                        })
+                        .collect(),
+                );
+            }
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        if baseline_cycles.is_empty() {
+            baseline_cycles = cycles_now;
+        } else {
+            assert_eq!(
+                baseline_cycles, cycles_now,
+                "batch outcomes changed at {threads} threads"
+            );
+        }
+        points.push(BatchPoint {
+            threads,
+            runs: ws.len() * reps_per_workload,
+            wall_ms: best,
+        });
+    }
+    points
 }
 
 /// The quick subset used by the CI gate (small enough for a checked
@@ -280,8 +440,9 @@ pub fn geomean_speedup(rows: &[BenchRow]) -> f64 {
     (s / rows.len() as f64).exp()
 }
 
-/// Serialize rows to the `BENCH_sim.json` document.
-pub fn bench_json(rows: &[BenchRow]) -> String {
+/// Serialize rows plus batch-throughput points to the `BENCH_sim.json`
+/// document.
+pub fn bench_json(rows: &[BenchRow], batch: &[BatchPoint]) -> String {
     let mut out = String::from("{\n  \"bench\": \"sim-scheduler\",\n  \"unit\": \"ms\",\n");
     out.push_str(&format!(
         "  \"geomean_speedup\": {:.4},\n  \"rows\": [\n",
@@ -290,17 +451,42 @@ pub fn bench_json(rows: &[BenchRow]) -> String {
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"workload\": \"{}\", \"cycles\": {}, \"dense_ms\": {:.4}, \
-             \"ready_ms\": {:.4}, \"speedup\": {:.4}, \"ready_cycles_per_sec\": {:.1}, \
+             \"ready_ms\": {:.4}, \"par1_ms\": {:.4}, \"par2_ms\": {:.4}, \
+             \"par4_ms\": {:.4}, \"par8_ms\": {:.4}, \"speedup\": {:.4}, \
+             \"ready_cycles_per_sec\": {:.1}, \
              \"dense_visits_per_cycle\": {:.2}, \"ready_visits_per_cycle\": {:.2}}}{}\n",
             r.workload,
             r.cycles,
             r.dense_ms,
             r.ready_ms,
+            r.par_ms[0],
+            r.par_ms[1],
+            r.par_ms[2],
+            r.par_ms[3],
             r.speedup(),
             r.ready_cycles_per_sec(),
             r.dense_visits_per_cycle,
             r.ready_visits_per_cycle,
             if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"batch\": [\n");
+    let base = batch.first().map_or(0.0, |p| p.wall_ms);
+    for (i, p) in batch.iter().enumerate() {
+        let speedup = if p.wall_ms > 0.0 {
+            base / p.wall_ms
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"runs\": {}, \"wall_ms\": {:.4}, \
+             \"runs_per_sec\": {:.1}, \"speedup\": {:.4}}}{}\n",
+            p.threads,
+            p.runs,
+            p.wall_ms,
+            p.runs_per_sec(),
+            speedup,
+            if i + 1 < batch.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -337,6 +523,10 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
             "cycles",
             "dense_ms",
             "ready_ms",
+            "par1_ms",
+            "par2_ms",
+            "par4_ms",
+            "par8_ms",
             "speedup",
             "ready_cycles_per_sec",
             "dense_visits_per_cycle",
@@ -356,32 +546,88 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
             return Err(format!("row {i}: missing `workload` string"));
         }
     }
+    let Some(Json::Arr(batch)) = doc.get("batch") else {
+        return Err("missing `batch` array".into());
+    };
+    if batch.is_empty() {
+        return Err("`batch` is empty".into());
+    }
+    for (i, p) in batch.iter().enumerate() {
+        for key in ["threads", "runs", "wall_ms", "runs_per_sec", "speedup"] {
+            match p.get(key) {
+                Some(Json::Num(v)) if v.is_finite() && *v >= 0.0 => {}
+                other => {
+                    return Err(format!(
+                        "batch point {i}: `{key}` must be a non-negative number, got {}",
+                        other.map_or("nothing", Json::type_name)
+                    ))
+                }
+            }
+        }
+    }
     Ok(())
 }
 
 /// Render the benchmark table for the terminal.
 pub fn render_rows(rows: &[BenchRow]) -> String {
     let mut out = format!(
-        "{:>10} {:>12} {:>10} {:>10} {:>8} {:>12} {:>9} {:>9}\n",
-        "Bench", "cycles", "dense ms", "ready ms", "speedup", "Mcyc/s", "visits/c", "(ready)"
+        "{:>10} {:>12} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>9}\n",
+        "Bench",
+        "cycles",
+        "dense ms",
+        "ready ms",
+        "par@1",
+        "par@2",
+        "par@4",
+        "par@8",
+        "speedup",
+        "visits/c",
+        "(ready)"
     );
     for r in rows {
         out.push_str(&format!(
-            "{:>10} {:>12} {:>10.3} {:>10.3} {:>7.2}x {:>12.2} {:>9.1} {:>9.2}\n",
+            "{:>10} {:>12} {:>10.3} {:>10.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>7.2}x {:>9.1} {:>9.2}\n",
             r.workload,
             r.cycles,
             r.dense_ms,
             r.ready_ms,
+            r.par_ms[0],
+            r.par_ms[1],
+            r.par_ms[2],
+            r.par_ms[3],
             r.speedup(),
-            r.ready_cycles_per_sec() / 1e6,
             r.dense_visits_per_cycle,
             r.ready_visits_per_cycle,
         ));
     }
     out.push_str(&format!(
-        "{:>10} geomean speedup: {:.2}x\n",
+        "{:>10} geomean speedup (ready vs dense): {:.2}x\n",
         "--", // aligns under the workload column
         geomean_speedup(rows)
     ));
+    out
+}
+
+/// Render the batch-throughput scaling table for the terminal.
+pub fn render_batch(points: &[BatchPoint]) -> String {
+    let base = points.first().map_or(0.0, |p| p.wall_ms);
+    let mut out = format!(
+        "{:>10} {:>8} {:>10} {:>12} {:>8}\n",
+        "threads", "runs", "wall ms", "runs/s", "speedup"
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{:>10} {:>8} {:>10.2} {:>12.1} {:>7.2}x\n",
+            p.threads,
+            p.runs,
+            p.wall_ms,
+            p.runs_per_sec(),
+            if p.wall_ms > 0.0 {
+                base / p.wall_ms
+            } else {
+                0.0
+            },
+        ));
+    }
     out
 }

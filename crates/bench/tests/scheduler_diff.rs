@@ -1,17 +1,23 @@
-//! Differential property test: the event-driven ready-set scheduler must
-//! be observably indistinguishable from the dense per-cycle scanner on
-//! every workload — same cycle count, same results, same `SimStats`
-//! (minus the scheduler-private visit counter), same trace stream — in
-//! plain, traced, and fault-injected runs.
+//! Differential property tests: every scheduler must be observably
+//! indistinguishable from the dense per-cycle scanner — same cycle count,
+//! same results, same `SimStats` (minus the scheduler-private visit
+//! counter), same trace stream, same typed errors — in plain, traced, and
+//! fault-injected runs, at every planning thread count.
+//!
+//! Two corpora: the 21 real workloads (full 1/2/4/8-thread sweep), and a
+//! seeded fuzz corpus of ≥200 generated μIR graphs (`testgen`), each run
+//! under all three schedulers in all three modes with shrink-by-seed
+//! reporting.
 
-use muir_bench::sched::check_workload;
+use muir_bench::sched::check_workload_3way;
+use muir_bench::testgen;
 use muir_workloads::all;
 
 #[test]
-fn ready_scheduler_matches_dense_on_every_workload() {
+fn every_scheduler_matches_dense_on_every_workload() {
     let mut failures = Vec::new();
     for (i, w) in all().iter().enumerate() {
-        if let Err(e) = check_workload(w, i) {
+        if let Err(e) = check_workload_3way(w, i) {
             failures.push(format!("{}: {e}", w.name));
         }
     }
@@ -21,4 +27,11 @@ fn ready_scheduler_matches_dense_on_every_workload() {
         failures.len(),
         failures.join("\n")
     );
+}
+
+#[test]
+fn schedulers_match_on_200_fuzzed_graphs() {
+    // Fixed corpus seed: the suite replays the same 200 graphs every run;
+    // `experiments fuzz --seed <s>` explores fresh corpora.
+    testgen::run_seeds(0xd1f_f00d, 200).unwrap_or_else(|e| panic!("{e}"));
 }

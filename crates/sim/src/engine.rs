@@ -34,7 +34,10 @@ use muir_mir::value::Value;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::hash::{BuildHasherDefault, Hasher};
-use std::rc::Rc;
+use std::sync::Arc;
+
+#[path = "parallel.rs"]
+mod parallel;
 
 /// Multiply-shift hasher for `req_map`. Its keys are monotone request
 /// ids, so DoS-resistant SipHash (the `HashMap` default, which showed up
@@ -135,7 +138,7 @@ struct ActiveInv {
 
 /// Pre-elaborated, immutable view of one task's dataflow.
 ///
-/// Adjacency lists are `Rc<[usize]>` so hot paths can detach a cheap
+/// Adjacency lists are `Arc<[usize]>` so hot paths can detach a cheap
 /// O(1) handle instead of cloning a `Vec` per visit.
 #[derive(Debug)]
 struct ElabTask {
@@ -145,17 +148,17 @@ struct ElabTask {
     dynamic_count: u32,
     /// Node processing order: consumers before producers (reverse topo over
     /// forward edges) so single-token edges sustain II=1.
-    order: Rc<[usize]>,
+    order: Arc<[usize]>,
     /// Inverse of `order`: `pos[node]` is the node's scan position. The
     /// ready scheduler fires candidates in ascending `pos` so a cycle's
     /// firing sequence is exactly the dense scan's.
     pos: Vec<u32>,
     /// Per node: indices of incoming data/feedback edges sorted by port.
-    in_data: Vec<Rc<[usize]>>,
+    in_data: Vec<Arc<[usize]>>,
     /// Per node: indices of incoming order edges.
-    in_order: Vec<Rc<[usize]>>,
+    in_order: Vec<Arc<[usize]>>,
     /// Per node: indices of outgoing (non-static-src) edges.
-    outs: Vec<Rc<[usize]>>,
+    outs: Vec<Arc<[usize]>>,
     /// Per node timing.
     timing: Vec<hw::Timing>,
     /// Per node bound on in-flight firings (databox entries for memory
@@ -351,6 +354,19 @@ pub struct Engine<'a> {
     /// the dense visitation (stall attribution *is* a per-cycle scan), so
     /// this is `Ready` and not tracing.
     use_ready: bool,
+    /// True when the tile-parallel plan/commit scheduler drives phase 4
+    /// (`Parallel` and not tracing, same rationale as `use_ready`).
+    use_parallel: bool,
+    /// Worker pool for the parallel plan phase (`None` at one thread; the
+    /// plans are then computed inline, which by construction yields the
+    /// same plans workers would).
+    pool: Option<parallel::Pool>,
+    /// Reused (task, tile) list of active tiles for the parallel phase.
+    par_active: Vec<(u32, u32)>,
+    /// Reused per-tile plans, index-aligned with `par_active`.
+    par_plans: Vec<parallel::TilePlan>,
+    /// The main thread's edge-visibility scratch for inline planning.
+    par_scratch: Vec<u32>,
     pass_point: PassPoint,
     wake_scratch: Vec<u32>,
     /// Reused input-slot buffer for `try_fire` (fires are the hot path;
@@ -491,6 +507,10 @@ impl<'a> Engine<'a> {
             })
             .collect();
         let use_ready = cfg.scheduler == SchedulerKind::Ready && obs.is_none();
+        let use_parallel = cfg.scheduler == SchedulerKind::Parallel && obs.is_none();
+        let total_tiles: usize = tasks.iter().map(|t| t.tiles.len()).sum();
+        let pool = (use_parallel && cfg.threads > 1)
+            .then(|| parallel::Pool::new(cfg.threads as usize - 1, total_tiles));
         Engine {
             acc,
             cfg,
@@ -515,6 +535,11 @@ impl<'a> Engine<'a> {
             junction_base,
             ready,
             use_ready,
+            use_parallel,
+            pool,
+            par_active: Vec::new(),
+            par_plans: Vec::new(),
+            par_scratch: Vec::new(),
             pass_point: PassPoint::Before,
             wake_scratch: Vec::new(),
             slot_scratch: Vec::new(),
@@ -1066,22 +1091,195 @@ impl<'a> Engine<'a> {
             }
         }
         // Phase 4: admissions + node firing (consumers-first order).
-        for ti in 0..self.tasks.len() {
-            for tk in 0..self.tasks[ti].tiles.len() {
-                if self.tasks[ti].tiles[tk].is_some() {
-                    self.tasks[ti].busy_cycles += 1;
-                    if self.use_ready {
-                        self.tile_tick_ready(ti, tk)?;
-                    } else {
-                        self.tile_tick(ti, tk)?;
+        let mut par_outcome = None;
+        if self.use_parallel {
+            par_outcome = Some(self.phase4_parallel()?);
+        } else {
+            for ti in 0..self.tasks.len() {
+                for tk in 0..self.tasks[ti].tiles.len() {
+                    if self.tasks[ti].tiles[tk].is_some() {
+                        self.tasks[ti].busy_cycles += 1;
+                        if self.use_ready {
+                            self.tile_tick_ready(ti, tk)?;
+                        } else {
+                            self.tile_tick(ti, tk)?;
+                        }
+                        self.check_invocation_complete(ti, tk)?;
                     }
-                    self.check_invocation_complete(ti, tk)?;
                 }
             }
         }
         self.pass_point = PassPoint::After;
         self.cycle += 1;
+        if let Some((shortfall, min_ready)) = par_outcome {
+            self.parallel_skip_idle(shortfall, min_ready);
+        }
         Ok(())
+    }
+
+    /// Phase 4 under [`SchedulerKind::Parallel`]: a two-phase cycle.
+    ///
+    /// *Plan* (parallel, read-only): each active tile independently computes
+    /// a [`parallel::TilePlan`] — an admission prediction and a candidate
+    /// list that is a provable superset of the nodes the dense scan would
+    /// fire, in dense scan order (see `parallel.rs` for the gate-by-gate
+    /// argument). Tiles share no mutable state, so any sharding across the
+    /// worker pool yields identical plans.
+    ///
+    /// *Commit* (sequential, tile-index then scan-position ascending):
+    /// replays the candidates through `try_fire`, which re-checks every
+    /// gate. Because the commit's gate-passing visits are exactly the dense
+    /// scan's, every global side effect — fault-RNG rolls, event sequence
+    /// numbers, memory request ids, junction budgets — happens in exactly
+    /// the dense order, which is what makes the scheduler bit-identical at
+    /// any thread count (DESIGN.md §10).
+    ///
+    /// Returns `(shortfall, min_ready)` for the post-commit idle skip:
+    /// `shortfall` is set when some candidate did not fire (its blocker may
+    /// clear by pure time advance, e.g. a junction budget refresh, so the
+    /// next cycle cannot be skipped), and `min_ready` is the earliest
+    /// known future wake (II throttles) observed while planning/committing.
+    fn phase4_parallel(&mut self) -> Result<(bool, u64), SimError> {
+        let cycle = self.cycle;
+        let mut active = std::mem::take(&mut self.par_active);
+        active.clear();
+        for (ti, t) in self.tasks.iter().enumerate() {
+            for (tk, tile) in t.tiles.iter().enumerate() {
+                if tile.is_some() {
+                    active.push((ti as u32, tk as u32));
+                }
+            }
+        }
+        let n = active.len();
+        let mut plans = std::mem::take(&mut self.par_plans);
+        if plans.len() < n {
+            plans.resize_with(n, parallel::TilePlan::default);
+        }
+        {
+            let ctx = parallel::PlanCtx {
+                acc: self.acc,
+                elab: &self.elab,
+                tasks: &self.tasks,
+                stuck: &self.stuck,
+                faults_on: self.faults_on,
+                cycle,
+                window: self.cfg.window,
+                elastic_depth: self.cfg.elastic_depth,
+            };
+            match &self.pool {
+                // Engaging workers for a single tile only adds handoff
+                // latency; the inline path computes the very same plan.
+                Some(pool) if n >= 2 => {
+                    pool.plan(&ctx, &active, &mut plans[..n], &mut self.par_scratch);
+                }
+                _ => {
+                    for (i, &(ti, tk)) in active.iter().enumerate() {
+                        parallel::plan_tile(
+                            &ctx,
+                            ti as usize,
+                            tk as usize,
+                            &mut self.par_scratch,
+                            &mut plans[i],
+                        );
+                    }
+                }
+            }
+        }
+        let mut shortfall = false;
+        let mut min_ready = u64::MAX;
+        for (i, &(ti, tk)) in active.iter().enumerate().take(n) {
+            let (ti, tk) = (ti as usize, tk as usize);
+            if self.tasks[ti].tiles[tk].is_none() {
+                // Retired earlier this phase (a child's completion released
+                // its spawn parent); the dense scan would skip it too.
+                continue;
+            }
+            self.tasks[ti].busy_cycles += 1;
+            let admitted = self.admit(ti, tk);
+            debug_assert_eq!(
+                admitted.is_some(),
+                plans[i].admit,
+                "plan admission prediction diverged"
+            );
+            let uid = self.tasks[ti].tiles[tk].as_ref().map(|v| v.uid);
+            let order = Arc::clone(&self.elab[ti].order);
+            for c in 0..plans[i].cands.len() {
+                let pos = plans[i].cands[c].pos as usize;
+                let pre = plans[i].cands[c].pre.take();
+                let node = order[pos];
+                let before = self.fires;
+                self.try_fire(ti, tk, node, pre).map_err(|e| {
+                    e.at_site(
+                        cycle,
+                        ti as u32,
+                        &self.acc.tasks[ti].name,
+                        Some(node as u32),
+                        uid,
+                    )
+                })?;
+                if self.fires == before {
+                    shortfall = true;
+                } else if let Some(inv) = self.tasks[ti].tiles[tk].as_ref() {
+                    if inv.fired[node] < inv.admitted {
+                        min_ready = min_ready.min(inv.ready_at[node]);
+                    }
+                }
+            }
+            min_ready = min_ready.min(plans[i].next_wake);
+            self.check_invocation_complete(ti, tk)?;
+        }
+        self.par_active = active;
+        self.par_plans = plans;
+        Ok((shortfall, min_ready))
+    }
+
+    /// Post-commit idle skip for the parallel scheduler, the counterpart of
+    /// [`Engine::maybe_skip_idle`]: when the cycle just committed proves
+    /// nothing can happen until a known future cycle — every candidate
+    /// fired, no dispatch or admission is possible, memory and the event
+    /// heap are quiescent — jump there, capped at the watchdog deadline and
+    /// cycle limit so errors fire at exactly the dense scheduler's cycle.
+    fn parallel_skip_idle(&mut self, shortfall: bool, min_ready: u64) {
+        if shortfall || self.root_result.is_some() {
+            return;
+        }
+        let cycle = self.cycle;
+        let mut earliest = min_ready;
+        for t in &self.tasks {
+            if !t.queue.is_empty() && !t.free_tiles.is_empty() {
+                return; // dispatch would happen now
+            }
+            for tile in &t.tiles {
+                let Some(inv) = tile else { continue };
+                if self.can_admit(inv) {
+                    return;
+                }
+            }
+        }
+        for s in &self.structs {
+            match s.next_activity(cycle) {
+                Some(at) if at <= cycle => return, // must tick now
+                Some(at) => earliest = earliest.min(at),
+                None => {}
+            }
+        }
+        if let Some(at) = self.next_event_cycle() {
+            if at <= cycle {
+                return;
+            }
+            earliest = earliest.min(at);
+        }
+        let deadline = (self.last_progress + self.cfg.deadlock_cycles).saturating_add(1);
+        let target = earliest.min(deadline).min(self.cfg.max_cycles);
+        if target <= cycle {
+            return;
+        }
+        let skipped = target - cycle;
+        for t in &mut self.tasks {
+            let active = t.tiles.iter().filter(|x| x.is_some()).count() as u64;
+            t.busy_cycles += active * skipped;
+        }
+        self.cycle = target;
     }
 
     fn activate(&mut self, ti: usize, tile: usize, inv: Invocation) -> Result<(), SimError> {
@@ -1185,9 +1383,9 @@ impl<'a> Engine<'a> {
         self.admit(ti, tk);
         // Node firing in consumers-first order.
         let uid = self.tasks[ti].tiles[tk].as_ref().map(|i| i.uid);
-        let order = Rc::clone(&self.elab[ti].order);
+        let order = Arc::clone(&self.elab[ti].order);
         for &node in order.iter() {
-            self.try_fire(ti, tk, node).map_err(|e| {
+            self.try_fire(ti, tk, node, None).map_err(|e| {
                 e.at_site(
                     cycle,
                     ti as u32,
@@ -1278,7 +1476,7 @@ impl<'a> Engine<'a> {
             }
         }
         let uid = self.tasks[ti].tiles[tk].as_ref().map(|i| i.uid);
-        let order = Rc::clone(&self.elab[ti].order);
+        let order = Arc::clone(&self.elab[ti].order);
         // Drain the bitset lowest-position-first. The word is re-read after
         // every visit: a same-cycle wake from inside `try_fire` can only
         // set a bit ahead of the drain point, which this forward walk will
@@ -1297,7 +1495,7 @@ impl<'a> Engine<'a> {
             let pos = wi as u32 * 64 + bit;
             let node = order[pos as usize] as u32;
             self.pass_point = PassPoint::At(ti, tk, i64::from(pos));
-            self.try_fire(ti, tk, node as usize).map_err(|e| {
+            self.try_fire(ti, tk, node as usize, None).map_err(|e| {
                 e.at_site(cycle, ti as u32, &self.acc.tasks[ti].name, Some(node), uid)
             })?;
         }
@@ -1305,8 +1503,22 @@ impl<'a> Engine<'a> {
         Ok(())
     }
 
+    /// Attempt to fire `node` on (task, tile), re-checking every gate.
+    ///
+    /// `pre` is an optional precomputed output value from the parallel plan
+    /// phase: `(instance, value)` for a pure `Compute`/`Fused` node whose
+    /// inputs were frozen when planned. It is a pure optimization — the
+    /// value is used only when the instance matches, and recomputing it
+    /// here would yield the identical value (the dense and ready callers
+    /// always pass `None`).
     #[allow(clippy::too_many_lines)]
-    fn try_fire(&mut self, ti: usize, tk: usize, node: usize) -> Result<(), SimError> {
+    fn try_fire(
+        &mut self,
+        ti: usize,
+        tk: usize,
+        node: usize,
+        pre: Option<(u64, Value)>,
+    ) -> Result<(), SimError> {
         let cycle = self.cycle;
         let df = &self.acc.tasks[ti].dataflow;
         self.sched_visits += 1;
@@ -1350,8 +1562,8 @@ impl<'a> Engine<'a> {
         let is_merge = matches!(kind, NodeKind::Merge);
 
         // Check inputs.
-        let in_data = Rc::clone(&self.elab[ti].in_data[node]);
-        let in_order = Rc::clone(&self.elab[ti].in_order[node]);
+        let in_data = Arc::clone(&self.elab[ti].in_data[node]);
+        let in_order = Arc::clone(&self.elab[ti].in_order[node]);
         {
             let inv = self.tasks[ti].tiles[tk].as_ref().expect("active");
             for &ei in in_data.iter().chain(in_order.iter()) {
@@ -1605,12 +1817,14 @@ impl<'a> Engine<'a> {
                 inv.acc_state[node] = Some(r.clone());
                 out_values.push(r);
             }
-            NodeKind::Compute(op) => {
-                out_values.push(eval_op(*op, &values)?);
-            }
-            NodeKind::Fused(plan) => {
-                out_values.push(eval_fused(plan, &values)?);
-            }
+            NodeKind::Compute(op) => match pre {
+                Some((pk, v)) if pk == k => out_values.push(v),
+                _ => out_values.push(eval_op(*op, &values)?),
+            },
+            NodeKind::Fused(plan) => match pre {
+                Some((pk, v)) if pk == k => out_values.push(v),
+                _ => out_values.push(eval_fused(plan, &values)?),
+            },
             NodeKind::Output => {
                 let inv = self.tasks[ti].tiles[tk].as_mut().expect("active");
                 inv.last_output = values.clone();
@@ -1896,7 +2110,7 @@ impl<'a> Engine<'a> {
     ) -> Result<(), SimError> {
         let cycle = self.cycle;
         let df = &self.acc.tasks[ti].dataflow;
-        let outs = Rc::clone(&self.elab[ti].outs[node]);
+        let outs = Arc::clone(&self.elab[ti].outs[node]);
         let was_at_cap;
         {
             let Some(inv) = self.tasks[ti].tiles[tk].as_mut() else {

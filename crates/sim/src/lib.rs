@@ -72,8 +72,8 @@ use muir_mir::value::Value;
 /// skips cycles in which provably nothing can happen (see DESIGN.md §9).
 ///
 /// With tracing enabled the engine always uses the dense visitation order
-/// (stall attribution is inherently a per-cycle scan), so `Ready` + tracing
-/// still yields bit-identical trace streams.
+/// (stall attribution is inherently a per-cycle scan), so `Ready` or
+/// `Parallel` + tracing still yields bit-identical trace streams.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SchedulerKind {
     /// Poll every node of every active tile each cycle (the original
@@ -82,6 +82,12 @@ pub enum SchedulerKind {
     /// Event-driven ready sets + idle-cycle skipping.
     #[default]
     Ready,
+    /// Two-phase plan/commit cycle: tiles are planned in parallel across a
+    /// fixed worker pool ([`SimConfig::threads`]), then committed
+    /// sequentially in tile-index order so every observable — cycles,
+    /// results, stats, fault behaviour, traces — is bit-identical to
+    /// `Dense`/`Ready` at any thread count (DESIGN.md §10).
+    Parallel,
 }
 
 /// Simulation parameters.
@@ -111,6 +117,10 @@ pub struct SimConfig {
     /// Phase-4 scheduling strategy (identical observable behaviour; only
     /// simulator wall-time differs).
     pub scheduler: SchedulerKind,
+    /// Worker threads for [`SchedulerKind::Parallel`] planning (ignored by
+    /// the other schedulers; `1` = plan inline on the simulation thread).
+    /// Never affects simulation results — only wall time.
+    pub threads: u32,
 }
 
 impl Default for SimConfig {
@@ -125,6 +135,7 @@ impl Default for SimConfig {
             faults: FaultPlan::none(),
             trace: TraceConfig::default(),
             scheduler: SchedulerKind::default(),
+            threads: 1,
         }
     }
 }
@@ -134,6 +145,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// The same configuration with a different planning thread count
+    /// (meaningful only under [`SchedulerKind::Parallel`]; clamped to ≥ 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: u32) -> Self {
+        self.threads = threads.max(1);
         self
     }
 }
@@ -285,6 +304,17 @@ pub fn simulate(
     // would otherwise surface as a confusing mid-run fault or deadlock.
     muir_core::verify::verify_accelerator(acc)
         .map_err(|source| SimError::GraphRejected { source })?;
+    run_verified(acc, mem, args, cfg)
+}
+
+/// Run one simulation of an already-verified accelerator (shared between
+/// [`simulate`] and [`simulate_batch`]).
+fn run_verified(
+    acc: &Accelerator,
+    mem: &mut Memory,
+    args: &[Value],
+    cfg: &SimConfig,
+) -> Result<SimResult, SimError> {
     let engine = engine::Engine::new(acc, mem, cfg);
     let (cycles, results, stats, observed) = engine.run(args)?;
     let (profile, trace) = match observed {
@@ -298,6 +328,94 @@ pub fn simulate(
         profile,
         trace,
     })
+}
+
+/// One independent simulation in a [`simulate_batch`] call: the root
+/// arguments, the private memory image the run mutates, and the full
+/// simulation configuration (schedulers/faults/tracing may differ per job).
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// Root-task arguments.
+    pub args: Vec<Value>,
+    /// Initial memory image; mutated in place by the run and returned in
+    /// [`BatchRun::mem`].
+    pub mem: Memory,
+    /// Per-job simulation parameters.
+    pub cfg: SimConfig,
+}
+
+/// Outcome of one [`BatchJob`]: exactly what a standalone [`simulate`] call
+/// with the same inputs produces, plus the final memory image.
+#[derive(Debug)]
+pub struct BatchRun {
+    /// The simulation outcome (identical to a standalone [`simulate`]).
+    pub outcome: Result<SimResult, SimError>,
+    /// The job's memory image after the run.
+    pub mem: Memory,
+}
+
+/// Run many independent simulations of one accelerator concurrently.
+///
+/// The graph is verified once and shared immutably; each job gets its own
+/// memory image and engine, so every run is bit-identical to a standalone
+/// [`simulate`] call with the same inputs regardless of `threads` or
+/// completion order. Results come back index-aligned with `jobs`. This is
+/// the throughput path for campaign/fuzz/bench workloads: multi-run
+/// scaling comes from running whole simulations side by side, not from
+/// threading inside one run.
+pub fn simulate_batch(acc: &Accelerator, jobs: Vec<BatchJob>, threads: usize) -> Vec<BatchRun> {
+    let graph_ok = muir_core::verify::verify_accelerator(acc).is_ok();
+    let n = jobs.len();
+    let slots: Vec<std::sync::Mutex<Option<BatchJob>>> = jobs
+        .into_iter()
+        .map(|j| std::sync::Mutex::new(Some(j)))
+        .collect();
+    let results: Vec<std::sync::Mutex<Option<BatchRun>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let run_one = |i: usize| {
+        let BatchJob { args, mut mem, cfg } = slots[i]
+            .lock()
+            .expect("batch job slot")
+            .take()
+            .expect("each job index is claimed exactly once");
+        let outcome = if graph_ok {
+            run_verified(acc, &mut mem, &args, &cfg)
+        } else {
+            // Re-verify per job to produce the same `GraphRejected` error a
+            // standalone `simulate` call would return.
+            muir_core::verify::verify_accelerator(acc)
+                .map_err(|source| SimError::GraphRejected { source })
+                .and_then(|()| run_verified(acc, &mut mem, &args, &cfg))
+        };
+        *results[i].lock().expect("batch result slot") = Some(BatchRun { outcome, mem });
+    };
+    let workers = threads.max(1).min(n.max(1));
+    if workers <= 1 {
+        for i in 0..n {
+            run_one(i);
+        }
+    } else {
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    run_one(i);
+                });
+            }
+        });
+    }
+    results
+        .into_iter()
+        .map(|r| {
+            r.into_inner()
+                .expect("batch result mutex")
+                .expect("every job ran")
+        })
+        .collect()
 }
 
 #[cfg(test)]

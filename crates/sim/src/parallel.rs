@@ -1,0 +1,521 @@
+//! Tile-parallel planning for [`crate::SchedulerKind::Parallel`]
+//! (DESIGN.md §10).
+//!
+//! One simulated cycle splits into a *plan* phase and a *commit* phase.
+//! This module owns the plan phase: a pure, read-only pass over each
+//! active tile that predicts admission and collects firing candidates,
+//! plus the fixed worker pool that shards tiles across threads. The
+//! commit phase lives in `engine.rs` (`phase4_parallel`) and replays the
+//! candidates through the ordinary `try_fire` gates in dense scan order.
+//!
+//! # Why the result is bit-identical to the dense scan
+//!
+//! The contract is: *the commit's gate-passing visits are exactly the
+//! dense scan's gate-passing visits, in the same order.* Everything
+//! observable follows, because every global side effect (fault-RNG draws,
+//! event sequence numbers, memory request ids, junction budget
+//! consumption, memory writes) happens inside `try_fire` after its gates
+//! pass, and the commit drains candidates in (tile index, scan position)
+//! ascending order — the dense iteration order.
+//!
+//! The candidate list only needs to be a **superset** of the dense firing
+//! set (commit re-checks every gate; a spurious candidate just fails a
+//! gate, with no side effects), but it must never *miss* a dense firing.
+//! Gate by gate, against the frozen start-of-phase state:
+//!
+//! * **instance gate** (`fired < admitted`): exact. Admission is at most
+//!   one instance per tile per cycle and is a pure function of frozen
+//!   state (`admitted`, `completed`, `trip` change only in phases 1–3 or
+//!   at this tile's own commit), so the plan predicts it exactly.
+//! * **II gate** (`cycle >= ready_at`): exact; `ready_at` changes only at
+//!   the node's own firing. Blocked nodes record their wake cycle into
+//!   `next_wake` for the idle skip.
+//! * **input gates**: exact. Every edge has a single consumer, pushes
+//!   during phase 4 land invisible (`visible_at: None`), and replies/
+//!   completions only patch tokens in phases 1–2 — so each front token the
+//!   dense scan would test is frozen. A visible front with the wrong
+//!   instance is a detected hardware fault: the node is kept as a
+//!   candidate so the commit raises `TokenMisorder` at the identical
+//!   visit.
+//! * **pending gate** (`pending < max_pending`): exact; retirements only
+//!   happen in phases 1–2, issues only at the node's own firing.
+//! * **output-space gate**: checked against a per-tile scratch copy of
+//!   `edge_vis` with every earlier candidate's pops applied. Candidate
+//!   pops are a superset of dense pops and phase-4 pushes don't count
+//!   (invisible), so scratch ≤ dense pointwise: scratch-full ⇒ dense-full
+//!   ⇒ exclusion is safe. Inclusion is re-checked at commit.
+//! * **child-queue gate** (`TaskCall`): the child's queue only grows
+//!   during phase 4, so a full snapshot means full at the dense visit;
+//!   exclusion is safe, inclusion re-checked.
+//! * **junction port budgets**: deliberately *not* modelled — budget is
+//!   consumed at actual firings, and consuming it for a candidate the
+//!   commit later rejects could wrongly starve a node the dense scan
+//!   fires. Always include; the commit re-checks.
+//! * **stuck set**: frozen for planning; a node is only stuck at its own
+//!   visit, which the commit replays.
+//!
+//! Fault injection needs no per-shard RNG split: the `StuckHandshake`
+//! roll happens only after *all* gates pass (including the junction gate
+//! the plan skips), and the token-fault rolls happen per out-edge at
+//! actual firings — both therefore consume the engine's single global
+//! splitmix64 stream in exactly the dense order.
+//!
+//! For pure `Compute`/`Fused` candidates the plan also precomputes the
+//! output value from the frozen inputs — the only part of a firing that
+//! actually parallelizes — tagged with the instance so the commit can
+//! validate it.
+
+use super::{ActiveInv, ElabTask, TaskState};
+use muir_core::accel::Accelerator;
+use muir_core::node::NodeKind;
+use muir_mir::value::Value;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One firing candidate: the node's scan position and, for pure compute
+/// nodes, the precomputed `(instance, output value)`.
+#[derive(Debug)]
+pub(crate) struct Cand {
+    pub pos: u32,
+    pub pre: Option<(u64, Value)>,
+}
+
+/// The plan for one active tile: admission prediction, firing candidates
+/// in scan order, and the earliest known future wake (for the idle skip).
+#[derive(Debug)]
+pub(crate) struct TilePlan {
+    pub admit: bool,
+    pub cands: Vec<Cand>,
+    pub next_wake: u64,
+}
+
+impl Default for TilePlan {
+    fn default() -> Self {
+        TilePlan {
+            admit: false,
+            cands: Vec::new(),
+            next_wake: u64::MAX,
+        }
+    }
+}
+
+/// Read-only engine facts the plan phase needs. All references point at
+/// engine state that is frozen for the duration of the plan phase.
+pub(crate) struct PlanCtx<'e> {
+    pub acc: &'e Accelerator,
+    pub elab: &'e [ElabTask],
+    pub tasks: &'e [TaskState],
+    pub stuck: &'e HashSet<(usize, usize, usize)>,
+    pub faults_on: bool,
+    pub cycle: u64,
+    pub window: u64,
+    pub elastic_depth: u32,
+}
+
+impl PlanCtx<'_> {
+    /// Mirror of `Engine::edge_capacity`.
+    fn edge_cap(&self, ti: usize, ei: usize) -> usize {
+        match self.acc.tasks[ti].dataflow.edges[ei].buffering {
+            muir_core::dataflow::Buffering::Handshake => self.elastic_depth as usize,
+            muir_core::dataflow::Buffering::Fifo(d) => d as usize,
+        }
+    }
+}
+
+/// Precompute the output value of a pure `Compute`/`Fused` candidate from
+/// its frozen inputs. `None` when any input can't be assembled or the
+/// evaluation fails — the commit then recomputes (and reproduces any
+/// error at the dense visit).
+fn precompute(
+    ctx: &PlanCtx<'_>,
+    ti: usize,
+    inv: &ActiveInv,
+    node: usize,
+    k: u64,
+) -> Option<(u64, Value)> {
+    let df = &ctx.acc.tasks[ti].dataflow;
+    let kind = &df.nodes[node].kind;
+    if !matches!(kind, NodeKind::Compute(_) | NodeKind::Fused(_)) {
+        return None;
+    }
+    let elab = &ctx.elab[ti];
+    let in_data = &elab.in_data[node];
+    let mut vals: Vec<Value> = Vec::with_capacity(in_data.len());
+    for &ei in in_data.iter() {
+        let src = df.edges[ei].src.0 as usize;
+        if elab.is_static[src] {
+            match &df.nodes[src].kind {
+                NodeKind::Input { index } => vals.push(inv.args.get(*index as usize)?.clone()),
+                NodeKind::Const(c) => vals.push(c.to_value()),
+                _ => return None,
+            }
+        } else {
+            // The input gate guaranteed a visible, instance-matching front.
+            vals.push(inv.edge_q[ei].front()?.value.clone());
+        }
+    }
+    let v = match kind {
+        NodeKind::Compute(op) => super::eval_op(*op, &vals).ok()?,
+        NodeKind::Fused(plan) => super::eval_fused(plan, &vals).ok()?,
+        _ => unreachable!("matched above"),
+    };
+    Some((k, v))
+}
+
+/// Plan one active tile: a pure function of the frozen engine state (plus
+/// a reusable scratch buffer), so it can run on any thread.
+pub(crate) fn plan_tile(
+    ctx: &PlanCtx<'_>,
+    ti: usize,
+    tk: usize,
+    scratch_vis: &mut Vec<u32>,
+    out: &mut TilePlan,
+) {
+    out.cands.clear();
+    out.next_wake = u64::MAX;
+    out.admit = false;
+    let Some(inv) = ctx.tasks[ti].tiles[tk].as_ref() else {
+        return;
+    };
+    let elab = &ctx.elab[ti];
+    let df = &ctx.acc.tasks[ti].dataflow;
+    let cycle = ctx.cycle;
+    // Mirror of `Engine::admit` on frozen state (exact, see module docs).
+    let can = inv.admitted < inv.trip
+        && if inv.serial {
+            inv.completed == inv.admitted
+        } else {
+            inv.admitted - inv.completed < ctx.window
+        };
+    out.admit = can;
+    let admitted_eff = inv.admitted + u64::from(can);
+    scratch_vis.clear();
+    scratch_vis.extend_from_slice(&inv.edge_vis);
+    'nodes: for (pos, &node) in elab.order.iter().enumerate() {
+        if elab.is_static[node] {
+            continue;
+        }
+        if ctx.faults_on && ctx.stuck.contains(&(ti, tk, node)) {
+            continue;
+        }
+        let k = inv.fired[node];
+        if k >= admitted_eff {
+            continue;
+        }
+        let ra = inv.ready_at[node];
+        if cycle < ra {
+            out.next_wake = out.next_wake.min(ra);
+            continue;
+        }
+        let kind = &df.nodes[node].kind;
+        let is_merge = matches!(kind, NodeKind::Merge);
+        // Input gates, in the dense scan's edge order. A visible front with
+        // the wrong instance stays a candidate: the commit must replay the
+        // dense scan's `TokenMisorder` error at this exact visit.
+        let mut misorder = false;
+        for &ei in elab.in_data[node].iter().chain(elab.in_order[node].iter()) {
+            let e = &df.edges[ei];
+            if elab.is_static[e.src.0 as usize] {
+                continue;
+            }
+            let expect = if is_merge && e.dst_port == 1 {
+                if k == 0 {
+                    continue;
+                }
+                k - 1
+            } else {
+                k
+            };
+            match inv.edge_q[ei].front() {
+                Some(t) if t.visible_at.is_some_and(|v| v <= cycle) => {
+                    if t.instance != expect {
+                        misorder = true;
+                        break;
+                    }
+                }
+                _ => continue 'nodes,
+            }
+        }
+        if !misorder {
+            if inv.pending[node] >= elab.max_pending[node] {
+                continue;
+            }
+            let mut full = false;
+            for &ei in elab.outs[node].iter() {
+                if scratch_vis[ei] as usize >= ctx.edge_cap(ti, ei) {
+                    full = true;
+                    break;
+                }
+            }
+            if full {
+                continue;
+            }
+            if let NodeKind::TaskCall { callee, .. } = kind {
+                let child = callee.0 as usize;
+                if ctx.tasks[child].queue.len() >= ctx.elab[child].queue_cap {
+                    continue;
+                }
+            }
+            // Junction port budgets are deliberately not checked here (see
+            // module docs); the commit re-checks them.
+        }
+        let pre = if misorder {
+            None
+        } else {
+            precompute(ctx, ti, inv, node, k)
+        };
+        out.cands.push(Cand {
+            pos: pos as u32,
+            pre,
+        });
+        if !misorder {
+            // Mirror the pops this candidate would perform, so later
+            // producers in the scan see the freed slots the dense scan
+            // would. (Over-popping for a candidate the commit rejects only
+            // widens the superset — exclusions stay safe.)
+            for &ei in elab.in_data[node].iter() {
+                let e = &df.edges[ei];
+                if elab.is_static[e.src.0 as usize] {
+                    continue;
+                }
+                if is_merge && e.dst_port == 1 && k == 0 {
+                    continue;
+                }
+                scratch_vis[ei] = scratch_vis[ei].saturating_sub(1);
+            }
+            for &ei in elab.in_order[node].iter() {
+                if elab.is_static[df.edges[ei].src.0 as usize] {
+                    continue;
+                }
+                scratch_vis[ei] = scratch_vis[ei].saturating_sub(1);
+            }
+        }
+    }
+}
+
+/// A plan job handed to the worker pool: raw pointers because worker
+/// threads are `'static` while the engine state is not. The pointers are
+/// only dereferenced between job publication and the main thread's
+/// completion wait, during which `Pool::plan`'s borrows pin the referents.
+#[derive(Clone, Copy)]
+struct JobDesc {
+    ctx: *const (),
+    tiles: *const (u32, u32),
+    plans: *mut TilePlan,
+    n: usize,
+}
+
+/// State shared between the main thread and the workers.
+///
+/// Handoff protocol (generation-tagged claims): for job generation `s`,
+/// `claim[i]` holds `s << 1` while tile `i` is unclaimed and `s << 1 | 1`
+/// once claimed. A worker acquires tile `i` with a CAS; a failed CAS
+/// whose observed generation differs from `s` means the job has moved on
+/// (or `i >= n`), so stale workers can never burn a later job's claims.
+/// The job descriptor is read only *after* a successful CAS: the main
+/// thread's Release store of the fresh claim word (written after the
+/// descriptor) synchronizes-with the worker's Acquire CAS, and the
+/// descriptor is never rewritten until every claim of the current job has
+/// been consumed and counted in `done`.
+struct Shared {
+    seq: AtomicU64,
+    quit: AtomicBool,
+    done: AtomicUsize,
+    job: std::cell::UnsafeCell<JobDesc>,
+    claim: Box<[AtomicU64]>,
+    parked: Mutex<u32>,
+    cv: Condvar,
+}
+
+// SAFETY: `job` is the only non-Sync field; the claim protocol above
+// guarantees it is never read while it may be written.
+unsafe impl Sync for Shared {}
+// SAFETY: the raw pointers inside `job` are only dereferenced within the
+// window in which `Pool::plan`'s borrows keep them alive.
+unsafe impl Send for Shared {}
+
+/// Fixed pool of plan workers, created once per engine. The main thread
+/// participates in every job, so `Pool::new(0, _)` still works (and a
+/// one-thread configuration never constructs a pool at all).
+pub(crate) struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// A pool with `extra_workers` background threads and claim capacity
+    /// for `max_tiles` tiles (the accelerator's total tile count, fixed at
+    /// elaboration).
+    pub(crate) fn new(extra_workers: usize, max_tiles: usize) -> Pool {
+        let shared = Arc::new(Shared {
+            seq: AtomicU64::new(0),
+            quit: AtomicBool::new(false),
+            done: AtomicUsize::new(0),
+            job: std::cell::UnsafeCell::new(JobDesc {
+                ctx: std::ptr::null(),
+                tiles: std::ptr::null(),
+                plans: std::ptr::null_mut(),
+                n: 0,
+            }),
+            claim: (0..max_tiles.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            parked: Mutex::new(0),
+            cv: Condvar::new(),
+        });
+        let handles = (0..extra_workers)
+            .map(|_| {
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name("muir-sim-plan".into())
+                    .spawn(move || worker(&sh))
+                    .expect("spawn plan worker")
+            })
+            .collect();
+        Pool { shared, handles }
+    }
+
+    /// Plan all `tiles` into `plans`, sharded across the pool. Blocks until
+    /// every plan is complete.
+    pub(crate) fn plan(
+        &self,
+        ctx: &PlanCtx<'_>,
+        tiles: &[(u32, u32)],
+        plans: &mut [TilePlan],
+        scratch: &mut Vec<u32>,
+    ) {
+        let n = tiles.len();
+        debug_assert!(n <= self.shared.claim.len());
+        debug_assert_eq!(n, plans.len());
+        let s = &*self.shared;
+        let seq = s.seq.load(Ordering::Relaxed) + 1;
+        let plans_ptr = plans.as_mut_ptr();
+        // SAFETY: the previous job (if any) is fully drained — `plan`
+        // returned only after `done == n`, and a worker increments `done`
+        // strictly after its last read of the descriptor — so no thread
+        // can be reading `job` now.
+        unsafe {
+            *s.job.get() = JobDesc {
+                ctx: (ctx as *const PlanCtx<'_>).cast(),
+                tiles: tiles.as_ptr(),
+                plans: plans_ptr,
+                n,
+            };
+        }
+        s.done.store(0, Ordering::Relaxed);
+        let tag_un = seq << 1;
+        let tag_cl = tag_un | 1;
+        // Release: publishes the descriptor to whoever claims the tile.
+        for c in &s.claim[..n] {
+            c.store(tag_un, Ordering::Release);
+        }
+        {
+            // Publish the generation under the park mutex so a worker
+            // deciding to park cannot miss the wakeup.
+            let g = s.parked.lock().expect("pool mutex");
+            s.seq.store(seq, Ordering::Release);
+            if *g > 0 {
+                s.cv.notify_all();
+            }
+        }
+        // Participate: claim tiles alongside the workers.
+        for (i, &(ti, tk)) in tiles.iter().enumerate() {
+            if s.claim[i]
+                .compare_exchange(tag_un, tag_cl, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                // SAFETY: `i < n` and the claim guarantees exclusive access
+                // to `plans[i]`.
+                let plan = unsafe { &mut *plans_ptr.add(i) };
+                plan_tile(ctx, ti as usize, tk as usize, scratch, plan);
+                s.done.fetch_add(1, Ordering::Release);
+            }
+        }
+        // The tail wait is bounded by one tile's plan time.
+        while s.done.load(Ordering::Acquire) < n {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.quit.store(true, Ordering::Release);
+        {
+            let _g = self.shared.parked.lock().expect("pool mutex");
+            self.shared.cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Worker loop: spin briefly for the next job generation, then yield, then
+/// park on the condvar; claim and plan tiles until the generation moves on.
+fn worker(shared: &Shared) {
+    let mut scratch: Vec<u32> = Vec::new();
+    let mut seen = 0u64;
+    'outer: loop {
+        let mut spins = 0u32;
+        let seq = loop {
+            if shared.quit.load(Ordering::Acquire) {
+                return;
+            }
+            let s = shared.seq.load(Ordering::Acquire);
+            if s != seen {
+                break s;
+            }
+            spins += 1;
+            if spins < 1 << 14 {
+                std::hint::spin_loop();
+            } else if spins < (1 << 14) + 64 {
+                std::thread::yield_now();
+            } else {
+                let mut g = shared.parked.lock().expect("pool mutex");
+                // Re-check under the lock: `plan` publishes `seq` under the
+                // same lock, so this cannot miss a notify.
+                if shared.seq.load(Ordering::Acquire) == seen
+                    && !shared.quit.load(Ordering::Acquire)
+                {
+                    *g += 1;
+                    g = shared.cv.wait(g).expect("pool condvar");
+                    *g -= 1;
+                }
+                drop(g);
+                spins = 0;
+            }
+        };
+        seen = seq;
+        let tag_un = seq << 1;
+        let tag_cl = tag_un | 1;
+        for i in 0..shared.claim.len() {
+            match shared.claim[i].compare_exchange(
+                tag_un,
+                tag_cl,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    // SAFETY: the successful Acquire CAS synchronizes with
+                    // the main thread's Release store of this claim word,
+                    // making the descriptor write visible; the descriptor
+                    // stays frozen until `done` reaches `n`, which cannot
+                    // happen before this tile's increment below.
+                    let job = unsafe { *shared.job.get() };
+                    debug_assert!(i < job.n);
+                    // SAFETY: the claim gives exclusive access to tile `i`;
+                    // the referents outlive the job window (see `JobDesc`).
+                    let ctx = unsafe { &*job.ctx.cast::<PlanCtx<'_>>() };
+                    let (ti, tk) = unsafe { *job.tiles.add(i) };
+                    let plan = unsafe { &mut *job.plans.add(i) };
+                    plan_tile(ctx, ti as usize, tk as usize, &mut scratch, plan);
+                    shared.done.fetch_add(1, Ordering::Release);
+                }
+                // Claimed by a peer in this generation: keep scanning.
+                Err(v) if v >> 1 == seq => {}
+                // Stale tag: past the job's tile count, or the job moved on.
+                Err(_) => continue 'outer,
+            }
+        }
+    }
+}

@@ -1139,3 +1139,208 @@ fn tracing_never_perturbs_the_simulation() {
         );
     }
 }
+
+/// A multi-tile workload (spawned region replicated 4×) that exercises
+/// dispatch, spawn completion, and junction arbitration — the paths where
+/// a parallel-plan bug would show up as divergence.
+fn tiled_workload() -> (Module, muir_mir::instr::MemObjId, Accelerator) {
+    let mut m = Module::new("ptiles");
+    let a = m.add_mem_object("a", ScalarType::I32, 256);
+    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+    b.par_for(0, 64, 1, |b, i| {
+        let x1 = b.mul(i, i);
+        let x2 = b.mul(x1, ValueRef::int(3));
+        let x3 = b.add(x2, ValueRef::int(11));
+        let x4 = b.mul(x3, x1);
+        b.store(a, i, x4);
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+    let mut acc = translate(&m, &FrontendConfig::default()).unwrap();
+    for t in acc.task_ids().collect::<Vec<_>>() {
+        if matches!(acc.task(t).kind, muir_core::accel::TaskKind::Region) && t != acc.root {
+            acc.task_mut(t).tiles = 4;
+            acc.task_mut(t).queue_depth = 8;
+        }
+    }
+    (m, a, acc)
+}
+
+/// Everything observable about a run except `sched_visits` (a simulator
+/// effort counter that differs between schedulers by design).
+#[allow(clippy::type_complexity)]
+fn observables(
+    r: &crate::SimResult,
+    mem: &Memory,
+) -> (u64, Vec<Value>, u64, Vec<u64>, Vec<u64>, u64, u64, Memory) {
+    (
+        r.cycles,
+        r.results.clone(),
+        r.stats.fires,
+        r.stats.task_invocations.clone(),
+        r.stats.task_busy_cycles.clone(),
+        r.stats.dram_fills,
+        r.stats.faults.total(),
+        mem.clone(),
+    )
+}
+
+#[test]
+fn parallel_scheduler_matches_dense_on_tiled_workload() {
+    let (m, a, acc) = tiled_workload();
+    let run = |cfg: SimConfig| {
+        let mut mem = Memory::from_module(&m);
+        let r = simulate(&acc, &mut mem, &[], &cfg).expect("simulate");
+        (observables(&r, &mem), mem.read_i64(a))
+    };
+    let base = SimConfig::default();
+    let (dense, dense_a) = run(base.clone().with_scheduler(SchedulerKind::Dense));
+    let (ready, _) = run(base.clone().with_scheduler(SchedulerKind::Ready));
+    assert_eq!(dense, ready, "ready vs dense");
+    for threads in [1u32, 2, 4, 8] {
+        let (par, par_a) = run(base
+            .clone()
+            .with_scheduler(SchedulerKind::Parallel)
+            .with_threads(threads));
+        assert_eq!(dense, par, "parallel@{threads} vs dense");
+        assert_eq!(dense_a, par_a, "parallel@{threads}: output array differs");
+    }
+}
+
+#[test]
+fn parallel_scheduler_matches_dense_under_faults() {
+    // Seeded fault injection draws from one global RNG stream whose order
+    // is visit order — the sharpest determinism probe we have.
+    let (m, _a, acc) = tiled_workload();
+    let plan = FaultPlan {
+        seed: 0xfa57,
+        specs: vec![
+            FaultSpec {
+                class: FaultClass::TokenBitFlip,
+                rate_ppm: 4_000,
+                max_events: 6,
+            },
+            FaultSpec {
+                class: FaultClass::StuckHandshake,
+                rate_ppm: 1_000,
+                max_events: 2,
+            },
+        ],
+    };
+    let run = |scheduler: SchedulerKind, threads: u32| {
+        let cfg = SimConfig {
+            faults: plan.clone(),
+            deadlock_cycles: 20_000,
+            max_cycles: 5_000_000,
+            ..SimConfig::default()
+        }
+        .with_scheduler(scheduler)
+        .with_threads(threads);
+        let mut mem = Memory::from_module(&m);
+        let r = simulate(&acc, &mut mem, &[], &cfg);
+        match r {
+            Ok(r) => (format!("{:?}", r.stats.faults), Some(observables(&r, &mem))),
+            Err(e) => (format!("err: {e}"), None),
+        }
+    };
+    let dense = run(SchedulerKind::Dense, 1);
+    for threads in [1u32, 2, 4, 8] {
+        let par = run(SchedulerKind::Parallel, threads);
+        assert_eq!(dense, par, "faulted parallel@{threads} vs dense");
+    }
+}
+
+#[test]
+fn parallel_with_tracing_is_bit_identical_to_dense_trace() {
+    // Tracing forces the dense visitation order (like `Ready`), so the
+    // trace streams must match event for event.
+    let (m, _a, acc) = tiled_workload();
+    let run = |scheduler: SchedulerKind| {
+        let cfg = SimConfig {
+            trace: crate::TraceConfig::on(),
+            ..SimConfig::default()
+        }
+        .with_scheduler(scheduler)
+        .with_threads(4);
+        let mut mem = Memory::from_module(&m);
+        let r = simulate(&acc, &mut mem, &[], &cfg).expect("simulate");
+        (observables(&r, &mem), r.trace.expect("traced").events)
+    };
+    let (dense, dense_ev) = run(SchedulerKind::Dense);
+    let (par, par_ev) = run(SchedulerKind::Parallel);
+    assert_eq!(dense, par, "traced parallel vs dense");
+    assert_eq!(dense_ev, par_ev, "trace event streams differ");
+}
+
+#[test]
+fn simulate_batch_matches_standalone_runs_in_order() {
+    let (m, a, acc) = tiled_workload();
+    // Jobs differ in memory image, scheduler, and thread count.
+    let scheds = [
+        (SchedulerKind::Dense, 1u32),
+        (SchedulerKind::Ready, 1),
+        (SchedulerKind::Parallel, 1),
+        (SchedulerKind::Parallel, 2),
+        (SchedulerKind::Parallel, 4),
+    ];
+    let mut jobs = Vec::new();
+    for (j, &(s, t)) in scheds.iter().enumerate() {
+        let mut mem = Memory::from_module(&m);
+        mem.init_i64(a, &vec![j as i64; 256]);
+        jobs.push(crate::BatchJob {
+            args: Vec::new(),
+            mem,
+            cfg: SimConfig::default().with_scheduler(s).with_threads(t),
+        });
+    }
+    for threads in [1usize, 2, 4] {
+        let runs = crate::simulate_batch(&acc, jobs.clone(), threads);
+        assert_eq!(runs.len(), jobs.len());
+        for (j, (job, run)) in jobs.iter().zip(&runs).enumerate() {
+            let mut mem = job.mem.clone();
+            let solo = simulate(&acc, &mut mem, &job.args, &job.cfg).expect("standalone");
+            let batch = run.outcome.as_ref().expect("batch run");
+            assert_eq!(
+                observables(&solo, &mem),
+                observables(batch, &run.mem),
+                "batch({threads}) job {j} diverged from standalone"
+            );
+        }
+    }
+}
+
+#[test]
+fn simulate_batch_rejects_corrupt_graph_per_job() {
+    let (m, _a, mut acc) = tiled_workload();
+    // Corrupt the graph the same way `corrupted_graph_is_rejected_up_front`
+    // does: cut a data edge feeding a store, leaving its port unconnected.
+    let t = acc
+        .task_ids()
+        .find(|&t| {
+            acc.task(t).dataflow.node_ids().any(|n| {
+                matches!(
+                    acc.task(t).dataflow.node(n).kind,
+                    muir_core::node::NodeKind::Store { .. }
+                )
+            })
+        })
+        .expect("a task with a store");
+    let df = &mut acc.task_mut(t).dataflow;
+    let store = df
+        .node_ids()
+        .find(|&n| matches!(df.node(n).kind, muir_core::node::NodeKind::Store { .. }))
+        .unwrap();
+    let pos = df.edges.iter().position(|e| e.dst == store).unwrap();
+    df.edges.remove(pos);
+    let jobs = vec![crate::BatchJob {
+        args: Vec::new(),
+        mem: Memory::from_module(&m),
+        cfg: SimConfig::default(),
+    }];
+    let runs = crate::simulate_batch(&acc, jobs, 2);
+    assert!(
+        matches!(runs[0].outcome, Err(SimError::GraphRejected { .. })),
+        "corrupt graph must reject, got {:?}",
+        runs[0].outcome.as_ref().map(|r| r.cycles)
+    );
+}

@@ -1,10 +1,11 @@
 #!/bin/sh
 # Repo hygiene gate: formatting, lints on the IR/frontend/simulator/
 # transform/bench crates, the tier-1 test suite, the trace-exporter
-# schema gate, and the scheduler benchmark gate (Dense-vs-Ready
-# differential + BENCH_sim.json). Each tool-dependent stage is skipped
-# (not failed) when its tool is missing, so the script works in minimal
-# containers.
+# schema gate, the seeded graph-fuzz smoke (30 graphs, every scheduler
+# at 1/2/4/8 threads), and the scheduler benchmark gate (Dense vs Ready
+# vs Parallel@2 differential + BENCH_sim.json). Each tool-dependent
+# stage is skipped (not failed) when its tool is missing, so the script
+# works in minimal containers.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -31,7 +32,10 @@ cargo test -q
 echo "== trace exporter vs scripts/trace_schema.json =="
 cargo run -q -p muir-bench --bin experiments -- trace-schema scripts/trace_schema.json
 
-echo "== scheduler bench gate (differential + BENCH_sim.json) =="
+echo "== graph-fuzz smoke (30 seeded graphs, all schedulers) =="
+cargo run --release -q -p muir-bench --bin experiments -- fuzz --graphs 30 --seed 0xc1
+
+echo "== scheduler bench gate (differential @2 threads + BENCH_sim.json) =="
 cargo run --release -q -p muir-bench --bin experiments -- bench --quick BENCH_sim.json
 
 echo "check.sh: OK"
