@@ -39,9 +39,10 @@ fn main() {
 
     let gemm = by_name("GEMM").unwrap();
     let gemm_acc = baseline(&gemm);
+    let gemm_comp = muir_bench::sealed(&gemm, &gemm_acc);
     bench("table2/cost_model_gemm", 20, || {
-        let f = estimate(&gemm_acc, Tech::FpgaArria10);
-        let a = estimate(&gemm_acc, Tech::Asic28);
+        let f = estimate(&gemm_comp, Tech::FpgaArria10);
+        let a = estimate(&gemm_comp, Tech::Asic28);
         (f, a)
     });
 
@@ -75,7 +76,8 @@ fn main() {
     let fft = by_name("FFT").unwrap();
     bench("toolchain/translate_fft", 10, || baseline(&fft));
     let fft_acc = baseline(&fft);
+    let fft_comp = muir_bench::sealed(&fft, &fft_acc);
     bench("toolchain/emit_chisel_fft", 10, || {
-        emit_chisel(&fft_acc).len()
+        emit_chisel(&fft_comp).len()
     });
 }

@@ -90,6 +90,10 @@ fn main() {
         trace_schema(&schema_path);
         return;
     }
+    if which == "compile-stats" {
+        compile_stats();
+        return;
+    }
     let all = which == "all";
     if all || which == "table2" {
         table2();
@@ -127,6 +131,68 @@ fn main() {
     if all || which == "faults" {
         faults();
     }
+}
+
+/// Per-workload sealing report plus the artifact-determinism gate:
+/// compile every workload twice (identical hash, identical artifact
+/// tables), run a no-op pass pipeline (hash unchanged), and report
+/// lowering time, artifact size, and the process-wide compile-cache hit
+/// rate. `scripts/check.sh` runs this as a hard gate.
+fn compile_stats() {
+    use muir_core::compiled::{cache_stats, CompiledAccel};
+    hdr("Compile stats: sealed-artifact lowering time / size / determinism");
+    println!(
+        "{:>10} | {:>12} {:>10} {:>9} | determinism",
+        "Bench", "hash", "lower_us", "size_KiB"
+    );
+    for w in workloads::all() {
+        let mut acc = baseline(&w);
+        let t0 = std::time::Instant::now();
+        let first = CompiledAccel::compile(&acc).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let lower_us = t0.elapsed().as_secs_f64() * 1e6;
+        // Gate 1: compile twice -> identical content hash.
+        let second = CompiledAccel::compile(&acc).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert_eq!(
+            first.content_hash(),
+            second.content_hash(),
+            "{}: recompile changed the content hash",
+            w.name
+        );
+        // Gate 2: a no-op pass pipeline leaves the hash unchanged.
+        PassManager::new()
+            .run(&mut acc)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert_eq!(
+            first.content_hash(),
+            muir_core::content_hash(&acc),
+            "{}: empty pipeline changed the content hash",
+            w.name
+        );
+        // Cached compiles of the same content must share one artifact.
+        let a = CompiledAccel::compile_cached(&acc).unwrap();
+        let b = CompiledAccel::compile_cached(&acc).unwrap();
+        assert!(
+            std::sync::Arc::ptr_eq(&a, &b),
+            "{}: cache returned distinct artifacts for identical content",
+            w.name
+        );
+        println!(
+            "{:>10} | {:012x} {:>10.1} {:>9.1} | ok",
+            w.name,
+            first.content_hash() & 0xffff_ffff_ffff,
+            lower_us,
+            first.size_bytes() as f64 / 1024.0
+        );
+    }
+    let cs = cache_stats();
+    println!(
+        "\ncompile cache: {} hits / {} misses ({:.0}% hit rate), {} entries resident",
+        cs.hits,
+        cs.misses,
+        cs.hit_rate() * 100.0,
+        cs.entries
+    );
+    println!("determinism gates: OK (2x compile + no-op pipeline on all workloads)");
 }
 
 /// Differential fault campaign: 3 workloads × 6 fault classes × 3 seeded
@@ -278,7 +344,11 @@ fn bench(quick: bool, out: &str) {
     let batch = sched::bench_batch(4, if quick { 1 } else { 2 });
     print!("{}", sched::render_batch(&batch));
 
-    let json = sched::bench_json(&rows, &batch);
+    hdr("Sealing cost: one compile per batch (amortized across N runs)");
+    let compile = sched::measure_compile();
+    print!("{}", sched::render_compile(&compile));
+
+    let json = sched::bench_json(&rows, &batch, &compile);
     if let Err(e) = sched::validate_bench_json(&json) {
         eprintln!("BENCH_sim.json schema violation: {e}");
         std::process::exit(1);
@@ -339,8 +409,9 @@ fn table2() {
     );
     for w in workloads::all() {
         let acc = baseline(&w);
-        let f = estimate(&acc, Tech::FpgaArria10);
-        let a = estimate(&acc, Tech::Asic28);
+        let comp = muir_bench::sealed(&w, &acc);
+        let f = estimate(&comp, Tech::FpgaArria10);
+        let a = estimate(&comp, Tech::Asic28);
         println!(
             "{:>10} | {:>5.0} {:>6.0} {:>7} {:>7} {:>4} | {:>7.2} {:>6.0} {:>5.2}",
             w.name,

@@ -13,6 +13,7 @@ pub mod testgen;
 
 use muir_baselines::{CpuModel, HlsModel};
 use muir_core::accel::Accelerator;
+use muir_core::compiled::CompiledAccel;
 use muir_frontend::{translate, FrontendConfig};
 use muir_rtl::cost::{estimate, CostEstimate, Tech};
 use muir_sim::{simulate, SimConfig, SimResult};
@@ -103,6 +104,13 @@ pub fn best_stack(class: Class) -> PassManager {
     }
 }
 
+/// Seal a workload's accelerator through the compile cache; since
+/// `run_verified`/`simulate` compile the same graph, estimating cost after
+/// a simulation reuses the artifact instead of re-lowering.
+pub fn sealed(w: &Workload, acc: &Accelerator) -> std::sync::Arc<CompiledAccel> {
+    CompiledAccel::compile_cached(acc).unwrap_or_else(|e| panic!("{}: {e}", w.name))
+}
+
 /// Execution time in microseconds at the estimated FPGA clock.
 pub fn exec_time_us(cycles: u64, cost: &CostEstimate) -> f64 {
     cycles as f64 / cost.fmax_mhz
@@ -110,8 +118,7 @@ pub fn exec_time_us(cycles: u64, cost: &CostEstimate) -> f64 {
 
 /// Baseline μIR execution time (µs) on the FPGA clock.
 pub fn uir_time_us(w: &Workload, acc: &Accelerator, cycles: u64) -> f64 {
-    let _ = w;
-    exec_time_us(cycles, &estimate(acc, Tech::FpgaArria10))
+    exec_time_us(cycles, &estimate(&sealed(w, acc), Tech::FpgaArria10))
 }
 
 /// The HLS comparison result for Figure 9: `(uir_time, hls_time)` in µs.
@@ -125,7 +132,7 @@ pub fn uir_time_us(w: &Workload, acc: &Accelerator, cycles: u64) -> f64 {
 pub fn fig9_point(w: &Workload) -> (f64, f64) {
     let acc = baseline(w);
     let r = run_verified(w, &acc);
-    let uir_cost = estimate(&acc, Tech::FpgaArria10);
+    let uir_cost = estimate(&sealed(w, &acc), Tech::FpgaArria10);
     let uir_time = exec_time_us(r.cycles, &uir_cost);
 
     let streaming = matches!(w.name, "FFT" | "DENSE8" | "DENSE16");
@@ -293,7 +300,7 @@ pub fn ablation_fusion_period(w: &Workload, periods_ns: &[f64]) -> Vec<(f64, u64
             let pm = PassManager::new().with(OpFusion::with_period(p));
             let (acc, _) = optimized(w, &pm);
             let cycles = run_verified(w, &acc).cycles;
-            let fmax = estimate(&acc, Tech::FpgaArria10).fmax_mhz;
+            let fmax = estimate(&sealed(w, &acc), Tech::FpgaArria10).fmax_mhz;
             (p, cycles, fmax)
         })
         .collect()

@@ -271,6 +271,9 @@ impl BenchRow {
 /// hiccup on a 3 ms run otherwise swings the ratio by several percent.
 fn time_under(w: &Workload, scheduler: SchedulerKind, threads: u32, reps: u32) -> (f64, u64, u64) {
     let acc = baseline(w);
+    // Compile once outside the timed region: the steady-state numbers
+    // measure the engine, not lowering or cache probes.
+    let comp = crate::sealed(w, &acc);
     let cfg = SimConfig::default()
         .with_scheduler(scheduler)
         .with_threads(threads);
@@ -280,7 +283,7 @@ fn time_under(w: &Workload, scheduler: SchedulerKind, threads: u32, reps: u32) -
     let mut run = |best: &mut f64| {
         let mut mem = w.fresh_memory();
         let t0 = Instant::now();
-        let r = simulate(&acc, &mut mem, &[], &cfg)
+        let r = muir_sim::simulate_compiled(&comp, &mut mem, &[], &cfg)
             .unwrap_or_else(|e| panic!("{} ({scheduler:?}): {e}", w.name));
         let dt = t0.elapsed().as_secs_f64() * 1e3;
         *best = best.min(dt);
@@ -368,6 +371,13 @@ impl BatchPoint {
 pub fn bench_batch(reps_per_workload: usize, best_of: u32) -> Vec<BatchPoint> {
     let ws: Vec<Workload> = QUICK_SET.iter().map(|n| by_name(n).unwrap()).collect();
     let accs: Vec<_> = ws.iter().map(baseline).collect();
+    // One sealed artifact per workload, shared by every thread-count point:
+    // N batch jobs pay one compile, and the timed region is engine-only.
+    let comps: Vec<_> = ws
+        .iter()
+        .zip(&accs)
+        .map(|(w, acc)| crate::sealed(w, acc))
+        .collect();
     let make_jobs = |w: &Workload| -> Vec<muir_sim::BatchJob> {
         (0..reps_per_workload)
             .map(|_| muir_sim::BatchJob {
@@ -385,8 +395,8 @@ pub fn bench_batch(reps_per_workload: usize, best_of: u32) -> Vec<BatchPoint> {
         for _ in 0..best_of.max(1) {
             cycles_now.clear();
             let t0 = Instant::now();
-            for (w, acc) in ws.iter().zip(&accs) {
-                let runs = muir_sim::simulate_batch(acc, make_jobs(w), threads);
+            for (w, comp) in ws.iter().zip(&comps) {
+                let runs = muir_sim::simulate_batch_compiled(comp, make_jobs(w), threads);
                 cycles_now.push(
                     runs.into_iter()
                         .map(|r| {
@@ -421,6 +431,44 @@ pub fn bench_batch(reps_per_workload: usize, best_of: u32) -> Vec<BatchPoint> {
 /// shapes).
 pub const QUICK_SET: [&str; 6] = ["GEMM", "FFT", "SPMV", "SAXPY", "STENCIL", "M-SORT"];
 
+/// One workload's sealing cost — what a batch of N runs pays exactly once
+/// since the engines share the `CompiledAccel` artifact.
+#[derive(Debug, Clone)]
+pub struct CompileRow {
+    /// Workload name.
+    pub workload: String,
+    /// Wall time of one verify + lower (µs, best of 5).
+    pub compile_us: f64,
+    /// Sealed artifact heap size (bytes).
+    pub size_bytes: usize,
+}
+
+/// Measure sealing cost for every quick-set workload (uncached compiles,
+/// best of 5 so a cold allocator doesn't inflate the number).
+pub fn measure_compile() -> Vec<CompileRow> {
+    QUICK_SET
+        .iter()
+        .map(|n| {
+            let w = by_name(n).unwrap();
+            let acc = baseline(&w);
+            let mut best = f64::INFINITY;
+            let mut size = 0;
+            for _ in 0..5 {
+                let t0 = Instant::now();
+                let comp = muir_core::compiled::CompiledAccel::compile(&acc)
+                    .unwrap_or_else(|e| panic!("{n}: {e}"));
+                best = best.min(t0.elapsed().as_secs_f64() * 1e6);
+                size = comp.size_bytes();
+            }
+            CompileRow {
+                workload: (*n).to_string(),
+                compile_us: best,
+                size_bytes: size,
+            }
+        })
+        .collect()
+}
+
 /// Benchmark the quick set or every workload; `reps` best-of runs each.
 pub fn bench_all(quick: bool, reps: u32) -> Vec<BenchRow> {
     let ws: Vec<Workload> = if quick {
@@ -440,9 +488,9 @@ pub fn geomean_speedup(rows: &[BenchRow]) -> f64 {
     (s / rows.len() as f64).exp()
 }
 
-/// Serialize rows plus batch-throughput points to the `BENCH_sim.json`
-/// document.
-pub fn bench_json(rows: &[BenchRow], batch: &[BatchPoint]) -> String {
+/// Serialize rows, batch-throughput points, and per-workload sealing
+/// costs to the `BENCH_sim.json` document.
+pub fn bench_json(rows: &[BenchRow], batch: &[BatchPoint], compile: &[CompileRow]) -> String {
     let mut out = String::from("{\n  \"bench\": \"sim-scheduler\",\n  \"unit\": \"ms\",\n");
     out.push_str(&format!(
         "  \"geomean_speedup\": {:.4},\n  \"rows\": [\n",
@@ -487,6 +535,16 @@ pub fn bench_json(rows: &[BenchRow], batch: &[BatchPoint]) -> String {
             p.runs_per_sec(),
             speedup,
             if i + 1 < batch.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"compile\": [\n");
+    for (i, c) in compile.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"compile_us\": {:.1}, \"size_bytes\": {}}}{}\n",
+            c.workload,
+            c.compile_us,
+            c.size_bytes,
+            if i + 1 < compile.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -565,6 +623,28 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
             }
         }
     }
+    let Some(Json::Arr(compile)) = doc.get("compile") else {
+        return Err("missing `compile` array".into());
+    };
+    if compile.is_empty() {
+        return Err("`compile` is empty".into());
+    }
+    for (i, c) in compile.iter().enumerate() {
+        if c.get("workload").and_then(Json::as_str).is_none() {
+            return Err(format!("compile row {i}: missing `workload` string"));
+        }
+        for key in ["compile_us", "size_bytes"] {
+            match c.get(key) {
+                Some(Json::Num(v)) if v.is_finite() && *v > 0.0 => {}
+                other => {
+                    return Err(format!(
+                        "compile row {i}: `{key}` must be a positive number, got {}",
+                        other.map_or("nothing", Json::type_name)
+                    ))
+                }
+            }
+        }
+    }
     Ok(())
 }
 
@@ -627,6 +707,20 @@ pub fn render_batch(points: &[BatchPoint]) -> String {
             } else {
                 0.0
             },
+        ));
+    }
+    out
+}
+
+/// Render the per-workload sealing-cost table.
+pub fn render_compile(rows: &[CompileRow]) -> String {
+    let mut out = format!("{:>10} {:>12} {:>10}\n", "Bench", "compile us", "size KiB");
+    for c in rows {
+        out.push_str(&format!(
+            "{:>10} {:>12.1} {:>10.1}\n",
+            c.workload,
+            c.compile_us,
+            c.size_bytes as f64 / 1024.0
         ));
     }
     out

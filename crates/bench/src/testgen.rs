@@ -22,7 +22,7 @@ use muir_mir::instr::{CmpPred, MemObjId, ValueRef};
 use muir_mir::interp::{Interp, Memory};
 use muir_mir::module::Module;
 use muir_mir::types::{ScalarType, Type};
-use muir_sim::{simulate, FaultClass, FaultPlan, SchedulerKind, SimConfig, TraceConfig};
+use muir_sim::{FaultClass, FaultPlan, SchedulerKind, SimConfig, TraceConfig};
 use muir_uopt::passes::{
     ExecutionTiling, MemoryLocalization, OpFusion, ScratchpadBanking, TaskFilter,
 };
@@ -285,7 +285,7 @@ enum Obs {
 
 fn run_case(
     case: &GenCase,
-    acc: &muir_core::accel::Accelerator,
+    comp: &muir_core::compiled::CompiledAccel,
     scheduler: SchedulerKind,
     threads: u32,
     faults: &FaultPlan,
@@ -303,7 +303,7 @@ fn run_case(
     .with_scheduler(scheduler)
     .with_threads(threads);
     let mut mem = case.fresh_memory();
-    match simulate(acc, &mut mem, &[], &cfg) {
+    match muir_sim::simulate_compiled(comp, &mut mem, &[], &cfg) {
         Ok(r) => Obs::Ok {
             cycles: r.cycles,
             results: format!("{:?}", r.results),
@@ -323,6 +323,16 @@ fn run_case(
 /// configuration and the case's reproduction line.
 pub fn check_case(case: &GenCase) -> Result<(), String> {
     let acc = case.build();
+    // Compile once for all 18 scheduler/mode/thread configurations below.
+    // A graph the verifier rejects is a generator bug, reported the same
+    // way a failing dense run was before sealing existed.
+    let comp = muir_core::compiled::CompiledAccel::compile_cached(&acc).map_err(|e| {
+        format!(
+            "{} [plain]: dense run failed: {}",
+            case.desc,
+            muir_sim::SimError::GraphRejected { source: e }
+        )
+    })?;
     let mut ref_mem = case.fresh_memory();
     Interp::new(&case.module)
         .run_main(&mut ref_mem, &[])
@@ -336,7 +346,7 @@ pub fn check_case(case: &GenCase) -> Result<(), String> {
         ("faulted", &fault_plan, false),
     ];
     for (mode, faults, tracing) in modes {
-        let dense = run_case(case, &acc, SchedulerKind::Dense, 1, faults, tracing);
+        let dense = run_case(case, &comp, SchedulerKind::Dense, 1, faults, tracing);
         // Fault-free completions must match the interpreter word for word.
         if let Obs::Ok { mem, .. } = &dense {
             if faults.specs.is_empty() && mem.read_i64(case.out) != ref_mem.read_i64(case.out) {
@@ -355,14 +365,14 @@ pub fn check_case(case: &GenCase) -> Result<(), String> {
                 return Err(format!("{} [{mode}]: dense run failed: {e}", case.desc));
             }
         }
-        let ready = run_case(case, &acc, SchedulerKind::Ready, 1, faults, tracing);
+        let ready = run_case(case, &comp, SchedulerKind::Ready, 1, faults, tracing);
         if dense != ready {
             return Err(format!("{} [{mode}]: ready diverged from dense", case.desc));
         }
         for threads in [1u32, 2, 4, 8] {
             let par = run_case(
                 case,
-                &acc,
+                &comp,
                 SchedulerKind::Parallel,
                 threads,
                 faults,

@@ -1,0 +1,531 @@
+//! The sealed compilation artifact: [`CompiledAccel`].
+//!
+//! Every consumer of a μIR graph — the cycle simulator, the Chisel
+//! emitter, the cost model — needs the same derived indexes: per-node
+//! adjacency, a feedback-free topological order, queue depths resolved
+//! from the `<||>` connections, junction→structure routing. Before this
+//! module each consumer re-derived them from the mutable
+//! [`Accelerator`] on every use, which meant a batch of N simulations
+//! paid N verifications and N elaborations of the same graph.
+//!
+//! [`CompiledAccel`] is the compile-once/run-many artifact (DESIGN.md
+//! §11): an immutable, index-dense lowering of a *verified* accelerator,
+//! carrying
+//!
+//! * the owned, frozen graph itself (consumers never re-walk a mutable
+//!   borrow);
+//! * per-task tables ([`CompiledTask`]): CSR in/out adjacency, the
+//!   port-sorted input-edge lists and reverse-topological node order the
+//!   schedulers need, static-node masks, and resolved issue-queue depths;
+//! * memory-connection maps (structure → client junctions);
+//! * a stable splitmix64-based content hash over the canonical form,
+//!   which keys the process-local compile cache ([`compile_cached`]) and
+//!   backs the pass-idempotence and artifact-determinism gates.
+//!
+//! Sealing performs verification exactly once: a `CompiledAccel` can only
+//! be constructed from a graph that passed
+//! [`crate::verify::verify_accelerator`], so downstream layers may assume
+//! well-formedness without re-checking.
+
+use crate::accel::{Accelerator, TaskId};
+use crate::dataflow::{Dataflow, EdgeIndex, EdgeKind, JunctionId};
+use crate::node::NodeKind;
+use crate::verify::{verify_accelerator, GraphError};
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Pre-elaborated, immutable tables for one task's dataflow. The fields
+/// are exactly the graph-derived (configuration-independent) state the
+/// simulator previously rebuilt per run; RTL/cost consumers use the CSR
+/// adjacency and the static masks.
+///
+/// Adjacency lists are `Arc<[usize]>` so scheduler hot paths can detach a
+/// cheap O(1) handle instead of cloning a `Vec` per visit.
+#[derive(Debug)]
+pub struct CompiledTask {
+    /// Whether each node is static (Input/Const: invocation-constant).
+    pub is_static: Vec<bool>,
+    /// Count of dynamic nodes (each fires once per instance).
+    pub dynamic_count: u32,
+    /// Node processing order: consumers before producers (reverse topo
+    /// over forward edges) so single-token edges sustain II=1.
+    pub order: Arc<[usize]>,
+    /// Inverse of `order`: `pos[node]` is the node's scan position.
+    pub pos: Vec<u32>,
+    /// Per node: indices of incoming data/feedback edges sorted by port.
+    pub in_data: Vec<Arc<[usize]>>,
+    /// Per node: indices of incoming order edges.
+    pub in_order: Vec<Arc<[usize]>>,
+    /// Per node: indices of outgoing (non-static-src) edges.
+    pub outs: Vec<Arc<[usize]>>,
+    /// CSR adjacency over *all* edges (every kind, both directions);
+    /// incoming rows are port-sorted. This is the general-purpose view
+    /// for RTL, cost, and analysis consumers.
+    pub index: EdgeIndex,
+    /// Issue-queue depth contributed by the `<||>` connection feeding
+    /// this task (1 when the task has no parent connection).
+    pub conn_queue_depth: u32,
+    /// Total invocation queue capacity: the task's own issue queue plus
+    /// the `<||>` FIFO feeding it.
+    pub queue_cap: usize,
+    /// Junction count (sizes the simulator's junction-budget slab).
+    pub njunctions: usize,
+}
+
+impl CompiledTask {
+    fn build(acc: &Accelerator, tid: TaskId) -> CompiledTask {
+        let task = acc.task(tid);
+        let df = &task.dataflow;
+        let n = df.nodes.len();
+        let is_static: Vec<bool> = df
+            .nodes
+            .iter()
+            .map(|nd| matches!(nd.kind, NodeKind::Input { .. } | NodeKind::Const(_)))
+            .collect();
+        let mut in_data = vec![Vec::new(); n];
+        let mut in_order = vec![Vec::new(); n];
+        let mut outs = vec![Vec::new(); n];
+        for (ei, e) in df.edges.iter().enumerate() {
+            match e.kind {
+                EdgeKind::Order => in_order[e.dst.0 as usize].push(ei),
+                _ => in_data[e.dst.0 as usize].push(ei),
+            }
+            if !is_static[e.src.0 as usize] {
+                outs[e.src.0 as usize].push(ei);
+            }
+        }
+        for v in &mut in_data {
+            v.sort_by_key(|&ei| df.edges[ei].dst_port);
+        }
+        let order = reverse_topo(df);
+        let mut pos = vec![0u32; n];
+        for (p, &node) in order.iter().enumerate() {
+            pos[node] = p as u32;
+        }
+        let conn_queue_depth = acc
+            .task_conns
+            .iter()
+            .find(|c| c.child == tid)
+            .map(|c| c.queue_depth)
+            .unwrap_or(1);
+        let dynamic_count = is_static.iter().filter(|s| !**s).count() as u32;
+        CompiledTask {
+            is_static,
+            dynamic_count,
+            order: order.into(),
+            pos,
+            in_data: in_data.into_iter().map(Into::into).collect(),
+            in_order: in_order.into_iter().map(Into::into).collect(),
+            outs: outs.into_iter().map(Into::into).collect(),
+            index: df.edge_index(),
+            conn_queue_depth,
+            queue_cap: (task.queue_depth + conn_queue_depth) as usize,
+            njunctions: df.junctions.len(),
+        }
+    }
+
+    /// Approximate heap footprint of this task's tables, in bytes.
+    fn size_bytes(&self) -> usize {
+        let adj: usize = self
+            .in_data
+            .iter()
+            .chain(self.in_order.iter())
+            .chain(self.outs.iter())
+            .map(|a| a.len() * size_of::<usize>())
+            .sum();
+        self.is_static.len()
+            + self.order.len() * size_of::<usize>()
+            + self.pos.len() * size_of::<u32>()
+            + adj
+            + self.index.size_bytes()
+    }
+}
+
+/// A sealed, immutable, index-dense lowering of a verified
+/// [`Accelerator`]. See the module docs for what it carries and why.
+#[derive(Debug)]
+pub struct CompiledAccel {
+    accel: Accelerator,
+    hash: u64,
+    tasks: Vec<CompiledTask>,
+    /// Per structure: the `<==>` client junctions reaching it, in
+    /// connection order.
+    mem_clients: Vec<Vec<(TaskId, JunctionId)>>,
+}
+
+impl CompiledAccel {
+    /// Verify `acc` and lower it into a sealed artifact. This is the only
+    /// construction path, so holding a `CompiledAccel` *is* the proof the
+    /// graph is well-formed.
+    ///
+    /// # Errors
+    /// The graph's first structural violation, if any.
+    pub fn compile(acc: &Accelerator) -> Result<CompiledAccel, GraphError> {
+        verify_accelerator(acc)?;
+        let hash = content_hash(acc);
+        let tasks: Vec<CompiledTask> = acc
+            .task_ids()
+            .map(|tid| CompiledTask::build(acc, tid))
+            .collect();
+        let mut mem_clients = vec![Vec::new(); acc.structures.len()];
+        for mc in &acc.mem_conns {
+            mem_clients[mc.structure.0 as usize].push((mc.task, mc.junction));
+        }
+        Ok(CompiledAccel {
+            accel: acc.clone(),
+            hash,
+            tasks,
+            mem_clients,
+        })
+    }
+
+    /// Compile through the process-local content-addressed cache:
+    /// repeated bench/fuzz/campaign invocations on the same graph hit
+    /// instead of re-verifying and re-lowering. Hits are confirmed by
+    /// full structural equality, so a 64-bit hash collision degrades to a
+    /// miss, never to a wrong artifact.
+    ///
+    /// # Errors
+    /// The graph's first structural violation, if any (never cached).
+    pub fn compile_cached(acc: &Accelerator) -> Result<Arc<CompiledAccel>, GraphError> {
+        let hash = content_hash(acc);
+        let cache = cache();
+        {
+            let mut c = cache.lock().expect("compile cache");
+            let hit = c
+                .map
+                .get(&hash)
+                .filter(|hit| hit.accel == *acc)
+                .map(Arc::clone);
+            if let Some(hit) = hit {
+                c.hits += 1;
+                return Ok(hit);
+            }
+            c.misses += 1;
+        }
+        let compiled = Arc::new(CompiledAccel::compile(acc)?);
+        let mut c = cache.lock().expect("compile cache");
+        if !c.map.contains_key(&hash) {
+            if c.map.len() >= CACHE_CAP {
+                // Evict the oldest insertion: fuzz/campaign streams touch
+                // thousands of distinct graphs and must not pin them all.
+                if let Some(old) = c.fifo.pop_front() {
+                    c.map.remove(&old);
+                }
+            }
+            c.map.insert(hash, Arc::clone(&compiled));
+            c.fifo.push_back(hash);
+        }
+        Ok(compiled)
+    }
+
+    /// The sealed graph. Consumers read it immutably; re-walking this
+    /// borrow is free of re-verification.
+    pub fn accel(&self) -> &Accelerator {
+        &self.accel
+    }
+
+    /// The stable content hash of the canonical form (the cache key).
+    pub fn content_hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Per-task lowered tables, index-aligned with `accel().tasks`.
+    pub fn tasks(&self) -> &[CompiledTask] {
+        &self.tasks
+    }
+
+    /// The lowered tables of one task.
+    pub fn task(&self, ti: usize) -> &CompiledTask {
+        &self.tasks[ti]
+    }
+
+    /// The `<==>` client junctions of structure `si`, in connection order.
+    pub fn mem_clients(&self, si: usize) -> &[(TaskId, JunctionId)] {
+        &self.mem_clients[si]
+    }
+
+    /// Approximate heap footprint of the artifact's index tables (the
+    /// lowering overhead beyond the graph itself), in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.tasks
+            .iter()
+            .map(CompiledTask::size_bytes)
+            .sum::<usize>()
+            + self
+                .mem_clients
+                .iter()
+                .map(|v| v.len() * size_of::<(TaskId, JunctionId)>())
+                .sum::<usize>()
+    }
+}
+
+const CACHE_CAP: usize = 64;
+
+struct Cache {
+    map: HashMap<u64, Arc<CompiledAccel>>,
+    fifo: VecDeque<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+fn cache() -> &'static Mutex<Cache> {
+    static CACHE: OnceLock<Mutex<Cache>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        Mutex::new(Cache {
+            map: HashMap::new(),
+            fifo: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        })
+    })
+}
+
+/// Lifetime statistics of the process-local compile cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Artifacts currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Snapshot the compile cache's hit/miss counters.
+pub fn cache_stats() -> CacheStats {
+    let c = cache().lock().expect("compile cache");
+    CacheStats {
+        hits: c.hits,
+        misses: c.misses,
+        entries: c.map.len(),
+    }
+}
+
+/// splitmix64 finalizer: the statistically-mixed core of
+/// [`crate::rng::SplitMix64`], reused here as a hash combinator.
+fn mix(word: u64) -> u64 {
+    let mut z = word.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Streams bytes into a splitmix64-based fold, 8 bytes per absorption.
+struct ContentHasher {
+    state: u64,
+    pending: u64,
+    npending: u32,
+    len: u64,
+}
+
+impl ContentHasher {
+    fn new() -> ContentHasher {
+        ContentHasher {
+            state: 0x5ea1_0000_c0de_0001,
+            pending: 0,
+            npending: 0,
+            len: 0,
+        }
+    }
+
+    fn absorb(&mut self, word: u64) {
+        self.state = mix(self.state ^ word);
+    }
+
+    fn push(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.pending |= u64::from(b) << (8 * self.npending);
+            self.npending += 1;
+            if self.npending == 8 {
+                let w = self.pending;
+                self.pending = 0;
+                self.npending = 0;
+                self.absorb(w);
+            }
+        }
+        self.len += bytes.len() as u64;
+    }
+
+    fn finish(mut self) -> u64 {
+        // Flush the partial word and bind the total length so prefixes
+        // never collide with their extensions.
+        let tail = self.pending;
+        self.absorb(tail);
+        let len = self.len;
+        self.absorb(len);
+        self.state
+    }
+}
+
+impl std::fmt::Write for ContentHasher {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.push(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// The stable content hash of an accelerator's canonical form.
+///
+/// The canonical form is the graph's full structural rendering — every
+/// task, node, edge, junction, structure, connection, and parameter, in
+/// arena order — so two accelerators hash equal iff they are structurally
+/// identical (`Accelerator` equality). Used as the compile-cache key and
+/// by the pass-idempotence and artifact-determinism gates.
+pub fn content_hash(acc: &Accelerator) -> u64 {
+    let mut h = ContentHasher::new();
+    // `Debug` over the arena-ordered structs is a total, deterministic
+    // rendering of every semantic field, and tracks field additions
+    // automatically (a hand-rolled field visitor would silently go stale).
+    let _ = write!(h, "{acc:?}");
+    h.finish()
+}
+
+/// Reverse topological order over forward (non-feedback) edges:
+/// consumers before producers. This is the schedulers' scan order (a
+/// consumer drains its input edge before the producer refills it, so
+/// single-token edges sustain II=1).
+pub fn reverse_topo(df: &Dataflow) -> Vec<usize> {
+    forward_topo(df).into_iter().rev().collect()
+}
+
+/// Forward topological order over forward (non-feedback) edges.
+pub fn forward_topo(df: &Dataflow) -> Vec<usize> {
+    let n = df.nodes.len();
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    for e in &df.edges {
+        if e.kind == EdgeKind::Feedback {
+            continue;
+        }
+        succs[e.src.0 as usize].push(e.dst.0 as usize);
+        indeg[e.dst.0 as usize] += 1;
+    }
+    let mut work: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(x) = work.pop() {
+        order.push(x);
+        for &s in &succs[x] {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                work.push(s);
+            }
+        }
+    }
+    // Any leftover (forward cycle — should not happen) appended for safety.
+    for i in 0..n {
+        if !order.contains(&i) {
+            order.push(i);
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accel::{TaskBlock, TaskKind};
+    use crate::node::{Node, OpKind};
+    use crate::Type;
+    use muir_mir::instr::{BinOp, ConstVal};
+
+    fn tiny_acc() -> Accelerator {
+        let mut acc = Accelerator::new("t");
+        let mut task = TaskBlock::new("main", TaskKind::Region);
+        let df = &mut task.dataflow;
+        let a = df.add_node(Node::new("a", NodeKind::Const(ConstVal::Int(1)), Type::I64));
+        let b = df.add_node(Node::new("b", NodeKind::Const(ConstVal::Int(2)), Type::I64));
+        let add = df.add_node(Node::new(
+            "add",
+            NodeKind::Compute(OpKind::Bin(BinOp::Add)),
+            Type::I64,
+        ));
+        let out = df.add_node(Node::new("out", NodeKind::Output, Type::I64));
+        df.connect(a, 0, add, 0);
+        df.connect(b, 0, add, 1);
+        df.connect(add, 0, out, 0);
+        let tid = acc.add_task(task);
+        acc.root = tid;
+        acc
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_content_sensitive() {
+        let acc = tiny_acc();
+        assert_eq!(content_hash(&acc), content_hash(&acc));
+        assert_eq!(content_hash(&acc), content_hash(&acc.clone()));
+        let mut other = tiny_acc();
+        other.task_mut(crate::accel::TaskId(0)).tiles = 4;
+        assert_ne!(content_hash(&acc), content_hash(&other));
+    }
+
+    #[test]
+    fn compile_seals_verified_graphs_only() {
+        let acc = tiny_acc();
+        let comp = CompiledAccel::compile(&acc).unwrap();
+        assert_eq!(comp.content_hash(), content_hash(&acc));
+        assert_eq!(comp.accel(), &acc);
+        assert!(comp.size_bytes() > 0);
+
+        let mut bad = tiny_acc();
+        bad.tasks[0]
+            .dataflow
+            .add_node(Node::new("bad", NodeKind::Output, Type::BOOL));
+        assert!(CompiledAccel::compile(&bad).is_err());
+    }
+
+    #[test]
+    fn compiled_tables_match_engine_expectations() {
+        let acc = tiny_acc();
+        let comp = CompiledAccel::compile(&acc).unwrap();
+        let ct = comp.task(0);
+        assert_eq!(ct.is_static, vec![true, true, false, false]);
+        assert_eq!(ct.dynamic_count, 2);
+        // add's inputs are port-sorted; out has a single input.
+        assert_eq!(&*ct.in_data[2], &[0usize, 1]);
+        assert_eq!(&*ct.in_data[3], &[2usize]);
+        // Static sources contribute no `outs` entries.
+        assert!(ct.outs[0].is_empty());
+        assert_eq!(&*ct.outs[2], &[2usize]);
+        // Reverse topo: consumers before producers.
+        let pos_of = |n: usize| ct.order.iter().position(|&x| x == n).unwrap();
+        assert!(pos_of(3) < pos_of(2));
+        assert_eq!(ct.conn_queue_depth, 1);
+    }
+
+    #[test]
+    fn cache_hits_on_identical_content() {
+        let acc = tiny_acc();
+        let before = cache_stats();
+        let a = CompiledAccel::compile_cached(&acc).unwrap();
+        let b = CompiledAccel::compile_cached(&acc.clone()).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let after = cache_stats();
+        assert!(after.hits > before.hits);
+        assert!(after.entries >= 1);
+    }
+
+    #[test]
+    fn cache_rejects_invalid_graphs() {
+        let mut bad = tiny_acc();
+        bad.name = "cache-invalid".into();
+        bad.tasks[0]
+            .dataflow
+            .add_node(Node::new("bad", NodeKind::Output, Type::BOOL));
+        assert!(CompiledAccel::compile_cached(&bad).is_err());
+        assert!(CompiledAccel::compile_cached(&bad).is_err());
+    }
+}

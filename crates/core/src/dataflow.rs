@@ -208,21 +208,12 @@ impl Dataflow {
         (0..self.nodes.len() as u32).map(NodeId)
     }
 
-    /// Incoming edges of `id`, in input-port order.
-    pub fn in_edges(&self, id: NodeId) -> Vec<&Edge> {
-        let mut v: Vec<&Edge> = self.edges.iter().filter(|e| e.dst == id).collect();
-        v.sort_by_key(|e| e.dst_port);
-        v
-    }
-
-    /// Outgoing edges of `id`.
-    pub fn out_edges(&self, id: NodeId) -> Vec<&Edge> {
-        self.edges.iter().filter(|e| e.src == id).collect()
-    }
-
-    /// Number of consumers of `id`'s outputs.
-    pub fn fanout(&self, id: NodeId) -> usize {
-        self.edges.iter().filter(|e| e.src == id).count()
+    /// Build the CSR adjacency index of the current edge set. O(nodes +
+    /// edges) once; every per-node adjacency query through the index is
+    /// then a slice lookup instead of a full edge scan. The index is a
+    /// snapshot — rebuild it after mutating `edges`.
+    pub fn edge_index(&self) -> EdgeIndex {
+        EdgeIndex::build(self)
     }
 
     /// Ids of memory (load/store) nodes.
@@ -252,6 +243,104 @@ impl Dataflow {
     /// Register a store on its junction.
     pub fn register_writer(&mut self, j: JunctionId, n: NodeId) {
         self.junctions[j.0 as usize].writers.push(n);
+    }
+}
+
+/// CSR (compressed sparse row) adjacency over a [`Dataflow`]'s edges.
+///
+/// Replaces the old `Vec<&Edge>`-allocating `in_edges`/`out_edges`/
+/// `fanout` linear scans: one O(nodes + edges) build, then every
+/// adjacency query is an O(1) slice and every edge visit an index
+/// lookup. Incoming rows are sorted by `(dst_port, edge index)` —
+/// the input-port order the old accessor guaranteed (order edges carry
+/// `dst_port == u16::MAX`, so they sort last); outgoing rows are in
+/// edge-arena order.
+///
+/// The index is a snapshot of the edge set at build time; rebuild after
+/// mutating the graph.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EdgeIndex {
+    in_off: Vec<u32>,
+    in_idx: Vec<u32>,
+    out_off: Vec<u32>,
+    out_idx: Vec<u32>,
+}
+
+impl EdgeIndex {
+    /// Build the CSR tables for `df`.
+    pub fn build(df: &Dataflow) -> EdgeIndex {
+        let n = df.nodes.len();
+        let mut in_off = vec![0u32; n + 1];
+        let mut out_off = vec![0u32; n + 1];
+        for e in &df.edges {
+            in_off[e.dst.0 as usize + 1] += 1;
+            out_off[e.src.0 as usize + 1] += 1;
+        }
+        for i in 0..n {
+            in_off[i + 1] += in_off[i];
+            out_off[i + 1] += out_off[i];
+        }
+        let mut in_idx = vec![0u32; df.edges.len()];
+        let mut out_idx = vec![0u32; df.edges.len()];
+        let mut in_cur = in_off.clone();
+        let mut out_cur = out_off.clone();
+        for (ei, e) in df.edges.iter().enumerate() {
+            let d = e.dst.0 as usize;
+            in_idx[in_cur[d] as usize] = ei as u32;
+            in_cur[d] += 1;
+            let s = e.src.0 as usize;
+            out_idx[out_cur[s] as usize] = ei as u32;
+            out_cur[s] += 1;
+        }
+        for i in 0..n {
+            let row = &mut in_idx[in_off[i] as usize..in_off[i + 1] as usize];
+            row.sort_unstable_by_key(|&ei| (df.edges[ei as usize].dst_port, ei));
+        }
+        EdgeIndex {
+            in_off,
+            in_idx,
+            out_off,
+            out_idx,
+        }
+    }
+
+    /// Indices (into `Dataflow::edges`) of `id`'s incoming edges, sorted
+    /// by destination port.
+    pub fn ins(&self, id: NodeId) -> &[u32] {
+        let i = id.0 as usize;
+        &self.in_idx[self.in_off[i] as usize..self.in_off[i + 1] as usize]
+    }
+
+    /// Indices (into `Dataflow::edges`) of `id`'s outgoing edges.
+    pub fn outs(&self, id: NodeId) -> &[u32] {
+        let i = id.0 as usize;
+        &self.out_idx[self.out_off[i] as usize..self.out_off[i + 1] as usize]
+    }
+
+    /// Incoming edges of `id` in input-port order, without allocating.
+    pub fn in_edges<'d>(&'d self, df: &'d Dataflow, id: NodeId) -> impl Iterator<Item = &'d Edge> {
+        self.ins(id).iter().map(move |&ei| &df.edges[ei as usize])
+    }
+
+    /// Outgoing edges of `id`, without allocating.
+    pub fn out_edges<'d>(&'d self, df: &'d Dataflow, id: NodeId) -> impl Iterator<Item = &'d Edge> {
+        self.outs(id).iter().map(move |&ei| &df.edges[ei as usize])
+    }
+
+    /// Number of consumers of `id`'s outputs — O(1) from the offsets.
+    pub fn fanout(&self, id: NodeId) -> usize {
+        self.outs(id).len()
+    }
+
+    /// Number of edges feeding `id` — O(1) from the offsets.
+    pub fn fanin(&self, id: NodeId) -> usize {
+        self.ins(id).len()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        (self.in_off.len() + self.in_idx.len() + self.out_off.len() + self.out_idx.len())
+            * size_of::<u32>()
     }
 }
 
@@ -286,8 +375,9 @@ mod tests {
         df.connect(add, 0, out, 0);
         assert_eq!(df.nodes.len(), 4);
         assert_eq!(df.edges.len(), 3);
-        assert_eq!(df.in_edges(add).len(), 2);
-        assert_eq!(df.fanout(add), 1);
+        let idx = df.edge_index();
+        assert_eq!(idx.fanin(add), 2);
+        assert_eq!(idx.fanout(add), 1);
         assert_eq!(df.output_node(), Some(out));
         assert!(df.indvar_node().is_none());
         assert!(df.mem_nodes().is_empty());
@@ -306,9 +396,14 @@ mod tests {
         // Connect port 1 before port 0.
         df.connect(b, 0, add, 1);
         df.connect(a, 0, add, 0);
-        let ins = df.in_edges(add);
+        let idx = df.edge_index();
+        let ins: Vec<&Edge> = idx.in_edges(&df, add).collect();
         assert_eq!(ins[0].dst_port, 0);
         assert_eq!(ins[1].dst_port, 1);
+        // The CSR rows point at the right arena slots.
+        assert_eq!(idx.ins(add), &[1, 0]);
+        assert_eq!(idx.outs(a), &[1]);
+        assert!(idx.out_edges(&df, b).all(|e| e.src == b));
     }
 
     #[test]

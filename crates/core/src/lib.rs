@@ -22,6 +22,7 @@
 //! Chisel-like RTL and a FIRRTL-like circuit graph.
 
 pub mod accel;
+pub mod compiled;
 pub mod dataflow;
 pub mod dot;
 pub mod hw;
@@ -36,7 +37,8 @@ pub use accel::{
     Accelerator, ArgExpr, LoopSpec, MemConnection, ResultInit, TaskBlock, TaskConnection, TaskId,
     TaskKind,
 };
-pub use dataflow::{Buffering, Dataflow, Edge, EdgeKind, Junction, JunctionId, NodeId};
+pub use compiled::{content_hash, CompiledAccel, CompiledTask};
+pub use dataflow::{Buffering, Dataflow, Edge, EdgeIndex, EdgeKind, Junction, JunctionId, NodeId};
 pub use node::{FusedInput, FusedPlan, FusedStep, Node, NodeKind, OpKind};
 pub use structure::{Structure, StructureId, StructureKind};
 

@@ -63,16 +63,24 @@ pub fn pipeline_depth(df: &Dataflow) -> u32 {
     if n == 0 {
         return 0;
     }
-    // Longest path over the forward-edge DAG via memoised DFS.
+    // Longest path over the forward-edge DAG via memoised DFS over the CSR
+    // index (one O(E) build instead of an O(E) rescan per node visit).
+    let idx = df.edge_index();
     let mut memo: Vec<Option<u32>> = vec![None; n];
     let mut best = 0;
     for id in df.node_ids() {
-        best = best.max(depth_of(df, id.0 as usize, &mut memo, 0));
+        best = best.max(depth_of(df, &idx, id.0 as usize, &mut memo, 0));
     }
     best
 }
 
-fn depth_of(df: &Dataflow, i: usize, memo: &mut Vec<Option<u32>>, guard: u32) -> u32 {
+fn depth_of(
+    df: &Dataflow,
+    idx: &crate::dataflow::EdgeIndex,
+    i: usize,
+    memo: &mut Vec<Option<u32>>,
+    guard: u32,
+) -> u32 {
     if let Some(d) = memo[i] {
         return d;
     }
@@ -83,9 +91,10 @@ fn depth_of(df: &Dataflow, i: usize, memo: &mut Vec<Option<u32>>, guard: u32) ->
     let node = &df.nodes[i];
     let own = hw::node_timing(&node.kind, node.ty, BASELINE_PERIOD_NS).latency;
     let mut in_depth = 0;
-    for e in &df.edges {
-        if e.dst.0 as usize == i && e.kind != EdgeKind::Feedback {
-            in_depth = in_depth.max(depth_of(df, e.src.0 as usize, memo, guard + 1) + 1);
+    for &ei in idx.ins(crate::dataflow::NodeId(i as u32)) {
+        let e = &df.edges[ei as usize];
+        if e.kind != EdgeKind::Feedback {
+            in_depth = in_depth.max(depth_of(df, idx, e.src.0 as usize, memo, guard + 1) + 1);
         }
     }
     let d = own + in_depth;
@@ -99,6 +108,7 @@ pub fn live_node_count(df: &Dataflow) -> usize {
     let Some(out) = df.output_node() else {
         return 0;
     };
+    let idx = df.edge_index();
     let mut seen = vec![false; df.nodes.len()];
     let mut work = vec![out];
     while let Some(n) = work.pop() {
@@ -106,10 +116,8 @@ pub fn live_node_count(df: &Dataflow) -> usize {
             continue;
         }
         seen[n.0 as usize] = true;
-        for e in &df.edges {
-            if e.dst == n {
-                work.push(e.src);
-            }
+        for e in idx.in_edges(df, n) {
+            work.push(e.src);
         }
     }
     // Stores and task calls are live by side effect.
@@ -122,8 +130,8 @@ pub fn live_node_count(df: &Dataflow) -> usize {
             seen[id.0 as usize] = true;
             let mut work = vec![id];
             while let Some(n) = work.pop() {
-                for e in &df.edges {
-                    if e.dst == n && !seen[e.src.0 as usize] {
+                for e in idx.in_edges(df, n) {
+                    if !seen[e.src.0 as usize] {
                         seen[e.src.0 as usize] = true;
                         work.push(e.src);
                     }

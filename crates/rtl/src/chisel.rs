@@ -5,18 +5,26 @@
 //! the lowering path and to make generated designs inspectable.
 
 use muir_core::accel::{Accelerator, TaskKind};
+use muir_core::compiled::CompiledAccel;
 use muir_core::dataflow::EdgeKind;
 use muir_core::node::NodeKind;
 use muir_core::structure::StructureKind;
 use std::fmt::Write;
 
-/// Emit the full Chisel-like source for an accelerator.
-pub fn emit_chisel(acc: &Accelerator) -> String {
+/// Emit the full Chisel-like source for a sealed accelerator artifact.
+///
+/// RTL emission consumes the same verified-once [`CompiledAccel`] the
+/// simulator and cost model use, so emitted RTL always corresponds to a
+/// graph that passed verification, and the header records the artifact's
+/// content hash for provenance.
+pub fn emit_chisel(comp: &CompiledAccel) -> String {
+    let acc = comp.accel();
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "// Auto-generated from muIR graph `{}` — do not edit.",
-        acc.name
+        "// Auto-generated from muIR graph `{}` (artifact {:016x}) — do not edit.",
+        acc.name,
+        comp.content_hash()
     );
     let _ = writeln!(out, "package accel\n");
     for (ti, task) in acc.tasks.iter().enumerate() {
@@ -228,10 +236,14 @@ mod tests {
         translate(&m, &FrontendConfig::default()).unwrap()
     }
 
+    fn seal(acc: &Accelerator) -> CompiledAccel {
+        CompiledAccel::compile(acc).expect("frontend graphs verify")
+    }
+
     #[test]
     fn emits_task_modules_and_top() {
         let acc = sample_acc();
-        let src = emit_chisel(&acc);
+        let src = emit_chisel(&seal(&acc));
         assert!(src.contains("extends TaskModule"));
         assert!(src.contains("extends architecture"));
         assert!(src.contains("new ComputeNode(opCode = \"fmul\")"));
@@ -246,7 +258,7 @@ mod tests {
     #[test]
     fn emits_iteration_sequencer_for_loops() {
         let acc = sample_acc();
-        let src = emit_chisel(&acc);
+        let src = emit_chisel(&seal(&acc));
         assert!(src.contains("IterationSequencer"));
         assert!(src.contains("[pipelined]"));
     }
@@ -255,7 +267,7 @@ mod tests {
     fn class_names_are_sanitised() {
         let acc = sample_acc();
         // Loop task is named something like main_loopN.
-        let src = emit_chisel(&acc);
+        let src = emit_chisel(&seal(&acc));
         assert!(src.contains("class Main"), "{src}");
         assert!(!src.contains("class _"));
     }
@@ -296,7 +308,8 @@ mod fused_emit_tests {
             .with(muir_uopt::passes::OpFusion::default())
             .run(&mut acc)
             .unwrap();
-        let src = emit_chisel(&acc);
+        let comp = CompiledAccel::compile(&acc).unwrap();
+        let src = emit_chisel(&comp);
         assert!(src.contains("AccumulatorUnit(opCode = \"add\")"), "{src}");
         assert!(src.contains("FusedNode(ops = 2)"), "{src}");
     }

@@ -9,6 +9,7 @@
 //! because queueing/buffering logic lands on the critical path).
 
 use muir_core::accel::Accelerator;
+use muir_core::compiled::CompiledAccel;
 use muir_core::hw;
 use muir_core::node::{NodeKind, OpKind};
 use muir_core::structure::StructureKind;
@@ -151,8 +152,14 @@ fn has_spawns(acc: &Accelerator) -> bool {
     })
 }
 
-/// Estimate synthesis quality for `acc` on `tech`.
-pub fn estimate(acc: &Accelerator, tech: Tech) -> CostEstimate {
+/// Estimate synthesis quality for a sealed accelerator artifact on `tech`.
+///
+/// Taking [`CompiledAccel`] (not the mutable graph) means cost estimation
+/// shares the verified-once artifact with the simulator and RTL emitter —
+/// an unverified graph cannot reach this walk, and design-space sweeps that
+/// simulate and cost the same candidate pay a single lowering.
+pub fn estimate(comp: &CompiledAccel, tech: Tech) -> CostEstimate {
+    let acc = comp.accel();
     let mut alms = 0u64;
     let mut regs = 0u64;
     let mut dsps = 0u64;
@@ -282,10 +289,14 @@ mod tests {
         translate(&m, &FrontendConfig::default()).unwrap()
     }
 
+    fn seal(acc: &Accelerator) -> CompiledAccel {
+        CompiledAccel::compile(acc).expect("frontend graphs verify")
+    }
+
     #[test]
     fn fpga_numbers_in_table2_band() {
-        let acc = build(true, false);
-        let e = estimate(&acc, Tech::FpgaArria10);
+        let comp = seal(&build(true, false));
+        let e = estimate(&comp, Tech::FpgaArria10);
         assert!(e.fmax_mhz > 150.0 && e.fmax_mhz <= 500.0, "{e:?}");
         assert!(e.power_mw > 300.0 && e.power_mw < 2500.0, "{e:?}");
         assert!(e.alms > 100, "{e:?}");
@@ -294,9 +305,9 @@ mod tests {
 
     #[test]
     fn asic_is_faster_and_lower_power() {
-        let acc = build(true, false);
-        let f = estimate(&acc, Tech::FpgaArria10);
-        let a = estimate(&acc, Tech::Asic28);
+        let comp = seal(&build(true, false));
+        let f = estimate(&comp, Tech::FpgaArria10);
+        let a = estimate(&comp, Tech::Asic28);
         assert!(
             a.fmax_mhz > 2.0 * f.fmax_mhz,
             "asic {} vs fpga {}",
@@ -314,16 +325,16 @@ mod tests {
 
     #[test]
     fn fp_designs_cap_asic_frequency() {
-        let fp = estimate(&build(true, false), Tech::Asic28);
-        let int = estimate(&build(false, false), Tech::Asic28);
+        let fp = estimate(&seal(&build(true, false)), Tech::Asic28);
+        let int = estimate(&seal(&build(false, false)), Tech::Asic28);
         assert!(fp.fmax_mhz <= 1660.0 + 1.0);
         assert!(int.fmax_mhz > fp.fmax_mhz);
     }
 
     #[test]
     fn cilk_designs_clock_lower() {
-        let plain = estimate(&build(false, false), Tech::FpgaArria10);
-        let cilk = estimate(&build(false, true), Tech::FpgaArria10);
+        let plain = estimate(&seal(&build(false, false)), Tech::FpgaArria10);
+        let cilk = estimate(&seal(&build(false, true)), Tech::FpgaArria10);
         assert!(
             cilk.fmax_mhz < plain.fmax_mhz,
             "cilk {} vs plain {}",
@@ -334,19 +345,21 @@ mod tests {
 
     #[test]
     fn dsps_count_multipliers() {
-        let acc = build(true, false);
-        let e = estimate(&acc, Tech::FpgaArria10);
+        let comp = seal(&build(true, false));
+        let e = estimate(&comp, Tech::FpgaArria10);
         assert!(e.dsps >= 1);
     }
 
     #[test]
     fn tiling_scales_area() {
         let mut acc = build(true, false);
-        let base = estimate(&acc, Tech::FpgaArria10);
+        let base = estimate(&seal(&acc), Tech::FpgaArria10);
         for t in acc.task_ids().collect::<Vec<_>>() {
             acc.task_mut(t).tiles = 4;
         }
-        let tiled = estimate(&acc, Tech::FpgaArria10);
+        // The sealed artifact is immutable: a graph mutation requires a
+        // fresh compile (with a new content hash) to become visible.
+        let tiled = estimate(&seal(&acc), Tech::FpgaArria10);
         assert!(tiled.alms > 2 * base.alms);
     }
 }

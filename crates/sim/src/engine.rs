@@ -24,6 +24,7 @@ use crate::memory::{DramModel, MemRequest, StructModel};
 use crate::trace::{Observer, SimProfile, StallReason, Trace};
 use crate::{SchedulerKind, SimConfig, SimError, SimStats};
 use muir_core::accel::{Accelerator, ArgExpr, ResultInit, TaskKind};
+use muir_core::compiled::{CompiledAccel, CompiledTask};
 use muir_core::dataflow::EdgeKind;
 use muir_core::hw;
 use muir_core::node::{FusedInput, NodeKind, OpKind};
@@ -136,38 +137,30 @@ struct ActiveInv {
     acc_state: Vec<Option<Value>>,
 }
 
-/// Pre-elaborated, immutable view of one task's dataflow.
-///
-/// Adjacency lists are `Arc<[usize]>` so hot paths can detach a cheap
-/// O(1) handle instead of cloning a `Vec` per visit.
+/// Per-run view of one task: the sealed graph-derived tables from the
+/// [`CompiledTask`] (shared, never rebuilt) plus the few
+/// configuration-dependent vectors that genuinely vary per `SimConfig`.
+/// `Deref` exposes the compiled tables (`order`, `in_data`, `outs`,
+/// `is_static`, `pos`, `queue_cap`, …) directly, so the schedulers read
+/// them exactly as before the artifact refactor.
 #[derive(Debug)]
-struct ElabTask {
-    /// Whether each node is static (Input/Const: invocation-constant).
-    is_static: Vec<bool>,
-    /// Count of dynamic nodes (each fires once per instance).
-    dynamic_count: u32,
-    /// Node processing order: consumers before producers (reverse topo over
-    /// forward edges) so single-token edges sustain II=1.
-    order: Arc<[usize]>,
-    /// Inverse of `order`: `pos[node]` is the node's scan position. The
-    /// ready scheduler fires candidates in ascending `pos` so a cycle's
-    /// firing sequence is exactly the dense scan's.
-    pos: Vec<u32>,
-    /// Per node: indices of incoming data/feedback edges sorted by port.
-    in_data: Vec<Arc<[usize]>>,
-    /// Per node: indices of incoming order edges.
-    in_order: Vec<Arc<[usize]>>,
-    /// Per node: indices of outgoing (non-static-src) edges.
-    outs: Vec<Arc<[usize]>>,
-    /// Per node timing.
+struct ElabTask<'a> {
+    /// The sealed per-task tables (adjacency, scan order, static masks).
+    ct: &'a CompiledTask,
+    /// Per node timing (depends on `cfg.period_ns`).
     timing: Vec<hw::Timing>,
     /// Per node bound on in-flight firings (databox entries for memory
     /// transit nodes; effectively unbounded for pipelined function units).
+    /// Depends on `cfg.databox_entries`.
     max_pending: Vec<u32>,
-    /// Queue capacity for invocations (issue queue + `<||>` FIFO).
-    queue_cap: usize,
-    /// Junction count (sizes this task's slice of the junction slab).
-    njunctions: usize,
+}
+
+impl std::ops::Deref for ElabTask<'_> {
+    type Target = CompiledTask;
+
+    fn deref(&self) -> &CompiledTask {
+        self.ct
+    }
 }
 
 #[derive(Debug)]
@@ -327,7 +320,7 @@ pub struct Engine<'a> {
     acc: &'a Accelerator,
     cfg: &'a SimConfig,
     mem: &'a mut Memory,
-    elab: Vec<ElabTask>,
+    elab: Vec<ElabTask<'a>>,
     tasks: Vec<TaskState>,
     structs: Vec<StructModel>,
     dram: DramModel,
@@ -388,49 +381,24 @@ pub struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    /// Elaborate the accelerator into a runnable model.
-    pub fn new(acc: &'a Accelerator, mem: &'a mut Memory, cfg: &'a SimConfig) -> Engine<'a> {
-        let elab: Vec<ElabTask> = acc
-            .task_ids()
-            .map(|tid| {
-                let task = acc.task(tid);
-                let df = &task.dataflow;
-                let n = df.nodes.len();
-                let is_static: Vec<bool> = df
-                    .nodes
-                    .iter()
-                    .map(|nd| matches!(nd.kind, NodeKind::Input { .. } | NodeKind::Const(_)))
-                    .collect();
-                let mut in_data = vec![Vec::new(); n];
-                let mut in_order = vec![Vec::new(); n];
-                let mut outs = vec![Vec::new(); n];
-                for (ei, e) in df.edges.iter().enumerate() {
-                    match e.kind {
-                        EdgeKind::Order => in_order[e.dst.0 as usize].push(ei),
-                        _ => in_data[e.dst.0 as usize].push(ei),
-                    }
-                    if !is_static[e.src.0 as usize] {
-                        outs[e.src.0 as usize].push(ei);
-                    }
-                }
-                for v in &mut in_data {
-                    v.sort_by_key(|&ei| df.edges[ei].dst_port);
-                }
-                // Reverse topological order over forward (non-feedback)
-                // edges: consumers first.
-                let order = reverse_topo(df);
+    /// Bind a sealed artifact to a runnable model. The graph-derived
+    /// tables come straight from the [`CompiledAccel`] (built exactly
+    /// once per graph); only the configuration-dependent vectors —
+    /// node timing and databox bounds — are computed here, so a batch
+    /// of N runs pays one compile instead of N elaborations.
+    pub fn new(comp: &'a CompiledAccel, mem: &'a mut Memory, cfg: &'a SimConfig) -> Engine<'a> {
+        let acc = comp.accel();
+        let elab: Vec<ElabTask<'a>> = comp
+            .tasks()
+            .iter()
+            .enumerate()
+            .map(|(ti, ct)| {
+                let df = &acc.tasks[ti].dataflow;
                 let timing: Vec<hw::Timing> = df
                     .nodes
                     .iter()
                     .map(|nd| hw::node_timing(&nd.kind, nd.ty, cfg.period_ns))
                     .collect();
-                let conn_q = acc
-                    .task_conns
-                    .iter()
-                    .find(|c| c.child == tid)
-                    .map(|c| c.queue_depth)
-                    .unwrap_or(1);
-                let dynamic_count = is_static.iter().filter(|s| !**s).count() as u32;
                 let max_pending: Vec<u32> = df
                     .nodes
                     .iter()
@@ -440,22 +408,10 @@ impl<'a> Engine<'a> {
                         _ => u32::MAX,
                     })
                     .collect();
-                let mut pos = vec![0u32; n];
-                for (p, &node) in order.iter().enumerate() {
-                    pos[node] = p as u32;
-                }
                 ElabTask {
-                    is_static,
-                    dynamic_count,
-                    order: order.into(),
-                    pos,
-                    in_data: in_data.into_iter().map(Into::into).collect(),
-                    in_order: in_order.into_iter().map(Into::into).collect(),
-                    outs: outs.into_iter().map(Into::into).collect(),
+                    ct,
                     timing,
                     max_pending,
-                    queue_cap: (task.queue_depth + conn_q) as usize,
-                    njunctions: df.junctions.len(),
                 }
             })
             .collect();
@@ -2301,41 +2257,6 @@ fn find_wait_cycle(vertices: &[V], waits: &HashMap<V, Vec<W>>) -> Vec<WaitEdge> 
 /// Consumers-before-producers order over forward edges, so that a consumer
 /// freeing a 1-deep edge this cycle lets its producer refire this cycle
 /// (sustaining II=1 through handshake chains).
-fn reverse_topo(df: &muir_core::dataflow::Dataflow) -> Vec<usize> {
-    forward_topo(df).into_iter().rev().collect()
-}
-
-fn forward_topo(df: &muir_core::dataflow::Dataflow) -> Vec<usize> {
-    let n = df.nodes.len();
-    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
-    let mut indeg = vec![0usize; n];
-    for e in &df.edges {
-        if e.kind == EdgeKind::Feedback {
-            continue;
-        }
-        succs[e.src.0 as usize].push(e.dst.0 as usize);
-        indeg[e.dst.0 as usize] += 1;
-    }
-    let mut work: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
-    let mut order = Vec::with_capacity(n);
-    while let Some(x) = work.pop() {
-        order.push(x);
-        for &s in &succs[x] {
-            indeg[s] -= 1;
-            if indeg[s] == 0 {
-                work.push(s);
-            }
-        }
-    }
-    // Any leftover (forward cycle — should not happen) appended for safety.
-    for i in 0..n {
-        if !order.contains(&i) {
-            order.push(i);
-        }
-    }
-    order
-}
-
 /// Evaluate a compute op on runtime values.
 fn eval_op(op: OpKind, values: &[Value]) -> Result<Value, SimError> {
     let r = match op {

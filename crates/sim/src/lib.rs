@@ -59,6 +59,7 @@ pub use trace::{
 };
 
 use muir_core::accel::Accelerator;
+use muir_core::compiled::CompiledAccel;
 use muir_mir::interp::Memory;
 use muir_mir::value::Value;
 
@@ -291,9 +292,16 @@ pub struct SimResult {
 
 /// Simulate the accelerator's root task once against `mem`.
 ///
+/// Compilation goes through the process-local content-addressed cache
+/// ([`CompiledAccel::compile_cached`]): the first call on a graph
+/// verifies and lowers it, repeat calls (bench loops, campaigns, fuzz
+/// reruns) reuse the sealed artifact. Callers holding a
+/// [`CompiledAccel`] already should use [`simulate_compiled`].
+///
 /// # Errors
-/// Deadlock, cycle-limit exhaustion, or a functional fault (e.g. an
-/// out-of-bounds access on a non-predicated path).
+/// Graph rejection (verification failure at compile), deadlock,
+/// cycle-limit exhaustion, or a functional fault (e.g. an out-of-bounds
+/// access on a non-predicated path).
 pub fn simulate(
     acc: &Accelerator,
     mem: &mut Memory,
@@ -301,21 +309,26 @@ pub fn simulate(
     cfg: &SimConfig,
 ) -> Result<SimResult, SimError> {
     // A malformed graph (dangling port, unregistered junction client, …)
-    // would otherwise surface as a confusing mid-run fault or deadlock.
-    muir_core::verify::verify_accelerator(acc)
-        .map_err(|source| SimError::GraphRejected { source })?;
-    run_verified(acc, mem, args, cfg)
+    // would otherwise surface as a confusing mid-run fault or deadlock;
+    // compile() verifies before sealing.
+    let comp =
+        CompiledAccel::compile_cached(acc).map_err(|source| SimError::GraphRejected { source })?;
+    simulate_compiled(&comp, mem, args, cfg)
 }
 
-/// Run one simulation of an already-verified accelerator (shared between
-/// [`simulate`] and [`simulate_batch`]).
-fn run_verified(
-    acc: &Accelerator,
+/// Run one simulation of a sealed accelerator artifact. This is the
+/// no-recompile hot path shared by [`simulate`], [`simulate_batch`], and
+/// every multi-run harness.
+///
+/// # Errors
+/// Deadlock, cycle-limit exhaustion, or a functional fault.
+pub fn simulate_compiled(
+    comp: &CompiledAccel,
     mem: &mut Memory,
     args: &[Value],
     cfg: &SimConfig,
 ) -> Result<SimResult, SimError> {
-    let engine = engine::Engine::new(acc, mem, cfg);
+    let engine = engine::Engine::new(comp, mem, cfg);
     let (cycles, results, stats, observed) = engine.run(args)?;
     let (profile, trace) = match observed {
         Some((p, t)) => (Some(p), Some(t)),
@@ -356,15 +369,40 @@ pub struct BatchRun {
 
 /// Run many independent simulations of one accelerator concurrently.
 ///
-/// The graph is verified once and shared immutably; each job gets its own
-/// memory image and engine, so every run is bit-identical to a standalone
-/// [`simulate`] call with the same inputs regardless of `threads` or
-/// completion order. Results come back index-aligned with `jobs`. This is
-/// the throughput path for campaign/fuzz/bench workloads: multi-run
-/// scaling comes from running whole simulations side by side, not from
-/// threading inside one run.
+/// The graph is compiled once (through the content-addressed cache) and
+/// the sealed [`CompiledAccel`] is shared immutably across workers; each
+/// job gets its own memory image and engine, so every run is
+/// bit-identical to a standalone [`simulate`] call with the same inputs
+/// regardless of `threads` or completion order. A batch of N jobs pays
+/// one verify+lower, not N. Results come back index-aligned with `jobs`.
+/// This is the throughput path for campaign/fuzz/bench workloads:
+/// multi-run scaling comes from running whole simulations side by side,
+/// not from threading inside one run.
 pub fn simulate_batch(acc: &Accelerator, jobs: Vec<BatchJob>, threads: usize) -> Vec<BatchRun> {
-    let graph_ok = muir_core::verify::verify_accelerator(acc).is_ok();
+    match CompiledAccel::compile_cached(acc) {
+        Ok(comp) => simulate_batch_compiled(&comp, jobs, threads),
+        Err(source) => {
+            // Every job gets the same `GraphRejected` outcome a standalone
+            // `simulate` call on this graph would produce.
+            jobs.into_iter()
+                .map(|j| BatchRun {
+                    outcome: Err(SimError::GraphRejected {
+                        source: source.clone(),
+                    }),
+                    mem: j.mem,
+                })
+                .collect()
+        }
+    }
+}
+
+/// [`simulate_batch`] over an already-sealed artifact: no verify, no
+/// lowering, no cache probe — jobs go straight to engines.
+pub fn simulate_batch_compiled(
+    comp: &CompiledAccel,
+    jobs: Vec<BatchJob>,
+    threads: usize,
+) -> Vec<BatchRun> {
     let n = jobs.len();
     let slots: Vec<std::sync::Mutex<Option<BatchJob>>> = jobs
         .into_iter()
@@ -379,15 +417,7 @@ pub fn simulate_batch(acc: &Accelerator, jobs: Vec<BatchJob>, threads: usize) ->
             .expect("batch job slot")
             .take()
             .expect("each job index is claimed exactly once");
-        let outcome = if graph_ok {
-            run_verified(acc, &mut mem, &args, &cfg)
-        } else {
-            // Re-verify per job to produce the same `GraphRejected` error a
-            // standalone `simulate` call would return.
-            muir_core::verify::verify_accelerator(acc)
-                .map_err(|source| SimError::GraphRejected { source })
-                .and_then(|()| run_verified(acc, &mut mem, &args, &cfg))
-        };
+        let outcome = simulate_compiled(comp, &mut mem, &args, &cfg);
         *results[i].lock().expect("batch result slot") = Some(BatchRun { outcome, mem });
     };
     let workers = threads.max(1).min(n.max(1));

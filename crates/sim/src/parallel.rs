@@ -104,7 +104,7 @@ impl Default for TilePlan {
 /// engine state that is frozen for the duration of the plan phase.
 pub(crate) struct PlanCtx<'e> {
     pub acc: &'e Accelerator,
-    pub elab: &'e [ElabTask],
+    pub elab: &'e [ElabTask<'e>],
     pub tasks: &'e [TaskState],
     pub stuck: &'e HashSet<(usize, usize, usize)>,
     pub faults_on: bool,

@@ -284,22 +284,18 @@ fn find_candidate(
     max_delay_ns: f64,
     max_ops: usize,
 ) -> Option<(NodeId, NodeId, u16)> {
+    // One CSR build per round replaces a per-node O(E) rescan.
+    let idx = df.edge_index();
     for u in df.node_ids() {
         let Some(u_plan) = plan_of(df.node(u)) else {
             continue;
         };
         // u must have exactly one outgoing edge, a Data edge.
-        let outs: Vec<usize> = df
-            .edges
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.src == u)
-            .map(|(i, _)| i)
-            .collect();
+        let outs = idx.outs(u);
         if outs.len() != 1 {
             continue;
         }
-        let e = df.edges[outs[0]];
+        let e = df.edges[outs[0] as usize];
         if e.kind != EdgeKind::Data {
             continue;
         }
@@ -349,13 +345,14 @@ pub fn remove_node(df: &mut Dataflow, dead: NodeId) {
 pub fn eliminate_dead(df: &mut Dataflow) -> usize {
     let mut removed = 0;
     loop {
+        let idx = df.edge_index();
         let mut dead: Option<NodeId> = None;
         for n in df.node_ids() {
             let pure = matches!(
                 df.node(n).kind,
                 NodeKind::Compute(_) | NodeKind::Fused(_) | NodeKind::Const(_)
             );
-            if pure && df.edges.iter().all(|e| e.src != n) {
+            if pure && idx.fanout(n) == 0 {
                 dead = Some(n);
                 break;
             }

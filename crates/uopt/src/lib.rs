@@ -29,6 +29,7 @@ pub mod passes;
 pub mod simplify;
 
 use muir_core::accel::Accelerator;
+use muir_core::compiled::CompiledAccel;
 use muir_core::verify::verify_accelerator;
 use std::fmt;
 
@@ -174,8 +175,13 @@ impl PassManager {
 
     /// Run all passes on `acc`.
     ///
+    /// The graph is verified after every pass **and** once more on exit,
+    /// so even an empty pipeline hard-errors on an invalid input graph —
+    /// downstream consumers (`seal`, the simulator, RTL emission) never
+    /// see an unverified accelerator slip through a no-pass run.
+    ///
     /// # Errors
-    /// The first pass failure or post-pass verification failure.
+    /// The first pass failure or verification failure.
     pub fn run(&self, acc: &mut Accelerator) -> Result<PassReport, PassError> {
         let mut report = PassReport::default();
         for pass in &self.passes {
@@ -196,7 +202,39 @@ impl PassManager {
                 edges_after: size.edges,
             });
         }
+        // Final gate: covers the empty pipeline (no per-pass check ran) and
+        // costs one redundant verify otherwise — cheap relative to any pass.
+        verify_accelerator(acc).map_err(|e| PassError {
+            pass: "<final-verify>".to_string(),
+            message: format!("graph invalid after pipeline: {e}"),
+        })?;
         Ok(report)
+    }
+
+    /// Run all passes, then **seal** the result: verify and lower the
+    /// transformed graph exactly once into an immutable, content-addressed
+    /// [`CompiledAccel`] shared by the simulator, RTL emission, and cost
+    /// layers. This is the intended terminal stage of a μopt pipeline —
+    /// everything downstream consumes the sealed artifact, never the
+    /// mutable graph.
+    ///
+    /// Lowering goes through the process-local compile cache, so sealing
+    /// the same graph content twice returns the same `Arc`.
+    ///
+    /// # Errors
+    /// The first pass failure, or a verification failure (reported under
+    /// the pseudo-pass name `<seal>` when the final lowering rejects the
+    /// graph).
+    pub fn seal(
+        &self,
+        acc: &mut Accelerator,
+    ) -> Result<(std::sync::Arc<CompiledAccel>, PassReport), PassError> {
+        let report = self.run(acc)?;
+        let comp = CompiledAccel::compile_cached(acc).map_err(|e| PassError {
+            pass: "<seal>".to_string(),
+            message: format!("graph rejected at seal: {e}"),
+        })?;
+        Ok((comp, report))
     }
 }
 
@@ -274,5 +312,41 @@ mod tests {
         let e = pm.run(&mut acc).unwrap_err();
         assert_eq!(e.pass, "breaker");
         assert!(e.message.contains("invalid"), "{e}");
+    }
+
+    #[test]
+    fn empty_pipeline_still_verifies() {
+        // An invalid graph must not slip through a no-pass run.
+        let mut acc = tiny_acc();
+        acc.tasks[0]
+            .dataflow
+            .add_node(Node::new("bad", NodeKind::Output, Type::BOOL));
+        let e = PassManager::new().run(&mut acc).unwrap_err();
+        assert_eq!(e.pass, "<final-verify>");
+        assert!(e.message.contains("invalid"), "{e}");
+        // And a valid graph passes with an empty report.
+        let mut ok = tiny_acc();
+        let report = PassManager::new().run(&mut ok).unwrap();
+        assert!(report.deltas.is_empty());
+    }
+
+    #[test]
+    fn seal_returns_content_addressed_artifact() {
+        let mut acc = tiny_acc();
+        let pm = PassManager::new().with(Nop);
+        let (comp, report) = pm.seal(&mut acc).unwrap();
+        assert_eq!(report.deltas.len(), 1);
+        assert_eq!(comp.content_hash(), muir_core::content_hash(&acc));
+        // Sealing the same content again hits the compile cache.
+        let (again, _) = pm.seal(&mut acc).unwrap();
+        assert!(std::sync::Arc::ptr_eq(&comp, &again));
+    }
+
+    #[test]
+    fn seal_rejects_invalid_graph() {
+        let mut acc = tiny_acc();
+        let pm = PassManager::new().with(Breaker);
+        let e = pm.seal(&mut acc).unwrap_err();
+        assert_eq!(e.pass, "breaker");
     }
 }

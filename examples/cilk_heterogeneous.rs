@@ -133,7 +133,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\n--- auto-generated Chisel (top level) ---");
-    let rtl = emit_chisel(&acc);
+    let comp = muir::core::CompiledAccel::compile_cached(&acc)?;
+    let rtl = emit_chisel(&comp);
     let top = rtl.find("class Accelerator").unwrap_or(0);
     for line in rtl[top..].lines().take(30) {
         println!("{line}");

@@ -23,7 +23,7 @@ use muir::mir::interp::{Interp, Memory};
 use muir::mir::module::Module;
 use muir::mir::types::{ScalarType, TensorShape, Type};
 use muir::rtl::cost::{estimate, Tech};
-use muir::sim::{simulate, SimConfig};
+use muir::sim::SimConfig;
 use muir::uopt::passes::{ExecutionTiling, MemoryLocalization, OpFusion, TaskFilter};
 use muir::uopt::PassManager;
 
@@ -101,13 +101,16 @@ fn measure(
     Interp::new(m).run_main(&mut ref_mem, &[]).expect("interp");
     let mut mem = Memory::from_module(m);
     mem.init_f32(input, &data);
-    let r = simulate(acc, &mut mem, &[], &SimConfig::default()).expect("simulate");
+    // Seal once; the simulator and cost model share the artifact.
+    let comp = muir::core::CompiledAccel::compile_cached(acc).expect("verifies");
+    let r = muir::sim::simulate_compiled(&comp, &mut mem, &[], &SimConfig::default())
+        .expect("simulate");
     let got = mem.read_f32(output);
     let want = ref_mem.read_f32(output);
     for (k, (a, b)) in got.iter().zip(&want).enumerate() {
         assert!((a - b).abs() < 1e-4, "{label}: output[{k}] {a} vs {b}");
     }
-    let cost = estimate(acc, Tech::FpgaArria10);
+    let cost = estimate(&comp, Tech::FpgaArria10);
     println!(
         "{label:<38} {:>8} cycles  {:>4.0} MHz  {:>6} ALMs  {:>3} DSPs",
         r.cycles, cost.fmax_mhz, cost.alms, cost.dsps

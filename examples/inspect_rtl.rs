@@ -44,8 +44,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         circ.total_elements(),
         circ.total_elements() as f64 / s.total_elements() as f64
     );
-    let f = estimate(&acc, Tech::FpgaArria10);
-    let a = estimate(&acc, Tech::Asic28);
+    let comp = muir::core::CompiledAccel::compile_cached(&acc).expect("workloads verify");
+    let f = estimate(&comp, Tech::FpgaArria10);
+    let a = estimate(&comp, Tech::Asic28);
     println!(
         "  FPGA: {:.0} MHz, {:.0} mW, {} ALMs, {} regs, {} DSPs",
         f.fmax_mhz, f.power_mw, f.alms, f.regs, f.dsps
@@ -57,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         a.area_mm2
     );
     println!("\n--- Chisel (first 40 lines) ---");
-    for line in emit_chisel(&acc).lines().take(40) {
+    for line in emit_chisel(&comp).lines().take(40) {
         println!("{line}");
     }
     Ok(())

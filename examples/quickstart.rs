@@ -58,20 +58,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("baseline: {} cycles", base.cycles);
 
-    // 4. Stage 2': transform the microarchitecture, not the program.
-    let report = PassManager::new()
+    // 4. Stage 2': transform the microarchitecture, not the program, then
+    //    seal the result into an immutable content-addressed artifact the
+    //    simulator, cost model, and RTL emitter all share.
+    let (comp, report) = PassManager::new()
         .with(MemoryLocalization::default())
         .with(OpFusion::default())
-        .run(&mut acc)?;
+        .seal(&mut acc)?;
     for (name, delta) in &report.deltas {
         println!(
             "pass {name}: touched {} nodes, {} edges",
             delta.nodes, delta.edges
         );
     }
+    println!("sealed artifact {:016x}", comp.content_hash());
     let mut mem = Memory::from_module(&module);
     mem.init_i64(x, &(0..256).collect::<Vec<_>>());
-    let opt = simulate(&acc, &mut mem, &[], &SimConfig::default())?;
+    let opt = muir::sim::simulate_compiled(&comp, &mut mem, &[], &SimConfig::default())?;
     assert_eq!(ref_mem.read_i64(y), mem.read_i64(y));
     println!(
         "optimized: {} cycles ({:.2}x)",
@@ -79,8 +82,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         base.cycles as f64 / opt.cycles as f64
     );
 
-    // 5. Stage 3: lower to Chisel-like RTL.
-    let rtl = emit_chisel(&acc);
+    // 5. Stage 3: lower to Chisel-like RTL from the same artifact.
+    let rtl = emit_chisel(&comp);
     println!("\n--- generated RTL (first 25 lines) ---");
     for line in rtl.lines().take(25) {
         println!("{line}");

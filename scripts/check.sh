@@ -1,11 +1,13 @@
 #!/bin/sh
 # Repo hygiene gate: formatting, lints on the IR/frontend/simulator/
 # transform/bench crates, the tier-1 test suite, the trace-exporter
-# schema gate, the seeded graph-fuzz smoke (30 graphs, every scheduler
-# at 1/2/4/8 threads), and the scheduler benchmark gate (Dense vs Ready
-# vs Parallel@2 differential + BENCH_sim.json). Each tool-dependent
-# stage is skipped (not failed) when its tool is missing, so the script
-# works in minimal containers.
+# schema gate, the sealed-artifact determinism gate (compile twice ->
+# identical content hash; no-op pass pipeline -> hash unchanged), the
+# seeded graph-fuzz smoke (30 graphs, every scheduler at 1/2/4/8
+# threads), and the scheduler benchmark gate (Dense vs Ready vs
+# Parallel@2 differential + BENCH_sim.json). Each tool-dependent stage
+# is skipped (not failed) when its tool is missing, so the script works
+# in minimal containers.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -31,6 +33,9 @@ cargo test -q
 
 echo "== trace exporter vs scripts/trace_schema.json =="
 cargo run -q -p muir-bench --bin experiments -- trace-schema scripts/trace_schema.json
+
+echo "== artifact determinism (compile twice + no-op pipeline, all workloads) =="
+cargo run -q -p muir-bench --bin experiments -- compile-stats
 
 echo "== graph-fuzz smoke (30 seeded graphs, all schedulers) =="
 cargo run --release -q -p muir-bench --bin experiments -- fuzz --graphs 30 --seed 0xc1

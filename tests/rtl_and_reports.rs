@@ -4,6 +4,7 @@
 
 use muir::core::printer::print_accelerator;
 use muir::core::stats::{graph_stats, pipeline_depth};
+use muir::core::CompiledAccel;
 use muir::frontend::{translate, FrontendConfig};
 use muir::rtl::circuit::lower_to_circuit;
 use muir::rtl::cost::{estimate, Tech};
@@ -14,7 +15,7 @@ use muir::workloads;
 fn chisel_emits_for_every_workload() {
     for w in workloads::all() {
         let acc = translate(&w.module, &FrontendConfig::default()).unwrap();
-        let src = emit_chisel(&acc);
+        let src = emit_chisel(&CompiledAccel::compile(&acc).unwrap());
         assert!(src.contains("extends architecture"), "{}", w.name);
         // One TaskModule class per task block.
         let classes = src.matches("extends TaskModule").count();
@@ -74,8 +75,9 @@ fn firrtl_lowering_ratio_in_paper_band() {
 fn cost_model_is_sane_for_every_workload() {
     for w in workloads::all() {
         let acc = translate(&w.module, &FrontendConfig::default()).unwrap();
-        let f = estimate(&acc, Tech::FpgaArria10);
-        let a = estimate(&acc, Tech::Asic28);
+        let comp = CompiledAccel::compile(&acc).unwrap();
+        let f = estimate(&comp, Tech::FpgaArria10);
+        let a = estimate(&comp, Tech::Asic28);
         assert!(
             f.fmax_mhz >= 150.0 && f.fmax_mhz <= 500.0,
             "{}: {f:?}",
@@ -130,25 +132,16 @@ fn table2_relative_trends_hold() {
     // Cilk designs clock lower than loop-nest designs (§5.1).
     let cilk = workloads::by_name("SAXPY").unwrap();
     let poly = workloads::by_name("GEMM").unwrap();
-    let f_cilk = estimate(
-        &translate(&cilk.module, &FrontendConfig::default()).unwrap(),
-        Tech::FpgaArria10,
-    );
-    let f_poly = estimate(
-        &translate(&poly.module, &FrontendConfig::default()).unwrap(),
-        Tech::FpgaArria10,
-    );
+    let seal = |w: &muir::workloads::Workload| {
+        CompiledAccel::compile(&translate(&w.module, &FrontendConfig::default()).unwrap()).unwrap()
+    };
+    let f_cilk = estimate(&seal(&cilk), Tech::FpgaArria10);
+    let f_poly = estimate(&seal(&poly), Tech::FpgaArria10);
     assert!(f_cilk.fmax_mhz < f_poly.fmax_mhz);
     // Compute-dense STENCIL outweighs tiny RELU in area.
     let stencil = workloads::by_name("STENCIL").unwrap();
     let relu = workloads::by_name("RELU").unwrap();
-    let a_stencil = estimate(
-        &translate(&stencil.module, &FrontendConfig::default()).unwrap(),
-        Tech::FpgaArria10,
-    );
-    let a_relu = estimate(
-        &translate(&relu.module, &FrontendConfig::default()).unwrap(),
-        Tech::FpgaArria10,
-    );
+    let a_stencil = estimate(&seal(&stencil), Tech::FpgaArria10);
+    let a_relu = estimate(&seal(&relu), Tech::FpgaArria10);
     assert!(a_stencil.alms > 3 * a_relu.alms);
 }
