@@ -4,7 +4,8 @@
 //! cargo run --release -p muir-bench --bin experiments [all|fig1|table2|fig9|
 //!     table3|fig11|fig12|fig15|fig16|fig17|fig18|table4|faults|--selftest|
 //!     profile <workload> [outdir]|trace-schema [schema.json]|
-//!     bench [--quick] [out.json]|fuzz [--graphs N] [--seed S]]
+//!     bench [--quick] [out.json]|fuzz [--graphs N] [--seed S]|
+//!     serve [store-root]|store-stats [store-root]|store-campaign [root]]
 //! ```
 //!
 //! `faults` runs the differential fault-injection campaign (see
@@ -92,6 +93,27 @@ fn main() {
     }
     if which == "compile-stats" {
         compile_stats();
+        return;
+    }
+    if which == "serve" {
+        let root = std::env::args()
+            .nth(2)
+            .unwrap_or_else(|| "target/store-serve".to_string());
+        serve(&root);
+        return;
+    }
+    if which == "store-stats" {
+        let root = std::env::args()
+            .nth(2)
+            .unwrap_or_else(|| "target/store-serve".to_string());
+        store_stats(&root);
+        return;
+    }
+    if which == "store-campaign" {
+        let root = std::env::args()
+            .nth(2)
+            .unwrap_or_else(|| "target/store-campaign".to_string());
+        store_campaign(&root);
         return;
     }
     let all = which == "all";
@@ -186,13 +208,166 @@ fn compile_stats() {
     }
     let cs = cache_stats();
     println!(
-        "\ncompile cache: {} hits / {} misses ({:.0}% hit rate), {} entries resident",
+        "\ncompile cache: {} hits / {} misses ({:.0}% hit rate), \
+         {} entries resident / {} capacity, {} evicted",
         cs.hits,
         cs.misses,
         cs.hit_rate() * 100.0,
-        cs.entries
+        cs.entries,
+        cs.capacity,
+        cs.evictions
     );
     println!("determinism gates: OK (2x compile + no-op pipeline on all workloads)");
+}
+
+/// `serve [store-root]`: the persistent-store determinism gate. Every
+/// workload is evaluated through a fresh [`muir_bench::service::EvalService`]
+/// three ways over the same on-disk store — cold (populate), warm (every
+/// job must be a store hit with zero simulation work), and post-fault (a
+/// seeded read-side bit flip: the corruption must surface typed, the job
+/// recompute, and the repaired slot serve warm again). Any end-state
+/// divergence or missed hit exits non-zero.
+fn serve(root: &str) {
+    use muir_bench::service::{EvalJob, EvalService, ServiceConfig};
+    use muir_core::compiled::CompiledAccel;
+    use muir_store::{Store, StoreFaultClass, StoreFaultPlan};
+
+    hdr("Eval service: cold / warm / post-fault determinism over the workload suite");
+    let root = std::path::Path::new(root);
+    let _ = std::fs::remove_dir_all(root);
+    let open = || Store::open(root);
+
+    let mut jobs = 0u64;
+    let mut warm_hits = 0u64;
+    let mut fault_codes = 0u64;
+    let mut fail = false;
+    let mut cold_ms = 0.0f64;
+    let mut warm_ms = 0.0f64;
+    println!(
+        "{:>10} | {:>9} {:>9} {:>9} | warm  post-fault",
+        "Bench", "cycles", "cold_ms", "warm_ms"
+    );
+    for w in workloads::all() {
+        let acc = baseline(&w);
+        let comp =
+            CompiledAccel::compile_cached(&acc).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let job = EvalJob {
+            cfg: muir_sim::SimConfig::default(),
+            args: vec![],
+            mem: w.fresh_memory(),
+        };
+        jobs += 1;
+
+        // Cold: populate the store.
+        let mut svc = EvalService::new(comp.clone(), Some(open()), ServiceConfig::default());
+        svc.submit(job.clone());
+        let t0 = std::time::Instant::now();
+        let cold = &svc.drain()[0];
+        let c_ms = t0.elapsed().as_secs_f64() * 1e3;
+        cold_ms += c_ms;
+        let truth = cold.end_state();
+        let cycles = cold.outcome.as_ref().map(|r| r.cycles).unwrap_or(0);
+
+        // Warm: a fresh service over the same store must not simulate.
+        let mut svc = EvalService::new(comp.clone(), Some(open()), ServiceConfig::default());
+        svc.submit(job.clone());
+        let t0 = std::time::Instant::now();
+        let warm = &svc.drain()[0];
+        let w_ms = t0.elapsed().as_secs_f64() * 1e3;
+        warm_ms += w_ms;
+        let warm_ok = warm.from_store && warm.attempts == 0 && warm.end_state() == truth;
+        warm_hits += u64::from(warm.from_store);
+
+        // Post-fault: a seeded read-side bit flip. The entry is detected
+        // corrupt (typed), quarantined, recomputed bit-identically, and
+        // re-published.
+        let plan = StoreFaultPlan::single(StoreFaultClass::BitFlipRead, 0x5e2e ^ jobs);
+        let mut svc = EvalService::new(
+            comp.clone(),
+            Some(Store::open_with_faults(root, plan)),
+            ServiceConfig::default(),
+        );
+        svc.submit(job.clone());
+        let post = &svc.drain()[0];
+        let typed = post.store_warnings.iter().any(|m| m.contains("E-STORE-"));
+        fault_codes += u64::from(typed);
+        let post_ok = !post.from_store && typed && post.end_state() == truth;
+
+        // Re-warm: the slot repaired by the post-fault recompute serves.
+        let mut svc = EvalService::new(comp, Some(open()), ServiceConfig::default());
+        svc.submit(job);
+        let rewarm = &svc.drain()[0];
+        let rewarm_ok = rewarm.from_store && rewarm.end_state() == truth;
+
+        let ok = warm_ok && post_ok && rewarm_ok;
+        fail |= !ok;
+        println!(
+            "{:>10} | {:>9} {:>9.2} {:>9.2} | {:>4}  {}",
+            w.name,
+            cycles,
+            c_ms,
+            w_ms,
+            if warm_ok { "hit" } else { "MISS" },
+            if post_ok && rewarm_ok {
+                "detected+recovered"
+            } else {
+                "FAILED"
+            }
+        );
+    }
+    println!(
+        "\n{jobs} jobs: warm hits {warm_hits}/{jobs}, post-fault typed errors {fault_codes}/{jobs}, \
+         cold {cold_ms:.1} ms -> warm {warm_ms:.1} ms ({:.1}x)",
+        cold_ms / warm_ms.max(1e-9)
+    );
+    store_stats(&root.display().to_string());
+    if fail || warm_hits != jobs || fault_codes != jobs {
+        eprintln!("FAIL: store determinism gate (see rows above)");
+        std::process::exit(1);
+    }
+    println!("store determinism gate: OK (cold == warm == post-fault on every workload)");
+}
+
+/// `store-stats [store-root]`: on-disk inventory of a persistent store.
+fn store_stats(root: &str) {
+    hdr(&format!("Store inventory: {root}"));
+    let root = std::path::Path::new(root);
+    if !root.exists() {
+        println!("(no store at this root)");
+        return;
+    }
+    let count = |sub: &str| -> (u64, u64) {
+        std::fs::read_dir(root.join(sub))
+            .map(|d| {
+                d.flatten()
+                    .filter_map(|e| e.metadata().ok().map(|m| m.len()))
+                    .fold((0, 0), |(n, b), len| (n + 1, b + len))
+            })
+            .unwrap_or((0, 0))
+    };
+    for sub in ["objects", "results", "quarantine", "tmp"] {
+        let (n, bytes) = count(sub);
+        println!(
+            "{sub:>11}: {n:>4} entries, {:>8.1} KiB",
+            bytes as f64 / 1024.0
+        );
+    }
+}
+
+/// `store-campaign [root]`: the storage fault-injection campaign (see
+/// `muir_bench::store_campaign`). Exits non-zero unless every injected
+/// fault class surfaced typed and every end state matched the fault-free
+/// cold run.
+fn store_campaign(root: &str) {
+    hdr("Storage fault campaign: injected faults vs fault-free cold truth");
+    let root = std::path::Path::new(root);
+    let _ = std::fs::remove_dir_all(root);
+    let report = muir_bench::store_campaign::run_store_campaign(root);
+    print!("{report}");
+    if !report.all_pass() {
+        eprintln!("FAIL: storage fault campaign");
+        std::process::exit(1);
+    }
 }
 
 /// Differential fault campaign: 3 workloads × 6 fault classes × 3 seeded
@@ -348,7 +523,11 @@ fn bench(quick: bool, out: &str) {
     let compile = sched::measure_compile();
     print!("{}", sched::render_compile(&compile));
 
-    let json = sched::bench_json(&rows, &batch, &compile);
+    hdr("Store cold/warm: persistent result store over the quick set");
+    let store = sched::bench_store();
+    print!("{}", sched::render_store(&store));
+
+    let json = sched::bench_json(&rows, &batch, &compile, &store);
     if let Err(e) = sched::validate_bench_json(&json) {
         eprintln!("BENCH_sim.json schema violation: {e}");
         std::process::exit(1);

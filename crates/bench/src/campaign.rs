@@ -63,6 +63,11 @@ pub struct CaseResult {
     pub outcome: Outcome,
     /// Stable error code when the run errored.
     pub code: Option<&'static str>,
+    /// Full human-readable error text when the run errored. For a
+    /// `GraphRejected` case this carries the verifier's actual finding
+    /// (site + message), not just the `E-SIM-GRAPH` bucket — the code is
+    /// for counting, the detail is for debugging the cell.
+    pub detail: Option<String>,
     /// Faults the simulator recorded injecting.
     pub injected: u64,
     /// Whether the run's stats flagged the injection (always true for a
@@ -208,18 +213,30 @@ fn classify(
     result: Result<u64, SimError>,
     mem: &muir_mir::interp::Memory,
 ) -> CaseResult {
-    let (outcome, code, injected, flagged) = match result {
+    let (outcome, code, detail, injected, flagged) = match result {
         Ok(injected) => {
             if w.outputs_match(ref_mem, mem) {
-                (Outcome::Masked, None, injected, injected > 0)
+                (Outcome::Masked, None, None, injected, injected > 0)
             } else {
-                (Outcome::SilentCorruption, None, injected, injected > 0)
+                (
+                    Outcome::SilentCorruption,
+                    None,
+                    None,
+                    injected,
+                    injected > 0,
+                )
             }
         }
         Err(e @ (SimError::Deadlock { .. } | SimError::CycleLimitExhausted { .. })) => {
-            (Outcome::Hung, Some(e.code()), 1, true)
+            (Outcome::Hung, Some(e.code()), Some(e.to_string()), 1, true)
         }
-        Err(e) => (Outcome::Detected, Some(e.code()), 1, true),
+        Err(e) => (
+            Outcome::Detected,
+            Some(e.code()),
+            Some(e.to_string()),
+            1,
+            true,
+        ),
     };
     CaseResult {
         workload: workload.to_string(),
@@ -227,6 +244,7 @@ fn classify(
         seed,
         outcome,
         code,
+        detail,
         injected,
         flagged,
     }

@@ -9,6 +9,8 @@
 pub mod campaign;
 pub mod profile;
 pub mod sched;
+pub mod service;
+pub mod store_campaign;
 pub mod testgen;
 
 use muir_baselines::{CpuModel, HlsModel};

@@ -14,6 +14,7 @@
 
 use crate::baseline;
 use crate::profile::{parse_json, Json};
+use muir_core::compiled::CompiledAccel;
 use muir_sim::{simulate, FaultClass, FaultPlan, SchedulerKind, SimConfig, SimStats, TraceConfig};
 use muir_workloads::{all, by_name, Workload};
 use std::time::Instant;
@@ -469,6 +470,103 @@ pub fn measure_compile() -> Vec<CompileRow> {
         .collect()
 }
 
+/// Cold-vs-warm timing of the persistent result store over the quick
+/// set, as measured through the batch evaluation service.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreBench {
+    /// Jobs evaluated in each phase.
+    pub jobs: u64,
+    /// Wall time of the cold (populate) phase.
+    pub cold_ms: f64,
+    /// Wall time of the warm (all store hits) phase.
+    pub warm_ms: f64,
+    /// Store hits in the warm phase (must equal `jobs`).
+    pub hits: u64,
+    /// Store misses in the cold phase (must equal `jobs`).
+    pub misses: u64,
+}
+
+impl StoreBench {
+    /// Cold / warm wall-time ratio.
+    pub fn warm_speedup(&self) -> f64 {
+        if self.warm_ms > 0.0 {
+            self.cold_ms / self.warm_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Measure the store's cold-vs-warm cost on the quick set: one
+/// [`crate::service::EvalService`] per workload over a shared fresh
+/// store, then a second pass that must be served entirely from disk.
+///
+/// # Panics
+/// Panics if any evaluation fails or the warm pass misses the store —
+/// either is a store-layer bug, not a timing outcome.
+pub fn bench_store() -> StoreBench {
+    use crate::service::{EvalJob, EvalService, ServiceConfig};
+    use muir_store::Store;
+
+    let root = std::env::temp_dir().join(format!("muir-store-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut b = StoreBench {
+        jobs: 0,
+        cold_ms: 0.0,
+        warm_ms: 0.0,
+        hits: 0,
+        misses: 0,
+    };
+    for n in QUICK_SET {
+        let w = by_name(n).unwrap();
+        let comp = CompiledAccel::compile_cached(&crate::baseline(&w)).unwrap();
+        let job = EvalJob {
+            cfg: SimConfig::default(),
+            args: vec![],
+            mem: w.fresh_memory(),
+        };
+        b.jobs += 1;
+
+        let mut svc = EvalService::new(
+            comp.clone(),
+            Some(Store::open(&root)),
+            ServiceConfig::default(),
+        );
+        svc.submit(job.clone());
+        let t0 = Instant::now();
+        let cold = svc.drain();
+        b.cold_ms += t0.elapsed().as_secs_f64() * 1e3;
+        assert!(cold[0].outcome.is_ok(), "{n}: cold run failed");
+        b.misses += svc.store_stats().result_misses;
+
+        let mut svc = EvalService::new(comp, Some(Store::open(&root)), ServiceConfig::default());
+        svc.submit(job);
+        let t0 = Instant::now();
+        let warm = svc.drain();
+        b.warm_ms += t0.elapsed().as_secs_f64() * 1e3;
+        assert!(warm[0].from_store, "{n}: warm run missed the store");
+        b.hits += svc.store_stats().result_hits;
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    b
+}
+
+/// Render the store cold/warm measurement for the terminal.
+pub fn render_store(s: &StoreBench) -> String {
+    format!(
+        "{} jobs: cold {:.1} ms -> warm {:.1} ms ({:.1}x); \
+         {} cold misses, {} warm hits (hit rate {}/{})\n",
+        s.jobs,
+        s.cold_ms,
+        s.warm_ms,
+        s.warm_speedup(),
+        s.misses,
+        s.hits,
+        s.hits,
+        s.jobs
+    )
+}
+
 /// Benchmark the quick set or every workload; `reps` best-of runs each.
 pub fn bench_all(quick: bool, reps: u32) -> Vec<BenchRow> {
     let ws: Vec<Workload> = if quick {
@@ -488,9 +586,14 @@ pub fn geomean_speedup(rows: &[BenchRow]) -> f64 {
     (s / rows.len() as f64).exp()
 }
 
-/// Serialize rows, batch-throughput points, and per-workload sealing
-/// costs to the `BENCH_sim.json` document.
-pub fn bench_json(rows: &[BenchRow], batch: &[BatchPoint], compile: &[CompileRow]) -> String {
+/// Serialize rows, batch-throughput points, per-workload sealing costs,
+/// and the store cold/warm measurement to the `BENCH_sim.json` document.
+pub fn bench_json(
+    rows: &[BenchRow],
+    batch: &[BatchPoint],
+    compile: &[CompileRow],
+    store: &StoreBench,
+) -> String {
     let mut out = String::from("{\n  \"bench\": \"sim-scheduler\",\n  \"unit\": \"ms\",\n");
     out.push_str(&format!(
         "  \"geomean_speedup\": {:.4},\n  \"rows\": [\n",
@@ -547,7 +650,18 @@ pub fn bench_json(rows: &[BenchRow], batch: &[BatchPoint], compile: &[CompileRow
             if i + 1 < compile.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"store\": {{\"jobs\": {}, \"cold_ms\": {:.4}, \"warm_ms\": {:.4}, \
+         \"hits\": {}, \"misses\": {}, \"warm_speedup\": {:.4}}}\n",
+        store.jobs,
+        store.cold_ms,
+        store.warm_ms,
+        store.hits,
+        store.misses,
+        store.warm_speedup()
+    ));
+    out.push_str("}\n");
     out
 }
 
@@ -644,6 +758,41 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
                 }
             }
         }
+    }
+    let Some(store @ Json::Obj(_)) = doc.get("store") else {
+        return Err("missing `store` object".into());
+    };
+    for key in [
+        "jobs",
+        "cold_ms",
+        "warm_ms",
+        "hits",
+        "misses",
+        "warm_speedup",
+    ] {
+        match store.get(key) {
+            Some(Json::Num(v)) if v.is_finite() && *v >= 0.0 => {}
+            other => {
+                return Err(format!(
+                    "store: `{key}` must be a non-negative number, got {}",
+                    other.map_or("nothing", Json::type_name)
+                ))
+            }
+        }
+    }
+    // The warm pass must be a perfect hit run: misses populate, hits
+    // serve, counts both equal to the job count.
+    let num = |k: &str| match store.get(k) {
+        Some(Json::Num(v)) => *v,
+        _ => -1.0,
+    };
+    if num("jobs") < 1.0 || num("hits") != num("jobs") || num("misses") != num("jobs") {
+        return Err(format!(
+            "store: expected hits == misses == jobs >= 1, got jobs={} hits={} misses={}",
+            num("jobs"),
+            num("hits"),
+            num("misses")
+        ));
     }
     Ok(())
 }

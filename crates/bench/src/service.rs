@@ -1,0 +1,627 @@
+//! Fault-tolerant batch evaluation service over the persistent store.
+//!
+//! [`EvalService`] is a long-lived front end for evaluating design points
+//! of one sealed artifact: a sharded job queue feeding
+//! [`muir_sim::simulate_batch_compiled`] workers, with the robustness
+//! ladder wrapped around every evaluation:
+//!
+//! 1. **dedup before dispatch** — identical pending design points (same
+//!    artifact, config, arguments, and initial memory) coalesce to one
+//!    execution; every submitter gets the shared outcome;
+//! 2. **memoization** — results are looked up in the [`Store`] before any
+//!    simulation work; a warm hit skips the engine entirely;
+//! 3. **deadlines** — a per-job cycle budget is enforced cooperatively by
+//!    the simulator's own cycle-limit watchdog (the engine checks its
+//!    budget every cycle, so a runaway job stops at the deadline and
+//!    surfaces as the *transient* `E-SIM-LIMIT`);
+//! 4. **bounded retry with seeded backoff** — transient failures
+//!    ([`SimError::is_transient`]) are retried up to a bounded attempt
+//!    count with deterministic exponential backoff; each retry doubles
+//!    the cycle budget up to the job's own `max_cycles`, so a
+//!    deadline-clipped job gets a real second chance;
+//! 5. **degradation** — any store failure is recorded as a typed warning
+//!    (`E-STORE-*`) and the evaluation recomputes in memory; the store
+//!    can never fail a job, only fail to accelerate it.
+
+use muir_core::rng::SplitMix64;
+use muir_core::CompiledAccel;
+use muir_mir::interp::Memory;
+use muir_mir::value::Value;
+use muir_sim::{
+    end_state_hash, simulate_batch_compiled, simulate_compiled, BatchJob, SimConfig, SimError,
+    SimResult,
+};
+use muir_store::{memoizable, ResultKey, Store, StoredEval};
+use std::fmt;
+use std::sync::Arc;
+
+/// Retry policy for transient failures.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per job, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Base backoff in milliseconds; retry *k* sleeps roughly
+    /// `base · 2^(k-1)` plus seeded jitter below `base`. 0 disables
+    /// sleeping entirely (tests, CI).
+    pub base_backoff_ms: u64,
+    /// Seed of the jitter stream — backoff schedules are reproducible.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 0,
+            seed: 0x5e91_11ce,
+        }
+    }
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Queue shards; pending work lands in shard `key.job % shards` and
+    /// each shard is drained as one batch (≥ 1).
+    pub shards: usize,
+    /// Worker threads per batch dispatch.
+    pub threads: usize,
+    /// Per-job deadline as a cycle budget (0 = no deadline). Enforced
+    /// cooperatively: the job's `max_cycles` is clamped to this budget,
+    /// so the simulator's watchdog stops the run at the deadline.
+    pub deadline_cycles: u64,
+    /// Transient-failure retry policy.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 4,
+            threads: 1,
+            deadline_cycles: 0,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// One evaluation request: a design point to run on the service's sealed
+/// artifact.
+#[derive(Debug, Clone)]
+pub struct EvalJob {
+    /// Simulation parameters.
+    pub cfg: SimConfig,
+    /// Root-task arguments.
+    pub args: Vec<Value>,
+    /// Initial memory image.
+    pub mem: Memory,
+}
+
+/// The outcome of one submitted job, plus its provenance.
+#[derive(Debug)]
+pub struct EvalOutcome {
+    /// The simulation outcome — identical to a standalone
+    /// [`simulate_compiled`] call with the same inputs.
+    pub outcome: Result<SimResult, SimError>,
+    /// The memory image after the run (the submitted image, unchanged,
+    /// when the run failed before completing).
+    pub mem: Memory,
+    /// Whether the result came from the persistent store (no simulation
+    /// work was done for this submission).
+    pub from_store: bool,
+    /// Simulation attempts spent (0 for a store hit, 1 for a clean
+    /// first-try run, more after retries).
+    pub attempts: u32,
+    /// Whether this submission was deduplicated onto another identical
+    /// pending job's execution.
+    pub coalesced: bool,
+    /// Typed store warnings (`E-STORE-*` in each string) hit while
+    /// serving this job. Non-empty means the store degraded and the
+    /// result was recomputed in memory — never that the result is wrong.
+    pub store_warnings: Vec<String>,
+}
+
+impl EvalOutcome {
+    /// Content hash of the complete end state (outcome + final memory);
+    /// errors hash their display text.
+    pub fn end_state(&self) -> u64 {
+        match &self.outcome {
+            Ok(r) => end_state_hash(r, &self.mem),
+            Err(e) => {
+                let mut h = muir_core::ContentHasher::new();
+                h.push(e.to_string().as_bytes());
+                h.finish()
+            }
+        }
+    }
+}
+
+/// Aggregate counters of one service instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs submitted.
+    pub submitted: u64,
+    /// Distinct executions after dedup (groups).
+    pub executed_groups: u64,
+    /// Submissions served by coalescing onto an identical pending job.
+    pub coalesced: u64,
+    /// Groups served from the persistent store.
+    pub store_hits: u64,
+    /// Groups that missed the store (or had no store) and simulated.
+    pub recomputed: u64,
+    /// Retry attempts spent on transient failures.
+    pub retries: u64,
+    /// Jobs whose cycle budget was clipped by the service deadline.
+    pub deadline_clipped: u64,
+    /// Typed store errors degraded into warnings.
+    pub store_warnings: u64,
+}
+
+impl fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "service: {} submitted, {} executed groups, {} coalesced",
+            self.submitted, self.executed_groups, self.coalesced
+        )?;
+        writeln!(
+            f,
+            "  store hits {} / recomputed {} / warnings {}",
+            self.store_hits, self.recomputed, self.store_warnings
+        )?;
+        write!(
+            f,
+            "  retries {}, deadline-clipped {}",
+            self.retries, self.deadline_clipped
+        )
+    }
+}
+
+/// How one pending group will be served.
+struct Group {
+    /// Index of the representative submission.
+    rep: usize,
+    /// All submissions in the group (including `rep`).
+    members: Vec<usize>,
+    /// The group's store key (`None` when not memoizable).
+    key: Option<ResultKey>,
+    /// Store warnings accumulated while serving the group.
+    warnings: Vec<String>,
+}
+
+/// The batch evaluation service for one sealed artifact.
+pub struct EvalService {
+    comp: Arc<CompiledAccel>,
+    store: Option<Store>,
+    config: ServiceConfig,
+    pending: Vec<EvalJob>,
+    stats: ServiceStats,
+    /// Whether the artifact record has been persisted (it is written at
+    /// most once per service — with the first successful result
+    /// writeback, so a store that is never useful is never written to).
+    artifact_recorded: bool,
+}
+
+impl EvalService {
+    /// A service evaluating design points of `comp`, memoizing through
+    /// `store` (pass `None` to run purely in memory).
+    pub fn new(comp: Arc<CompiledAccel>, store: Option<Store>, config: ServiceConfig) -> Self {
+        EvalService {
+            comp,
+            store,
+            config,
+            pending: Vec::new(),
+            stats: ServiceStats::default(),
+            artifact_recorded: false,
+        }
+    }
+
+    /// Queue a job. Returns its submission index; [`EvalService::drain`]
+    /// returns outcomes at the same indices.
+    pub fn submit(&mut self, job: EvalJob) -> usize {
+        self.stats.submitted += 1;
+        self.pending.push(job);
+        self.pending.len() - 1
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// Store counters (zeroed default when the service has no store).
+    pub fn store_stats(&self) -> muir_store::StoreStats {
+        self.store.as_ref().map(Store::stats).unwrap_or_default()
+    }
+
+    /// The artifact this service evaluates.
+    pub fn artifact(&self) -> &CompiledAccel {
+        &self.comp
+    }
+
+    /// Evaluate every pending job and return outcomes in submission
+    /// order. Identical jobs coalesce; results come from the store when
+    /// possible, from (batched, sharded) simulation otherwise; completed
+    /// simulations are written back to the store.
+    pub fn drain(&mut self) -> Vec<EvalOutcome> {
+        let jobs = std::mem::take(&mut self.pending);
+        let mut groups = self.group(&jobs);
+        self.stats.executed_groups += groups.len() as u64;
+        self.stats.coalesced += (jobs.len() - groups.len()) as u64;
+
+        // Phase 1: store lookups. Hits fill their whole group; misses
+        // (and typed store failures, degraded to warnings) queue for
+        // simulation.
+        let mut outcomes: Vec<Option<EvalOutcome>> = (0..jobs.len()).map(|_| None).collect();
+        let mut to_run: Vec<Group> = Vec::new();
+        for mut g in groups.drain(..) {
+            if let Some(hit) = self.probe_store(g.key, &mut g.warnings) {
+                self.stats.store_hits += 1;
+                self.stats.store_warnings += g.warnings.len() as u64;
+                fill_group(&mut outcomes, &g, || EvalOutcome {
+                    outcome: Ok(hit.result.clone()),
+                    mem: hit.mem.clone(),
+                    from_store: true,
+                    attempts: 0,
+                    coalesced: false,
+                    store_warnings: g.warnings.clone(),
+                });
+            } else {
+                self.stats.recomputed += 1;
+                to_run.push(g);
+            }
+        }
+
+        // Phase 2: shard the groups that must simulate and drain each
+        // shard as one batch.
+        let nshards = self.config.shards.max(1);
+        let mut shards: Vec<Vec<Group>> = (0..nshards).map(|_| Vec::new()).collect();
+        for g in to_run {
+            let shard = g.key.map_or(g.rep, |k| k.job as usize) % nshards;
+            shards[shard].push(g);
+        }
+        for shard in shards {
+            if shard.is_empty() {
+                continue;
+            }
+            let batch: Vec<BatchJob> = shard
+                .iter()
+                .map(|g| {
+                    let job = &jobs[g.rep];
+                    BatchJob {
+                        args: job.args.clone(),
+                        mem: job.mem.clone(),
+                        cfg: self.clamp_deadline(&job.cfg, true),
+                    }
+                })
+                .collect();
+            let runs = simulate_batch_compiled(&self.comp, batch, self.config.threads);
+            for (mut g, run) in shard.into_iter().zip(runs) {
+                let (outcome, mem, attempts) =
+                    self.retry_transient(&jobs[g.rep], run.outcome, run.mem);
+                if let Ok(result) = &outcome {
+                    self.writeback(g.key, result, &mem, &mut g.warnings);
+                }
+                self.stats.store_warnings += g.warnings.len() as u64;
+                fill_group(&mut outcomes, &g, || EvalOutcome {
+                    outcome: outcome.clone(),
+                    mem: mem.clone(),
+                    from_store: false,
+                    attempts,
+                    coalesced: false,
+                    store_warnings: g.warnings.clone(),
+                });
+            }
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every submission received an outcome"))
+            .collect()
+    }
+
+    /// Group identical pending jobs. Keys are content hashes, so a
+    /// collision is possible in principle; membership is confirmed by
+    /// comparing the actual inputs against the representative, and a
+    /// non-matching job opens its own group. Non-memoizable jobs (key
+    /// `None`) never coalesce.
+    fn group(&mut self, jobs: &[EvalJob]) -> Vec<Group> {
+        let mut groups: Vec<Group> = Vec::new();
+        for (i, job) in jobs.iter().enumerate() {
+            let key = memoizable(&job.cfg)
+                .then(|| ResultKey::new(&self.comp, &job.cfg, &job.args, &job.mem));
+            let existing = groups
+                .iter_mut()
+                .find(|g| key.is_some() && g.key == key && jobs_identical(&jobs[g.rep], job));
+            match existing {
+                Some(g) => g.members.push(i),
+                None => groups.push(Group {
+                    rep: i,
+                    members: vec![i],
+                    key,
+                    warnings: Vec::new(),
+                }),
+            }
+        }
+        groups
+    }
+
+    /// The job's config with the service deadline applied. `count`
+    /// tallies the clip (true only on the initial dispatch, not on
+    /// retries).
+    fn clamp_deadline(&mut self, cfg: &SimConfig, count: bool) -> SimConfig {
+        let mut c = cfg.clone();
+        if self.config.deadline_cycles > 0 && c.max_cycles > self.config.deadline_cycles {
+            c.max_cycles = self.config.deadline_cycles;
+            if count {
+                self.stats.deadline_clipped += 1;
+            }
+        }
+        c
+    }
+
+    /// Bounded retry for transient failures, with deterministic
+    /// exponential backoff and a doubling cycle budget (never past the
+    /// job's own `max_cycles`).
+    fn retry_transient(
+        &mut self,
+        job: &EvalJob,
+        first: Result<SimResult, SimError>,
+        first_mem: Memory,
+    ) -> (Result<SimResult, SimError>, Memory, u32) {
+        let mut outcome = first;
+        let mut mem = first_mem;
+        let mut attempts = 1u32;
+        let mut budget = self.clamp_deadline(&job.cfg, false).max_cycles.max(1);
+        while attempts < self.config.retry.max_attempts.max(1) {
+            if !matches!(&outcome, Err(e) if e.is_transient()) {
+                break;
+            }
+            self.backoff(attempts, job);
+            budget = budget.saturating_mul(2).min(job.cfg.max_cycles.max(1));
+            let mut cfg = job.cfg.clone();
+            cfg.max_cycles = budget;
+            let mut m = job.mem.clone();
+            outcome = simulate_compiled(&self.comp, &mut m, &job.args, &cfg);
+            mem = m;
+            attempts += 1;
+            self.stats.retries += 1;
+        }
+        (outcome, mem, attempts)
+    }
+
+    /// Sleep the seeded exponential backoff before retry `attempt`
+    /// (no-op when `base_backoff_ms` is 0).
+    fn backoff(&self, attempt: u32, job: &EvalJob) {
+        let base = self.config.retry.base_backoff_ms;
+        if base == 0 {
+            return;
+        }
+        let salt = muir_sim::config_hash(&job.cfg) ^ u64::from(attempt);
+        let jitter = SplitMix64::salted(self.config.retry.seed, salt).below(base + 1);
+        let ms = base.saturating_mul(1 << attempt.min(16)) / 2 + jitter;
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+
+    /// Look up a group's memoized result; failures degrade to `None`
+    /// with a typed warning.
+    fn probe_store(
+        &mut self,
+        key: Option<ResultKey>,
+        warnings: &mut Vec<String>,
+    ) -> Option<StoredEval> {
+        let key = key?;
+        let store = self.store.as_mut()?;
+        match store.get_result(key) {
+            Ok(hit) => hit,
+            Err(e) => {
+                warnings.push(e.to_string());
+                None
+            }
+        }
+    }
+
+    /// Write a completed evaluation back to the store; failures degrade
+    /// to a typed warning.
+    fn writeback(
+        &mut self,
+        key: Option<ResultKey>,
+        result: &SimResult,
+        mem: &Memory,
+        warnings: &mut Vec<String>,
+    ) {
+        let (Some(key), Some(store)) = (key, self.store.as_mut()) else {
+            return;
+        };
+        let eval = StoredEval {
+            result: SimResult {
+                cycles: result.cycles,
+                results: result.results.clone(),
+                stats: result.stats.clone(),
+                profile: None,
+                trace: None,
+            },
+            mem: mem.clone(),
+        };
+        let mut put = store.put_result(key, &eval);
+        if let Err(e) = &put {
+            // Record the degradation even if the retry below repairs it.
+            warnings.push(e.to_string());
+            if e.is_transient() {
+                // One storage retry: rename/IO hiccups are the transient
+                // class the split exists for.
+                put = store.put_result(key, &eval);
+                if let Err(e2) = &put {
+                    warnings.push(e2.to_string());
+                }
+            }
+        }
+        if put.is_ok() && !self.artifact_recorded {
+            // The artifact record is durability metadata; best-effort,
+            // and written at most once per service.
+            match store.put_artifact(&self.comp) {
+                Ok(_) => self.artifact_recorded = true,
+                Err(e) => warnings.push(e.to_string()),
+            }
+        }
+    }
+}
+
+/// Exact input equality — the collision guard behind key-based dedup.
+/// `SimConfig` holds an `f64` and nested plans without `PartialEq`, so it
+/// is compared through its (complete) `Debug` rendering.
+fn jobs_identical(a: &EvalJob, b: &EvalJob) -> bool {
+    a.args == b.args && a.mem == b.mem && format!("{:?}", a.cfg) == format!("{:?}", b.cfg)
+}
+
+/// Store `make()` at every member slot of `g`, marking non-reps
+/// coalesced.
+fn fill_group(outcomes: &mut [Option<EvalOutcome>], g: &Group, make: impl Fn() -> EvalOutcome) {
+    for &m in &g.members {
+        let mut o = make();
+        o.coalesced = m != g.rep;
+        outcomes[m] = Some(o);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testgen::gen_case;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn test_root(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("muir-svc-test-{}-{tag}-{n}", std::process::id()))
+    }
+
+    /// A deterministic small case compiled for service tests.
+    fn sample(seed: u64) -> (Arc<CompiledAccel>, EvalJob) {
+        let case = gen_case(seed, 1);
+        let comp = CompiledAccel::compile_cached(&case.build()).unwrap();
+        let job = EvalJob {
+            cfg: case.cfg.clone(),
+            args: vec![],
+            mem: case.fresh_memory(),
+        };
+        (comp, job)
+    }
+
+    #[test]
+    fn identical_jobs_coalesce_to_one_execution() {
+        let (comp, job) = sample(0x11);
+        let mut distinct = job.clone();
+        distinct.cfg.window = job.cfg.window + 1;
+        let mut svc = EvalService::new(comp, None, ServiceConfig::default());
+        for _ in 0..3 {
+            svc.submit(job.clone());
+        }
+        svc.submit(distinct);
+        let out = svc.drain();
+        let s = svc.stats();
+        assert_eq!((s.submitted, s.executed_groups, s.coalesced), (4, 2, 2));
+        assert!(!out[0].coalesced && out[1].coalesced && out[2].coalesced);
+        assert_eq!(out[0].end_state(), out[1].end_state());
+        assert_eq!(out[0].end_state(), out[2].end_state());
+        assert!(out.iter().all(|o| o.outcome.is_ok()), "all complete");
+    }
+
+    #[test]
+    fn warm_drain_is_served_entirely_from_store() {
+        let root = test_root("warm");
+        let (comp, job) = sample(0x22);
+        let store = Store::open(&root);
+        let mut svc = EvalService::new(comp, Some(store), ServiceConfig::default());
+        svc.submit(job.clone());
+        let cold = svc.drain();
+        assert!(!cold[0].from_store && cold[0].attempts == 1);
+        svc.submit(job);
+        let warm = svc.drain();
+        assert!(warm[0].from_store, "second drain must hit the store");
+        assert_eq!(warm[0].attempts, 0, "no simulation work on a hit");
+        assert_eq!(cold[0].end_state(), warm[0].end_state(), "bit-identical");
+        let ss = svc.store_stats();
+        assert_eq!((ss.result_puts, ss.result_hits), (1, 1));
+        assert_eq!(svc.stats().store_hits, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn deadline_clip_surfaces_transient_and_retry_recovers() {
+        let (comp, job) = sample(0x33);
+        // The unconstrained truth, for comparison.
+        let mut probe = EvalService::new(comp.clone(), None, ServiceConfig::default());
+        probe.submit(job.clone());
+        let truth = probe.drain()[0].end_state();
+
+        // An absurdly tight deadline: the first attempt must hit the
+        // watchdog; the doubling retry budget recovers within the
+        // attempt bound.
+        let cfg = ServiceConfig {
+            deadline_cycles: 4,
+            retry: RetryPolicy {
+                max_attempts: 16,
+                ..RetryPolicy::default()
+            },
+            ..ServiceConfig::default()
+        };
+        let mut svc = EvalService::new(comp, None, cfg);
+        svc.submit(job);
+        let out = svc.drain();
+        assert!(
+            out[0].outcome.is_ok(),
+            "retry must recover: {:?}",
+            out[0].outcome
+        );
+        assert_eq!(out[0].end_state(), truth, "recovered run is the true run");
+        assert!(out[0].attempts >= 2, "the clipped attempt must have failed");
+        let s = svc.stats();
+        assert_eq!(s.deadline_clipped, 1);
+        assert_eq!(u64::from(out[0].attempts) - 1, s.retries);
+    }
+
+    #[test]
+    fn disabled_store_degrades_to_recompute_with_typed_warning() {
+        let root = test_root("disabled");
+        std::fs::create_dir_all(&root).unwrap();
+        let file = root.join("occupied");
+        std::fs::write(&file, b"x").unwrap();
+        let (comp, job) = sample(0x44);
+        let store = Store::open(&file.join("sub"));
+        assert!(store.is_disabled());
+        let mut svc = EvalService::new(comp, Some(store), ServiceConfig::default());
+        svc.submit(job);
+        let out = svc.drain();
+        assert!(out[0].outcome.is_ok(), "degradation never fails the job");
+        assert!(!out[0].from_store);
+        assert!(
+            out[0]
+                .store_warnings
+                .iter()
+                .any(|w| w.contains("E-STORE-DISABLED")),
+            "typed warning expected, got {:?}",
+            out[0].store_warnings
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn traced_jobs_bypass_the_store() {
+        let root = test_root("traced");
+        let (comp, mut job) = sample(0x55);
+        job.cfg.trace = muir_sim::TraceConfig::on();
+        let store = Store::open(&root);
+        let mut svc = EvalService::new(comp, Some(store), ServiceConfig::default());
+        svc.submit(job.clone());
+        svc.submit(job);
+        let out = svc.drain();
+        // Not memoizable: no coalescing, no store traffic, trace present.
+        assert_eq!(svc.stats().coalesced, 0);
+        assert_eq!(svc.store_stats().result_puts, 0);
+        assert!(out
+            .iter()
+            .all(|o| o.outcome.as_ref().unwrap().trace.is_some()));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -207,11 +207,12 @@ impl CompiledAccel {
         let compiled = Arc::new(CompiledAccel::compile(acc)?);
         let mut c = cache.lock().expect("compile cache");
         if !c.map.contains_key(&hash) {
-            if c.map.len() >= CACHE_CAP {
+            if c.map.len() >= c.cap {
                 // Evict the oldest insertion: fuzz/campaign streams touch
                 // thousands of distinct graphs and must not pin them all.
                 if let Some(old) = c.fifo.pop_front() {
                     c.map.remove(&old);
+                    c.evictions += 1;
                 }
             }
             c.map.insert(hash, Arc::clone(&compiled));
@@ -261,13 +262,26 @@ impl CompiledAccel {
     }
 }
 
-const CACHE_CAP: usize = 64;
+/// Default capacity of the process-local compile cache (overridable via
+/// the `MUIR_COMPILE_CACHE_CAP` environment variable, read once at first
+/// use; invalid or zero values fall back to the default).
+pub const DEFAULT_CACHE_CAP: usize = 64;
+
+fn cache_cap_from_env() -> usize {
+    std::env::var("MUIR_COMPILE_CACHE_CAP")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&cap| cap > 0)
+        .unwrap_or(DEFAULT_CACHE_CAP)
+}
 
 struct Cache {
     map: HashMap<u64, Arc<CompiledAccel>>,
     fifo: VecDeque<u64>,
+    cap: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 fn cache() -> &'static Mutex<Cache> {
@@ -276,8 +290,10 @@ fn cache() -> &'static Mutex<Cache> {
         Mutex::new(Cache {
             map: HashMap::new(),
             fifo: VecDeque::new(),
+            cap: cache_cap_from_env(),
             hits: 0,
             misses: 0,
+            evictions: 0,
         })
     })
 }
@@ -291,6 +307,11 @@ pub struct CacheStats {
     pub misses: u64,
     /// Artifacts currently resident.
     pub entries: usize,
+    /// Artifacts evicted to stay within `capacity`.
+    pub evictions: u64,
+    /// Configured capacity (`MUIR_COMPILE_CACHE_CAP`, default
+    /// [`DEFAULT_CACHE_CAP`]).
+    pub capacity: usize,
 }
 
 impl CacheStats {
@@ -305,13 +326,15 @@ impl CacheStats {
     }
 }
 
-/// Snapshot the compile cache's hit/miss counters.
+/// Snapshot the compile cache's hit/miss/eviction counters.
 pub fn cache_stats() -> CacheStats {
     let c = cache().lock().expect("compile cache");
     CacheStats {
         hits: c.hits,
         misses: c.misses,
         entries: c.map.len(),
+        evictions: c.evictions,
+        capacity: c.cap,
     }
 }
 
@@ -325,15 +348,28 @@ fn mix(word: u64) -> u64 {
 }
 
 /// Streams bytes into a splitmix64-based fold, 8 bytes per absorption.
-struct ContentHasher {
+///
+/// This is the repo's one stable content-hash primitive: the compile
+/// cache, the persistent store's payload checksums (`muir-store`), and
+/// the memoization keys over `SimConfig`/`SimResult` all fold through it,
+/// so every layer agrees on what "same content" means.
+pub struct ContentHasher {
     state: u64,
     pending: u64,
     npending: u32,
     len: u64,
 }
 
+impl Default for ContentHasher {
+    fn default() -> Self {
+        ContentHasher::new()
+    }
+}
+
 impl ContentHasher {
-    fn new() -> ContentHasher {
+    /// A fresh hasher (fixed initial state: hashes are stable across
+    /// processes and runs).
+    pub fn new() -> ContentHasher {
         ContentHasher {
             state: 0x5ea1_0000_c0de_0001,
             pending: 0,
@@ -346,7 +382,8 @@ impl ContentHasher {
         self.state = mix(self.state ^ word);
     }
 
-    fn push(&mut self, bytes: &[u8]) {
+    /// Absorb raw bytes (little-endian packed into 64-bit words).
+    pub fn push(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.pending |= u64::from(b) << (8 * self.npending);
             self.npending += 1;
@@ -360,7 +397,8 @@ impl ContentHasher {
         self.len += bytes.len() as u64;
     }
 
-    fn finish(mut self) -> u64 {
+    /// Finalize: flush the partial word and bind the total length.
+    pub fn finish(mut self) -> u64 {
         // Flush the partial word and bind the total length so prefixes
         // never collide with their extensions.
         let tail = self.pending;

@@ -25,6 +25,7 @@ pub mod accel;
 pub mod compiled;
 pub mod dataflow;
 pub mod dot;
+pub mod envelope;
 pub mod hw;
 pub mod node;
 pub mod printer;
@@ -37,7 +38,7 @@ pub use accel::{
     Accelerator, ArgExpr, LoopSpec, MemConnection, ResultInit, TaskBlock, TaskConnection, TaskId,
     TaskKind,
 };
-pub use compiled::{content_hash, CompiledAccel, CompiledTask};
+pub use compiled::{content_hash, CompiledAccel, CompiledTask, ContentHasher};
 pub use dataflow::{Buffering, Dataflow, Edge, EdgeIndex, EdgeKind, Junction, JunctionId, NodeId};
 pub use node::{FusedInput, FusedPlan, FusedStep, Node, NodeKind, OpKind};
 pub use structure::{Structure, StructureId, StructureKind};

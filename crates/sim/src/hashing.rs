@@ -1,0 +1,236 @@
+//! Content hashes over simulation inputs and outcomes.
+//!
+//! The persistent result store keys memoized evaluations by
+//! `(hash(artifact), hash(job))` and proves determinism by comparing
+//! `hash(end state)` across cold, warm, and post-fault runs. Both sides
+//! use the same splitmix64 fold ([`muir_core::ContentHasher`]) as the
+//! compile cache, so "same bytes" means the same thing at every layer.
+//!
+//! Two normalization rules keep the keys honest:
+//!
+//! * **scheduler and threads are excluded** from [`config_hash`]: the
+//!   determinism contract (DESIGN.md §9–§10) guarantees bit-identical
+//!   observables across `Dense`/`Ready`/`Parallel` at any thread count,
+//!   so a result computed under one scheduler is a valid warm hit for
+//!   any other;
+//! * **`sched_visits` is excluded** from [`result_hash`]: it counts
+//!   simulator effort, not hardware behaviour, and legitimately differs
+//!   between schedulers.
+
+use crate::{SimConfig, SimResult};
+use muir_core::ContentHasher;
+use muir_mir::interp::Memory;
+use muir_mir::value::Value;
+
+fn push_str(h: &mut ContentHasher, s: &str) {
+    h.push(&(s.len() as u64).to_le_bytes());
+    h.push(s.as_bytes());
+}
+
+fn push_u64(h: &mut ContentHasher, v: u64) {
+    h.push(&v.to_le_bytes());
+}
+
+fn push_value(h: &mut ContentHasher, v: &Value) {
+    // Debug on Value renders f32 via shortest-round-trip, so distinct bit
+    // patterns of interest (other than NaN payloads) stay distinct and the
+    // rendering is deterministic.
+    push_str(h, &format!("{v:?}"));
+}
+
+/// Hash the parts of a [`SimConfig`] that can affect simulation
+/// observables. Scheduler choice and thread count are deliberately
+/// excluded (see module docs); tracing is excluded too because traces are
+/// never stored — the store layer refuses tracing configs instead.
+pub fn config_hash(cfg: &SimConfig) -> u64 {
+    let mut h = ContentHasher::new();
+    push_str(&mut h, "cfg-v1");
+    push_u64(&mut h, cfg.max_cycles);
+    push_u64(&mut h, cfg.window);
+    push_u64(&mut h, cfg.period_ns.to_bits());
+    push_u64(&mut h, cfg.deadlock_cycles);
+    push_u64(&mut h, u64::from(cfg.databox_entries));
+    push_u64(&mut h, u64::from(cfg.elastic_depth));
+    push_u64(&mut h, cfg.faults.seed);
+    push_u64(&mut h, cfg.faults.specs.len() as u64);
+    for spec in &cfg.faults.specs {
+        push_str(&mut h, spec.class.name());
+        push_u64(&mut h, u64::from(spec.rate_ppm));
+        push_u64(&mut h, u64::from(spec.max_events));
+    }
+    h.finish()
+}
+
+/// Hash one evaluation job: configuration plus the run's actual inputs
+/// (root arguments and the initial memory image). This is the `job` half
+/// of the store's result key — strictly finer than hashing the config
+/// alone, so two design points that share a config but differ in data can
+/// never collide onto one memoized result.
+pub fn job_hash(cfg: &SimConfig, args: &[Value], mem: &Memory) -> u64 {
+    let mut h = ContentHasher::new();
+    push_str(&mut h, "job-v1");
+    push_u64(&mut h, config_hash(cfg));
+    push_u64(&mut h, args.len() as u64);
+    for a in args {
+        push_value(&mut h, a);
+    }
+    push_u64(&mut h, mem.bases.len() as u64);
+    for b in &mem.bases {
+        push_u64(&mut h, *b);
+    }
+    push_u64(&mut h, mem.objects.len() as u64);
+    for obj in &mem.objects {
+        push_u64(&mut h, obj.len() as u64);
+        for v in obj {
+            push_value(&mut h, v);
+        }
+    }
+    h.finish()
+}
+
+/// Hash a simulation outcome: cycles, root results, and every stat that is
+/// a hardware observable. `sched_visits`, `profile`, and `trace` are
+/// excluded (simulator-effort / observability artifacts, not behaviour).
+pub fn result_hash(r: &SimResult) -> u64 {
+    let mut h = ContentHasher::new();
+    push_str(&mut h, "res-v1");
+    push_u64(&mut h, r.cycles);
+    push_u64(&mut h, r.results.len() as u64);
+    for v in &r.results {
+        push_value(&mut h, v);
+    }
+    let s = &r.stats;
+    push_u64(&mut h, s.cycles);
+    push_u64(&mut h, s.fires);
+    push_u64(&mut h, s.task_invocations.len() as u64);
+    for v in &s.task_invocations {
+        push_u64(&mut h, *v);
+    }
+    push_u64(&mut h, s.task_busy_cycles.len() as u64);
+    for v in &s.task_busy_cycles {
+        push_u64(&mut h, *v);
+    }
+    push_u64(&mut h, s.struct_stats.len() as u64);
+    for st in &s.struct_stats {
+        push_u64(&mut h, st.requests);
+        push_u64(&mut h, st.elem_txns);
+        push_u64(&mut h, st.conflict_stalls);
+        push_u64(&mut h, st.hits);
+        push_u64(&mut h, st.misses);
+        push_u64(&mut h, st.writebacks);
+        push_u64(&mut h, st.ecc_corrected);
+    }
+    push_u64(&mut h, s.dram_fills);
+    push_u64(&mut h, s.faults.token_bit_flip);
+    push_u64(&mut h, s.faults.token_drop);
+    push_u64(&mut h, s.faults.token_dup);
+    push_u64(&mut h, s.faults.stuck_handshake);
+    push_u64(&mut h, s.faults.mem_ecc);
+    push_u64(&mut h, s.faults.dram_timeout);
+    h.finish()
+}
+
+/// Hash the complete end state of an evaluation: the outcome plus the
+/// final memory image. This is what the store's differential campaign
+/// compares across cold / warm / post-fault runs.
+pub fn end_state_hash(r: &SimResult, mem: &Memory) -> u64 {
+    let mut h = ContentHasher::new();
+    push_str(&mut h, "end-v1");
+    push_u64(&mut h, result_hash(r));
+    push_u64(&mut h, mem.bases.len() as u64);
+    for b in &mem.bases {
+        push_u64(&mut h, *b);
+    }
+    push_u64(&mut h, mem.objects.len() as u64);
+    for obj in &mem.objects {
+        push_u64(&mut h, obj.len() as u64);
+        for v in obj {
+            push_value(&mut h, v);
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SchedulerKind;
+
+    #[test]
+    fn config_hash_ignores_scheduler_and_threads() {
+        let base = SimConfig::default();
+        let h = config_hash(&base);
+        for sched in [
+            SchedulerKind::Dense,
+            SchedulerKind::Ready,
+            SchedulerKind::Parallel,
+        ] {
+            for threads in [1, 2, 8] {
+                let cfg = base.clone().with_scheduler(sched).with_threads(threads);
+                assert_eq!(config_hash(&cfg), h, "{sched:?} @ {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn config_hash_sees_every_observable_knob() {
+        let base = SimConfig::default();
+        let h = config_hash(&base);
+        let mut c = base.clone();
+        c.max_cycles += 1;
+        assert_ne!(config_hash(&c), h);
+        let mut c = base.clone();
+        c.window += 1;
+        assert_ne!(config_hash(&c), h);
+        let mut c = base.clone();
+        c.deadlock_cycles += 1;
+        assert_ne!(config_hash(&c), h);
+        let mut c = base.clone();
+        c.databox_entries += 1;
+        assert_ne!(config_hash(&c), h);
+        let mut c = base.clone();
+        c.elastic_depth += 1;
+        assert_ne!(config_hash(&c), h);
+        let mut c = base.clone();
+        c.faults = crate::FaultPlan::single(crate::FaultClass::TokenDrop, 1);
+        assert_ne!(config_hash(&c), h);
+    }
+
+    #[test]
+    fn job_hash_sees_args_and_memory() {
+        let cfg = SimConfig::default();
+        let mem = Memory {
+            objects: vec![],
+            bases: vec![],
+        };
+        let h = job_hash(&cfg, &[], &mem);
+        assert_eq!(job_hash(&cfg, &[], &mem), h, "deterministic");
+        assert_ne!(job_hash(&cfg, &[Value::Int(1)], &mem), h, "args");
+        let mem2 = Memory {
+            objects: vec![vec![Value::Int(7)]],
+            bases: vec![0],
+        };
+        assert_ne!(job_hash(&cfg, &[], &mem2), h, "memory");
+    }
+
+    #[test]
+    fn result_hash_ignores_sched_visits_and_observability() {
+        let mut r = SimResult {
+            cycles: 10,
+            results: vec![Value::Int(3)],
+            stats: crate::SimStats {
+                cycles: 10,
+                fires: 5,
+                sched_visits: 100,
+                ..crate::SimStats::default()
+            },
+            profile: None,
+            trace: None,
+        };
+        let h = result_hash(&r);
+        r.stats.sched_visits = 999_999;
+        assert_eq!(result_hash(&r), h, "sched_visits is simulator effort");
+        r.cycles = 11;
+        assert_ne!(result_hash(&r), h, "cycles are observable");
+    }
+}

@@ -45,6 +45,7 @@
 mod engine;
 pub mod error;
 pub mod fault;
+pub mod hashing;
 pub mod memory;
 pub mod trace;
 
@@ -52,6 +53,7 @@ pub use error::{
     BufferSuggestion, ChannelState, DeadlockReport, FaultKind, SimError, StuckTile, WaitEdge,
 };
 pub use fault::{Ecc, FaultClass, FaultCounts, FaultPlan, FaultSpec};
+pub use hashing::{config_hash, end_state_hash, job_hash, result_hash};
 pub use memory::StructStats;
 pub use trace::{
     Bottleneck, BottleneckKind, BottleneckReport, ChannelProfile, NodeProfile, SimProfile,

@@ -1338,9 +1338,23 @@ fn simulate_batch_rejects_corrupt_graph_per_job() {
         cfg: SimConfig::default(),
     }];
     let runs = crate::simulate_batch(&acc, jobs, 2);
-    assert!(
-        matches!(runs[0].outcome, Err(SimError::GraphRejected { .. })),
-        "corrupt graph must reject, got {:?}",
-        runs[0].outcome.as_ref().map(|r| r.cycles)
-    );
+    let err = match &runs[0].outcome {
+        Err(e @ SimError::GraphRejected { .. }) => e,
+        other => panic!(
+            "corrupt graph must reject, got {:?}",
+            other.as_ref().map(|r| r.cycles)
+        ),
+    };
+    // The batch mapping must carry the verifier's actual finding — the
+    // failure site and message — not just the E-SIM-GRAPH bucket.
+    let rendered = err.to_string();
+    assert_eq!(err.code(), "E-SIM-GRAPH");
+    assert!(rendered.contains("unconnected"), "{rendered}");
+    match err {
+        SimError::GraphRejected { source } => {
+            assert!(!source.at.is_empty(), "verify error names a site");
+            assert!(!source.message.is_empty(), "verify error carries text");
+        }
+        _ => unreachable!(),
+    }
 }

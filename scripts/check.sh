@@ -1,8 +1,10 @@
 #!/bin/sh
-# Repo hygiene gate: formatting, lints on the IR/frontend/simulator/
-# transform/bench crates, the tier-1 test suite, the trace-exporter
-# schema gate, the sealed-artifact determinism gate (compile twice ->
-# identical content hash; no-op pass pipeline -> hash unchanged), the
+# Repo hygiene gate: formatting, lints on every workspace crate, the
+# tier-1 test suite, the trace-exporter schema gate, the sealed-artifact
+# determinism gate (compile twice -> identical content hash; no-op pass
+# pipeline -> hash unchanged), the store determinism gate (cold/warm/
+# post-fault over the full workload suite), the storage fault campaign
+# (4 injected fault classes x plain/sim-faulted differential), the
 # seeded graph-fuzz smoke (30 graphs, every scheduler at 1/2/4/8
 # threads), and the scheduler benchmark gate (Dense vs Ready vs
 # Parallel@2 differential + BENCH_sim.json). Each tool-dependent stage
@@ -20,7 +22,7 @@ else
 fi
 
 if command -v cargo >/dev/null 2>&1 && cargo clippy --version >/dev/null 2>&1; then
-    for crate in muir-mir muir-frontend muir-sim muir-uopt muir-bench; do
+    for crate in muir-mir muir-frontend muir-sim muir-uopt muir-rtl muir-workloads muir-store muir-bench; do
         echo "== cargo clippy -p $crate (warnings are errors) =="
         cargo clippy -p "$crate" --all-targets -- -D warnings
     done
@@ -36,6 +38,12 @@ cargo run -q -p muir-bench --bin experiments -- trace-schema scripts/trace_schem
 
 echo "== artifact determinism (compile twice + no-op pipeline, all workloads) =="
 cargo run -q -p muir-bench --bin experiments -- compile-stats
+
+echo "== store determinism gate (cold/warm/post-fault, all workloads) =="
+cargo run --release -q -p muir-bench --bin experiments -- serve target/store-check
+
+echo "== storage fault campaign (4 classes x plain/sim-faulted) =="
+cargo run --release -q -p muir-bench --bin experiments -- store-campaign target/store-campaign-check
 
 echo "== graph-fuzz smoke (30 seeded graphs, all schedulers) =="
 cargo run --release -q -p muir-bench --bin experiments -- fuzz --graphs 30 --seed 0xc1
