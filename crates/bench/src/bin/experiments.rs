@@ -5,7 +5,8 @@
 //!     table3|fig11|fig12|fig15|fig16|fig17|fig18|table4|faults|--selftest|
 //!     profile <workload> [outdir]|trace-schema [schema.json]|
 //!     bench [--quick] [out.json]|fuzz [--graphs N] [--seed S]|
-//!     serve [store-root]|store-stats [store-root]|store-campaign [root]]
+//!     serve [store-root]|store-stats [store-root]|store-campaign [root]|
+//!     metrics <workload> [outdir]|stats]
 //! ```
 //!
 //! `faults` runs the differential fault-injection campaign (see
@@ -17,6 +18,13 @@
 //! `trace.vcd` next to a printed utilization/stall/bottleneck report;
 //! `trace-schema` regenerates a golden trace and validates it against the
 //! checked-in `scripts/trace_schema.json` (the CI exporter gate).
+//!
+//! `metrics <workload>` runs one instrumented capture through the eval
+//! service — cold (dedup + compile + simulate + writeback), traced, warm
+//! (store hit), and deadline-clipped (retry) — then writes a merged
+//! service+sim Perfetto trace and a schema-validated metrics snapshot
+//! (the telemetry CI gate); `stats` prints the unified
+//! cache/store/service/sim report from the registry.
 
 use muir_bench::{
     baseline, fig11_point, fig12_sweep, fig15_point, fig16_sweep, fig18_point, fig9_point,
@@ -93,6 +101,21 @@ fn main() {
     }
     if which == "compile-stats" {
         compile_stats();
+        return;
+    }
+    if which == "metrics" {
+        let name = std::env::args().nth(2).unwrap_or_else(|| {
+            eprintln!("usage: experiments metrics <workload> [outdir]");
+            std::process::exit(2);
+        });
+        let outdir = std::env::args()
+            .nth(3)
+            .unwrap_or_else(|| format!("target/metrics/{}", name.to_lowercase()));
+        metrics(&name, &outdir);
+        return;
+    }
+    if which == "stats" {
+        stats_report();
         return;
     }
     if which == "serve" {
@@ -233,6 +256,8 @@ fn serve(root: &str) {
     use muir_store::{Store, StoreFaultClass, StoreFaultPlan};
 
     hdr("Eval service: cold / warm / post-fault determinism over the workload suite");
+    muir_core::telemetry::set_enabled(true);
+    muir_core::telemetry::reset();
     let root = std::path::Path::new(root);
     let _ = std::fs::remove_dir_all(root);
     let open = || Store::open(root);
@@ -321,6 +346,19 @@ fn serve(root: &str) {
         cold_ms / warm_ms.max(1e-9)
     );
     store_stats(&root.display().to_string());
+    {
+        use muir_core::telemetry;
+        telemetry::set_enabled(false);
+        let snap = telemetry::snapshot();
+        hdr("Registry metrics (service / store / compile, whole run)");
+        for c in snap
+            .counters
+            .iter()
+            .filter(|c| !c.0.starts_with("sim.") && !c.0.starts_with("stats."))
+        {
+            println!("  {:<28} {}", c.0, c.1);
+        }
+    }
     if fail || warm_hits != jobs || fault_codes != jobs {
         eprintln!("FAIL: store determinism gate (see rows above)");
         std::process::exit(1);
@@ -352,6 +390,230 @@ fn store_stats(root: &str) {
             bytes as f64 / 1024.0
         );
     }
+    let snap = muir_core::telemetry::snapshot();
+    let io: Vec<_> = snap
+        .counters
+        .iter()
+        .filter(|c| c.0.starts_with("store."))
+        .collect();
+    if !io.is_empty() {
+        println!("live store counters (this process):");
+        for c in io {
+            println!("  {:<28} {}", c.0, c.1);
+        }
+    }
+}
+
+/// `metrics <workload> [outdir]`: one instrumented end-to-end capture
+/// through the eval service. Writes `trace.json` (merged service+sim
+/// Perfetto timeline) and `metrics.json` (registry snapshot), validates
+/// both against the checked-in schemas (exits non-zero on violation),
+/// prints the unified report and Prometheus exposition, and measures the
+/// telemetry-disabled vs -enabled drain overhead.
+fn metrics(name: &str, outdir: &str) {
+    use muir_bench::service::{EvalJob, EvalService, RetryPolicy, ServiceConfig};
+    use muir_bench::telemetry_gate as gate;
+    use muir_core::compiled::{cache_stats, CompiledAccel};
+    use muir_core::telemetry;
+    use muir_store::Store;
+
+    let Some(w) = by_name(name) else {
+        eprintln!("unknown workload `{name}`");
+        std::process::exit(2);
+    };
+    hdr(&format!(
+        "Telemetry capture: {} through the eval service",
+        w.name
+    ));
+    let outroot = std::path::Path::new(outdir);
+    let _ = std::fs::remove_dir_all(outroot);
+    std::fs::create_dir_all(outroot).unwrap_or_else(|e| panic!("create {outdir}: {e}"));
+
+    let acc = baseline(&w);
+    let plain = || EvalJob {
+        cfg: muir_sim::SimConfig::default(),
+        args: vec![],
+        mem: w.fresh_memory(),
+    };
+
+    telemetry::set_enabled(true);
+    telemetry::reset();
+
+    // Cold drain: dedup (two identical jobs), a traced job for the merged
+    // export, first-touch compile, sharded simulation, store writeback.
+    let comp = CompiledAccel::compile_cached(&acc).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let store_root = outroot.join("store");
+    let mut svc = EvalService::new(
+        comp.clone(),
+        Some(Store::open(&store_root)),
+        ServiceConfig::default(),
+    );
+    svc.submit(plain());
+    svc.submit(plain());
+    let mut traced = plain();
+    traced.cfg.trace = muir_sim::TraceConfig::on();
+    let ti = svc.submit(traced);
+    let cold = svc.drain();
+    assert!(
+        cold.iter().all(|o| o.outcome.is_ok()),
+        "{name}: cold drain failed"
+    );
+    let trace = cold[ti].outcome.as_ref().expect("checked ok").trace.clone();
+
+    // Warm drain: a fresh service over the same store serves from disk.
+    let mut warm_svc = EvalService::new(
+        comp.clone(),
+        Some(Store::open(&store_root)),
+        ServiceConfig::default(),
+    );
+    warm_svc.submit(plain());
+    let warm = warm_svc.drain();
+    assert!(warm[0].from_store, "{name}: warm drain must hit the store");
+
+    // Deadline-clipped service: the tight budget forces a transient
+    // `E-SIM-LIMIT` and the doubling retry recovers — retry spans.
+    let tight = ServiceConfig {
+        deadline_cycles: 4,
+        retry: RetryPolicy {
+            max_attempts: 32,
+            ..RetryPolicy::default()
+        },
+        ..ServiceConfig::default()
+    };
+    let mut clip_svc = EvalService::new(comp, None, tight);
+    clip_svc.submit(plain());
+    let clipped = clip_svc.drain();
+    assert!(clipped[0].outcome.is_ok(), "{name}: retry must recover");
+
+    // Merged Perfetto export: service spans above the sim's event tracks.
+    let spans = telemetry::spans();
+    let merged = gate::merged_chrome_json(&spans, trace.as_ref());
+    let trace_path = outroot.join("trace.json");
+    std::fs::write(&trace_path, &merged).unwrap_or_else(|e| panic!("write trace.json: {e}"));
+    match std::fs::read_to_string("scripts/trace_schema.json") {
+        Ok(schema) => match muir_bench::profile::validate_trace_json(&merged, &schema) {
+            Ok(s) => println!(
+                "merged trace: {} events ({} service spans) -> {} [schema OK]",
+                s.events,
+                spans.len(),
+                trace_path.display()
+            ),
+            Err(e) => {
+                eprintln!("FAIL: merged trace violates scripts/trace_schema.json: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(_) => println!(
+            "merged trace -> {} (scripts/trace_schema.json not found; validation skipped)",
+            trace_path.display()
+        ),
+    }
+    for s in &spans {
+        println!(
+            "  span [{}] {:<20} depth {} +{:>7}us {:>7}us  {}",
+            s.cat, s.name, s.depth, s.start_us, s.dur_us, s.detail
+        );
+    }
+
+    // Snapshot: mirror the authoritative structs into `stats.*` gauges,
+    // write the JSON exposition, and gate it on the schema.
+    gate::mirror_stats(
+        &cache_stats(),
+        Some(&warm_svc.store_stats()),
+        Some(&svc.stats()),
+    );
+    let snap = telemetry::snapshot();
+    let json = snap.to_json();
+    let metrics_path = outroot.join("metrics.json");
+    std::fs::write(&metrics_path, &json).unwrap_or_else(|e| panic!("write metrics.json: {e}"));
+    match std::fs::read_to_string("scripts/metrics_schema.json") {
+        Ok(schema) => match gate::validate_metrics_json(&json, &schema) {
+            Ok(s) => println!(
+                "metrics snapshot: {} counters, {} gauges, {} histograms -> {} [schema OK]",
+                s.counters,
+                s.gauges,
+                s.histograms,
+                metrics_path.display()
+            ),
+            Err(e) => {
+                eprintln!("FAIL: metrics snapshot violates scripts/metrics_schema.json: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(_) => println!(
+            "metrics snapshot -> {} (scripts/metrics_schema.json not found; validation skipped)",
+            metrics_path.display()
+        ),
+    }
+
+    hdr("Unified stats (from the registry)");
+    print!("{}", gate::render_unified(&snap));
+
+    hdr("Prometheus exposition");
+    print!("{}", snap.to_prometheus());
+
+    // Overhead: the wall-clock side of the zero-perturbation contract
+    // (the bit-identity side is pinned by the determinism guard test).
+    hdr("Telemetry overhead (cold drain, fresh store, mean of 3)");
+    let run_cold = |tag: &str| -> f64 {
+        let comp = CompiledAccel::compile_cached(&acc).expect("compiles");
+        let dir = outroot.join(format!("store-{tag}"));
+        let mut svc = EvalService::new(comp, Some(Store::open(&dir)), ServiceConfig::default());
+        svc.submit(plain());
+        let t0 = std::time::Instant::now();
+        let out = svc.drain();
+        assert!(out[0].outcome.is_ok());
+        t0.elapsed().as_secs_f64() * 1e3
+    };
+    telemetry::set_enabled(false);
+    let off_ms: f64 = (0..3).map(|i| run_cold(&format!("off{i}"))).sum::<f64>() / 3.0;
+    telemetry::set_enabled(true);
+    let on_ms: f64 = (0..3).map(|i| run_cold(&format!("on{i}"))).sum::<f64>() / 3.0;
+    telemetry::set_enabled(false);
+    println!(
+        "disabled {off_ms:.2} ms / enabled {on_ms:.2} ms per cold drain ({:+.1}%)",
+        100.0 * (on_ms - off_ms) / off_ms.max(1e-9)
+    );
+}
+
+/// `stats`: the unified cache/store/service/sim report — one printer
+/// reading the telemetry registry, fed by the authoritative stats
+/// structs after a short instrumented workload run.
+fn stats_report() {
+    use muir_bench::service::{EvalJob, EvalService, ServiceConfig};
+    use muir_bench::telemetry_gate as gate;
+    use muir_core::compiled::{cache_stats, CompiledAccel};
+    use muir_core::telemetry;
+    use muir_store::Store;
+
+    hdr("Unified stats: GEMM through the eval service");
+    telemetry::set_enabled(true);
+    telemetry::reset();
+    let root = std::path::Path::new("target/stats-store");
+    let _ = std::fs::remove_dir_all(root);
+
+    let w = by_name("GEMM").expect("GEMM in suite");
+    let acc = baseline(&w);
+    // A second artifact plus a repeat compile for cache hit/miss traffic.
+    let spmv = baseline(&by_name("SPMV").expect("SPMV in suite"));
+    let _ = CompiledAccel::compile_cached(&spmv).expect("compiles");
+    let comp = CompiledAccel::compile_cached(&acc).expect("compiles");
+    let _ = CompiledAccel::compile_cached(&acc).expect("compiles");
+
+    let job = EvalJob {
+        cfg: muir_sim::SimConfig::default(),
+        args: vec![],
+        mem: w.fresh_memory(),
+    };
+    let mut svc = EvalService::new(comp, Some(Store::open(root)), ServiceConfig::default());
+    svc.submit(job.clone());
+    svc.submit(job.clone());
+    svc.drain(); // cold: dedup + simulate + writeback
+    svc.submit(job);
+    svc.drain(); // warm: served from the store
+    gate::mirror_stats(&cache_stats(), Some(&svc.store_stats()), Some(&svc.stats()));
+    telemetry::set_enabled(false);
+    print!("{}", gate::render_unified(&telemetry::snapshot()));
 }
 
 /// `store-campaign [root]`: the storage fault-injection campaign (see

@@ -11,6 +11,7 @@ pub mod profile;
 pub mod sched;
 pub mod service;
 pub mod store_campaign;
+pub mod telemetry_gate;
 pub mod testgen;
 
 use muir_baselines::{CpuModel, HlsModel};

@@ -343,6 +343,17 @@ pub fn validate_trace_json(trace: &str, schema: &str) -> Result<ValidationSummar
     let ev_req = schema
         .get("event_required")
         .ok_or("schema missing `event_required`")?;
+    // Optional category allow-list: when the schema carries `cat_allowed`,
+    // every event's `cat` (if present) must be a member.
+    let cat_allowed: Option<Vec<&str>> = match schema.get("cat_allowed") {
+        Some(Json::Arr(cats)) => Some(
+            cats.iter()
+                .map(|c| c.as_str().ok_or("`cat_allowed` entries must be strings"))
+                .collect::<Result<_, _>>()?,
+        ),
+        Some(_) => return Err("`cat_allowed` must be an array".to_string()),
+        None => None,
+    };
     let Some(Json::Arr(events)) = trace.get("traceEvents") else {
         return Err("trace `traceEvents` is not an array".to_string());
     };
@@ -374,6 +385,11 @@ pub fn validate_trace_json(trace: &str, schema: &str) -> Result<ValidationSummar
                     "event {i} (ph {ph}) `{key}`: expected {want}, got {}",
                     got.type_name()
                 ));
+            }
+        }
+        if let (Some(allowed), Some(cat)) = (&cat_allowed, ev.get("cat").and_then(Json::as_str)) {
+            if !allowed.contains(&cat) {
+                return Err(format!("event {i}: cat `{cat}` not in `cat_allowed`"));
             }
         }
     }

@@ -24,7 +24,7 @@
 //!    can never fail a job, only fail to accelerate it.
 
 use muir_core::rng::SplitMix64;
-use muir_core::CompiledAccel;
+use muir_core::{telemetry, CompiledAccel};
 use muir_mir::interp::Memory;
 use muir_mir::value::Value;
 use muir_sim::{
@@ -34,6 +34,7 @@ use muir_sim::{
 use muir_store::{memoizable, ResultKey, Store, StoredEval};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Retry policy for transient failures.
 #[derive(Debug, Clone)]
@@ -119,6 +120,11 @@ pub struct EvalOutcome {
     /// serving this job. Non-empty means the store degraded and the
     /// result was recomputed in memory — never that the result is wrong.
     pub store_warnings: Vec<String>,
+    /// End-to-end wall time of this submission through the service, in
+    /// microseconds: from the start of the drain that served it until
+    /// its outcome (queueing, store probe, simulation, and retries
+    /// included). Members of a coalesced group share their group's time.
+    pub wall_us: u64,
 }
 
 impl EvalOutcome {
@@ -155,6 +161,14 @@ pub struct ServiceStats {
     pub deadline_clipped: u64,
     /// Typed store errors degraded into warnings.
     pub store_warnings: u64,
+    /// Jobs with a recorded end-to-end wall time (drained submissions).
+    pub jobs_timed: u64,
+    /// Median per-job end-to-end wall time, microseconds.
+    pub p50_wall_us: u64,
+    /// 95th-percentile per-job end-to-end wall time, microseconds.
+    pub p95_wall_us: u64,
+    /// Maximum per-job end-to-end wall time, microseconds.
+    pub max_wall_us: u64,
 }
 
 impl fmt::Display for ServiceStats {
@@ -173,8 +187,25 @@ impl fmt::Display for ServiceStats {
             f,
             "  retries {}, deadline-clipped {}",
             self.retries, self.deadline_clipped
-        )
+        )?;
+        if self.jobs_timed > 0 {
+            write!(
+                f,
+                "\n  job wall us: p50 {} / p95 {} / max {} ({} timed)",
+                self.p50_wall_us, self.p95_wall_us, self.max_wall_us, self.jobs_timed
+            )?;
+        }
+        Ok(())
     }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice (0 when empty).
+fn percentile(sorted: &[u64], p: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p * sorted.len() as u64).div_ceil(100).max(1) as usize;
+    sorted[rank - 1]
 }
 
 /// How one pending group will be served.
@@ -196,6 +227,8 @@ pub struct EvalService {
     config: ServiceConfig,
     pending: Vec<EvalJob>,
     stats: ServiceStats,
+    /// Per-job end-to-end wall times (µs) across every drain so far.
+    wall_us: Vec<u64>,
     /// Whether the artifact record has been persisted (it is written at
     /// most once per service — with the first successful result
     /// writeback, so a store that is never useful is never written to).
@@ -212,6 +245,7 @@ impl EvalService {
             config,
             pending: Vec::new(),
             stats: ServiceStats::default(),
+            wall_us: Vec::new(),
             artifact_recorded: false,
         }
     }
@@ -221,12 +255,24 @@ impl EvalService {
     pub fn submit(&mut self, job: EvalJob) -> usize {
         self.stats.submitted += 1;
         self.pending.push(job);
+        telemetry::count("service.submitted", 1);
+        telemetry::gauge_set("service.queue_depth", self.pending.len() as u64);
         self.pending.len() - 1
     }
 
-    /// Counters so far.
+    /// Counters so far, with the per-job wall-time percentiles computed
+    /// over every drained submission.
     pub fn stats(&self) -> ServiceStats {
-        self.stats
+        let mut s = self.stats;
+        if !self.wall_us.is_empty() {
+            let mut v = self.wall_us.clone();
+            v.sort_unstable();
+            s.jobs_timed = v.len() as u64;
+            s.p50_wall_us = percentile(&v, 50);
+            s.p95_wall_us = percentile(&v, 95);
+            s.max_wall_us = *v.last().expect("non-empty");
+        }
+        s
     }
 
     /// Store counters (zeroed default when the service has no store).
@@ -244,10 +290,26 @@ impl EvalService {
     /// possible, from (batched, sharded) simulation otherwise; completed
     /// simulations are written back to the store.
     pub fn drain(&mut self) -> Vec<EvalOutcome> {
+        let drain_t0 = Instant::now();
         let jobs = std::mem::take(&mut self.pending);
-        let mut groups = self.group(&jobs);
+        let _drain_span = telemetry::span_with(
+            "service",
+            "service.drain",
+            if telemetry::enabled() {
+                format!("{} jobs", jobs.len())
+            } else {
+                String::new()
+            },
+        );
+        telemetry::gauge_set("service.queue_depth", 0);
+        let mut groups = {
+            let _s = telemetry::span("service", "service.group");
+            self.group(&jobs)
+        };
         self.stats.executed_groups += groups.len() as u64;
         self.stats.coalesced += (jobs.len() - groups.len()) as u64;
+        telemetry::count("service.executed_groups", groups.len() as u64);
+        telemetry::count("service.coalesced", (jobs.len() - groups.len()) as u64);
 
         // Phase 1: store lookups. Hits fill their whole group; misses
         // (and typed store failures, degraded to warnings) queue for
@@ -255,9 +317,17 @@ impl EvalService {
         let mut outcomes: Vec<Option<EvalOutcome>> = (0..jobs.len()).map(|_| None).collect();
         let mut to_run: Vec<Group> = Vec::new();
         for mut g in groups.drain(..) {
-            if let Some(hit) = self.probe_store(g.key, &mut g.warnings) {
+            let probed = {
+                let _s = telemetry::span("store", "service.store_probe");
+                self.probe_store(g.key, &mut g.warnings)
+            };
+            if let Some(hit) = probed {
                 self.stats.store_hits += 1;
                 self.stats.store_warnings += g.warnings.len() as u64;
+                telemetry::count("service.store_hits", 1);
+                telemetry::count("service.store_warnings", g.warnings.len() as u64);
+                let wall = drain_t0.elapsed().as_micros() as u64;
+                self.record_job_wall(wall, g.members.len());
                 fill_group(&mut outcomes, &g, || EvalOutcome {
                     outcome: Ok(hit.result.clone()),
                     mem: hit.mem.clone(),
@@ -265,9 +335,11 @@ impl EvalService {
                     attempts: 0,
                     coalesced: false,
                     store_warnings: g.warnings.clone(),
+                    wall_us: wall,
                 });
             } else {
                 self.stats.recomputed += 1;
+                telemetry::count("service.recomputed", 1);
                 to_run.push(g);
             }
         }
@@ -280,10 +352,15 @@ impl EvalService {
             let shard = g.key.map_or(g.rep, |k| k.job as usize) % nshards;
             shards[shard].push(g);
         }
-        for shard in shards {
+        for (si, shard) in shards.into_iter().enumerate() {
             if shard.is_empty() {
                 continue;
             }
+            telemetry::observe(
+                "service.batch_size",
+                &telemetry::COUNT_BUCKETS,
+                shard.len() as u64,
+            );
             let batch: Vec<BatchJob> = shard
                 .iter()
                 .map(|g| {
@@ -295,14 +372,36 @@ impl EvalService {
                     }
                 })
                 .collect();
-            let runs = simulate_batch_compiled(&self.comp, batch, self.config.threads);
+            let sim_t0 = Instant::now();
+            let runs = {
+                let _s = telemetry::span_with(
+                    "service",
+                    "service.simulate",
+                    if telemetry::enabled() {
+                        format!("shard {si}: {} groups", batch.len())
+                    } else {
+                        String::new()
+                    },
+                );
+                simulate_batch_compiled(&self.comp, batch, self.config.threads)
+            };
+            let per_run_wall_s = sim_t0.elapsed().as_secs_f64() / shard.len().max(1) as f64;
             for (mut g, run) in shard.into_iter().zip(runs) {
                 let (outcome, mem, attempts) =
                     self.retry_transient(&jobs[g.rep], run.outcome, run.mem);
                 if let Ok(result) = &outcome {
+                    if telemetry::enabled() {
+                        muir_sim::record_stats_telemetry(&result.stats, per_run_wall_s);
+                        if let Some(p) = &result.profile {
+                            muir_sim::record_profile_telemetry(p);
+                        }
+                    }
                     self.writeback(g.key, result, &mem, &mut g.warnings);
                 }
                 self.stats.store_warnings += g.warnings.len() as u64;
+                telemetry::count("service.store_warnings", g.warnings.len() as u64);
+                let wall = drain_t0.elapsed().as_micros() as u64;
+                self.record_job_wall(wall, g.members.len());
                 fill_group(&mut outcomes, &g, || EvalOutcome {
                     outcome: outcome.clone(),
                     mem: mem.clone(),
@@ -310,6 +409,7 @@ impl EvalService {
                     attempts,
                     coalesced: false,
                     store_warnings: g.warnings.clone(),
+                    wall_us: wall,
                 });
             }
         }
@@ -317,6 +417,16 @@ impl EvalService {
             .into_iter()
             .map(|o| o.expect("every submission received an outcome"))
             .collect()
+    }
+
+    /// Record one group's end-to-end wall time for each of its members
+    /// (the per-job latency distribution behind `ServiceStats`'s
+    /// p50/p95/max and the `service.job_wall_us` histogram).
+    fn record_job_wall(&mut self, wall: u64, members: usize) {
+        for _ in 0..members {
+            self.wall_us.push(wall);
+            telemetry::observe("service.job_wall_us", &telemetry::US_BUCKETS, wall);
+        }
     }
 
     /// Group identical pending jobs. Keys are content hashes, so a
@@ -354,6 +464,7 @@ impl EvalService {
             c.max_cycles = self.config.deadline_cycles;
             if count {
                 self.stats.deadline_clipped += 1;
+                telemetry::count("service.deadline_clipped", 1);
             }
         }
         c
@@ -381,10 +492,22 @@ impl EvalService {
             let mut cfg = job.cfg.clone();
             cfg.max_cycles = budget;
             let mut m = job.mem.clone();
-            outcome = simulate_compiled(&self.comp, &mut m, &job.args, &cfg);
+            {
+                let _s = telemetry::span_with(
+                    "service",
+                    "service.retry",
+                    if telemetry::enabled() {
+                        format!("attempt {} (budget {budget})", attempts + 1)
+                    } else {
+                        String::new()
+                    },
+                );
+                outcome = simulate_compiled(&self.comp, &mut m, &job.args, &cfg);
+            }
             mem = m;
             attempts += 1;
             self.stats.retries += 1;
+            telemetry::count("service.retries", 1);
         }
         (outcome, mem, attempts)
     }

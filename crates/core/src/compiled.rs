@@ -30,6 +30,7 @@
 use crate::accel::{Accelerator, TaskId};
 use crate::dataflow::{Dataflow, EdgeIndex, EdgeKind, JunctionId};
 use crate::node::NodeKind;
+use crate::telemetry;
 use crate::verify::{verify_accelerator, GraphError};
 use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
@@ -200,11 +201,25 @@ impl CompiledAccel {
                 .map(Arc::clone);
             if let Some(hit) = hit {
                 c.hits += 1;
+                telemetry::count("compile.cache.hits", 1);
                 return Ok(hit);
             }
             c.misses += 1;
+            telemetry::count("compile.cache.misses", 1);
         }
-        let compiled = Arc::new(CompiledAccel::compile(acc)?);
+        let compiled = {
+            let _span = telemetry::span("compile", "compile.lower");
+            let t0 = telemetry::enabled().then(std::time::Instant::now);
+            let compiled = Arc::new(CompiledAccel::compile(acc)?);
+            if let Some(t0) = t0 {
+                telemetry::observe(
+                    "compile.lower_us",
+                    &telemetry::US_BUCKETS,
+                    t0.elapsed().as_micros() as u64,
+                );
+            }
+            compiled
+        };
         let mut c = cache.lock().expect("compile cache");
         if !c.map.contains_key(&hash) {
             if c.map.len() >= c.cap {
@@ -213,6 +228,7 @@ impl CompiledAccel {
                 if let Some(old) = c.fifo.pop_front() {
                     c.map.remove(&old);
                     c.evictions += 1;
+                    telemetry::count("compile.cache.evictions", 1);
                 }
             }
             c.map.insert(hash, Arc::clone(&compiled));

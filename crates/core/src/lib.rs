@@ -32,6 +32,7 @@ pub mod printer;
 pub mod rng;
 pub mod stats;
 pub mod structure;
+pub mod telemetry;
 pub mod verify;
 
 pub use accel::{

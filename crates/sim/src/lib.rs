@@ -277,6 +277,48 @@ impl std::fmt::Display for SimStats {
     }
 }
 
+/// Bridge one completed run's aggregate statistics into the global
+/// telemetry registry (`muir_core::telemetry`). Observation only: call
+/// sites feed counters after the run completes, so the bridge can never
+/// perturb the determinism contract. `wall_s` is the run's measured
+/// wall-clock seconds (pass 0.0 when unknown; the cycles/sec gauge is
+/// skipped).
+pub fn record_stats_telemetry(stats: &SimStats, wall_s: f64) {
+    use muir_core::telemetry as tm;
+    if !tm::enabled() {
+        return;
+    }
+    tm::count("sim.runs", 1);
+    tm::count("sim.cycles", stats.cycles);
+    tm::count("sim.fires", stats.fires);
+    tm::count("sim.cache_hits", stats.cache_hits());
+    tm::count("sim.cache_misses", stats.cache_misses());
+    tm::count("sim.bank_conflicts", stats.bank_conflicts());
+    tm::count("sim.dram_fills", stats.dram_fills);
+    tm::count("sim.faults_injected", stats.faults_injected());
+    tm::count("sim.ecc_corrected", stats.ecc_corrected());
+    if wall_s > 0.0 {
+        tm::gauge_set("sim.cycles_per_sec", (stats.cycles as f64 / wall_s) as u64);
+    }
+}
+
+/// Bridge a traced run's stall totals into the registry, one counter per
+/// [`StallReason`], plus the trace ring's kept/dropped tallies.
+pub fn record_profile_telemetry(profile: &SimProfile) {
+    use muir_core::telemetry as tm;
+    if !tm::enabled() {
+        return;
+    }
+    for reason in StallReason::ALL {
+        let cycles = profile.stalls_by_reason(reason);
+        if cycles > 0 {
+            tm::count(&format!("sim.stall.{}", reason.name()), cycles);
+        }
+    }
+    tm::count("sim.trace_events_recorded", profile.events_recorded);
+    tm::count("sim.trace_events_dropped", profile.events_dropped);
+}
+
 /// Result of a simulation run.
 #[derive(Debug, Clone)]
 pub struct SimResult {

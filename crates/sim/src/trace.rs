@@ -923,6 +923,21 @@ impl Trace {
     /// (request lifetimes); channel occupancies as counter tracks.
     /// Timebase: 1 cycle = 1 µs on the viewer's axis.
     pub fn to_chrome_json(&self) -> String {
+        format!(
+            "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"generator\":\"muir-sim\",\"timebase\":\"1 cycle = 1us\",\"droppedEvents\":{}}}}}\n",
+            self.chrome_events(0).join(",\n"),
+            self.dropped
+        )
+    }
+
+    /// The raw Chrome event fragments of [`Trace::to_chrome_json`] (one
+    /// JSON object per string), with every timestamp shifted by
+    /// `ts_offset` microseconds. Callers merging the sim trace with other
+    /// event sources (the telemetry span log) join the fragments into one
+    /// `traceEvents` array; `ts_offset` places the sim timeline under its
+    /// enclosing wall-clock span.
+    pub fn chrome_events(&self, ts_offset: u64) -> Vec<String> {
+        let off = ts_offset;
         let mut evs: Vec<String> = Vec::new();
         // Metadata: humane process/thread names.
         for (ti, name) in self.meta.task_names.iter().enumerate() {
@@ -958,8 +973,9 @@ impl Trace {
                     instance,
                 } => {
                     let dur = self.meta.node_latency[task as usize][node as usize].max(1);
+                    let ts = cycle + off;
                     evs.push(format!(
-                        "{{\"name\":\"{}\",\"cat\":\"fire\",\"ph\":\"X\",\"ts\":{cycle},\"dur\":{dur},\"pid\":{task},\"tid\":{node},\"args\":{{\"instance\":{instance},\"tile\":{tile}}}}}",
+                        "{{\"name\":\"{}\",\"cat\":\"fire\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\"pid\":{task},\"tid\":{node},\"args\":{{\"instance\":{instance},\"tile\":{tile}}}}}",
                         esc(&self.meta.node_names[task as usize][node as usize]),
                     ));
                 }
@@ -975,8 +991,9 @@ impl Trace {
                         Some(e) => format!(",\"edge\":{e}"),
                         None => String::new(),
                     };
+                    let ts = cycle + off;
                     evs.push(format!(
-                        "{{\"name\":\"{}\",\"cat\":\"stall\",\"ph\":\"X\",\"ts\":{cycle},\"dur\":1,\"pid\":{task},\"tid\":{node},\"args\":{{\"reason\":\"{}\"{extra}}}}}",
+                        "{{\"name\":\"{}\",\"cat\":\"stall\",\"ph\":\"X\",\"ts\":{ts},\"dur\":1,\"pid\":{task},\"tid\":{node},\"args\":{{\"reason\":\"{}\"{extra}}}}}",
                         reason.name(),
                         reason.name(),
                     ));
@@ -993,8 +1010,9 @@ impl Trace {
                     edge,
                     occ,
                 } => {
+                    let ts = cycle + off;
                     evs.push(format!(
-                        "{{\"name\":\"{}\",\"cat\":\"chan\",\"ph\":\"C\",\"ts\":{cycle},\"pid\":{task},\"args\":{{\"occ\":{occ}}}}}",
+                        "{{\"name\":\"{}\",\"cat\":\"chan\",\"ph\":\"C\",\"ts\":{ts},\"pid\":{task},\"args\":{{\"occ\":{occ}}}}}",
                         esc(&self.meta.edge_label(task, edge)),
                     ));
                 }
@@ -1019,7 +1037,13 @@ impl Trace {
                         .remove(&(structure, id))
                         .unwrap_or((cycle.saturating_sub(1), 0, 0, false));
                     evs.push(mem_x_event(
-                        structure, id, start, cycle, bank, elems, is_write,
+                        structure,
+                        id,
+                        start + off,
+                        cycle + off,
+                        bank,
+                        elems,
+                        is_write,
                     ));
                 }
             }
@@ -1032,18 +1056,14 @@ impl Trace {
             evs.push(mem_x_event(
                 structure,
                 id,
-                start,
-                last_cycle + 1,
+                start + off,
+                last_cycle + 1 + off,
                 bank,
                 elems,
                 is_write,
             ));
         }
-        format!(
-            "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"generator\":\"muir-sim\",\"timebase\":\"1 cycle = 1us\",\"droppedEvents\":{}}}}}\n",
-            evs.join(",\n"),
-            self.dropped
-        )
+        evs
     }
 
     /// Export as a VCD waveform: per-channel occupancy (8-bit) and valid

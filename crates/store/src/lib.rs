@@ -42,6 +42,7 @@ pub use fault::{StoreFaultClass, StoreFaultCounts, StoreFaultPlan, StoreFaultSpe
 use fault::Injector;
 use muir_core::envelope::{self, EnvelopeError, PayloadKind, FORMAT_VERSION};
 use muir_core::printer::print_accelerator;
+use muir_core::telemetry;
 use muir_core::CompiledAccel;
 use muir_mir::interp::Memory;
 use muir_mir::value::Value;
@@ -199,6 +200,25 @@ impl Store {
         kind: PayloadKind,
         payload: &[u8],
     ) -> Result<(), StoreError> {
+        telemetry::count("store.writes", 1);
+        let io_t0 = telemetry::enabled().then(std::time::Instant::now);
+        let out = self.write_atomic_inner(dest, kind, payload);
+        if let Some(t0) = io_t0 {
+            telemetry::observe(
+                "store.write_us",
+                &telemetry::US_BUCKETS,
+                t0.elapsed().as_micros() as u64,
+            );
+        }
+        out
+    }
+
+    fn write_atomic_inner(
+        &mut self,
+        dest: &Path,
+        kind: PayloadKind,
+        payload: &[u8],
+    ) -> Result<(), StoreError> {
         let version = if self.injector.roll(StoreFaultClass::StaleVersion) {
             FORMAT_VERSION + 1
         } else {
@@ -255,6 +275,24 @@ impl Store {
     /// validation failure quarantines the file and returns the typed
     /// error.
     fn read_validated(
+        &mut self,
+        path: &Path,
+        expect: PayloadKind,
+    ) -> Result<Option<Vec<u8>>, StoreError> {
+        telemetry::count("store.reads", 1);
+        let io_t0 = telemetry::enabled().then(std::time::Instant::now);
+        let out = self.read_validated_inner(path, expect);
+        if let Some(t0) = io_t0 {
+            telemetry::observe(
+                "store.read_us",
+                &telemetry::US_BUCKETS,
+                t0.elapsed().as_micros() as u64,
+            );
+        }
+        out
+    }
+
+    fn read_validated_inner(
         &mut self,
         path: &Path,
         expect: PayloadKind,
@@ -321,10 +359,12 @@ impl Store {
     /// expression.
     fn quarantine(&mut self, path: &Path, err: StoreError) -> StoreError {
         self.stats.corrupt_entries += 1;
+        telemetry::count("store.corrupt_entries", 1);
         if let Some(name) = path.file_name() {
             let dest = self.root.join("quarantine").join(name);
             if fs::rename(path, &dest).is_ok() {
                 self.stats.quarantined += 1;
+                telemetry::count("store.quarantined", 1);
                 return err;
             }
         }
@@ -360,10 +400,12 @@ impl Store {
         match self.write_atomic(&path, PayloadKind::Artifact, record.as_bytes()) {
             Ok(()) => {
                 self.stats.artifact_puts += 1;
+                telemetry::count("store.artifact_puts", 1);
                 Ok(true)
             }
             Err(e) => {
                 self.stats.put_errors += 1;
+                telemetry::count("store.put_errors", 1);
                 Err(e)
             }
         }
@@ -423,10 +465,12 @@ impl Store {
         match self.write_atomic(&path, PayloadKind::SimResult, &payload) {
             Ok(()) => {
                 self.stats.result_puts += 1;
+                telemetry::count("store.result_puts", 1);
                 Ok(())
             }
             Err(e) => {
                 self.stats.put_errors += 1;
+                telemetry::count("store.put_errors", 1);
                 Err(e)
             }
         }
@@ -444,11 +488,13 @@ impl Store {
         let path = self.result_path(key);
         let Some(payload) = self.read_validated(&path, PayloadKind::SimResult)? else {
             self.stats.result_misses += 1;
+            telemetry::count("store.result_misses", 1);
             return Ok(None);
         };
         match codec::decode_eval(&payload) {
             Ok(eval) => {
                 self.stats.result_hits += 1;
+                telemetry::count("store.result_hits", 1);
                 Ok(Some(eval))
             }
             Err(detail) => {

@@ -6,10 +6,14 @@
 # post-fault over the full workload suite), the storage fault campaign
 # (4 injected fault classes x plain/sim-faulted differential), the
 # seeded graph-fuzz smoke (30 graphs, every scheduler at 1/2/4/8
-# threads), and the scheduler benchmark gate (Dense vs Ready vs
-# Parallel@2 differential + BENCH_sim.json). Each tool-dependent stage
-# is skipped (not failed) when its tool is missing, so the script works
-# in minimal containers.
+# threads), the scheduler benchmark gate (Dense vs Ready vs
+# Parallel@2 differential + BENCH_sim.json), the telemetry
+# zero-perturbation guard (metrics on vs off bit-identical on every
+# workload), and the metrics gate (one instrumented GEMM capture whose
+# merged trace and registry snapshot must validate against
+# scripts/trace_schema.json and scripts/metrics_schema.json). Each
+# tool-dependent stage is skipped (not failed) when its tool is
+# missing, so the script works in minimal containers.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -22,7 +26,7 @@ else
 fi
 
 if command -v cargo >/dev/null 2>&1 && cargo clippy --version >/dev/null 2>&1; then
-    for crate in muir-mir muir-frontend muir-sim muir-uopt muir-rtl muir-workloads muir-store muir-bench; do
+    for crate in muir-core muir-mir muir-frontend muir-sim muir-uopt muir-rtl muir-workloads muir-store muir-bench; do
         echo "== cargo clippy -p $crate (warnings are errors) =="
         cargo clippy -p "$crate" --all-targets -- -D warnings
     done
@@ -50,5 +54,11 @@ cargo run --release -q -p muir-bench --bin experiments -- fuzz --graphs 30 --see
 
 echo "== scheduler bench gate (differential @2 threads + BENCH_sim.json) =="
 cargo run --release -q -p muir-bench --bin experiments -- bench --quick BENCH_sim.json
+
+echo "== telemetry zero-perturbation guard (metrics on == off, all workloads) =="
+cargo test --release -q -p muir-bench --test telemetry
+
+echo "== metrics gate (merged trace + snapshot vs scripts/*_schema.json) =="
+cargo run --release -q -p muir-bench --bin experiments -- metrics GEMM target/metrics-check
 
 echo "check.sh: OK"
