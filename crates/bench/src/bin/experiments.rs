@@ -5,6 +5,7 @@
 //!     table3|fig11|fig12|fig15|fig16|fig17|fig18|table4|faults|--selftest|
 //!     profile <workload> [outdir]|trace-schema [schema.json]|
 //!     bench [--quick] [out.json]|fuzz [--graphs N] [--seed S]|
+//!     soak <workload> [reps]|
 //!     serve [store-root]|store-stats [store-root]|store-campaign [root]|
 //!     metrics <workload> [outdir]|stats]
 //! ```
@@ -90,6 +91,28 @@ fn main() {
         let graphs = arg_after("--graphs").unwrap_or(200);
         let seed = arg_after("--seed").unwrap_or(0xf022);
         fuzz(seed, graphs);
+        return;
+    }
+    if which == "soak" {
+        // Profiling aid: run one workload's default-config simulation in a
+        // hot loop (deterministic, so the printed cycle total doubles as a
+        // quick bit-identity check across engine changes).
+        let name = std::env::args().nth(2).unwrap_or_else(|| "GEMM".into());
+        let reps: u32 = std::env::args()
+            .nth(3)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(50);
+        let w = by_name(&name).expect("workload");
+        let acc = baseline(&w);
+        let comp = muir_core::compiled::CompiledAccel::compile_cached(&acc).unwrap();
+        let cfg = muir_sim::SimConfig::default();
+        let mut total = 0u64;
+        for _ in 0..reps {
+            let mut mem = w.fresh_memory();
+            let r = muir_sim::simulate_compiled(&comp, &mut mem, &[], &cfg).unwrap();
+            total += r.cycles;
+        }
+        println!("soak {name} x{reps}: {total} cycles");
         return;
     }
     if which == "trace-schema" {
@@ -181,14 +204,15 @@ fn main() {
 /// Per-workload sealing report plus the artifact-determinism gate:
 /// compile every workload twice (identical hash, identical artifact
 /// tables), run a no-op pass pipeline (hash unchanged), and report
-/// lowering time, artifact size, and the process-wide compile-cache hit
-/// rate. `scripts/check.sh` runs this as a hard gate.
+/// lowering time, artifact size, micro-op stream footprint, and the
+/// process-wide compile-cache hit rate. `scripts/check.sh` runs this as
+/// a hard gate.
 fn compile_stats() {
     use muir_core::compiled::{cache_stats, CompiledAccel};
     hdr("Compile stats: sealed-artifact lowering time / size / determinism");
     println!(
-        "{:>10} | {:>12} {:>10} {:>9} | determinism",
-        "Bench", "hash", "lower_us", "size_KiB"
+        "{:>10} | {:>12} {:>10} {:>9} {:>6} {:>9} | determinism",
+        "Bench", "hash", "lower_us", "size_KiB", "uops", "uop_KiB"
     );
     for w in workloads::all() {
         let mut acc = baseline(&w);
@@ -221,12 +245,18 @@ fn compile_stats() {
             "{}: cache returned distinct artifacts for identical content",
             w.name
         );
+        // The micro-op stream footprint: what the flat-dispatch engine
+        // actually walks per cycle, summed over every task in the artifact.
+        let uops: usize = first.tasks().iter().map(|t| t.uop_count()).sum();
+        let uop_bytes: usize = first.tasks().iter().map(|t| t.uop_bytes()).sum();
         println!(
-            "{:>10} | {:012x} {:>10.1} {:>9.1} | ok",
+            "{:>10} | {:012x} {:>10.1} {:>9.1} {:>6} {:>9.1} | ok",
             w.name,
             first.content_hash() & 0xffff_ffff_ffff,
             lower_us,
-            first.size_bytes() as f64 / 1024.0
+            first.size_bytes() as f64 / 1024.0,
+            uops,
+            uop_bytes as f64 / 1024.0
         );
     }
     let cs = cache_stats();
@@ -734,10 +764,10 @@ fn profile(name: &str, outdir: &str) {
 }
 
 /// `bench [--quick] [out.json]`: the scheduler benchmark gate. First run
-/// the scheduler differential suite (plain, traced, and seeded fault-plan
-/// modes; Ready and Parallel vs the dense oracle — Parallel@2 in quick
-/// mode, the full 1/2/4/8 thread sweep otherwise) over the selected
-/// workload set, then time every scheduler, measure `simulate_batch`
+/// the four-way differential suite (plain, traced, and seeded fault-plan
+/// modes; every scheduler x exec mode vs the Dense+Interp oracle —
+/// Parallel@2 in quick mode, the full 1/2/4/8 thread sweep otherwise)
+/// over the selected workload set, then time every scheduler, measure `simulate_batch`
 /// multi-run throughput scaling, and write `BENCH_sim.json`,
 /// schema-validated by the same dependency-free JSON parser the trace
 /// gate uses. Exits non-zero on any divergence, schema violation, or if
@@ -760,7 +790,7 @@ fn bench(quick: bool, out: &str) {
         let r = if quick {
             sched::check_workload(w, i)
         } else {
-            sched::check_workload_3way(w, i)
+            sched::check_workload_full(w, i)
         };
         if let Err(e) = r {
             eprintln!("scheduler divergence: {e}");
@@ -768,7 +798,7 @@ fn bench(quick: bool, out: &str) {
         }
     }
     println!(
-        "differential: {} workloads x {{plain, traced, faulted}} x {{ready, parallel@{}}} bit-identical",
+        "differential: {} workloads x {{plain, traced, faulted}} x {{interp, uop}} x {{dense, ready, parallel@{}}} bit-identical",
         ws.len(),
         if quick { "2".to_string() } else { "1/2/4/8".to_string() }
     );

@@ -4,7 +4,9 @@
 //! The cycle engine has three phase-4 schedulers (`SchedulerKind`): the
 //! original dense scanner, the event-driven ready-set scheduler
 //! (DESIGN.md §9), and the tile-parallel plan/commit scheduler
-//! (DESIGN.md §10). Their contract is *bit-identical observable
+//! (DESIGN.md §10) — each runnable under two firing interpreters
+//! (`ExecMode`, DESIGN.md §14): the `NodeKind` interpreter and the
+//! compiled micro-op stream. Their contract is *bit-identical observable
 //! behaviour* — cycles, results, `SimStats` (minus the simulator-effort
 //! counter `sched_visits`), trace streams, and even typed errors — at any
 //! thread count. This module checks that contract over real workloads
@@ -15,7 +17,9 @@
 use crate::baseline;
 use crate::profile::{parse_json, Json};
 use muir_core::compiled::CompiledAccel;
-use muir_sim::{simulate, FaultClass, FaultPlan, SchedulerKind, SimConfig, SimStats, TraceConfig};
+use muir_sim::{
+    simulate, ExecMode, FaultClass, FaultPlan, SchedulerKind, SimConfig, SimStats, TraceConfig,
+};
 use muir_workloads::{all, by_name, Workload};
 use std::time::Instant;
 
@@ -76,6 +80,19 @@ pub fn run_under_with(
     faults: &FaultPlan,
     tracing: bool,
 ) -> RunOutcome {
+    run_under_exec(w, scheduler, threads, faults, tracing, ExecMode::default())
+}
+
+/// [`run_under_with`] with an explicit firing interpreter (`Interp` walks
+/// `NodeKind`, `MicroOp` dispatches the compiled micro-op stream).
+pub fn run_under_exec(
+    w: &Workload,
+    scheduler: SchedulerKind,
+    threads: u32,
+    faults: &FaultPlan,
+    tracing: bool,
+    exec: ExecMode,
+) -> RunOutcome {
     let acc = baseline(w);
     let cfg = SimConfig {
         faults: faults.clone(),
@@ -85,6 +102,7 @@ pub fn run_under_with(
             TraceConfig::default()
         },
         scheduler,
+        exec,
         ..SimConfig::default()
     }
     .with_threads(threads);
@@ -180,9 +198,13 @@ pub fn diff_fault_plan(w: &Workload, i: usize) -> FaultPlan {
     FaultPlan::single(FaultClass::ALL[i % FaultClass::ALL.len()], h)
 }
 
-/// Differentially check one workload against the dense oracle in all three
-/// stress modes (plain, tracing on, seeded single-event fault plan), under
-/// Ready and under Parallel at each of `threads`.
+/// Differentially check one workload against the dense interpreter oracle
+/// in all three stress modes (plain, tracing on, seeded single-event fault
+/// plan), across the full scheduler × exec-mode grid: Dense under the
+/// micro-op engine, Ready under both firing interpreters, Parallel under
+/// the micro-op engine at each of `threads` (which exercises epoch commit
+/// whenever `t > 1` and faults are off), and Parallel under the node-kind
+/// interpreter at 2 threads.
 ///
 /// # Errors
 /// The first divergence found, naming the failing configuration.
@@ -191,20 +213,55 @@ pub fn check_workload_threads(w: &Workload, i: usize, threads: &[u32]) -> Result
     let fault_plan = diff_fault_plan(w, i);
     let modes: [(&FaultPlan, bool); 3] = [(&none, false), (&none, true), (&fault_plan, false)];
     for (faults, tracing) in modes {
-        let dense = run_under_with(w, SchedulerKind::Dense, 1, faults, tracing);
-        let ready = run_under_with(w, SchedulerKind::Ready, 1, faults, tracing);
-        diff_outcomes(w, &dense, "ready", &ready, faults, tracing)?;
+        let dense = run_under_exec(
+            w,
+            SchedulerKind::Dense,
+            1,
+            faults,
+            tracing,
+            ExecMode::Interp,
+        );
+        let covers = [
+            ("dense+uop", SchedulerKind::Dense, 1, ExecMode::MicroOp),
+            ("ready+interp", SchedulerKind::Ready, 1, ExecMode::Interp),
+            ("ready+uop", SchedulerKind::Ready, 1, ExecMode::MicroOp),
+            (
+                "parallel+interp@2",
+                SchedulerKind::Parallel,
+                2,
+                ExecMode::Interp,
+            ),
+        ];
+        for (label, sched, t, exec) in covers {
+            let other = run_under_exec(w, sched, t, faults, tracing, exec);
+            diff_outcomes(w, &dense, label, &other, faults, tracing)?;
+        }
         for &t in threads {
-            let par = run_under_with(w, SchedulerKind::Parallel, t, faults, tracing);
-            diff_outcomes(w, &dense, &format!("parallel@{t}"), &par, faults, tracing)?;
+            let par = run_under_exec(
+                w,
+                SchedulerKind::Parallel,
+                t,
+                faults,
+                tracing,
+                ExecMode::MicroOp,
+            );
+            diff_outcomes(
+                w,
+                &dense,
+                &format!("parallel+uop@{t}"),
+                &par,
+                faults,
+                tracing,
+            )?;
         }
     }
     Ok(())
 }
 
 /// Differentially check one workload in all three stress modes: plain,
-/// tracing on, and a seeded single-event fault plan — Ready and
-/// Parallel@2 against the dense oracle (the quick CI shape).
+/// tracing on, and a seeded single-event fault plan — the exec-mode grid
+/// plus Parallel@2 under the micro-op engine, against the dense
+/// interpreter oracle (the quick CI shape).
 ///
 /// # Errors
 /// The first divergence found (see [`check_workload_threads`]).
@@ -212,12 +269,13 @@ pub fn check_workload(w: &Workload, i: usize) -> Result<(), String> {
     check_workload_threads(w, i, &[2])
 }
 
-/// The full three-way differential: Dense vs Ready vs Parallel at 1, 2, 4,
-/// and 8 planning threads, in every stress mode.
+/// The full four-way differential: Dense vs Ready vs Parallel vs the
+/// micro-op execution path, with Parallel at 1, 2, 4, and 8 planning
+/// threads, in every stress mode.
 ///
 /// # Errors
 /// The first divergence found (see [`check_workload_threads`]).
-pub fn check_workload_3way(w: &Workload, i: usize) -> Result<(), String> {
+pub fn check_workload_full(w: &Workload, i: usize) -> Result<(), String> {
     check_workload_threads(w, i, &[1, 2, 4, 8])
 }
 
@@ -595,6 +653,10 @@ pub fn bench_json(
     store: &StoreBench,
 ) -> String {
     let mut out = String::from("{\n  \"bench\": \"sim-scheduler\",\n  \"unit\": \"ms\",\n");
+    // The host's CPU budget: parallel-scheduler and batch speedups are
+    // meaningless without it (a 1-CPU CI runner legitimately reports ~1x).
+    let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
     out.push_str(&format!(
         "  \"geomean_speedup\": {:.4},\n  \"rows\": [\n",
         geomean_speedup(rows)
@@ -677,6 +739,15 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
     }
     if doc.get("unit").and_then(Json::as_str) != Some("ms") {
         return Err("missing or wrong `unit`".into());
+    }
+    match doc.get("host_cpus") {
+        Some(Json::Num(v)) if v.is_finite() && *v >= 1.0 => {}
+        other => {
+            return Err(format!(
+                "missing `host_cpus` (needed to interpret parallel speedups), got {}",
+                other.map_or("nothing", Json::type_name)
+            ))
+        }
     }
     let Some(Json::Num(g)) = doc.get("geomean_speedup") else {
         return Err("missing numeric `geomean_speedup`".into());

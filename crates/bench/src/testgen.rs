@@ -6,9 +6,10 @@
 //! from a single `splitmix64` seed, so every case is reproducible from
 //! two integers (`seed`, `size`). `check_case` runs the case under every
 //! scheduler (`Dense`, `Ready`, `Parallel` at 1/2/4/8 planning threads)
-//! in plain, traced, and seeded-fault modes, demanding bit-identical
-//! observables and — on fault-free completions — word-for-word agreement
-//! with the `muir-mir` reference interpreter.
+//! and both firing interpreters (`Interp` and the compiled `MicroOp`
+//! stream) in plain, traced, and seeded-fault modes, demanding
+//! bit-identical observables and — on fault-free completions —
+//! word-for-word agreement with the `muir-mir` reference interpreter.
 //!
 //! Shrinking is by seed: the generator's `size` knob bounds trip counts,
 //! op-chain depth, and structural features, so a failure at the default
@@ -22,7 +23,7 @@ use muir_mir::instr::{CmpPred, MemObjId, ValueRef};
 use muir_mir::interp::{Interp, Memory};
 use muir_mir::module::Module;
 use muir_mir::types::{ScalarType, Type};
-use muir_sim::{FaultClass, FaultPlan, SchedulerKind, SimConfig, TraceConfig};
+use muir_sim::{ExecMode, FaultClass, FaultPlan, SchedulerKind, SimConfig, TraceConfig};
 use muir_uopt::passes::{
     ExecutionTiling, MemoryLocalization, OpFusion, ScratchpadBanking, TaskFilter,
 };
@@ -288,6 +289,7 @@ fn run_case(
     comp: &muir_core::compiled::CompiledAccel,
     scheduler: SchedulerKind,
     threads: u32,
+    exec: ExecMode,
     faults: &FaultPlan,
     tracing: bool,
 ) -> Obs {
@@ -301,7 +303,8 @@ fn run_case(
         ..case.cfg.clone()
     }
     .with_scheduler(scheduler)
-    .with_threads(threads);
+    .with_threads(threads)
+    .with_exec(exec);
     let mut mem = case.fresh_memory();
     match muir_sim::simulate_compiled(comp, &mut mem, &[], &cfg) {
         Ok(r) => Obs::Ok {
@@ -323,7 +326,7 @@ fn run_case(
 /// configuration and the case's reproduction line.
 pub fn check_case(case: &GenCase) -> Result<(), String> {
     let acc = case.build();
-    // Compile once for all 18 scheduler/mode/thread configurations below.
+    // Compile once for all 27 scheduler/exec/mode/thread configurations below.
     // A graph the verifier rejects is a generator bug, reported the same
     // way a failing dense run was before sealing existed.
     let comp = muir_core::compiled::CompiledAccel::compile_cached(&acc).map_err(|e| {
@@ -346,7 +349,16 @@ pub fn check_case(case: &GenCase) -> Result<(), String> {
         ("faulted", &fault_plan, false),
     ];
     for (mode, faults, tracing) in modes {
-        let dense = run_case(case, &comp, SchedulerKind::Dense, 1, faults, tracing);
+        // The oracle: dense scheduler, interpreted firing path.
+        let dense = run_case(
+            case,
+            &comp,
+            SchedulerKind::Dense,
+            1,
+            ExecMode::Interp,
+            faults,
+            tracing,
+        );
         // Fault-free completions must match the interpreter word for word.
         if let Obs::Ok { mem, .. } = &dense {
             if faults.specs.is_empty() && mem.read_i64(case.out) != ref_mem.read_i64(case.out) {
@@ -365,9 +377,29 @@ pub fn check_case(case: &GenCase) -> Result<(), String> {
                 return Err(format!("{} [{mode}]: dense run failed: {e}", case.desc));
             }
         }
-        let ready = run_case(case, &comp, SchedulerKind::Ready, 1, faults, tracing);
-        if dense != ready {
-            return Err(format!("{} [{mode}]: ready diverged from dense", case.desc));
+        // Every other scheduler × exec combination must match the oracle
+        // bit for bit: both firing interpreters under both single-thread
+        // schedulers, the interpreted parallel path, and the micro-op
+        // parallel path (which engages epoch commit) at every thread count.
+        let covers: [(&str, SchedulerKind, u32, ExecMode); 4] = [
+            ("dense+uop", SchedulerKind::Dense, 1, ExecMode::MicroOp),
+            ("ready+interp", SchedulerKind::Ready, 1, ExecMode::Interp),
+            ("ready+uop", SchedulerKind::Ready, 1, ExecMode::MicroOp),
+            (
+                "parallel+interp@2",
+                SchedulerKind::Parallel,
+                2,
+                ExecMode::Interp,
+            ),
+        ];
+        for (label, scheduler, threads, exec) in covers {
+            let other = run_case(case, &comp, scheduler, threads, exec, faults, tracing);
+            if dense != other {
+                return Err(format!(
+                    "{} [{mode}]: {label} diverged from dense",
+                    case.desc
+                ));
+            }
         }
         for threads in [1u32, 2, 4, 8] {
             let par = run_case(
@@ -375,12 +407,13 @@ pub fn check_case(case: &GenCase) -> Result<(), String> {
                 &comp,
                 SchedulerKind::Parallel,
                 threads,
+                ExecMode::MicroOp,
                 faults,
                 tracing,
             );
             if dense != par {
                 return Err(format!(
-                    "{} [{mode}]: parallel@{threads} diverged from dense",
+                    "{} [{mode}]: parallel+uop@{threads} diverged from dense",
                     case.desc
                 ));
             }

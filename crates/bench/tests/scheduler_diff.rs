@@ -9,7 +9,7 @@
 //! under all three schedulers in all three modes with shrink-by-seed
 //! reporting.
 
-use muir_bench::sched::check_workload_3way;
+use muir_bench::sched::check_workload_full;
 use muir_bench::testgen;
 use muir_workloads::all;
 
@@ -17,7 +17,7 @@ use muir_workloads::all;
 fn every_scheduler_matches_dense_on_every_workload() {
     let mut failures = Vec::new();
     for (i, w) in all().iter().enumerate() {
-        if let Err(e) = check_workload_3way(w, i) {
+        if let Err(e) = check_workload_full(w, i) {
             failures.push(format!("{}: {e}", w.name));
         }
     }

@@ -28,13 +28,111 @@
 //! well-formedness without re-checking.
 
 use crate::accel::{Accelerator, TaskId};
-use crate::dataflow::{Dataflow, EdgeIndex, EdgeKind, JunctionId};
-use crate::node::NodeKind;
+use crate::dataflow::{Buffering, Dataflow, EdgeIndex, EdgeKind, JunctionId};
+use crate::node::{FusedPlan, NodeKind, OpKind};
 use crate::telemetry;
 use crate::verify::{verify_accelerator, GraphError};
+use muir_mir::instr::BinOp;
+use muir_mir::value::Value;
 use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Dense micro-op opcode: what a node *does*, reduced to a `u8` so the
+/// simulator's fire path dispatches through a branch-predictable jump
+/// table instead of a full `NodeKind` match with per-fire field
+/// destructuring (DESIGN.md §14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum UopKind {
+    /// Input/Const: invocation-constant, never fired.
+    Static = 0,
+    /// Induction-variable stream (`lo + k*step`).
+    IndVar,
+    /// Loop-carried merge (port 0 at instance 0, port 1 after).
+    Merge,
+    /// Self-accumulating fused unit (op inline in [`MicroOp::op`]).
+    FusedAcc,
+    /// Plain function unit (op inline in [`MicroOp::op`]).
+    Compute,
+    /// Fused group; [`MicroOp::a`] indexes [`CompiledTask::fused_plans`].
+    Fused,
+    /// Result collector.
+    Output,
+    /// Memory load transit ([`MicroOp::a`] = object, [`MicroOp::b`] =
+    /// junction).
+    Load,
+    /// Memory store transit (same field use as `Load`).
+    Store,
+    /// Child-task call ([`MicroOp::a`] = callee, [`MicroOp::b`] packs
+    /// `nargs << 16 | nresults`).
+    TaskCall,
+}
+
+/// [`MicroOp::flags`] bit: a predicate input gates the operation.
+pub const UOP_PREDICATED: u8 = 1;
+/// [`MicroOp::flags`] bit: a `TaskCall` that completes at enqueue.
+pub const UOP_SPAWN: u8 = 2;
+
+/// Input-slot tag ([`CompiledTask::in_slots`] top 2 bits): pop a token
+/// from the edge in the payload.
+pub const SLOT_TOKEN: u32 = 0 << 30;
+/// Slot tag: read the invocation argument indexed by the payload.
+pub const SLOT_ARG: u32 = 1 << 30;
+/// Slot tag: read [`CompiledTask::consts`] at the payload index.
+pub const SLOT_CONST: u32 = 2 << 30;
+/// Slot tag: merge feedback edge — poison at instance 0, else pop a token
+/// carrying instance `k - 1` from the edge in the payload.
+pub const SLOT_FEEDBACK: u32 = 3 << 30;
+/// Mask selecting a slot's tag bits.
+pub const SLOT_TAG: u32 = 3 << 30;
+/// Mask selecting a slot's payload (edge/arg/const index).
+pub const SLOT_PAYLOAD: u32 = !SLOT_TAG;
+
+/// One fixed-size micro-op record per node: the node's behaviour with
+/// every graph lookup pre-resolved at compile time — input slots, edge
+/// ranges, decoded operands — so a firing touches only dense index tables
+/// (DESIGN.md §14).
+#[derive(Debug, Clone, Copy)]
+pub struct MicroOp {
+    /// Dense opcode.
+    pub kind: UopKind,
+    /// [`UOP_PREDICATED`] | [`UOP_SPAWN`].
+    pub flags: u8,
+    /// Data-input slot count (length of the `in_slots` run at `slot0`).
+    pub nin: u16,
+    /// Dynamic order-in edge count (first `nord` entries at `ebase`).
+    pub nord: u16,
+    /// Out edge count (entries `nord..nord + nout` at `ebase`).
+    pub nout: u16,
+    /// Base index into [`CompiledTask::in_slots`].
+    pub slot0: u32,
+    /// Base index into [`CompiledTask::edge_refs`].
+    pub ebase: u32,
+    /// Opcode-specific operand: memory object (`Load`/`Store`), callee
+    /// task (`TaskCall`), or fused-plan index (`Fused`).
+    pub a: u32,
+    /// Opcode-specific operand: junction (`Load`/`Store`) or packed
+    /// `nargs << 16 | nresults` (`TaskCall`).
+    pub b: u32,
+    /// Inline op for `Compute`/`FusedAcc` (placeholder otherwise).
+    pub op: OpKind,
+}
+
+/// Per-edge facts the micro-op interpreter needs without touching the
+/// graph: producer node/port, edge kind, and declared buffering.
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeMeta {
+    /// Producer node.
+    pub src: u32,
+    /// Producer output port.
+    pub src_port: u16,
+    /// Order edge: the token payload is an ignored pulse.
+    pub is_order: bool,
+    /// Explicit FIFO depth, or `u32::MAX` for a default handshake
+    /// connection (resolved against `elastic_depth` at elaboration).
+    pub fifo: u32,
+}
 
 /// Pre-elaborated, immutable tables for one task's dataflow. The fields
 /// are exactly the graph-derived (configuration-independent) state the
@@ -72,6 +170,25 @@ pub struct CompiledTask {
     pub queue_cap: usize,
     /// Junction count (sizes the simulator's junction-budget slab).
     pub njunctions: usize,
+    /// The flat micro-op stream, indexed by node id. One fixed-size
+    /// record per node; `Static` records are never dispatched.
+    pub uops: Vec<MicroOp>,
+    /// Packed input slots ([`SLOT_TOKEN`]/[`SLOT_ARG`]/[`SLOT_CONST`]/
+    /// [`SLOT_FEEDBACK`] + payload), one run per node in port order.
+    pub in_slots: Vec<u32>,
+    /// Per node at [`MicroOp::ebase`]: `nord` dynamic order-in edges
+    /// followed by `nout` out edges.
+    pub edge_refs: Vec<u32>,
+    /// Pre-evaluated `Const` node values, referenced by [`SLOT_CONST`]
+    /// slots.
+    pub consts: Vec<Value>,
+    /// Fused-group plans hoisted out of `NodeKind::Fused` (which is not
+    /// `Copy`), referenced by [`UopKind::Fused`] records via
+    /// [`MicroOp::a`].
+    pub fused_plans: Vec<FusedPlan>,
+    /// Per-edge pre-resolved producer/kind/buffering facts, indexed by
+    /// edge id.
+    pub edge_meta: Vec<EdgeMeta>,
 }
 
 impl CompiledTask {
@@ -123,7 +240,166 @@ impl CompiledTask {
             conn_queue_depth,
             queue_cap: (task.queue_depth + conn_queue_depth) as usize,
             njunctions: df.junctions.len(),
+            uops: Vec::new(),
+            in_slots: Vec::new(),
+            edge_refs: Vec::new(),
+            consts: Vec::new(),
+            fused_plans: Vec::new(),
+            edge_meta: Vec::new(),
         }
+    }
+
+    /// Lower the structure tables into the flat micro-op stream: one
+    /// [`MicroOp`] per node with inputs resolved to packed slots, edge
+    /// lists to index ranges, and operands decoded out of `NodeKind`.
+    fn emit_uops(&mut self, acc: &Accelerator, tid: TaskId) {
+        let df = &acc.task(tid).dataflow;
+        let n = df.nodes.len();
+        self.edge_meta = df
+            .edges
+            .iter()
+            .map(|e| EdgeMeta {
+                src: e.src.0,
+                src_port: e.src_port,
+                is_order: e.kind == EdgeKind::Order,
+                fifo: match e.buffering {
+                    Buffering::Handshake => u32::MAX,
+                    Buffering::Fifo(d) => d,
+                },
+            })
+            .collect();
+        // A placeholder op keeps `MicroOp` `Copy`-able and fixed-size for
+        // the opcodes that carry no inline operation.
+        let nop = OpKind::Bin(BinOp::Add);
+        let mut uops = Vec::with_capacity(n);
+        for node in 0..n {
+            let nk = &df.nodes[node].kind;
+            let slot0 = self.in_slots.len() as u32;
+            let ebase = self.edge_refs.len() as u32;
+            // Input slots in port order (`in_data` is already port-sorted).
+            for &ei in self.in_data[node].iter() {
+                let e = &df.edges[ei];
+                let src = e.src.0 as usize;
+                let slot = if self.is_static[src] {
+                    match &df.nodes[src].kind {
+                        NodeKind::Input { index } => SLOT_ARG | index,
+                        NodeKind::Const(c) => {
+                            let ci = self.consts.len() as u32;
+                            self.consts.push(c.to_value());
+                            SLOT_CONST | ci
+                        }
+                        _ => unreachable!("static nodes are Input/Const"),
+                    }
+                } else if matches!(nk, NodeKind::Merge) && e.dst_port == 1 {
+                    SLOT_FEEDBACK | ei as u32
+                } else {
+                    SLOT_TOKEN | ei as u32
+                };
+                self.in_slots.push(slot);
+            }
+            let nin = (self.in_slots.len() as u32 - slot0) as u16;
+            // Dynamic order-in edges first, then out edges.
+            for &ei in self.in_order[node].iter() {
+                if !self.is_static[df.edges[ei].src.0 as usize] {
+                    self.edge_refs.push(ei as u32);
+                }
+            }
+            let nord = (self.edge_refs.len() as u32 - ebase) as u16;
+            for &ei in self.outs[node].iter() {
+                self.edge_refs.push(ei as u32);
+            }
+            let nout = self.outs[node].len() as u16;
+            let (kind, flags, a, b, op) = match nk {
+                NodeKind::Input { .. } | NodeKind::Const(_) => (UopKind::Static, 0, 0, 0, nop),
+                NodeKind::IndVar => (UopKind::IndVar, 0, 0, 0, nop),
+                NodeKind::Merge => (UopKind::Merge, 0, 0, 0, nop),
+                NodeKind::FusedAcc { op } => (UopKind::FusedAcc, 0, 0, 0, *op),
+                NodeKind::Compute(op) => (UopKind::Compute, 0, 0, 0, *op),
+                NodeKind::Fused(plan) => {
+                    let pi = self.fused_plans.len() as u32;
+                    self.fused_plans.push(plan.clone());
+                    (UopKind::Fused, 0, pi, 0, nop)
+                }
+                NodeKind::Output => (UopKind::Output, 0, 0, 0, nop),
+                NodeKind::Load {
+                    obj,
+                    junction,
+                    predicated,
+                } => (
+                    UopKind::Load,
+                    if *predicated { UOP_PREDICATED } else { 0 },
+                    obj.0,
+                    junction.0,
+                    nop,
+                ),
+                NodeKind::Store {
+                    obj,
+                    junction,
+                    predicated,
+                } => (
+                    UopKind::Store,
+                    if *predicated { UOP_PREDICATED } else { 0 },
+                    obj.0,
+                    junction.0,
+                    nop,
+                ),
+                NodeKind::TaskCall {
+                    callee,
+                    predicated,
+                    spawn,
+                } => {
+                    let child = acc.task(*callee);
+                    let mut flags = 0;
+                    if *predicated {
+                        flags |= UOP_PREDICATED;
+                    }
+                    if *spawn {
+                        flags |= UOP_SPAWN;
+                    }
+                    (
+                        UopKind::TaskCall,
+                        flags,
+                        callee.0,
+                        (child.num_args << 16) | child.num_results,
+                        nop,
+                    )
+                }
+            };
+            uops.push(MicroOp {
+                kind,
+                flags,
+                nin,
+                nord,
+                nout,
+                slot0,
+                ebase,
+                a,
+                b,
+                op,
+            });
+        }
+        self.uops = uops;
+    }
+
+    /// Number of micro-ops in this task's stream (== node count).
+    pub fn uop_count(&self) -> usize {
+        self.uops.len()
+    }
+
+    /// Heap footprint of the micro-op stream and its side tables, in
+    /// bytes (the `compile-stats` per-task column).
+    pub fn uop_bytes(&self) -> usize {
+        self.uops.len() * size_of::<MicroOp>()
+            + self.in_slots.len() * size_of::<u32>()
+            + self.edge_refs.len() * size_of::<u32>()
+            + self.consts.len() * size_of::<Value>()
+            + self.fused_plans.len() * size_of::<FusedPlan>()
+            + self
+                .fused_plans
+                .iter()
+                .map(|p| p.steps.len() * size_of::<crate::node::FusedStep>())
+                .sum::<usize>()
+            + self.edge_meta.len() * size_of::<EdgeMeta>()
     }
 
     /// Approximate heap footprint of this task's tables, in bytes.
@@ -140,6 +416,7 @@ impl CompiledTask {
             + self.pos.len() * size_of::<u32>()
             + adj
             + self.index.size_bytes()
+            + self.uop_bytes()
     }
 }
 
@@ -165,10 +442,29 @@ impl CompiledAccel {
     pub fn compile(acc: &Accelerator) -> Result<CompiledAccel, GraphError> {
         verify_accelerator(acc)?;
         let hash = content_hash(acc);
-        let tasks: Vec<CompiledTask> = acc
+        let t0 = telemetry::enabled().then(std::time::Instant::now);
+        let mut tasks: Vec<CompiledTask> = acc
             .task_ids()
             .map(|tid| CompiledTask::build(acc, tid))
             .collect();
+        let t1 = telemetry::enabled().then(std::time::Instant::now);
+        if let (Some(t0), Some(t1)) = (t0, t1) {
+            telemetry::observe(
+                "compile.lower_structure_us",
+                &telemetry::US_BUCKETS,
+                t1.duration_since(t0).as_micros() as u64,
+            );
+        }
+        for (ti, ct) in tasks.iter_mut().enumerate() {
+            ct.emit_uops(acc, TaskId(ti as u32));
+        }
+        if let Some(t1) = t1 {
+            telemetry::observe(
+                "compile.lower_uops_us",
+                &telemetry::US_BUCKETS,
+                t1.elapsed().as_micros() as u64,
+            );
+        }
         let mut mem_clients = vec![Vec::new(); acc.structures.len()];
         for mc in &acc.mem_conns {
             mem_clients[mc.structure.0 as usize].push((mc.task, mc.junction));
@@ -558,6 +854,30 @@ mod tests {
         let pos_of = |n: usize| ct.order.iter().position(|&x| x == n).unwrap();
         assert!(pos_of(3) < pos_of(2));
         assert_eq!(ct.conn_queue_depth, 1);
+    }
+
+    #[test]
+    fn uop_stream_matches_structure_tables() {
+        let acc = tiny_acc();
+        let comp = CompiledAccel::compile(&acc).unwrap();
+        let ct = comp.task(0);
+        assert_eq!(ct.uop_count(), 4);
+        assert_eq!(ct.uops[0].kind, UopKind::Static);
+        let add = ct.uops[2];
+        assert_eq!(add.kind, UopKind::Compute);
+        assert_eq!(add.op, OpKind::Bin(BinOp::Add));
+        // Both inputs are consts, pre-evaluated into the const pool.
+        assert_eq!(add.nin, 2);
+        let slots = &ct.in_slots[add.slot0 as usize..(add.slot0 + 2) as usize];
+        assert!(slots.iter().all(|&s| s & SLOT_TAG == SLOT_CONST));
+        assert_eq!(ct.consts.len(), 2);
+        // add has no order inputs and one out edge (edge 2 -> out).
+        assert_eq!((add.nord, add.nout), (0, 1));
+        assert_eq!(ct.edge_refs[add.ebase as usize], 2);
+        assert_eq!(ct.edge_meta[2].src, 2);
+        assert!(!ct.edge_meta[2].is_order);
+        assert_eq!(ct.edge_meta[2].fifo, u32::MAX);
+        assert!(ct.uop_bytes() > 0);
     }
 
     #[test]

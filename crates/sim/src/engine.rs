@@ -24,12 +24,15 @@ use crate::memory::{DramModel, MemRequest, StructModel};
 use crate::trace::{Observer, SimProfile, StallReason, Trace};
 use crate::{SchedulerKind, SimConfig, SimError, SimStats};
 use muir_core::accel::{Accelerator, ArgExpr, ResultInit, TaskKind};
-use muir_core::compiled::{CompiledAccel, CompiledTask};
+use muir_core::compiled::{
+    CompiledAccel, CompiledTask, MicroOp, UopKind, SLOT_ARG, SLOT_CONST, SLOT_FEEDBACK,
+    SLOT_PAYLOAD, SLOT_TAG, UOP_PREDICATED, UOP_SPAWN,
+};
 use muir_core::dataflow::EdgeKind;
 use muir_core::hw;
 use muir_core::node::{FusedInput, NodeKind, OpKind};
 use muir_core::structure::StructureKind;
-use muir_mir::instr::BinOp;
+use muir_mir::instr::{BinOp, MemObjId};
 use muir_mir::interp::{eval_bin, eval_cmp, eval_tensor, eval_un, Memory};
 use muir_mir::value::Value;
 use std::cmp::Reverse;
@@ -38,7 +41,7 @@ use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 
 #[path = "parallel.rs"]
-mod parallel;
+pub(crate) mod parallel;
 
 /// Multiply-shift hasher for `req_map`. Its keys are monotone request
 /// ids, so DoS-resistant SipHash (the `HashMap` default, which showed up
@@ -75,12 +78,197 @@ const ENGINE_FAULTS: [FaultClass; 4] = [
     FaultClass::StuckHandshake,
 ];
 
-/// A token on an edge queue.
-#[derive(Debug, Clone)]
-struct Tok {
-    instance: u64,
-    value: Value,
-    visible_at: Option<u64>,
+/// SoA token storage for one invocation: per-edge power-of-two ring
+/// slices over shared value/instance/visibility arrays, replacing the
+/// old `Vec<VecDeque<Tok>>` (DESIGN.md §14). A firing's pops and pushes
+/// touch contiguous arrays instead of chasing N deque allocations, and
+/// the visibility test is a single `u64` compare (`u64::MAX` = still in
+/// the producer's pipeline, anything else = the delivery cycle).
+///
+/// Rings are sized once from the compiled capacity table
+/// (`ElabTask::cap`): capacity plus slack for the in-flight push of the
+/// current firing, rounded up to a power of two so wraparound is a mask.
+/// Fault injection can duplicate tokens past any static bound, so
+/// overfull rings relocate to a doubled slice at the end of the arena
+/// (`grow`, cold by construction).
+#[derive(Debug, Default)]
+struct TokenArena {
+    vals: Vec<Value>,
+    inst: Vec<u64>,
+    /// Visibility cycle per slot; `u64::MAX` while the token is in flight.
+    vis: Vec<u64>,
+    base: Vec<u32>,
+    mask: Vec<u32>,
+    head: Vec<u32>,
+    qlen: Vec<u32>,
+    /// Per-edge count of visible (delivered, unconsumed) tokens, kept in
+    /// lockstep so the output-space gate is an O(1) read.
+    visn: Vec<u32>,
+}
+
+impl TokenArena {
+    /// Ring size for a resolved edge capacity: the capacity itself plus
+    /// slack for the producer's in-flight push, next power of two. Deep
+    /// FIFOs cap the *initial* ring (growth stays demand-driven) so a
+    /// pathological `Fifo(1 << 20)` does not reserve megabytes up front.
+    fn ring_cap(cap: u32) -> u32 {
+        cap.saturating_add(2).next_power_of_two().min(64)
+    }
+
+    fn with_caps(caps: &[u32]) -> TokenArena {
+        let mut a = TokenArena::default();
+        let total: usize = caps.iter().map(|&c| Self::ring_cap(c) as usize).sum();
+        a.vals.reserve_exact(total);
+        a.inst.reserve_exact(total);
+        a.vis.reserve_exact(total);
+        for &c in caps {
+            let rc = Self::ring_cap(c);
+            a.base.push(a.vals.len() as u32);
+            a.mask.push(rc - 1);
+            a.head.push(0);
+            a.qlen.push(0);
+            a.visn.push(0);
+            for _ in 0..rc {
+                a.vals.push(Value::Poison);
+                a.inst.push(0);
+                a.vis.push(u64::MAX);
+            }
+        }
+        a
+    }
+
+    /// Reset for reuse by the next invocation: drop held values, zero the
+    /// bookkeeping. Ring geometry is task-constant, so no reallocation.
+    fn clear(&mut self) {
+        for e in 0..self.qlen.len() {
+            for i in 0..self.qlen[e] {
+                let s = self.slot(e, i);
+                self.vals[s] = Value::Poison;
+            }
+            self.head[e] = 0;
+            self.qlen[e] = 0;
+            self.visn[e] = 0;
+        }
+    }
+
+    #[inline]
+    fn slot(&self, e: usize, i: u32) -> usize {
+        (self.base[e] + ((self.head[e].wrapping_add(i)) & self.mask[e])) as usize
+    }
+
+    #[inline]
+    fn len(&self, e: usize) -> u32 {
+        self.qlen[e]
+    }
+
+    /// Visible (delivered, unconsumed) tokens on edge `e`.
+    #[inline]
+    fn visible(&self, e: usize) -> u32 {
+        self.visn[e]
+    }
+
+    /// All per-edge visible counts (seeds the parallel planner's scratch).
+    fn visible_counts(&self) -> &[u32] {
+        &self.visn
+    }
+
+    /// The front token's (instance, visibility cycle), if any.
+    #[inline]
+    fn front(&self, e: usize) -> Option<(u64, u64)> {
+        if self.qlen[e] == 0 {
+            return None;
+        }
+        let s = self.slot(e, 0);
+        Some((self.inst[s], self.vis[s]))
+    }
+
+    /// The front token's value in place (planner precompute reads it
+    /// without consuming).
+    fn front_value(&self, e: usize) -> Option<&Value> {
+        if self.qlen[e] == 0 {
+            return None;
+        }
+        Some(&self.vals[self.slot(e, 0)])
+    }
+
+    /// Push a token, invisible until its producer's completion event.
+    fn push(&mut self, e: usize, instance: u64, value: Value) {
+        if self.qlen[e] > self.mask[e] {
+            self.grow(e);
+        }
+        let s = self.slot(e, self.qlen[e]);
+        self.vals[s] = value;
+        self.inst[s] = instance;
+        self.vis[s] = u64::MAX;
+        self.qlen[e] += 1;
+    }
+
+    /// Pop the front token's value. Callers guarantee non-empty (the input
+    /// gate ran first); the value is moved out, not cloned.
+    fn pop(&mut self, e: usize) -> Value {
+        debug_assert!(self.qlen[e] > 0, "pop on empty edge e{e}");
+        let s = self.slot(e, 0);
+        let v = std::mem::replace(&mut self.vals[s], Value::Poison);
+        if self.vis[s] != u64::MAX {
+            self.visn[e] -= 1;
+        }
+        self.head[e] = (self.head[e] + 1) & self.mask[e];
+        self.qlen[e] -= 1;
+        v
+    }
+
+    /// Reverse-scan edge `e` marking instance `instance`'s in-flight
+    /// tokens visible at `cycle`, patching their value from `patch` when
+    /// given (call replies). Tokens are pushed in instance order, so the
+    /// scan stops at the first older instance.
+    fn reveal(&mut self, e: usize, instance: u64, cycle: u64, patch: Option<&Value>) {
+        let mut marked = 0u32;
+        for i in (0..self.qlen[e]).rev() {
+            let s = self.slot(e, i);
+            if self.inst[s] > instance {
+                continue;
+            }
+            if self.inst[s] < instance {
+                break;
+            }
+            if self.vis[s] == u64::MAX {
+                if let Some(p) = patch {
+                    self.vals[s] = p.clone();
+                }
+                self.vis[s] = cycle;
+                marked += 1;
+            }
+        }
+        self.visn[e] += marked;
+    }
+
+    /// Relocate edge `e`'s ring to a doubled slice appended to the arena
+    /// (the old slice goes dead — acceptable, because this is reachable
+    /// only when fault injection overfills a ring past its slack).
+    #[cold]
+    fn grow(&mut self, e: usize) {
+        let old_cap = self.mask[e] + 1;
+        let new_cap = old_cap * 2;
+        let new_base = self.vals.len() as u32;
+        for i in 0..new_cap {
+            if i < self.qlen[e] {
+                let s = self.slot(e, i); // old geometry until fields update
+                let v = std::mem::replace(&mut self.vals[s], Value::Poison);
+                let inst = self.inst[s];
+                let vis = self.vis[s];
+                self.vals.push(v);
+                self.inst.push(inst);
+                self.vis.push(vis);
+            } else {
+                self.vals.push(Value::Poison);
+                self.inst.push(0);
+                self.vis.push(u64::MAX);
+            }
+        }
+        self.base[e] = new_base;
+        self.mask[e] = new_cap - 1;
+        self.head[e] = 0;
+    }
 }
 
 /// Where a blocking call's response must be delivered.
@@ -104,7 +292,7 @@ struct Invocation {
 
 /// Per-invocation runtime state on one execution tile.
 #[derive(Debug)]
-struct ActiveInv {
+pub(crate) struct ActiveInv {
     uid: u64,
     args: Vec<Value>,
     reply: Option<ReplyTo>,
@@ -121,11 +309,8 @@ struct ActiveInv {
     /// databox entries of §3.4 for memory nodes, pipeline occupancy for
     /// function units.
     pending: Vec<u32>,
-    edge_q: Vec<VecDeque<Tok>>,
-    /// Per-edge count of visible (delivered, unconsumed) tokens, kept in
-    /// lockstep with `edge_q` so the output-space gate is an O(1) read
-    /// instead of a queue scan on every visit.
-    edge_vis: Vec<u32>,
+    /// SoA token rings, one per edge (replaces the old per-edge deques).
+    arena: TokenArena,
     /// Remaining completions per in-flight instance, front = instance
     /// `completed`. Instances are admitted and retired strictly in order,
     /// so a ring indexed by `instance - completed` replaces the old
@@ -144,7 +329,7 @@ struct ActiveInv {
 /// `is_static`, `pos`, `queue_cap`, …) directly, so the schedulers read
 /// them exactly as before the artifact refactor.
 #[derive(Debug)]
-struct ElabTask<'a> {
+pub(crate) struct ElabTask<'a> {
     /// The sealed per-task tables (adjacency, scan order, static masks).
     ct: &'a CompiledTask,
     /// Per node timing (depends on `cfg.period_ns`).
@@ -153,6 +338,9 @@ struct ElabTask<'a> {
     /// transit nodes; effectively unbounded for pipelined function units).
     /// Depends on `cfg.databox_entries`.
     max_pending: Vec<u32>,
+    /// Per edge resolved token capacity: explicit FIFO depth, or
+    /// `cfg.elastic_depth` for handshake connections.
+    cap: Vec<u32>,
 }
 
 impl std::ops::Deref for ElabTask<'_> {
@@ -164,7 +352,7 @@ impl std::ops::Deref for ElabTask<'_> {
 }
 
 #[derive(Debug)]
-struct TaskState {
+pub(crate) struct TaskState {
     queue: VecDeque<Invocation>,
     tiles: Vec<Option<ActiveInv>>,
     invocations: u64,
@@ -278,10 +466,20 @@ enum Ev {
     },
 }
 
-/// A scheduled event in the min-heap, ordered by (cycle, insertion seq) so
-/// events within one cycle replay in exactly the order they were pushed —
-/// the semantics the old `BTreeMap<u64, Vec<Ev>>` provided, with an O(1)
-/// `next_event_cycle()` peek for the idle-skip path.
+/// Calendar-queue horizon: events due within this many cycles of *now* go
+/// into a per-cycle FIFO ring bucket (O(1) push/pop, no comparisons); the
+/// rare event further out falls back to the `(cycle, seq)` min-heap. Node
+/// latencies and memory response delays are tens of cycles, so in practice
+/// virtually every event is "near". Must exceed the largest single-hop
+/// event latency for the ring to pay off; correctness never depends on it.
+const EV_HORIZON: u64 = 256;
+
+/// A scheduled event in the *far* min-heap, ordered by (cycle, insertion
+/// seq). Replay order across both queues is identical to the old pure-heap
+/// design: a far event is by definition pushed at least [`EV_HORIZON`]
+/// cycles before it is due, while a near event with the same due cycle is
+/// pushed strictly later — so draining due far events before the ring
+/// bucket reproduces global (cycle, push-order) order exactly.
 #[derive(Debug)]
 struct EvAt {
     at: u64,
@@ -325,7 +523,12 @@ pub struct Engine<'a> {
     structs: Vec<StructModel>,
     dram: DramModel,
     dram_idx: Option<usize>,
-    events: BinaryHeap<Reverse<EvAt>>,
+    /// Near events: ring of per-cycle FIFO buckets indexed by `at % EV_HORIZON`.
+    ev_near: Vec<Vec<Ev>>,
+    /// Far events (due ≥ [`EV_HORIZON`] cycles out): (cycle, seq) min-heap.
+    ev_far: BinaryHeap<Reverse<EvAt>>,
+    /// Total events pending across both queues.
+    ev_count: usize,
     ev_seq: u64,
     req_map: HashMap<u64, MemPending, BuildHasherDefault<ReqHasher>>,
     next_req: u64,
@@ -358,8 +561,19 @@ pub struct Engine<'a> {
     par_active: Vec<(u32, u32)>,
     /// Reused per-tile plans, index-aligned with `par_active`.
     par_plans: Vec<parallel::TilePlan>,
-    /// The main thread's edge-visibility scratch for inline planning.
-    par_scratch: Vec<u32>,
+    /// The main thread's plan/commit scratch (shared with pool workers'
+    /// private copies).
+    par_ws: parallel::WorkerScratch,
+    /// Reused epoch-commit job list (local tiles with work this cycle).
+    par_commit_items: Vec<parallel::CommitItem>,
+    /// Reused epoch-commit outputs, index-aligned with `par_commit_items`.
+    par_commit_outs: Vec<parallel::CommitOut>,
+    /// Maps `par_active` index → `par_commit_items` index (-1 = committed
+    /// sequentially at merge).
+    par_commit_map: Vec<i32>,
+    /// True when firings execute from the compiled micro-op stream
+    /// ([`crate::ExecMode::MicroOp`]) instead of the `NodeKind` interpreter.
+    use_uop: bool,
     pass_point: PassPoint,
     wake_scratch: Vec<u32>,
     /// Reused input-slot buffer for `try_fire` (fires are the hot path;
@@ -408,10 +622,22 @@ impl<'a> Engine<'a> {
                         _ => u32::MAX,
                     })
                     .collect();
+                let cap: Vec<u32> = ct
+                    .edge_meta
+                    .iter()
+                    .map(|m| {
+                        if m.fifo == u32::MAX {
+                            cfg.elastic_depth
+                        } else {
+                            m.fifo
+                        }
+                    })
+                    .collect();
                 ElabTask {
                     ct,
                     timing,
                     max_pending,
+                    cap,
                 }
             })
             .collect();
@@ -476,7 +702,9 @@ impl<'a> Engine<'a> {
             structs,
             dram,
             dram_idx,
-            events: BinaryHeap::new(),
+            ev_near: (0..EV_HORIZON).map(|_| Vec::new()).collect(),
+            ev_far: BinaryHeap::new(),
+            ev_count: 0,
             ev_seq: 0,
             req_map: HashMap::default(),
             next_req: 1,
@@ -495,7 +723,11 @@ impl<'a> Engine<'a> {
             pool,
             par_active: Vec::new(),
             par_plans: Vec::new(),
-            par_scratch: Vec::new(),
+            par_ws: parallel::WorkerScratch::default(),
+            par_commit_items: Vec::new(),
+            par_commit_outs: Vec::new(),
+            par_commit_map: Vec::new(),
+            use_uop: cfg.exec == crate::ExecMode::MicroOp,
             pass_point: PassPoint::Before,
             wake_scratch: Vec::new(),
             slot_scratch: Vec::new(),
@@ -628,19 +860,39 @@ impl<'a> Engine<'a> {
     }
 
     /// Schedule `ev` at cycle `at`; within a cycle events replay in push
-    /// order (the heap tiebreaks on a monotone sequence number).
+    /// order. Near events (due inside [`EV_HORIZON`]) take the O(1) ring
+    /// bucket; far events take the (cycle, seq) heap.
     fn schedule(&mut self, at: u64, ev: Ev) {
-        self.ev_seq += 1;
-        self.events.push(Reverse(EvAt {
-            at,
-            seq: self.ev_seq,
-            ev,
-        }));
+        debug_assert!(at > self.cycle, "events are always strictly future");
+        self.ev_count += 1;
+        if at - self.cycle < EV_HORIZON {
+            self.ev_near[(at % EV_HORIZON) as usize].push(ev);
+        } else {
+            self.ev_seq += 1;
+            self.ev_far.push(Reverse(EvAt {
+                at,
+                seq: self.ev_seq,
+                ev,
+            }));
+        }
     }
 
-    /// Cycle of the earliest scheduled event, O(1).
+    /// Cycle of the earliest scheduled event. O(1) for the far heap plus a
+    /// bounded ring scan; only the idle-skip paths call this, never the
+    /// per-cycle hot loop.
     fn next_event_cycle(&self) -> Option<u64> {
-        self.events.peek().map(|Reverse(e)| e.at)
+        if self.ev_count == 0 {
+            return None;
+        }
+        let mut earliest = self.ev_far.peek().map(|Reverse(e)| e.at);
+        for off in 0..EV_HORIZON {
+            let at = self.cycle + off;
+            if !self.ev_near[(at % EV_HORIZON) as usize].is_empty() {
+                earliest = Some(earliest.map_or(at, |f| f.min(at)));
+                break;
+            }
+        }
+        earliest
     }
 
     /// Arbitration budget slot for junction `j` on (task, tile), reset
@@ -839,9 +1091,7 @@ impl<'a> Engine<'a> {
                         if is_merge && e.dst_port == 1 && k == 0 {
                             continue;
                         }
-                        let has = inv.edge_q[ei]
-                            .front()
-                            .is_some_and(|t| t.visible_at.is_some_and(|v| v <= cycle));
+                        let has = inv.arena.front(ei).is_some_and(|(_, vis)| vis <= cycle);
                         if !has {
                             out.push(W {
                                 to: (ti, tk, e.src.0 as usize),
@@ -863,7 +1113,7 @@ impl<'a> Engine<'a> {
                     for &ei in self.elab[ti].outs[node].iter() {
                         let e = &df.edges[ei];
                         let cap = self.edge_capacity(ti, ei);
-                        let visible = inv.edge_vis[ei] as usize;
+                        let visible = inv.arena.visible(ei) as usize;
                         if visible >= cap {
                             out.push(W {
                                 to: (ti, tk, e.dst.0 as usize),
@@ -911,10 +1161,7 @@ impl<'a> Engine<'a> {
     /// blocks forever and the deadlock diagnosis names the edge and the
     /// buffer bump that fixes it.
     fn edge_capacity(&self, ti: usize, ei: usize) -> usize {
-        match self.acc.tasks[ti].dataflow.edges[ei].buffering {
-            muir_core::dataflow::Buffering::Handshake => self.cfg.elastic_depth as usize,
-            muir_core::dataflow::Buffering::Fifo(d) => d as usize,
-        }
+        self.elab[ti].cap[ei] as usize
     }
 
     /// A typed `Fault` error located at a node interface.
@@ -964,33 +1211,49 @@ impl<'a> Engine<'a> {
         Ok(())
     }
 
+    /// Deliver one scheduled event to its completion handler.
+    fn dispatch_event(&mut self, ev: Ev) -> Result<(), SimError> {
+        match ev {
+            Ev::NodeDone {
+                task,
+                tile,
+                uid,
+                node,
+                instance,
+            } => self.node_done(task, tile, uid, node, instance, None),
+            Ev::Reply { to, results } => self.node_done(
+                to.task,
+                to.tile,
+                to.uid,
+                to.node,
+                to.instance,
+                Some(results),
+            ),
+        }
+    }
+
     fn step(&mut self) -> Result<(), SimError> {
         let cycle = self.cycle;
         self.pass_point = PassPoint::Before;
-        // Phase 1: scheduled events, in (cycle, push-order) order.
-        while self.events.peek().is_some_and(|Reverse(e)| e.at <= cycle) {
-            let Reverse(EvAt { ev, .. }) = self.events.pop().expect("peeked");
-            match ev {
-                Ev::NodeDone {
-                    task,
-                    tile,
-                    uid,
-                    node,
-                    instance,
-                } => {
-                    self.node_done(task, tile, uid, node, instance, None)?;
-                }
-                Ev::Reply { to, results } => {
-                    self.node_done(
-                        to.task,
-                        to.tile,
-                        to.uid,
-                        to.node,
-                        to.instance,
-                        Some(results),
-                    )?;
-                }
+        // Phase 1: scheduled events, in (cycle, push-order) order. Due far
+        // events drain first — each was pushed ≥ EV_HORIZON cycles ago, so
+        // it precedes every near event due this cycle in push order.
+        while self.ev_far.peek().is_some_and(|Reverse(e)| e.at <= cycle) {
+            let Reverse(EvAt { ev, .. }) = self.ev_far.pop().expect("peeked");
+            self.ev_count -= 1;
+            self.dispatch_event(ev)?;
+        }
+        let slot = (cycle % EV_HORIZON) as usize;
+        if !self.ev_near[slot].is_empty() {
+            let mut bucket = std::mem::take(&mut self.ev_near[slot]);
+            self.ev_count -= bucket.len();
+            for ev in bucket.drain(..) {
+                self.dispatch_event(ev)?;
             }
+            // Nothing can land in this slot mid-drain (that would need
+            // `at == cycle + EV_HORIZON`, which goes to the far heap), so
+            // swap the emptied Vec back to keep its capacity.
+            self.ev_near[slot] = bucket;
         }
         // Phase 2: memory responses.
         for si in 0..self.structs.len() {
@@ -1082,13 +1345,23 @@ impl<'a> Engine<'a> {
     /// argument). Tiles share no mutable state, so any sharding across the
     /// worker pool yields identical plans.
     ///
-    /// *Commit* (sequential, tile-index then scan-position ascending):
-    /// replays the candidates through `try_fire`, which re-checks every
-    /// gate. Because the commit's gate-passing visits are exactly the dense
-    /// scan's, every global side effect — fault-RNG rolls, event sequence
-    /// numbers, memory request ids, junction budgets — happens in exactly
-    /// the dense order, which is what makes the scheduler bit-identical at
-    /// any thread count (DESIGN.md §10).
+    /// *Commit*: tiles whose plan is **local** (every candidate a pure
+    /// micro-op with in-order tokens) are committed in parallel on the
+    /// worker pool (`parallel::commit_local`), with their engine-global
+    /// effects — fire/visit counters, progress, completion events —
+    /// buffered per tile and merged below in dense tile order, which
+    /// reproduces the sequential commit bit-for-bit (DESIGN.md §14). All
+    /// other tiles replay their candidates through `try_fire` at their
+    /// dense slot in the merge, re-checking every gate. Either way the
+    /// commit's gate-passing visits are exactly the dense scan's, so every
+    /// global side effect — fault-RNG rolls, event sequence numbers,
+    /// memory request ids, junction budgets — happens in exactly the dense
+    /// order, which is what makes the scheduler bit-identical at any
+    /// thread count (DESIGN.md §10).
+    ///
+    /// Epoch commit is enabled only under the micro-op exec mode with
+    /// fault injection off (token-fault RNG draws must stay in dense
+    /// order) and an actual pool to shard across.
     ///
     /// Returns `(shortfall, min_ready)` for the post-commit idle skip:
     /// `shortfall` is set when some candidate did not fire (its blocker may
@@ -1111,6 +1384,7 @@ impl<'a> Engine<'a> {
         if plans.len() < n {
             plans.resize_with(n, parallel::TilePlan::default);
         }
+        let use_epoch = self.use_uop && !self.faults_on && self.pool.is_some();
         {
             let ctx = parallel::PlanCtx {
                 acc: self.acc,
@@ -1120,13 +1394,13 @@ impl<'a> Engine<'a> {
                 faults_on: self.faults_on,
                 cycle,
                 window: self.cfg.window,
-                elastic_depth: self.cfg.elastic_depth,
+                skip_pre: use_epoch,
             };
             match &self.pool {
                 // Engaging workers for a single tile only adds handoff
                 // latency; the inline path computes the very same plan.
                 Some(pool) if n >= 2 => {
-                    pool.plan(&ctx, &active, &mut plans[..n], &mut self.par_scratch);
+                    pool.plan(&ctx, &active, &mut plans[..n], &mut self.par_ws);
                 }
                 _ => {
                     for (i, &(ti, tk)) in active.iter().enumerate() {
@@ -1134,13 +1408,62 @@ impl<'a> Engine<'a> {
                             &ctx,
                             ti as usize,
                             tk as usize,
-                            &mut self.par_scratch,
+                            &mut self.par_ws,
                             &mut plans[i],
                         );
                     }
                 }
             }
         }
+        // Epoch commit, phase A: shard the local tiles' commits across the
+        // pool, buffering their global effects. A tile qualifies when its
+        // plan is local and non-trivial; trivial (no-admit, no-candidate)
+        // tiles have nothing to commit. Every item built here is still
+        // alive at the merge: mid-merge retirement (a child's completion
+        // cascading into its spawn parent) requires the parent tile to have
+        // drained all its work, which forces an empty plan — skipped here.
+        let mut items = std::mem::take(&mut self.par_commit_items);
+        let mut outs = std::mem::take(&mut self.par_commit_outs);
+        let mut map = std::mem::take(&mut self.par_commit_map);
+        items.clear();
+        map.clear();
+        map.resize(n, -1);
+        if use_epoch {
+            for (i, &(ti, tk)) in active.iter().enumerate() {
+                let (ti, tk) = (ti as usize, tk as usize);
+                if !plans[i].local || (!plans[i].admit && plans[i].cands.is_empty()) {
+                    continue;
+                }
+                let Some(inv) = self.tasks[ti].tiles[tk].as_mut() else {
+                    continue;
+                };
+                map[i] = items.len() as i32;
+                items.push(parallel::CommitItem {
+                    ti: ti as u32,
+                    inv: std::ptr::from_mut(inv),
+                    plan: &plans[i],
+                });
+            }
+            if outs.len() < items.len() {
+                outs.resize_with(items.len(), parallel::CommitOut::default);
+            }
+            let ctx = parallel::CommitCtx {
+                elab: &self.elab,
+                cycle,
+                window: self.cfg.window,
+            };
+            parallel::EPOCH_TILE_COMMITS
+                .fetch_add(items.len() as u64, std::sync::atomic::Ordering::Relaxed);
+            let pool = self.pool.as_ref().expect("use_epoch implies pool");
+            if items.len() >= 2 {
+                pool.commit(&ctx, &items, &mut outs[..items.len()], &mut self.par_ws);
+            } else {
+                for (j, item) in items.iter().enumerate() {
+                    parallel::commit_item(&ctx, item, &mut outs[j], &mut self.par_ws);
+                }
+            }
+        }
+        // Merge / sequential commit, in dense tile order.
         let mut shortfall = false;
         let mut min_ready = u64::MAX;
         for (i, &(ti, tk)) in active.iter().enumerate().take(n) {
@@ -1151,33 +1474,69 @@ impl<'a> Engine<'a> {
                 continue;
             }
             self.tasks[ti].busy_cycles += 1;
-            let admitted = self.admit(ti, tk);
-            debug_assert_eq!(
-                admitted.is_some(),
-                plans[i].admit,
-                "plan admission prediction diverged"
-            );
-            let uid = self.tasks[ti].tiles[tk].as_ref().map(|v| v.uid);
-            let order = Arc::clone(&self.elab[ti].order);
-            for c in 0..plans[i].cands.len() {
-                let pos = plans[i].cands[c].pos as usize;
-                let pre = plans[i].cands[c].pre.take();
-                let node = order[pos];
-                let before = self.fires;
-                self.try_fire(ti, tk, node, pre).map_err(|e| {
-                    e.at_site(
+            let mi = map[i];
+            if mi >= 0 {
+                // Epoch-committed in phase A: merge its buffered effects
+                // here, in the tile's dense slot, so event sequence numbers
+                // and counters match the sequential commit bit-for-bit.
+                let out = &mut outs[mi as usize];
+                self.sched_visits += out.visits;
+                self.fires += out.fires;
+                if out.progressed {
+                    self.last_progress = cycle;
+                }
+                shortfall |= out.shortfall;
+                min_ready = min_ready.min(out.min_ready);
+                let uid = self.tasks[ti].tiles[tk].as_ref().map(|v| v.uid);
+                for (at, node, instance) in out.events.drain(..) {
+                    self.schedule(
+                        at,
+                        Ev::NodeDone {
+                            task: ti,
+                            tile: tk,
+                            uid: uid.unwrap_or(0),
+                            node: node as usize,
+                            instance,
+                        },
+                    );
+                }
+                if let Some((node, err)) = out.err.take() {
+                    return Err(err.at_site(
                         cycle,
                         ti as u32,
                         &self.acc.tasks[ti].name,
-                        Some(node as u32),
+                        Some(node),
                         uid,
-                    )
-                })?;
-                if self.fires == before {
-                    shortfall = true;
-                } else if let Some(inv) = self.tasks[ti].tiles[tk].as_ref() {
-                    if inv.fired[node] < inv.admitted {
-                        min_ready = min_ready.min(inv.ready_at[node]);
+                    ));
+                }
+            } else {
+                let admitted = self.admit(ti, tk);
+                debug_assert_eq!(
+                    admitted.is_some(),
+                    plans[i].admit,
+                    "plan admission prediction diverged"
+                );
+                let uid = self.tasks[ti].tiles[tk].as_ref().map(|v| v.uid);
+                for c in 0..plans[i].cands.len() {
+                    let pos = plans[i].cands[c].pos as usize;
+                    let pre = plans[i].cands[c].pre.take();
+                    let node = self.elab[ti].order[pos];
+                    let before = self.fires;
+                    self.try_fire(ti, tk, node, pre).map_err(|e| {
+                        e.at_site(
+                            cycle,
+                            ti as u32,
+                            &self.acc.tasks[ti].name,
+                            Some(node as u32),
+                            uid,
+                        )
+                    })?;
+                    if self.fires == before {
+                        shortfall = true;
+                    } else if let Some(inv) = self.tasks[ti].tiles[tk].as_ref() {
+                        if inv.fired[node] < inv.admitted {
+                            min_ready = min_ready.min(inv.ready_at[node]);
+                        }
                     }
                 }
             }
@@ -1186,6 +1545,9 @@ impl<'a> Engine<'a> {
         }
         self.par_active = active;
         self.par_plans = plans;
+        self.par_commit_items = items;
+        self.par_commit_outs = outs;
+        self.par_commit_map = map;
         Ok((shortfall, min_ready))
     }
 
@@ -1264,7 +1626,6 @@ impl<'a> Engine<'a> {
             }
         };
         let nnodes = task.dataflow.nodes.len();
-        let nedges = task.dataflow.edges.len();
         self.tasks[ti].invocations += 1;
         self.task_invocations[ti] += 1;
         // Recycle a retired shell when one is pooled: its vectors already
@@ -1284,8 +1645,7 @@ impl<'a> Engine<'a> {
                 a.fired.iter_mut().for_each(|x| *x = 0);
                 a.ready_at.iter_mut().for_each(|x| *x = 0);
                 a.pending.iter_mut().for_each(|x| *x = 0);
-                a.edge_q.iter_mut().for_each(VecDeque::clear);
-                a.edge_vis.iter_mut().for_each(|x| *x = 0);
+                a.arena.clear();
                 a.outstanding.clear();
                 a.spawns_outstanding = 0;
                 a.last_output.clear();
@@ -1306,8 +1666,7 @@ impl<'a> Engine<'a> {
                 fired: vec![0; nnodes],
                 ready_at: vec![0; nnodes],
                 pending: vec![0; nnodes],
-                edge_q: vec![VecDeque::new(); nedges],
-                edge_vis: vec![0; nedges],
+                arena: TokenArena::with_caps(&self.elab[ti].cap),
                 outstanding: VecDeque::new(),
                 spawns_outstanding: 0,
                 last_output: Vec::new(),
@@ -1339,8 +1698,8 @@ impl<'a> Engine<'a> {
         self.admit(ti, tk);
         // Node firing in consumers-first order.
         let uid = self.tasks[ti].tiles[tk].as_ref().map(|i| i.uid);
-        let order = Arc::clone(&self.elab[ti].order);
-        for &node in order.iter() {
+        for pos in 0..self.elab[ti].order.len() {
+            let node = self.elab[ti].order[pos];
             self.try_fire(ti, tk, node, None).map_err(|e| {
                 e.at_site(
                     cycle,
@@ -1432,11 +1791,12 @@ impl<'a> Engine<'a> {
             }
         }
         let uid = self.tasks[ti].tiles[tk].as_ref().map(|i| i.uid);
-        let order = Arc::clone(&self.elab[ti].order);
         // Drain the bitset lowest-position-first. The word is re-read after
         // every visit: a same-cycle wake from inside `try_fire` can only
         // set a bit ahead of the drain point, which this forward walk will
-        // still reach.
+        // still reach. `order` is re-indexed per visit rather than cloned
+        // out of its `Arc` up front — the refcount pair costs more than the
+        // handful of per-visit loads on low-activity cycles.
         let mut wi = 0;
         while wi < self.ready[ti][tk].cur_bits.len() {
             let word = self.ready[ti][tk].cur_bits[wi];
@@ -1449,7 +1809,7 @@ impl<'a> Engine<'a> {
             rt.cur_bits[wi] &= !(1u64 << bit);
             rt.cur_n -= 1;
             let pos = wi as u32 * 64 + bit;
-            let node = order[pos as usize] as u32;
+            let node = self.elab[ti].order[pos as usize] as u32;
             self.pass_point = PassPoint::At(ti, tk, i64::from(pos));
             self.try_fire(ti, tk, node as usize, None).map_err(|e| {
                 e.at_site(cycle, ti as u32, &self.acc.tasks[ti].name, Some(node), uid)
@@ -1467,8 +1827,28 @@ impl<'a> Engine<'a> {
     /// value is used only when the instance matches, and recomputing it
     /// here would yield the identical value (the dense and ready callers
     /// always pass `None`).
-    #[allow(clippy::too_many_lines)]
+    ///
+    /// Dispatches on [`crate::ExecMode`]: the micro-op fast path executes
+    /// the compiled [`MicroOp`] stream, the interpreter walks the structure
+    /// tables and matches on `NodeKind`. Gate order, side-effect order, and
+    /// every observable are bit-identical between the two (DESIGN.md §14).
+    #[inline]
     fn try_fire(
+        &mut self,
+        ti: usize,
+        tk: usize,
+        node: usize,
+        pre: Option<(u64, Value)>,
+    ) -> Result<(), SimError> {
+        if self.use_uop {
+            self.try_fire_uop(ti, tk, node, pre)
+        } else {
+            self.try_fire_interp(ti, tk, node, pre)
+        }
+    }
+
+    /// The `NodeKind` interpreter path (the differential oracle).
+    fn try_fire_interp(
         &mut self,
         ti: usize,
         tk: usize,
@@ -1533,9 +1913,9 @@ impl<'a> Engine<'a> {
                     if k == 0 {
                         continue;
                     }
-                    match inv.edge_q[ei].front() {
-                        Some(t) if t.visible_at.is_some_and(|v| v <= cycle) => {
-                            if t.instance != k - 1 {
+                    match inv.arena.front(ei) {
+                        Some((inst, vis)) if vis <= cycle => {
+                            if inst != k - 1 {
                                 return Err(self.fault_err(
                                     ti,
                                     tk,
@@ -1543,9 +1923,8 @@ impl<'a> Engine<'a> {
                                     k,
                                     FaultKind::TokenMisorder,
                                     format!(
-                                        "feedback edge e{ei}: expected instance {}, found {}",
+                                        "feedback edge e{ei}: expected instance {}, found {inst}",
                                         k - 1,
-                                        t.instance
                                     ),
                                 ));
                             }
@@ -1561,19 +1940,19 @@ impl<'a> Engine<'a> {
                     }
                     continue;
                 }
-                match inv.edge_q[ei].front() {
-                    Some(t) if t.visible_at.is_some_and(|v| v <= cycle) => {
+                match inv.arena.front(ei) {
+                    Some((inst, vis)) if vis <= cycle => {
                         // In-order delivery is the latency-insensitive
                         // contract; a mismatch means a token was dropped or
                         // duplicated upstream (a detected hardware fault).
-                        if t.instance != k {
+                        if inst != k {
                             return Err(self.fault_err(
                                 ti,
                                 tk,
                                 node,
                                 k,
                                 FaultKind::TokenMisorder,
-                                format!("edge e{ei}: expected instance {k}, found {}", t.instance),
+                                format!("edge e{ei}: expected instance {k}, found {inst}"),
                             ));
                         }
                     }
@@ -1605,7 +1984,7 @@ impl<'a> Engine<'a> {
             // producer's internal pipeline.
             for &ei in self.elab[ti].outs[node].iter() {
                 let cap = self.edge_capacity(ti, ei);
-                let visible = inv.edge_vis[ei] as usize;
+                let visible = inv.arena.visible(ei) as usize;
                 if visible >= cap {
                     return self.note_stall(
                         (ti, tk, node),
@@ -1666,12 +2045,60 @@ impl<'a> Engine<'a> {
         }
 
         // --- Fire -----------------------------------------------------------
-        // Collect input values (consume tokens).
+        // Scratch buffers are taken out of `self` and restored on *every*
+        // path — success or error — so a failed firing can never leak a
+        // drained buffer (the old inline body leaked them on eval errors).
+        let mut slots = std::mem::take(&mut self.slot_scratch);
         let mut values = std::mem::take(&mut self.val_scratch);
+        let mut out_values = std::mem::take(&mut self.out_scratch);
+        let r = self.fire_interp(
+            ti,
+            tk,
+            node,
+            k,
+            is_merge,
+            mem_plan,
+            pre,
+            &mut slots,
+            &mut values,
+            &mut out_values,
+        );
+        slots.clear();
         values.clear();
+        out_values.clear();
+        self.slot_scratch = slots;
+        self.val_scratch = values;
+        self.out_scratch = out_values;
+        r
+    }
+
+    /// The interpreter's firing body: consume tokens, evaluate, push
+    /// outputs, account. Callers have verified every gate; buffer
+    /// ownership (and restore-on-error) stays with
+    /// [`Engine::try_fire_interp`].
+    #[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+    fn fire_interp(
+        &mut self,
+        ti: usize,
+        tk: usize,
+        node: usize,
+        k: u64,
+        is_merge: bool,
+        mem_plan: Option<(usize, bool)>,
+        pre: Option<(u64, Value)>,
+        slots: &mut Vec<Option<Value>>,
+        values: &mut Vec<Value>,
+        out_values: &mut Vec<Value>,
+    ) -> Result<(), SimError> {
+        let cycle = self.cycle;
+        let df = &self.acc.tasks[ti].dataflow;
+        let ct = self.elab[ti].ct;
+        let kind = &df.nodes[node].kind;
+        let in_data = &ct.in_data[node];
+        let in_order = &ct.in_order[node];
+        // Collect input values (consume tokens).
         {
             // Static reads first (immutable), then token pops (mutable).
-            let mut slots = std::mem::take(&mut self.slot_scratch);
             slots.clear();
             slots.resize(in_data.len(), None);
             for (i, &ei) in in_data.iter().enumerate() {
@@ -1691,13 +2118,12 @@ impl<'a> Engine<'a> {
                     slots[i] = Some(Value::Poison); // unused at instance 0
                     continue;
                 }
-                let t = inv.edge_q[ei]
-                    .pop_front()
-                    .ok_or_else(|| SimError::eval(format!("missing token on edge e{ei}")))?;
-                inv.edge_vis[ei] -= 1; // gate guarantees the front was visible
-                slots[i] = Some(t.value);
+                if inv.arena.len(ei) == 0 {
+                    return Err(SimError::eval(format!("missing token on edge e{ei}")));
+                }
+                slots[i] = Some(inv.arena.pop(ei));
                 if let Some(obs) = self.obs.as_mut() {
-                    obs.edge_delta(cycle, ti, ei, inv.edge_q[ei].len() as u32, false);
+                    obs.edge_delta(cycle, ti, ei, inv.arena.len(ei), false);
                 }
             }
             for &ei in in_order.iter() {
@@ -1705,16 +2131,14 @@ impl<'a> Engine<'a> {
                 if self.elab[ti].is_static[e.src.0 as usize] {
                     continue;
                 }
-                inv.edge_q[ei].pop_front();
-                inv.edge_vis[ei] -= 1;
+                inv.arena.pop(ei);
                 if let Some(obs) = self.obs.as_mut() {
-                    obs.edge_delta(cycle, ti, ei, inv.edge_q[ei].len() as u32, false);
+                    obs.edge_delta(cycle, ti, ei, inv.arena.len(ei), false);
                 }
             }
             for s in slots.drain(..) {
                 values.push(s.ok_or_else(|| SimError::eval("input slot not filled"))?);
             }
-            self.slot_scratch = slots;
         }
         if self.use_ready {
             // A consumed token freed a slot on its edge — but that only
@@ -1733,7 +2157,7 @@ impl<'a> Engine<'a> {
                 let cap = self.edge_capacity(ti, ei);
                 let visible = self.tasks[ti].tiles[tk]
                     .as_ref()
-                    .map_or(0, |inv| inv.edge_vis[ei] as usize);
+                    .map_or(0, |inv| inv.arena.visible(ei) as usize);
                 if visible + 1 >= cap {
                     self.wake(ti, tk, src);
                 }
@@ -1742,8 +2166,6 @@ impl<'a> Engine<'a> {
 
         let timing = self.elab[ti].timing[node];
         let mut completion_at = Some(cycle + timing.latency as u64);
-        let mut out_values = std::mem::take(&mut self.out_scratch);
-        out_values.clear();
 
         match kind {
             NodeKind::IndVar => {
@@ -1775,11 +2197,11 @@ impl<'a> Engine<'a> {
             }
             NodeKind::Compute(op) => match pre {
                 Some((pk, v)) if pk == k => out_values.push(v),
-                _ => out_values.push(eval_op(*op, &values)?),
+                _ => out_values.push(eval_op(*op, values)?),
             },
             NodeKind::Fused(plan) => match pre {
                 Some((pk, v)) if pk == k => out_values.push(v),
-                _ => out_values.push(eval_fused(plan, &values)?),
+                _ => out_values.push(eval_fused(plan, values)?),
             },
             NodeKind::Output => {
                 let inv = self.tasks[ti].tiles[tk].as_mut().expect("active");
@@ -1970,7 +2392,7 @@ impl<'a> Engine<'a> {
         // a drop loses the valid pulse, a dup holds it one transfer too
         // long, a bit-flip corrupts the data lines.
         {
-            let outs = self.elab[ti].outs[node].clone();
+            let outs = &ct.outs[node];
             let inv = self.tasks[ti].tiles[tk].as_mut().expect("active");
             for &ei in outs.iter() {
                 let e = &df.edges[ei];
@@ -1990,20 +2412,12 @@ impl<'a> Engine<'a> {
                         value = flip_bit(&value, bit);
                     }
                     if self.faults.roll(FaultClass::TokenDup) {
-                        inv.edge_q[ei].push_back(Tok {
-                            instance: k,
-                            value: value.clone(),
-                            visible_at: None,
-                        });
+                        inv.arena.push(ei, k, value.clone());
                     }
                 }
-                inv.edge_q[ei].push_back(Tok {
-                    instance: k,
-                    value,
-                    visible_at: None,
-                });
+                inv.arena.push(ei, k, value);
                 if let Some(obs) = self.obs.as_mut() {
-                    obs.edge_delta(cycle, ti, ei, inv.edge_q[ei].len() as u32, true);
+                    obs.edge_delta(cycle, ti, ei, inv.arena.len(ei), true);
                 }
             }
             inv.fired[node] = k + 1;
@@ -2046,10 +2460,608 @@ impl<'a> Engine<'a> {
                 },
             );
         }
+        Ok(())
+    }
+
+    /// The micro-op fast path: identical gate order, side effects, errors,
+    /// and trace events to [`Engine::try_fire_interp`], but driven by the
+    /// compiled [`MicroOp`] stream — dispatch is a jump on a dense `u8`
+    /// opcode over pre-resolved slot/edge index ranges instead of a
+    /// `NodeKind` match with per-fire field destructuring (DESIGN.md §14).
+    #[allow(clippy::too_many_lines)]
+    fn try_fire_uop(
+        &mut self,
+        ti: usize,
+        tk: usize,
+        node: usize,
+        pre: Option<(u64, Value)>,
+    ) -> Result<(), SimError> {
+        let cycle = self.cycle;
+        let df = &self.acc.tasks[ti].dataflow;
+        self.sched_visits += 1;
+        let ct = self.elab[ti].ct;
+        let uop = ct.uops[node];
+        if matches!(uop.kind, UopKind::Static) {
+            return Ok(());
+        }
+        if self.faults_on && self.stuck.contains(&(ti, tk, node)) {
+            let has_work = self.tasks[ti].tiles[tk]
+                .as_ref()
+                .is_some_and(|inv| inv.fired[node] < inv.admitted);
+            if has_work {
+                return self.note_stall((ti, tk, node), StallReason::FaultHold, None, None);
+            }
+            return Ok(());
+        }
+        let (k, instance_gated, ok_basic) = {
+            let inv = self.tasks[ti].tiles[tk].as_ref().expect("active");
+            let k = inv.fired[node];
+            (
+                k,
+                k >= inv.admitted,
+                k < inv.admitted && cycle >= inv.ready_at[node],
+            )
+        };
+        if !ok_basic {
+            if self.use_ready && instance_gated {
+                let rt = &mut self.ready[ti][tk];
+                if !rt.in_adm[node] {
+                    rt.in_adm[node] = true;
+                    rt.adm.push(node as u32);
+                }
+            }
+            return Ok(());
+        }
+        let slots = &ct.in_slots[uop.slot0 as usize..uop.slot0 as usize + uop.nin as usize];
+        let erefs = &ct.edge_refs
+            [uop.ebase as usize..uop.ebase as usize + uop.nord as usize + uop.nout as usize];
+
+        // Check inputs (slot run = data edges in port order, then the
+        // dynamic order-in edges — the interpreter's visit order).
+        {
+            let inv = self.tasks[ti].tiles[tk].as_ref().expect("active");
+            for &s in slots {
+                let ei = (s & SLOT_PAYLOAD) as usize;
+                match s & SLOT_TAG {
+                    SLOT_ARG | SLOT_CONST => {}
+                    SLOT_FEEDBACK => {
+                        // Feedback: required from instance 1 on, carrying
+                        // the previous instance's token.
+                        if k == 0 {
+                            continue;
+                        }
+                        match inv.arena.front(ei) {
+                            Some((inst, vis)) if vis <= cycle => {
+                                if inst != k - 1 {
+                                    return Err(self.fault_err(
+                                        ti,
+                                        tk,
+                                        node,
+                                        k,
+                                        FaultKind::TokenMisorder,
+                                        format!(
+                                            "feedback edge e{ei}: expected instance {}, found {inst}",
+                                            k - 1,
+                                        ),
+                                    ));
+                                }
+                            }
+                            _ => {
+                                return self.note_stall(
+                                    (ti, tk, node),
+                                    StallReason::InputEmpty,
+                                    Some(ei),
+                                    None,
+                                )
+                            }
+                        }
+                    }
+                    _ => match inv.arena.front(ei) {
+                        Some((inst, vis)) if vis <= cycle => {
+                            if inst != k {
+                                return Err(self.fault_err(
+                                    ti,
+                                    tk,
+                                    node,
+                                    k,
+                                    FaultKind::TokenMisorder,
+                                    format!("edge e{ei}: expected instance {k}, found {inst}"),
+                                ));
+                            }
+                        }
+                        _ => {
+                            return self.note_stall(
+                                (ti, tk, node),
+                                StallReason::InputEmpty,
+                                Some(ei),
+                                None,
+                            )
+                        }
+                    },
+                }
+            }
+            for &er in &erefs[..uop.nord as usize] {
+                let ei = er as usize;
+                match inv.arena.front(ei) {
+                    Some((inst, vis)) if vis <= cycle => {
+                        if inst != k {
+                            return Err(self.fault_err(
+                                ti,
+                                tk,
+                                node,
+                                k,
+                                FaultKind::TokenMisorder,
+                                format!("edge e{ei}: expected instance {k}, found {inst}"),
+                            ));
+                        }
+                    }
+                    _ => {
+                        return self.note_stall(
+                            (ti, tk, node),
+                            StallReason::InputEmpty,
+                            Some(ei),
+                            None,
+                        )
+                    }
+                }
+            }
+            // In-flight bound (databox entries / pipeline occupancy).
+            if inv.pending[node] >= self.elab[ti].max_pending[node] {
+                let (reason, sid) = match uop.kind {
+                    UopKind::Load | UopKind::Store => (
+                        StallReason::MemoryWait,
+                        Some(df.junctions[uop.b as usize].structure.0 as usize),
+                    ),
+                    _ => (StallReason::OutputFull, None),
+                };
+                return self.note_stall((ti, tk, node), reason, None, sid);
+            }
+            // Output space (visible tokens only).
+            for &er in &erefs[uop.nord as usize..] {
+                let ei = er as usize;
+                let cap = self.edge_capacity(ti, ei);
+                if inv.arena.visible(ei) as usize >= cap {
+                    return self.note_stall(
+                        (ti, tk, node),
+                        StallReason::OutputFull,
+                        Some(ei),
+                        None,
+                    );
+                }
+            }
+        }
+        // Memory/call-specific admission checks (junction ports, queues).
+        let mut mem_plan: Option<(usize, bool)> = None; // (junction, is_write)
+        match uop.kind {
+            UopKind::Load => mem_plan = Some((uop.b as usize, false)),
+            UopKind::Store => mem_plan = Some((uop.b as usize, true)),
+            UopKind::TaskCall => {
+                let child = uop.a as usize;
+                let cap = self.elab[child].queue_cap;
+                if self.tasks[child].queue.len() >= cap {
+                    if self.use_ready {
+                        self.tasks[child]
+                            .queue_waiters
+                            .push((ti as u32, tk as u32, node as u32));
+                    }
+                    return self.note_stall((ti, tk, node), StallReason::OutputFull, None, None);
+                }
+            }
+            _ => {}
+        }
+        if let Some((j, is_write)) = mem_plan {
+            let jn = &df.junctions[j];
+            let sid = jn.structure.0 as usize;
+            let budget = *self.jslot(ti, tk, j);
+            let lost = if is_write {
+                budget.2 >= jn.write_ports
+            } else {
+                budget.1 >= jn.read_ports
+            };
+            if lost {
+                self.wake(ti, tk, node);
+                return self.note_stall(
+                    (ti, tk, node),
+                    StallReason::ArbitrationLoss,
+                    None,
+                    Some(sid),
+                );
+            }
+        }
+        if self.faults_on && self.faults.roll(FaultClass::StuckHandshake) {
+            self.stuck.insert((ti, tk, node));
+            return self.note_stall((ti, tk, node), StallReason::FaultHold, None, None);
+        }
+
+        // --- Fire (buffers restored on every path, success or error) --------
+        let mut values = std::mem::take(&mut self.val_scratch);
+        let mut out_values = std::mem::take(&mut self.out_scratch);
+        let r = self.fire_uop(
+            ti,
+            tk,
+            node,
+            uop,
+            k,
+            mem_plan,
+            pre,
+            &mut values,
+            &mut out_values,
+        );
         values.clear();
-        self.val_scratch = values;
         out_values.clear();
+        self.val_scratch = values;
         self.out_scratch = out_values;
+        r
+    }
+
+    /// The micro-op firing body: gather inputs from packed slots, evaluate
+    /// by dense opcode, push outputs over the pre-resolved edge range.
+    /// Side-effect order is bit-identical to [`Engine::fire_interp`].
+    #[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+    fn fire_uop(
+        &mut self,
+        ti: usize,
+        tk: usize,
+        node: usize,
+        uop: MicroOp,
+        k: u64,
+        mem_plan: Option<(usize, bool)>,
+        pre: Option<(u64, Value)>,
+        values: &mut Vec<Value>,
+        out_values: &mut Vec<Value>,
+    ) -> Result<(), SimError> {
+        let cycle = self.cycle;
+        let df = &self.acc.tasks[ti].dataflow;
+        let ct = self.elab[ti].ct;
+        let slots = &ct.in_slots[uop.slot0 as usize..uop.slot0 as usize + uop.nin as usize];
+        let erefs = &ct.edge_refs
+            [uop.ebase as usize..uop.ebase as usize + uop.nord as usize + uop.nout as usize];
+        // Collect input values (consume tokens) straight into `values` —
+        // each slot is self-describing, so no staging buffer is needed.
+        {
+            let inv = self.tasks[ti].tiles[tk].as_mut().expect("active");
+            for &s in slots {
+                let p = (s & SLOT_PAYLOAD) as usize;
+                match s & SLOT_TAG {
+                    SLOT_ARG => values.push(
+                        inv.args
+                            .get(p)
+                            .cloned()
+                            .ok_or_else(|| SimError::eval(format!("missing argument {p}")))?,
+                    ),
+                    SLOT_CONST => values.push(ct.consts[p].clone()),
+                    SLOT_FEEDBACK if k == 0 => values.push(Value::Poison), // unused at instance 0
+                    _ => {
+                        if inv.arena.len(p) == 0 {
+                            return Err(SimError::eval(format!("missing token on edge e{p}")));
+                        }
+                        values.push(inv.arena.pop(p));
+                        if let Some(obs) = self.obs.as_mut() {
+                            obs.edge_delta(cycle, ti, p, inv.arena.len(p), false);
+                        }
+                    }
+                }
+            }
+            for &er in &erefs[..uop.nord as usize] {
+                let ei = er as usize;
+                inv.arena.pop(ei);
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.edge_delta(cycle, ti, ei, inv.arena.len(ei), false);
+                }
+            }
+        }
+        if self.use_ready {
+            // A consumed token freed a slot: wake the producer if the edge
+            // was full before the pop (see `fire_interp`).
+            for &s in slots {
+                let ei = (s & SLOT_PAYLOAD) as usize;
+                match s & SLOT_TAG {
+                    SLOT_ARG | SLOT_CONST => continue,
+                    SLOT_FEEDBACK if k == 0 => continue,
+                    _ => {}
+                }
+                let cap = self.edge_capacity(ti, ei);
+                let visible = self.tasks[ti].tiles[tk]
+                    .as_ref()
+                    .map_or(0, |inv| inv.arena.visible(ei) as usize);
+                if visible + 1 >= cap {
+                    self.wake(ti, tk, ct.edge_meta[ei].src as usize);
+                }
+            }
+            for &er in &erefs[..uop.nord as usize] {
+                let ei = er as usize;
+                let cap = self.edge_capacity(ti, ei);
+                let visible = self.tasks[ti].tiles[tk]
+                    .as_ref()
+                    .map_or(0, |inv| inv.arena.visible(ei) as usize);
+                if visible + 1 >= cap {
+                    self.wake(ti, tk, ct.edge_meta[ei].src as usize);
+                }
+            }
+        }
+
+        let timing = self.elab[ti].timing[node];
+        let mut completion_at = Some(cycle + timing.latency as u64);
+
+        match uop.kind {
+            UopKind::IndVar => {
+                let inv = self.tasks[ti].tiles[tk].as_ref().expect("active");
+                out_values.push(Value::Int(inv.lo + k as i64 * inv.step));
+            }
+            UopKind::Merge => {
+                // Port 0 = init (instance 0), port 1 = feedback.
+                let v = if k == 0 {
+                    values[0].clone()
+                } else {
+                    values[1].clone()
+                };
+                out_values.push(v);
+            }
+            UopKind::FusedAcc => {
+                let base = if k == 0 {
+                    values[0].clone()
+                } else {
+                    self.tasks[ti].tiles[tk].as_ref().expect("active").acc_state[node]
+                        .clone()
+                        .ok_or_else(|| SimError::eval("accumulator state missing"))?
+                };
+                let r = eval_op(uop.op, &[base, values[1].clone()])?;
+                let inv = self.tasks[ti].tiles[tk].as_mut().expect("active");
+                inv.acc_state[node] = Some(r.clone());
+                out_values.push(r);
+            }
+            UopKind::Compute => match pre {
+                Some((pk, v)) if pk == k => out_values.push(v),
+                _ => out_values.push(eval_op(uop.op, values)?),
+            },
+            UopKind::Fused => match pre {
+                Some((pk, v)) if pk == k => out_values.push(v),
+                _ => out_values.push(eval_fused(&ct.fused_plans[uop.a as usize], values)?),
+            },
+            UopKind::Output => {
+                let inv = self.tasks[ti].tiles[tk].as_mut().expect("active");
+                inv.last_output = values.clone();
+            }
+            UopKind::Load => {
+                let active = uop.flags & UOP_PREDICATED == 0
+                    || values
+                        .last()
+                        .map(|v| !v.is_poison() && v.as_bool())
+                        .unwrap_or(true);
+                if active {
+                    let obj = MemObjId(uop.a);
+                    let idx = values[0].as_int();
+                    if idx < 0 {
+                        return Err(SimError::eval(format!("negative load index {idx}")));
+                    }
+                    let ty = df.nodes[node].ty;
+                    let n = ty.elems() as u64;
+                    let base = self.mem.flat_addr(obj, idx as u64);
+                    if n == 1 {
+                        out_values.push(
+                            self.mem
+                                .read(obj, idx as u64)
+                                .map_err(|e| SimError::eval(e.to_string()))?,
+                        );
+                    } else {
+                        let mut slots = Vec::with_capacity(n as usize);
+                        for kk in 0..n {
+                            slots.push(
+                                self.mem
+                                    .read(obj, idx as u64 + kk)
+                                    .map_err(|e| SimError::eval(e.to_string()))?,
+                            );
+                        }
+                        out_values.push(Value::assemble(ty, slots));
+                    }
+                    let id = self.next_req;
+                    self.next_req += 1;
+                    let (j, _) =
+                        mem_plan.ok_or_else(|| SimError::eval("load without junction plan"))?;
+                    let sid = df.junctions[j].structure.0 as usize;
+                    if let Some(obs) = self.obs.as_mut() {
+                        let bank = (base % self.structs[sid].bank_count().max(1) as u64) as u32;
+                        obs.mem_req(cycle, sid, id, bank, n as u32, false);
+                    }
+                    self.structs[sid].submit(MemRequest {
+                        id,
+                        base,
+                        n,
+                        is_write: false,
+                    });
+                    self.req_map.insert(
+                        id,
+                        MemPending {
+                            task: ti,
+                            tile: tk,
+                            uid: self.tasks[ti].tiles[tk].as_ref().expect("active").uid,
+                            node,
+                            instance: k,
+                        },
+                    );
+                    completion_at = None; // completes on memory response
+                    self.jslot(ti, tk, j).1 += 1;
+                } else {
+                    out_values.push(Value::Poison);
+                }
+            }
+            UopKind::Store => {
+                let active = uop.flags & UOP_PREDICATED == 0
+                    || values
+                        .last()
+                        .map(|v| !v.is_poison() && v.as_bool())
+                        .unwrap_or(true);
+                if active {
+                    let obj = MemObjId(uop.a);
+                    let idx = values[0].as_int();
+                    if idx < 0 {
+                        return Err(SimError::eval(format!("negative store index {idx}")));
+                    }
+                    let v = values[1].clone();
+                    if v.is_poison() {
+                        return Err(SimError::eval(format!("poison stored to {obj:?}")));
+                    }
+                    let base = self.mem.flat_addr(obj, idx as u64);
+                    let n = match &v {
+                        Value::Vector(_) | Value::Tensor { .. } => {
+                            let slots = v.flatten();
+                            let n = slots.len() as u64;
+                            for (kk, s) in slots.into_iter().enumerate() {
+                                self.mem
+                                    .write(obj, idx as u64 + kk as u64, s)
+                                    .map_err(|e| SimError::eval(e.to_string()))?;
+                            }
+                            n
+                        }
+                        _ => {
+                            self.mem
+                                .write(obj, idx as u64, v)
+                                .map_err(|e| SimError::eval(e.to_string()))?;
+                            1
+                        }
+                    };
+                    let id = self.next_req;
+                    self.next_req += 1;
+                    let (j, _) =
+                        mem_plan.ok_or_else(|| SimError::eval("store without junction plan"))?;
+                    let sid = df.junctions[j].structure.0 as usize;
+                    if let Some(obs) = self.obs.as_mut() {
+                        let bank = (base % self.structs[sid].bank_count().max(1) as u64) as u32;
+                        obs.mem_req(cycle, sid, id, bank, n as u32, true);
+                    }
+                    self.structs[sid].submit(MemRequest {
+                        id,
+                        base,
+                        n,
+                        is_write: true,
+                    });
+                    self.req_map.insert(
+                        id,
+                        MemPending {
+                            task: ti,
+                            tile: tk,
+                            uid: self.tasks[ti].tiles[tk].as_ref().expect("active").uid,
+                            node,
+                            instance: k,
+                        },
+                    );
+                    completion_at = None;
+                    self.jslot(ti, tk, j).2 += 1;
+                }
+            }
+            UopKind::TaskCall => {
+                let child = uop.a as usize;
+                let nargs = (uop.b >> 16) as usize;
+                let nres = (uop.b & 0xffff) as usize;
+                let active = uop.flags & UOP_PREDICATED == 0
+                    || values
+                        .get(nargs)
+                        .map(|v| !v.is_poison() && v.as_bool())
+                        .unwrap_or(true);
+                if active {
+                    let args: Vec<Value> = values[..nargs].to_vec();
+                    let uid = self.fresh_uid();
+                    let me_uid = self.tasks[ti].tiles[tk].as_ref().expect("active").uid;
+                    if uop.flags & UOP_SPAWN != 0 {
+                        self.tasks[child].queue.push_back(Invocation {
+                            uid,
+                            args,
+                            reply: None,
+                            spawn_parent: Some((ti, me_uid)),
+                        });
+                        let inv = self.tasks[ti].tiles[tk].as_mut().expect("active");
+                        inv.spawns_outstanding += 1;
+                        out_values.resize(nres.max(1), Value::Int(0));
+                    } else {
+                        self.tasks[child].queue.push_back(Invocation {
+                            uid,
+                            args,
+                            reply: Some(ReplyTo {
+                                task: ti,
+                                tile: tk,
+                                uid: me_uid,
+                                node,
+                                instance: k,
+                            }),
+                            spawn_parent: None,
+                        });
+                        out_values.resize(nres.max(1), Value::Poison); // patched by reply
+                        completion_at = None;
+                    }
+                } else {
+                    out_values.resize(nres.max(1), Value::Poison);
+                }
+            }
+            UopKind::Static => unreachable!("static"),
+        }
+
+        // Push pending tokens on out edges (fault injection point).
+        {
+            let inv = self.tasks[ti].tiles[tk].as_mut().expect("active");
+            for &er in &erefs[uop.nord as usize..] {
+                let ei = er as usize;
+                let m = ct.edge_meta[ei];
+                let mut value = if m.is_order {
+                    Value::Bool(true)
+                } else {
+                    out_values
+                        .get(m.src_port as usize)
+                        .cloned()
+                        .unwrap_or(Value::Bool(true))
+                };
+                if self.faults_on {
+                    if self.faults.roll(FaultClass::TokenDrop) {
+                        continue; // token lost on the wire
+                    }
+                    if self.faults.roll(FaultClass::TokenBitFlip) {
+                        let bit = self.faults.below(32) as u32;
+                        value = flip_bit(&value, bit);
+                    }
+                    if self.faults.roll(FaultClass::TokenDup) {
+                        inv.arena.push(ei, k, value.clone());
+                    }
+                }
+                inv.arena.push(ei, k, value);
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.edge_delta(cycle, ti, ei, inv.arena.len(ei), true);
+                }
+            }
+            inv.fired[node] = k + 1;
+            inv.ready_at[node] = cycle + timing.ii as u64;
+            inv.pending[node] += 1;
+        }
+        self.fires += 1;
+        if let Some(obs) = self.obs.as_mut() {
+            obs.fire(cycle, (ti, tk, node), k);
+        }
+        self.last_progress = cycle;
+        if self.use_ready {
+            let more = self.tasks[ti].tiles[tk]
+                .as_ref()
+                .is_some_and(|inv| inv.fired[node] < inv.admitted);
+            if more {
+                self.wake(ti, tk, node);
+            } else if self.tasks[ti].tiles[tk].is_some() {
+                let rt = &mut self.ready[ti][tk];
+                if !rt.in_adm[node] {
+                    rt.in_adm[node] = true;
+                    rt.adm.push(node as u32);
+                }
+            }
+        }
+        if let Some(at) = completion_at {
+            let uid = self.tasks[ti].tiles[tk].as_ref().expect("active").uid;
+            self.schedule(
+                at.max(cycle + 1),
+                Ev::NodeDone {
+                    task: ti,
+                    tile: tk,
+                    uid,
+                    node,
+                    instance: k,
+                },
+            );
+        }
         Ok(())
     }
 
@@ -2066,7 +3078,7 @@ impl<'a> Engine<'a> {
     ) -> Result<(), SimError> {
         let cycle = self.cycle;
         let df = &self.acc.tasks[ti].dataflow;
-        let outs = Arc::clone(&self.elab[ti].outs[node]);
+        let ct = self.elab[ti].ct;
         let was_at_cap;
         {
             let Some(inv) = self.tasks[ti].tiles[tk].as_mut() else {
@@ -2075,33 +3087,19 @@ impl<'a> Engine<'a> {
             if inv.uid != uid {
                 return Ok(()); // stale
             }
-            for &ei in outs.iter() {
-                let e = &df.edges[ei];
+            for &ei in ct.outs[node].iter() {
                 // All matching tokens become visible (normally exactly one;
-                // an injected duplicate shares the completion pulse). Tokens
-                // are pushed in instance order, so a reverse scan can stop at
-                // the first token from an older instance.
-                let mut marked = 0u32;
-                for t in inv.edge_q[ei].iter_mut().rev() {
-                    if t.instance > instance {
-                        continue;
+                // an injected duplicate shares the completion pulse),
+                // patching call-reply values onto data edges.
+                let m = &ct.edge_meta[ei];
+                let patch = reply_values.as_ref().and_then(|rv| {
+                    if m.is_order {
+                        None
+                    } else {
+                        rv.get(m.src_port as usize)
                     }
-                    if t.instance < instance {
-                        break;
-                    }
-                    if t.visible_at.is_none() {
-                        if let Some(rv) = &reply_values {
-                            if e.kind != EdgeKind::Order {
-                                if let Some(v) = rv.get(e.src_port as usize) {
-                                    t.value = v.clone();
-                                }
-                            }
-                        }
-                        t.visible_at = Some(cycle);
-                        marked += 1;
-                    }
-                }
-                inv.edge_vis[ei] += marked;
+                });
+                inv.arena.reveal(ei, instance, cycle, patch);
             }
             was_at_cap = inv.pending[node] >= self.elab[ti].max_pending[node];
             inv.pending[node] = inv.pending[node].saturating_sub(1);
@@ -2132,7 +3130,7 @@ impl<'a> Engine<'a> {
             // *saturated* pipeline/databox slot — that is the one firing
             // gate a completion changes (retirement order feeds admission,
             // which is re-checked every tile tick regardless).
-            for &ei in outs.iter() {
+            for &ei in ct.outs[node].iter() {
                 self.wake(ti, tk, df.edges[ei].dst.0 as usize);
             }
             if was_at_cap {

@@ -8,11 +8,12 @@
 //!
 //! Two normalization rules keep the keys honest:
 //!
-//! * **scheduler and threads are excluded** from [`config_hash`]: the
-//!   determinism contract (DESIGN.md §9–§10) guarantees bit-identical
-//!   observables across `Dense`/`Ready`/`Parallel` at any thread count,
-//!   so a result computed under one scheduler is a valid warm hit for
-//!   any other;
+//! * **scheduler, threads, and exec mode are excluded** from
+//!   [`config_hash`]: the determinism contract (DESIGN.md §9–§10, §14)
+//!   guarantees bit-identical observables across `Dense`/`Ready`/
+//!   `Parallel` at any thread count and across the `Interp`/`MicroOp`
+//!   firing interpreters, so a result computed under one combination is
+//!   a valid warm hit for any other;
 //! * **`sched_visits` is excluded** from [`result_hash`]: it counts
 //!   simulator effort, not hardware behaviour, and legitimately differs
 //!   between schedulers.
@@ -39,9 +40,10 @@ fn push_value(h: &mut ContentHasher, v: &Value) {
 }
 
 /// Hash the parts of a [`SimConfig`] that can affect simulation
-/// observables. Scheduler choice and thread count are deliberately
-/// excluded (see module docs); tracing is excluded too because traces are
-/// never stored — the store layer refuses tracing configs instead.
+/// observables. Scheduler choice, thread count, and exec mode are
+/// deliberately excluded (see module docs); tracing is excluded too
+/// because traces are never stored — the store layer refuses tracing
+/// configs instead.
 pub fn config_hash(cfg: &SimConfig) -> u64 {
     let mut h = ContentHasher::new();
     push_str(&mut h, "cfg-v1");
@@ -154,7 +156,7 @@ pub fn end_state_hash(r: &SimResult, mem: &Memory) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::SchedulerKind;
+    use crate::{ExecMode, SchedulerKind};
 
     #[test]
     fn config_hash_ignores_scheduler_and_threads() {
@@ -166,8 +168,14 @@ mod tests {
             SchedulerKind::Parallel,
         ] {
             for threads in [1, 2, 8] {
-                let cfg = base.clone().with_scheduler(sched).with_threads(threads);
-                assert_eq!(config_hash(&cfg), h, "{sched:?} @ {threads}");
+                for exec in [ExecMode::Interp, ExecMode::MicroOp] {
+                    let cfg = base
+                        .clone()
+                        .with_scheduler(sched)
+                        .with_threads(threads)
+                        .with_exec(exec);
+                    assert_eq!(config_hash(&cfg), h, "{sched:?} @ {threads} / {exec:?}");
+                }
             }
         }
     }

@@ -93,6 +93,27 @@ pub enum SchedulerKind {
     Parallel,
 }
 
+/// Which firing interpreter executes a node once the scheduler selects it.
+///
+/// Orthogonal to [`SchedulerKind`]: the scheduler decides *which* nodes to
+/// visit each cycle, the exec mode decides *how* a visit is executed. Both
+/// modes implement the same execution model and are bit-identical in every
+/// observable (cycles, results, stats, fault behaviour, traces) — re-proven
+/// by the four-way differential suites in `muir-bench` (DESIGN.md §14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Walk the structure tables and `match` on `NodeKind` per firing (the
+    /// original interpreter; kept alive as the differential oracle).
+    Interp,
+    /// Drive firings from the compiled artifact's flat [`MicroOp`] stream:
+    /// a dense `u8` opcode dispatch over pre-resolved input slots and edge
+    /// ranges (DESIGN.md §14).
+    ///
+    /// [`MicroOp`]: muir_core::compiled::MicroOp
+    #[default]
+    MicroOp,
+}
+
 /// Simulation parameters.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -124,6 +145,9 @@ pub struct SimConfig {
     /// the other schedulers; `1` = plan inline on the simulation thread).
     /// Never affects simulation results — only wall time.
     pub threads: u32,
+    /// Firing interpreter (identical observable behaviour; only simulator
+    /// wall-time differs).
+    pub exec: ExecMode,
 }
 
 impl Default for SimConfig {
@@ -139,6 +163,7 @@ impl Default for SimConfig {
             trace: TraceConfig::default(),
             scheduler: SchedulerKind::default(),
             threads: 1,
+            exec: ExecMode::default(),
         }
     }
 }
@@ -156,6 +181,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_threads(mut self, threads: u32) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// The same configuration with a different firing interpreter.
+    #[must_use]
+    pub fn with_exec(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
         self
     }
 }
@@ -275,6 +307,15 @@ impl std::fmt::Display for SimStats {
         }
         Ok(())
     }
+}
+
+/// Process-wide count of tile commits dispatched through the parallel
+/// scheduler's epoch path (DESIGN.md §14). Engagement diagnostics only —
+/// monotone across runs, never part of [`SimStats`] or any hash. The
+/// `check.sh` gate reads it to prove epoch commit actually engages under
+/// `Parallel` at ≥2 threads with the micro-op interpreter.
+pub fn epoch_tile_commits() -> u64 {
+    engine::parallel::EPOCH_TILE_COMMITS.load(std::sync::atomic::Ordering::Relaxed)
 }
 
 /// Bridge one completed run's aggregate statistics into the global

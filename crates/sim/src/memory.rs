@@ -250,6 +250,15 @@ impl StructModel {
 
     /// Advance one cycle; returns completions whose data is valid *now*.
     pub fn tick(&mut self, cycle: u64, dram: Option<&mut DramModel>) -> Vec<MemResponse> {
+        // Idle fast path. `submit` records the `outstanding` entry before it
+        // queues any bank/fill transaction, so an empty `outstanding` implies
+        // the banks and fill queue are empty too; with `done` also empty the
+        // whole tick body is a no-op (no stalls accrue, no responses mature,
+        // no ECC draws). Structures spend most cycles idle, and the engine
+        // ticks every structure every cycle, so this is the common case.
+        if self.outstanding.is_empty() && self.done.is_empty() {
+            return Vec::new();
+        }
         // Copy the scalar parameters out instead of cloning the whole
         // `StructureKind` every cycle (this runs per structure per cycle).
         enum Tick {
@@ -283,13 +292,21 @@ impl StructModel {
             }
         }
         // Fast path: nothing matured this cycle (the overwhelmingly common
-        // case) — `Vec::new()` does not allocate, `partition` would.
+        // case) — `Vec::new()` does not allocate.
         if self.done.iter().all(|r| r.at > cycle) {
             return Vec::new();
         }
-        let (ready, rest): (Vec<MemResponse>, Vec<MemResponse>) =
-            self.done.drain(..).partition(|r| r.at <= cycle);
-        self.done = rest;
+        // One allocation, not `partition`'s two; `retain` keeps both the
+        // matured and the still-pending responses in original order.
+        let mut ready = Vec::new();
+        self.done.retain(|r| {
+            if r.at <= cycle {
+                ready.push(*r);
+                false
+            } else {
+                true
+            }
+        });
         ready
     }
 

@@ -1,12 +1,14 @@
-//! Tile-parallel planning for [`crate::SchedulerKind::Parallel`]
-//! (DESIGN.md §10).
+//! Tile-parallel planning and epoch commit for
+//! [`crate::SchedulerKind::Parallel`] (DESIGN.md §10, §14).
 //!
 //! One simulated cycle splits into a *plan* phase and a *commit* phase.
-//! This module owns the plan phase: a pure, read-only pass over each
-//! active tile that predicts admission and collects firing candidates,
-//! plus the fixed worker pool that shards tiles across threads. The
-//! commit phase lives in `engine.rs` (`phase4_parallel`) and replays the
-//! candidates through the ordinary `try_fire` gates in dense scan order.
+//! This module owns the plan phase — a pure, read-only pass over each
+//! active tile that predicts admission and collects firing candidates —
+//! plus the fixed worker pool that shards work across threads, plus the
+//! *epoch commit*: a tile-local commit body that lets the commit phase
+//! itself shard across workers when a tile's candidates are provably free
+//! of global side effects. The merge that stitches epoch results back
+//! into dense order lives in `engine.rs` (`phase4_parallel`).
 //!
 //! # Why the result is bit-identical to the dense scan
 //!
@@ -31,7 +33,7 @@
 //!   the node's own firing. Blocked nodes record their wake cycle into
 //!   `next_wake` for the idle skip.
 //! * **input gates**: exact. Every edge has a single consumer, pushes
-//!   during phase 4 land invisible (`visible_at: None`), and replies/
+//!   during phase 4 land invisible (`vis == u64::MAX`), and replies/
 //!   completions only patch tokens in phases 1–2 — so each front token the
 //!   dense scan would test is frozen. A visible front with the wrong
 //!   instance is a detected hardware fault: the node is kept as a
@@ -40,10 +42,11 @@
 //! * **pending gate** (`pending < max_pending`): exact; retirements only
 //!   happen in phases 1–2, issues only at the node's own firing.
 //! * **output-space gate**: checked against a per-tile scratch copy of
-//!   `edge_vis` with every earlier candidate's pops applied. Candidate
-//!   pops are a superset of dense pops and phase-4 pushes don't count
-//!   (invisible), so scratch ≤ dense pointwise: scratch-full ⇒ dense-full
-//!   ⇒ exclusion is safe. Inclusion is re-checked at commit.
+//!   the arena's visible counts with every earlier candidate's pops
+//!   applied. Candidate pops are a superset of dense pops and phase-4
+//!   pushes don't count (invisible), so scratch ≤ dense pointwise:
+//!   scratch-full ⇒ dense-full ⇒ exclusion is safe. Inclusion is
+//!   re-checked at commit.
 //! * **child-queue gate** (`TaskCall`): the child's queue only grows
 //!   during phase 4, so a full snapshot means full at the dense visit;
 //!   exclusion is safe, inclusion re-checked.
@@ -60,18 +63,50 @@
 //! actual firings — both therefore consume the engine's single global
 //! splitmix64 stream in exactly the dense order.
 //!
-//! For pure `Compute`/`Fused` candidates the plan also precomputes the
-//! output value from the frozen inputs — the only part of a firing that
-//! actually parallelizes — tagged with the instance so the commit can
-//! validate it.
+//! # Epoch commit (DESIGN.md §14)
+//!
+//! A tile's plan is **local** when every candidate is a pure micro-op
+//! (`IndVar`/`Merge`/`FusedAcc`/`Compute`/`Fused`/`Output`) with in-order
+//! tokens. Firing such a candidate touches only the tile's own
+//! `ActiveInv` (token arena, `fired`/`ready_at`/`pending`, accumulator
+//! registers) plus four engine-global effects that all commute into a
+//! deferred merge: the `fires`/`sched_visits` counters (summed per tile,
+//! added in dense order), `last_progress` (idempotent: set to the one
+//! current cycle), and completion-event scheduling (buffered per tile in
+//! firing order, drained in dense tile order at the merge — reproducing
+//! the sequential `ev_seq` assignment exactly, and safe to defer because
+//! events land at `>= cycle + 1`, never in the current cycle). The engine
+//! enables epoch commit only when fault injection is off (token-fault RNG
+//! draws must stay in dense order) and the micro-op exec mode is active,
+//! so `commit_local` mirrors `try_fire_uop`'s gates and `fire_uop`'s
+//! effects for the pure opcodes — bit-for-bit, as the four-way
+//! differential suite checks. Tiles whose plan is *not* local (memory,
+//! calls, misordered tokens) commit sequentially at the merge, in their
+//! dense slot, exactly as before.
+//!
+//! For pure `Compute`/`Fused` candidates the plan can also precompute the
+//! output value from the frozen inputs, tagged with the instance so the
+//! commit can validate it. Under epoch commit this is disabled
+//! (`skip_pre`): the commit body evaluates on a worker anyway, so the
+//! plan-phase evaluation would be pure double work.
 
 use super::{ActiveInv, ElabTask, TaskState};
+use crate::SimError;
 use muir_core::accel::Accelerator;
+use muir_core::compiled::{UopKind, SLOT_ARG, SLOT_CONST, SLOT_FEEDBACK, SLOT_PAYLOAD, SLOT_TAG};
 use muir_core::node::NodeKind;
 use muir_mir::value::Value;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+
+/// Process-wide count of tile commits dispatched through the epoch path.
+///
+/// Pure engagement diagnostics — read via [`crate::epoch_tile_commits`] by
+/// the `check.sh` gate that proves epoch commit actually engages at 2
+/// threads. Never part of `SimStats` or any hash: it counts simulator
+/// strategy, not hardware behaviour.
+pub static EPOCH_TILE_COMMITS: AtomicU64 = AtomicU64::new(0);
 
 /// One firing candidate: the node's scan position and, for pure compute
 /// nodes, the precomputed `(instance, output value)`.
@@ -82,12 +117,14 @@ pub(crate) struct Cand {
 }
 
 /// The plan for one active tile: admission prediction, firing candidates
-/// in scan order, and the earliest known future wake (for the idle skip).
+/// in scan order, the earliest known future wake (for the idle skip), and
+/// whether every candidate is local (eligible for epoch commit).
 #[derive(Debug)]
 pub(crate) struct TilePlan {
     pub admit: bool,
     pub cands: Vec<Cand>,
     pub next_wake: u64,
+    pub local: bool,
 }
 
 impl Default for TilePlan {
@@ -96,6 +133,7 @@ impl Default for TilePlan {
             admit: false,
             cands: Vec::new(),
             next_wake: u64::MAX,
+            local: true,
         }
     }
 }
@@ -110,17 +148,20 @@ pub(crate) struct PlanCtx<'e> {
     pub faults_on: bool,
     pub cycle: u64,
     pub window: u64,
-    pub elastic_depth: u32,
+    /// Skip the plan-phase `Compute`/`Fused` precompute (epoch commit
+    /// evaluates on a worker anyway).
+    pub skip_pre: bool,
 }
 
-impl PlanCtx<'_> {
-    /// Mirror of `Engine::edge_capacity`.
-    fn edge_cap(&self, ti: usize, ei: usize) -> usize {
-        match self.acc.tasks[ti].dataflow.edges[ei].buffering {
-            muir_core::dataflow::Buffering::Handshake => self.elastic_depth as usize,
-            muir_core::dataflow::Buffering::Fifo(d) => d as usize,
-        }
-    }
+/// Per-thread scratch shared by the plan and commit job bodies.
+#[derive(Debug, Default)]
+pub(crate) struct WorkerScratch {
+    /// Plan: working copy of the arena's per-edge visible counts.
+    vis: Vec<u32>,
+    /// Commit: input-value buffer (mirrors `Engine::val_scratch`).
+    vals: Vec<Value>,
+    /// Commit: output-value buffer (mirrors `Engine::out_scratch`).
+    outs: Vec<Value>,
 }
 
 /// Precompute the output value of a pure `Compute`/`Fused` candidate from
@@ -152,7 +193,7 @@ fn precompute(
             }
         } else {
             // The input gate guaranteed a visible, instance-matching front.
-            vals.push(inv.edge_q[ei].front()?.value.clone());
+            vals.push(inv.arena.front_value(ei)?.clone());
         }
     }
     let v = match kind {
@@ -169,12 +210,13 @@ pub(crate) fn plan_tile(
     ctx: &PlanCtx<'_>,
     ti: usize,
     tk: usize,
-    scratch_vis: &mut Vec<u32>,
+    scratch: &mut WorkerScratch,
     out: &mut TilePlan,
 ) {
     out.cands.clear();
     out.next_wake = u64::MAX;
     out.admit = false;
+    out.local = true;
     let Some(inv) = ctx.tasks[ti].tiles[tk].as_ref() else {
         return;
     };
@@ -190,8 +232,9 @@ pub(crate) fn plan_tile(
         };
     out.admit = can;
     let admitted_eff = inv.admitted + u64::from(can);
+    let scratch_vis = &mut scratch.vis;
     scratch_vis.clear();
-    scratch_vis.extend_from_slice(&inv.edge_vis);
+    scratch_vis.extend_from_slice(inv.arena.visible_counts());
     'nodes: for (pos, &node) in elab.order.iter().enumerate() {
         if elab.is_static[node] {
             continue;
@@ -227,9 +270,9 @@ pub(crate) fn plan_tile(
             } else {
                 k
             };
-            match inv.edge_q[ei].front() {
-                Some(t) if t.visible_at.is_some_and(|v| v <= cycle) => {
-                    if t.instance != expect {
+            match inv.arena.front(ei) {
+                Some((inst, vis)) if vis <= cycle => {
+                    if inst != expect {
                         misorder = true;
                         break;
                     }
@@ -243,7 +286,7 @@ pub(crate) fn plan_tile(
             }
             let mut full = false;
             for &ei in elab.outs[node].iter() {
-                if scratch_vis[ei] as usize >= ctx.edge_cap(ti, ei) {
+                if scratch_vis[ei] >= elab.cap[ei] {
                     full = true;
                     break;
                 }
@@ -260,7 +303,18 @@ pub(crate) fn plan_tile(
             // Junction port budgets are deliberately not checked here (see
             // module docs); the commit re-checks them.
         }
-        let pre = if misorder {
+        // Memory, calls, and misordered tokens have global side effects
+        // (request ids, junction budgets, child queues, RNG, errors whose
+        // order matters): they force this tile onto the sequential commit.
+        if misorder
+            || matches!(
+                kind,
+                NodeKind::Load { .. } | NodeKind::Store { .. } | NodeKind::TaskCall { .. }
+            )
+        {
+            out.local = false;
+        }
+        let pre = if misorder || ctx.skip_pre {
             None
         } else {
             precompute(ctx, ti, inv, node, k)
@@ -294,23 +348,340 @@ pub(crate) fn plan_tile(
     }
 }
 
-/// A plan job handed to the worker pool: raw pointers because worker
-/// threads are `'static` while the engine state is not. The pointers are
-/// only dereferenced between job publication and the main thread's
-/// completion wait, during which `Pool::plan`'s borrows pin the referents.
+/// Read-only engine facts the epoch commit needs (everything else it
+/// touches lives inside the tile's own `ActiveInv`).
+pub(crate) struct CommitCtx<'e> {
+    pub elab: &'e [ElabTask<'e>],
+    pub cycle: u64,
+    pub window: u64,
+}
+
+/// One epoch-commit work item: the tile's invocation state and its plan.
+/// Raw pointers for the same reason as [`JobDesc`]; each item's `inv` is
+/// distinct (one per tile), so claimed items never alias.
+#[derive(Clone, Copy)]
+pub(crate) struct CommitItem {
+    pub ti: u32,
+    pub inv: *mut ActiveInv,
+    pub plan: *const TilePlan,
+}
+
+/// The deferred global effects of one tile's epoch commit, merged into
+/// the engine in dense tile order by `phase4_parallel`.
+#[derive(Debug, Default)]
+pub(crate) struct CommitOut {
+    /// Successful firings (merged into `Engine::fires`).
+    pub fires: u64,
+    /// Candidate visits (merged into `Engine::sched_visits`).
+    pub visits: u64,
+    /// Whether admission or a firing happened (`last_progress = cycle`).
+    pub progressed: bool,
+    /// A candidate failed a commit-time gate (blocks the idle skip).
+    pub shortfall: bool,
+    /// Earliest `ready_at` among fired nodes with remaining instances.
+    pub min_ready: u64,
+    /// Buffered completion events `(at, node, instance)` in firing order;
+    /// all `at >= cycle + 1`, so deferring them to the merge is invisible.
+    pub events: Vec<(u64, u32, u64)>,
+    /// First evaluation error, at the candidate that raised it.
+    pub err: Option<(u32, SimError)>,
+}
+
+/// Commit one *local* tile: mirror of `Engine::admit` plus
+/// `try_fire_uop`/`fire_uop` restricted to the pure opcodes, buffering
+/// every engine-global effect into `out`. Runs on any thread — the only
+/// state it mutates is the tile's own `ActiveInv` and `out`.
+pub(crate) fn commit_local(
+    ctx: &CommitCtx<'_>,
+    ti: usize,
+    inv: &mut ActiveInv,
+    plan: &TilePlan,
+    out: &mut CommitOut,
+    values: &mut Vec<Value>,
+    out_values: &mut Vec<Value>,
+) {
+    out.fires = 0;
+    out.visits = 0;
+    out.progressed = false;
+    out.shortfall = false;
+    out.min_ready = u64::MAX;
+    out.events.clear();
+    out.err = None;
+    let elab = &ctx.elab[ti];
+    // Mirror of `Engine::admit` (tile-local state only).
+    let can = inv.admitted < inv.trip
+        && if inv.serial {
+            inv.completed == inv.admitted
+        } else {
+            inv.admitted - inv.completed < ctx.window
+        };
+    debug_assert_eq!(can, plan.admit, "plan admission prediction diverged");
+    if can {
+        debug_assert_eq!(
+            inv.admitted,
+            inv.completed + inv.outstanding.len() as u64,
+            "outstanding ring out of sync"
+        );
+        inv.admitted += 1;
+        inv.outstanding.push_back(elab.dynamic_count);
+        out.progressed = true;
+    }
+    for c in plan.cands.iter() {
+        debug_assert!(c.pre.is_none(), "precompute is skipped under epoch commit");
+        let node = elab.order[c.pos as usize];
+        out.visits += 1;
+        match fire_local(ctx, ti, inv, node, out, values, out_values) {
+            Ok(true) => {
+                out.fires += 1;
+                out.progressed = true;
+                if inv.fired[node] < inv.admitted {
+                    out.min_ready = out.min_ready.min(inv.ready_at[node]);
+                }
+            }
+            Ok(false) => out.shortfall = true,
+            Err(e) => {
+                out.err = Some((node as u32, e));
+                return;
+            }
+        }
+    }
+}
+
+/// Gate-check and fire one pure micro-op on a worker thread: the exact
+/// subset of `try_fire_uop`/`fire_uop` reachable for
+/// `IndVar`/`Merge`/`FusedAcc`/`Compute`/`Fused`/`Output` with faults
+/// off, no tracing, and the parallel scheduler (no ready-wake lists).
+/// Returns `Ok(true)` when the node fired, `Ok(false)` on a failed gate.
+fn fire_local(
+    ctx: &CommitCtx<'_>,
+    ti: usize,
+    inv: &mut ActiveInv,
+    node: usize,
+    out: &mut CommitOut,
+    values: &mut Vec<Value>,
+    out_values: &mut Vec<Value>,
+) -> Result<bool, SimError> {
+    let elab = &ctx.elab[ti];
+    let ct = elab.ct;
+    let cycle = ctx.cycle;
+    let uop = ct.uops[node];
+    debug_assert!(
+        matches!(
+            uop.kind,
+            UopKind::IndVar
+                | UopKind::Merge
+                | UopKind::FusedAcc
+                | UopKind::Compute
+                | UopKind::Fused
+                | UopKind::Output
+        ),
+        "non-local opcode in epoch commit"
+    );
+    let k = inv.fired[node];
+    if k >= inv.admitted || cycle < inv.ready_at[node] {
+        return Ok(false);
+    }
+    let slots = &ct.in_slots[uop.slot0 as usize..uop.slot0 as usize + uop.nin as usize];
+    let erefs = &ct.edge_refs
+        [uop.ebase as usize..uop.ebase as usize + uop.nord as usize + uop.nout as usize];
+    // Input gates. A wrong-instance front is impossible without fault
+    // injection (single consumer, in-order pushes), and epoch commit only
+    // runs with faults off.
+    for &s in slots {
+        let ei = (s & SLOT_PAYLOAD) as usize;
+        match s & SLOT_TAG {
+            SLOT_ARG | SLOT_CONST => {}
+            SLOT_FEEDBACK => {
+                if k == 0 {
+                    continue;
+                }
+                match inv.arena.front(ei) {
+                    Some((inst, vis)) if vis <= cycle => {
+                        debug_assert_eq!(inst, k - 1, "token misorder without faults");
+                    }
+                    _ => return Ok(false),
+                }
+            }
+            _ => match inv.arena.front(ei) {
+                Some((inst, vis)) if vis <= cycle => {
+                    debug_assert_eq!(inst, k, "token misorder without faults");
+                }
+                _ => return Ok(false),
+            },
+        }
+    }
+    for &er in &erefs[..uop.nord as usize] {
+        match inv.arena.front(er as usize) {
+            Some((inst, vis)) if vis <= cycle => {
+                debug_assert_eq!(inst, k, "token misorder without faults");
+            }
+            _ => return Ok(false),
+        }
+    }
+    if inv.pending[node] >= elab.max_pending[node] {
+        return Ok(false);
+    }
+    for &er in &erefs[uop.nord as usize..] {
+        let ei = er as usize;
+        if inv.arena.visible(ei) >= elab.cap[ei] {
+            return Ok(false);
+        }
+    }
+    // Fire.
+    values.clear();
+    out_values.clear();
+    for &s in slots {
+        let p = (s & SLOT_PAYLOAD) as usize;
+        match s & SLOT_TAG {
+            SLOT_ARG => values.push(
+                inv.args
+                    .get(p)
+                    .cloned()
+                    .ok_or_else(|| SimError::eval(format!("missing argument {p}")))?,
+            ),
+            SLOT_CONST => values.push(ct.consts[p].clone()),
+            SLOT_FEEDBACK if k == 0 => values.push(Value::Poison), // unused at instance 0
+            _ => {
+                if inv.arena.len(p) == 0 {
+                    return Err(SimError::eval(format!("missing token on edge e{p}")));
+                }
+                values.push(inv.arena.pop(p));
+            }
+        }
+    }
+    for &er in &erefs[..uop.nord as usize] {
+        inv.arena.pop(er as usize);
+    }
+    let timing = elab.timing[node];
+    match uop.kind {
+        UopKind::IndVar => out_values.push(Value::Int(inv.lo + k as i64 * inv.step)),
+        UopKind::Merge => {
+            let v = if k == 0 {
+                values[0].clone()
+            } else {
+                values[1].clone()
+            };
+            out_values.push(v);
+        }
+        UopKind::FusedAcc => {
+            let base = if k == 0 {
+                values[0].clone()
+            } else {
+                inv.acc_state[node]
+                    .clone()
+                    .ok_or_else(|| SimError::eval("accumulator state missing"))?
+            };
+            let r = super::eval_op(uop.op, &[base, values[1].clone()])?;
+            inv.acc_state[node] = Some(r.clone());
+            out_values.push(r);
+        }
+        UopKind::Compute => out_values.push(super::eval_op(uop.op, values)?),
+        UopKind::Fused => {
+            out_values.push(super::eval_fused(&ct.fused_plans[uop.a as usize], values)?);
+        }
+        UopKind::Output => inv.last_output = values.clone(),
+        _ => unreachable!("non-local opcode in epoch commit"),
+    }
+    for &er in &erefs[uop.nord as usize..] {
+        let ei = er as usize;
+        let m = ct.edge_meta[ei];
+        let value = if m.is_order {
+            Value::Bool(true)
+        } else {
+            out_values
+                .get(m.src_port as usize)
+                .cloned()
+                .unwrap_or(Value::Bool(true))
+        };
+        inv.arena.push(ei, k, value);
+    }
+    inv.fired[node] = k + 1;
+    inv.ready_at[node] = cycle + timing.ii as u64;
+    inv.pending[node] += 1;
+    // Mirror of `fire_uop`'s completion scheduling, deferred to the merge.
+    out.events.push((
+        (cycle + timing.latency as u64).max(cycle + 1),
+        node as u32,
+        k,
+    ));
+    Ok(true)
+}
+
+/// Run one commit item inline (the single-item case skips the pool
+/// handoff; the result is identical by construction).
+///
+/// The caller must hold exclusive access to the item's tile for the
+/// duration of the call (`phase4_parallel` does: the commit items are
+/// built from distinct live tiles and nothing else touches them until the
+/// merge).
+pub(crate) fn commit_item(
+    ctx: &CommitCtx<'_>,
+    item: &CommitItem,
+    out: &mut CommitOut,
+    scratch: &mut WorkerScratch,
+) {
+    // SAFETY: see doc comment — exclusive access is the caller's contract.
+    let inv = unsafe { &mut *item.inv };
+    let plan = unsafe { &*item.plan };
+    commit_local(
+        ctx,
+        item.ti as usize,
+        inv,
+        plan,
+        out,
+        &mut scratch.vals,
+        &mut scratch.outs,
+    );
+}
+
+/// Which job body the pool is currently running.
+#[derive(Clone, Copy)]
+enum JobKind {
+    Plan,
+    Commit,
+}
+
+/// A job handed to the worker pool: raw pointers because worker threads
+/// are `'static` while the engine state is not. The pointers are only
+/// dereferenced between job publication and the main thread's completion
+/// wait, during which `Pool::submit`'s caller borrows pin the referents.
 #[derive(Clone, Copy)]
 struct JobDesc {
+    kind: JobKind,
     ctx: *const (),
-    tiles: *const (u32, u32),
-    plans: *mut TilePlan,
+    items: *const (),
+    out: *mut (),
     n: usize,
+}
+
+/// Execute item `i` of `job` with this thread's scratch.
+///
+/// # Safety
+/// The caller must hold the generation claim for item `i`, which makes
+/// the descriptor write visible and grants exclusive access to
+/// `out[i]` (and, for commit jobs, the item's tile).
+unsafe fn run_item(job: &JobDesc, i: usize, scratch: &mut WorkerScratch) {
+    match job.kind {
+        JobKind::Plan => {
+            let ctx = &*job.ctx.cast::<PlanCtx<'_>>();
+            let (ti, tk) = *job.items.cast::<(u32, u32)>().add(i);
+            let plan = &mut *job.out.cast::<TilePlan>().add(i);
+            plan_tile(ctx, ti as usize, tk as usize, scratch, plan);
+        }
+        JobKind::Commit => {
+            let ctx = &*job.ctx.cast::<CommitCtx<'_>>();
+            let item = *job.items.cast::<CommitItem>().add(i);
+            let out = &mut *job.out.cast::<CommitOut>().add(i);
+            commit_item(ctx, &item, out, scratch);
+        }
+    }
 }
 
 /// State shared between the main thread and the workers.
 ///
 /// Handoff protocol (generation-tagged claims): for job generation `s`,
-/// `claim[i]` holds `s << 1` while tile `i` is unclaimed and `s << 1 | 1`
-/// once claimed. A worker acquires tile `i` with a CAS; a failed CAS
+/// `claim[i]` holds `s << 1` while item `i` is unclaimed and `s << 1 | 1`
+/// once claimed. A worker acquires item `i` with a CAS; a failed CAS
 /// whose observed generation differs from `s` means the job has moved on
 /// (or `i >= n`), so stale workers can never burn a later job's claims.
 /// The job descriptor is read only *after* a successful CAS: the main
@@ -332,12 +703,12 @@ struct Shared {
 // guarantees it is never read while it may be written.
 unsafe impl Sync for Shared {}
 // SAFETY: the raw pointers inside `job` are only dereferenced within the
-// window in which `Pool::plan`'s borrows keep them alive.
+// window in which `Pool::submit`'s caller borrows keep them alive.
 unsafe impl Send for Shared {}
 
-/// Fixed pool of plan workers, created once per engine. The main thread
-/// participates in every job, so `Pool::new(0, _)` still works (and a
-/// one-thread configuration never constructs a pool at all).
+/// Fixed pool of plan/commit workers, created once per engine. The main
+/// thread participates in every job, so `Pool::new(0, _)` still works
+/// (and a one-thread configuration never constructs a pool at all).
 pub(crate) struct Pool {
     shared: Arc<Shared>,
     handles: Vec<std::thread::JoinHandle<()>>,
@@ -345,17 +716,18 @@ pub(crate) struct Pool {
 
 impl Pool {
     /// A pool with `extra_workers` background threads and claim capacity
-    /// for `max_tiles` tiles (the accelerator's total tile count, fixed at
-    /// elaboration).
+    /// for `max_tiles` items (the accelerator's total tile count, fixed at
+    /// elaboration; commit jobs never exceed the active tile count).
     pub(crate) fn new(extra_workers: usize, max_tiles: usize) -> Pool {
         let shared = Arc::new(Shared {
             seq: AtomicU64::new(0),
             quit: AtomicBool::new(false),
             done: AtomicUsize::new(0),
             job: std::cell::UnsafeCell::new(JobDesc {
+                kind: JobKind::Plan,
                 ctx: std::ptr::null(),
-                tiles: std::ptr::null(),
-                plans: std::ptr::null_mut(),
+                items: std::ptr::null(),
+                out: std::ptr::null_mut(),
                 n: 0,
             }),
             claim: (0..max_tiles.max(1)).map(|_| AtomicU64::new(0)).collect(),
@@ -366,45 +738,76 @@ impl Pool {
             .map(|_| {
                 let sh = Arc::clone(&shared);
                 std::thread::Builder::new()
-                    .name("muir-sim-plan".into())
+                    .name("muir-sim-worker".into())
                     .spawn(move || worker(&sh))
-                    .expect("spawn plan worker")
+                    .expect("spawn sim worker")
             })
             .collect();
         Pool { shared, handles }
     }
 
-    /// Plan all `tiles` into `plans`, sharded across the pool. Blocks until
-    /// every plan is complete.
+    /// Plan all `tiles` into `plans`, sharded across the pool. Blocks
+    /// until every plan is complete.
     pub(crate) fn plan(
         &self,
         ctx: &PlanCtx<'_>,
         tiles: &[(u32, u32)],
         plans: &mut [TilePlan],
-        scratch: &mut Vec<u32>,
+        scratch: &mut WorkerScratch,
     ) {
-        let n = tiles.len();
+        debug_assert_eq!(tiles.len(), plans.len());
+        self.submit(
+            JobDesc {
+                kind: JobKind::Plan,
+                ctx: (ctx as *const PlanCtx<'_>).cast(),
+                items: tiles.as_ptr().cast(),
+                out: plans.as_mut_ptr().cast(),
+                n: tiles.len(),
+            },
+            scratch,
+        );
+    }
+
+    /// Epoch-commit all local `items` into `outs`, sharded across the
+    /// pool. Blocks until every commit is complete.
+    pub(crate) fn commit(
+        &self,
+        ctx: &CommitCtx<'_>,
+        items: &[CommitItem],
+        outs: &mut [CommitOut],
+        scratch: &mut WorkerScratch,
+    ) {
+        debug_assert_eq!(items.len(), outs.len());
+        self.submit(
+            JobDesc {
+                kind: JobKind::Commit,
+                ctx: (ctx as *const CommitCtx<'_>).cast(),
+                items: items.as_ptr().cast(),
+                out: outs.as_mut_ptr().cast(),
+                n: items.len(),
+            },
+            scratch,
+        );
+    }
+
+    /// Publish `desc`, participate in draining its items, and wait for
+    /// completion (see `Shared` for the handoff protocol).
+    fn submit(&self, desc: JobDesc, scratch: &mut WorkerScratch) {
+        let n = desc.n;
         debug_assert!(n <= self.shared.claim.len());
-        debug_assert_eq!(n, plans.len());
         let s = &*self.shared;
         let seq = s.seq.load(Ordering::Relaxed) + 1;
-        let plans_ptr = plans.as_mut_ptr();
-        // SAFETY: the previous job (if any) is fully drained — `plan`
+        // SAFETY: the previous job (if any) is fully drained — `submit`
         // returned only after `done == n`, and a worker increments `done`
         // strictly after its last read of the descriptor — so no thread
         // can be reading `job` now.
         unsafe {
-            *s.job.get() = JobDesc {
-                ctx: (ctx as *const PlanCtx<'_>).cast(),
-                tiles: tiles.as_ptr(),
-                plans: plans_ptr,
-                n,
-            };
+            *s.job.get() = desc;
         }
         s.done.store(0, Ordering::Relaxed);
         let tag_un = seq << 1;
         let tag_cl = tag_un | 1;
-        // Release: publishes the descriptor to whoever claims the tile.
+        // Release: publishes the descriptor to whoever claims the item.
         for c in &s.claim[..n] {
             c.store(tag_un, Ordering::Release);
         }
@@ -417,20 +820,19 @@ impl Pool {
                 s.cv.notify_all();
             }
         }
-        // Participate: claim tiles alongside the workers.
-        for (i, &(ti, tk)) in tiles.iter().enumerate() {
+        // Participate: claim items alongside the workers.
+        for i in 0..n {
             if s.claim[i]
                 .compare_exchange(tag_un, tag_cl, Ordering::AcqRel, Ordering::Relaxed)
                 .is_ok()
             {
-                // SAFETY: `i < n` and the claim guarantees exclusive access
-                // to `plans[i]`.
-                let plan = unsafe { &mut *plans_ptr.add(i) };
-                plan_tile(ctx, ti as usize, tk as usize, scratch, plan);
+                // SAFETY: the claim grants exclusive access to item `i`,
+                // and the caller's borrows keep the referents alive.
+                unsafe { run_item(&desc, i, scratch) };
                 s.done.fetch_add(1, Ordering::Release);
             }
         }
-        // The tail wait is bounded by one tile's plan time.
+        // The tail wait is bounded by one item's work.
         while s.done.load(Ordering::Acquire) < n {
             std::hint::spin_loop();
         }
@@ -451,9 +853,9 @@ impl Drop for Pool {
 }
 
 /// Worker loop: spin briefly for the next job generation, then yield, then
-/// park on the condvar; claim and plan tiles until the generation moves on.
+/// park on the condvar; claim and run items until the generation moves on.
 fn worker(shared: &Shared) {
-    let mut scratch: Vec<u32> = Vec::new();
+    let mut scratch = WorkerScratch::default();
     let mut seen = 0u64;
     'outer: loop {
         let mut spins = 0u32;
@@ -472,8 +874,8 @@ fn worker(shared: &Shared) {
                 std::thread::yield_now();
             } else {
                 let mut g = shared.parked.lock().expect("pool mutex");
-                // Re-check under the lock: `plan` publishes `seq` under the
-                // same lock, so this cannot miss a notify.
+                // Re-check under the lock: `submit` publishes `seq` under
+                // the same lock, so this cannot miss a notify.
                 if shared.seq.load(Ordering::Acquire) == seen
                     && !shared.quit.load(Ordering::Acquire)
                 {
@@ -500,20 +902,17 @@ fn worker(shared: &Shared) {
                     // the main thread's Release store of this claim word,
                     // making the descriptor write visible; the descriptor
                     // stays frozen until `done` reaches `n`, which cannot
-                    // happen before this tile's increment below.
+                    // happen before this item's increment below.
                     let job = unsafe { *shared.job.get() };
                     debug_assert!(i < job.n);
-                    // SAFETY: the claim gives exclusive access to tile `i`;
+                    // SAFETY: the claim gives exclusive access to item `i`;
                     // the referents outlive the job window (see `JobDesc`).
-                    let ctx = unsafe { &*job.ctx.cast::<PlanCtx<'_>>() };
-                    let (ti, tk) = unsafe { *job.tiles.add(i) };
-                    let plan = unsafe { &mut *job.plans.add(i) };
-                    plan_tile(ctx, ti as usize, tk as usize, &mut scratch, plan);
+                    unsafe { run_item(&job, i, &mut scratch) };
                     shared.done.fetch_add(1, Ordering::Release);
                 }
                 // Claimed by a peer in this generation: keep scanning.
                 Err(v) if v >> 1 == seq => {}
-                // Stale tag: past the job's tile count, or the job moved on.
+                // Stale tag: past the job's item count, or the job moved on.
                 Err(_) => continue 'outer,
             }
         }

@@ -3,8 +3,8 @@
 //! checked (pipelining, serialization, banking, tiling, contention).
 
 use crate::{
-    simulate, ChannelState, FaultClass, FaultKind, FaultPlan, FaultSpec, SchedulerKind, SimConfig,
-    SimError,
+    simulate, ChannelState, ExecMode, FaultClass, FaultKind, FaultPlan, FaultSpec, SchedulerKind,
+    SimConfig, SimError,
 };
 use muir_core::accel::Accelerator;
 use muir_core::structure::StructureKind;
@@ -1205,6 +1205,74 @@ fn parallel_scheduler_matches_dense_on_tiled_workload() {
         assert_eq!(dense, par, "parallel@{threads} vs dense");
         assert_eq!(dense_a, par_a, "parallel@{threads}: output array differs");
     }
+}
+
+#[test]
+fn uop_exec_matches_interp_exec_everywhere() {
+    // Exec-mode differential on the richest in-crate workload: the flat
+    // micro-op dispatch (the default) and the NodeKind interpreter (the
+    // oracle) must be bit-identical under every scheduler, plain and
+    // faulted. The cross-workload version of this sweep lives in
+    // muir-bench's four-way differential suites.
+    let (m, a, acc) = tiled_workload();
+    let run = |cfg: SimConfig| {
+        let mut mem = Memory::from_module(&m);
+        let r = simulate(&acc, &mut mem, &[], &cfg).expect("simulate");
+        (observables(&r, &mem), mem.read_i64(a))
+    };
+    for faults in [
+        FaultPlan::none(),
+        FaultPlan::single(FaultClass::TokenBitFlip, 0xd1ff),
+    ] {
+        let base = SimConfig {
+            faults,
+            ..SimConfig::default()
+        };
+        let oracle = run(base
+            .clone()
+            .with_scheduler(SchedulerKind::Dense)
+            .with_exec(ExecMode::Interp));
+        for sched in [
+            SchedulerKind::Dense,
+            SchedulerKind::Ready,
+            SchedulerKind::Parallel,
+        ] {
+            for exec in [ExecMode::Interp, ExecMode::MicroOp] {
+                let got = run(base.clone().with_scheduler(sched).with_exec(exec));
+                assert_eq!(oracle, got, "{sched:?}+{exec:?} vs dense+interp");
+            }
+        }
+    }
+}
+
+#[test]
+fn epoch_commit_engages_at_two_threads() {
+    // The epoch path (DESIGN.md §14) requires MicroOp exec + a worker pool
+    // + no fault plan; the tiled workload keeps several independent tiles
+    // active, so local-tile commits must actually shard. Matching dense is
+    // necessary but not sufficient — this proves the optimized path *ran*.
+    let (m, a, acc) = tiled_workload();
+    let run = |cfg: SimConfig| {
+        let mut mem = Memory::from_module(&m);
+        let r = simulate(&acc, &mut mem, &[], &cfg).expect("simulate");
+        (observables(&r, &mem), mem.read_i64(a))
+    };
+    let base = SimConfig::default();
+    let dense = run(base.clone().with_scheduler(SchedulerKind::Dense));
+    let before = crate::epoch_tile_commits();
+    let par = run(base
+        .clone()
+        .with_scheduler(SchedulerKind::Parallel)
+        .with_threads(2)
+        .with_exec(ExecMode::MicroOp));
+    assert_eq!(dense, par, "parallel+uop@2 vs dense");
+    // The counter is global and monotone, so concurrent tests can only
+    // inflate the delta — a zero delta still proves *this* run (and every
+    // concurrent one) bypassed the epoch path.
+    assert!(
+        crate::epoch_tile_commits() > before,
+        "epoch commit never engaged on a multi-tile workload at 2 threads"
+    );
 }
 
 #[test]

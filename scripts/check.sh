@@ -5,9 +5,12 @@
 # pipeline -> hash unchanged), the store determinism gate (cold/warm/
 # post-fault over the full workload suite), the storage fault campaign
 # (4 injected fault classes x plain/sim-faulted differential), the
-# seeded graph-fuzz smoke (30 graphs, every scheduler at 1/2/4/8
-# threads), the scheduler benchmark gate (Dense vs Ready vs
-# Parallel@2 differential + BENCH_sim.json), the telemetry
+# seeded graph-fuzz smoke (30 graphs, every scheduler x exec mode at
+# 1/2/4/8 threads), the micro-op differential + epoch-commit
+# engagement gate (Dense+Interp oracle vs MicroOp under every
+# scheduler; epoch commit must actually engage at 2 threads), the
+# scheduler benchmark gate (four-way differential @2 threads +
+# BENCH_sim.json), the telemetry
 # zero-perturbation guard (metrics on vs off bit-identical on every
 # workload), and the metrics gate (one instrumented GEMM capture whose
 # merged trace and registry snapshot must validate against
@@ -49,10 +52,14 @@ cargo run --release -q -p muir-bench --bin experiments -- serve target/store-che
 echo "== storage fault campaign (4 classes x plain/sim-faulted) =="
 cargo run --release -q -p muir-bench --bin experiments -- store-campaign target/store-campaign-check
 
-echo "== graph-fuzz smoke (30 seeded graphs, all schedulers) =="
+echo "== graph-fuzz smoke (30 seeded graphs, all schedulers x exec modes) =="
 cargo run --release -q -p muir-bench --bin experiments -- fuzz --graphs 30 --seed 0xc1
 
-echo "== scheduler bench gate (differential @2 threads + BENCH_sim.json) =="
+echo "== micro-op differential + epoch-commit engagement @2 threads =="
+cargo test --release -q -p muir-sim --lib epoch_commit_engages_at_two_threads
+cargo test --release -q -p muir-sim --lib uop
+
+echo "== scheduler bench gate (four-way differential @2 threads + BENCH_sim.json) =="
 cargo run --release -q -p muir-bench --bin experiments -- bench --quick BENCH_sim.json
 
 echo "== telemetry zero-perturbation guard (metrics on == off, all workloads) =="
