@@ -6,6 +6,8 @@
 //!     profile <workload> [outdir]|trace-schema [schema.json]|
 //!     bench [--quick] [out.json]|fuzz [--graphs N] [--seed S]|
 //!     soak <workload> [reps]|
+//!     dse [--workload W]...|--all [--seed S] [--budget N] [--threads T]
+//!         [--out PATH] [--store DIR]|
 //!     serve [store-root]|store-stats [store-root]|store-campaign [root]|
 //!     metrics <workload> [outdir]|stats]
 //! ```
@@ -141,6 +143,64 @@ fn main() {
         stats_report();
         return;
     }
+    if which == "dse" {
+        let rest: Vec<String> = std::env::args().skip(2).collect();
+        let arg_after = |flag: &str| {
+            rest.iter()
+                .position(|a| a == flag)
+                .and_then(|p| rest.get(p + 1))
+                .map(|v| {
+                    let v = v.trim_start_matches("0x");
+                    u64::from_str_radix(
+                        v,
+                        if v.chars().all(|c| c.is_ascii_digit()) {
+                            10
+                        } else {
+                            16
+                        },
+                    )
+                    .unwrap_or_else(|e| panic!("bad {flag} value: {e}"))
+                })
+        };
+        let str_after = |flag: &str| {
+            rest.iter()
+                .position(|a| a == flag)
+                .and_then(|p| rest.get(p + 1))
+                .cloned()
+        };
+        let mut names: Vec<String> = Vec::new();
+        let mut i = 0;
+        while i < rest.len() {
+            if rest[i] == "--workload" {
+                if let Some(n) = rest.get(i + 1) {
+                    names.push(n.clone());
+                }
+                i += 1;
+            }
+            i += 1;
+        }
+        if rest.iter().any(|a| a == "--all") {
+            names = workloads::all()
+                .iter()
+                .map(|w| w.name.to_string())
+                .collect();
+        }
+        if names.is_empty() {
+            eprintln!(
+                "usage: experiments dse [--workload W]... | --all [--seed S] \
+                 [--budget N] [--threads T] [--out PATH] [--store DIR]"
+            );
+            std::process::exit(2);
+        }
+        let params = muir_bench::dse::DseParams {
+            seed: arg_after("--seed").unwrap_or(0xd5e),
+            budget: arg_after("--budget").unwrap_or(24),
+            threads: arg_after("--threads").unwrap_or(1) as usize,
+        };
+        let out = str_after("--out").unwrap_or_else(|| "DSE_report.json".to_string());
+        dse(&names, &params, str_after("--store").as_deref(), &out);
+        return;
+    }
     if which == "serve" {
         let root = std::env::args()
             .nth(2)
@@ -271,6 +331,89 @@ fn compile_stats() {
         cs.evictions
     );
     println!("determinism gates: OK (2x compile + no-op pipeline on all workloads)");
+}
+
+/// `dse [--workload W]...|--all [--seed S] [--budget N] [--threads T]
+/// [--out PATH] [--store DIR]`: the seeded design-space-exploration
+/// driver (ROADMAP item 3). Samples `budget` μopt configurations per
+/// workload, evaluates them through the eval service (optionally backed
+/// by the persistent store at `DIR`), and writes the schema-validated
+/// `DSE_report.json` with a cycles-vs-area Pareto front per workload.
+/// Exits non-zero on any schema or front-semantics violation. Same seed
+/// and budget produce a byte-identical report at any `--threads` value
+/// and any store temperature.
+fn dse(names: &[String], params: &muir_bench::dse::DseParams, store: Option<&str>, out: &str) {
+    use muir_bench::dse::{explore, report_json, validate_dse_json, DseStats};
+
+    hdr(&format!(
+        "Design-space exploration: seed {:#x}, budget {} / {} configs, {} thread(s){}",
+        params.seed,
+        params.budget,
+        muir_uopt::config::PassSpace::full().size(),
+        params.threads,
+        store.map(|s| format!(", store {s}")).unwrap_or_default()
+    ));
+    muir_core::telemetry::set_enabled(true);
+    muir_core::telemetry::reset();
+    let store_root = store.map(std::path::Path::new);
+    let mut results = Vec::new();
+    let mut totals = DseStats::default();
+    println!(
+        "{:>10} | {:>5} {:>5} {:>5} {:>5} | {:>5} | best (cycles, area)",
+        "Bench", "cand", "arts", "hits", "sim", "front"
+    );
+    for name in names {
+        let w = by_name(name).unwrap_or_else(|| panic!("unknown workload `{name}`"));
+        let (front, stats) = explore(&w, params, store_root);
+        let best = front.front.first().copied().unwrap_or((0, 0));
+        println!(
+            "{:>10} | {:>5} {:>5} {:>5} {:>5} | {:>5} | ({}, {})",
+            front.name,
+            stats.candidates,
+            stats.artifacts,
+            stats.store_hits,
+            stats.recomputed,
+            front.front.len(),
+            best.0,
+            best.1
+        );
+        totals.candidates += stats.candidates;
+        totals.artifacts += stats.artifacts;
+        totals.store_hits += stats.store_hits;
+        totals.coalesced += stats.coalesced;
+        totals.recomputed += stats.recomputed;
+        totals.store_warnings += stats.store_warnings;
+        results.push(front);
+    }
+    let report = report_json(params, &results);
+    std::fs::write(out, &report).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!(
+        "\ntotals: {} candidates -> {} artifacts, {} store hits / {} simulated, \
+         {} coalesced, {} store warnings",
+        totals.candidates,
+        totals.artifacts,
+        totals.store_hits,
+        totals.recomputed,
+        totals.coalesced,
+        totals.store_warnings
+    );
+    muir_core::telemetry::set_enabled(false);
+    match std::fs::read_to_string("scripts/dse_schema.json") {
+        Ok(schema) => match validate_dse_json(&report, &schema) {
+            Ok(s) => println!(
+                "report: {} workloads, {} candidates, {} front points \
+                 ({} non-trivial fronts) -> {out} [schema OK]",
+                s.workloads, s.candidates, s.front_points, s.nontrivial_fronts
+            ),
+            Err(e) => {
+                eprintln!("FAIL: report violates scripts/dse_schema.json: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(_) => {
+            println!("report -> {out} (scripts/dse_schema.json not found; validation skipped)")
+        }
+    }
 }
 
 /// `serve [store-root]`: the persistent-store determinism gate. Every

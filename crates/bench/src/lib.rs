@@ -7,6 +7,7 @@
 //! paper-vs-measured record.
 
 pub mod campaign;
+pub mod dse;
 pub mod profile;
 pub mod sched;
 pub mod service;

@@ -709,6 +709,28 @@ impl ContentHasher {
         self.len += bytes.len() as u64;
     }
 
+    /// Absorb a `u64` as 8 little-endian bytes. Canonical-encoding
+    /// helper shared by every layer that hashes structured keys (the
+    /// simulator's config/job/result hashes, the μopt `PassConfig`
+    /// dedup hash, the store's result keys).
+    pub fn push_u64(&mut self, v: u64) {
+        self.push(&v.to_le_bytes());
+    }
+
+    /// Absorb a length-prefixed string. The prefix makes the encoding
+    /// self-delimiting, so adjacent strings never collide with their
+    /// concatenation.
+    pub fn push_str(&mut self, s: &str) {
+        self.push_u64(s.len() as u64);
+        self.push(s.as_bytes());
+    }
+
+    /// Absorb an `f64` by its exact bit pattern (total and
+    /// deterministic; distinct NaN payloads hash distinct).
+    pub fn push_f64_bits(&mut self, v: f64) {
+        self.push_u64(v.to_bits());
+    }
+
     /// Finalize: flush the partial word and bind the total length.
     pub fn finish(mut self) -> u64 {
         // Flush the partial word and bind the total length so prefixes

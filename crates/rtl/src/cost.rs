@@ -42,6 +42,18 @@ pub struct CostEstimate {
     pub area_mm2: f64,
 }
 
+impl CostEstimate {
+    /// Scalar area score for design-space ranking: FPGA resources folded
+    /// into one integer (ALMs + registers/8 + 120·DSPs — DSP blocks are
+    /// the scarce resource on an Arria-10-class part, so they weigh like
+    /// the ~120 ALMs a soft multiplier would cost). Integer on purpose:
+    /// Pareto dominance over `(cycles, area_score)` pairs stays exact and
+    /// platform-independent, which the DSE determinism contract needs.
+    pub fn area_score(&self) -> u64 {
+        self.alms + self.regs / 8 + 120 * self.dsps
+    }
+}
+
 /// Per-op FPGA resources: (ALMs, regs, DSPs).
 fn op_resources(op: OpKind, ty: Type) -> (u64, u64, u64) {
     let lanes = ty.elems() as u64;
@@ -348,6 +360,19 @@ mod tests {
         let comp = seal(&build(true, false));
         let e = estimate(&comp, Tech::FpgaArria10);
         assert!(e.dsps >= 1);
+    }
+
+    #[test]
+    fn area_score_is_monotone_in_resources() {
+        let comp = seal(&build(true, false));
+        let e = estimate(&comp, Tech::FpgaArria10);
+        assert_eq!(e.area_score(), e.alms + e.regs / 8 + 120 * e.dsps);
+        let mut bigger = e;
+        bigger.alms += 1;
+        assert!(bigger.area_score() > e.area_score());
+        let mut dsp = e;
+        dsp.dsps += 1;
+        assert_eq!(dsp.area_score(), e.area_score() + 120);
     }
 
     #[test]

@@ -23,20 +23,11 @@ use muir_core::ContentHasher;
 use muir_mir::interp::Memory;
 use muir_mir::value::Value;
 
-fn push_str(h: &mut ContentHasher, s: &str) {
-    h.push(&(s.len() as u64).to_le_bytes());
-    h.push(s.as_bytes());
-}
-
-fn push_u64(h: &mut ContentHasher, v: u64) {
-    h.push(&v.to_le_bytes());
-}
-
 fn push_value(h: &mut ContentHasher, v: &Value) {
     // Debug on Value renders f32 via shortest-round-trip, so distinct bit
     // patterns of interest (other than NaN payloads) stay distinct and the
     // rendering is deterministic.
-    push_str(h, &format!("{v:?}"));
+    h.push_str(&format!("{v:?}"));
 }
 
 /// Hash the parts of a [`SimConfig`] that can affect simulation
@@ -46,19 +37,19 @@ fn push_value(h: &mut ContentHasher, v: &Value) {
 /// configs instead.
 pub fn config_hash(cfg: &SimConfig) -> u64 {
     let mut h = ContentHasher::new();
-    push_str(&mut h, "cfg-v1");
-    push_u64(&mut h, cfg.max_cycles);
-    push_u64(&mut h, cfg.window);
-    push_u64(&mut h, cfg.period_ns.to_bits());
-    push_u64(&mut h, cfg.deadlock_cycles);
-    push_u64(&mut h, u64::from(cfg.databox_entries));
-    push_u64(&mut h, u64::from(cfg.elastic_depth));
-    push_u64(&mut h, cfg.faults.seed);
-    push_u64(&mut h, cfg.faults.specs.len() as u64);
+    h.push_str("cfg-v1");
+    h.push_u64(cfg.max_cycles);
+    h.push_u64(cfg.window);
+    h.push_f64_bits(cfg.period_ns);
+    h.push_u64(cfg.deadlock_cycles);
+    h.push_u64(u64::from(cfg.databox_entries));
+    h.push_u64(u64::from(cfg.elastic_depth));
+    h.push_u64(cfg.faults.seed);
+    h.push_u64(cfg.faults.specs.len() as u64);
     for spec in &cfg.faults.specs {
-        push_str(&mut h, spec.class.name());
-        push_u64(&mut h, u64::from(spec.rate_ppm));
-        push_u64(&mut h, u64::from(spec.max_events));
+        h.push_str(spec.class.name());
+        h.push_u64(u64::from(spec.rate_ppm));
+        h.push_u64(u64::from(spec.max_events));
     }
     h.finish()
 }
@@ -70,19 +61,19 @@ pub fn config_hash(cfg: &SimConfig) -> u64 {
 /// never collide onto one memoized result.
 pub fn job_hash(cfg: &SimConfig, args: &[Value], mem: &Memory) -> u64 {
     let mut h = ContentHasher::new();
-    push_str(&mut h, "job-v1");
-    push_u64(&mut h, config_hash(cfg));
-    push_u64(&mut h, args.len() as u64);
+    h.push_str("job-v1");
+    h.push_u64(config_hash(cfg));
+    h.push_u64(args.len() as u64);
     for a in args {
         push_value(&mut h, a);
     }
-    push_u64(&mut h, mem.bases.len() as u64);
+    h.push_u64(mem.bases.len() as u64);
     for b in &mem.bases {
-        push_u64(&mut h, *b);
+        h.push_u64(*b);
     }
-    push_u64(&mut h, mem.objects.len() as u64);
+    h.push_u64(mem.objects.len() as u64);
     for obj in &mem.objects {
-        push_u64(&mut h, obj.len() as u64);
+        h.push_u64(obj.len() as u64);
         for v in obj {
             push_value(&mut h, v);
         }
@@ -95,40 +86,40 @@ pub fn job_hash(cfg: &SimConfig, args: &[Value], mem: &Memory) -> u64 {
 /// excluded (simulator-effort / observability artifacts, not behaviour).
 pub fn result_hash(r: &SimResult) -> u64 {
     let mut h = ContentHasher::new();
-    push_str(&mut h, "res-v1");
-    push_u64(&mut h, r.cycles);
-    push_u64(&mut h, r.results.len() as u64);
+    h.push_str("res-v1");
+    h.push_u64(r.cycles);
+    h.push_u64(r.results.len() as u64);
     for v in &r.results {
         push_value(&mut h, v);
     }
     let s = &r.stats;
-    push_u64(&mut h, s.cycles);
-    push_u64(&mut h, s.fires);
-    push_u64(&mut h, s.task_invocations.len() as u64);
+    h.push_u64(s.cycles);
+    h.push_u64(s.fires);
+    h.push_u64(s.task_invocations.len() as u64);
     for v in &s.task_invocations {
-        push_u64(&mut h, *v);
+        h.push_u64(*v);
     }
-    push_u64(&mut h, s.task_busy_cycles.len() as u64);
+    h.push_u64(s.task_busy_cycles.len() as u64);
     for v in &s.task_busy_cycles {
-        push_u64(&mut h, *v);
+        h.push_u64(*v);
     }
-    push_u64(&mut h, s.struct_stats.len() as u64);
+    h.push_u64(s.struct_stats.len() as u64);
     for st in &s.struct_stats {
-        push_u64(&mut h, st.requests);
-        push_u64(&mut h, st.elem_txns);
-        push_u64(&mut h, st.conflict_stalls);
-        push_u64(&mut h, st.hits);
-        push_u64(&mut h, st.misses);
-        push_u64(&mut h, st.writebacks);
-        push_u64(&mut h, st.ecc_corrected);
+        h.push_u64(st.requests);
+        h.push_u64(st.elem_txns);
+        h.push_u64(st.conflict_stalls);
+        h.push_u64(st.hits);
+        h.push_u64(st.misses);
+        h.push_u64(st.writebacks);
+        h.push_u64(st.ecc_corrected);
     }
-    push_u64(&mut h, s.dram_fills);
-    push_u64(&mut h, s.faults.token_bit_flip);
-    push_u64(&mut h, s.faults.token_drop);
-    push_u64(&mut h, s.faults.token_dup);
-    push_u64(&mut h, s.faults.stuck_handshake);
-    push_u64(&mut h, s.faults.mem_ecc);
-    push_u64(&mut h, s.faults.dram_timeout);
+    h.push_u64(s.dram_fills);
+    h.push_u64(s.faults.token_bit_flip);
+    h.push_u64(s.faults.token_drop);
+    h.push_u64(s.faults.token_dup);
+    h.push_u64(s.faults.stuck_handshake);
+    h.push_u64(s.faults.mem_ecc);
+    h.push_u64(s.faults.dram_timeout);
     h.finish()
 }
 
@@ -137,15 +128,15 @@ pub fn result_hash(r: &SimResult) -> u64 {
 /// compares across cold / warm / post-fault runs.
 pub fn end_state_hash(r: &SimResult, mem: &Memory) -> u64 {
     let mut h = ContentHasher::new();
-    push_str(&mut h, "end-v1");
-    push_u64(&mut h, result_hash(r));
-    push_u64(&mut h, mem.bases.len() as u64);
+    h.push_str("end-v1");
+    h.push_u64(result_hash(r));
+    h.push_u64(mem.bases.len() as u64);
     for b in &mem.bases {
-        push_u64(&mut h, *b);
+        h.push_u64(*b);
     }
-    push_u64(&mut h, mem.objects.len() as u64);
+    h.push_u64(mem.objects.len() as u64);
     for obj in &mem.objects {
-        push_u64(&mut h, obj.len() as u64);
+        h.push_u64(obj.len() as u64);
         for v in obj {
             push_value(&mut h, v);
         }

@@ -23,6 +23,7 @@
 //! it produces the *baseline* of Figure 15, whose comparison against the
 //! native tensor graph measures the benefit of the tensor function units.
 
+pub mod config;
 pub mod fusion;
 pub mod lower_tensors;
 pub mod passes;

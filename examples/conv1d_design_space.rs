@@ -1,168 +1,64 @@
-//! The paper's Figure 2 walk: one 1-D convolution behaviour, many
-//! microarchitectures.
+//! The paper's Figure 2 walk, driven automatically: one convolution
+//! behaviour, many microarchitectures.
 //!
-//! The same `output[i] = Σ_j input[i+j]·weight[j]` behaviour is lowered to
-//! a baseline accelerator and then iteratively transformed:
+//! Earlier revisions of this example applied Figure 2's four
+//! optimizations by hand (locality, concurrency, pipelining, higher-order
+//! ops). The μopt design-space driver (`muir_bench::dse`, ROADMAP item 3)
+//! now does the same walk mechanically: it samples the enumerable knob
+//! surface — task-queue depths, execution tiles, localization, banking
+//! factors, fusion periods — around the fixed higher-order-Conv behaviour
+//! (the suite's `CONV[T]` workload), evaluates every candidate through
+//! the eval service, and reports the cycles-vs-area Pareto front.
 //!
-//! * **Opt 1 — Locality**: hierarchical buffers via memory localization.
-//! * **Opt 2 — Higher concurrency**: replicated execution units (tiling).
-//! * **Opt 3 — Dataflow pipelining**: op-fusion / pipeline re-timing.
-//! * **Opt 4 — Higher-order ops**: the window dot-product as a tensor
-//!   `Conv` unit.
-//!
-//! Every variant computes the same outputs (checked against the reference
-//! interpreter); only the cycle count and area change.
+//! The sweep is pinned (`CONV1D_SEED`/`CONV1D_BUDGET`): the regression
+//! test in `crates/bench/tests/dse.rs` asserts this exact 10-point front,
+//! so the printout below is reproducible to the cycle.
 //!
 //! Run with: `cargo run --release --example conv1d_design_space`
 
-use muir::core::accel::Accelerator;
-use muir::frontend::{translate, FrontendConfig};
-use muir::mir::builder::FunctionBuilder;
-use muir::mir::instr::{TensorOp, ValueRef};
-use muir::mir::interp::{Interp, Memory};
-use muir::mir::module::Module;
-use muir::mir::types::{ScalarType, TensorShape, Type};
-use muir::rtl::cost::{estimate, Tech};
-use muir::sim::SimConfig;
-use muir::uopt::passes::{ExecutionTiling, MemoryLocalization, OpFusion, TaskFilter};
-use muir::uopt::PassManager;
+use muir::bench::dse::{conv1d_sweep, CONV1D_BUDGET, CONV1D_SEED, CONV1D_WORKLOAD};
 
-const M: i64 = 256;
-const W: i64 = 4;
-
-/// The scalar 1-D convolution of Figure 2.
-fn conv1d_scalar() -> (
-    Module,
-    muir::mir::instr::MemObjId,
-    muir::mir::instr::MemObjId,
-) {
-    let mut m = Module::new("conv1d");
-    let input = m.add_ro_mem_object("input", ScalarType::F32, (M + W) as u64);
-    let weight = m.add_ro_mem_object("weight", ScalarType::F32, W as u64);
-    let output = m.add_mem_object("output", ScalarType::F32, M as u64);
-    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
-    b.for_loop_par(0, ValueRef::int(M), 1, |b, i| {
-        let acc = b.for_loop_acc(
-            ValueRef::int(0),
-            ValueRef::int(W),
-            1,
-            &[(ValueRef::f32(0.0), Type::F32)],
-            |b, j, accs| {
-                let idx = b.add(i, j);
-                let v = b.load(input, idx);
-                let wv = b.load(weight, j);
-                let p = b.fmul(v, wv);
-                vec![b.fadd(accs[0], p)]
-            },
+fn main() {
+    println!(
+        "conv1d design space (Figure 2, automated): workload {CONV1D_WORKLOAD}, \
+         seed {CONV1D_SEED:#x}, budget {CONV1D_BUDGET}\n"
+    );
+    let (front, stats) = conv1d_sweep(1);
+    println!(
+        "{:>5}  {:<34} {:>8} {:>10}  front",
+        "idx", "config", "cycles", "area"
+    );
+    for c in &front.candidates {
+        println!(
+            "{:>5}  {:<34} {:>8} {:>10}  {}",
+            c.index,
+            c.config.to_string(),
+            c.cycles,
+            c.area_score,
+            if c.dominated { "" } else { "*" }
         );
-        b.store(output, i, acc[0]);
-    });
-    b.ret(None);
-    m.add_function(b.finish());
-    (m, input, output)
-}
-
-/// The same convolution with the W=4 window as a tensor `Conv` unit
-/// (Figure 2's "Opt 4 — Higher-Order Ops").
-fn conv1d_tensor() -> (
-    Module,
-    muir::mir::instr::MemObjId,
-    muir::mir::instr::MemObjId,
-) {
-    let shape = TensorShape::new(2, 2); // four consecutive elements
-    let mut m = Module::new("conv1d_t");
-    let input = m.add_ro_mem_object("input", ScalarType::F32, (M + W) as u64);
-    let weight = m.add_ro_mem_object("weight", ScalarType::F32, W as u64);
-    let output = m.add_mem_object("output", ScalarType::F32, M as u64);
-    let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
-    b.for_loop_par(0, ValueRef::int(M), 1, |b, i| {
-        let win = b.load_tile(input, i, shape);
-        let wt = b.load_tile(weight, ValueRef::int(0), shape);
-        let dot = b.tensor2(TensorOp::Conv, shape, win, wt);
-        b.store(output, i, dot);
-    });
-    b.ret(None);
-    m.add_function(b.finish());
-    (m, input, output)
-}
-
-fn measure(
-    label: &str,
-    m: &Module,
-    input: muir::mir::instr::MemObjId,
-    output: muir::mir::instr::MemObjId,
-    acc: &Accelerator,
-) -> u64 {
-    let data: Vec<f32> = (0..(M + W) as usize)
-        .map(|k| (k as f32 * 0.37).sin())
-        .collect();
-    let mut ref_mem = Memory::from_module(m);
-    ref_mem.init_f32(input, &data);
-    Interp::new(m).run_main(&mut ref_mem, &[]).expect("interp");
-    let mut mem = Memory::from_module(m);
-    mem.init_f32(input, &data);
-    // Seal once; the simulator and cost model share the artifact.
-    let comp = muir::core::CompiledAccel::compile_cached(acc).expect("verifies");
-    let r = muir::sim::simulate_compiled(&comp, &mut mem, &[], &SimConfig::default())
-        .expect("simulate");
-    let got = mem.read_f32(output);
-    let want = ref_mem.read_f32(output);
-    for (k, (a, b)) in got.iter().zip(&want).enumerate() {
-        assert!((a - b).abs() < 1e-4, "{label}: output[{k}] {a} vs {b}");
     }
-    let cost = estimate(&comp, Tech::FpgaArria10);
     println!(
-        "{label:<38} {:>8} cycles  {:>4.0} MHz  {:>6} ALMs  {:>3} DSPs",
-        r.cycles, cost.fmax_mhz, cost.alms, cost.dsps
+        "\n{} candidates -> {} distinct artifacts ({} coalesced); \
+         Pareto front ({} points):",
+        stats.candidates,
+        stats.artifacts,
+        stats.coalesced,
+        front.front.len()
     );
-    r.cycles
-}
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("1-D convolution design space (Figure 2), M = {M}, W = {W}\n");
-    let cfg = FrontendConfig::default();
-
-    let (m, input, output) = conv1d_scalar();
-    let acc = translate(&m, &cfg)?;
-    let base = measure("baseline (shared buffers)", &m, input, output, &acc);
-
-    let mut a1 = acc.clone();
-    PassManager::new()
-        .with(MemoryLocalization::default())
-        .run(&mut a1)?;
-    measure("opt 1: locality (local buffers)", &m, input, output, &a1);
-
-    let mut a2 = a1.clone();
-    PassManager::new()
-        .with(ExecutionTiling {
-            tiles: 4,
-            filter: TaskFilter::LeafLoops,
-        })
-        .run(&mut a2)?;
-    measure("opt 2: concurrency (4 exec units)", &m, input, output, &a2);
-
-    let mut a3 = a2.clone();
-    PassManager::new().with(OpFusion::default()).run(&mut a3)?;
-    let piped = measure(
-        "opt 3: dataflow pipelining (fusion)",
-        &m,
-        input,
-        output,
-        &a3,
-    );
-
-    let (mt, it, ot) = conv1d_tensor();
-    let mut a4 = translate(&mt, &cfg)?;
-    PassManager::new()
-        .with(MemoryLocalization::default())
-        .with(OpFusion::default())
-        .run(&mut a4)?;
-    let tensor = measure("opt 4: higher-order Conv unit", &mt, it, ot, &a4);
-
+    for (cycles, area) in &front.front {
+        println!("  {cycles:>8} cycles @ area {area}");
+    }
+    let base = front
+        .candidates
+        .iter()
+        .find(|c| c.index == 0)
+        .expect("baseline is always sampled");
+    let best = front.front.first().expect("non-empty front");
     println!(
-        "\nbaseline -> best scalar: {:.2}x; tensor unit: {:.2}x",
-        base as f64 / piped as f64,
-        base as f64 / tensor as f64
+        "\nbaseline {} cycles -> best {} cycles ({:.2}x)",
+        base.cycles,
+        best.0,
+        base.cycles as f64 / best.0 as f64
     );
-    Ok(())
 }

@@ -14,7 +14,10 @@
 # zero-perturbation guard (metrics on vs off bit-identical on every
 # workload), and the metrics gate (one instrumented GEMM capture whose
 # merged trace and registry snapshot must validate against
-# scripts/trace_schema.json and scripts/metrics_schema.json). Each
+# scripts/trace_schema.json and scripts/metrics_schema.json), and the
+# DSE smoke gate (a 2-workload seeded sweep through the eval service,
+# run cold@1-thread then warm@2-threads over one store: the reports
+# must validate against scripts/dse_schema.json and byte-match). Each
 # tool-dependent stage is skipped (not failed) when its tool is
 # missing, so the script works in minimal containers.
 set -eu
@@ -67,5 +70,16 @@ cargo test --release -q -p muir-bench --test telemetry
 
 echo "== metrics gate (merged trace + snapshot vs scripts/*_schema.json) =="
 cargo run --release -q -p muir-bench --bin experiments -- metrics GEMM target/metrics-check
+
+echo "== dse smoke gate (2 workloads, determinism across threads + warm store, schema) =="
+rm -rf target/dse-check
+cargo run --release -q -p muir-bench --bin experiments -- dse \
+    --workload "RELU[T]" --workload "CONV[T]" --budget 8 --threads 1 \
+    --store target/dse-check/store --out target/dse-check/cold.json
+cargo run --release -q -p muir-bench --bin experiments -- dse \
+    --workload "RELU[T]" --workload "CONV[T]" --budget 8 --threads 2 \
+    --store target/dse-check/store --out target/dse-check/warm.json
+cmp target/dse-check/cold.json target/dse-check/warm.json
+echo "dse reports byte-identical across threads 1/2 and cold/warm store"
 
 echo "check.sh: OK"

@@ -19,6 +19,7 @@
 //! See `examples/quickstart.rs` for an end-to-end walk-through.
 
 pub use muir_baselines as baselines;
+pub use muir_bench as bench;
 pub use muir_core as core;
 pub use muir_frontend as frontend;
 pub use muir_mir as mir;
