@@ -4,7 +4,8 @@
 //! cargo run --release -p muir-bench --bin experiments [all|fig1|table2|fig9|
 //!     table3|fig11|fig12|fig15|fig16|fig17|fig18|table4|faults|--selftest|
 //!     profile <workload> [outdir]|trace-schema [schema.json]|
-//!     bench [--quick] [out.json]|fuzz [--graphs N] [--seed S]|
+//!     bench [--quick] [out.json]|fuzz [--tensor] [--graphs N] [--seed S]|
+//!     tensor <file>|--builtin <name>|--gate|
 //!     soak <workload> [reps]|
 //!     dse [--workload W]...|--all [--seed S] [--budget N] [--threads T]
 //!         [--out PATH] [--store DIR]|
@@ -90,9 +91,39 @@ fn main() {
                     .unwrap_or_else(|e| panic!("bad {flag} value: {e}"))
                 })
         };
-        let graphs = arg_after("--graphs").unwrap_or(200);
-        let seed = arg_after("--seed").unwrap_or(0xf022);
-        fuzz(seed, graphs);
+        let tensor = rest.iter().any(|a| a == "--tensor");
+        let graphs = arg_after("--graphs").unwrap_or(if tensor { 50 } else { 200 });
+        let seed = arg_after("--seed").unwrap_or(if tensor { 0x7e50 } else { 0xf022 });
+        fuzz(seed, graphs, tensor);
+        return;
+    }
+    if which == "tensor" {
+        let rest: Vec<String> = std::env::args().skip(2).collect();
+        if rest.iter().any(|a| a == "--gate") {
+            tensor_gate();
+            return;
+        }
+        let text = if let Some(p) = rest.iter().position(|a| a == "--builtin") {
+            let name = rest.get(p + 1).unwrap_or_else(|| {
+                eprintln!("usage: experiments tensor --builtin <attn|convnet|mt_infer>");
+                std::process::exit(2);
+            });
+            workloads::tensorgraph::builtin_graph(name)
+                .unwrap_or_else(|| {
+                    eprintln!("unknown builtin graph `{name}` (attn, convnet, mt_infer)");
+                    std::process::exit(2);
+                })
+                .to_string()
+        } else if let Some(f) = rest.iter().find(|a| !a.starts_with("--")) {
+            std::fs::read_to_string(f).unwrap_or_else(|e| {
+                eprintln!("cannot read `{f}`: {e}");
+                std::process::exit(2);
+            })
+        } else {
+            eprintln!("usage: experiments tensor <file> | --builtin <name> | --gate");
+            std::process::exit(2);
+        };
+        tensor_run(&text);
         return;
     }
     if which == "soak" {
@@ -977,12 +1008,28 @@ fn bench(quick: bool, out: &str) {
     }
 }
 
-/// `fuzz [--graphs N] [--seed S]`: the seeded μIR graph fuzzer gate. Every
-/// generated graph is run under Dense, Ready, and Parallel at 1/2/4/8
-/// planning threads in plain, traced, and seeded-fault modes; any
-/// divergence (or disagreement with the reference interpreter) fails with
-/// a shrunk `(seed, size)` reproduction line.
-fn fuzz(seed: u64, graphs: u64) {
+/// `fuzz [--tensor] [--graphs N] [--seed S]`: the seeded fuzzer gates.
+/// Without `--tensor`, every generated μIR graph is run under Dense,
+/// Ready, and Parallel at 1/2/4/8 planning threads in plain, traced, and
+/// seeded-fault modes; any divergence (or disagreement with the reference
+/// interpreter) fails with a shrunk `(seed, size)` reproduction line.
+/// With `--tensor`, seeded tensor-op graphs are lowered through the
+/// frontend and checked the same way (graph eval vs mir interp vs every
+/// scheduler x exec mode).
+fn fuzz(seed: u64, graphs: u64, tensor: bool) {
+    if tensor {
+        hdr(&format!(
+            "Tensor-graph fuzz: {graphs} seeded graphs (seed 0x{seed:x}) through parse -> lower -> seal -> sim"
+        ));
+        match muir_bench::testgen::run_tensor_seeds(seed, graphs) {
+            Ok(()) => println!("fuzz: {graphs} tensor graphs bit-identical across schedulers"),
+            Err(e) => {
+                eprintln!("fuzz failure: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     hdr(&format!(
         "Scheduler fuzz: {graphs} seeded graphs (seed 0x{seed:x}) x 3 schedulers x 3 modes"
     ));
@@ -993,6 +1040,232 @@ fn fuzz(seed: u64, graphs: u64) {
             std::process::exit(1);
         }
     }
+}
+
+/// `tensor <file>|--builtin <name>`: the tensor front door. Parse a
+/// tensor-op graph, lower it through the frontend into a verified
+/// accelerator, seal and simulate it, and check the result against both
+/// independent references — the graph-level evaluator and the mir
+/// interpreter on the lowered module.
+fn tensor_run(text: &str) {
+    use muir_frontend::tensor::{TensorGraph, TensorLowerConfig};
+
+    let g = match TensorGraph::parse(text) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    hdr(&format!(
+        "Tensor graph: {} (content hash {:016x})",
+        g.name,
+        g.content_hash()
+    ));
+    for i in &g.inputs {
+        println!("  input  {:<8} {}", i.name, i.dims);
+    }
+    for n in &g.nodes {
+        println!(
+            "  node   %{:<7} {:<8} -> {}",
+            n.name,
+            n.op.mnemonic(),
+            n.dims
+        );
+    }
+    let low = match g.lower(&TensorLowerConfig::default()) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "lowered: {} memory objects, {} relu(s) fused into producers",
+        low.inputs.len() + 1,
+        low.fused_relus
+    );
+
+    let w = match workloads::tensorgraph::from_text("TENSOR", text, 0x7e50) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    let acc = baseline(&w);
+    let r = run_verified(&w, &acc); // sim vs mir reference interpreter
+    let inputs: Vec<Vec<f32>> = w
+        .inits
+        .iter()
+        .map(|(_, d)| match d {
+            workloads::InitData::F32(v) => v.clone(),
+            workloads::InitData::I64(_) => unreachable!("tensor graphs are f32"),
+        })
+        .collect();
+    let want = g.eval(&inputs).expect("graph eval");
+    let got = w.run_reference().expect("reference").read_f32(w.outputs[0]);
+    assert_eq!(want.len(), got.len(), "output length mismatch");
+    for (k, (x, y)) in want.iter().zip(&got).enumerate() {
+        let scale = x.abs().max(y.abs()).max(1.0);
+        assert!(
+            (x - y).abs() <= 1e-4 * scale,
+            "graph eval vs lowered module diverge at element {k}: {x} vs {y}"
+        );
+    }
+    println!(
+        "verified: sim == mir reference == graph evaluator ({} output elements)",
+        got.len()
+    );
+    println!("cycles: {} (default config, sealed artifact)", r.cycles);
+}
+
+/// `tensor --gate`: the `scripts/check.sh` tensor-lowering differential
+/// gate, over GEMM- and CONV-shaped graphs on the hand-built workloads'
+/// own inputs:
+///
+/// 1. **Bit-identity** — the text-parsed graph and the API-built graph
+///    must agree exactly: content hash, lowered-module text, simulated
+///    cycles, and end-state hash (output bits).
+/// 2. **Numerics** — the frontend-lowered accelerator must reproduce the
+///    hand-built GEMM/CONV workloads' reference results (1e-4 relative;
+///    the two lowerings order their f32 reductions differently).
+fn tensor_gate() {
+    use muir_frontend::tensor::{
+        Dims, GraphInput, GraphNode, GraphOp, GraphRef, TensorGraph, TensorLowerConfig,
+    };
+    use muir_workloads::{InitData, Prng};
+
+    hdr("Tensor-lowering gate: frontend-lowered vs hand-built GEMM / CONV");
+
+    let gate_one =
+        |tag: &str, text: &str, api: &TensorGraph, inits: Vec<Vec<f32>>, want: &[f32]| {
+            let parsed = TensorGraph::parse(text).unwrap_or_else(|e| panic!("{tag}: {e}"));
+            assert_eq!(
+                parsed.content_hash(),
+                api.content_hash(),
+                "{tag}: parse-built and API-built graphs hash differently"
+            );
+            let cfg = TensorLowerConfig::default();
+            let run = |g: &TensorGraph| {
+                let low = g.lower(&cfg).unwrap_or_else(|e| panic!("{tag}: {e}"));
+                let module_text = muir_mir::printer::print_module(&low.module);
+                let w = workloads::Workload {
+                    name: "TENSOR-GATE",
+                    class: workloads::Class::TensorGraph,
+                    fp: true,
+                    tensor: true,
+                    inits: low
+                        .inputs
+                        .iter()
+                        .zip(&inits)
+                        .map(|(o, v)| (*o, InitData::F32(v.clone())))
+                        .collect(),
+                    outputs: vec![low.output],
+                    module: low.module,
+                };
+                let acc = baseline(&w);
+                let mut mem = w.fresh_memory();
+                let r = muir_sim::simulate(&acc, &mut mem, &[], &muir_sim::SimConfig::default())
+                    .unwrap_or_else(|e| panic!("{tag}: {e}"));
+                let out = mem.read_f32(w.outputs[0]);
+                let mut h = muir_core::ContentHasher::new();
+                for v in &out {
+                    h.push(&v.to_bits().to_le_bytes());
+                }
+                (module_text, r.cycles, h.finish(), out)
+            };
+            let (mt_p, cy_p, hash_p, out) = run(&parsed);
+            let (mt_a, cy_a, hash_a, _) = run(api);
+            assert_eq!(mt_p, mt_a, "{tag}: lowered modules differ (parse vs API)");
+            assert_eq!(cy_p, cy_a, "{tag}: cycles differ (parse vs API)");
+            assert_eq!(
+                hash_p, hash_a,
+                "{tag}: end-state hashes differ (parse vs API)"
+            );
+            assert_eq!(out.len(), want.len(), "{tag}: output length");
+            for (k, (x, y)) in out.iter().zip(want).enumerate() {
+                let scale = x.abs().max(y.abs()).max(1.0);
+                assert!(
+                    (x - y).abs() <= 1e-4 * scale,
+                    "{tag}: element {k} diverges from the hand-built reference: {x} vs {y}"
+                );
+            }
+            println!(
+                "{tag:>8}: {} cycles, end-state {hash_p:016x} — parse == API bit-identical, \
+             numerics match hand-built reference ({} elements)",
+                cy_p,
+                out.len()
+            );
+        };
+
+    // GEMM: 32x32 matmul on the hand-built GEMM workload's inputs (seed 11).
+    let gemm_text = "graph gemm32\n\
+                     input a : f32[32,32]\n\
+                     input b : f32[32,32]\n\
+                     %c = matmul a, b\n\
+                     output %c\n";
+    let gemm_api = TensorGraph::build(
+        "gemm32",
+        vec![
+            GraphInput {
+                name: "a".into(),
+                dims: Dims::new(32, 32),
+            },
+            GraphInput {
+                name: "b".into(),
+                dims: Dims::new(32, 32),
+            },
+        ],
+        vec![GraphNode {
+            name: "c".into(),
+            op: GraphOp::MatMul,
+            args: vec![GraphRef::Input(0), GraphRef::Input(1)],
+            dims: Dims::new(1, 1),
+        }],
+        0,
+    )
+    .expect("API GEMM graph builds");
+    let mut rng = Prng::new(11);
+    let ia = rng.f32_vec(32 * 32);
+    let ib = rng.f32_vec(32 * 32);
+    let gemm_want = workloads::polybench::gemm_reference(&ia, &ib, 32);
+    gate_one("GEMM", gemm_text, &gemm_api, vec![ia, ib], &gemm_want);
+
+    // CONV: 28x28 (x) 3x3 valid conv on the hand-built CONV inputs (seed 47).
+    let conv_text = "graph conv28\n\
+                     input img : f32[28,28]\n\
+                     input k : f32[3,3]\n\
+                     %c = conv img, k\n\
+                     output %c\n";
+    let conv_api = TensorGraph::build(
+        "conv28",
+        vec![
+            GraphInput {
+                name: "img".into(),
+                dims: Dims::new(28, 28),
+            },
+            GraphInput {
+                name: "k".into(),
+                dims: Dims::new(3, 3),
+            },
+        ],
+        vec![GraphNode {
+            name: "c".into(),
+            op: GraphOp::Conv,
+            args: vec![GraphRef::Input(0), GraphRef::Input(1)],
+            dims: Dims::new(1, 1),
+        }],
+        0,
+    )
+    .expect("API CONV graph builds");
+    let mut rng = Prng::new(47);
+    let iin = rng.f32_vec(28 * 28);
+    let ik = rng.f32_vec(9);
+    let conv_want = workloads::tensorflow::conv_reference(&iin, &ik, 28, 26);
+    gate_one("CONV", conv_text, &conv_api, vec![iin, ik], &conv_want);
+
+    println!("tensor-lowering gate: OK");
 }
 
 /// `trace-schema [schema.json]`: CI gate — regenerate a golden trace and

@@ -558,6 +558,34 @@ mod tests {
         assert_eq!(pareto_front(&[(5, 5), (5, 5), (5, 5)]), vec![(5, 5)]);
     }
 
+    /// The tensor-graph families must explore to non-trivial fronts: the
+    /// default seed/budget yields at least 3 Pareto points for ATTN, and
+    /// the same seed reproduces a byte-identical report at any thread
+    /// count (determinism contract rule 2).
+    #[test]
+    fn attn_front_is_nontrivial_and_thread_independent() {
+        let w = muir_workloads::by_name("ATTN").expect("ATTN in registry");
+        let params = DseParams::default();
+        let (front, stats) = explore(&w, &params, None);
+        assert!(
+            front.front.len() >= 3,
+            "ATTN front has only {} point(s)",
+            front.front.len()
+        );
+        assert_eq!(stats.candidates, params.budget);
+        let (front2, _) = explore(
+            &w,
+            &DseParams {
+                threads: 2,
+                ..params.clone()
+            },
+            None,
+        );
+        let a = report_json(&params, &[front]);
+        let b = report_json(&params, &[front2]);
+        assert_eq!(a, b, "same-seed DSE report must be byte-identical");
+    }
+
     #[test]
     fn front_is_sorted_and_mutually_incomparable() {
         let pts = [(10, 1), (1, 10), (5, 5), (6, 6), (10, 10), (1, 10)];

@@ -486,9 +486,9 @@ pub fn bench_batch(reps_per_workload: usize, best_of: u32) -> Vec<BatchPoint> {
 }
 
 /// The quick subset used by the CI gate (small enough for a checked
-/// build, varied enough to cover compute-, memory-, and spawn-bound
-/// shapes).
-pub const QUICK_SET: [&str; 6] = ["GEMM", "FFT", "SPMV", "SAXPY", "STENCIL", "M-SORT"];
+/// build, varied enough to cover compute-, memory-, spawn-bound, and
+/// tensor-graph-frontend shapes).
+pub const QUICK_SET: [&str; 7] = ["GEMM", "FFT", "SPMV", "SAXPY", "STENCIL", "M-SORT", "ATTN"];
 
 /// One workload's sealing cost — what a batch of N runs pays exactly once
 /// since the engines share the `CompiledAccel` artifact.
@@ -761,6 +761,7 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
     if rows.is_empty() {
         return Err("`rows` is empty".into());
     }
+    let mut has_tensor_graph = false;
     for (i, row) in rows.iter().enumerate() {
         for key in [
             "cycles",
@@ -785,9 +786,21 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
                 }
             }
         }
-        if row.get("workload").and_then(Json::as_str).is_none() {
+        let Some(name) = row.get("workload").and_then(Json::as_str) else {
             return Err(format!("row {i}: missing `workload` string"));
+        };
+        // Every row must name a registry workload (catches drift between
+        // the bench set and the suite), and the report must cover the
+        // tensor-graph frontend families.
+        match muir_workloads::REGISTRY.iter().find(|e| e.name == name) {
+            Some(e) => has_tensor_graph |= matches!(e.class, muir_workloads::Class::TensorGraph),
+            None => return Err(format!("row {i}: unknown workload `{name}`")),
         }
+    }
+    if !has_tensor_graph {
+        return Err(
+            "rows must include at least one tensor-graph family (ATTN/CONVNET/MT-INFER)".into(),
+        );
     }
     let Some(Json::Arr(batch)) = doc.get("batch") else {
         return Err("missing `batch` array".into());

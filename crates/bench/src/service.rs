@@ -729,6 +729,88 @@ mod tests {
         let _ = std::fs::remove_dir_all(&root);
     }
 
+    /// The MT-INFER multi-tenant scenario: one sealed artifact, one
+    /// service, eight tenants each submitting their own activation
+    /// matrix against the shared weights. Every tenant's outcome must be
+    /// bit-identical to a standalone run on the same memory, distinct
+    /// tenants must not coalesce, a duplicate submission must, and the
+    /// answer must not depend on the worker-thread count.
+    #[test]
+    fn multi_tenant_inference_shares_one_sealed_artifact() {
+        use muir_workloads::{tensorgraph, Prng};
+
+        let w = tensorgraph::mt_infer();
+        let acc = crate::baseline(&w);
+        let comp = CompiledAccel::compile_cached(&acc).unwrap();
+        let xobj = w.inits[0].0;
+
+        // Eight tenants: per-tenant activations X, shared banked weights W.
+        let mems: Vec<Memory> = (0..8u64)
+            .map(|t| {
+                let mut mem = w.fresh_memory();
+                mem.objects[xobj.0 as usize] = Prng::new(0x3e7a + t)
+                    .f32_vec(64)
+                    .into_iter()
+                    .map(Value::F32)
+                    .collect();
+                mem
+            })
+            .collect();
+        let job = |mem: &Memory| EvalJob {
+            cfg: SimConfig::default(),
+            args: vec![],
+            mem: mem.clone(),
+        };
+
+        let mut svc = EvalService::new(
+            comp.clone(),
+            None,
+            ServiceConfig {
+                threads: 4,
+                shards: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        for mem in &mems {
+            svc.submit(job(mem));
+        }
+        let dup = svc.submit(job(&mems[0])); // tenant 0 resubmits
+        let out = svc.drain();
+        let s = svc.stats();
+        assert_eq!((s.submitted, s.executed_groups, s.coalesced), (9, 8, 1));
+        assert!(out[dup].coalesced);
+        assert_eq!(out[dup].end_state(), out[0].end_state());
+        assert_ne!(
+            out[0].end_state(),
+            out[1].end_state(),
+            "tenants with distinct activations must produce distinct results"
+        );
+
+        // Each tenant against its own standalone run on the same artifact.
+        for (t, mem) in mems.iter().enumerate() {
+            let mut m = mem.clone();
+            let r = muir_sim::simulate_compiled(&comp, &mut m, &[], &SimConfig::default()).unwrap();
+            let got = out[t].outcome.as_ref().expect("tenant job completes");
+            assert_eq!(got.cycles, r.cycles, "tenant {t} cycles");
+            assert_eq!(
+                out[t].end_state(),
+                end_state_hash(&r, &m),
+                "tenant {t} end state"
+            );
+        }
+
+        // Thread-count independence: a single-threaded service over the
+        // same submissions reaches the same end states in order.
+        let mut svc1 = EvalService::new(comp, None, ServiceConfig::default());
+        for mem in &mems {
+            svc1.submit(job(mem));
+        }
+        let out1 = svc1.drain();
+        for t in 0..mems.len() {
+            assert_eq!(out[t].end_state(), out1[t].end_state(), "tenant {t}");
+        }
+    }
+
     #[test]
     fn traced_jobs_bypass_the_store() {
         let root = test_root("traced");

@@ -453,6 +453,246 @@ pub fn run_seeds(seed0: u64, count: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// One tensor-graph fuzz case: a constructively valid graph from
+/// `muir_frontend::tensor::gen_graph`, lowered through the tile
+/// intrinsics, with seed-derived f32 inputs. Reproducible from
+/// `(seed, size)` exactly like [`GenCase`].
+pub struct TensorCase {
+    /// The generating seed.
+    pub seed: u64,
+    /// The size knob (0 = smallest).
+    pub size: u8,
+    /// The source graph.
+    pub graph: muir_frontend::tensor::TensorGraph,
+    /// Its lowering (module + memory-object map).
+    pub lowered: muir_frontend::tensor::LoweredGraph,
+    /// Input object contents, in graph-input order.
+    pub inits: Vec<(MemObjId, Vec<f32>)>,
+    /// Simulation dimensions shared by every run of the case.
+    pub cfg: SimConfig,
+    /// Human-readable summary for failure reports.
+    pub desc: String,
+}
+
+impl TensorCase {
+    /// Fresh memory with the case's inputs loaded.
+    pub fn fresh_memory(&self) -> Memory {
+        let mut mem = Memory::from_module(&self.lowered.module);
+        for (obj, data) in &self.inits {
+            mem.init_f32(*obj, data);
+        }
+        mem
+    }
+}
+
+/// Derive a tensor-graph case from `(seed, size)`.
+pub fn gen_tensor_case(seed: u64, size: u8) -> TensorCase {
+    use muir_frontend::tensor::{gen_graph, TensorLowerConfig};
+    let graph = gen_graph(seed, size as usize);
+    let lowered = graph
+        .lower(&TensorLowerConfig::default())
+        .expect("generated graphs lower");
+    let mut rng = SplitMix64::salted(seed, 0x7e50);
+    let inits: Vec<(MemObjId, Vec<f32>)> = lowered
+        .inputs
+        .iter()
+        .zip(&graph.inputs)
+        .map(|(obj, gi)| {
+            let data: Vec<f32> = (0..gi.dims.elems())
+                .map(|_| (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32 * 2.0 - 1.0)
+                .collect();
+            (*obj, data)
+        })
+        .collect();
+    let cfg = SimConfig {
+        max_cycles: 20_000_000,
+        deadlock_cycles: 50_000,
+        databox_entries: 1 + rng.below(8) as u32,
+        elastic_depth: 1 + rng.below(8) as u32,
+        window: 2 + rng.below(63),
+        ..SimConfig::default()
+    };
+    let desc = format!(
+        "gen_tensor_case(0x{seed:016x}, {size}): {} inputs, {} nodes, {} fused",
+        graph.inputs.len(),
+        graph.nodes.len(),
+        lowered.fused_relus
+    );
+    TensorCase {
+        seed,
+        size,
+        graph,
+        lowered,
+        inits,
+        cfg,
+        desc,
+    }
+}
+
+fn run_tensor(
+    case: &TensorCase,
+    comp: &muir_core::compiled::CompiledAccel,
+    scheduler: SchedulerKind,
+    threads: u32,
+    exec: ExecMode,
+    tracing: bool,
+) -> Obs {
+    let cfg = SimConfig {
+        trace: if tracing {
+            TraceConfig::on()
+        } else {
+            TraceConfig::default()
+        },
+        ..case.cfg.clone()
+    }
+    .with_scheduler(scheduler)
+    .with_threads(threads)
+    .with_exec(exec);
+    let mut mem = case.fresh_memory();
+    match muir_sim::simulate_compiled(comp, &mut mem, &[], &cfg) {
+        Ok(r) => Obs::Ok {
+            cycles: r.cycles,
+            results: format!("{:?}", r.results),
+            stats: crate::sched::stats_fingerprint(&r.stats),
+            trace: r.trace.map(|t| t.to_chrome_json()),
+            mem,
+        },
+        Err(e) => Obs::Err(e.to_string()),
+    }
+}
+
+/// Differentially check one tensor-graph case: the graph-level
+/// evaluator, the `muir-mir` interpreter over the lowered module, and
+/// every scheduler × firing-interpreter combination must agree (the
+/// simulator matrix bit for bit, the two reference layers to float
+/// tolerance — chunked dot products reassociate).
+///
+/// # Errors
+/// The first divergence, naming the failing configuration and the
+/// case's reproduction line.
+pub fn check_tensor_case(case: &TensorCase) -> Result<(), String> {
+    // Layer 1: graph evaluator vs lowered-module interpreter.
+    let inputs: Vec<Vec<f32>> = case.inits.iter().map(|(_, d)| d.clone()).collect();
+    let want = case
+        .graph
+        .eval(&inputs)
+        .map_err(|e| format!("{}: graph eval: {e}", case.desc))?;
+    let mut ref_mem = case.fresh_memory();
+    Interp::new(&case.lowered.module)
+        .run_main(&mut ref_mem, &[])
+        .map_err(|e| format!("{}: reference interpreter: {e}", case.desc))?;
+    let got = ref_mem.read_f32(case.lowered.output);
+    if want.len() != got.len() {
+        return Err(format!(
+            "{}: output length {} vs {}",
+            case.desc,
+            want.len(),
+            got.len()
+        ));
+    }
+    for (i, (x, y)) in want.iter().zip(&got).enumerate() {
+        let scale = x.abs().max(y.abs()).max(1.0);
+        if (x - y).abs() > 1e-4 * scale {
+            return Err(format!(
+                "{}: lowering diverged from graph eval at [{i}]: {x} vs {y}",
+                case.desc
+            ));
+        }
+    }
+    // Layer 2: the simulator matrix, bit-identical to the dense oracle.
+    let acc = translate(&case.lowered.module, &FrontendConfig::default())
+        .map_err(|e| format!("{}: translate: {e}", case.desc))?;
+    let comp = muir_core::compiled::CompiledAccel::compile_cached(&acc)
+        .map_err(|e| format!("{}: compile: {e}", case.desc))?;
+    for tracing in [false, true] {
+        let mode = if tracing { "traced" } else { "plain" };
+        let dense = run_tensor(
+            case,
+            &comp,
+            SchedulerKind::Dense,
+            1,
+            ExecMode::Interp,
+            tracing,
+        );
+        if let Obs::Err(e) = &dense {
+            return Err(format!("{} [{mode}]: dense run failed: {e}", case.desc));
+        }
+        if let Obs::Ok { mem, .. } = &dense {
+            let sim = mem.read_f32(case.lowered.output);
+            for (i, (x, y)) in got.iter().zip(&sim).enumerate() {
+                if x.to_bits() != y.to_bits() {
+                    return Err(format!(
+                        "{} [{mode}]: sim diverged from interpreter at [{i}]: {x} vs {y}",
+                        case.desc
+                    ));
+                }
+            }
+        }
+        let covers: [(&str, SchedulerKind, u32, ExecMode); 6] = [
+            ("dense+uop", SchedulerKind::Dense, 1, ExecMode::MicroOp),
+            ("ready+interp", SchedulerKind::Ready, 1, ExecMode::Interp),
+            ("ready+uop", SchedulerKind::Ready, 1, ExecMode::MicroOp),
+            (
+                "parallel+interp@2",
+                SchedulerKind::Parallel,
+                2,
+                ExecMode::Interp,
+            ),
+            (
+                "parallel+uop@2",
+                SchedulerKind::Parallel,
+                2,
+                ExecMode::MicroOp,
+            ),
+            (
+                "parallel+uop@8",
+                SchedulerKind::Parallel,
+                8,
+                ExecMode::MicroOp,
+            ),
+        ];
+        for (label, scheduler, threads, exec) in covers {
+            let other = run_tensor(case, &comp, scheduler, threads, exec, tracing);
+            if dense != other {
+                return Err(format!(
+                    "{} [{mode}]: {label} diverged from dense",
+                    case.desc
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fuzz `count` tensor-graph cases derived from `seed0`, with the same
+/// shrink-by-seed reporting as [`run_seeds`].
+///
+/// # Errors
+/// The first failing case, with its reproduction line and shrink result.
+pub fn run_tensor_seeds(seed0: u64, count: u64) -> Result<(), String> {
+    for i in 0..count {
+        let seed = SplitMix64::salted(seed0 ^ 0x7e50, i).next_u64();
+        let case = gen_tensor_case(seed, 2);
+        let Err(full) = check_tensor_case(&case) else {
+            continue;
+        };
+        for size in 0..2u8 {
+            let small = gen_tensor_case(seed, size);
+            if let Err(e) = check_tensor_case(&small) {
+                return Err(format!(
+                    "tensor fuzz case {i} failed; shrunk to size {size}: {e}\n  \
+                     reproduce with: check_tensor_case(&gen_tensor_case(0x{seed:016x}, {size}))"
+                ));
+            }
+        }
+        return Err(format!(
+            "tensor fuzz case {i} failed (did not shrink): {full}\n  \
+             reproduce with: check_tensor_case(&gen_tensor_case(0x{seed:016x}, 2))"
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -487,5 +727,22 @@ mod tests {
         // A handful of full differential cases; the big corpus lives in
         // `tests/scheduler_diff.rs` and the `experiments fuzz` gate.
         run_seeds(0x0ace, 6).unwrap();
+    }
+
+    #[test]
+    fn tensor_cases_are_reproducible() {
+        for seed in [1u64, 0xdead_beef, 0x7e50_7e50] {
+            let a = gen_tensor_case(seed, 2);
+            let b = gen_tensor_case(seed, 2);
+            assert_eq!(a.desc, b.desc);
+            assert_eq!(a.graph.content_hash(), b.graph.content_hash());
+            assert_eq!(a.inits, b.inits);
+            assert_eq!(a.cfg.window, b.cfg.window);
+        }
+    }
+
+    #[test]
+    fn tensor_fuzz_smoke_small() {
+        run_tensor_seeds(0x7e50, 3).unwrap();
     }
 }

@@ -49,6 +49,10 @@ pub fn op_timing(op: OpKind, ty: Type) -> Timing {
             // A tile op is a spatial array of scalar units: latency covers
             // the reduction tree of Figure 14, II stays 1.
             TensorOp::MatMul | TensorOp::Conv => Timing::pipelined(4),
+            // Adder tree only (no multiplier row): one stage shallower.
+            TensorOp::Reduce => Timing::pipelined(3),
+            // Softmax serialises through the exp unit, then divides.
+            TensorOp::Softmax => Timing { latency: 16, ii: 2 },
             TensorOp::Add | TensorOp::Mul | TensorOp::Relu => Timing::pipelined(2),
         },
     };
@@ -89,6 +93,8 @@ pub fn op_delay_ns(op: OpKind, _ty: Type) -> f64 {
         OpKind::Tensor(t, _) => match t {
             TensorOp::MatMul | TensorOp::Conv => 2.9,
             TensorOp::Add | TensorOp::Mul => 2.6,
+            TensorOp::Reduce => 2.4,
+            TensorOp::Softmax => 3.2,
             TensorOp::Relu => 1.2,
         },
     }

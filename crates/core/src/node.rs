@@ -33,10 +33,13 @@ impl OpKind {
             OpKind::Bin(_) | OpKind::Cmp(_) => 2,
             OpKind::Un(_) | OpKind::Cast(_) => 1,
             OpKind::Select => 3,
-            OpKind::Tensor(t, _) => match t {
-                TensorOp::Relu => 1,
-                _ => 2,
-            },
+            OpKind::Tensor(t, _) => {
+                if t.is_unary() {
+                    1
+                } else {
+                    2
+                }
+            }
         }
     }
 

@@ -42,6 +42,7 @@
 //! ```
 
 mod build;
+pub mod tensor;
 #[cfg(test)]
 mod tests;
 

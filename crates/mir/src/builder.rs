@@ -276,7 +276,7 @@ impl FunctionBuilder {
         b: ValueRef,
     ) -> ValueRef {
         let elem = self.infer(a).map(|t| t.elem()).unwrap_or(ScalarType::F32);
-        let ty = if op == TensorOp::Conv {
+        let ty = if op.reduces_to_scalar() {
             Type::Scalar(elem)
         } else {
             Type::Tensor { elem, shape }
@@ -284,10 +284,20 @@ impl FunctionBuilder {
         self.push(Op::Tensor(op, shape), Some(ty), vec![a, b])
     }
 
-    /// Tensor unary op over one tile value.
+    /// Tensor unary op over one tile value. `Reduce` yields a scalar;
+    /// `Softmax` always yields F32 lanes (it routes through the exp unit).
     pub fn tensor1(&mut self, op: TensorOp, shape: TensorShape, a: ValueRef) -> ValueRef {
         let elem = self.infer(a).map(|t| t.elem()).unwrap_or(ScalarType::F32);
-        let ty = Type::Tensor { elem, shape };
+        let ty = if op.reduces_to_scalar() {
+            Type::Scalar(elem)
+        } else if op == TensorOp::Softmax {
+            Type::Tensor {
+                elem: ScalarType::F32,
+                shape,
+            }
+        } else {
+            Type::Tensor { elem, shape }
+        };
         self.push(Op::Tensor(op, shape), Some(ty), vec![a])
     }
 

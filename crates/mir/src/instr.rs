@@ -262,6 +262,12 @@ pub enum TensorOp {
     Relu,
     /// Tile convolution (dot product of tile with a weight tile).
     Conv,
+    /// Sum-reduce every tile element to one scalar (reduction tree
+    /// without the multiplier row of Figure 14).
+    Reduce,
+    /// Softmax over the tile's elements: `exp(x_k) / Σ_j exp(x_j)`.
+    /// Always produces F32 lanes (like the scalar `exp` unit).
+    Softmax,
 }
 
 impl TensorOp {
@@ -273,7 +279,19 @@ impl TensorOp {
             TensorOp::Mul => "tensor.mul",
             TensorOp::Relu => "tensor.relu",
             TensorOp::Conv => "tensor.conv",
+            TensorOp::Reduce => "tensor.reduce",
+            TensorOp::Softmax => "tensor.softmax",
         }
+    }
+
+    /// Whether the op consumes one tile (vs two).
+    pub fn is_unary(self) -> bool {
+        matches!(self, TensorOp::Relu | TensorOp::Reduce | TensorOp::Softmax)
+    }
+
+    /// Whether the op reduces its tile to a single scalar.
+    pub fn reduces_to_scalar(self) -> bool {
+        matches!(self, TensorOp::Conv | TensorOp::Reduce)
     }
 }
 

@@ -231,7 +231,9 @@ fn scalar_bin_f(
     }
 }
 
-/// Evaluate a tensor op. `Conv` reduces to a scalar; others keep the shape.
+/// Evaluate a tensor op. `Conv` and `Reduce` reduce to a scalar;
+/// `Softmax` keeps the shape but always yields F32 lanes (it routes
+/// through the `exp` unit); others keep shape and element type.
 ///
 /// # Errors
 /// Shape mismatches.
@@ -311,6 +313,29 @@ pub fn eval_tensor(op: TensorOp, a: &Value, b: Option<&Value>) -> Result<Value, 
                 acc = scalar_bin_f(&acc, &p, is_float, BinOp::FAdd, BinOp::Add)?;
             }
             Ok(acc)
+        }
+        TensorOp::Reduce => {
+            let mut acc = if is_float {
+                Value::F32(0.0)
+            } else {
+                Value::Int(0)
+            };
+            for x in da {
+                acc = scalar_bin_f(&acc, x, is_float, BinOp::FAdd, BinOp::Add)?;
+            }
+            Ok(acc)
+        }
+        TensorOp::Softmax => {
+            let exps: Vec<Value> = da.iter().map(|x| eval_un(UnOp::Exp, x)).collect();
+            let mut sum = Value::F32(0.0);
+            for e in &exps {
+                sum = eval_bin(BinOp::FAdd, &sum, e)?;
+            }
+            let data = exps
+                .iter()
+                .map(|e| eval_bin(BinOp::FDiv, e, &sum))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Value::Tensor { shape, data })
         }
     }
 }
@@ -560,6 +585,8 @@ impl<'m, S: TraceSink> Interp<'m, S> {
                         let per = match op {
                             TensorOp::MatMul => 2 * n * (n as f64).sqrt() as u64,
                             TensorOp::Conv => 2 * n,
+                            // exp + sum + divide per lane
+                            TensorOp::Softmax => 4 * n,
                             _ => n,
                         };
                         for _ in 0..per {
@@ -758,6 +785,55 @@ mod tests {
                 assert_eq!(got, vec![19.0, 22.0, 43.0, 50.0]);
             }
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn tensor_reduce_tile() {
+        let a = Value::Tensor {
+            shape: TensorShape::new(2, 3),
+            data: (1..=6).map(|v| Value::F32(v as f32)).collect(),
+        };
+        let r = eval_tensor(TensorOp::Reduce, &a, None).unwrap();
+        assert_eq!(r, Value::F32(21.0));
+        let ai = Value::Tensor {
+            shape: TensorShape::new(1, 4),
+            data: (1..=4).map(Value::Int).collect(),
+        };
+        assert_eq!(
+            eval_tensor(TensorOp::Reduce, &ai, None).unwrap(),
+            Value::Int(10)
+        );
+    }
+
+    #[test]
+    fn tensor_softmax_tile() {
+        let a = Value::Tensor {
+            shape: TensorShape::new(1, 3),
+            data: vec![Value::F32(1.0), Value::F32(2.0), Value::F32(3.0)],
+        };
+        let r = eval_tensor(TensorOp::Softmax, &a, None).unwrap();
+        let got = match r {
+            Value::Tensor { shape, data } => {
+                assert_eq!(shape, TensorShape::new(1, 3));
+                data.iter().map(Value::as_f32).collect::<Vec<_>>()
+            }
+            other => panic!("{other:?}"),
+        };
+        let sum: f32 = got.iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "softmax lanes must sum to 1, got {sum}"
+        );
+        assert!(
+            got[0] < got[1] && got[1] < got[2],
+            "softmax must be monotone: {got:?}"
+        );
+        // Reference: exp(x)/Σexp computed directly.
+        let es: Vec<f32> = [1.0f32, 2.0, 3.0].iter().map(|x| x.exp()).collect();
+        let tot: f32 = es.iter().sum();
+        for (g, e) in got.iter().zip(es.iter().map(|e| e / tot)) {
+            assert!((g - e).abs() < 1e-6, "{g} vs {e}");
         }
     }
 

@@ -206,6 +206,8 @@ fn tensor_op(m: &str) -> Option<TensorOp> {
         "tensor.mul" => TensorOp::Mul,
         "tensor.relu" => TensorOp::Relu,
         "tensor.conv" => TensorOp::Conv,
+        "tensor.reduce" => TensorOp::Reduce,
+        "tensor.softmax" => TensorOp::Softmax,
         _ => return None,
     })
 }
@@ -673,6 +675,44 @@ bb0: ; entry
             m.main().unwrap().parallel_hints,
             vec![BlockId(1), BlockId(2)]
         );
+    }
+
+    #[test]
+    fn tensor_reduce_softmax_roundtrip_and_run() {
+        use crate::interp::{Interp, Memory};
+        use crate::types::TensorShape;
+        let mut m = Module::new("trs");
+        let a = m.add_mem_object("a", ScalarType::F32, 8);
+        let o = m.add_mem_object("o", ScalarType::F32, 8);
+        let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+        let sh = TensorShape::new(1, 4);
+        let t = b.load_tile(a, ValueRef::int(0), sh);
+        let s = b.tensor1(crate::instr::TensorOp::Reduce, sh, t);
+        b.store(o, ValueRef::int(0), s);
+        let sm = b.tensor1(crate::instr::TensorOp::Softmax, sh, t);
+        b.store(o, ValueRef::int(4), sm);
+        b.ret(None);
+        m.add_function(b.finish());
+        crate::verify::verify_module(&m).unwrap();
+
+        let p1 = print_module(&m);
+        assert!(p1.contains("tensor.reduce<1x4>"), "{p1}");
+        assert!(p1.contains("tensor.softmax<1x4>"), "{p1}");
+        let m2 = parse_module(&p1).unwrap();
+        crate::verify::verify_module(&m2).unwrap();
+        assert_eq!(p1, print_module(&m2), "print∘parse must be idempotent");
+
+        let run = |m: &Module| {
+            let mut mem = Memory::from_module(m);
+            mem.init_f32(a, &[1.0, 2.0, 3.0, 4.0, 0.0, 0.0, 0.0, 0.0]);
+            Interp::new(m).run_main(&mut mem, &[]).unwrap();
+            mem.read_f32(o)
+        };
+        let (r1, r2) = (run(&m), run(&m2));
+        assert_eq!(r1, r2);
+        assert_eq!(r1[0], 10.0);
+        let sm_sum: f32 = r1[4..8].iter().sum();
+        assert!((sm_sum - 1.0).abs() < 1e-6, "{r1:?}");
     }
 
     #[test]

@@ -83,6 +83,10 @@ fn op_resources(op: OpKind, ty: Type) -> (u64, u64, u64) {
                 // DSP-mapped.
                 TensorOp::MatMul => (60 * e, 120 * e, 2 * e),
                 TensorOp::Conv => (45 * e, 90 * e, e),
+                // Adder tree only: no DSPs.
+                TensorOp::Reduce => (24 * e, 40 * e, 0),
+                // Exp LUTs dominate; divider uses DSPs.
+                TensorOp::Softmax => (80 * e, 120 * e, 2 * e),
                 TensorOp::Mul => (25 * e, 60 * e, e),
                 TensorOp::Add | TensorOp::Relu => (30 * e, 45 * e, 0),
             };

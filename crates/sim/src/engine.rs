@@ -2223,8 +2223,10 @@ impl<'a> Engine<'a> {
                     let ty = df.nodes[node].ty;
                     let n = ty.elems() as u64;
                     let base = self.mem.flat_addr(*obj, idx as u64);
-                    if n == 1 {
-                        // Scalar: no slot buffer needed.
+                    if !ty.is_composite() {
+                        // Scalar: no slot buffer needed. (1×1 tensor tiles
+                        // still assemble — downstream tensor ops need the
+                        // aggregate wrapper.)
                         out_values.push(
                             self.mem
                                 .read(*obj, idx as u64)
@@ -2837,7 +2839,7 @@ impl<'a> Engine<'a> {
                     let ty = df.nodes[node].ty;
                     let n = ty.elems() as u64;
                     let base = self.mem.flat_addr(obj, idx as u64);
-                    if n == 1 {
+                    if !ty.is_composite() {
                         out_values.push(
                             self.mem
                                 .read(obj, idx as u64)

@@ -613,6 +613,76 @@ fn emit_compute(
             }
             Ok(vec![acc.ok_or("empty conv")?])
         }
+        OpKind::Tensor(TensorOp::Reduce, _) => {
+            let a = fetch(0)?;
+            let mut acc: Option<Lane> = None;
+            for (k, &(src, sp)) in a.iter().enumerate() {
+                acc = Some(match acc {
+                    None => (src, sp),
+                    Some(prev) => {
+                        let s = df.add_node(Node::new(
+                            format!("{}_s{k}", node.name),
+                            NodeKind::Compute(add_op),
+                            ety,
+                        ));
+                        df.connect(prev.0, prev.1, s, 0);
+                        df.connect(src, sp, s, 1);
+                        delta.nodes += 1;
+                        delta.edges += 2;
+                        (s, 0)
+                    }
+                });
+            }
+            Ok(vec![acc.ok_or("empty reduce")?])
+        }
+        OpKind::Tensor(TensorOp::Softmax, _) => {
+            let a = fetch(0)?;
+            let mut exps = Vec::with_capacity(a.len());
+            for (k, &(src, sp)) in a.iter().enumerate() {
+                let e = df.add_node(Node::new(
+                    format!("{}_e{k}", node.name),
+                    NodeKind::Compute(OpKind::Un(UnOp::Exp)),
+                    ety,
+                ));
+                df.connect(src, sp, e, 0);
+                delta.nodes += 1;
+                delta.edges += 1;
+                exps.push((e, 0u16));
+            }
+            let mut sum: Option<Lane> = None;
+            for (k, &(src, sp)) in exps.iter().enumerate() {
+                sum = Some(match sum {
+                    None => (src, sp),
+                    Some(prev) => {
+                        let s = df.add_node(Node::new(
+                            format!("{}_s{k}", node.name),
+                            NodeKind::Compute(OpKind::Bin(BinOp::FAdd)),
+                            ety,
+                        ));
+                        df.connect(prev.0, prev.1, s, 0);
+                        df.connect(src, sp, s, 1);
+                        delta.nodes += 1;
+                        delta.edges += 2;
+                        (s, 0)
+                    }
+                });
+            }
+            let sum = sum.ok_or("empty softmax")?;
+            let mut out = Vec::with_capacity(exps.len());
+            for (k, &(src, sp)) in exps.iter().enumerate() {
+                let d = df.add_node(Node::new(
+                    format!("{}_d{k}", node.name),
+                    NodeKind::Compute(OpKind::Bin(BinOp::FDiv)),
+                    ety,
+                ));
+                df.connect(src, sp, d, 0);
+                df.connect(sum.0, sum.1, d, 1);
+                delta.nodes += 1;
+                delta.edges += 2;
+                out.push((d, 0));
+            }
+            Ok(out)
+        }
         // Plain scalar op: copy, wiring lane 0 of each operand.
         _ => {
             let nn = df.add_node(node.clone());
@@ -719,6 +789,54 @@ mod tests {
     fn conv_tensor_lowers_and_slows() {
         let (native, lowered) = lower_and_check("CONV[T]");
         assert!(lowered > native, "native {native} vs lowered {lowered}");
+    }
+
+    #[test]
+    fn reduce_softmax_lower_to_scalar_lanes() {
+        use muir_mir::builder::FunctionBuilder;
+        use muir_mir::instr::TensorOp;
+        use muir_mir::types::{ScalarType, TensorShape};
+        use muir_mir::{Module, ValueRef};
+
+        let mut m = Module::new("rs_lower");
+        let a = m.add_mem_object("a", ScalarType::F32, 8);
+        let o = m.add_mem_object("o", ScalarType::F32, 8);
+        let mut b = FunctionBuilder::new("main", &[]).with_mem(&m);
+        let sh = TensorShape::new(1, 4);
+        let t = b.load_tile(a, ValueRef::int(0), sh);
+        let red = b.tensor1(TensorOp::Reduce, sh, t);
+        b.store(o, ValueRef::int(0), red);
+        let sm = b.tensor1(TensorOp::Softmax, sh, t);
+        b.store(o, ValueRef::int(4), sm);
+        b.ret(None);
+        m.add_function(b.finish());
+        muir_mir::verify::verify_module(&m).unwrap();
+
+        let acc = translate(&m, &FrontendConfig::default()).unwrap();
+        let mut lowered = acc.clone();
+        let report = PassManager::new()
+            .with(LowerTensors)
+            .run(&mut lowered)
+            .unwrap();
+        assert!(report.total().nodes > 0, "nothing lowered?");
+        for t in &lowered.tasks {
+            for n in &t.dataflow.nodes {
+                assert!(!n.ty.is_composite(), "{} still tensor-typed", n.name);
+            }
+        }
+        let run = |acc: &_| {
+            let mut mem = Memory::from_module(&m);
+            mem.init_f32(a, &[1.0, 2.0, 3.0, 4.0, 0.0, 0.0, 0.0, 0.0]);
+            simulate(acc, &mut mem, &[], &SimConfig::default()).unwrap();
+            mem.read_f32(o)
+        };
+        let (native, low) = (run(&acc), run(&lowered));
+        assert_eq!(native[0], 10.0, "reduce wrong: {native:?}");
+        let sum: f32 = native[4..8].iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "softmax wrong: {native:?}");
+        for (x, y) in native.iter().zip(&low) {
+            assert!((x - y).abs() < 1e-5, "native {native:?} vs lowered {low:?}");
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub mod cilk;
 pub mod inhouse;
 pub mod polybench;
 pub mod tensorflow;
+pub mod tensorgraph;
 
 use muir_mir::instr::MemObjId;
 use muir_mir::interp::{Interp, InterpError, Memory};
@@ -36,6 +37,8 @@ pub enum Class {
     Tensorflow,
     /// In-house (tensor ops, RGB2YUV).
     InHouse,
+    /// Tensor-graph front-door families (ATTN, CONVNET, MT-INFER).
+    TensorGraph,
 }
 
 /// Deterministic initial contents of one memory object.
@@ -159,36 +162,183 @@ impl Prng {
     }
 }
 
-/// All benchmarks, in the paper's Table 2 order.
-pub fn all() -> Vec<Workload> {
-    vec![
-        polybench::gemm(),
-        polybench::covar(),
-        polybench::fft(),
-        polybench::spmv(),
-        polybench::mm2(),
-        polybench::mm3(),
-        cilk::fib(),
-        cilk::mergesort(),
-        cilk::saxpy(),
-        cilk::stencil(),
-        cilk::img_scale(),
-        tensorflow::conv(),
-        tensorflow::dense(8),
-        tensorflow::dense(16),
-        tensorflow::softmax(8),
-        tensorflow::softmax(16),
-        inhouse::relu_tensor(),
-        inhouse::mm2_tensor(),
-        inhouse::conv_tensor(),
-        inhouse::rgb2yuv(),
-        inhouse::relu_scalar(),
-    ]
+/// One registry row: the single source of truth tying a paper name to
+/// its family tag and builder. Every suite that enumerates workloads
+/// (differential tests, the bit-identity matrix, BENCH_sim.json, DSE)
+/// iterates this table, so a new family joins them all by construction.
+#[derive(Debug, Clone, Copy)]
+pub struct RegistryEntry {
+    /// Paper name (e.g. `GEMM`, `2MM[T]`, `ATTN`).
+    pub name: &'static str,
+    /// Suite / family tag.
+    pub class: Class,
+    /// Builds the full workload (module + inputs + outputs).
+    pub build: fn() -> Workload,
 }
 
-/// Look up a benchmark by its paper name.
+fn dense8() -> Workload {
+    tensorflow::dense(8)
+}
+fn dense16() -> Workload {
+    tensorflow::dense(16)
+}
+fn softm8() -> Workload {
+    tensorflow::softmax(8)
+}
+fn softm16() -> Workload {
+    tensorflow::softmax(16)
+}
+
+/// The central workload registry, in the paper's Table 2 order (tensor-
+/// graph families appended as the fifth group).
+pub const REGISTRY: &[RegistryEntry] = &[
+    RegistryEntry {
+        name: "GEMM",
+        class: Class::Polybench,
+        build: polybench::gemm,
+    },
+    RegistryEntry {
+        name: "COVAR",
+        class: Class::Polybench,
+        build: polybench::covar,
+    },
+    RegistryEntry {
+        name: "FFT",
+        class: Class::Polybench,
+        build: polybench::fft,
+    },
+    RegistryEntry {
+        name: "SPMV",
+        class: Class::Polybench,
+        build: polybench::spmv,
+    },
+    RegistryEntry {
+        name: "2MM",
+        class: Class::Polybench,
+        build: polybench::mm2,
+    },
+    RegistryEntry {
+        name: "3MM",
+        class: Class::Polybench,
+        build: polybench::mm3,
+    },
+    RegistryEntry {
+        name: "FIB",
+        class: Class::Cilk,
+        build: cilk::fib,
+    },
+    RegistryEntry {
+        name: "M-SORT",
+        class: Class::Cilk,
+        build: cilk::mergesort,
+    },
+    RegistryEntry {
+        name: "SAXPY",
+        class: Class::Cilk,
+        build: cilk::saxpy,
+    },
+    RegistryEntry {
+        name: "STENCIL",
+        class: Class::Cilk,
+        build: cilk::stencil,
+    },
+    RegistryEntry {
+        name: "IMG-SCALE",
+        class: Class::Cilk,
+        build: cilk::img_scale,
+    },
+    RegistryEntry {
+        name: "CONV",
+        class: Class::Tensorflow,
+        build: tensorflow::conv,
+    },
+    RegistryEntry {
+        name: "DENSE8",
+        class: Class::Tensorflow,
+        build: dense8,
+    },
+    RegistryEntry {
+        name: "DENSE16",
+        class: Class::Tensorflow,
+        build: dense16,
+    },
+    RegistryEntry {
+        name: "SOFTM8",
+        class: Class::Tensorflow,
+        build: softm8,
+    },
+    RegistryEntry {
+        name: "SOFTM16",
+        class: Class::Tensorflow,
+        build: softm16,
+    },
+    RegistryEntry {
+        name: "RELU[T]",
+        class: Class::InHouse,
+        build: inhouse::relu_tensor,
+    },
+    RegistryEntry {
+        name: "2MM[T]",
+        class: Class::InHouse,
+        build: inhouse::mm2_tensor,
+    },
+    RegistryEntry {
+        name: "CONV[T]",
+        class: Class::InHouse,
+        build: inhouse::conv_tensor,
+    },
+    RegistryEntry {
+        name: "RGB2YUV",
+        class: Class::InHouse,
+        build: inhouse::rgb2yuv,
+    },
+    RegistryEntry {
+        name: "RELU",
+        class: Class::InHouse,
+        build: inhouse::relu_scalar,
+    },
+    RegistryEntry {
+        name: "ATTN",
+        class: Class::TensorGraph,
+        build: tensorgraph::attn,
+    },
+    RegistryEntry {
+        name: "CONVNET",
+        class: Class::TensorGraph,
+        build: tensorgraph::convnet,
+    },
+    RegistryEntry {
+        name: "MT-INFER",
+        class: Class::TensorGraph,
+        build: tensorgraph::mt_infer,
+    },
+];
+
+/// All benchmarks, in registry (Table 2) order.
+pub fn all() -> Vec<Workload> {
+    REGISTRY.iter().map(|e| (e.build)()).collect()
+}
+
+/// All registered paper names, in registry order.
+pub fn names() -> Vec<&'static str> {
+    REGISTRY.iter().map(|e| e.name).collect()
+}
+
+/// Look up a benchmark by its paper name (builds only that workload).
 pub fn by_name(name: &str) -> Option<Workload> {
-    all().into_iter().find(|w| w.name == name)
+    REGISTRY
+        .iter()
+        .find(|e| e.name == name)
+        .map(|e| (e.build)())
+}
+
+/// All benchmarks of one family.
+pub fn by_class(class: Class) -> Vec<Workload> {
+    REGISTRY
+        .iter()
+        .filter(|e| e.class == class)
+        .map(|e| (e.build)())
+        .collect()
 }
 
 #[cfg(test)]
@@ -198,7 +348,8 @@ mod tests {
     #[test]
     fn registry_is_complete() {
         let ws = all();
-        assert_eq!(ws.len(), 21);
+        assert_eq!(ws.len(), REGISTRY.len());
+        assert_eq!(ws.len(), 24);
         let names: Vec<&str> = ws.iter().map(|w| w.name).collect();
         for expect in [
             "GEMM",
@@ -222,9 +373,32 @@ mod tests {
             "CONV[T]",
             "RGB2YUV",
             "RELU",
+            "ATTN",
+            "CONVNET",
+            "MT-INFER",
         ] {
             assert!(names.contains(&expect), "missing {expect}");
         }
+    }
+
+    #[test]
+    fn registry_tags_match_built_workloads() {
+        for e in REGISTRY {
+            let w = (e.build)();
+            assert_eq!(w.name, e.name, "registry name drifted");
+            assert_eq!(w.class, e.class, "{}: family tag drifted", e.name);
+        }
+        // Names are unique.
+        let mut ns = names();
+        ns.sort_unstable();
+        ns.dedup();
+        assert_eq!(ns.len(), REGISTRY.len());
+    }
+
+    #[test]
+    fn lookup_by_class() {
+        assert_eq!(by_class(Class::TensorGraph).len(), 3);
+        assert_eq!(by_class(Class::Polybench).len(), 6);
     }
 
     #[test]

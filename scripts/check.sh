@@ -6,7 +6,11 @@
 # post-fault over the full workload suite), the storage fault campaign
 # (4 injected fault classes x plain/sim-faulted differential), the
 # seeded graph-fuzz smoke (30 graphs, every scheduler x exec mode at
-# 1/2/4/8 threads), the micro-op differential + epoch-commit
+# 1/2/4/8 threads), the tensor-lowering differential gate (text-parsed
+# vs API-built GEMM/CONV-shaped graphs bit-identical in cycles and
+# end-state hash, numerics matching the hand-built workloads), the
+# tensor-graph fuzz smoke (seeded frontend graphs through parse ->
+# lower -> seal -> sim), the micro-op differential + epoch-commit
 # engagement gate (Dense+Interp oracle vs MicroOp under every
 # scheduler; epoch commit must actually engage at 2 threads), the
 # scheduler benchmark gate (four-way differential @2 threads +
@@ -57,6 +61,12 @@ cargo run --release -q -p muir-bench --bin experiments -- store-campaign target/
 
 echo "== graph-fuzz smoke (30 seeded graphs, all schedulers x exec modes) =="
 cargo run --release -q -p muir-bench --bin experiments -- fuzz --graphs 30 --seed 0xc1
+
+echo "== tensor-lowering differential gate (frontend vs hand-built GEMM/CONV) =="
+cargo run --release -q -p muir-bench --bin experiments -- tensor --gate
+
+echo "== tensor-graph fuzz smoke (10 seeded graphs through the frontend) =="
+cargo run --release -q -p muir-bench --bin experiments -- fuzz --tensor --graphs 10 --seed 0x7e50
 
 echo "== micro-op differential + epoch-commit engagement @2 threads =="
 cargo test --release -q -p muir-sim --lib epoch_commit_engages_at_two_threads
